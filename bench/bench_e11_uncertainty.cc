@@ -1,0 +1,192 @@
+// E11 — Choosing an uncertainty framework under conflict (§4).
+//
+// Paper: "no clear guidelines exist so far for the selection of the
+// appropriate uncertainty framework and aggregation (or fusion) rule, [but]
+// it is acknowledged that the choice depends on the nature, interpretation
+// or type of uncertainty and information, and on the sources quality and
+// independence."
+//
+// Task: classify a vessel (cargo/tanker/fishing) from three noisy soft
+// sources whose conflict level and reliability are swept. Frameworks:
+// Bayesian product, Dempster, Yager, discounted Dempster, possibility-min.
+// Reported: accuracy and decisiveness per framework per regime.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "uncertainty/bayes.h"
+#include "uncertainty/dempster_shafer.h"
+#include "uncertainty/possibility.h"
+
+namespace marlin {
+namespace {
+
+constexpr int kClasses = 3;
+constexpr int kTrials = 2000;
+
+struct SourceReport {
+  int claimed = 0;     // which class the source backs
+  double confidence = 0.0;
+};
+
+/// Simulates one trial: the true class plus three source reports; unreliable
+/// sources pick a wrong class with probability `error_rate`.
+std::vector<SourceReport> SimulateSources(int true_class, double error_rate,
+                                          Rng* rng) {
+  std::vector<SourceReport> reports;
+  for (int s = 0; s < 3; ++s) {
+    SourceReport r;
+    if (rng->Bernoulli(error_rate)) {
+      r.claimed = (true_class + 1 + static_cast<int>(rng->NextBounded(2))) %
+                  kClasses;
+    } else {
+      r.claimed = true_class;
+    }
+    r.confidence = rng->Uniform(0.7, 0.95);
+    reports.push_back(r);
+  }
+  return reports;
+}
+
+struct FrameworkScore {
+  int correct = 0;
+  int undecided = 0;  // framework failed to fuse or gave a tie/vacuous answer
+};
+
+struct E11Row {
+  double error_rate;
+  FrameworkScore bayes, dempster, yager, discounted, possibility;
+};
+
+E11Row RunRegime(double error_rate, uint64_t seed) {
+  Rng rng(seed);
+  Frame frame({"cargo", "tanker", "fishing"});
+  E11Row row;
+  row.error_rate = error_rate;
+  const double assumed_reliability = 1.0 - error_rate;
+
+  for (int trial = 0; trial < kTrials; ++trial) {
+    const int true_class = static_cast<int>(rng.NextBounded(kClasses));
+    const auto reports = SimulateSources(true_class, error_rate, &rng);
+
+    // Bayesian: product of per-source likelihoods.
+    DiscreteBayes bayes(kClasses);
+    bool bayes_ok = true;
+    for (const auto& r : reports) {
+      std::vector<double> likelihood(kClasses,
+                                     (1.0 - r.confidence) / (kClasses - 1));
+      likelihood[r.claimed] = r.confidence;
+      bayes_ok &= bayes.Update(likelihood);
+    }
+    if (!bayes_ok) {
+      ++row.bayes.undecided;
+    } else if (bayes.Decide() == true_class) {
+      ++row.bayes.correct;
+    }
+
+    // Evidence theory variants.
+    std::vector<MassFunction> masses;
+    for (const auto& r : reports) {
+      MassFunction m(&frame);
+      m.Assign(frame.Singleton(r.claimed), r.confidence);
+      m.Assign(frame.Theta(), 1.0 - r.confidence);
+      masses.push_back(m);
+    }
+    const auto dempster = CombineAll(masses, CombinationRule::kDempster);
+    if (!dempster.ok()) {
+      ++row.dempster.undecided;
+    } else if (dempster->Decide() == true_class) {
+      ++row.dempster.correct;
+    }
+    const auto yager = CombineAll(masses, CombinationRule::kYager);
+    if (!yager.ok()) {
+      ++row.yager.undecided;
+    } else if (yager->Belief(frame.Theta()) > 0.9) {
+      ++row.yager.undecided;  // conflict swamped the frame: no decision
+    } else if (yager->Decide() == true_class) {
+      ++row.yager.correct;
+    }
+    std::vector<MassFunction> discounted_masses;
+    for (const auto& m : masses) {
+      discounted_masses.push_back(m.Discount(assumed_reliability));
+    }
+    const auto discounted =
+        CombineAll(discounted_masses, CombinationRule::kDempster);
+    if (!discounted.ok()) {
+      ++row.discounted.undecided;
+    } else if (discounted->Decide() == true_class) {
+      ++row.discounted.correct;
+    }
+
+    // Possibility theory: min combination of per-source distributions.
+    PossibilityDistribution combined(kClasses);
+    for (const auto& r : reports) {
+      PossibilityDistribution pi(kClasses);
+      for (int c = 0; c < kClasses; ++c) {
+        pi.Set(c, c == r.claimed ? 1.0 : 1.0 - r.confidence);
+      }
+      combined = PossibilityDistribution::CombineMin(combined, pi);
+    }
+    if (combined.Inconsistency() > 0.99) {
+      ++row.possibility.undecided;
+    } else if (combined.Decide() == true_class) {
+      ++row.possibility.correct;
+    }
+  }
+  return row;
+}
+
+void PrintRow(const char* name, const FrameworkScore& s) {
+  std::printf("  %-22s accuracy %.3f   undecided %.3f\n", name,
+              static_cast<double>(s.correct) / kTrials,
+              static_cast<double>(s.undecided) / kTrials);
+}
+
+void PrintTables() {
+  for (double err : {0.05, 0.20, 0.40}) {
+    std::printf("--- source error rate %.0f%% ---\n", err * 100);
+    const E11Row row = RunRegime(err, 1100 + static_cast<uint64_t>(err * 100));
+    PrintRow("bayes", row.bayes);
+    PrintRow("dempster", row.dempster);
+    PrintRow("yager", row.yager);
+    PrintRow("dempster+discounting", row.discounted);
+    PrintRow("possibility-min", row.possibility);
+    std::printf("\n");
+  }
+  std::printf(
+      "expected shape (paper §4): with reliable sources every rule agrees;\n"
+      "as conflict grows, undiscounted Dempster degrades while discounting\n"
+      "(source-quality knowledge) keeps accuracy highest — the choice of\n"
+      "framework depends on source quality, as the paper argues.\n");
+}
+
+void BM_UncertaintySweep(benchmark::State& state) {
+  const double err = static_cast<double>(state.range(0)) / 100.0;
+  E11Row row{};
+  for (auto _ : state) {
+    row = RunRegime(err, 1142);
+  }
+  state.counters["dempster_acc"] =
+      static_cast<double>(row.dempster.correct) / kTrials;
+  state.counters["discounted_acc"] =
+      static_cast<double>(row.discounted.correct) / kTrials;
+}
+BENCHMARK(BM_UncertaintySweep)->Arg(5)->Arg(20)->Arg(40)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace marlin
+
+int main(int argc, char** argv) {
+  marlin::bench::Banner(
+      "E11: uncertainty framework comparison (§4)",
+      "\"no clear guidelines ... the choice depends on the nature ... of "
+      "uncertainty and information, and on the sources quality\"");
+  marlin::PrintTables();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,125 @@
+// E12 — In-situ processing vs. centralize-then-process (§2.1).
+//
+// Paper: "in-situ processing aims to scale, by shortening the time needed
+// for detecting patterns of interest within a single- or cross-streaming
+// process ... such approaches have to become communication efficient."
+//
+// Two architectures over the same fleet:
+//  * centralize: every raw position report is shipped ashore, patterns are
+//    detected centrally;
+//  * in-situ: each vessel compresses its own stream to critical points at
+//    the edge, ships only the synopsis, and the shore detector consumes it.
+// Reported: bytes moved, messages moved, and whether the pattern set
+// (turn/stop events of interest) survives compression.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/synopses.h"
+
+namespace marlin {
+namespace {
+
+ScenarioConfig InsituConfig() {
+  ScenarioConfig config;
+  config.seed = 121;
+  config.duration = 4 * kMillisPerHour;
+  config.transit_vessels = 40;
+  config.fishing_vessels = 10;
+  config.loiter_vessels = 4;
+  config.rendezvous_pairs = 0;
+  config.dark_vessels = 0;
+  config.spoof_identity_vessels = 0;
+  config.spoof_teleport_vessels = 0;
+  config.perfect_reception = true;
+  return config;
+}
+
+constexpr size_t kAisMessageBytes = 48;       // one armored AIVDM sentence
+constexpr size_t kCriticalPointBytes = 32;    // compact synopsis record
+
+struct E12Result {
+  uint64_t raw_messages = 0;
+  uint64_t raw_bytes = 0;
+  uint64_t synopsis_messages = 0;
+  uint64_t synopsis_bytes = 0;
+  int raw_stop_events = 0;
+  int synopsis_stop_events = 0;
+};
+
+E12Result Run() {
+  const ScenarioOutput& scenario = bench::SharedScenario(InsituConfig());
+  E12Result result;
+
+  // Centralized: everything crosses the link.
+  for (const auto& [mmsi, truth] : scenario.truth) {
+    result.raw_messages += truth.points.size();
+  }
+  result.raw_bytes = result.raw_messages * kAisMessageBytes;
+
+  // In-situ: per-vessel synopsis engines at the edge.
+  for (const auto& [mmsi, truth] : scenario.truth) {
+    SynopsisEngine edge;  // one engine per vessel = per-edge-device
+    const auto synopsis = edge.CompressTrajectory(truth);
+    result.synopsis_messages += synopsis.size();
+    for (const auto& cp : synopsis) {
+      if (cp.type == CriticalPointType::kStop) ++result.synopsis_stop_events;
+    }
+  }
+  result.synopsis_bytes = result.synopsis_messages * kCriticalPointBytes;
+
+  // Pattern ground truth from the raw streams: stop events (speed crossing)
+  // detected centrally.
+  for (const auto& [mmsi, truth] : scenario.truth) {
+    bool stopped = true;  // vessels start moored
+    for (const auto& p : truth.points) {
+      const bool now = p.sog_mps < 0.6;
+      if (now && !stopped) ++result.raw_stop_events;
+      stopped = now;
+    }
+  }
+  return result;
+}
+
+void PrintResult() {
+  const E12Result r = Run();
+  std::printf("%-34s %14s %14s\n", "", "centralize", "in-situ");
+  std::printf("%-34s %14llu %14llu\n", "messages on the ship-shore link",
+              static_cast<unsigned long long>(r.raw_messages),
+              static_cast<unsigned long long>(r.synopsis_messages));
+  std::printf("%-34s %11.2f MB %11.2f MB\n", "bytes on the link",
+              r.raw_bytes / 1e6, r.synopsis_bytes / 1e6);
+  std::printf("%-34s %13.1fx\n", "communication reduction",
+              static_cast<double>(r.raw_bytes) /
+                  std::max<uint64_t>(1, r.synopsis_bytes));
+  std::printf("%-34s %14d %14d\n", "stop patterns recoverable",
+              r.raw_stop_events, r.synopsis_stop_events);
+}
+
+void BM_EdgeCompression(benchmark::State& state) {
+  E12Result r{};
+  for (auto _ : state) {
+    r = Run();
+    benchmark::DoNotOptimize(r);
+  }
+  state.counters["reduction_x"] =
+      static_cast<double>(r.raw_bytes) /
+      std::max<uint64_t>(1, r.synopsis_bytes);
+}
+BENCHMARK(BM_EdgeCompression)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace marlin
+
+int main(int argc, char** argv) {
+  marlin::bench::Banner(
+      "E12: in-situ (edge) processing vs centralization (§2.1)",
+      "in-situ processing must be \"communication efficient\" while "
+      "\"shortening the time needed for detecting patterns\"");
+  marlin::PrintResult();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

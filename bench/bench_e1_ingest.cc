@@ -1,0 +1,102 @@
+// E1 — Ingest capacity vs. the global AIS feed (Figure 1 + §1).
+//
+// Paper: "a typical volume of radio and satellite-based worldwide maritime
+// data represents an estimated 18 millions positions per day" ≈ 208 msg/s
+// average. The experiment measures how many messages per second one MARLIN
+// pipeline instance sustains at each stage depth, and reports the headroom
+// factor over the global feed rate.
+
+#include <benchmark/benchmark.h>
+
+#include "ais/codec.h"
+#include "bench_util.h"
+#include "core/pipeline.h"
+
+namespace marlin {
+namespace {
+
+constexpr double kGlobalFeedMsgPerSec = 18e6 / 86400.0;  // ≈ 208
+
+ScenarioConfig IngestConfig() {
+  ScenarioConfig config;
+  config.seed = 11;
+  config.duration = Hours(1);
+  config.transit_vessels = 60;
+  config.fishing_vessels = 10;
+  config.loiter_vessels = 4;
+  config.rendezvous_pairs = 2;
+  config.dark_vessels = 5;
+  config.perfect_reception = true;
+  return config;
+}
+
+void BM_DecodeOnly(benchmark::State& state) {
+  const ScenarioOutput& scenario = bench::SharedScenario(IngestConfig());
+  uint64_t messages = 0;
+  for (auto _ : state) {
+    AisDecoder decoder;
+    for (const auto& ev : scenario.nmea) {
+      benchmark::DoNotOptimize(decoder.Decode(ev.payload, ev.ingest_time));
+    }
+    messages += decoder.stats().messages_out;
+  }
+  state.counters["msgs_per_s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+  state.counters["headroom_vs_global_feed"] = benchmark::Counter(
+      static_cast<double>(messages) / kGlobalFeedMsgPerSec,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeOnly)->Unit(benchmark::kMillisecond);
+
+void BM_DecodeReconstruct(benchmark::State& state) {
+  const ScenarioOutput& scenario = bench::SharedScenario(IngestConfig());
+  uint64_t points = 0;
+  for (auto _ : state) {
+    AisDecoder decoder;
+    TrajectoryReconstructor recon;
+    std::vector<ReconstructedPoint> out;
+    for (const auto& ev : scenario.nmea) {
+      const auto msg = decoder.Decode(ev.payload, ev.ingest_time);
+      if (!msg.has_value()) continue;
+      if (const auto* pr = std::get_if<PositionReport>(&*msg)) {
+        out.clear();
+        recon.Ingest(*pr, &out, nullptr);
+        points += out.size();
+      }
+    }
+  }
+  state.counters["points_per_s"] = benchmark::Counter(
+      static_cast<double>(points), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DecodeReconstruct)->Unit(benchmark::kMillisecond);
+
+void BM_FullPipeline(benchmark::State& state) {
+  const ScenarioOutput& scenario = bench::SharedScenario(IngestConfig());
+  const World& world = bench::SharedWorld();
+  uint64_t messages = 0;
+  for (auto _ : state) {
+    MaritimePipeline pipeline(PipelineConfig{}, &world.zones(), nullptr,
+                              nullptr, nullptr);
+    pipeline.Run(scenario.nmea);
+    messages += pipeline.metrics().decoder.messages_out;
+  }
+  state.counters["msgs_per_s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+  state.counters["headroom_vs_global_feed"] = benchmark::Counter(
+      static_cast<double>(messages) / kGlobalFeedMsgPerSec,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace marlin
+
+int main(int argc, char** argv) {
+  marlin::bench::Banner(
+      "E1: ingest capacity (Figure 1, §1)",
+      "\"18 millions positions per day\" worldwide ≈ 208 msg/s; a single "
+      "pipeline instance must exceed this by a wide margin");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,115 @@
+// E2 — Trajectory synopses: compression ratio vs. reconstruction error
+// (§2.1, citing Parallel Secondo [29]).
+//
+// Paper: "state of the art techniques have achieved a compression ratio of
+// 95 % over AIS vessel traces. The challenge here is to address high levels
+// of data compression without compromising the accuracy of the prediction /
+// detection components."
+//
+// The sweep varies the dead-reckoning deviation bound and reports the
+// compression ratio together with the synchronized-Euclidean-distance error
+// of the reconstructed trajectories, overall and per behaviour class.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/synopses.h"
+
+namespace marlin {
+namespace {
+
+ScenarioConfig SynopsesConfig() {
+  ScenarioConfig config;
+  config.seed = 22;
+  config.duration = 4 * kMillisPerHour;
+  config.transit_vessels = 30;
+  config.fishing_vessels = 8;
+  config.loiter_vessels = 3;
+  config.rendezvous_pairs = 1;
+  config.dark_vessels = 0;
+  config.spoof_identity_vessels = 0;
+  config.spoof_teleport_vessels = 0;
+  config.perfect_reception = true;
+  return config;
+}
+
+struct SweepRow {
+  double threshold_m;
+  double compression;
+  double mean_err_m;
+  double max_err_m;
+};
+
+SweepRow RunSweepPoint(double threshold_m) {
+  const ScenarioOutput& scenario = bench::SharedScenario(SynopsesConfig());
+  SynopsisEngine::Options opts;
+  opts.deviation_threshold_m = threshold_m;
+  opts.turn_threshold_deg = 8.0;
+  SynopsisEngine engine(opts);
+  double err_sum = 0.0, err_max = 0.0;
+  size_t vessels = 0;
+  for (const auto& [mmsi, truth] : scenario.truth) {
+    const auto synopsis = engine.CompressTrajectory(truth);
+    const Trajectory rebuilt = ReconstructFromSynopsis(mmsi, synopsis);
+    const TrajectoryError err = ComputeSedError(truth, rebuilt);
+    err_sum += err.mean_m;
+    err_max = std::max(err_max, err.max_m);
+    ++vessels;
+  }
+  SweepRow row;
+  row.threshold_m = threshold_m;
+  row.compression = engine.stats().CompressionRatio();
+  row.mean_err_m = err_sum / static_cast<double>(vessels);
+  row.max_err_m = err_max;
+  return row;
+}
+
+void BM_CompressSweep(benchmark::State& state) {
+  const double threshold = static_cast<double>(state.range(0));
+  SweepRow row{};
+  for (auto _ : state) {
+    row = RunSweepPoint(threshold);
+    benchmark::DoNotOptimize(row);
+  }
+  state.counters["compression_pct"] = 100.0 * row.compression;
+  state.counters["mean_sed_m"] = row.mean_err_m;
+  state.counters["max_sed_m"] = row.max_err_m;
+}
+BENCHMARK(BM_CompressSweep)
+    ->Arg(15)
+    ->Arg(30)
+    ->Arg(50)
+    ->Arg(100)
+    ->Arg(200)
+    ->Unit(benchmark::kMillisecond);
+
+void PrintSweepTable() {
+  std::printf("%12s %16s %14s %14s\n", "bound (m)", "compression (%)",
+              "mean SED (m)", "max SED (m)");
+  bool target_hit = false;
+  for (double threshold : {15.0, 30.0, 50.0, 100.0, 200.0}) {
+    const SweepRow row = RunSweepPoint(threshold);
+    std::printf("%12.0f %16.2f %14.1f %14.1f\n", row.threshold_m,
+                100.0 * row.compression, row.mean_err_m, row.max_err_m);
+    if (row.compression >= 0.95) target_hit = true;
+  }
+  std::printf("\npaper target (>= 95%% compression): %s\n",
+              target_hit ? "REACHED" : "not reached");
+}
+
+}  // namespace
+}  // namespace marlin
+
+int main(int argc, char** argv) {
+  marlin::bench::Banner(
+      "E2: synopses compression vs error (§2.1)",
+      "\"a compression ratio of 95% over AIS vessel traces ... without "
+      "compromising the accuracy\"");
+  marlin::PrintSweepTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,177 @@
+// E3 — Posteriori vs. on-the-fly spatio-temporal querying (§2.3).
+//
+// Paper: existing systems are "oriented either towards a 'posteriori
+// analysis' characterized by long processing times or 'on the fly
+// processing' which can provide approximate answers to queries."
+//
+// The experiment stores a multi-hour basin history and compares:
+//  * full archival scan (posteriori baseline),
+//  * R-tree indexed range query over archived positions,
+//  * trajectory-store window query (per-vessel pruning),
+//  * live grid query of the current picture (on-the-fly, approximate in
+//    that it sees only latest positions),
+//  * synopsis-based approximate window query (bounded-error answers).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_util.h"
+#include "core/synopses.h"
+#include "storage/rtree.h"
+#include "storage/trajectory_store.h"
+
+namespace marlin {
+namespace {
+
+ScenarioConfig QueryConfig() {
+  ScenarioConfig config;
+  config.seed = 33;
+  config.duration = 6 * kMillisPerHour;
+  config.transit_vessels = 80;
+  config.fishing_vessels = 15;
+  config.loiter_vessels = 5;
+  config.rendezvous_pairs = 0;
+  config.dark_vessels = 0;
+  config.spoof_identity_vessels = 0;
+  config.spoof_teleport_vessels = 0;
+  config.perfect_reception = true;
+  return config;
+}
+
+struct Fixture {
+  TrajectoryStore store;
+  std::vector<std::pair<GeoPoint, std::pair<uint32_t, Timestamp>>> flat;
+  RTree rtree;
+  TrajectoryStore synopsis_store;
+  Timestamp t0 = 0, t1 = 0;
+
+  static const Fixture& Get() {
+    static Fixture f;
+    return f;
+  }
+
+ private:
+  Fixture() {
+    const ScenarioOutput& scenario = bench::SharedScenario(QueryConfig());
+    SynopsisEngine synopses;
+    std::vector<RTreeEntry> entries;
+    uint64_t id = 0;
+    for (const auto& [mmsi, truth] : scenario.truth) {
+      for (const auto& p : truth.points) {
+        (void)store.Append(mmsi, p);
+        flat.emplace_back(p.position, std::make_pair(mmsi, p.t));
+        BoundingBox box;
+        box.Extend(p.position);
+        entries.push_back(RTreeEntry{box, id++});
+      }
+      for (const auto& cp : synopses.CompressTrajectory(truth)) {
+        (void)synopsis_store.Append(cp.mmsi, cp.point);
+      }
+      t0 = truth.StartTime();
+      t1 = truth.EndTime();
+    }
+    rtree = RTree(std::move(entries));
+  }
+};
+
+const BoundingBox kQueryBox(39.0, 0.0, 41.5, 4.0);
+
+void BM_FullScanWindow(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  const Timestamp qt0 = f.t0 + Hours(2), qt1 = f.t0 + Hours(4);
+  size_t hits = 0;
+  for (auto _ : state) {
+    size_t n = 0;
+    for (const auto& [pos, key] : f.flat) {
+      if (key.second >= qt0 && key.second <= qt1 && kQueryBox.Contains(pos)) {
+        ++n;
+      }
+    }
+    hits = n;
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["rows"] = static_cast<double>(hits);
+  state.counters["stored_points"] = static_cast<double>(f.flat.size());
+}
+BENCHMARK(BM_FullScanWindow)->Unit(benchmark::kMillisecond);
+
+void BM_RTreeRange(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  size_t hits = 0;
+  for (auto _ : state) {
+    const auto ids = f.rtree.Query(kQueryBox);
+    hits = ids.size();
+    benchmark::DoNotOptimize(ids);
+  }
+  state.counters["rows"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_RTreeRange)->Unit(benchmark::kMillisecond);
+
+void BM_TrajectoryStoreWindow(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  const Timestamp qt0 = f.t0 + Hours(2), qt1 = f.t0 + Hours(4);
+  size_t hits = 0;
+  for (auto _ : state) {
+    const auto result = f.store.QueryWindow(kQueryBox, qt0, qt1);
+    size_t n = 0;
+    for (const auto& traj : result) n += traj.points.size();
+    hits = n;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_TrajectoryStoreWindow)->Unit(benchmark::kMillisecond);
+
+void BM_LiveGridQuery(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  size_t hits = 0;
+  for (auto _ : state) {
+    const auto ids = f.store.QueryLive(kQueryBox);
+    hits = ids.size();
+    benchmark::DoNotOptimize(ids);
+  }
+  state.counters["rows"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_LiveGridQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_SynopsisApproxWindow(benchmark::State& state) {
+  // On-the-fly style: query the compressed store; answers are approximate
+  // within the synopsis error bound but the data volume is ~20x smaller.
+  const Fixture& f = Fixture::Get();
+  const Timestamp qt0 = f.t0 + Hours(2), qt1 = f.t0 + Hours(4);
+  size_t hits = 0;
+  for (auto _ : state) {
+    const auto result = f.synopsis_store.QueryWindow(kQueryBox, qt0, qt1);
+    size_t n = 0;
+    for (const auto& traj : result) n += traj.points.size();
+    hits = n;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["rows"] = static_cast<double>(hits);
+  state.counters["synopsis_points"] =
+      static_cast<double>(f.synopsis_store.PointCount());
+}
+BENCHMARK(BM_SynopsisApproxWindow)->Unit(benchmark::kMicrosecond);
+
+void BM_NearestNeighbours(benchmark::State& state) {
+  const Fixture& f = Fixture::Get();
+  const GeoPoint probe(40.2, 2.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.store.NearestLive(probe, 10));
+  }
+}
+BENCHMARK(BM_NearestNeighbours)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace marlin
+
+int main(int argc, char** argv) {
+  marlin::bench::Banner(
+      "E3: posteriori vs on-the-fly querying (§2.3)",
+      "\"'posteriori analysis' characterized by long processing times or "
+      "'on the fly processing' which can provide approximate answers\"");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,179 @@
+// E7 — Multi-sensor fusion accuracy and continuity (§2.4).
+//
+// Paper: "The integration and fusion of maritime data and information from
+// various sources can overcome some of the single source processing issues
+// (e.g., compensating for the lack of coverage and increasing accuracy)."
+//
+// One vessel transits while transmitting AIS (with a mid-run dark window)
+// and being painted by a coastal radar. Three trackers run: AIS-only,
+// radar-only, and fused. Reported: position RMSE per tracker across a radar
+// noise sweep, and track continuity (fraction of time a confirmed track
+// exists) across the AIS gap.
+
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/units.h"
+#include "fusion/tracker.h"
+#include "geo/geodesy.h"
+#include "sim/radar.h"
+#include "sim/vessel_sim.h"
+
+namespace marlin {
+namespace {
+
+struct E7Row {
+  double radar_sigma = 0.0;
+  double rmse_ais = 0.0;
+  double rmse_radar = 0.0;
+  double rmse_fused = 0.0;
+  double continuity_ais = 0.0;
+  double continuity_fused = 0.0;
+};
+
+E7Row RunScene(double radar_sigma, uint64_t seed) {
+  const World& world = bench::SharedWorld();
+  // Ground truth: one transit vessel with a 40-minute dark window.
+  VesselSpec spec;
+  spec.mmsi = 228000077;
+  spec.behaviour = Behaviour::kGoDark;
+  spec.lane = 0;
+  spec.speed_knots = 12.0;
+  spec.depart_time = 0;
+  spec.dark_windows = {{Minutes(60), Minutes(100)}};
+  Rng rng(seed);
+  const auto states =
+      SimulateVessel(spec, world, 0, Hours(3), Seconds(10), &rng);
+  const Trajectory truth = TruthToTrajectory(spec.mmsi, states);
+  std::map<Mmsi, Trajectory> truth_map{{spec.mmsi, truth}};
+
+  // Radar site near the lane midpoint.
+  RadarSite site;
+  site.position = truth.At(Minutes(80)).position;
+  site.range_m = 300000.0;
+  site.scan_period = Seconds(30);
+  site.sigma_m = radar_sigma;
+  site.detection_prob = 0.85;
+  site.false_alarms_per_scan = 0.3;
+  RadarSimulator radar(site, seed + 1);
+
+  // AIS contacts from truth states at ITU cadence (10 m noise) when
+  // transmitting.
+  std::vector<Contact> ais_contacts;
+  Rng ais_rng(seed + 2);
+  Timestamp next_report = 0;
+  for (const auto& s : states) {
+    if (s.t < next_report) continue;
+    next_report = s.t + Seconds(10);
+    if (!s.transmitting) continue;
+    Contact c;
+    c.t = s.t;
+    c.position = Destination(s.position, ais_rng.Uniform(0, 360),
+                             std::abs(ais_rng.Gaussian(0, 10)));
+    c.sigma_m = 10.0;
+    c.sensor = SensorKind::kAis;
+    c.mmsi = spec.mmsi;
+    ais_contacts.push_back(c);
+  }
+
+  // Three trackers.
+  const GeoPoint origin = truth.At(Minutes(90)).position;
+  MultiTargetTracker ais_only(origin), radar_only(origin), fused(origin);
+
+  auto evaluate = [&truth](MultiTargetTracker& tracker, Timestamp t,
+                           double* err_sq, int* err_n, int* covered) {
+    const TrajectoryPoint ref = truth.At(t);
+    double best = -1.0;
+    for (const Track* track : tracker.ConfirmedTracks()) {
+      const double d =
+          HaversineDistance(tracker.TrackPosition(*track), ref.position);
+      if (best < 0 || d < best) best = d;
+    }
+    if (best >= 0 && best < 5000.0) {
+      *err_sq += best * best;
+      ++*err_n;
+      ++*covered;
+    }
+  };
+
+  double sq_ais = 0, sq_radar = 0, sq_fused = 0;
+  int n_ais = 0, n_radar = 0, n_fused = 0;
+  int cov_ais = 0, cov_fused = 0, slots = 0;
+
+  size_t ais_idx = 0;
+  for (Timestamp t = 0; t <= Hours(3); t += site.scan_period) {
+    // Deliver AIS contacts due this interval.
+    std::vector<Contact> ais_batch;
+    while (ais_idx < ais_contacts.size() &&
+           ais_contacts[ais_idx].t <= t) {
+      ais_batch.push_back(ais_contacts[ais_idx++]);
+    }
+    const std::vector<Contact> radar_batch = radar.Scan(truth_map, t);
+    std::vector<Contact> both = ais_batch;
+    both.insert(both.end(), radar_batch.begin(), radar_batch.end());
+
+    if (!ais_batch.empty()) ais_only.ProcessScan(ais_batch, t);
+    radar_only.ProcessScan(radar_batch, t);
+    fused.ProcessScan(both, t);
+
+    if (t >= Minutes(10)) {  // after track initiation
+      ++slots;
+      evaluate(ais_only, t, &sq_ais, &n_ais, &cov_ais);
+      int dummy = 0;
+      evaluate(radar_only, t, &sq_radar, &n_radar, &dummy);
+      evaluate(fused, t, &sq_fused, &n_fused, &cov_fused);
+    }
+  }
+
+  E7Row row;
+  row.radar_sigma = radar_sigma;
+  row.rmse_ais = n_ais == 0 ? -1 : std::sqrt(sq_ais / n_ais);
+  row.rmse_radar = n_radar == 0 ? -1 : std::sqrt(sq_radar / n_radar);
+  row.rmse_fused = n_fused == 0 ? -1 : std::sqrt(sq_fused / n_fused);
+  row.continuity_ais = static_cast<double>(cov_ais) / slots;
+  row.continuity_fused = static_cast<double>(cov_fused) / slots;
+  return row;
+}
+
+void PrintTable() {
+  std::printf("%12s %10s %12s %12s %14s %14s\n", "radar σ (m)", "RMSE AIS",
+              "RMSE radar", "RMSE fused", "contin. AIS", "contin. fused");
+  for (double sigma : {40.0, 80.0, 160.0}) {
+    const E7Row row = RunScene(sigma, 700 + static_cast<uint64_t>(sigma));
+    std::printf("%12.0f %10.1f %12.1f %12.1f %14.2f %14.2f\n", row.radar_sigma,
+                row.rmse_ais, row.rmse_radar, row.rmse_fused,
+                row.continuity_ais, row.continuity_fused);
+  }
+  std::printf(
+      "\nexpected shape: fused RMSE <= radar-only RMSE; fused continuity\n"
+      "stays near 1.0 through the 40-minute AIS gap while AIS-only drops.\n");
+}
+
+void BM_FusedScene(benchmark::State& state) {
+  E7Row row{};
+  for (auto _ : state) {
+    row = RunScene(80.0, 701);
+    benchmark::DoNotOptimize(row);
+  }
+  state.counters["rmse_fused_m"] = row.rmse_fused;
+  state.counters["continuity_fused"] = row.continuity_fused;
+  state.counters["continuity_ais_only"] = row.continuity_ais;
+}
+BENCHMARK(BM_FusedScene)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace marlin
+
+int main(int argc, char** argv) {
+  marlin::bench::Banner(
+      "E7: AIS+radar fusion accuracy & continuity (§2.4)",
+      "fusion \"compensating for the lack of coverage and increasing "
+      "accuracy\"");
+  marlin::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

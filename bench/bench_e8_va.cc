@@ -1,0 +1,122 @@
+// E8 — Multi-resolution visual analytics aggregation (§3.2).
+//
+// Paper: "scalable spatio-temporal analytical querying, such as drill-down /
+// zoom-in and on user-defined spatio-temporal regions of interest" and
+// "building situation overview ... at desired scales and levels of detail".
+//
+// Benchmarks density-grid construction across resolutions, zoom-out
+// coarsening, drill-down rebuilds, and situation-snapshot computation.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "core/pipeline.h"
+#include "va/density.h"
+#include "va/flows.h"
+#include "va/situation.h"
+
+namespace marlin {
+namespace {
+
+ScenarioConfig VaConfig() {
+  ScenarioConfig config;
+  config.seed = 88;
+  config.duration = 6 * kMillisPerHour;
+  config.transit_vessels = 80;
+  config.fishing_vessels = 15;
+  config.loiter_vessels = 5;
+  config.rendezvous_pairs = 0;
+  config.dark_vessels = 0;
+  config.spoof_identity_vessels = 0;
+  config.spoof_teleport_vessels = 0;
+  config.perfect_reception = true;
+  return config;
+}
+
+void BM_DensityBuild(benchmark::State& state) {
+  const ScenarioOutput& scenario = bench::SharedScenario(VaConfig());
+  const double cell_deg = static_cast<double>(state.range(0)) / 1000.0;
+  const BoundingBox bounds = bench::SharedWorld().Bounds().Expanded(0.5);
+  size_t cells = 0;
+  double points = 0;
+  for (auto _ : state) {
+    DensityGrid grid(bounds, cell_deg);
+    for (const auto& [mmsi, traj] : scenario.truth) {
+      grid.AddTrajectory(traj);
+    }
+    cells = static_cast<size_t>(grid.rows()) * grid.cols();
+    points = grid.TotalWeight();
+    benchmark::DoNotOptimize(grid);
+  }
+  state.counters["cells"] = static_cast<double>(cells);
+  state.counters["points"] = points;
+  state.counters["points_per_s"] =
+      benchmark::Counter(points * state.iterations(),
+                         benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DensityBuild)
+    ->Arg(20)    // 0.02°
+    ->Arg(100)   // 0.1°
+    ->Arg(500)   // 0.5°
+    ->Arg(2000)  // 2.0°
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ZoomOutCoarsen(benchmark::State& state) {
+  const ScenarioOutput& scenario = bench::SharedScenario(VaConfig());
+  const BoundingBox bounds = bench::SharedWorld().Bounds().Expanded(0.5);
+  DensityGrid fine(bounds, 0.02);
+  for (const auto& [mmsi, traj] : scenario.truth) fine.AddTrajectory(traj);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fine.Coarsen(10));
+  }
+}
+BENCHMARK(BM_ZoomOutCoarsen)->Unit(benchmark::kMillisecond);
+
+void BM_DrillDownRebuild(benchmark::State& state) {
+  const ScenarioOutput& scenario = bench::SharedScenario(VaConfig());
+  const Port& port = bench::SharedWorld().ports()[6];
+  const BoundingBox region(port.position.lat - 0.5, port.position.lon - 0.5,
+                           port.position.lat + 0.5, port.position.lon + 0.5);
+  for (auto _ : state) {
+    DensityGrid detail = DensityGrid::DrillDown(region, 0.005);
+    for (const auto& [mmsi, traj] : scenario.truth) {
+      detail.AddTrajectory(traj);
+    }
+    benchmark::DoNotOptimize(detail);
+  }
+}
+BENCHMARK(BM_DrillDownRebuild)->Unit(benchmark::kMillisecond);
+
+void BM_SituationSnapshot(benchmark::State& state) {
+  const ScenarioOutput& scenario = bench::SharedScenario(VaConfig());
+  const World& world = bench::SharedWorld();
+  static MaritimePipeline* pipeline = [] {
+    auto* p = new MaritimePipeline(PipelineConfig{},
+                                   &bench::SharedWorld().zones(), nullptr,
+                                   nullptr, nullptr);
+    p->Run(bench::SharedScenario(VaConfig()).nmea);
+    return p;
+  }();
+  SituationOverview overview(&pipeline->store(), &world.zones(),
+                             &pipeline->coverage());
+  const Timestamp probe = scenario.nmea.back().event_time;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(overview.Snapshot(probe));
+  }
+  state.counters["vessels"] =
+      static_cast<double>(pipeline->store().VesselCount());
+}
+BENCHMARK(BM_SituationSnapshot)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace marlin
+
+int main(int argc, char** argv) {
+  marlin::bench::Banner(
+      "E8: multi-resolution aggregation & situation overview (§3.2)",
+      "\"drill-down / zoom-in\" querying and \"situation overview ... at "
+      "desired scales and levels of detail\"");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,171 @@
+// E9 — Trajectory prediction at different time scales (§3.1).
+//
+// Paper: "algorithms for the prediction of anticipated vessel trajectories
+// at different time scale, which is fundamental to achieve early warning
+// maritime monitoring."
+//
+// Historical basin traffic trains the flow-field predictor; unseen vessels
+// are forecast at 1–60 minute horizons by dead reckoning, constant-turn and
+// the flow field. The reproduced shape: route-aware prediction overtakes
+// dead reckoning as the horizon grows past the typical time-to-next-turn.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <map>
+
+#include "bench_util.h"
+#include "core/forecast.h"
+#include "common/units.h"
+#include "geo/geodesy.h"
+
+namespace marlin {
+namespace {
+
+ScenarioConfig TrainConfig() {
+  ScenarioConfig config;
+  config.seed = 99;
+  config.duration = 8 * kMillisPerHour;
+  config.transit_vessels = 50;
+  config.fishing_vessels = 0;
+  config.loiter_vessels = 0;
+  config.rendezvous_pairs = 0;
+  config.dark_vessels = 0;
+  config.spoof_identity_vessels = 0;
+  config.spoof_teleport_vessels = 0;
+  config.perfect_reception = true;
+  return config;
+}
+
+const FlowFieldForecaster& TrainedFlow() {
+  static const FlowFieldForecaster flow = [] {
+    FlowFieldForecaster f;
+    for (const auto& [mmsi, traj] :
+         bench::SharedScenario(TrainConfig()).truth) {
+      f.Train(traj);
+    }
+    return f;
+  }();
+  return flow;
+}
+
+const ScenarioOutput& EvalScenario() {
+  static const ScenarioOutput scenario = [] {
+    ScenarioConfig config = TrainConfig();
+    config.seed = 909;
+    config.transit_vessels = 12;
+    return GenerateScenario(bench::SharedWorld(), config);
+  }();
+  return scenario;
+}
+
+using ErrorTable = std::map<std::string, std::map<double, double>>;
+
+/// `turning_only`: restrict to forecasts whose truth path changes course by
+/// ≥ 30° within the horizon — the situations where route knowledge can pay
+/// (on straight legs every sane predictor is near-exact and equal).
+ErrorTable ComputeErrors(bool turning_only) {
+  const std::vector<double> horizons = {60, 300, 900, 1800, 3600};
+  DeadReckoningForecaster dr;
+  ConstantTurnForecaster ct;
+  const FlowFieldForecaster& flow = TrainedFlow();
+  ErrorTable table;
+  std::map<std::string, std::map<double, int>> counts;
+  for (const auto& [mmsi, traj] : EvalScenario().truth) {
+    const auto& pts = traj.points;
+    for (size_t i = 30; i < pts.size(); i += 90) {
+      if (pts[i].sog_mps < 0.5) continue;  // moored: nothing to forecast
+      std::vector<TrajectoryPoint> recent(
+          pts.begin() + std::max<long>(0, static_cast<long>(i) - 29),
+          pts.begin() + static_cast<long>(i) + 1);
+      for (double h : horizons) {
+        const Timestamp target = pts[i].t + static_cast<Timestamp>(h * 1000);
+        if (target > traj.EndTime()) continue;
+        const TrajectoryPoint actual = traj.At(target);
+        if (turning_only) {
+          const double turn =
+              std::abs(AngleDifference(actual.cog_deg, pts[i].cog_deg));
+          if (turn < 30.0 || actual.sog_mps < 0.5) continue;
+        }
+        for (const Forecaster* f :
+             std::initializer_list<const Forecaster*>{&dr, &ct, &flow}) {
+          const GeoPoint predicted = f->Predict(recent, h);
+          table[f->name()][h] +=
+              HaversineDistance(predicted, actual.position);
+          counts[f->name()][h] += 1;
+        }
+      }
+    }
+  }
+  for (auto& [name, row] : table) {
+    for (auto& [h, sum] : row) {
+      const int n = counts[name][h];
+      if (n > 0) sum /= n;
+    }
+  }
+  return table;
+}
+
+void PrintOneTable(const char* title, const ErrorTable& table) {
+  std::printf("--- %s ---\n", title);
+  std::printf("%-16s", "mean error (m)");
+  for (double h : {60.0, 300.0, 900.0, 1800.0, 3600.0}) {
+    std::printf(" %7.0fs", h);
+  }
+  std::printf("\n");
+  for (const auto& [name, row] : table) {
+    std::printf("%-16s", name.c_str());
+    for (double h : {60.0, 300.0, 900.0, 1800.0, 3600.0}) {
+      auto it = row.find(h);
+      std::printf(" %8.0f", it == row.end() ? -1.0 : it->second);
+    }
+    std::printf("\n");
+  }
+  const auto& dr_row = table.at("dead-reckoning");
+  const auto& flow_row = table.at("flow-field");
+  double crossover = -1;
+  for (double h : {60.0, 300.0, 900.0, 1800.0, 3600.0}) {
+    if (dr_row.count(h) && flow_row.count(h) &&
+        flow_row.at(h) < dr_row.at(h)) {
+      crossover = h;
+      break;
+    }
+  }
+  if (crossover > 0) {
+    std::printf("flow-field overtakes dead reckoning at horizon >= %.0f s\n\n",
+                crossover);
+  } else {
+    std::printf("no crossover in the swept horizons\n\n");
+  }
+}
+
+void PrintTable() {
+  PrintOneTable("all forecasts", ComputeErrors(false));
+  PrintOneTable("forecasts crossing a turn >= 30 deg (early-warning cases)",
+                ComputeErrors(true));
+}
+
+void BM_ForecastSweep(benchmark::State& state) {
+  ErrorTable table;
+  for (auto _ : state) {
+    table = ComputeErrors(false);
+    benchmark::DoNotOptimize(table);
+  }
+  state.counters["dr_err_1800s"] = table["dead-reckoning"][1800.0];
+  state.counters["flow_err_1800s"] = table["flow-field"][1800.0];
+}
+BENCHMARK(BM_ForecastSweep)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace marlin
+
+int main(int argc, char** argv) {
+  marlin::bench::Banner(
+      "E9: anticipated trajectories at multiple time scales (§3.1)",
+      "\"prediction of anticipated vessel trajectories at different time "
+      "scale ... fundamental to achieve early warning\"");
+  marlin::PrintTable();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,49 @@
+#ifndef MARLIN_BENCH_BENCH_UTIL_H_
+#define MARLIN_BENCH_BENCH_UTIL_H_
+
+/// \file bench_util.h
+/// \brief Shared helpers for the experiment benchmarks (E1–E12, F1–F2).
+///
+/// Each bench binary regenerates one experiment from DESIGN.md §3 and prints
+/// a table headed by the experiment id, the paper's claim, and the measured
+/// result, so EXPERIMENTS.md can be cross-checked against raw output.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "sim/scenario.h"
+#include "sim/world.h"
+
+namespace marlin {
+namespace bench {
+
+/// \brief Prints the experiment banner.
+inline void Banner(const char* id, const char* claim) {
+  std::printf("\n===== %s =====\n", id);
+  std::printf("paper anchor: %s\n\n", claim);
+}
+
+/// \brief Lazily generated shared scenario (expensive; reused across
+/// benchmark repetitions within one binary).
+inline const ScenarioOutput& SharedScenario(const ScenarioConfig& config) {
+  static std::unique_ptr<World> world;
+  static std::unique_ptr<ScenarioOutput> scenario;
+  if (scenario == nullptr) {
+    world = std::make_unique<World>(World::Basin());
+    scenario = std::make_unique<ScenarioOutput>(
+        GenerateScenario(*world, config));
+  }
+  return *scenario;
+}
+
+/// \brief The shared basin world (matches SharedScenario's world).
+inline const World& SharedWorld() {
+  static const World world = World::Basin();
+  return world;
+}
+
+}  // namespace bench
+}  // namespace marlin
+
+#endif  // MARLIN_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,123 @@
+// Dark-vessel hunt: open-world reasoning + radar fusion over AIS gaps.
+//
+// The paper's §4 argument made executable: 27 % of ships "go dark" at least
+// 10 % of the time (Windward), so a closed-world query over AIS data alone
+// misses anything that happens inside a gap. This example
+//  1. seeds a fleet where a fraction of vessels silence their transponders,
+//  2. shows the closed-world / open-world difference for a rendezvous query,
+//  3. tasks a coastal radar and fuses its anonymous contacts to maintain
+//     tracks straight through the AIS gaps (§2.4 "compensating for the lack
+//     of coverage").
+//
+// Run: ./build/examples/dark_vessel_hunt
+
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "fusion/tracker.h"
+#include "geo/geodesy.h"
+#include "sim/radar.h"
+#include "sim/scenario.h"
+#include "sim/world.h"
+
+using namespace marlin;
+
+int main() {
+  const World world = World::Basin();
+  ScenarioConfig config;
+  config.seed = 31337;
+  config.duration = Hours(3);
+  config.transit_vessels = 10;
+  config.dark_vessels = 4;
+  config.rendezvous_pairs = 0;
+  config.fishing_vessels = 2;
+  config.loiter_vessels = 0;
+  config.spoof_identity_vessels = 0;
+  config.spoof_teleport_vessels = 0;
+  config.perfect_reception = true;
+  const ScenarioOutput scenario = GenerateScenario(world, config);
+
+  MaritimePipeline pipeline(PipelineConfig{}, &world.zones(), nullptr,
+                            nullptr, nullptr);
+  const auto events = pipeline.Run(scenario.nmea);
+
+  // --- Closed world vs open world ----------------------------------------
+  std::printf("=== dark periods detected from the AIS stream ===\n");
+  int dark_events = 0;
+  for (const auto& ev : events) {
+    if (ev.type != EventType::kDarkPeriod) continue;
+    ++dark_events;
+    std::printf("  vessel %u dark %s -> %s (%.0f min)\n", ev.vessel_a,
+                FormatTimestamp(ev.start).c_str(),
+                FormatTimestamp(ev.end).c_str(),
+                static_cast<double>(ev.end - ev.start) / kMillisPerMinute);
+  }
+  std::printf("  (%d dark periods)\n\n", dark_events);
+
+  std::printf("=== rendezvous query: closed vs open world ===\n");
+  int observed_rendezvous = 0;
+  for (const auto& ev : events) {
+    if (ev.type == EventType::kRendezvous) ++observed_rendezvous;
+  }
+  std::printf("closed-world answer: %d rendezvous observed\n",
+              observed_rendezvous);
+  // Open world: for each dark vessel, could it have met someone unseen?
+  int possible = 0;
+  for (const auto& ev : events) {
+    if (ev.type != EventType::kDarkPeriod) continue;
+    const Timestamp mid = (ev.start + ev.end) / 2;
+    if (pipeline.coverage().CouldHaveActedAt(ev.vessel_a, mid) ==
+        Verdict::kPossible) {
+      ++possible;
+      std::printf(
+          "open-world: vessel %u COULD have held a rendezvous around %s "
+          "(unobservable)\n",
+          ev.vessel_a, FormatTimestamp(mid).c_str());
+    }
+  }
+  if (possible == 0) std::printf("open-world: nothing hidden\n");
+
+  // --- Radar fusion across the gaps ---------------------------------------
+  std::printf("\n=== radar keeps tracking through AIS gaps ===\n");
+  RadarSite site;
+  site.position = world.Bounds().Center();
+  site.range_m = 500000.0;  // wide-area surveillance for the demo
+  site.scan_period = Minutes(1);
+  RadarSimulator radar(site, 99);
+  MultiTargetTracker tracker(site.position);
+
+  // Gap midpoints to probe while the tracker is live.
+  std::vector<std::pair<Mmsi, Timestamp>> probes;
+  for (const auto& truth : scenario.events) {
+    if (truth.type == TrueEventType::kDarkPeriod) {
+      probes.emplace_back(truth.vessel_a, (truth.start + truth.end) / 2);
+    }
+  }
+
+  const Timestamp t0 = config.start_time;
+  const Timestamp t1 = t0 + config.duration;
+  std::vector<std::pair<Mmsi, double>> coverage_at_midgap;
+  for (Timestamp t = t0; t <= t1; t += site.scan_period) {
+    tracker.ProcessScan(radar.Scan(scenario.truth, t), t);
+    for (const auto& [mmsi, mid] : probes) {
+      if (mid < t || mid >= t + site.scan_period) continue;
+      // The vessel is silent on AIS right now — what does radar know?
+      const TrajectoryPoint true_pos = scenario.truth.at(mmsi).At(t);
+      double best = 1e12;
+      for (const Track* track : tracker.ConfirmedTracks()) {
+        best = std::min(best, HaversineDistance(
+                                  tracker.TrackPosition(*track),
+                                  true_pos.position));
+      }
+      coverage_at_midgap.emplace_back(mmsi, best);
+    }
+  }
+  std::printf("confirmed radar tracks at end: %zu (fleet size %zu)\n",
+              tracker.ConfirmedTracks().size(), scenario.fleet.size());
+  for (const auto& [mmsi, best] : coverage_at_midgap) {
+    std::printf(
+        "  vessel %u mid-gap: nearest live radar track %.0f m from truth%s\n",
+        mmsi, best, best < 2000.0 ? "  [covered]" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Route forecasting: anticipated trajectories at multiple time scales.
+//
+// §3.1 of the paper calls for "prediction of anticipated vessel trajectories
+// at different time scale … fundamental to achieve early warning". This
+// example learns a motion flow field from a day of historical traffic, then
+// compares three predictors (dead reckoning, constant turn, flow field) at
+// 5/15/30/60-minute horizons on unseen vessels.
+//
+// Run: ./build/examples/route_forecasting
+
+#include <cstdio>
+#include <map>
+
+#include "core/forecast.h"
+#include "sim/scenario.h"
+#include "sim/world.h"
+
+using namespace marlin;
+
+int main() {
+  const World world = World::Basin();
+
+  // Historical traffic to learn from.
+  ScenarioConfig history_cfg;
+  history_cfg.seed = 1001;
+  history_cfg.duration = Hours(8);
+  history_cfg.transit_vessels = 40;
+  history_cfg.fishing_vessels = 0;
+  history_cfg.loiter_vessels = 0;
+  history_cfg.rendezvous_pairs = 0;
+  history_cfg.dark_vessels = 0;
+  history_cfg.spoof_identity_vessels = 0;
+  history_cfg.spoof_teleport_vessels = 0;
+  const ScenarioOutput history = GenerateScenario(world, history_cfg);
+
+  FlowFieldForecaster flow;
+  for (const auto& [mmsi, traj] : history.truth) {
+    flow.Train(traj);
+  }
+  std::printf("flow field learned from %zu vessels (%zu cells)\n\n",
+              history.truth.size(), flow.CellsUsed());
+
+  // Fresh, unseen traffic to forecast.
+  ScenarioConfig eval_cfg = history_cfg;
+  eval_cfg.seed = 2002;
+  eval_cfg.transit_vessels = 10;
+  const ScenarioOutput eval = GenerateScenario(world, eval_cfg);
+
+  DeadReckoningForecaster dr;
+  ConstantTurnForecaster ct;
+  const std::vector<double> horizons = {300, 900, 1800, 3600};
+
+  std::map<std::string, std::map<double, std::pair<double, int>>> table;
+  for (const auto& [mmsi, traj] : eval.truth) {
+    for (const Forecaster* forecaster :
+         std::initializer_list<const Forecaster*>{&dr, &ct, &flow}) {
+      for (const auto& sample :
+           EvaluateForecaster(*forecaster, traj, horizons, 30, 60)) {
+        auto& cell = table[forecaster->name()][sample.horizon_s];
+        cell.first += sample.error_m;
+        cell.second += 1;
+      }
+    }
+  }
+
+  std::printf("%-16s", "mean error (m)");
+  for (double h : horizons) std::printf("  %6.0f s", h);
+  std::printf("\n");
+  for (const auto& [name, row] : table) {
+    std::printf("%-16s", name.c_str());
+    for (double h : horizons) {
+      const auto it = row.find(h);
+      if (it == row.end() || it->second.second == 0) {
+        std::printf("  %8s", "-");
+      } else {
+        std::printf("  %8.0f", it->second.first / it->second.second);
+      }
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "\nExpected shape (paper §3.1): at short horizons dead reckoning is\n"
+      "hard to beat; as the horizon grows the route-aware predictor wins\n"
+      "because lanes curve and vessels turn at waypoints.\n");
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "ais/codec.h"
+
+#include "ais/messages.h"
+#include "ais/sixbit.h"
+
+namespace marlin {
+
+std::optional<AisMessage> AisDecoder::Decode(const std::string& line,
+                                             Timestamp received_at) {
+  ++stats_.lines_in;
+  // Optional NMEA 4.0 TAG block: the remote receiver's timestamp is the
+  // authoritative reception time (satellite feeds arrive minutes after the
+  // remote receiver heard them).
+  TagBlock tag;
+  Result<std::string> stripped = StripTagBlock(line, &tag);
+  if (!stripped.ok()) {
+    ++stats_.bad_sentences;
+    return std::nullopt;
+  }
+  if (tag.receiver_time != kInvalidTimestamp) {
+    received_at = tag.receiver_time;
+  }
+  Result<NmeaSentence> sentence = ParseSentence(*stripped);
+  if (!sentence.ok()) {
+    ++stats_.bad_sentences;
+    return std::nullopt;
+  }
+  Result<std::optional<AivdmAssembler::CompletePayload>> assembled =
+      assembler_.Add(*sentence, received_at);
+  if (!assembled.ok()) {
+    ++stats_.bad_sentences;
+    return std::nullopt;
+  }
+  if (!assembled->has_value()) {
+    ++stats_.pending_fragments;
+    return std::nullopt;
+  }
+  const AivdmAssembler::CompletePayload& payload = **assembled;
+  Result<std::vector<uint8_t>> bits =
+      UnarmorPayload(payload.payload, payload.fill_bits);
+  if (!bits.ok()) {
+    ++stats_.bad_payloads;
+    return std::nullopt;
+  }
+  Result<AisMessage> msg = DecodeMessageBits(*bits);
+  if (!msg.ok()) {
+    if (msg.status().IsNotImplemented()) {
+      ++stats_.unsupported_types;
+    } else {
+      ++stats_.bad_payloads;
+    }
+    return std::nullopt;
+  }
+  AisMessage out = std::move(*msg);
+  // Stamp receiver time on the payload types that carry it.
+  std::visit(
+      [received_at](auto& m) {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, ExtendedClassBReport>) {
+          m.position_report.received_at = received_at;
+        } else {
+          m.received_at = received_at;
+        }
+      },
+      out);
+  ++stats_.messages_out;
+  return out;
+}
+
+Result<std::vector<std::string>> AisEncoder::Encode(const AisMessage& msg) {
+  MARLIN_ASSIGN_OR_RETURN(std::vector<uint8_t> bits, EncodeMessageBits(msg));
+  int fill_bits = 0;
+  const std::string payload = ArmorBits(bits, &fill_bits);
+
+  std::vector<std::string> lines;
+  const int n = static_cast<int>(payload.size());
+  const int per_fragment = options_.max_payload_chars;
+  const int fragments = (n + per_fragment - 1) / per_fragment;
+  const int seq = fragments > 1 ? next_seq_id_ : -1;
+  if (fragments > 1) next_seq_id_ = (next_seq_id_ + 1) % 10;
+
+  for (int f = 0; f < fragments; ++f) {
+    NmeaSentence s;
+    s.talker = "AIVDM";
+    s.fragment_count = fragments;
+    s.fragment_number = f + 1;
+    s.sequential_id = seq;
+    s.channel = options_.channel;
+    s.payload = payload.substr(static_cast<size_t>(f) * per_fragment,
+                               per_fragment);
+    s.fill_bits = (f == fragments - 1) ? fill_bits : 0;
+    lines.push_back(FormatSentence(s));
+  }
+  return lines;
+}
+
+}  // namespace marlin

@@ -1,0 +1,72 @@
+#ifndef MARLIN_AIS_CODEC_H_
+#define MARLIN_AIS_CODEC_H_
+
+/// \file codec.h
+/// \brief Top-level AIS codec: NMEA lines ⇄ typed messages.
+
+#include <string>
+#include <vector>
+
+#include "ais/nmea.h"
+#include "ais/types.h"
+#include "common/result.h"
+
+namespace marlin {
+
+/// \brief Stream decoder: feed NMEA lines, receive decoded messages.
+///
+/// Handles checksum validation, multi-fragment reassembly, and bit-level
+/// decoding. Malformed input is counted, never fatal — a real feed contains
+/// garbage and the decoder must keep going (paper §1: veracity).
+class AisDecoder {
+ public:
+  struct Stats {
+    uint64_t lines_in = 0;
+    uint64_t messages_out = 0;
+    uint64_t bad_sentences = 0;     ///< checksum/format failures
+    uint64_t bad_payloads = 0;      ///< bit-level decode failures
+    uint64_t unsupported_types = 0; ///< valid but unimplemented types
+    uint64_t pending_fragments = 0; ///< sentences absorbed into groups
+  };
+
+  AisDecoder() = default;
+
+  /// \brief Decodes one NMEA line. Returns a message when one completes,
+  /// std::nullopt when the line was a fragment / unusable.
+  /// `received_at` stamps the decoded message.
+  std::optional<AisMessage> Decode(const std::string& line,
+                                   Timestamp received_at);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  AivdmAssembler assembler_;
+  Stats stats_;
+};
+
+/// \brief Encodes a message as one or more NMEA AIVDM sentences.
+///
+/// Payloads longer than `max_payload_chars` (default 60, the radio limit
+/// imposed by the 82-character NMEA sentence) are fragmented; `sequential_id`
+/// cycles 0..9 per encoder.
+class AisEncoder {
+ public:
+  struct Options {
+    int max_payload_chars = 60;
+    char channel = 'A';
+  };
+
+  AisEncoder() : AisEncoder(Options()) {}
+  explicit AisEncoder(const Options& options) : options_(options) {}
+
+  /// \brief Encodes `msg` into ready-to-transmit NMEA lines.
+  Result<std::vector<std::string>> Encode(const AisMessage& msg);
+
+ private:
+  Options options_;
+  int next_seq_id_ = 0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_AIS_CODEC_H_

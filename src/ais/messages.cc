@@ -1,0 +1,455 @@
+#include "ais/messages.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ais/sixbit.h"
+
+namespace marlin {
+namespace {
+
+// --- Wire quantisation helpers -------------------------------------------
+
+// Longitude/latitude are signed fields in 1/10000 arc-minute.
+int32_t QuantizeLon(double lon) {
+  return static_cast<int32_t>(std::lround(lon * 600000.0));
+}
+int32_t QuantizeLat(double lat) {
+  return static_cast<int32_t>(std::lround(lat * 600000.0));
+}
+double DequantizeLonLat(int32_t v) { return static_cast<double>(v) / 600000.0; }
+
+// SOG in 0.1 knot, capped at 102.2; 1023 = not available.
+uint32_t QuantizeSog(double knots) {
+  if (knots >= AisSentinels::kSpeedNotAvailable) return 1023;
+  return static_cast<uint32_t>(
+      std::clamp(std::lround(knots * 10.0), 0l, 1022l));
+}
+double DequantizeSog(uint32_t v) {
+  return v == 1023 ? AisSentinels::kSpeedNotAvailable : v / 10.0;
+}
+
+// COG in 0.1 degree; 3600 = not available.
+uint32_t QuantizeCog(double deg) {
+  if (deg >= AisSentinels::kCourseNotAvailable) return 3600;
+  return static_cast<uint32_t>(std::clamp(std::lround(deg * 10.0), 0l, 3599l));
+}
+double DequantizeCog(uint32_t v) {
+  return v >= 3600 ? AisSentinels::kCourseNotAvailable : v / 10.0;
+}
+
+struct CommonHeader {
+  int type = 0;
+  int repeat = 0;
+  Mmsi mmsi = 0;
+};
+
+Result<CommonHeader> ReadHeader(BitReader* r) {
+  CommonHeader h;
+  MARLIN_ASSIGN_OR_RETURN(uint32_t type, r->ReadUnsigned(6));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t repeat, r->ReadUnsigned(2));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t mmsi, r->ReadUnsigned(30));
+  h.type = static_cast<int>(type);
+  h.repeat = static_cast<int>(repeat);
+  h.mmsi = mmsi;
+  return h;
+}
+
+void WriteHeader(BitWriter* w, int type, int repeat, Mmsi mmsi) {
+  w->WriteUnsigned(static_cast<uint32_t>(type), 6);
+  w->WriteUnsigned(static_cast<uint32_t>(repeat), 2);
+  w->WriteUnsigned(mmsi, 30);
+}
+
+// --- Decoders --------------------------------------------------------------
+
+Result<AisMessage> DecodeClassAPosition(const CommonHeader& h, BitReader* r) {
+  PositionReport m;
+  m.message_type = h.type;
+  m.repeat_indicator = h.repeat;
+  m.mmsi = h.mmsi;
+  MARLIN_ASSIGN_OR_RETURN(uint32_t status, r->ReadUnsigned(4));
+  m.nav_status = static_cast<NavigationStatus>(status);
+  MARLIN_ASSIGN_OR_RETURN(int32_t rot, r->ReadSigned(8));
+  m.rate_of_turn = rot;
+  MARLIN_ASSIGN_OR_RETURN(uint32_t sog, r->ReadUnsigned(10));
+  m.sog_knots = DequantizeSog(sog);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t acc, r->ReadUnsigned(1));
+  m.position_accurate = acc != 0;
+  MARLIN_ASSIGN_OR_RETURN(int32_t lon, r->ReadSigned(28));
+  MARLIN_ASSIGN_OR_RETURN(int32_t lat, r->ReadSigned(27));
+  m.position = GeoPoint(DequantizeLonLat(lat), DequantizeLonLat(lon));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t cog, r->ReadUnsigned(12));
+  m.cog_deg = DequantizeCog(cog);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t hdg, r->ReadUnsigned(9));
+  m.true_heading = static_cast<int>(hdg);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t ts, r->ReadUnsigned(6));
+  m.utc_second = static_cast<int>(ts);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t man, r->ReadUnsigned(2));
+  m.maneuver_indicator = static_cast<int>(man);
+  MARLIN_RETURN_NOT_OK(r->Skip(3));  // spare
+  MARLIN_ASSIGN_OR_RETURN(uint32_t raim, r->ReadUnsigned(1));
+  m.raim = raim != 0;
+  MARLIN_ASSIGN_OR_RETURN(uint32_t radio, r->ReadUnsigned(19));
+  m.radio_status = radio;
+  return AisMessage(m);
+}
+
+Result<AisMessage> DecodeBaseStation(const CommonHeader& h, BitReader* r) {
+  BaseStationReport m;
+  m.repeat_indicator = h.repeat;
+  m.mmsi = h.mmsi;
+  MARLIN_ASSIGN_OR_RETURN(uint32_t year, r->ReadUnsigned(14));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t month, r->ReadUnsigned(4));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t day, r->ReadUnsigned(5));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t hour, r->ReadUnsigned(5));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t minute, r->ReadUnsigned(6));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t second, r->ReadUnsigned(6));
+  m.year = static_cast<int>(year);
+  m.month = static_cast<int>(month);
+  m.day = static_cast<int>(day);
+  m.hour = static_cast<int>(hour);
+  m.minute = static_cast<int>(minute);
+  m.second = static_cast<int>(second);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t acc, r->ReadUnsigned(1));
+  m.position_accurate = acc != 0;
+  MARLIN_ASSIGN_OR_RETURN(int32_t lon, r->ReadSigned(28));
+  MARLIN_ASSIGN_OR_RETURN(int32_t lat, r->ReadSigned(27));
+  m.position = GeoPoint(DequantizeLonLat(lat), DequantizeLonLat(lon));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t epfd, r->ReadUnsigned(4));
+  m.epfd_type = static_cast<int>(epfd);
+  MARLIN_RETURN_NOT_OK(r->Skip(10));  // spare
+  MARLIN_ASSIGN_OR_RETURN(uint32_t raim, r->ReadUnsigned(1));
+  m.raim = raim != 0;
+  MARLIN_ASSIGN_OR_RETURN(uint32_t radio, r->ReadUnsigned(19));
+  m.radio_status = radio;
+  return AisMessage(m);
+}
+
+Result<AisMessage> DecodeStaticVoyage(const CommonHeader& h, BitReader* r) {
+  StaticVoyageData m;
+  m.repeat_indicator = h.repeat;
+  m.mmsi = h.mmsi;
+  MARLIN_ASSIGN_OR_RETURN(uint32_t version, r->ReadUnsigned(2));
+  m.ais_version = static_cast<int>(version);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t imo, r->ReadUnsigned(30));
+  m.imo_number = imo;
+  MARLIN_ASSIGN_OR_RETURN(m.call_sign, r->ReadString(7));
+  MARLIN_ASSIGN_OR_RETURN(m.name, r->ReadString(20));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t stype, r->ReadUnsigned(8));
+  m.ship_type = static_cast<int>(stype);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t bow, r->ReadUnsigned(9));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t stern, r->ReadUnsigned(9));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t port, r->ReadUnsigned(6));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t stbd, r->ReadUnsigned(6));
+  m.dim_to_bow_m = static_cast<int>(bow);
+  m.dim_to_stern_m = static_cast<int>(stern);
+  m.dim_to_port_m = static_cast<int>(port);
+  m.dim_to_starboard_m = static_cast<int>(stbd);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t epfd, r->ReadUnsigned(4));
+  m.epfd_type = static_cast<int>(epfd);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t emonth, r->ReadUnsigned(4));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t eday, r->ReadUnsigned(5));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t ehour, r->ReadUnsigned(5));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t eminute, r->ReadUnsigned(6));
+  m.eta_month = static_cast<int>(emonth);
+  m.eta_day = static_cast<int>(eday);
+  m.eta_hour = static_cast<int>(ehour);
+  m.eta_minute = static_cast<int>(eminute);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t draught, r->ReadUnsigned(8));
+  m.draught_m = draught / 10.0;
+  MARLIN_ASSIGN_OR_RETURN(m.destination, r->ReadString(20));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t dte, r->ReadUnsigned(1));
+  m.dte = dte == 0;  // wire: 0 = DTE available
+  return AisMessage(m);
+}
+
+Result<AisMessage> DecodeClassBPosition(const CommonHeader& h, BitReader* r) {
+  PositionReport m;
+  m.message_type = 18;
+  m.repeat_indicator = h.repeat;
+  m.mmsi = h.mmsi;
+  MARLIN_RETURN_NOT_OK(r->Skip(8));  // regional reserved
+  MARLIN_ASSIGN_OR_RETURN(uint32_t sog, r->ReadUnsigned(10));
+  m.sog_knots = DequantizeSog(sog);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t acc, r->ReadUnsigned(1));
+  m.position_accurate = acc != 0;
+  MARLIN_ASSIGN_OR_RETURN(int32_t lon, r->ReadSigned(28));
+  MARLIN_ASSIGN_OR_RETURN(int32_t lat, r->ReadSigned(27));
+  m.position = GeoPoint(DequantizeLonLat(lat), DequantizeLonLat(lon));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t cog, r->ReadUnsigned(12));
+  m.cog_deg = DequantizeCog(cog);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t hdg, r->ReadUnsigned(9));
+  m.true_heading = static_cast<int>(hdg);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t ts, r->ReadUnsigned(6));
+  m.utc_second = static_cast<int>(ts);
+  MARLIN_RETURN_NOT_OK(r->Skip(2));  // regional reserved
+  MARLIN_RETURN_NOT_OK(r->Skip(5));  // CS/display/DSC/band/msg22 flags
+  MARLIN_RETURN_NOT_OK(r->Skip(1));  // assigned
+  MARLIN_ASSIGN_OR_RETURN(uint32_t raim, r->ReadUnsigned(1));
+  m.raim = raim != 0;
+  MARLIN_ASSIGN_OR_RETURN(uint32_t radio, r->ReadUnsigned(20));
+  m.radio_status = radio;
+  return AisMessage(m);
+}
+
+Result<AisMessage> DecodeExtendedClassBMsg(const CommonHeader& h,
+                                           BitReader* r) {
+  ExtendedClassBReport m;
+  PositionReport& p = m.position_report;
+  p.message_type = 19;
+  p.repeat_indicator = h.repeat;
+  p.mmsi = h.mmsi;
+  MARLIN_RETURN_NOT_OK(r->Skip(8));  // regional reserved
+  MARLIN_ASSIGN_OR_RETURN(uint32_t sog, r->ReadUnsigned(10));
+  p.sog_knots = DequantizeSog(sog);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t acc, r->ReadUnsigned(1));
+  p.position_accurate = acc != 0;
+  MARLIN_ASSIGN_OR_RETURN(int32_t lon, r->ReadSigned(28));
+  MARLIN_ASSIGN_OR_RETURN(int32_t lat, r->ReadSigned(27));
+  p.position = GeoPoint(DequantizeLonLat(lat), DequantizeLonLat(lon));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t cog, r->ReadUnsigned(12));
+  p.cog_deg = DequantizeCog(cog);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t hdg, r->ReadUnsigned(9));
+  p.true_heading = static_cast<int>(hdg);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t ts, r->ReadUnsigned(6));
+  p.utc_second = static_cast<int>(ts);
+  MARLIN_RETURN_NOT_OK(r->Skip(4));  // regional reserved
+  MARLIN_ASSIGN_OR_RETURN(m.name, r->ReadString(20));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t stype, r->ReadUnsigned(8));
+  m.ship_type = static_cast<int>(stype);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t bow, r->ReadUnsigned(9));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t stern, r->ReadUnsigned(9));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t port, r->ReadUnsigned(6));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t stbd, r->ReadUnsigned(6));
+  m.dim_to_bow_m = static_cast<int>(bow);
+  m.dim_to_stern_m = static_cast<int>(stern);
+  m.dim_to_port_m = static_cast<int>(port);
+  m.dim_to_starboard_m = static_cast<int>(stbd);
+  MARLIN_ASSIGN_OR_RETURN(uint32_t epfd, r->ReadUnsigned(4));
+  m.epfd_type = static_cast<int>(epfd);
+  MARLIN_RETURN_NOT_OK(r->Skip(1));  // raim
+  MARLIN_ASSIGN_OR_RETURN(uint32_t dte, r->ReadUnsigned(1));
+  m.dte = dte == 0;
+  return AisMessage(m);
+}
+
+Result<AisMessage> DecodeStaticData(const CommonHeader& h, BitReader* r) {
+  StaticDataReport m;
+  m.repeat_indicator = h.repeat;
+  m.mmsi = h.mmsi;
+  MARLIN_ASSIGN_OR_RETURN(uint32_t part, r->ReadUnsigned(2));
+  m.part_number = static_cast<int>(part);
+  if (m.part_number == 0) {
+    MARLIN_ASSIGN_OR_RETURN(m.name, r->ReadString(20));
+    return AisMessage(m);
+  }
+  if (m.part_number != 1) {
+    return Status::Corruption("type 24 part number must be 0 or 1");
+  }
+  MARLIN_ASSIGN_OR_RETURN(uint32_t stype, r->ReadUnsigned(8));
+  m.ship_type = static_cast<int>(stype);
+  MARLIN_ASSIGN_OR_RETURN(m.vendor_id, r->ReadString(3));
+  MARLIN_RETURN_NOT_OK(r->Skip(4));   // unit model code
+  MARLIN_RETURN_NOT_OK(r->Skip(20));  // serial number
+  MARLIN_ASSIGN_OR_RETURN(m.call_sign, r->ReadString(7));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t bow, r->ReadUnsigned(9));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t stern, r->ReadUnsigned(9));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t port, r->ReadUnsigned(6));
+  MARLIN_ASSIGN_OR_RETURN(uint32_t stbd, r->ReadUnsigned(6));
+  m.dim_to_bow_m = static_cast<int>(bow);
+  m.dim_to_stern_m = static_cast<int>(stern);
+  m.dim_to_port_m = static_cast<int>(port);
+  m.dim_to_starboard_m = static_cast<int>(stbd);
+  return AisMessage(m);
+}
+
+}  // namespace
+
+Result<AisMessage> DecodeMessageBits(const std::vector<uint8_t>& bits) {
+  if (bits.size() < 38) {
+    return Status::Corruption("AIS payload shorter than common header");
+  }
+  BitReader r(bits);
+  MARLIN_ASSIGN_OR_RETURN(CommonHeader h, ReadHeader(&r));
+  switch (h.type) {
+    case 1:
+    case 2:
+    case 3:
+      return DecodeClassAPosition(h, &r);
+    case 4:
+      return DecodeBaseStation(h, &r);
+    case 5:
+      return DecodeStaticVoyage(h, &r);
+    case 18:
+      return DecodeClassBPosition(h, &r);
+    case 19:
+      return DecodeExtendedClassBMsg(h, &r);
+    case 24:
+      return DecodeStaticData(h, &r);
+    default:
+      return Status::NotImplemented("unsupported AIS message type " +
+                                    std::to_string(h.type));
+  }
+}
+
+Result<std::vector<uint8_t>> EncodePositionReport(const PositionReport& m) {
+  BitWriter w;
+  if (m.message_type == 18) {
+    WriteHeader(&w, 18, m.repeat_indicator, m.mmsi);
+    w.WriteUnsigned(0, 8);  // regional reserved
+    w.WriteUnsigned(QuantizeSog(m.sog_knots), 10);
+    w.WriteUnsigned(m.position_accurate ? 1 : 0, 1);
+    w.WriteSigned(QuantizeLon(m.position.lon), 28);
+    w.WriteSigned(QuantizeLat(m.position.lat), 27);
+    w.WriteUnsigned(QuantizeCog(m.cog_deg), 12);
+    w.WriteUnsigned(static_cast<uint32_t>(m.true_heading), 9);
+    w.WriteUnsigned(static_cast<uint32_t>(m.utc_second), 6);
+    w.WriteUnsigned(0, 2);  // regional reserved
+    w.WriteUnsigned(0b11000, 5);  // CS unit, no display, no DSC
+    w.WriteUnsigned(0, 1);  // not assigned
+    w.WriteUnsigned(m.raim ? 1 : 0, 1);
+    w.WriteUnsigned(m.radio_status & 0xFFFFF, 20);
+    return w.bits();
+  }
+  if (m.message_type < 1 || m.message_type > 3) {
+    return Status::Invalid("position report type must be 1, 2, 3, or 18");
+  }
+  WriteHeader(&w, m.message_type, m.repeat_indicator, m.mmsi);
+  w.WriteUnsigned(static_cast<uint32_t>(m.nav_status), 4);
+  w.WriteSigned(m.rate_of_turn, 8);
+  w.WriteUnsigned(QuantizeSog(m.sog_knots), 10);
+  w.WriteUnsigned(m.position_accurate ? 1 : 0, 1);
+  w.WriteSigned(QuantizeLon(m.position.lon), 28);
+  w.WriteSigned(QuantizeLat(m.position.lat), 27);
+  w.WriteUnsigned(QuantizeCog(m.cog_deg), 12);
+  w.WriteUnsigned(static_cast<uint32_t>(m.true_heading), 9);
+  w.WriteUnsigned(static_cast<uint32_t>(m.utc_second), 6);
+  w.WriteUnsigned(static_cast<uint32_t>(m.maneuver_indicator), 2);
+  w.WriteUnsigned(0, 3);  // spare
+  w.WriteUnsigned(m.raim ? 1 : 0, 1);
+  w.WriteUnsigned(m.radio_status & 0x7FFFF, 19);
+  return w.bits();
+}
+
+Result<std::vector<uint8_t>> EncodeBaseStationReport(
+    const BaseStationReport& m) {
+  BitWriter w;
+  WriteHeader(&w, 4, m.repeat_indicator, m.mmsi);
+  w.WriteUnsigned(static_cast<uint32_t>(m.year), 14);
+  w.WriteUnsigned(static_cast<uint32_t>(m.month), 4);
+  w.WriteUnsigned(static_cast<uint32_t>(m.day), 5);
+  w.WriteUnsigned(static_cast<uint32_t>(m.hour), 5);
+  w.WriteUnsigned(static_cast<uint32_t>(m.minute), 6);
+  w.WriteUnsigned(static_cast<uint32_t>(m.second), 6);
+  w.WriteUnsigned(m.position_accurate ? 1 : 0, 1);
+  w.WriteSigned(QuantizeLon(m.position.lon), 28);
+  w.WriteSigned(QuantizeLat(m.position.lat), 27);
+  w.WriteUnsigned(static_cast<uint32_t>(m.epfd_type), 4);
+  w.WriteUnsigned(0, 10);  // spare
+  w.WriteUnsigned(m.raim ? 1 : 0, 1);
+  w.WriteUnsigned(m.radio_status & 0x7FFFF, 19);
+  return w.bits();
+}
+
+Result<std::vector<uint8_t>> EncodeStaticVoyageData(const StaticVoyageData& m) {
+  BitWriter w;
+  WriteHeader(&w, 5, m.repeat_indicator, m.mmsi);
+  w.WriteUnsigned(static_cast<uint32_t>(m.ais_version), 2);
+  w.WriteUnsigned(m.imo_number, 30);
+  w.WriteString(m.call_sign, 7);
+  w.WriteString(m.name, 20);
+  w.WriteUnsigned(static_cast<uint32_t>(m.ship_type), 8);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_bow_m), 9);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_stern_m), 9);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_port_m), 6);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_starboard_m), 6);
+  w.WriteUnsigned(static_cast<uint32_t>(m.epfd_type), 4);
+  w.WriteUnsigned(static_cast<uint32_t>(m.eta_month), 4);
+  w.WriteUnsigned(static_cast<uint32_t>(m.eta_day), 5);
+  w.WriteUnsigned(static_cast<uint32_t>(m.eta_hour), 5);
+  w.WriteUnsigned(static_cast<uint32_t>(m.eta_minute), 6);
+  w.WriteUnsigned(
+      static_cast<uint32_t>(std::clamp(std::lround(m.draught_m * 10), 0l, 255l)),
+      8);
+  w.WriteString(m.destination, 20);
+  w.WriteUnsigned(m.dte ? 0 : 1, 1);  // wire: 0 = DTE available
+  w.WriteUnsigned(0, 1);              // spare
+  return w.bits();
+}
+
+Result<std::vector<uint8_t>> EncodeExtendedClassB(
+    const ExtendedClassBReport& m) {
+  const PositionReport& p = m.position_report;
+  BitWriter w;
+  WriteHeader(&w, 19, p.repeat_indicator, p.mmsi);
+  w.WriteUnsigned(0, 8);  // regional reserved
+  w.WriteUnsigned(QuantizeSog(p.sog_knots), 10);
+  w.WriteUnsigned(p.position_accurate ? 1 : 0, 1);
+  w.WriteSigned(QuantizeLon(p.position.lon), 28);
+  w.WriteSigned(QuantizeLat(p.position.lat), 27);
+  w.WriteUnsigned(QuantizeCog(p.cog_deg), 12);
+  w.WriteUnsigned(static_cast<uint32_t>(p.true_heading), 9);
+  w.WriteUnsigned(static_cast<uint32_t>(p.utc_second), 6);
+  w.WriteUnsigned(0, 4);  // regional reserved
+  w.WriteString(m.name, 20);
+  w.WriteUnsigned(static_cast<uint32_t>(m.ship_type), 8);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_bow_m), 9);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_stern_m), 9);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_port_m), 6);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_starboard_m), 6);
+  w.WriteUnsigned(static_cast<uint32_t>(m.epfd_type), 4);
+  w.WriteUnsigned(0, 1);  // raim
+  w.WriteUnsigned(m.dte ? 0 : 1, 1);
+  w.WriteUnsigned(0, 1);  // assigned-mode flag
+  w.WriteUnsigned(0, 4);  // spare
+  return w.bits();
+}
+
+Result<std::vector<uint8_t>> EncodeStaticDataReport(const StaticDataReport& m) {
+  BitWriter w;
+  WriteHeader(&w, 24, m.repeat_indicator, m.mmsi);
+  w.WriteUnsigned(static_cast<uint32_t>(m.part_number), 2);
+  if (m.part_number == 0) {
+    w.WriteString(m.name, 20);
+    return w.bits();
+  }
+  if (m.part_number != 1) {
+    return Status::Invalid("type 24 part number must be 0 or 1");
+  }
+  w.WriteUnsigned(static_cast<uint32_t>(m.ship_type), 8);
+  w.WriteString(m.vendor_id, 3);
+  w.WriteUnsigned(0, 4);   // unit model code
+  w.WriteUnsigned(0, 20);  // serial number
+  w.WriteString(m.call_sign, 7);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_bow_m), 9);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_stern_m), 9);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_port_m), 6);
+  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_starboard_m), 6);
+  w.WriteUnsigned(0, 6);  // spare
+  return w.bits();
+}
+
+Result<std::vector<uint8_t>> EncodeMessageBits(const AisMessage& msg) {
+  struct Visitor {
+    Result<std::vector<uint8_t>> operator()(const PositionReport& m) const {
+      return EncodePositionReport(m);
+    }
+    Result<std::vector<uint8_t>> operator()(const BaseStationReport& m) const {
+      return EncodeBaseStationReport(m);
+    }
+    Result<std::vector<uint8_t>> operator()(const StaticVoyageData& m) const {
+      return EncodeStaticVoyageData(m);
+    }
+    Result<std::vector<uint8_t>> operator()(
+        const ExtendedClassBReport& m) const {
+      return EncodeExtendedClassB(m);
+    }
+    Result<std::vector<uint8_t>> operator()(const StaticDataReport& m) const {
+      return EncodeStaticDataReport(m);
+    }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+}  // namespace marlin

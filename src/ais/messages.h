@@ -1,0 +1,42 @@
+#ifndef MARLIN_AIS_MESSAGES_H_
+#define MARLIN_AIS_MESSAGES_H_
+
+/// \file messages.h
+/// \brief Bit-exact encoders/decoders for the supported ITU-R M.1371
+/// message types. Encoding then decoding any supported message is lossless
+/// up to the wire quantisation (0.1 kt SOG, 1/10000 min positions, ...).
+
+#include <vector>
+
+#include "ais/types.h"
+#include "common/result.h"
+
+namespace marlin {
+
+/// \brief Decodes a raw bit vector into a typed AIS message.
+///
+/// Fails with Corruption for undersized payloads and NotImplemented for
+/// message types outside the supported set.
+Result<AisMessage> DecodeMessageBits(const std::vector<uint8_t>& bits);
+
+/// \brief Encodes a position report (types 1/2/3 or 18) to bits.
+Result<std::vector<uint8_t>> EncodePositionReport(const PositionReport& m);
+
+/// \brief Encodes a base-station report (type 4) to bits.
+Result<std::vector<uint8_t>> EncodeBaseStationReport(const BaseStationReport& m);
+
+/// \brief Encodes static & voyage data (type 5) to bits.
+Result<std::vector<uint8_t>> EncodeStaticVoyageData(const StaticVoyageData& m);
+
+/// \brief Encodes an extended Class-B report (type 19) to bits.
+Result<std::vector<uint8_t>> EncodeExtendedClassB(const ExtendedClassBReport& m);
+
+/// \brief Encodes Class-B static data (type 24, part A or B) to bits.
+Result<std::vector<uint8_t>> EncodeStaticDataReport(const StaticDataReport& m);
+
+/// \brief Encodes any supported message to bits.
+Result<std::vector<uint8_t>> EncodeMessageBits(const AisMessage& msg);
+
+}  // namespace marlin
+
+#endif  // MARLIN_AIS_MESSAGES_H_

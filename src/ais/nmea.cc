@@ -1,0 +1,197 @@
+#include "ais/nmea.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace marlin {
+
+uint8_t NmeaChecksum(const std::string& body) {
+  uint8_t sum = 0;
+  for (char c : body) sum ^= static_cast<uint8_t>(c);
+  return sum;
+}
+
+std::string FormatTagBlock(Timestamp receiver_time) {
+  // The `c:` parameter carries integer seconds per NMEA 4.0.
+  std::string body = "c:" + std::to_string(receiver_time / kMillisPerSecond);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "*%02X", NmeaChecksum(body));
+  return "\\" + body + buf + "\\";
+}
+
+Result<std::string> StripTagBlock(const std::string& line, TagBlock* tag) {
+  if (line.empty() || line[0] != '\\') return line;
+  const size_t end = line.find('\\', 1);
+  if (end == std::string::npos) {
+    return Status::Corruption("unterminated TAG block");
+  }
+  const std::string block = line.substr(1, end - 1);
+  const size_t star = block.rfind('*');
+  if (star == std::string::npos || star + 3 > block.size()) {
+    return Status::Corruption("TAG block missing checksum");
+  }
+  const std::string body = block.substr(0, star);
+  unsigned int expected = 0;
+  if (std::sscanf(block.c_str() + star + 1, "%2X", &expected) != 1 ||
+      NmeaChecksum(body) != static_cast<uint8_t>(expected)) {
+    return Status::Corruption("TAG block checksum mismatch");
+  }
+  if (tag != nullptr) {
+    for (const std::string& field : Split(body, ',')) {
+      if (StartsWith(field, "c:")) {
+        int64_t seconds = 0;
+        if (ParseInt64(field.substr(2), &seconds)) {
+          // Values above 1e12 are already milliseconds (providers vary).
+          tag->receiver_time = seconds > 1000000000000ll
+                                   ? seconds
+                                   : seconds * kMillisPerSecond;
+        }
+      } else if (StartsWith(field, "s:")) {
+        tag->source = field.substr(2);
+      }
+    }
+  }
+  return line.substr(end + 1);
+}
+
+std::string FormatSentence(const NmeaSentence& s) {
+  std::string body = s.talker;
+  body += ',';
+  body += std::to_string(s.fragment_count);
+  body += ',';
+  body += std::to_string(s.fragment_number);
+  body += ',';
+  if (s.sequential_id >= 0) body += std::to_string(s.sequential_id);
+  body += ',';
+  if (s.channel != '\0') body += s.channel;
+  body += ',';
+  body += s.payload;
+  body += ',';
+  body += std::to_string(s.fill_bits);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "*%02X", NmeaChecksum(body));
+  return "!" + body + buf;
+}
+
+Result<NmeaSentence> ParseSentence(const std::string& raw) {
+  std::string line(Trim(raw));
+  if (line.size() < 10 || line[0] != '!') {
+    return Status::Corruption("not an NMEA sentence: missing '!'");
+  }
+  const size_t star = line.rfind('*');
+  if (star == std::string::npos || star + 3 > line.size()) {
+    return Status::Corruption("missing NMEA checksum");
+  }
+  const std::string body = line.substr(1, star - 1);
+  const std::string cksum_hex = line.substr(star + 1, 2);
+  unsigned int expected = 0;
+  if (std::sscanf(cksum_hex.c_str(), "%2X", &expected) != 1) {
+    return Status::Corruption("malformed NMEA checksum field");
+  }
+  if (NmeaChecksum(body) != static_cast<uint8_t>(expected)) {
+    return Status::Corruption("NMEA checksum mismatch");
+  }
+
+  const std::vector<std::string> fields = Split(body, ',');
+  if (fields.size() != 7) {
+    return Status::Corruption("AIVDM sentence must have 7 fields");
+  }
+  NmeaSentence s;
+  s.talker = fields[0];
+  if (s.talker != "AIVDM" && s.talker != "AIVDO") {
+    return Status::Corruption("unsupported talker: " + s.talker);
+  }
+  int64_t v = 0;
+  if (!ParseInt64(fields[1], &v) || v < 1 || v > 9) {
+    return Status::Corruption("bad fragment count");
+  }
+  s.fragment_count = static_cast<int>(v);
+  if (!ParseInt64(fields[2], &v) || v < 1 || v > s.fragment_count) {
+    return Status::Corruption("bad fragment number");
+  }
+  s.fragment_number = static_cast<int>(v);
+  if (fields[3].empty()) {
+    s.sequential_id = -1;
+  } else if (ParseInt64(fields[3], &v) && v >= 0 && v <= 9) {
+    s.sequential_id = static_cast<int>(v);
+  } else {
+    return Status::Corruption("bad sequential message id");
+  }
+  s.channel = fields[4].empty() ? '\0' : fields[4][0];
+  s.payload = fields[5];
+  if (s.payload.empty()) return Status::Corruption("empty payload");
+  if (!ParseInt64(fields[6], &v) || v < 0 || v > 5) {
+    return Status::Corruption("bad fill bits");
+  }
+  s.fill_bits = static_cast<int>(v);
+  if (s.fragment_count > 1 && s.sequential_id < 0) {
+    return Status::Corruption("multi-fragment sentence without sequential id");
+  }
+  return s;
+}
+
+Result<std::optional<AivdmAssembler::CompletePayload>> AivdmAssembler::Add(
+    const NmeaSentence& s, Timestamp now) {
+  if (s.fragment_count == 1) {
+    CompletePayload done;
+    done.payload = s.payload;
+    done.fill_bits = s.fill_bits;
+    done.channel = s.channel;
+    return std::optional<CompletePayload>(std::move(done));
+  }
+
+  EvictExpired(now);
+  const GroupKey key{s.sequential_id, s.channel, s.fragment_count};
+  auto it = pending_.find(key);
+  if (it == pending_.end()) {
+    if (pending_.size() >= options_.max_pending_groups) {
+      // Drop the oldest group to bound memory under loss.
+      auto oldest = pending_.begin();
+      for (auto g = pending_.begin(); g != pending_.end(); ++g) {
+        if (g->second.first_seen < oldest->second.first_seen) oldest = g;
+      }
+      pending_.erase(oldest);
+    }
+    Group group;
+    group.fragments.resize(s.fragment_count);
+    group.first_seen = now;
+    group.channel = s.channel;
+    it = pending_.emplace(key, std::move(group)).first;
+  }
+  Group& group = it->second;
+  std::string& slot = group.fragments[s.fragment_number - 1];
+  if (!slot.empty()) {
+    // Duplicate fragment (VHF repeats); restart the group with this one.
+    slot = s.payload;
+  } else {
+    slot = s.payload;
+    ++group.received;
+  }
+  if (s.fragment_number == s.fragment_count) group.fill_bits = s.fill_bits;
+
+  if (group.received == s.fragment_count) {
+    CompletePayload done;
+    for (const auto& f : group.fragments) done.payload += f;
+    done.fill_bits = group.fill_bits;
+    done.channel = group.channel;
+    pending_.erase(it);
+    return std::optional<CompletePayload>(std::move(done));
+  }
+  return std::optional<CompletePayload>(std::nullopt);
+}
+
+size_t AivdmAssembler::EvictExpired(Timestamp now) {
+  size_t evicted = 0;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    if (now - it->second.first_seen > options_.timeout_ms) {
+      it = pending_.erase(it);
+      ++evicted;
+    } else {
+      ++it;
+    }
+  }
+  return evicted;
+}
+
+}  // namespace marlin

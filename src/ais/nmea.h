@@ -1,0 +1,116 @@
+#ifndef MARLIN_AIS_NMEA_H_
+#define MARLIN_AIS_NMEA_H_
+
+/// \file nmea.h
+/// \brief NMEA 0183 transport layer for AIS: AIVDM sentence parsing,
+/// checksum verification, and multi-fragment message assembly.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time.h"
+
+namespace marlin {
+
+/// \brief One parsed !AIVDM / !AIVDO sentence.
+struct NmeaSentence {
+  std::string talker = "AIVDM";  ///< "AIVDM" (received) or "AIVDO" (own ship)
+  int fragment_count = 1;
+  int fragment_number = 1;
+  int sequential_id = -1;        ///< -1 when the field is empty
+  char channel = 'A';            ///< 'A', 'B', or '\0' when empty
+  std::string payload;           ///< armored 6-bit payload
+  int fill_bits = 0;
+};
+
+/// \brief Computes the NMEA checksum (XOR of bytes between '!'/'$' and '*').
+uint8_t NmeaChecksum(const std::string& body);
+
+/// \brief NMEA 4.0 TAG block data relevant to AIS feeds.
+///
+/// Satellite and networked AIS providers prepend `\c:unixtime*hh\` blocks
+/// carrying the time of reception at the *remote* receiver — without it the
+/// shore system cannot recover event time for multi-minute-delayed messages
+/// (paper §1/§2.5 latency challenge).
+struct TagBlock {
+  /// Remote reception time (epoch ms); kInvalidTimestamp when absent.
+  Timestamp receiver_time = kInvalidTimestamp;
+  /// Source identifier (`s:` field), empty when absent.
+  std::string source;
+};
+
+/// \brief Renders a TAG block prefix `\c:<seconds>*hh\` for a sentence.
+std::string FormatTagBlock(Timestamp receiver_time);
+
+/// \brief Splits an optional leading TAG block from a line. Returns the
+/// remainder (the sentence proper) and fills `tag` when a valid block is
+/// present. Malformed blocks yield Corruption.
+Result<std::string> StripTagBlock(const std::string& line, TagBlock* tag);
+
+/// \brief Renders a sentence as a full "!AIVDM,...*hh" line.
+std::string FormatSentence(const NmeaSentence& s);
+
+/// \brief Parses and validates one NMEA line (checksum, field count, ranges).
+Result<NmeaSentence> ParseSentence(const std::string& line);
+
+/// \brief Reassembles multi-fragment AIVDM messages.
+///
+/// Feed sentences in arrival order; when a message is complete the combined
+/// payload is returned. Incomplete groups are evicted after
+/// `Options::timeout_ms` of arrival time to bound memory (matching receiver
+/// practice for lossy VHF links).
+class AivdmAssembler {
+ public:
+  struct Options {
+    DurationMs timeout_ms = 30 * kMillisPerSecond;
+    size_t max_pending_groups = 1024;
+  };
+
+  /// \brief A fully reassembled payload ready for bit-level decoding.
+  struct CompletePayload {
+    std::string payload;  ///< concatenated armored payload
+    int fill_bits = 0;    ///< fill bits of the *last* fragment
+    char channel = 'A';
+  };
+
+  AivdmAssembler() : AivdmAssembler(Options()) {}
+  explicit AivdmAssembler(const Options& options) : options_(options) {}
+
+  /// \brief Adds one sentence. Returns a payload when it completes a message,
+  /// an empty optional while a group is pending, or an error for
+  /// inconsistent fragments.
+  Result<std::optional<CompletePayload>> Add(const NmeaSentence& sentence,
+                                             Timestamp now);
+
+  /// \brief Number of partially assembled groups currently buffered.
+  size_t pending_groups() const { return pending_.size(); }
+
+  /// \brief Drops pending groups older than the timeout. Returns the number
+  /// evicted.
+  size_t EvictExpired(Timestamp now);
+
+ private:
+  struct Group {
+    std::vector<std::string> fragments;  // indexed by fragment_number-1
+    int received = 0;
+    int fill_bits = 0;
+    char channel = 'A';
+    Timestamp first_seen = 0;
+  };
+
+  // Key: (sequential_id, channel, fragment_count) — the practical uniqueness
+  // key for interleaved VHF groups.
+  using GroupKey = std::tuple<int, char, int>;
+
+  Options options_;
+  std::map<GroupKey, Group> pending_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_AIS_NMEA_H_

@@ -1,0 +1,132 @@
+#include "ais/sixbit.h"
+
+#include <cctype>
+
+namespace marlin {
+
+void BitWriter::WriteUnsigned(uint32_t value, int width) {
+  for (int i = width - 1; i >= 0; --i) {
+    bits_.push_back(static_cast<uint8_t>((value >> i) & 1u));
+  }
+}
+
+void BitWriter::WriteSigned(int32_t value, int width) {
+  WriteUnsigned(static_cast<uint32_t>(value) & ((width == 32)
+                                                    ? 0xFFFFFFFFu
+                                                    : ((1u << width) - 1u)),
+                width);
+}
+
+void BitWriter::WriteString(const std::string& text, int chars) {
+  for (int i = 0; i < chars; ++i) {
+    if (i < static_cast<int>(text.size())) {
+      WriteUnsigned(CharToSixBit(text[i]), 6);
+    } else {
+      WriteUnsigned(0, 6);  // '@' padding
+    }
+  }
+}
+
+Result<uint32_t> BitReader::ReadUnsigned(int width) {
+  if (width < 1 || width > 32) {
+    return Status::Invalid("bit field width out of range");
+  }
+  if (remaining() < width) {
+    return Status::OutOfRange("bit stream exhausted");
+  }
+  uint32_t v = 0;
+  for (int i = 0; i < width; ++i) {
+    v = (v << 1) | bits_[pos_++];
+  }
+  return v;
+}
+
+Result<int32_t> BitReader::ReadSigned(int width) {
+  MARLIN_ASSIGN_OR_RETURN(uint32_t raw, ReadUnsigned(width));
+  // Sign-extend from `width` bits.
+  if (width < 32 && (raw & (1u << (width - 1)))) {
+    raw |= ~((1u << width) - 1u);
+  }
+  return static_cast<int32_t>(raw);
+}
+
+Result<std::string> BitReader::ReadString(int chars) {
+  std::string out;
+  out.reserve(chars);
+  for (int i = 0; i < chars; ++i) {
+    MARLIN_ASSIGN_OR_RETURN(uint32_t v, ReadUnsigned(6));
+    out.push_back(SixBitToChar(v));
+  }
+  // Strip '@' padding and trailing spaces.
+  size_t end = out.find('@');
+  if (end != std::string::npos) out.resize(end);
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+Status BitReader::Skip(int width) {
+  if (remaining() < width) return Status::OutOfRange("bit stream exhausted");
+  pos_ += width;
+  return Status::OK();
+}
+
+std::string ArmorBits(const std::vector<uint8_t>& bits, int* fill_bits) {
+  std::string payload;
+  const int n = static_cast<int>(bits.size());
+  const int groups = (n + 5) / 6;
+  payload.reserve(groups);
+  int fill = groups * 6 - n;
+  for (int g = 0; g < groups; ++g) {
+    uint32_t v = 0;
+    for (int b = 0; b < 6; ++b) {
+      const int idx = g * 6 + b;
+      v = (v << 1) | (idx < n ? bits[idx] : 0);
+    }
+    // ITU armoring: add 48; values above 39 skip the 8 chars 'X'..'_'.
+    char c = static_cast<char>(v + 48);
+    if (v > 39) c = static_cast<char>(v + 56);
+    payload.push_back(c);
+  }
+  if (fill_bits != nullptr) *fill_bits = fill;
+  return payload;
+}
+
+Result<std::vector<uint8_t>> UnarmorPayload(const std::string& payload,
+                                            int fill_bits) {
+  if (fill_bits < 0 || fill_bits > 5) {
+    return Status::Invalid("fill bits must be 0..5");
+  }
+  std::vector<uint8_t> bits;
+  bits.reserve(payload.size() * 6);
+  for (char c : payload) {
+    int v = static_cast<unsigned char>(c) - 48;
+    if (v > 40) v -= 8;
+    if (v < 0 || v > 63) {
+      return Status::Corruption("invalid armoring character in AIS payload");
+    }
+    for (int b = 5; b >= 0; --b) {
+      bits.push_back(static_cast<uint8_t>((v >> b) & 1));
+    }
+  }
+  if (static_cast<int>(bits.size()) < fill_bits) {
+    return Status::Corruption("payload shorter than fill bits");
+  }
+  bits.resize(bits.size() - fill_bits);
+  return bits;
+}
+
+char SixBitToChar(uint32_t v) {
+  v &= 0x3F;
+  // 0..31 -> '@','A'..'Z','[','\',']','^','_' ; 32..63 -> ' '..'?'
+  return v < 32 ? static_cast<char>(v + 64) : static_cast<char>(v);
+}
+
+uint32_t CharToSixBit(char c) {
+  const unsigned char u =
+      static_cast<unsigned char>(std::toupper(static_cast<unsigned char>(c)));
+  if (u >= 64 && u < 96) return u - 64;  // '@'..'_'
+  if (u >= 32 && u < 64) return u;       // ' '..'?'
+  return 0;                              // outside alphabet -> '@'
+}
+
+}  // namespace marlin

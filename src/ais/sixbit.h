@@ -1,0 +1,90 @@
+#ifndef MARLIN_AIS_SIXBIT_H_
+#define MARLIN_AIS_SIXBIT_H_
+
+/// \file sixbit.h
+/// \brief Bit-level packing for ITU-R M.1371 AIS payloads.
+///
+/// AIS messages are dense bitfields transported as 6-bit-armored ASCII in
+/// NMEA AIVDM sentences. `BitWriter`/`BitReader` handle arbitrary-width
+/// big-endian fields, two's-complement signed fields, and the AIS 6-bit
+/// string alphabet; the armoring functions convert between raw bits and the
+/// ASCII payload characters.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace marlin {
+
+/// \brief Append-only big-endian bit stream builder.
+class BitWriter {
+ public:
+  /// \brief Appends the low `width` bits of `value`, MSB first. Width 1..32.
+  void WriteUnsigned(uint32_t value, int width);
+
+  /// \brief Appends a two's-complement signed field of `width` bits.
+  void WriteSigned(int32_t value, int width);
+
+  /// \brief Appends a string in the AIS 6-bit alphabet, padded/truncated to
+  /// exactly `chars` characters ('@' = 0 pads the tail).
+  void WriteString(const std::string& text, int chars);
+
+  /// \brief Number of bits written so far.
+  int size_bits() const { return static_cast<int>(bits_.size()); }
+
+  /// \brief The accumulated bits (each element 0/1).
+  const std::vector<uint8_t>& bits() const { return bits_; }
+
+ private:
+  std::vector<uint8_t> bits_;
+};
+
+/// \brief Sequential big-endian bit stream reader with bounds checking.
+class BitReader {
+ public:
+  explicit BitReader(const std::vector<uint8_t>& bits) : bits_(bits) {}
+
+  /// \brief Reads `width` bits as an unsigned value. Width 1..32.
+  Result<uint32_t> ReadUnsigned(int width);
+
+  /// \brief Reads `width` bits as a two's-complement signed value.
+  Result<int32_t> ReadSigned(int width);
+
+  /// \brief Reads `chars` characters of AIS 6-bit text; trailing '@' padding
+  /// and trailing spaces are stripped.
+  Result<std::string> ReadString(int chars);
+
+  /// \brief Skips `width` bits (spare fields).
+  Status Skip(int width);
+
+  int remaining() const { return static_cast<int>(bits_.size()) - pos_; }
+  int position() const { return pos_; }
+
+ private:
+  const std::vector<uint8_t>& bits_;
+  int pos_ = 0;
+};
+
+/// \brief Converts raw bits to the ASCII payload alphabet used in AIVDM
+/// sentences. `fill_bits` receives the number of zero bits appended to reach
+/// a 6-bit boundary.
+std::string ArmorBits(const std::vector<uint8_t>& bits, int* fill_bits);
+
+/// \brief Converts an AIVDM payload back to raw bits; `fill_bits` trailing
+/// bits are dropped. Fails on characters outside the armoring alphabet.
+Result<std::vector<uint8_t>> UnarmorPayload(const std::string& payload,
+                                            int fill_bits);
+
+/// \brief Maps a 6-bit value (0..63) to the AIS string alphabet character.
+char SixBitToChar(uint32_t v);
+
+/// \brief Maps an AIS text character to its 6-bit value; returns 0 ('@') for
+/// characters outside the alphabet.
+uint32_t CharToSixBit(char c);
+
+}  // namespace marlin
+
+#endif  // MARLIN_AIS_SIXBIT_H_

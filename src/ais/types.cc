@@ -1,0 +1,79 @@
+#include "ais/types.h"
+
+namespace marlin {
+
+ShipCategory ShipTypeToCategory(int ship_type) {
+  if (ship_type == 30) return ShipCategory::kFishing;
+  if (ship_type == 31 || ship_type == 32 || ship_type == 52) {
+    return ShipCategory::kTug;
+  }
+  if (ship_type == 35 || ship_type == 55) return ShipCategory::kLawEnforcement;
+  if (ship_type == 36 || ship_type == 37) return ShipCategory::kPleasureCraft;
+  const int decade = ship_type / 10;
+  switch (decade) {
+    case 4:
+      return ShipCategory::kHighSpeedCraft;
+    case 6:
+      return ShipCategory::kPassenger;
+    case 7:
+      return ShipCategory::kCargo;
+    case 8:
+      return ShipCategory::kTanker;
+    default:
+      break;
+  }
+  if (ship_type == 0) return ShipCategory::kUnknown;
+  return ShipCategory::kOther;
+}
+
+const char* ShipCategoryName(ShipCategory c) {
+  switch (c) {
+    case ShipCategory::kUnknown:
+      return "unknown";
+    case ShipCategory::kFishing:
+      return "fishing";
+    case ShipCategory::kTug:
+      return "tug";
+    case ShipCategory::kPassenger:
+      return "passenger";
+    case ShipCategory::kCargo:
+      return "cargo";
+    case ShipCategory::kTanker:
+      return "tanker";
+    case ShipCategory::kHighSpeedCraft:
+      return "high-speed-craft";
+    case ShipCategory::kPleasureCraft:
+      return "pleasure-craft";
+    case ShipCategory::kLawEnforcement:
+      return "law-enforcement";
+    case ShipCategory::kOther:
+      return "other";
+  }
+  return "unknown";
+}
+
+int MessageTypeOf(const AisMessage& msg) {
+  struct Visitor {
+    int operator()(const PositionReport& m) const { return m.message_type; }
+    int operator()(const BaseStationReport&) const { return 4; }
+    int operator()(const StaticVoyageData&) const { return 5; }
+    int operator()(const ExtendedClassBReport&) const { return 19; }
+    int operator()(const StaticDataReport&) const { return 24; }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+Mmsi MmsiOf(const AisMessage& msg) {
+  struct Visitor {
+    Mmsi operator()(const PositionReport& m) const { return m.mmsi; }
+    Mmsi operator()(const BaseStationReport& m) const { return m.mmsi; }
+    Mmsi operator()(const StaticVoyageData& m) const { return m.mmsi; }
+    Mmsi operator()(const ExtendedClassBReport& m) const {
+      return m.position_report.mmsi;
+    }
+    Mmsi operator()(const StaticDataReport& m) const { return m.mmsi; }
+  };
+  return std::visit(Visitor{}, msg);
+}
+
+}  // namespace marlin

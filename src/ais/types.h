@@ -1,0 +1,194 @@
+#ifndef MARLIN_AIS_TYPES_H_
+#define MARLIN_AIS_TYPES_H_
+
+/// \file types.h
+/// \brief Decoded AIS message representations (ITU-R M.1371 subset).
+///
+/// MARLIN implements the message types that carry the information the paper's
+/// pipeline consumes: Class-A position reports (1/2/3), base-station reports
+/// (4), static & voyage data (5), Class-B reports (18/19) and Class-B static
+/// data (24).
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+
+#include "common/time.h"
+#include "geo/point.h"
+
+namespace marlin {
+
+/// Maritime Mobile Service Identity (9 decimal digits).
+using Mmsi = uint32_t;
+
+/// \brief Navigation status field of Class-A position reports.
+enum class NavigationStatus : uint8_t {
+  kUnderWayUsingEngine = 0,
+  kAtAnchor = 1,
+  kNotUnderCommand = 2,
+  kRestrictedManoeuvrability = 3,
+  kConstrainedByDraught = 4,
+  kMoored = 5,
+  kAground = 6,
+  kEngagedInFishing = 7,
+  kUnderWaySailing = 8,
+  kReserved9 = 9,
+  kReserved10 = 10,
+  kPowerDrivenTowingAstern = 11,
+  kPowerDrivenPushingAhead = 12,
+  kReserved13 = 13,
+  kAisSartActive = 14,
+  kNotDefined = 15,
+};
+
+/// \brief Coarse vessel categories derived from the ITU ship-type code.
+enum class ShipCategory : uint8_t {
+  kUnknown = 0,
+  kFishing,
+  kTug,
+  kPassenger,
+  kCargo,
+  kTanker,
+  kHighSpeedCraft,
+  kPleasureCraft,
+  kLawEnforcement,
+  kOther,
+};
+
+/// \brief Maps the 2-digit ITU ship-type code to a coarse category.
+ShipCategory ShipTypeToCategory(int ship_type);
+
+/// \brief Human-readable name of a ship category.
+const char* ShipCategoryName(ShipCategory c);
+
+/// \brief Sentinel wire encodings defined by ITU-R M.1371.
+struct AisSentinels {
+  static constexpr double kSpeedNotAvailable = 102.3;   ///< SOG field 1023
+  static constexpr double kCourseNotAvailable = 360.0;  ///< COG field 3600
+  static constexpr int kHeadingNotAvailable = 511;
+  static constexpr double kLonNotAvailable = 181.0;
+  static constexpr double kLatNotAvailable = 91.0;
+  static constexpr int kTimestampNotAvailable = 60;
+  static constexpr int kRotNotAvailable = -128;
+};
+
+/// \brief Common position-report payload (types 1, 2, 3, 18, 19).
+struct PositionReport {
+  int message_type = 1;        ///< 1, 2, 3 (Class A) or 18, 19 (Class B)
+  int repeat_indicator = 0;
+  Mmsi mmsi = 0;
+  NavigationStatus nav_status = NavigationStatus::kNotDefined;  ///< A only
+  int rate_of_turn = AisSentinels::kRotNotAvailable;  ///< raw ROT_AIS, A only
+  double sog_knots = AisSentinels::kSpeedNotAvailable;
+  bool position_accurate = false;  ///< true = DGPS-quality (<10 m)
+  GeoPoint position;
+  double cog_deg = AisSentinels::kCourseNotAvailable;
+  int true_heading = AisSentinels::kHeadingNotAvailable;
+  int utc_second = AisSentinels::kTimestampNotAvailable;  ///< seconds 0..59
+  int maneuver_indicator = 0;                             ///< A only
+  bool raim = false;
+  uint32_t radio_status = 0;
+
+  /// Receiver-assigned arrival time (not part of the wire format).
+  Timestamp received_at = kInvalidTimestamp;
+
+  bool HasPosition() const { return position.IsValid(); }
+  bool HasSpeed() const {
+    return sog_knots < AisSentinels::kSpeedNotAvailable;
+  }
+  bool HasCourse() const {
+    return cog_deg < AisSentinels::kCourseNotAvailable;
+  }
+};
+
+/// \brief Base-station report (type 4): UTC reference + fixed position.
+struct BaseStationReport {
+  int repeat_indicator = 0;
+  Mmsi mmsi = 0;
+  int year = 0;    ///< 1..9999, 0 = N/A
+  int month = 0;   ///< 1..12, 0 = N/A
+  int day = 0;
+  int hour = 24;   ///< 24 = N/A
+  int minute = 60;
+  int second = 60;
+  bool position_accurate = false;
+  GeoPoint position;
+  int epfd_type = 0;
+  bool raim = false;
+  uint32_t radio_status = 0;
+  Timestamp received_at = kInvalidTimestamp;
+};
+
+/// \brief Static and voyage-related data (type 5, Class A).
+struct StaticVoyageData {
+  int repeat_indicator = 0;
+  Mmsi mmsi = 0;
+  int ais_version = 0;
+  uint32_t imo_number = 0;  ///< 0 = not available
+  std::string call_sign;
+  std::string name;
+  int ship_type = 0;        ///< ITU 2-digit code
+  int dim_to_bow_m = 0;
+  int dim_to_stern_m = 0;
+  int dim_to_port_m = 0;
+  int dim_to_starboard_m = 0;
+  int epfd_type = 0;
+  int eta_month = 0;        ///< 0 = N/A
+  int eta_day = 0;
+  int eta_hour = 24;
+  int eta_minute = 60;
+  double draught_m = 0.0;
+  std::string destination;
+  bool dte = true;
+  Timestamp received_at = kInvalidTimestamp;
+
+  int LengthMetres() const { return dim_to_bow_m + dim_to_stern_m; }
+  int BeamMetres() const { return dim_to_port_m + dim_to_starboard_m; }
+};
+
+/// \brief Extended Class-B report (type 19) adds static info to a position.
+struct ExtendedClassBReport {
+  PositionReport position_report;  ///< message_type == 19
+  std::string name;
+  int ship_type = 0;
+  int dim_to_bow_m = 0;
+  int dim_to_stern_m = 0;
+  int dim_to_port_m = 0;
+  int dim_to_starboard_m = 0;
+  int epfd_type = 0;
+  bool dte = true;
+};
+
+/// \brief Class-B static data (type 24), part A (name) or B (details).
+struct StaticDataReport {
+  int repeat_indicator = 0;
+  Mmsi mmsi = 0;
+  int part_number = 0;  ///< 0 = part A, 1 = part B
+  // Part A
+  std::string name;
+  // Part B
+  int ship_type = 0;
+  std::string vendor_id;
+  std::string call_sign;
+  int dim_to_bow_m = 0;
+  int dim_to_stern_m = 0;
+  int dim_to_port_m = 0;
+  int dim_to_starboard_m = 0;
+  Timestamp received_at = kInvalidTimestamp;
+};
+
+/// \brief Any decoded AIS message.
+using AisMessage =
+    std::variant<PositionReport, BaseStationReport, StaticVoyageData,
+                 ExtendedClassBReport, StaticDataReport>;
+
+/// \brief The numeric message type of a decoded message.
+int MessageTypeOf(const AisMessage& msg);
+
+/// \brief The sender MMSI of a decoded message.
+Mmsi MmsiOf(const AisMessage& msg);
+
+}  // namespace marlin
+
+#endif  // MARLIN_AIS_TYPES_H_

@@ -1,0 +1,140 @@
+#include "ais/validation.h"
+
+#include <cctype>
+
+namespace marlin {
+
+const char* StaticDataDefectName(StaticDataDefect d) {
+  switch (d) {
+    case StaticDataDefect::kInvalidMmsi:
+      return "invalid-mmsi";
+    case StaticDataDefect::kInvalidImoChecksum:
+      return "invalid-imo-checksum";
+    case StaticDataDefect::kMissingName:
+      return "missing-name";
+    case StaticDataDefect::kDefaultDimensions:
+      return "default-dimensions";
+    case StaticDataDefect::kImplausibleSize:
+      return "implausible-size";
+    case StaticDataDefect::kBadShipType:
+      return "bad-ship-type";
+    case StaticDataDefect::kBadEta:
+      return "bad-eta";
+    case StaticDataDefect::kCallSignFormat:
+      return "call-sign-format";
+  }
+  return "unknown";
+}
+
+bool IsValidVesselMmsi(Mmsi mmsi) {
+  if (mmsi < 100000000u || mmsi > 999999999u) return false;
+  const int mid = static_cast<int>(mmsi / 1000000u);
+  // ITU Maritime Identification Digits allocated to ship stations run from
+  // 201 (Albania) to 775 (Venezuela); 8xx/9xx prefixes are special services.
+  return mid >= 201 && mid <= 775;
+}
+
+bool IsValidImoNumber(uint32_t imo) {
+  if (imo < 1000000u || imo > 9999999u) return false;
+  uint32_t rest = imo / 10;
+  const uint32_t check = imo % 10;
+  uint32_t sum = 0;
+  for (int weight = 2; weight <= 7; ++weight) {
+    sum += (rest % 10) * weight;
+    rest /= 10;
+  }
+  return sum % 10 == check;
+}
+
+uint32_t MakeImoNumber(uint32_t six_digit_stem) {
+  uint32_t rest = six_digit_stem % 1000000u;
+  uint32_t sum = 0;
+  uint32_t digits = rest;
+  for (int weight = 2; weight <= 7; ++weight) {
+    sum += (digits % 10) * weight;
+    digits /= 10;
+  }
+  return rest * 10 + sum % 10;
+}
+
+namespace {
+
+bool IsReservedShipType(int t) {
+  if (t == 0) return false;  // "not available" is allowed, not a defect
+  if (t < 20 && t >= 1) return true;  // 1..19 reserved
+  if (t > 99) return true;
+  return false;
+}
+
+bool IsBadEta(const StaticVoyageData& m) {
+  // 0 month / day and 24:60 encode "not available" and are fine.
+  if (m.eta_month < 0 || m.eta_month > 12) return true;
+  if (m.eta_day < 0 || m.eta_day > 31) return true;
+  if (m.eta_hour < 0 || m.eta_hour > 24) return true;
+  if (m.eta_minute < 0 || m.eta_minute > 60) return true;
+  return false;
+}
+
+bool IsBadCallSign(const std::string& cs) {
+  for (char c : cs) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (!std::isalnum(u) && c != ' ') return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::vector<StaticDataDefect> ValidateStaticData(const StaticVoyageData& m) {
+  std::vector<StaticDataDefect> defects;
+  if (!IsValidVesselMmsi(m.mmsi)) {
+    defects.push_back(StaticDataDefect::kInvalidMmsi);
+  }
+  if (m.imo_number != 0 && !IsValidImoNumber(m.imo_number)) {
+    defects.push_back(StaticDataDefect::kInvalidImoChecksum);
+  }
+  if (m.name.empty()) {
+    defects.push_back(StaticDataDefect::kMissingName);
+  }
+  if (m.LengthMetres() == 0 && m.BeamMetres() == 0) {
+    defects.push_back(StaticDataDefect::kDefaultDimensions);
+  } else if (m.LengthMetres() > 460 || m.BeamMetres() > 70) {
+    defects.push_back(StaticDataDefect::kImplausibleSize);
+  }
+  if (IsReservedShipType(m.ship_type)) {
+    defects.push_back(StaticDataDefect::kBadShipType);
+  }
+  if (IsBadEta(m)) {
+    defects.push_back(StaticDataDefect::kBadEta);
+  }
+  if (IsBadCallSign(m.call_sign)) {
+    defects.push_back(StaticDataDefect::kCallSignFormat);
+  }
+  return defects;
+}
+
+void QualityAssessor::Observe(const AisMessage& msg) {
+  if (const auto* s = std::get_if<StaticVoyageData>(&msg)) {
+    ++report_.static_messages;
+    const auto defects = ValidateStaticData(*s);
+    if (!defects.empty()) ++report_.static_with_defects;
+    for (auto d : defects) {
+      ++report_.defect_counts[static_cast<int>(d)];
+    }
+    return;
+  }
+  if (const auto* p = std::get_if<PositionReport>(&msg)) {
+    ++report_.position_messages;
+    if (!p->HasPosition()) ++report_.invalid_positions;
+    if (!p->HasSpeed()) ++report_.speed_not_available;
+    return;
+  }
+  if (const auto* e = std::get_if<ExtendedClassBReport>(&msg)) {
+    ++report_.position_messages;
+    if (!e->position_report.HasPosition()) ++report_.invalid_positions;
+    if (!e->position_report.HasSpeed()) ++report_.speed_not_available;
+    return;
+  }
+}
+
+}  // namespace marlin

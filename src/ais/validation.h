@@ -1,0 +1,79 @@
+#ifndef MARLIN_AIS_VALIDATION_H_
+#define MARLIN_AIS_VALIDATION_H_
+
+/// \file validation.h
+/// \brief AIS data-quality assessment.
+///
+/// The paper (§1, citing Winkler [44]) reports that ~0.5 % of AIS static
+/// data transmissions carry errors of some kind, and §4 motivates quality-
+/// aware processing. This module implements the deterministic validity rules
+/// (MMSI structure, IMO check digit, dimension plausibility, field
+/// consistency) used by experiment E10.
+
+#include <string>
+#include <vector>
+
+#include "ais/types.h"
+
+namespace marlin {
+
+/// \brief Kinds of static-data defects the assessor can flag.
+enum class StaticDataDefect : uint8_t {
+  kInvalidMmsi,        ///< not a 9-digit vessel MMSI (MID 201..775)
+  kInvalidImoChecksum, ///< IMO number fails the weighted check digit
+  kMissingName,        ///< empty or all-'@' name
+  kDefaultDimensions,  ///< all dimension fields zero
+  kImplausibleSize,    ///< length > 460 m or beam > 70 m
+  kBadShipType,        ///< reserved/unused ITU code
+  kBadEta,             ///< impossible ETA month/day/hour/minute combination
+  kCallSignFormat,     ///< characters outside [A-Z0-9]
+};
+
+/// \brief Name of a defect kind for reports.
+const char* StaticDataDefectName(StaticDataDefect d);
+
+/// \brief True iff `mmsi` has 9 digits and a vessel-range MID prefix.
+bool IsValidVesselMmsi(Mmsi mmsi);
+
+/// \brief True iff `imo` passes the IMO check-digit rule
+/// (sum of first 6 digits × weights 7..2, last digit of sum = digit 7).
+bool IsValidImoNumber(uint32_t imo);
+
+/// \brief Computes a valid IMO number from a 6-digit stem (test data helper).
+uint32_t MakeImoNumber(uint32_t six_digit_stem);
+
+/// \brief Checks a static & voyage report against all deterministic rules.
+std::vector<StaticDataDefect> ValidateStaticData(const StaticVoyageData& m);
+
+/// \brief Aggregated quality statistics over a message stream.
+class QualityAssessor {
+ public:
+  struct Report {
+    uint64_t static_messages = 0;
+    uint64_t static_with_defects = 0;
+    uint64_t defect_counts[8] = {0};
+    uint64_t position_messages = 0;
+    uint64_t invalid_positions = 0;   ///< lat/lon out of range or N/A
+    uint64_t speed_not_available = 0;
+
+    /// Fraction of static transmissions with at least one defect
+    /// (paper benchmark: ~0.005).
+    double StaticErrorRate() const {
+      return static_messages == 0
+                 ? 0.0
+                 : static_cast<double>(static_with_defects) / static_messages;
+    }
+  };
+
+  /// \brief Feeds one decoded message into the running assessment.
+  void Observe(const AisMessage& msg);
+
+  const Report& report() const { return report_; }
+
+ private:
+  Report report_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_AIS_VALIDATION_H_

@@ -1,0 +1,53 @@
+#ifndef MARLIN_COMMON_LOGGING_H_
+#define MARLIN_COMMON_LOGGING_H_
+
+/// \file logging.h
+/// \brief Minimal leveled logger. Off by default above WARN in benchmarks.
+
+#include <sstream>
+#include <string>
+
+namespace marlin {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// \brief Process-wide log configuration.
+class Logging {
+ public:
+  /// \brief Sets the minimum level that is emitted (default: kWarn).
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+  /// \brief Emits one line to stderr if `level` is enabled.
+  static void Emit(LogLevel level, const std::string& msg);
+};
+
+namespace internal {
+
+/// \brief Stream-style log line builder; emits on destruction.
+class LogMessage {
+ public:
+  explicit LogMessage(LogLevel level) : level_(level) {}
+  ~LogMessage() { Logging::Emit(level_, stream_.str()); }
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace marlin
+
+#define MARLIN_LOG(level) \
+  ::marlin::internal::LogMessage(::marlin::LogLevel::level)
+
+#define MARLIN_LOG_DEBUG MARLIN_LOG(kDebug)
+#define MARLIN_LOG_INFO MARLIN_LOG(kInfo)
+#define MARLIN_LOG_WARN MARLIN_LOG(kWarn)
+#define MARLIN_LOG_ERROR MARLIN_LOG(kError)
+
+#endif  // MARLIN_COMMON_LOGGING_H_

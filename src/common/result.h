@@ -1,0 +1,79 @@
+#ifndef MARLIN_COMMON_RESULT_H_
+#define MARLIN_COMMON_RESULT_H_
+
+/// \file result.h
+/// \brief `Result<T>`: value-or-Status, modelled on arrow::Result.
+
+#include <cassert>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace marlin {
+
+/// \brief Holds either a value of type `T` or a non-OK `Status`.
+///
+/// Typical use:
+/// \code
+///   Result<Trajectory> r = store.Get(mmsi);
+///   if (!r.ok()) return r.status();
+///   UseTrajectory(*r);
+/// \endcode
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit, like arrow::Result).
+  Result(T value) : repr_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status. Aborts in debug builds if `st` is OK,
+  /// because an OK Result must carry a value.
+  Result(Status st) : repr_(std::move(st)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(repr_).ok());
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  /// \brief True iff a value is held.
+  bool ok() const { return std::holds_alternative<T>(repr_); }
+
+  /// \brief The status: OK when a value is held.
+  Status status() const {
+    return ok() ? Status::OK() : std::get<Status>(repr_);
+  }
+
+  /// \brief Borrow the value. Precondition: ok().
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return std::get<T>(repr_);
+  }
+  /// \brief Move the value out. Precondition: ok().
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(std::get<T>(repr_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// \brief Returns the value, or `alternative` if this holds an error.
+  T ValueOr(T alternative) const {
+    return ok() ? std::get<T>(repr_) : std::move(alternative);
+  }
+
+ private:
+  std::variant<Status, T> repr_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_COMMON_RESULT_H_

@@ -1,0 +1,124 @@
+#ifndef MARLIN_COMMON_RNG_H_
+#define MARLIN_COMMON_RNG_H_
+
+/// \file rng.h
+/// \brief Deterministic random number generation for simulations and tests.
+///
+/// MARLIN never uses `std::random_device` or global RNG state: every
+/// stochastic component takes an explicit `Rng` (or a seed) so that
+/// experiments are exactly reproducible. The core generator is
+/// xoshiro256**, seeded via SplitMix64.
+
+#include <cstdint>
+#include <cmath>
+
+namespace marlin {
+
+/// \brief Fast, high-quality deterministic PRNG (xoshiro256**).
+class Rng {
+ public:
+  /// \brief Seeds the generator. Identical seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) { Seed(seed); }
+
+  /// \brief Re-seeds in place (SplitMix64 expansion of `seed`).
+  void Seed(uint64_t seed) {
+    uint64_t x = seed;
+    for (auto& s : s_) {
+      // SplitMix64 step
+      x += 0x9E3779B97F4A7C15ull;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// \brief Next raw 64-bit value.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  /// \brief Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+  /// \brief Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t NextBounded(uint64_t n) {
+    // Lemire's multiply-shift rejection method.
+    uint64_t x = NextU64();
+    __uint128_t m = static_cast<__uint128_t>(x) * n;
+    uint64_t l = static_cast<uint64_t>(m);
+    if (l < n) {
+      const uint64_t threshold = (0 - n) % n;
+      while (l < threshold) {
+        x = NextU64();
+        m = static_cast<__uint128_t>(x) * n;
+        l = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// \brief Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(
+                    NextBounded(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// \brief Bernoulli draw with success probability `p`.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// \brief Standard normal variate (Box–Muller, caching the spare).
+  double Gaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = Uniform(-1.0, 1.0);
+      v = Uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    spare_ = v * factor;
+    has_spare_ = true;
+    return u * factor;
+  }
+
+  /// \brief Normal variate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// \brief Exponential variate with the given rate (λ > 0).
+  double Exponential(double rate) {
+    return -std::log(1.0 - NextDouble()) / rate;
+  }
+
+  /// \brief Derives an independent child generator (for per-entity streams).
+  Rng Fork() { return Rng(NextU64()); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4] = {};
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_COMMON_RNG_H_

@@ -1,0 +1,164 @@
+#ifndef MARLIN_COMMON_STATUS_H_
+#define MARLIN_COMMON_STATUS_H_
+
+/// \file status.h
+/// \brief Arrow/RocksDB-style error propagation without exceptions.
+///
+/// All fallible operations in MARLIN return either a `Status` (no payload) or
+/// a `Result<T>` (payload or error). Library code never throws across API
+/// boundaries.
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace marlin {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfRange = 4,
+  kCorruption = 5,
+  kNotImplemented = 6,
+  kIOError = 7,
+  kCapacityExceeded = 8,
+  kTimedOut = 9,
+  kCancelled = 10,
+  kUnknown = 11,
+};
+
+/// \brief Human-readable name for a status code (e.g. "InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation: OK, or a code plus message.
+///
+/// The OK state is represented by a null internal pointer so that returning
+/// success is free of allocation, following the RocksDB/Arrow pattern.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() noexcept = default;
+
+  Status(StatusCode code, std::string msg) {
+    if (code != StatusCode::kOk) {
+      state_ = std::make_unique<State>(State{code, std::move(msg)});
+    }
+  }
+
+  Status(const Status& other) { CopyFrom(other); }
+  Status& operator=(const Status& other) {
+    if (this != &other) CopyFrom(other);
+    return *this;
+  }
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  /// \brief Returns an OK status.
+  static Status OK() { return Status(); }
+
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status CapacityExceeded(std::string msg) {
+    return Status(StatusCode::kCapacityExceeded, std::move(msg));
+  }
+  static Status TimedOut(std::string msg) {
+    return Status(StatusCode::kTimedOut, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unknown(std::string msg) {
+    return Status(StatusCode::kUnknown, std::move(msg));
+  }
+
+  /// \brief True iff the operation succeeded.
+  bool ok() const { return state_ == nullptr; }
+
+  StatusCode code() const { return ok() ? StatusCode::kOk : state_->code; }
+
+  /// \brief The error message; empty for OK statuses.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return ok() ? kEmpty : state_->msg;
+  }
+
+  bool IsInvalid() const { return code() == StatusCode::kInvalidArgument; }
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code() == StatusCode::kAlreadyExists; }
+  bool IsOutOfRange() const { return code() == StatusCode::kOutOfRange; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsNotImplemented() const { return code() == StatusCode::kNotImplemented; }
+  bool IsIOError() const { return code() == StatusCode::kIOError; }
+  bool IsCapacityExceeded() const {
+    return code() == StatusCode::kCapacityExceeded;
+  }
+  bool IsTimedOut() const { return code() == StatusCode::kTimedOut; }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+  bool operator!=(const Status& other) const { return !(*this == other); }
+
+ private:
+  struct State {
+    StatusCode code;
+    std::string msg;
+  };
+
+  void CopyFrom(const Status& other) {
+    state_ = other.state_ ? std::make_unique<State>(*other.state_) : nullptr;
+  }
+
+  std::unique_ptr<State> state_;  // nullptr means OK
+};
+
+}  // namespace marlin
+
+/// \brief Propagates a non-OK Status to the caller.
+#define MARLIN_RETURN_NOT_OK(expr)                 \
+  do {                                             \
+    ::marlin::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                     \
+  } while (false)
+
+/// \brief Evaluates a Result<T> expression and either assigns its value to
+/// `lhs` or propagates the error status.
+#define MARLIN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                 \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie();
+
+#define MARLIN_ASSIGN_OR_RETURN_CONCAT_(x, y) x##y
+#define MARLIN_ASSIGN_OR_RETURN_CONCAT(x, y) MARLIN_ASSIGN_OR_RETURN_CONCAT_(x, y)
+
+#define MARLIN_ASSIGN_OR_RETURN(lhs, rexpr) \
+  MARLIN_ASSIGN_OR_RETURN_IMPL(             \
+      MARLIN_ASSIGN_OR_RETURN_CONCAT(_marlin_result_, __LINE__), lhs, rexpr)
+
+#endif  // MARLIN_COMMON_STATUS_H_

@@ -1,0 +1,43 @@
+#ifndef MARLIN_COMMON_STRINGS_H_
+#define MARLIN_COMMON_STRINGS_H_
+
+/// \file strings.h
+/// \brief Small string utilities (split/trim/join/case) used by parsers.
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace marlin {
+
+/// \brief Splits `input` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// \brief Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// \brief Joins `parts` with `sep`.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// \brief ASCII upper-case copy.
+std::string ToUpper(std::string_view s);
+
+/// \brief True iff `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// \brief Parses a decimal integer; returns false on any malformed input.
+bool ParseInt64(std::string_view s, int64_t* out);
+
+/// \brief Parses a floating point number; returns false on malformed input.
+bool ParseDouble(std::string_view s, double* out);
+
+/// \brief Normalized Levenshtein similarity in [0,1] (1 = identical).
+/// Used by link discovery (§2.2 of the paper).
+double LevenshteinSimilarity(std::string_view a, std::string_view b);
+
+/// \brief Jaccard similarity of the whitespace-token sets of two strings.
+double TokenJaccard(std::string_view a, std::string_view b);
+
+}  // namespace marlin
+
+#endif  // MARLIN_COMMON_STRINGS_H_

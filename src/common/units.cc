@@ -1,0 +1,26 @@
+#include "common/units.h"
+
+#include <cmath>
+
+namespace marlin {
+
+double NormalizeDegrees(double deg) {
+  double d = std::fmod(deg, 360.0);
+  if (d < 0) d += 360.0;
+  return d;
+}
+
+double NormalizeLongitude(double lon) {
+  double d = std::fmod(lon + 180.0, 360.0);
+  if (d < 0) d += 360.0;
+  return d - 180.0;
+}
+
+double AngleDifference(double a, double b) {
+  double d = std::fmod(a - b, 360.0);
+  if (d >= 180.0) d -= 360.0;
+  if (d < -180.0) d += 360.0;
+  return d;
+}
+
+}  // namespace marlin

@@ -1,0 +1,52 @@
+#ifndef MARLIN_COMMON_UNITS_H_
+#define MARLIN_COMMON_UNITS_H_
+
+/// \file units.h
+/// \brief Nautical unit conversions used throughout the library.
+///
+/// Internal convention: positions in decimal degrees (WGS-84), distances in
+/// metres, speeds in metres/second, angles in degrees true (0 = North,
+/// clockwise). AIS wire formats use knots and tenths — conversions live here.
+
+namespace marlin {
+
+inline constexpr double kPi = 3.14159265358979323846;
+
+/// Metres per nautical mile (exact by definition).
+inline constexpr double kMetresPerNauticalMile = 1852.0;
+
+/// Mean Earth radius in metres (IUGG mean radius R1, adequate for AIS-scale
+/// geodesy; see DESIGN.md §5).
+inline constexpr double kEarthRadiusMetres = 6371008.8;
+
+/// \brief Degrees → radians.
+constexpr double DegToRad(double deg) { return deg * kPi / 180.0; }
+/// \brief Radians → degrees.
+constexpr double RadToDeg(double rad) { return rad * 180.0 / kPi; }
+
+/// \brief Knots → metres per second.
+constexpr double KnotsToMps(double knots) {
+  return knots * kMetresPerNauticalMile / 3600.0;
+}
+/// \brief Metres per second → knots.
+constexpr double MpsToKnots(double mps) {
+  return mps * 3600.0 / kMetresPerNauticalMile;
+}
+
+/// \brief Nautical miles → metres.
+constexpr double NmToMetres(double nm) { return nm * kMetresPerNauticalMile; }
+/// \brief Metres → nautical miles.
+constexpr double MetresToNm(double m) { return m / kMetresPerNauticalMile; }
+
+/// \brief Normalizes an angle in degrees to [0, 360).
+double NormalizeDegrees(double deg);
+
+/// \brief Normalizes a longitude to [-180, 180).
+double NormalizeLongitude(double lon);
+
+/// \brief Smallest signed angular difference a−b in degrees, in [-180, 180).
+double AngleDifference(double a, double b);
+
+}  // namespace marlin
+
+#endif  // MARLIN_COMMON_UNITS_H_

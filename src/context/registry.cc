@@ -1,0 +1,47 @@
+#include "context/registry.h"
+
+namespace marlin {
+
+std::optional<ResolvedRecord> RegistryResolver::Resolve(
+    const VesselRegistry& a, const VesselRegistry& b, uint32_t mmsi) const {
+  const auto ra = a.Lookup(mmsi);
+  const auto rb = b.Lookup(mmsi);
+  if (!ra.has_value() && !rb.has_value()) return std::nullopt;
+  if (!rb.has_value()) return ResolvedRecord{*ra, {}, {}};
+  if (!ra.has_value()) return ResolvedRecord{*rb, {}, {}};
+
+  ResolvedRecord out;
+  out.record = *ra;
+  const double rel_a = quality_->Reliability(a.source());
+  const double rel_b = quality_->Reliability(b.source());
+  const bool prefer_a = rel_a >= rel_b;
+
+  auto resolve_field = [&](const std::string& field, auto& dst,
+                           const auto& va, const auto& vb) {
+    if (va == vb) {
+      dst = va;
+      return;
+    }
+    out.conflicting_fields.push_back(field);
+    if (prefer_a) {
+      dst = va;
+      out.chosen_source[field] = a.source();
+    } else {
+      dst = vb;
+      out.chosen_source[field] = b.source();
+    }
+  };
+
+  resolve_field("imo", out.record.imo, ra->imo, rb->imo);
+  resolve_field("name", out.record.name, ra->name, rb->name);
+  resolve_field("flag", out.record.flag, ra->flag, rb->flag);
+  resolve_field("call_sign", out.record.call_sign, ra->call_sign,
+                rb->call_sign);
+  resolve_field("length_m", out.record.length_m, ra->length_m, rb->length_m);
+  resolve_field("beam_m", out.record.beam_m, ra->beam_m, rb->beam_m);
+  resolve_field("ship_type", out.record.ship_type, ra->ship_type,
+                rb->ship_type);
+  return out;
+}
+
+}  // namespace marlin

@@ -1,0 +1,85 @@
+#ifndef MARLIN_CONTEXT_REGISTRY_H_
+#define MARLIN_CONTEXT_REGISTRY_H_
+
+/// \file registry.h
+/// \brief Vessel registries and quality-aware conflict resolution.
+///
+/// Paper §4: "ship information from the MarineTraffic database may conflict
+/// with that from Lloyd's: the length may differ slightly, or the flag may
+/// be different due to a lack of update in one source. In this regard,
+/// additional knowledge on sources' quality may help solving the issue."
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "uncertainty/source_quality.h"
+
+namespace marlin {
+
+/// \brief One registry record for a vessel.
+struct RegistryRecord {
+  uint32_t mmsi = 0;
+  uint32_t imo = 0;
+  std::string name;
+  std::string flag;       ///< ISO country code
+  std::string call_sign;
+  int length_m = 0;
+  int beam_m = 0;
+  int ship_type = 0;      ///< ITU 2-digit code
+};
+
+/// \brief A named registry source (e.g. "marinetraffic", "lloyds").
+class VesselRegistry {
+ public:
+  explicit VesselRegistry(std::string source_name)
+      : source_(std::move(source_name)) {}
+
+  void Upsert(const RegistryRecord& record) { records_[record.mmsi] = record; }
+
+  std::optional<RegistryRecord> Lookup(uint32_t mmsi) const {
+    auto it = records_.find(mmsi);
+    if (it == records_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  const std::string& source() const { return source_; }
+  size_t size() const { return records_.size(); }
+  const std::map<uint32_t, RegistryRecord>& records() const { return records_; }
+
+ private:
+  std::string source_;
+  std::map<uint32_t, RegistryRecord> records_;
+};
+
+/// \brief Result of resolving one vessel across registries.
+struct ResolvedRecord {
+  RegistryRecord record;
+  /// Fields on which the sources disagreed ("flag", "length_m", ...).
+  std::vector<std::string> conflicting_fields;
+  /// Which source won each conflicting field.
+  std::map<std::string, std::string> chosen_source;
+};
+
+/// \brief Resolves conflicts between two registries using per-source
+/// reliability: for each conflicting field the more reliable source wins;
+/// agreements reinforce both sources in the quality model.
+class RegistryResolver {
+ public:
+  explicit RegistryResolver(SourceQualityModel* quality) : quality_(quality) {}
+
+  /// \brief Resolves one vessel. Missing-in-one-source records pass through
+  /// without conflict.
+  std::optional<ResolvedRecord> Resolve(const VesselRegistry& a,
+                                        const VesselRegistry& b,
+                                        uint32_t mmsi) const;
+
+ private:
+  SourceQualityModel* quality_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CONTEXT_REGISTRY_H_

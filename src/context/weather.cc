@@ -1,0 +1,74 @@
+#include "context/weather.h"
+
+#include <cmath>
+
+namespace marlin {
+
+namespace {
+
+/// SplitMix64-style avalanche of a composite lattice key.
+uint64_t HashKey(uint64_t seed, int64_t ix, int64_t iy, int64_t it,
+                 int channel) {
+  uint64_t x = seed;
+  x ^= static_cast<uint64_t>(ix) * 0x9E3779B97F4A7C15ull;
+  x ^= static_cast<uint64_t>(iy) * 0xC2B2AE3D27D4EB4Full;
+  x ^= static_cast<uint64_t>(it) * 0x165667B19E3779F9ull;
+  x ^= static_cast<uint64_t>(channel) * 0x27D4EB2F165667C5ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+double SmoothStep(double t) { return t * t * (3.0 - 2.0 * t); }
+
+}  // namespace
+
+double WeatherProvider::LatticeValue(int64_t ix, int64_t iy, int64_t it,
+                                     int channel) const {
+  const uint64_t h = HashKey(seed_, ix, iy, it, channel);
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+double WeatherProvider::Field(double x, double y, double ts,
+                              int channel) const {
+  const int64_t ix = static_cast<int64_t>(std::floor(x));
+  const int64_t iy = static_cast<int64_t>(std::floor(y));
+  const int64_t it = static_cast<int64_t>(std::floor(ts));
+  const double fx = SmoothStep(x - std::floor(x));
+  const double fy = SmoothStep(y - std::floor(y));
+  const double ft = SmoothStep(ts - std::floor(ts));
+
+  double acc = 0.0;
+  for (int dt = 0; dt <= 1; ++dt) {
+    const double wt = dt == 0 ? 1.0 - ft : ft;
+    for (int dy = 0; dy <= 1; ++dy) {
+      const double wy = dy == 0 ? 1.0 - fy : fy;
+      for (int dx = 0; dx <= 1; ++dx) {
+        const double wx = dx == 0 ? 1.0 - fx : fx;
+        acc += wt * wy * wx *
+               LatticeValue(ix + dx, iy + dy, it + dt, channel);
+      }
+    }
+  }
+  return acc;
+}
+
+WeatherSample WeatherProvider::At(const GeoPoint& p, Timestamp t) const {
+  const double x = (p.lon + 180.0) / options_.grid_deg;
+  const double y = (p.lat + 90.0) / options_.grid_deg;
+  const double ts =
+      static_cast<double>(t) / static_cast<double>(options_.time_step_ms);
+
+  WeatherSample s;
+  s.wind_speed_mps = options_.max_wind_mps * Field(x, y, ts, 0);
+  s.wind_dir_deg = 360.0 * Field(x, y, ts, 1);
+  // Waves follow the wind with a smaller independent component.
+  s.wave_height_m = options_.max_wave_m *
+                    (0.7 * s.wind_speed_mps / options_.max_wind_mps +
+                     0.3 * Field(x, y, ts, 2));
+  s.current_speed_mps = options_.max_current_mps * Field(x, y, ts, 3);
+  s.current_dir_deg = 360.0 * Field(x, y, ts, 4);
+  return s;
+}
+
+}  // namespace marlin

@@ -1,0 +1,63 @@
+#ifndef MARLIN_CONTEXT_WEATHER_H_
+#define MARLIN_CONTEXT_WEATHER_H_
+
+/// \file weather.h
+/// \brief Procedural weather provider — the coarse-resolution environmental
+/// feed of §2.5 ("meteorologic data have spatial resolution of few
+/// kilometres … provided with hourly … means").
+///
+/// The field is deterministic value noise over a (lat, lon, hour) lattice:
+/// smooth in space and time, reproducible from a seed. Its *resolution
+/// mismatch* with AIS (kilometres & hours vs. metres & seconds) is the
+/// property experiments and enrichment care about, not meteorological
+/// realism.
+
+#include "common/time.h"
+#include "geo/point.h"
+
+namespace marlin {
+
+/// \brief Weather sample at a position and time.
+struct WeatherSample {
+  double wind_speed_mps = 0.0;
+  double wind_dir_deg = 0.0;    ///< direction the wind blows FROM
+  double wave_height_m = 0.0;
+  double current_speed_mps = 0.0;
+  double current_dir_deg = 0.0;
+};
+
+/// \brief Deterministic gridded weather source.
+class WeatherProvider {
+ public:
+  struct Options {
+    double grid_deg = 0.5;          ///< spatial lattice pitch (≈ 55 km N-S)
+    DurationMs time_step_ms = kMillisPerHour;  ///< temporal lattice pitch
+    double max_wind_mps = 22.0;
+    double max_wave_m = 6.0;
+    double max_current_mps = 1.5;
+  };
+
+  explicit WeatherProvider(uint64_t seed) : WeatherProvider(seed, Options()) {}
+  WeatherProvider(uint64_t seed, const Options& options)
+      : seed_(seed), options_(options) {}
+
+  /// \brief Trilinear-interpolated sample at (p, t).
+  WeatherSample At(const GeoPoint& p, Timestamp t) const;
+
+  /// \brief Native resolution of the source (for enrichment metadata).
+  double grid_deg() const { return options_.grid_deg; }
+  DurationMs time_step_ms() const { return options_.time_step_ms; }
+
+ private:
+  /// Hash-derived uniform [0,1) at an integer lattice point, per channel.
+  double LatticeValue(int64_t ix, int64_t iy, int64_t it, int channel) const;
+  /// Smooth interpolation of a channel at continuous coordinates.
+  double Field(double x, double y, double ts, int channel) const;
+
+  uint64_t seed_;
+  Options options_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CONTEXT_WEATHER_H_

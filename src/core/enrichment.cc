@@ -1,0 +1,39 @@
+#include "core/enrichment.h"
+
+namespace marlin {
+
+EnrichedPoint EnrichmentEngine::Enrich(const ReconstructedPoint& rp) {
+  EnrichedPoint out;
+  out.base = rp;
+  ++stats_.points;
+
+  if (zones_ != nullptr) {
+    for (const GeoZone* z : zones_->ZonesAt(rp.point.position)) {
+      out.zone_ids.push_back(z->id);
+    }
+    if (!out.zone_ids.empty()) ++stats_.zone_hits;
+  }
+  if (weather_ != nullptr) {
+    out.weather = weather_->At(rp.point.position, rp.point.t);
+  }
+  if (registry_a_ != nullptr && registry_b_ != nullptr) {
+    const auto resolved = resolver_.Resolve(*registry_a_, *registry_b_, rp.mmsi);
+    if (resolved.has_value()) {
+      ++stats_.registry_hits;
+      out.category = ShipTypeToCategory(resolved->record.ship_type);
+      out.vessel_name = resolved->record.name;
+      out.registry_conflict = !resolved->conflicting_fields.empty();
+      if (out.registry_conflict) ++stats_.registry_conflicts;
+    }
+  } else if (registry_a_ != nullptr) {
+    const auto rec = registry_a_->Lookup(rp.mmsi);
+    if (rec.has_value()) {
+      ++stats_.registry_hits;
+      out.category = ShipTypeToCategory(rec->ship_type);
+      out.vessel_name = rec->name;
+    }
+  }
+  return out;
+}
+
+}  // namespace marlin

@@ -1,0 +1,70 @@
+#ifndef MARLIN_CORE_ENRICHMENT_H_
+#define MARLIN_CORE_ENRICHMENT_H_
+
+/// \file enrichment.h
+/// \brief Streaming semantic enrichment: joins the position stream with
+/// contextual sources — zones, weather, registries (paper §2.2: "integration
+/// of streaming data … with contextual information (e.g., weather data) …
+/// producing output streams that provide semantically and contextually rich
+/// information").
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ais/types.h"
+#include "context/registry.h"
+#include "context/weather.h"
+#include "context/zones.h"
+#include "core/reconstruction.h"
+
+namespace marlin {
+
+/// \brief A reconstructed point with its contextual annotations.
+struct EnrichedPoint {
+  ReconstructedPoint base;
+  std::vector<uint32_t> zone_ids;
+  WeatherSample weather;
+  ShipCategory category = ShipCategory::kUnknown;
+  std::string vessel_name;
+  bool registry_conflict = false;  ///< registries disagreed on this vessel
+};
+
+/// \brief Joins each point against zones, weather, and resolved registries.
+class EnrichmentEngine {
+ public:
+  struct Stats {
+    uint64_t points = 0;
+    uint64_t zone_hits = 0;
+    uint64_t registry_hits = 0;
+    uint64_t registry_conflicts = 0;
+  };
+
+  /// \brief Any of the context sources may be null (skipped).
+  EnrichmentEngine(const ZoneDatabase* zones, const WeatherProvider* weather,
+                   const VesselRegistry* registry_a,
+                   const VesselRegistry* registry_b,
+                   SourceQualityModel* quality)
+      : zones_(zones),
+        weather_(weather),
+        registry_a_(registry_a),
+        registry_b_(registry_b),
+        resolver_(quality) {}
+
+  /// \brief Annotates one point.
+  EnrichedPoint Enrich(const ReconstructedPoint& rp);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  const ZoneDatabase* zones_;
+  const WeatherProvider* weather_;
+  const VesselRegistry* registry_a_;
+  const VesselRegistry* registry_b_;
+  RegistryResolver resolver_;
+  Stats stats_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_ENRICHMENT_H_

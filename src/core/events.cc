@@ -1,0 +1,396 @@
+#include "core/events.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "geo/geodesy.h"
+#include "geo/kinematics.h"
+
+namespace marlin {
+
+const char* EventTypeName(EventType t) {
+  switch (t) {
+    case EventType::kZoneEntry:
+      return "zone-entry";
+    case EventType::kZoneExit:
+      return "zone-exit";
+    case EventType::kStop:
+      return "stop";
+    case EventType::kMove:
+      return "move";
+    case EventType::kDarkPeriod:
+      return "dark-period";
+    case EventType::kSpeedViolation:
+      return "speed-violation";
+    case EventType::kRendezvous:
+      return "rendezvous";
+    case EventType::kLoitering:
+      return "loitering";
+    case EventType::kIdentitySpoof:
+      return "identity-spoof";
+    case EventType::kTeleportSpoof:
+      return "teleport-spoof";
+    case EventType::kCollisionRisk:
+      return "collision-risk";
+    case EventType::kIllegalFishing:
+      return "illegal-fishing";
+  }
+  return "unknown";
+}
+
+EventEngine::EventEngine(const ZoneDatabase* zones, const Options& options)
+    : zones_(zones), options_(options), live_(0.1) {}
+
+void EventEngine::SetVesselInfo(Mmsi mmsi, int ship_type) {
+  vessels_[mmsi].ship_type = ship_type;
+}
+
+void EventEngine::Ingest(const ReconstructedPoint& rp,
+                         std::vector<DetectedEvent>* out) {
+  ++stats_.points_in;
+  VesselState& vessel = vessels_[rp.mmsi];
+
+  // Dark period: the reconstruction layer hands us the gap length.
+  if (rp.gap_before_ms > options_.dark_threshold_ms && vessel.has_last) {
+    DetectedEvent ev;
+    ev.type = EventType::kDarkPeriod;
+    ev.start = rp.point.t - rp.gap_before_ms;
+    ev.end = rp.point.t;
+    ev.vessel_a = rp.mmsi;
+    ev.where = vessel.last.position;
+    ev.severity = std::min(1.0, rp.gap_before_ms /
+                                    static_cast<double>(2 * kMillisPerHour));
+    ev.detected_at = rp.point.t;
+    out->push_back(ev);
+    ++stats_.events_out;
+    vessel.window.clear();  // a gap invalidates the loiter window
+  }
+
+  CheckZones(rp, &vessel, out);
+  CheckStopMove(rp, &vessel, out);
+  CheckIllegalFishing(rp, &vessel, out);
+  CheckLoitering(rp, &vessel, out);
+
+  // Update the live picture before pair scans so self-lookups see fresh data.
+  live_.Upsert(rp.mmsi, rp.point.position);
+  vessel.last = rp.point;
+  vessel.has_last = true;
+
+  CheckRendezvous(rp, &vessel, out);
+  CheckCollision(rp, &vessel, out);
+}
+
+void EventEngine::CheckZones(const ReconstructedPoint& rp,
+                             VesselState* vessel,
+                             std::vector<DetectedEvent>* out) {
+  std::set<uint32_t> current;
+  bool in_port_area = false;
+  for (const GeoZone* z : zones_->ZonesAt(rp.point.position)) {
+    current.insert(z->id);
+    if (z->type == ZoneType::kPort || z->type == ZoneType::kAnchorage) {
+      in_port_area = true;
+    }
+    // Speed limits: alert once per zone visit.
+    if (z->speed_limit_knots > 0.0 &&
+        rp.point.sog_mps > z->speed_limit_knots * 0.5144 * 1.15 &&
+        vessel->speed_alerted.find(z->id) == vessel->speed_alerted.end()) {
+      vessel->speed_alerted.insert(z->id);
+      DetectedEvent ev;
+      ev.type = EventType::kSpeedViolation;
+      ev.start = ev.end = ev.detected_at = rp.point.t;
+      ev.vessel_a = rp.mmsi;
+      ev.where = rp.point.position;
+      ev.zone_id = z->id;
+      ev.severity = 0.4;
+      out->push_back(ev);
+      ++stats_.events_out;
+    }
+  }
+  // Entries.
+  for (uint32_t id : current) {
+    if (vessel->zones.find(id) == vessel->zones.end()) {
+      DetectedEvent ev;
+      ev.type = EventType::kZoneEntry;
+      ev.start = ev.end = ev.detected_at = rp.point.t;
+      ev.vessel_a = rp.mmsi;
+      ev.where = rp.point.position;
+      ev.zone_id = id;
+      const GeoZone* z = zones_->Find(id);
+      ev.severity =
+          (z != nullptr && (z->type == ZoneType::kProtectedArea ||
+                            z->type == ZoneType::kRestricted))
+              ? 0.7
+              : 0.2;
+      out->push_back(ev);
+      ++stats_.events_out;
+    }
+  }
+  // Exits.
+  for (uint32_t id : vessel->zones) {
+    if (current.find(id) == current.end()) {
+      DetectedEvent ev;
+      ev.type = EventType::kZoneExit;
+      ev.start = ev.end = ev.detected_at = rp.point.t;
+      ev.vessel_a = rp.mmsi;
+      ev.where = rp.point.position;
+      ev.zone_id = id;
+      ev.severity = 0.1;
+      out->push_back(ev);
+      ++stats_.events_out;
+      vessel->speed_alerted.erase(id);
+      vessel->fishing_since.erase(id);
+      vessel->fishing_alerted.erase(id);
+    }
+  }
+  vessel->zones = std::move(current);
+  vessel->in_port_area = in_port_area;
+}
+
+void EventEngine::CheckStopMove(const ReconstructedPoint& rp,
+                                VesselState* vessel,
+                                std::vector<DetectedEvent>* out) {
+  const bool now_stopped = rp.point.sog_mps < options_.stop_speed_mps;
+  if (vessel->has_last && now_stopped != vessel->stopped) {
+    DetectedEvent ev;
+    ev.type = now_stopped ? EventType::kStop : EventType::kMove;
+    ev.start = ev.end = ev.detected_at = rp.point.t;
+    ev.vessel_a = rp.mmsi;
+    ev.where = rp.point.position;
+    ev.severity = 0.1;
+    out->push_back(ev);
+    ++stats_.events_out;
+  }
+  vessel->stopped = now_stopped;
+}
+
+void EventEngine::CheckRendezvous(const ReconstructedPoint& rp,
+                                  VesselState* vessel,
+                                  std::vector<DetectedEvent>* out) {
+  const Timestamp t = rp.point.t;
+  const bool eligible = rp.point.sog_mps <= options_.rendezvous_max_speed_mps &&
+                        !vessel->in_port_area;
+  if (eligible) {
+    for (const auto& [other_id, dist] :
+         live_.QueryRadius(rp.point.position, options_.rendezvous_distance_m)) {
+      const Mmsi other = static_cast<Mmsi>(other_id);
+      if (other == rp.mmsi) continue;
+      auto other_it = vessels_.find(other);
+      if (other_it == vessels_.end() || !other_it->second.has_last) continue;
+      const VesselState& partner = other_it->second;
+      if (partner.last.sog_mps > options_.rendezvous_max_speed_mps) continue;
+      if (partner.in_port_area) continue;
+      // Partner must be current (not a stale last-position).
+      if (t - partner.last.t > 5 * kMillisPerMinute) continue;
+
+      PairState& pair = rendezvous_pairs_[MakePair(rp.mmsi, other)];
+      if (pair.since == 0 || t - pair.last_seen > 5 * kMillisPerMinute) {
+        pair.since = t;
+        pair.reported = false;
+      }
+      pair.last_seen = t;
+      pair.where = rp.point.position;
+      if (!pair.reported &&
+          t - pair.since >= options_.rendezvous_min_duration) {
+        pair.reported = true;
+        DetectedEvent ev;
+        ev.type = EventType::kRendezvous;
+        ev.start = pair.since;
+        ev.end = t;
+        ev.vessel_a = std::min(rp.mmsi, other);
+        ev.vessel_b = std::max(rp.mmsi, other);
+        ev.where = pair.where;
+        ev.severity = 0.8;
+        ev.detected_at = t;
+        out->push_back(ev);
+        ++stats_.events_out;
+      }
+    }
+  }
+}
+
+void EventEngine::CheckLoitering(const ReconstructedPoint& rp,
+                                 VesselState* vessel,
+                                 std::vector<DetectedEvent>* out) {
+  const Timestamp t = rp.point.t;
+  auto& window = vessel->window;
+  window.push_back(rp.point);
+  while (!window.empty() &&
+         t - window.front().t > options_.loiter_min_duration) {
+    window.pop_front();
+  }
+  if (vessel->in_port_area) {
+    return;  // moored in harbour is normal, not loitering
+  }
+  if (window.size() < 4) return;
+  if (t - window.front().t < options_.loiter_min_duration * 9 / 10) return;
+  if (vessel->last_loiter_alert != kInvalidTimestamp &&
+      t - vessel->last_loiter_alert < options_.loiter_realert_ms) {
+    return;
+  }
+  // Confinement test: window bounding box must fit inside the radius, and
+  // mean speed must be low.
+  BoundingBox box = BoundingBox::Empty();
+  double speed_sum = 0.0;
+  for (const auto& p : window) {
+    box.Extend(p.position);
+    speed_sum += p.sog_mps;
+  }
+  const double diag = HaversineDistance(GeoPoint(box.min_lat, box.min_lon),
+                                        GeoPoint(box.max_lat, box.max_lon));
+  const double mean_speed = speed_sum / static_cast<double>(window.size());
+  if (diag <= 2.0 * options_.loiter_radius_m &&
+      mean_speed <= options_.loiter_max_speed_mps) {
+    vessel->last_loiter_alert = t;
+    DetectedEvent ev;
+    ev.type = EventType::kLoitering;
+    ev.start = window.front().t;
+    ev.end = t;
+    ev.vessel_a = rp.mmsi;
+    ev.where = box.Center();
+    ev.severity = 0.6;
+    ev.detected_at = t;
+    out->push_back(ev);
+    ++stats_.events_out;
+  }
+}
+
+void EventEngine::CheckCollision(const ReconstructedPoint& rp,
+                                 VesselState* vessel,
+                                 std::vector<DetectedEvent>* out) {
+  if (rp.point.sog_mps < options_.collision_min_speed_mps) return;
+  const Timestamp t = rp.point.t;
+  MotionState self;
+  self.position = rp.point.position;
+  self.speed_mps = rp.point.sog_mps;
+  self.course_deg = rp.point.cog_deg;
+
+  for (const auto& [other_id, dist] :
+       live_.QueryRadius(rp.point.position, options_.collision_scan_radius_m)) {
+    const Mmsi other = static_cast<Mmsi>(other_id);
+    if (other == rp.mmsi) continue;
+    auto other_it = vessels_.find(other);
+    if (other_it == vessels_.end() || !other_it->second.has_last) continue;
+    const VesselState& partner = other_it->second;
+    if (t - partner.last.t > 3 * kMillisPerMinute) continue;
+    if (partner.last.sog_mps < options_.collision_min_speed_mps) continue;
+
+    const PairKey key = MakePair(rp.mmsi, other);
+    auto alert_it = collision_alerts_.find(key);
+    if (alert_it != collision_alerts_.end() &&
+        t - alert_it->second < options_.collision_realert_ms) {
+      continue;
+    }
+
+    MotionState target;
+    target.position = partner.last.position;
+    target.speed_mps = partner.last.sog_mps;
+    target.course_deg = partner.last.cog_deg;
+    const CpaResult cpa = ComputeCpa(self, target);
+    if (cpa.converging && cpa.distance_m < options_.cpa_threshold_m &&
+        cpa.tcpa_s < options_.tcpa_horizon_s) {
+      collision_alerts_[key] = t;
+      DetectedEvent ev;
+      ev.type = EventType::kCollisionRisk;
+      ev.start = ev.detected_at = t;
+      ev.end = t + static_cast<DurationMs>(cpa.tcpa_s * kMillisPerSecond);
+      ev.vessel_a = std::min(rp.mmsi, other);
+      ev.vessel_b = std::max(rp.mmsi, other);
+      ev.where = rp.point.position;
+      ev.severity = 0.9;
+      out->push_back(ev);
+      ++stats_.events_out;
+    }
+  }
+}
+
+void EventEngine::CheckIllegalFishing(const ReconstructedPoint& rp,
+                                      VesselState* vessel,
+                                      std::vector<DetectedEvent>* out) {
+  const bool fishing_speed = rp.point.sog_mps >= options_.fishing_speed_lo_mps &&
+                             rp.point.sog_mps <= options_.fishing_speed_hi_mps;
+  const bool is_fishing_vessel =
+      ShipTypeToCategory(vessel->ship_type) == ShipCategory::kFishing;
+  for (uint32_t zone_id : vessel->zones) {
+    const GeoZone* z = zones_->Find(zone_id);
+    if (z == nullptr || !z->fishing_prohibited) continue;
+    if (!fishing_speed || !is_fishing_vessel) {
+      vessel->fishing_since.erase(zone_id);
+      continue;
+    }
+    auto [it, inserted] =
+        vessel->fishing_since.emplace(zone_id, rp.point.t);
+    if (!inserted &&
+        rp.point.t - it->second >= options_.fishing_min_duration &&
+        vessel->fishing_alerted.find(zone_id) ==
+            vessel->fishing_alerted.end()) {
+      vessel->fishing_alerted.insert(zone_id);
+      DetectedEvent ev;
+      ev.type = EventType::kIllegalFishing;
+      ev.start = it->second;
+      ev.end = rp.point.t;
+      ev.vessel_a = rp.mmsi;
+      ev.where = rp.point.position;
+      ev.zone_id = zone_id;
+      ev.severity = 0.85;
+      ev.detected_at = rp.point.t;
+      out->push_back(ev);
+      ++stats_.events_out;
+    }
+  }
+}
+
+void EventEngine::IngestRejection(const RejectedReport& rejection,
+                                  std::vector<DetectedEvent>* out) {
+  if (rejection.reason != RejectedReport::Reason::kImpossibleJump) return;
+  VesselState& vessel = vessels_[rejection.mmsi];
+  auto& jumps = vessel.jump_times;
+  jumps.push_back(rejection.t);
+  while (!jumps.empty() &&
+         rejection.t - jumps.front() > options_.identity_conflict_window) {
+    jumps.pop_front();
+  }
+  const bool persistent =
+      static_cast<int>(jumps.size()) >= options_.identity_conflict_count;
+  // Rate-limit spoof alerts to one per conflict window.
+  if (vessel.last_spoof_alert != kInvalidTimestamp &&
+      rejection.t - vessel.last_spoof_alert <
+          options_.identity_conflict_window) {
+    return;
+  }
+  DetectedEvent ev;
+  ev.type =
+      persistent ? EventType::kIdentitySpoof : EventType::kTeleportSpoof;
+  ev.start = ev.end = ev.detected_at = rejection.t;
+  ev.vessel_a = rejection.mmsi;
+  ev.where = rejection.reported;
+  ev.severity = persistent ? 0.95 : 0.7;
+  if (persistent || jumps.size() == 1) {
+    vessel.last_spoof_alert = persistent ? rejection.t : vessel.last_spoof_alert;
+    out->push_back(ev);
+    ++stats_.events_out;
+  }
+}
+
+void EventEngine::Flush(std::vector<DetectedEvent>* out) {
+  // Close rendezvous pairs that accumulated enough dwell but never crossed
+  // the reporting threshold before the stream ended.
+  for (auto& [key, pair] : rendezvous_pairs_) {
+    if (!pair.reported &&
+        pair.last_seen - pair.since >= options_.rendezvous_min_duration) {
+      pair.reported = true;
+      DetectedEvent ev;
+      ev.type = EventType::kRendezvous;
+      ev.start = pair.since;
+      ev.end = pair.last_seen;
+      ev.vessel_a = key.first;
+      ev.vessel_b = key.second;
+      ev.where = pair.where;
+      ev.severity = 0.8;
+      ev.detected_at = pair.last_seen;
+      out->push_back(ev);
+      ++stats_.events_out;
+    }
+  }
+}
+
+}  // namespace marlin

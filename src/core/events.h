@@ -1,0 +1,176 @@
+#ifndef MARLIN_CORE_EVENTS_H_
+#define MARLIN_CORE_EVENTS_H_
+
+/// \file events.h
+/// \brief Complex event recognition over reconstructed vessel streams
+/// (paper §3.1: "algorithms for complex event (and outlier) recognition and
+/// prediction in real-time, dealing with heterogeneous, fluctuating and
+/// noisy voluminous data streams").
+///
+/// Low-level events (zone transitions, stops, dark-period boundaries) are
+/// derived per point; high-level events (rendezvous, loitering, spoofing,
+/// collision risk, illegal fishing) are stateful patterns over vessels and
+/// vessel pairs, contextualized by the zone database — the paper's
+/// "explicit consideration of context … as a reference for anomaly
+/// detection" (§4).
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ais/types.h"
+#include "context/zones.h"
+#include "core/reconstruction.h"
+#include "storage/grid_index.h"
+
+namespace marlin {
+
+/// \brief Detected event classes.
+enum class EventType : uint8_t {
+  kZoneEntry = 0,
+  kZoneExit,
+  kStop,
+  kMove,
+  kDarkPeriod,      ///< reporting gap beyond the dark threshold
+  kSpeedViolation,  ///< above a zone's speed limit
+  kRendezvous,      ///< two slow vessels in close proximity at sea
+  kLoitering,       ///< one vessel confined & slow at sea
+  kIdentitySpoof,   ///< persistent conflicting reports under one MMSI
+  kTeleportSpoof,   ///< isolated impossible position jump
+  kCollisionRisk,   ///< CPA/TCPA below thresholds
+  kIllegalFishing,  ///< fishing-speed pattern inside a prohibited zone
+};
+
+const char* EventTypeName(EventType t);
+
+/// \brief One detected event.
+struct DetectedEvent {
+  EventType type = EventType::kZoneEntry;
+  Timestamp start = 0;
+  Timestamp end = 0;          ///< == start for instantaneous events
+  Mmsi vessel_a = 0;
+  Mmsi vessel_b = 0;          ///< second participant (rendezvous/collision)
+  GeoPoint where;
+  uint32_t zone_id = 0;       ///< zone involved, if any
+  double severity = 0.5;      ///< 0..1 operator triage hint
+  Timestamp detected_at = 0;  ///< event-time when the detector fired
+};
+
+/// \brief Streaming complex-event detector.
+class EventEngine {
+ public:
+  struct Options {
+    // Rendezvous
+    double rendezvous_distance_m = 500.0;
+    double rendezvous_max_speed_mps = 1.5;
+    DurationMs rendezvous_min_duration = 10 * kMillisPerMinute;
+    // Loitering
+    double loiter_radius_m = 2500.0;
+    double loiter_max_speed_mps = 1.5;
+    DurationMs loiter_min_duration = 45 * kMillisPerMinute;
+    DurationMs loiter_realert_ms = 2 * kMillisPerHour;
+    // Dark periods
+    DurationMs dark_threshold_ms = 15 * kMillisPerMinute;
+    // Spoofing
+    int identity_conflict_count = 3;
+    DurationMs identity_conflict_window = 30 * kMillisPerMinute;
+    // Collision risk
+    double cpa_threshold_m = 300.0;
+    double tcpa_horizon_s = 900.0;
+    double collision_min_speed_mps = 2.0;
+    double collision_scan_radius_m = 10000.0;
+    DurationMs collision_realert_ms = 10 * kMillisPerMinute;
+    // Illegal fishing
+    double fishing_speed_lo_mps = 0.8;
+    double fishing_speed_hi_mps = 3.5;
+    DurationMs fishing_min_duration = 20 * kMillisPerMinute;
+    // Stops
+    double stop_speed_mps = 0.5;
+  };
+
+  struct Stats {
+    uint64_t points_in = 0;
+    uint64_t events_out = 0;
+  };
+
+  EventEngine(const ZoneDatabase* zones, const Options& options);
+  explicit EventEngine(const ZoneDatabase* zones)
+      : EventEngine(zones, Options()) {}
+
+  /// \brief Registers static vessel info (ship type from type-5 messages);
+  /// enables category-sensitive rules (illegal fishing).
+  void SetVesselInfo(Mmsi mmsi, int ship_type);
+
+  /// \brief Consumes one clean point; appends detected events.
+  void Ingest(const ReconstructedPoint& rp, std::vector<DetectedEvent>* out);
+
+  /// \brief Consumes a rejected report (spoofing evidence).
+  void IngestRejection(const RejectedReport& rejection,
+                       std::vector<DetectedEvent>* out);
+
+  /// \brief Closes open pair/duration states at end of stream.
+  void Flush(std::vector<DetectedEvent>* out);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct VesselState {
+    TrajectoryPoint last;
+    bool has_last = false;
+    std::set<uint32_t> zones;
+    bool stopped = false;
+    bool in_port_area = false;
+    // Loitering window
+    std::deque<TrajectoryPoint> window;
+    Timestamp last_loiter_alert = kInvalidTimestamp;
+    // Illegal fishing accumulation per prohibited zone
+    std::map<uint32_t, Timestamp> fishing_since;
+    std::set<uint32_t> fishing_alerted;
+    // Speed-violation rate limit per zone visit
+    std::set<uint32_t> speed_alerted;
+    // Spoof jump history
+    std::deque<Timestamp> jump_times;
+    Timestamp last_spoof_alert = kInvalidTimestamp;
+    int ship_type = 0;
+  };
+
+  struct PairState {
+    Timestamp since = 0;
+    Timestamp last_seen = 0;
+    GeoPoint where;
+    bool reported = false;
+  };
+
+  using PairKey = std::pair<Mmsi, Mmsi>;
+  static PairKey MakePair(Mmsi a, Mmsi b) {
+    return a < b ? PairKey{a, b} : PairKey{b, a};
+  }
+
+  void CheckZones(const ReconstructedPoint& rp, VesselState* vessel,
+                  std::vector<DetectedEvent>* out);
+  void CheckStopMove(const ReconstructedPoint& rp, VesselState* vessel,
+                     std::vector<DetectedEvent>* out);
+  void CheckRendezvous(const ReconstructedPoint& rp, VesselState* vessel,
+                       std::vector<DetectedEvent>* out);
+  void CheckLoitering(const ReconstructedPoint& rp, VesselState* vessel,
+                      std::vector<DetectedEvent>* out);
+  void CheckCollision(const ReconstructedPoint& rp, VesselState* vessel,
+                      std::vector<DetectedEvent>* out);
+  void CheckIllegalFishing(const ReconstructedPoint& rp, VesselState* vessel,
+                           std::vector<DetectedEvent>* out);
+
+  const ZoneDatabase* zones_;
+  Options options_;
+  std::map<Mmsi, VesselState> vessels_;
+  std::map<PairKey, PairState> rendezvous_pairs_;
+  std::map<PairKey, Timestamp> collision_alerts_;
+  GridIndex live_;
+  Stats stats_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_EVENTS_H_

@@ -1,0 +1,125 @@
+#ifndef MARLIN_CORE_FORECAST_H_
+#define MARLIN_CORE_FORECAST_H_
+
+/// \file forecast.h
+/// \brief Trajectory prediction at multiple time scales (paper §3.1:
+/// "algorithms for the prediction of anticipated vessel trajectories at
+/// different time scale, which is fundamental to achieve early warning
+/// maritime monitoring").
+///
+/// Three predictors, from baseline to route-aware:
+///  * dead reckoning — constant speed & course,
+///  * constant turn — extrapolates the recent turn rate,
+///  * flow-field — follows a motion field learned from historical traffic
+///    (a compact stand-in for route-network prediction: lanes emerge as
+///    high-confidence flow cells).
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/trajectory.h"
+
+namespace marlin {
+
+/// \brief Common predictor interface.
+class Forecaster {
+ public:
+  virtual ~Forecaster() = default;
+
+  /// \brief Predicts the position `horizon_s` seconds after the last sample
+  /// of `recent` (recent samples oldest→newest; at least one required).
+  virtual GeoPoint Predict(const std::vector<TrajectoryPoint>& recent,
+                           double horizon_s) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+/// \brief Constant speed & course baseline.
+class DeadReckoningForecaster : public Forecaster {
+ public:
+  GeoPoint Predict(const std::vector<TrajectoryPoint>& recent,
+                   double horizon_s) const override;
+  const char* name() const override { return "dead-reckoning"; }
+};
+
+/// \brief Constant-turn-rate extrapolation from the last few samples.
+class ConstantTurnForecaster : public Forecaster {
+ public:
+  /// \brief `window` = number of trailing samples used to fit the turn rate.
+  explicit ConstantTurnForecaster(int window = 5) : window_(window) {}
+
+  GeoPoint Predict(const std::vector<TrajectoryPoint>& recent,
+                   double horizon_s) const override;
+  const char* name() const override { return "constant-turn"; }
+
+ private:
+  int window_;
+};
+
+/// \brief Motion flow field learned from historical trajectories.
+///
+/// Each grid cell holds eight heading-sector accumulators of the mean
+/// velocity of traffic through it. Heading resolution is what makes the
+/// field usable on real sea lanes, which are bidirectional: a single
+/// per-cell mean would average opposing streams into nonsense. Prediction
+/// integrates the field: at each step the vessel's course relaxes toward
+/// the flow of its own traffic stream, capturing lane curvature that dead
+/// reckoning misses.
+class FlowFieldForecaster : public Forecaster {
+ public:
+  struct Options {
+    double cell_deg = 0.05;
+    double step_s = 20.0;        ///< integration step
+    double blend = 0.5;          ///< per-step course relaxation toward flow
+    uint32_t min_observations = 5;  ///< sectors below this are ignored
+  };
+
+  FlowFieldForecaster() : FlowFieldForecaster(Options()) {}
+  explicit FlowFieldForecaster(const Options& options) : options_(options) {}
+
+  /// \brief Accumulates historical traffic.
+  void Train(const Trajectory& trajectory);
+
+  GeoPoint Predict(const std::vector<TrajectoryPoint>& recent,
+                   double horizon_s) const override;
+  const char* name() const override { return "flow-field"; }
+
+  size_t CellsUsed() const { return cells_.size(); }
+
+ private:
+  struct FlowSector {
+    double east_sum = 0.0;
+    double north_sum = 0.0;
+    double speed_sum = 0.0;
+    uint32_t count = 0;
+  };
+  struct FlowCell {
+    FlowSector sectors[8];
+  };
+
+  int64_t KeyFor(const GeoPoint& p) const;
+  static int SectorFor(double cog_deg);
+
+  Options options_;
+  std::unordered_map<int64_t, FlowCell> cells_;
+};
+
+/// \brief Forecast-error measurement for experiment E9.
+struct ForecastSample {
+  double horizon_s = 0.0;
+  double error_m = 0.0;
+};
+
+/// \brief Evaluates a forecaster against ground truth: at each evaluation
+/// point, predict `horizon_s` ahead and measure the great-circle error.
+/// `warmup` = number of leading samples handed to the predictor as history.
+std::vector<ForecastSample> EvaluateForecaster(
+    const Forecaster& forecaster, const Trajectory& truth,
+    const std::vector<double>& horizons_s, int warmup = 10,
+    int stride = 10);
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_FORECAST_H_

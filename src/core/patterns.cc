@@ -1,0 +1,95 @@
+#include "core/patterns.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace marlin {
+
+int64_t PatternsOfLife::KeyFor(const GeoPoint& p) const {
+  const int32_t row =
+      static_cast<int32_t>(std::floor((p.lat + 90.0) / options_.cell_deg));
+  const int32_t col =
+      static_cast<int32_t>(std::floor((p.lon + 180.0) / options_.cell_deg));
+  return (static_cast<int64_t>(row) << 32) |
+         static_cast<int64_t>(static_cast<uint32_t>(col));
+}
+
+int PatternsOfLife::HeadingBucket(double cog_deg) {
+  const double norm = NormalizeDegrees(cog_deg);
+  return static_cast<int>(norm / 45.0) % 8;
+}
+
+void PatternsOfLife::Train(const Trajectory& trajectory) {
+  for (const TrajectoryPoint& p : trajectory.points) TrainPoint(p);
+}
+
+void PatternsOfLife::TrainPoint(const TrajectoryPoint& point) {
+  CellStats& cell = cells_[KeyFor(point.position)];
+  ++cell.count;
+  ++cell.heading[HeadingBucket(point.cog_deg)];
+  cell.speed_sum += point.sog_mps;
+  cell.speed_sq_sum += static_cast<double>(point.sog_mps) * point.sog_mps;
+  ++total_;
+}
+
+void PatternsOfLife::Finalize() {
+  max_cell_count_ = 0.0;
+  for (const auto& [key, cell] : cells_) {
+    max_cell_count_ =
+        std::max(max_cell_count_, static_cast<double>(cell.count));
+  }
+}
+
+uint64_t PatternsOfLife::CellCount(const GeoPoint& p) const {
+  auto it = cells_.find(KeyFor(p));
+  return it == cells_.end() ? 0 : it->second.count;
+}
+
+double PatternsOfLife::Score(const TrajectoryPoint& point) const {
+  auto it = cells_.find(KeyFor(point.position));
+  if (it == cells_.end() || total_ == 0) {
+    return 1.0;  // never-visited water: maximally surprising
+  }
+  const CellStats& cell = it->second;
+
+  // Spatial rarity: log-scaled visit count vs. the busiest cell.
+  const double density =
+      std::log1p(static_cast<double>(cell.count)) /
+      std::log1p(std::max(1.0, max_cell_count_));
+  const double spatial_rarity = 1.0 - std::min(1.0, density);
+
+  // Heading rarity within the cell.
+  const int bucket = HeadingBucket(point.cog_deg);
+  const double heading_p =
+      (cell.heading[bucket] + options_.smoothing) /
+      (cell.count + 8.0 * options_.smoothing);
+  const double heading_rarity = 1.0 - std::min(1.0, heading_p * 8.0 / 3.0);
+
+  // Speed deviation: z-score against cell statistics.
+  const double mean = cell.speed_sum / cell.count;
+  const double var = std::max(
+      0.25, cell.speed_sq_sum / cell.count - mean * mean);
+  const double z = std::abs(point.sog_mps - mean) / std::sqrt(var);
+  const double speed_surprise = std::min(1.0, z / 4.0);
+
+  return std::clamp(
+      0.45 * spatial_rarity + 0.25 * heading_rarity + 0.30 * speed_surprise,
+      0.0, 1.0);
+}
+
+std::optional<AnomalyDetector::Alert> AnomalyDetector::Observe(
+    uint32_t mmsi, const TrajectoryPoint& point) {
+  const double score = model_->Score(point);
+  if (score < options_.threshold) return std::nullopt;
+  auto it = last_alert_.find(mmsi);
+  if (it != last_alert_.end() &&
+      point.t - it->second < options_.realert_ms) {
+    return std::nullopt;
+  }
+  last_alert_[mmsi] = point.t;
+  return Alert{mmsi, point, score};
+}
+
+}  // namespace marlin

@@ -1,0 +1,105 @@
+#ifndef MARLIN_CORE_PATTERNS_H_
+#define MARLIN_CORE_PATTERNS_H_
+
+/// \file patterns.h
+/// \brief Patterns-of-life normalcy model and anomaly scoring (paper §4:
+/// "an explicit consideration of context provides an understanding of
+/// normalcy as a reference for anomaly detection (i.e., pattern-of-life)").
+///
+/// The model is a spatial grid × 8 heading sectors histogram with per-cell
+/// speed statistics, trained on historical trajectories. Scoring measures
+/// how surprising a (position, course, speed) observation is under the
+/// model; the anomaly detector thresholds the score.
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/trajectory.h"
+
+namespace marlin {
+
+/// \brief Grid × heading normalcy histogram.
+class PatternsOfLife {
+ public:
+  struct Options {
+    double cell_deg = 0.1;
+    /// Laplace smoothing mass for unseen cells.
+    double smoothing = 0.5;
+  };
+
+  PatternsOfLife() : PatternsOfLife(Options()) {}
+  explicit PatternsOfLife(const Options& options) : options_(options) {}
+
+  /// \brief Accumulates one trajectory into the model.
+  void Train(const Trajectory& trajectory);
+
+  /// \brief Accumulates a single observation.
+  void TrainPoint(const TrajectoryPoint& point);
+
+  /// \brief Finishes training (computes totals); cheap, idempotent.
+  void Finalize();
+
+  /// \brief Anomaly score in [0, 1]: combines spatial rarity, heading
+  /// rarity within the cell, and speed deviation from the cell mean.
+  /// Higher = more anomalous.
+  double Score(const TrajectoryPoint& point) const;
+
+  /// \brief Observation density of the cell containing `p`
+  /// (counts; 0 = never visited).
+  uint64_t CellCount(const GeoPoint& p) const;
+
+  uint64_t TotalObservations() const { return total_; }
+  size_t CellsUsed() const { return cells_.size(); }
+
+ private:
+  struct CellStats {
+    uint64_t count = 0;
+    uint64_t heading[8] = {0};
+    double speed_sum = 0.0;
+    double speed_sq_sum = 0.0;
+  };
+
+  int64_t KeyFor(const GeoPoint& p) const;
+  static int HeadingBucket(double cog_deg);
+
+  Options options_;
+  std::unordered_map<int64_t, CellStats> cells_;
+  uint64_t total_ = 0;
+  double max_cell_count_ = 0.0;
+};
+
+/// \brief Thresholding detector over the normalcy model.
+class AnomalyDetector {
+ public:
+  struct Options {
+    double threshold = 0.75;
+    /// Alerts for one vessel are spaced at least this far apart.
+    DurationMs realert_ms = 30 * kMillisPerMinute;
+  };
+
+  struct Alert {
+    uint32_t mmsi = 0;
+    TrajectoryPoint point;
+    double score = 0.0;
+  };
+
+  AnomalyDetector(const PatternsOfLife* model, const Options& options)
+      : model_(model), options_(options) {}
+  explicit AnomalyDetector(const PatternsOfLife* model)
+      : AnomalyDetector(model, Options()) {}
+
+  /// \brief Scores one observation; returns an alert when above threshold
+  /// (subject to per-vessel rate limiting).
+  std::optional<Alert> Observe(uint32_t mmsi, const TrajectoryPoint& point);
+
+ private:
+  const PatternsOfLife* model_;
+  Options options_;
+  std::unordered_map<uint32_t, Timestamp> last_alert_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_PATTERNS_H_

@@ -1,0 +1,127 @@
+#include "core/pipeline.h"
+
+namespace marlin {
+
+MaritimePipeline::MaritimePipeline(const PipelineConfig& config,
+                                   const ZoneDatabase* zones,
+                                   const WeatherProvider* weather,
+                                   const VesselRegistry* registry_a,
+                                   const VesselRegistry* registry_b)
+    : config_(config),
+      reconstructor_(config.reconstruction),
+      synopses_(config.synopses),
+      events_(zones, config.events),
+      enrichment_(zones, weather, registry_a, registry_b, &source_quality_),
+      store_(config.store),
+      coverage_(config.coverage) {}
+
+std::vector<DetectedEvent> MaritimePipeline::IngestNmea(
+    const std::string& line, Timestamp ingest_time) {
+  std::vector<DetectedEvent> detected;
+  std::optional<AisMessage> msg = decoder_.Decode(line, ingest_time);
+  if (!msg.has_value()) return detected;
+
+  if (config_.enable_quality_assessment) quality_.Observe(*msg);
+
+  if (const auto* sv = std::get_if<StaticVoyageData>(&*msg)) {
+    events_.SetVesselInfo(sv->mmsi, sv->ship_type);
+    return detected;
+  }
+
+  const PositionReport* pr = std::get_if<PositionReport>(&*msg);
+  const ExtendedClassBReport* eb = std::get_if<ExtendedClassBReport>(&*msg);
+  if (pr == nullptr && eb != nullptr) pr = &eb->position_report;
+  if (pr == nullptr) return detected;
+
+  metrics_.ingest_rate.Observe(ingest_time);
+
+  std::vector<ReconstructedPoint> points;
+  std::vector<RejectedReport> rejections;
+  reconstructor_.Ingest(*pr, &points, &rejections);
+  for (const RejectedReport& rej : rejections) {
+    events_.IngestRejection(rej, &detected);
+  }
+  for (const ReconstructedPoint& rp : points) {
+    ProcessPoint(rp, &detected);
+    metrics_.end_to_end_latency.Observe(ingest_time - rp.point.t);
+  }
+
+  for (const DetectedEvent& ev : detected) {
+    if (ev.severity >= 0.5) {
+      ++metrics_.alerts;
+      if (alert_callback_) alert_callback_(ev);
+    }
+  }
+  // Refresh stat snapshots.
+  metrics_.decoder = decoder_.stats();
+  metrics_.reconstruction = reconstructor_.stats();
+  metrics_.synopses = synopses_.stats();
+  metrics_.events = events_.stats();
+  metrics_.enrichment = enrichment_.stats();
+  metrics_.quality = quality_.report();
+  return detected;
+}
+
+void MaritimePipeline::ProcessPoint(const ReconstructedPoint& rp,
+                                    std::vector<DetectedEvent>* out) {
+  coverage_.Observe(rp.mmsi, rp.point.t);
+
+  // Synopsis stage.
+  std::vector<CriticalPoint> critical;
+  synopses_.Ingest(rp, &critical);
+  for (const CriticalPoint& cp : critical) synopsis_log_.push_back(cp);
+
+  // Storage stage: full rate, or synopsis-only (in-situ mode).
+  if (config_.store_full_rate) {
+    (void)store_.Append(rp.mmsi, rp.point);
+  } else {
+    for (const CriticalPoint& cp : critical) {
+      (void)store_.Append(cp.mmsi, cp.point);
+    }
+  }
+
+  // Enrichment + event recognition.
+  (void)enrichment_.Enrich(rp);
+  events_.Ingest(rp, out);
+}
+
+std::vector<DetectedEvent> MaritimePipeline::Run(
+    const std::vector<Event<std::string>>& nmea) {
+  std::vector<DetectedEvent> all;
+  for (const auto& ev : nmea) {
+    auto detected = IngestNmea(ev.payload, ev.ingest_time);
+    all.insert(all.end(), detected.begin(), detected.end());
+  }
+  auto tail = Finish();
+  all.insert(all.end(), tail.begin(), tail.end());
+  return all;
+}
+
+std::vector<DetectedEvent> MaritimePipeline::Finish() {
+  std::vector<DetectedEvent> detected;
+  std::vector<ReconstructedPoint> points;
+  std::vector<RejectedReport> rejections;
+  reconstructor_.Flush(&points, &rejections);
+  for (const RejectedReport& rej : rejections) {
+    events_.IngestRejection(rej, &detected);
+  }
+  for (const ReconstructedPoint& rp : points) {
+    ProcessPoint(rp, &detected);
+  }
+  events_.Flush(&detected);
+  for (const DetectedEvent& ev : detected) {
+    if (ev.severity >= 0.5) {
+      ++metrics_.alerts;
+      if (alert_callback_) alert_callback_(ev);
+    }
+  }
+  metrics_.decoder = decoder_.stats();
+  metrics_.reconstruction = reconstructor_.stats();
+  metrics_.synopses = synopses_.stats();
+  metrics_.events = events_.stats();
+  metrics_.enrichment = enrichment_.stats();
+  metrics_.quality = quality_.report();
+  return detected;
+}
+
+}  // namespace marlin

@@ -1,0 +1,115 @@
+#ifndef MARLIN_CORE_PIPELINE_H_
+#define MARLIN_CORE_PIPELINE_H_
+
+/// \file pipeline.h
+/// \brief The integrated maritime information infrastructure of Figure 2:
+/// NMEA streams → decoding → trajectory reconstruction → synopses →
+/// enrichment → event recognition → live picture & alerts, with per-stage
+/// metrics.
+///
+/// One `MaritimePipeline` instance is the system under test in the
+/// end-to-end experiments (E1, E5, F2) and the object the examples drive.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ais/codec.h"
+#include "ais/validation.h"
+#include "context/registry.h"
+#include "context/weather.h"
+#include "context/zones.h"
+#include "core/enrichment.h"
+#include "core/events.h"
+#include "core/reconstruction.h"
+#include "core/synopses.h"
+#include "storage/trajectory_store.h"
+#include "stream/event.h"
+#include "stream/rate.h"
+#include "uncertainty/openworld.h"
+
+namespace marlin {
+
+/// \brief Pipeline configuration: which context sources to join and the
+/// per-stage options.
+struct PipelineConfig {
+  TrajectoryReconstructor::Options reconstruction;
+  SynopsisEngine::Options synopses;
+  EventEngine::Options events;
+  TrajectoryStore::Options store;
+  CoverageModel::Options coverage;
+  /// Store full-rate trajectories (true) or synopses only (false) — the
+  /// in-situ trade-off of E12.
+  bool store_full_rate = true;
+  bool enable_quality_assessment = true;
+};
+
+/// \brief Per-stage pipeline metrics (the Figure-2 instrumentation).
+struct PipelineMetrics {
+  AisDecoder::Stats decoder;
+  TrajectoryReconstructor::Stats reconstruction;
+  SynopsisEngine::Stats synopses;
+  EventEngine::Stats events;
+  EnrichmentEngine::Stats enrichment;
+  QualityAssessor::Report quality;
+  uint64_t alerts = 0;
+  RateMeter ingest_rate;
+  LatencyReservoir end_to_end_latency;  ///< event time → processed
+};
+
+/// \brief The integrated system.
+class MaritimePipeline {
+ public:
+  /// \brief Context sources may be null; the corresponding enrichment is
+  /// skipped.
+  MaritimePipeline(const PipelineConfig& config, const ZoneDatabase* zones,
+                   const WeatherProvider* weather,
+                   const VesselRegistry* registry_a,
+                   const VesselRegistry* registry_b);
+
+  /// \brief Alert callback: invoked for events with severity ≥ 0.5.
+  void OnAlert(std::function<void(const DetectedEvent&)> callback) {
+    alert_callback_ = std::move(callback);
+  }
+
+  /// \brief Feeds one NMEA line with its ingest timestamp. Returns the
+  /// events detected as a consequence of this line.
+  std::vector<DetectedEvent> IngestNmea(const std::string& line,
+                                        Timestamp ingest_time);
+
+  /// \brief Convenience: runs a whole pre-generated stream (arrival order).
+  std::vector<DetectedEvent> Run(const std::vector<Event<std::string>>& nmea);
+
+  /// \brief Flushes reorder buffers and closes open pattern states.
+  std::vector<DetectedEvent> Finish();
+
+  const TrajectoryStore& store() const { return store_; }
+  const CoverageModel& coverage() const { return coverage_; }
+  const PipelineMetrics& metrics() const { return metrics_; }
+  const std::vector<CriticalPoint>& synopsis_log() const {
+    return synopsis_log_;
+  }
+
+ private:
+  void ProcessPoint(const ReconstructedPoint& rp,
+                    std::vector<DetectedEvent>* out);
+
+  PipelineConfig config_;
+  AisDecoder decoder_;
+  TrajectoryReconstructor reconstructor_;
+  SynopsisEngine synopses_;
+  EventEngine events_;
+  SourceQualityModel source_quality_;
+  EnrichmentEngine enrichment_;
+  TrajectoryStore store_;
+  CoverageModel coverage_;
+  QualityAssessor quality_;
+  PipelineMetrics metrics_;
+  std::vector<CriticalPoint> synopsis_log_;
+  std::function<void(const DetectedEvent&)> alert_callback_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_PIPELINE_H_

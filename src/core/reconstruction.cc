@@ -1,0 +1,132 @@
+#include "core/reconstruction.h"
+
+#include <cmath>
+
+#include "common/units.h"
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+Timestamp ResolveEventTime(int utc_second, Timestamp received_at,
+                           DurationMs max_age_ms) {
+  if (utc_second < 0 || utc_second > 59) return received_at;
+  // Candidate minute boundaries around the receive time; pick the candidate
+  // with the right seconds value closest to (and not after) received_at,
+  // allowing small clock skew forward.
+  const Timestamp rx_minute = received_at - (received_at % kMillisPerMinute);
+  for (Timestamp minute = rx_minute + kMillisPerMinute;
+       minute >= received_at - max_age_ms - kMillisPerMinute;
+       minute -= kMillisPerMinute) {
+    const Timestamp candidate = minute + utc_second * kMillisPerSecond;
+    if (candidate <= received_at + 2 * kMillisPerSecond &&
+        candidate >= received_at - max_age_ms) {
+      return candidate;
+    }
+  }
+  return received_at;
+}
+
+TrajectoryReconstructor::TrajectoryReconstructor(const Options& options)
+    : options_(options),
+      reorder_(ReorderBuffer<PositionReport>::Options{
+          options.reorder_delay_ms, /*emit_late_events=*/false}) {}
+
+void TrajectoryReconstructor::Ingest(const PositionReport& report,
+                                     std::vector<ReconstructedPoint>* out,
+                                     std::vector<RejectedReport>* rejected) {
+  ++stats_.reports_in;
+  if (!report.HasPosition() || report.received_at == kInvalidTimestamp) {
+    ++stats_.invalid;
+    if (rejected != nullptr) {
+      rejected->push_back(RejectedReport{RejectedReport::Reason::kInvalid,
+                                         report.mmsi, report.received_at,
+                                         report.position, 0.0});
+    }
+    return;
+  }
+  const Timestamp event_time =
+      ResolveEventTime(report.utc_second, report.received_at);
+  std::vector<Event<PositionReport>> released;
+  reorder_.Push(Event<PositionReport>(event_time, report.received_at, 0,
+                                      report),
+                &released);
+  stats_.late_dropped = reorder_.stats().dropped_late;
+  for (const auto& ev : released) {
+    Process(ev.payload, ev.event_time, out, rejected);
+  }
+}
+
+void TrajectoryReconstructor::Flush(std::vector<ReconstructedPoint>* out,
+                                    std::vector<RejectedReport>* rejected) {
+  std::vector<Event<PositionReport>> released;
+  reorder_.Flush(&released);
+  for (const auto& ev : released) {
+    Process(ev.payload, ev.event_time, out, rejected);
+  }
+}
+
+void TrajectoryReconstructor::Process(const PositionReport& report,
+                                      Timestamp event_time,
+                                      std::vector<ReconstructedPoint>* out,
+                                      std::vector<RejectedReport>* rejected) {
+  VesselState& vessel = vessels_[report.mmsi];
+
+  if (vessel.last_t != kInvalidTimestamp) {
+    const DurationMs dt = event_time - vessel.last_t;
+    if (dt <= 0 || dt < options_.duplicate_window_ms) {
+      // Same instant (multi-receiver duplicate) or stale after reordering.
+      const bool dup = std::abs(dt) < options_.duplicate_window_ms;
+      if (dup) {
+        ++stats_.duplicates;
+      } else {
+        ++stats_.stale;
+      }
+      if (rejected != nullptr) {
+        rejected->push_back(RejectedReport{
+            dup ? RejectedReport::Reason::kDuplicate
+                : RejectedReport::Reason::kStale,
+            report.mmsi, event_time, report.position, 0.0});
+      }
+      return;
+    }
+    const double dist = HaversineDistance(vessel.last_pos, report.position);
+    const double implied =
+        dist / (static_cast<double>(dt) / kMillisPerSecond);
+    if (implied > options_.max_speed_mps) {
+      ++stats_.outliers;
+      if (rejected != nullptr) {
+        rejected->push_back(RejectedReport{
+            RejectedReport::Reason::kImpossibleJump, report.mmsi, event_time,
+            report.position, implied});
+      }
+      return;
+    }
+  }
+
+  ReconstructedPoint rp;
+  rp.mmsi = report.mmsi;
+  rp.point.t = event_time;
+  rp.point.position = report.position;
+  rp.point.sog_mps = report.HasSpeed()
+                         ? static_cast<float>(KnotsToMps(report.sog_knots))
+                         : 0.0f;
+  rp.point.cog_deg =
+      report.HasCourse() ? static_cast<float>(report.cog_deg) : 0.0f;
+  if (vessel.last_t == kInvalidTimestamp) {
+    rp.starts_segment = true;
+    ++stats_.segments_started;
+  } else {
+    const DurationMs gap = event_time - vessel.last_t;
+    if (gap > options_.gap_threshold_ms) {
+      rp.starts_segment = true;
+      rp.gap_before_ms = gap;
+      ++stats_.segments_started;
+    }
+  }
+  vessel.last_t = event_time;
+  vessel.last_pos = report.position;
+  ++stats_.points_out;
+  if (out != nullptr) out->push_back(rp);
+}
+
+}  // namespace marlin

@@ -1,0 +1,123 @@
+#ifndef MARLIN_CORE_RECONSTRUCTION_H_
+#define MARLIN_CORE_RECONSTRUCTION_H_
+
+/// \file reconstruction.h
+/// \brief Real-time vessel trajectory reconstruction from noisy, delayed,
+/// duplicated and conflicting position streams (paper §3.1: "real-time
+/// reconstruction of vessel trajectories, supported by real-time analysis of
+/// multiple and voluminous streams of data on possibly conflicting vessel
+/// positions").
+///
+/// Responsibilities:
+///  * event-time recovery: AIS position reports carry only a UTC-second
+///    field; full timestamps are reconstructed against receiver time,
+///  * watermark-driven reordering of interleaved terrestrial/satellite
+///    deliveries,
+///  * duplicate suppression (multi-receiver and processing dupes),
+///  * kinematic outlier rejection (impossible jumps — also the raw material
+///    for spoofing detection downstream),
+///  * gap segmentation (dark-period boundaries).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "ais/types.h"
+#include "storage/trajectory.h"
+#include "stream/event.h"
+#include "stream/reorder.h"
+
+namespace marlin {
+
+/// \brief Recovers the full event time of a report from its UTC-second field
+/// and the receiver timestamp: the instant with matching seconds value
+/// closest to (and at most `max_age_ms` before) `received_at`.
+/// Falls back to `received_at` when the seconds field is unavailable (60+).
+Timestamp ResolveEventTime(int utc_second, Timestamp received_at,
+                           DurationMs max_age_ms = 10 * kMillisPerMinute);
+
+/// \brief One rejected report with the reason (fed to spoof detection).
+struct RejectedReport {
+  enum class Reason : uint8_t {
+    kDuplicate = 0,
+    kStale,          ///< older than the per-vessel frontier after reordering
+    kImpossibleJump, ///< implied speed above the physical cap
+    kInvalid,        ///< no usable position/time
+  };
+  Reason reason;
+  Mmsi mmsi = 0;
+  Timestamp t = 0;
+  GeoPoint reported;
+  double implied_speed_mps = 0.0;
+};
+
+/// \brief A reconstruction output sample with segmentation flags.
+struct ReconstructedPoint {
+  Mmsi mmsi = 0;
+  TrajectoryPoint point;
+  bool starts_segment = false;    ///< first point after a gap (or ever)
+  DurationMs gap_before_ms = 0;   ///< length of the preceding gap, if any
+};
+
+/// \brief Streaming trajectory reconstructor.
+class TrajectoryReconstructor {
+ public:
+  struct Options {
+    /// Watermark delay for the reorder stage (covers satellite latency).
+    DurationMs reorder_delay_ms = 2 * kMillisPerMinute;
+    /// Gap threshold: silence longer than this starts a new segment.
+    DurationMs gap_threshold_ms = 10 * kMillisPerMinute;
+    /// Physical speed cap for jump rejection (≈ 97 knots).
+    double max_speed_mps = 50.0;
+    /// Two reports of one vessel closer than this in time are duplicates.
+    DurationMs duplicate_window_ms = 500;
+  };
+
+  struct Stats {
+    uint64_t reports_in = 0;
+    uint64_t points_out = 0;
+    uint64_t duplicates = 0;
+    uint64_t stale = 0;
+    uint64_t outliers = 0;
+    uint64_t invalid = 0;
+    uint64_t late_dropped = 0;
+    uint64_t segments_started = 0;
+  };
+
+  TrajectoryReconstructor() : TrajectoryReconstructor(Options()) {}
+  explicit TrajectoryReconstructor(const Options& options);
+
+  /// \brief Ingests one decoded position report (any arrival order).
+  /// Clean points and rejections are appended to the output vectors
+  /// (either may be null if the caller does not care).
+  void Ingest(const PositionReport& report,
+              std::vector<ReconstructedPoint>* out,
+              std::vector<RejectedReport>* rejected);
+
+  /// \brief Flushes the reorder buffer at end of stream.
+  void Flush(std::vector<ReconstructedPoint>* out,
+             std::vector<RejectedReport>* rejected);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct VesselState {
+    Timestamp last_t = kInvalidTimestamp;
+    GeoPoint last_pos;
+  };
+
+  /// Processes one event-time-ordered report.
+  void Process(const PositionReport& report, Timestamp event_time,
+               std::vector<ReconstructedPoint>* out,
+               std::vector<RejectedReport>* rejected);
+
+  Options options_;
+  ReorderBuffer<PositionReport> reorder_;
+  std::map<Mmsi, VesselState> vessels_;
+  Stats stats_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_RECONSTRUCTION_H_

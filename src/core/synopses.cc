@@ -1,0 +1,167 @@
+#include "core/synopses.h"
+
+#include <cmath>
+
+#include "common/units.h"
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+const char* CriticalPointTypeName(CriticalPointType t) {
+  switch (t) {
+    case CriticalPointType::kSegmentStart:
+      return "segment-start";
+    case CriticalPointType::kSegmentEnd:
+      return "segment-end";
+    case CriticalPointType::kStop:
+      return "stop";
+    case CriticalPointType::kRestart:
+      return "restart";
+    case CriticalPointType::kTurn:
+      return "turn";
+    case CriticalPointType::kSpeedChange:
+      return "speed-change";
+    case CriticalPointType::kDeviation:
+      return "deviation";
+    case CriticalPointType::kHeartbeat:
+      return "heartbeat";
+  }
+  return "unknown";
+}
+
+void SynopsisEngine::Emit(Mmsi mmsi, const TrajectoryPoint& p,
+                          CriticalPointType type, VesselState* vessel,
+                          std::vector<CriticalPoint>* out) {
+  out->push_back(CriticalPoint{mmsi, p, type});
+  vessel->last_emitted = p;
+  vessel->has_last_emitted = true;
+  ++stats_.points_out;
+}
+
+void SynopsisEngine::Ingest(const ReconstructedPoint& rp,
+                            std::vector<CriticalPoint>* out) {
+  ++stats_.points_in;
+  VesselState& vessel = vessels_[rp.mmsi];
+  const TrajectoryPoint& p = rp.point;
+
+  if (!vessel.has_last_emitted) {
+    Emit(rp.mmsi, p, CriticalPointType::kSegmentStart, &vessel, out);
+    vessel.stopped = p.sog_mps < options_.stop_speed_mps;
+    vessel.prev = p;
+    vessel.has_prev = true;
+    return;
+  }
+
+  if (rp.starts_segment) {
+    // Close the previous segment at its last known sample, then open a new
+    // one here — gap boundaries are always critical.
+    if (vessel.has_prev && vessel.prev.t != vessel.last_emitted.t) {
+      Emit(rp.mmsi, vessel.prev, CriticalPointType::kSegmentEnd, &vessel, out);
+    }
+    Emit(rp.mmsi, p, CriticalPointType::kSegmentStart, &vessel, out);
+    vessel.stopped = p.sog_mps < options_.stop_speed_mps;
+    vessel.prev = p;
+    return;
+  }
+
+  const TrajectoryPoint& last = vessel.last_emitted;
+
+  // Stop / restart transitions.
+  const bool now_stopped = p.sog_mps < options_.stop_speed_mps;
+  if (now_stopped != vessel.stopped) {
+    Emit(rp.mmsi, p,
+         now_stopped ? CriticalPointType::kStop : CriticalPointType::kRestart,
+         &vessel, out);
+    vessel.stopped = now_stopped;
+    vessel.prev = p;
+    return;
+  }
+
+  // Turn.
+  if (!now_stopped &&
+      std::abs(AngleDifference(p.cog_deg, last.cog_deg)) >
+          options_.turn_threshold_deg) {
+    Emit(rp.mmsi, p, CriticalPointType::kTurn, &vessel, out);
+    vessel.prev = p;
+    return;
+  }
+
+  // Speed change (relative to last emitted).
+  const double base_speed = std::max(0.5, static_cast<double>(last.sog_mps));
+  if (std::abs(p.sog_mps - last.sog_mps) / base_speed >
+      options_.speed_change_rel) {
+    Emit(rp.mmsi, p, CriticalPointType::kSpeedChange, &vessel, out);
+    vessel.prev = p;
+    return;
+  }
+
+  // Dead-reckoning deviation: where would we place this sample by
+  // interpolating the synopsis? If the DR prediction from the last critical
+  // point misses by more than the bound, the *previous* raw point is the
+  // last one the bound still covered — emit it (retrospective emission keeps
+  // the error bound tight without emitting the noisy current point twice).
+  const double dt_s =
+      static_cast<double>(p.t - last.t) / kMillisPerSecond;
+  const GeoPoint predicted =
+      Destination(last.position, last.cog_deg, last.sog_mps * dt_s);
+  if (HaversineDistance(predicted, p.position) >
+      options_.deviation_threshold_m) {
+    if (vessel.has_prev && vessel.prev.t > last.t) {
+      Emit(rp.mmsi, vessel.prev, CriticalPointType::kDeviation, &vessel, out);
+      // Re-check the current point against the newly emitted one.
+      const double dt2_s =
+          static_cast<double>(p.t - vessel.last_emitted.t) / kMillisPerSecond;
+      const GeoPoint pred2 =
+          Destination(vessel.last_emitted.position, vessel.last_emitted.cog_deg,
+                      vessel.last_emitted.sog_mps * dt2_s);
+      if (HaversineDistance(pred2, p.position) >
+          options_.deviation_threshold_m) {
+        Emit(rp.mmsi, p, CriticalPointType::kDeviation, &vessel, out);
+      }
+    } else {
+      Emit(rp.mmsi, p, CriticalPointType::kDeviation, &vessel, out);
+    }
+    vessel.prev = p;
+    return;
+  }
+
+  // Heartbeat.
+  if (p.t - last.t >= options_.heartbeat_ms) {
+    Emit(rp.mmsi, p, CriticalPointType::kHeartbeat, &vessel, out);
+  }
+  vessel.prev = p;
+}
+
+std::vector<CriticalPoint> SynopsisEngine::CompressTrajectory(
+    const Trajectory& trajectory) {
+  std::vector<CriticalPoint> out;
+  for (const TrajectoryPoint& p : trajectory.points) {
+    ReconstructedPoint rp;
+    rp.mmsi = trajectory.mmsi;
+    rp.point = p;
+    rp.starts_segment = false;
+    Ingest(rp, &out);
+  }
+  // Always close the trajectory with its final point so reconstruction can
+  // interpolate to the end.
+  if (!trajectory.points.empty()) {
+    VesselState& vessel = vessels_[trajectory.mmsi];
+    if (vessel.last_emitted.t != trajectory.points.back().t) {
+      Emit(trajectory.mmsi, trajectory.points.back(),
+           CriticalPointType::kSegmentEnd, &vessel, &out);
+    }
+  }
+  return out;
+}
+
+Trajectory ReconstructFromSynopsis(
+    Mmsi mmsi, const std::vector<CriticalPoint>& synopsis) {
+  Trajectory out;
+  out.mmsi = mmsi;
+  for (const CriticalPoint& cp : synopsis) {
+    if (cp.mmsi == mmsi) out.points.push_back(cp.point);
+  }
+  return out;
+}
+
+}  // namespace marlin

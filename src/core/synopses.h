@@ -1,0 +1,107 @@
+#ifndef MARLIN_CORE_SYNOPSES_H_
+#define MARLIN_CORE_SYNOPSES_H_
+
+/// \file synopses.h
+/// \brief Online trajectory synopses: critical-point compression of vessel
+/// streams (paper §2.1: "state of the art techniques have achieved a
+/// compression ratio of 95 % over AIS vessel traces. The challenge here is
+/// to address high levels of data compression without compromising the
+/// accuracy of the prediction / detection components").
+///
+/// The datAcron-style synopsis keeps only *critical points*: segment
+/// starts/ends (gaps), stops/restarts, significant turns, significant speed
+/// changes, and points whose omission would exceed a dead-reckoning error
+/// bound. Everything else is reconstructible by interpolation within the
+/// bound.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ais/types.h"
+#include "core/reconstruction.h"
+#include "storage/trajectory.h"
+
+namespace marlin {
+
+/// \brief Why a point was kept in the synopsis.
+enum class CriticalPointType : uint8_t {
+  kSegmentStart = 0,
+  kSegmentEnd,     ///< emitted retrospectively when a gap opens
+  kStop,           ///< speed dropped below the stop threshold
+  kRestart,        ///< speed rose above the stop threshold
+  kTurn,           ///< course changed beyond the turn threshold
+  kSpeedChange,    ///< speed changed beyond the relative threshold
+  kDeviation,      ///< dead-reckoning error bound exceeded
+  kHeartbeat,      ///< periodic keep-alive (bounds reconstruction gaps)
+};
+
+const char* CriticalPointTypeName(CriticalPointType t);
+
+/// \brief One synopsis sample.
+struct CriticalPoint {
+  Mmsi mmsi = 0;
+  TrajectoryPoint point;
+  CriticalPointType type = CriticalPointType::kSegmentStart;
+};
+
+/// \brief Streaming synopsis engine (one instance serves all vessels).
+class SynopsisEngine {
+ public:
+  struct Options {
+    double turn_threshold_deg = 8.0;
+    double speed_change_rel = 0.25;       ///< relative SOG change
+    double stop_speed_mps = 0.6;          ///< ≈ 1.2 knots
+    double deviation_threshold_m = 50.0;  ///< dead-reckoning error bound
+    DurationMs heartbeat_ms = 15 * kMillisPerMinute;
+  };
+
+  struct Stats {
+    uint64_t points_in = 0;
+    uint64_t points_out = 0;
+    double CompressionRatio() const {
+      return points_in == 0
+                 ? 0.0
+                 : 1.0 - static_cast<double>(points_out) /
+                             static_cast<double>(points_in);
+    }
+  };
+
+  SynopsisEngine() : SynopsisEngine(Options()) {}
+  explicit SynopsisEngine(const Options& options) : options_(options) {}
+
+  /// \brief Consumes one reconstructed point; emits zero or more critical
+  /// points (a deviation may retro-emit the previous point).
+  void Ingest(const ReconstructedPoint& rp, std::vector<CriticalPoint>* out);
+
+  /// \brief Compresses a whole trajectory offline (batch convenience used
+  /// by E2 and tests).
+  std::vector<CriticalPoint> CompressTrajectory(const Trajectory& trajectory);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct VesselState {
+    bool has_last_emitted = false;
+    TrajectoryPoint last_emitted;   ///< last critical point
+    bool stopped = false;
+    bool has_prev = false;
+    TrajectoryPoint prev;           ///< previous raw point (for retro-emit)
+  };
+
+  void Emit(Mmsi mmsi, const TrajectoryPoint& p, CriticalPointType type,
+            VesselState* vessel, std::vector<CriticalPoint>* out);
+
+  Options options_;
+  std::map<Mmsi, VesselState> vessels_;
+  Stats stats_;
+};
+
+/// \brief Rebuilds an approximate trajectory from a synopsis (linear
+/// interpolation between critical points) — used to measure SED error.
+Trajectory ReconstructFromSynopsis(Mmsi mmsi,
+                                   const std::vector<CriticalPoint>& synopsis);
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_SYNOPSES_H_

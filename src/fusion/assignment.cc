@@ -1,0 +1,82 @@
+#include "fusion/assignment.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace marlin {
+
+AssignmentResult SolveAssignment(const std::vector<std::vector<double>>& cost,
+                                 double forbidden_cost) {
+  AssignmentResult result;
+  const int rows = static_cast<int>(cost.size());
+  if (rows == 0) return result;
+  const int cols = static_cast<int>(cost[0].size());
+  result.row_to_col.assign(rows, -1);
+  if (cols == 0) return result;
+
+  // Square the matrix by padding with forbidden cost; padded pairs are
+  // stripped from the result.
+  const int n = std::max(rows, cols);
+  const double kPad = forbidden_cost;
+  auto at = [&](int r, int c) -> double {
+    if (r < rows && c < cols) return std::min(cost[r][c], kPad);
+    return kPad;
+  };
+
+  // Kuhn–Munkres with row/column potentials (the classic O(n³) "e-maxx"
+  // formulation, 1-indexed internals).
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      double delta = kInf;
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = at(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  for (int j = 1; j <= n; ++j) {
+    const int i = p[j];
+    if (i >= 1 && i <= rows && j <= cols) {
+      if (cost[i - 1][j - 1] < forbidden_cost) {
+        result.row_to_col[i - 1] = j - 1;
+        result.total_cost += cost[i - 1][j - 1];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace marlin

@@ -1,0 +1,29 @@
+#ifndef MARLIN_FUSION_ASSIGNMENT_H_
+#define MARLIN_FUSION_ASSIGNMENT_H_
+
+/// \file assignment.h
+/// \brief Optimal assignment (Hungarian algorithm) for global-nearest-
+/// neighbour data association (paper §2.4: associating contacts to tracks).
+
+#include <vector>
+
+namespace marlin {
+
+/// \brief Result of an assignment: `row_to_col[i]` is the column matched to
+/// row i, or -1 when row i is unassigned (cost above the gate / padding).
+struct AssignmentResult {
+  std::vector<int> row_to_col;
+  double total_cost = 0.0;
+};
+
+/// \brief Solves min-cost assignment on a rectangular cost matrix.
+///
+/// `cost[i][j]` is the cost of pairing row i with column j. Pairs whose cost
+/// is ≥ `forbidden_cost` are never matched (treated as gated out). O(n³)
+/// Hungarian (Kuhn–Munkres with potentials).
+AssignmentResult SolveAssignment(const std::vector<std::vector<double>>& cost,
+                                 double forbidden_cost = 1e12);
+
+}  // namespace marlin
+
+#endif  // MARLIN_FUSION_ASSIGNMENT_H_

@@ -1,0 +1,135 @@
+#include "fusion/kalman.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace marlin {
+
+void KalmanCv::Init(const PositionMeasurement& z, double velocity_sigma) {
+  x_ = Vec4::Zero();
+  x_(0, 0) = z.position.east;
+  x_(1, 0) = z.position.north;
+  P_ = Mat4::Zero();
+  P_(0, 0) = z.sigma_m * z.sigma_m;
+  P_(1, 1) = z.sigma_m * z.sigma_m;
+  P_(2, 2) = velocity_sigma * velocity_sigma;
+  P_(3, 3) = velocity_sigma * velocity_sigma;
+  time_ = z.t;
+  initialized_ = true;
+}
+
+void KalmanCv::PredictInternal(double dt_s) {
+  if (dt_s <= 0.0) return;
+  Mat4 F = Mat4::Identity();
+  F(0, 2) = dt_s;
+  F(1, 3) = dt_s;
+  // Piecewise-white-acceleration process noise.
+  const double dt2 = dt_s * dt_s;
+  const double dt3 = dt2 * dt_s;
+  Mat4 Q = Mat4::Zero();
+  Q(0, 0) = Q(1, 1) = q_ * dt3 / 3.0;
+  Q(0, 2) = Q(2, 0) = q_ * dt2 / 2.0;
+  Q(1, 3) = Q(3, 1) = q_ * dt2 / 2.0;
+  Q(2, 2) = Q(3, 3) = q_ * dt_s;
+  x_ = F * x_;
+  P_ = F * P_ * F.Transpose() + Q;
+}
+
+void KalmanCv::Predict(Timestamp t) {
+  if (!initialized_ || t <= time_) return;
+  PredictInternal(static_cast<double>(t - time_) / kMillisPerSecond);
+  time_ = t;
+}
+
+double KalmanCv::MahalanobisSq(const PositionMeasurement& z) const {
+  // Innovation against the *current* (already predicted) state.
+  const double ie = z.position.east - x_(0, 0);
+  const double in = z.position.north - x_(1, 0);
+  Mat2 S;
+  S(0, 0) = P_(0, 0) + z.sigma_m * z.sigma_m;
+  S(0, 1) = P_(0, 1);
+  S(1, 0) = P_(1, 0);
+  S(1, 1) = P_(1, 1) + z.sigma_m * z.sigma_m;
+  Mat2 S_inv;
+  if (!Invert2x2(S, &S_inv)) return 1e18;
+  return ie * (S_inv(0, 0) * ie + S_inv(0, 1) * in) +
+         in * (S_inv(1, 0) * ie + S_inv(1, 1) * in);
+}
+
+void KalmanCv::Update(const PositionMeasurement& z) {
+  if (!initialized_) {
+    Init(z);
+    return;
+  }
+  Predict(z.t);
+  // H = [I2 | 0]; S = HPH' + R ; K = PH'S^-1.
+  Mat2 S;
+  S(0, 0) = P_(0, 0) + z.sigma_m * z.sigma_m;
+  S(0, 1) = P_(0, 1);
+  S(1, 0) = P_(1, 0);
+  S(1, 1) = P_(1, 1) + z.sigma_m * z.sigma_m;
+  Mat2 S_inv;
+  if (!Invert2x2(S, &S_inv)) return;
+
+  // K (4×2) = P H^T S^-1; H^T selects the first two columns of P.
+  Matrix<4, 2> PHt;
+  for (int i = 0; i < 4; ++i) {
+    PHt(i, 0) = P_(i, 0);
+    PHt(i, 1) = P_(i, 1);
+  }
+  const Matrix<4, 2> K = PHt * S_inv;
+
+  const double ie = z.position.east - x_(0, 0);
+  const double in = z.position.north - x_(1, 0);
+  for (int i = 0; i < 4; ++i) {
+    x_(i, 0) += K(i, 0) * ie + K(i, 1) * in;
+  }
+  // P = (I - K H) P ; KH affects the first two columns.
+  Mat4 KH = Mat4::Zero();
+  for (int i = 0; i < 4; ++i) {
+    KH(i, 0) = K(i, 0);
+    KH(i, 1) = K(i, 1);
+  }
+  P_ = (Mat4::Identity() - KH) * P_;
+  time_ = z.t;
+}
+
+void KalmanCv::SetState(const Vec4& x, const Mat4& P, Timestamp t) {
+  x_ = x;
+  P_ = P;
+  time_ = t;
+  initialized_ = true;
+}
+
+FusedEstimate CovarianceIntersection(const Vec4& xa, const Mat4& Pa,
+                                     const Vec4& xb, const Mat4& Pb) {
+  FusedEstimate best;
+  Mat4 Pa_inv, Pb_inv;
+  if (!Invert4x4(Pa, &Pa_inv) || !Invert4x4(Pb, &Pb_inv)) return best;
+
+  double best_trace = 1e300;
+  for (int i = 0; i <= 20; ++i) {
+    const double w = i / 20.0;
+    const Mat4 info = Pa_inv * w + Pb_inv * (1.0 - w);
+    Mat4 P;
+    if (!Invert4x4(info, &P)) continue;
+    const double tr = P.Trace();
+    // On trace ties (e.g. identical covariances) prefer the balanced weight,
+    // which also yields the symmetric fused state.
+    const bool better =
+        tr < best_trace - 1e-9 ||
+        (tr < best_trace + 1e-9 &&
+         std::abs(w - 0.5) < std::abs(best.omega - 0.5));
+    if (better) {
+      best_trace = tr;
+      best.P = P;
+      best.omega = w;
+      const Vec4 combined = (Pa_inv * w) * xa + (Pb_inv * (1.0 - w)) * xb;
+      best.x = P * combined;
+      best.valid = true;
+    }
+  }
+  return best;
+}
+
+}  // namespace marlin

@@ -1,0 +1,83 @@
+#ifndef MARLIN_FUSION_KALMAN_H_
+#define MARLIN_FUSION_KALMAN_H_
+
+/// \file kalman.h
+/// \brief Constant-velocity Kalman filter in a local ENU plane — the
+/// low-level track estimator of the fusion stack (paper §2.4).
+
+#include "common/time.h"
+#include "fusion/matrix.h"
+#include "geo/geodesy.h"
+#include "geo/point.h"
+
+namespace marlin {
+
+/// \brief A position measurement in ENU metres with isotropic noise.
+struct PositionMeasurement {
+  Timestamp t = kInvalidTimestamp;
+  EnuPoint position;
+  double sigma_m = 10.0;  ///< 1-σ position noise (AIS ≈ 10 m, radar ≈ 50–200 m)
+};
+
+/// \brief 2-D constant-velocity Kalman filter (state: e, n, ve, vn).
+class KalmanCv {
+ public:
+  /// \brief `process_noise_accel` is the white-acceleration intensity q
+  /// (m²/s³); larger values track manoeuvres at the cost of noise.
+  explicit KalmanCv(double process_noise_accel = 0.5)
+      : q_(process_noise_accel) {}
+
+  /// \brief Initializes from the first measurement (velocity unknown, large
+  /// velocity variance).
+  void Init(const PositionMeasurement& z, double velocity_sigma = 10.0);
+
+  /// \brief Propagates the state to time `t` (no-op backwards in time).
+  void Predict(Timestamp t);
+
+  /// \brief Fuses a measurement (must call Predict(z.t) first or pass the
+  /// same t; handled internally for convenience).
+  void Update(const PositionMeasurement& z);
+
+  /// \brief Squared Mahalanobis distance of a measurement against the
+  /// predicted innovation — the gating statistic.
+  double MahalanobisSq(const PositionMeasurement& z) const;
+
+  bool initialized() const { return initialized_; }
+  Timestamp time() const { return time_; }
+  EnuPoint PositionEstimate() const { return {x_(0, 0), x_(1, 0)}; }
+  /// \brief Velocity estimate (east, north) in m/s.
+  EnuPoint VelocityEstimate() const { return {x_(2, 0), x_(3, 0)}; }
+  const Mat4& Covariance() const { return P_; }
+  const Vec4& State() const { return x_; }
+
+  /// \brief Overwrites state+covariance (used by track-to-track fusion).
+  void SetState(const Vec4& x, const Mat4& P, Timestamp t);
+
+ private:
+  void PredictInternal(double dt_s);
+
+  double q_;
+  Vec4 x_ = Vec4::Zero();
+  Mat4 P_ = Mat4::Zero();
+  Timestamp time_ = kInvalidTimestamp;
+  bool initialized_ = false;
+};
+
+/// \brief Covariance-intersection fusion of two CV estimates.
+///
+/// Consistent under unknown cross-correlation — the safe choice for fusing
+/// AIS-born and radar-born tracks that may share process history. The
+/// weight ω minimizing the fused trace is found by scalar search.
+struct FusedEstimate {
+  Vec4 x = Vec4::Zero();
+  Mat4 P = Mat4::Zero();
+  double omega = 0.5;
+  bool valid = false;
+};
+
+FusedEstimate CovarianceIntersection(const Vec4& xa, const Mat4& Pa,
+                                     const Vec4& xb, const Mat4& Pb);
+
+}  // namespace marlin
+
+#endif  // MARLIN_FUSION_KALMAN_H_

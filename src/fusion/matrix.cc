@@ -1,0 +1,38 @@
+#include "fusion/matrix.h"
+
+#include <algorithm>
+
+namespace marlin {
+
+bool Invert4x4(const Mat4& a, Mat4* out) {
+  // Gauss–Jordan on [A | I] with partial pivoting.
+  double aug[4][8];
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      aug[i][j] = a(i, j);
+      aug[i][j + 4] = (i == j) ? 1.0 : 0.0;
+    }
+  }
+  for (int col = 0; col < 4; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 4; ++r) {
+      if (std::abs(aug[r][col]) > std::abs(aug[pivot][col])) pivot = r;
+    }
+    if (std::abs(aug[pivot][col]) < 1e-12) return false;
+    if (pivot != col) std::swap(aug[pivot], aug[col]);
+    const double inv = 1.0 / aug[col][col];
+    for (int j = 0; j < 8; ++j) aug[col][j] *= inv;
+    for (int r = 0; r < 4; ++r) {
+      if (r == col) continue;
+      const double f = aug[r][col];
+      if (f == 0.0) continue;
+      for (int j = 0; j < 8; ++j) aug[r][j] -= f * aug[col][j];
+    }
+  }
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) (*out)(i, j) = aug[i][j + 4];
+  }
+  return true;
+}
+
+}  // namespace marlin

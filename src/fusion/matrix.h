@@ -1,0 +1,103 @@
+#ifndef MARLIN_FUSION_MATRIX_H_
+#define MARLIN_FUSION_MATRIX_H_
+
+/// \file matrix.h
+/// \brief Small fixed-size matrix algebra for tracking filters.
+///
+/// Tracking needs nothing beyond 4×4: hand-rolled dense operations keep the
+/// dependency surface zero and the code transparent.
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace marlin {
+
+/// \brief Dense row-major R×C matrix of doubles.
+template <size_t R, size_t C>
+struct Matrix {
+  std::array<double, R * C> m{};
+
+  double& operator()(size_t r, size_t c) { return m[r * C + c]; }
+  double operator()(size_t r, size_t c) const { return m[r * C + c]; }
+
+  static Matrix Zero() { return Matrix{}; }
+
+  static Matrix Identity() {
+    static_assert(R == C, "identity requires square matrix");
+    Matrix out;
+    for (size_t i = 0; i < R; ++i) out(i, i) = 1.0;
+    return out;
+  }
+
+  Matrix operator+(const Matrix& o) const {
+    Matrix out;
+    for (size_t i = 0; i < R * C; ++i) out.m[i] = m[i] + o.m[i];
+    return out;
+  }
+  Matrix operator-(const Matrix& o) const {
+    Matrix out;
+    for (size_t i = 0; i < R * C; ++i) out.m[i] = m[i] - o.m[i];
+    return out;
+  }
+  Matrix operator*(double k) const {
+    Matrix out;
+    for (size_t i = 0; i < R * C; ++i) out.m[i] = m[i] * k;
+    return out;
+  }
+
+  template <size_t C2>
+  Matrix<R, C2> operator*(const Matrix<C, C2>& o) const {
+    Matrix<R, C2> out;
+    for (size_t i = 0; i < R; ++i) {
+      for (size_t k = 0; k < C; ++k) {
+        const double a = (*this)(i, k);
+        if (a == 0.0) continue;
+        for (size_t j = 0; j < C2; ++j) {
+          out(i, j) += a * o(k, j);
+        }
+      }
+    }
+    return out;
+  }
+
+  Matrix<C, R> Transpose() const {
+    Matrix<C, R> out;
+    for (size_t i = 0; i < R; ++i) {
+      for (size_t j = 0; j < C; ++j) out(j, i) = (*this)(i, j);
+    }
+    return out;
+  }
+
+  double Trace() const {
+    static_assert(R == C);
+    double t = 0.0;
+    for (size_t i = 0; i < R; ++i) t += (*this)(i, i);
+    return t;
+  }
+};
+
+using Mat2 = Matrix<2, 2>;
+using Mat4 = Matrix<4, 4>;
+using Vec2 = Matrix<2, 1>;
+using Vec4 = Matrix<4, 1>;
+
+/// \brief 2×2 inverse; returns false when (near-)singular.
+inline bool Invert2x2(const Mat2& a, Mat2* out) {
+  const double det = a(0, 0) * a(1, 1) - a(0, 1) * a(1, 0);
+  if (std::abs(det) < 1e-12) return false;
+  const double inv = 1.0 / det;
+  (*out)(0, 0) = a(1, 1) * inv;
+  (*out)(0, 1) = -a(0, 1) * inv;
+  (*out)(1, 0) = -a(1, 0) * inv;
+  (*out)(1, 1) = a(0, 0) * inv;
+  return true;
+}
+
+/// \brief 4×4 inverse via Gauss–Jordan with partial pivoting; false when
+/// singular.
+bool Invert4x4(const Mat4& a, Mat4* out);
+
+}  // namespace marlin
+
+#endif  // MARLIN_FUSION_MATRIX_H_

@@ -1,0 +1,170 @@
+#include "fusion/tracker.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+#include "fusion/assignment.h"
+
+namespace marlin {
+
+MultiTargetTracker::MultiTargetTracker(const GeoPoint& origin,
+                                       const Options& options)
+    : projection_(origin), options_(options) {}
+
+std::vector<uint64_t> MultiTargetTracker::ProcessScan(
+    const std::vector<Contact>& contacts, Timestamp scan_time) {
+  std::vector<uint64_t> updated;
+
+  // 1. Predict all live tracks to scan time.
+  std::vector<int> live;
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i].status == TrackStatus::kDead) continue;
+    tracks_[i].filter.Predict(scan_time);
+    live.push_back(static_cast<int>(i));
+  }
+
+  // 2. Build the gated cost matrix (rows = contacts, cols = live tracks).
+  const double kForbidden = 1e12;
+  std::vector<PositionMeasurement> measurements(contacts.size());
+  std::vector<std::vector<double>> cost(
+      contacts.size(), std::vector<double>(live.size(), kForbidden));
+  for (size_t c = 0; c < contacts.size(); ++c) {
+    measurements[c].t = scan_time;
+    measurements[c].position = projection_.Project(contacts[c].position);
+    measurements[c].sigma_m = contacts[c].sigma_m;
+    for (size_t t = 0; t < live.size(); ++t) {
+      Track& track = tracks_[live[t]];
+      // Identity shortcut: an AIS contact with the track's MMSI is always
+      // admissible for that track and inadmissible for other identified
+      // tracks (identity is a hard constraint, §2.4 semantic alignment).
+      if (contacts[c].mmsi != 0 && track.mmsi != 0) {
+        if (contacts[c].mmsi != track.mmsi) continue;
+        const double d2 = track.filter.MahalanobisSq(measurements[c]);
+        cost[c][t] = std::min(d2, options_.gate_mahalanobis_sq * 0.99);
+        continue;
+      }
+      const double d2 = track.filter.MahalanobisSq(measurements[c]);
+      if (d2 < options_.gate_mahalanobis_sq) cost[c][t] = d2;
+    }
+  }
+
+  // 3. Optimal assignment.
+  const AssignmentResult assignment = SolveAssignment(cost, kForbidden);
+
+  // 4. Update matched tracks, spawn tracks for unmatched contacts.
+  std::vector<bool> track_hit(live.size(), false);
+  for (size_t c = 0; c < contacts.size(); ++c) {
+    const int t = assignment.row_to_col.empty() ? -1 : assignment.row_to_col[c];
+    if (t >= 0) {
+      Track& track = tracks_[live[t]];
+      track.filter.Update(measurements[c]);
+      track.last_update = scan_time;
+      ++track.hits;
+      track.consecutive_misses = 0;
+      track.sensors_seen |= 1u << static_cast<int>(contacts[c].sensor);
+      if (contacts[c].mmsi != 0) track.mmsi = contacts[c].mmsi;
+      track_hit[t] = true;
+      if (track.status == TrackStatus::kTentative &&
+          track.hits >= options_.confirm_hits) {
+        track.status = TrackStatus::kConfirmed;
+      } else if (track.status == TrackStatus::kCoasted) {
+        track.status = TrackStatus::kConfirmed;
+      }
+      updated.push_back(track.id);
+    } else {
+      Track fresh;
+      fresh.id = next_id_++;
+      fresh.status = TrackStatus::kTentative;
+      fresh.filter = KalmanCv(options_.process_noise);
+      fresh.filter.Init(measurements[c]);
+      fresh.mmsi = contacts[c].mmsi;
+      fresh.last_update = scan_time;
+      fresh.created = scan_time;
+      fresh.hits = 1;
+      fresh.sensors_seen = 1u << static_cast<int>(contacts[c].sensor);
+      updated.push_back(fresh.id);
+      tracks_.push_back(std::move(fresh));
+    }
+  }
+
+  // 5. Miss handling for unmatched tracks.
+  for (size_t t = 0; t < live.size(); ++t) {
+    if (track_hit[t]) continue;
+    Track& track = tracks_[live[t]];
+    ++track.consecutive_misses;
+    if (track.status == TrackStatus::kTentative) {
+      // Tentative tracks must confirm within the window.
+      const int age_scans = track.hits + track.consecutive_misses;
+      if (age_scans >= options_.confirm_window &&
+          track.hits < options_.confirm_hits) {
+        track.status = TrackStatus::kDead;
+      } else if (track.consecutive_misses >= options_.max_misses) {
+        track.status = TrackStatus::kDead;
+      }
+    } else if (track.status == TrackStatus::kConfirmed) {
+      if (track.consecutive_misses >= options_.max_misses) {
+        track.status = TrackStatus::kCoasted;
+      }
+    }
+  }
+
+  PruneDead(scan_time);
+  return updated;
+}
+
+void MultiTargetTracker::PruneDead(Timestamp now) {
+  for (Track& track : tracks_) {
+    if (track.status == TrackStatus::kCoasted &&
+        now - track.last_update > options_.max_coast_ms) {
+      track.status = TrackStatus::kDead;
+    }
+  }
+  tracks_.erase(
+      std::remove_if(tracks_.begin(), tracks_.end(),
+                     [](const Track& t) {
+                       return t.status == TrackStatus::kDead;
+                     }),
+      tracks_.end());
+}
+
+std::vector<const Track*> MultiTargetTracker::LiveTracks() const {
+  std::vector<const Track*> out;
+  for (const Track& t : tracks_) {
+    if (t.status != TrackStatus::kDead) out.push_back(&t);
+  }
+  return out;
+}
+
+std::vector<const Track*> MultiTargetTracker::ConfirmedTracks() const {
+  std::vector<const Track*> out;
+  for (const Track& t : tracks_) {
+    if (t.status == TrackStatus::kConfirmed ||
+        t.status == TrackStatus::kCoasted) {
+      out.push_back(&t);
+    }
+  }
+  return out;
+}
+
+const Track* MultiTargetTracker::Find(uint64_t id) const {
+  for (const Track& t : tracks_) {
+    if (t.id == id && t.status != TrackStatus::kDead) return &t;
+  }
+  return nullptr;
+}
+
+GeoPoint MultiTargetTracker::TrackPosition(const Track& track) const {
+  return projection_.Unproject(track.filter.PositionEstimate());
+}
+
+MotionState MultiTargetTracker::TrackMotion(const Track& track) const {
+  MotionState out;
+  out.position = TrackPosition(track);
+  const EnuPoint v = track.filter.VelocityEstimate();
+  out.speed_mps = v.Norm();
+  out.course_deg = NormalizeDegrees(RadToDeg(std::atan2(v.east, v.north)));
+  return out;
+}
+
+}  // namespace marlin

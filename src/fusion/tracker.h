@@ -1,0 +1,112 @@
+#ifndef MARLIN_FUSION_TRACKER_H_
+#define MARLIN_FUSION_TRACKER_H_
+
+/// \file tracker.h
+/// \brief Multi-target tracker: gating + GNN association + M/N lifecycle.
+///
+/// Consumes sensor contacts (radar plots and/or AIS fixes projected into a
+/// common ENU frame — "alignment of data in space and time", §2.4) and
+/// maintains fused vessel tracks that survive per-sensor dropouts.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "fusion/kalman.h"
+#include "geo/geodesy.h"
+#include "geo/kinematics.h"
+
+namespace marlin {
+
+/// \brief Origin of a contact.
+enum class SensorKind : uint8_t { kAis = 0, kRadar = 1, kSar = 2 };
+
+/// \brief One sensor detection handed to the tracker.
+struct Contact {
+  Timestamp t = kInvalidTimestamp;
+  GeoPoint position;
+  double sigma_m = 50.0;         ///< 1-σ position accuracy
+  SensorKind sensor = SensorKind::kRadar;
+  uint32_t mmsi = 0;             ///< 0 when the sensor has no identity (radar)
+};
+
+/// \brief Track lifecycle states.
+enum class TrackStatus : uint8_t {
+  kTentative = 0,  ///< newborn, not yet confirmed
+  kConfirmed = 1,  ///< M-of-N satisfied
+  kCoasted = 2,    ///< confirmed but currently unsupported by detections
+  kDead = 3,       ///< dropped
+};
+
+/// \brief One maintained track.
+struct Track {
+  uint64_t id = 0;
+  TrackStatus status = TrackStatus::kTentative;
+  KalmanCv filter;
+  uint32_t mmsi = 0;          ///< identity if any associated contact had one
+  Timestamp last_update = kInvalidTimestamp;
+  Timestamp created = kInvalidTimestamp;
+  int hits = 0;
+  int consecutive_misses = 0;
+  uint32_t sensors_seen = 0;  ///< bitmask of SensorKind contributions
+};
+
+/// \brief GNN tracker over a local ENU frame.
+class MultiTargetTracker {
+ public:
+  struct Options {
+    /// Gate on squared Mahalanobis distance (χ²(2 dof) 99% ≈ 9.21).
+    double gate_mahalanobis_sq = 9.21;
+    /// Confirm a tentative track after this many hits...
+    int confirm_hits = 3;
+    /// ...within this many update opportunities.
+    int confirm_window = 5;
+    /// Kill after this many consecutive missed scans.
+    int max_misses = 5;
+    /// Kill coasted tracks after this much unsupported time.
+    DurationMs max_coast_ms = 5 * kMillisPerMinute;
+    /// Process noise intensity for new filters (m²/s³).
+    double process_noise = 0.5;
+  };
+
+  /// \brief `origin` anchors the shared ENU frame for all contacts.
+  MultiTargetTracker(const GeoPoint& origin, const Options& options);
+  explicit MultiTargetTracker(const GeoPoint& origin)
+      : MultiTargetTracker(origin, Options()) {}
+
+  /// \brief Processes one scan of contacts taken at (approximately) the same
+  /// time. Returns ids of tracks updated this scan.
+  std::vector<uint64_t> ProcessScan(const std::vector<Contact>& contacts,
+                                    Timestamp scan_time);
+
+  /// \brief All live (non-dead) tracks.
+  std::vector<const Track*> LiveTracks() const;
+
+  /// \brief Confirmed tracks only.
+  std::vector<const Track*> ConfirmedTracks() const;
+
+  /// \brief Track by id, nullptr when absent/dead.
+  const Track* Find(uint64_t id) const;
+
+  /// \brief Geographic position estimate of a track.
+  GeoPoint TrackPosition(const Track& track) const;
+
+  /// \brief Speed (m/s) and course (deg true) of a track.
+  MotionState TrackMotion(const Track& track) const;
+
+  const LocalProjection& projection() const { return projection_; }
+
+ private:
+  void PruneDead(Timestamp now);
+
+  LocalProjection projection_;
+  Options options_;
+  std::vector<Track> tracks_;
+  uint64_t next_id_ = 1;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_FUSION_TRACKER_H_

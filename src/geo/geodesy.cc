@@ -1,0 +1,151 @@
+#include "geo/geodesy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "common/units.h"
+
+namespace marlin {
+
+std::string GeoPoint::ToString() const {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.6f,%.6f", lat, lon);
+  return buf;
+}
+
+double HaversineDistance(const GeoPoint& a, const GeoPoint& b) {
+  const double phi1 = DegToRad(a.lat);
+  const double phi2 = DegToRad(b.lat);
+  const double dphi = DegToRad(b.lat - a.lat);
+  const double dlam = DegToRad(b.lon - a.lon);
+  const double s1 = std::sin(dphi / 2);
+  const double s2 = std::sin(dlam / 2);
+  const double h = s1 * s1 + std::cos(phi1) * std::cos(phi2) * s2 * s2;
+  return 2.0 * kEarthRadiusMetres * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double InitialBearing(const GeoPoint& a, const GeoPoint& b) {
+  const double phi1 = DegToRad(a.lat);
+  const double phi2 = DegToRad(b.lat);
+  const double dlam = DegToRad(b.lon - a.lon);
+  const double y = std::sin(dlam) * std::cos(phi2);
+  const double x = std::cos(phi1) * std::sin(phi2) -
+                   std::sin(phi1) * std::cos(phi2) * std::cos(dlam);
+  return NormalizeDegrees(RadToDeg(std::atan2(y, x)));
+}
+
+GeoPoint Destination(const GeoPoint& origin, double bearing_deg,
+                     double distance_m) {
+  const double delta = distance_m / kEarthRadiusMetres;
+  const double theta = DegToRad(bearing_deg);
+  const double phi1 = DegToRad(origin.lat);
+  const double lam1 = DegToRad(origin.lon);
+  const double sin_phi2 = std::sin(phi1) * std::cos(delta) +
+                          std::cos(phi1) * std::sin(delta) * std::cos(theta);
+  const double phi2 = std::asin(std::clamp(sin_phi2, -1.0, 1.0));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(phi1);
+  const double x = std::cos(delta) - std::sin(phi1) * sin_phi2;
+  const double lam2 = lam1 + std::atan2(y, x);
+  return GeoPoint(RadToDeg(phi2), NormalizeLongitude(RadToDeg(lam2)));
+}
+
+GeoPoint Interpolate(const GeoPoint& a, const GeoPoint& b, double fraction) {
+  if (fraction <= 0.0) return a;
+  if (fraction >= 1.0) return b;
+  const double d = HaversineDistance(a, b) / kEarthRadiusMetres;
+  if (d < 1e-12) return a;
+  const double sin_d = std::sin(d);
+  const double f1 = std::sin((1.0 - fraction) * d) / sin_d;
+  const double f2 = std::sin(fraction * d) / sin_d;
+  const double phi1 = DegToRad(a.lat), lam1 = DegToRad(a.lon);
+  const double phi2 = DegToRad(b.lat), lam2 = DegToRad(b.lon);
+  const double x = f1 * std::cos(phi1) * std::cos(lam1) +
+                   f2 * std::cos(phi2) * std::cos(lam2);
+  const double y = f1 * std::cos(phi1) * std::sin(lam1) +
+                   f2 * std::cos(phi2) * std::sin(lam2);
+  const double z = f1 * std::sin(phi1) + f2 * std::sin(phi2);
+  const double phi = std::atan2(z, std::sqrt(x * x + y * y));
+  const double lam = std::atan2(y, x);
+  return GeoPoint(RadToDeg(phi), NormalizeLongitude(RadToDeg(lam)));
+}
+
+double CrossTrackDistance(const GeoPoint& p, const GeoPoint& start,
+                          const GeoPoint& end) {
+  const double d13 = HaversineDistance(start, p) / kEarthRadiusMetres;
+  const double theta13 = DegToRad(InitialBearing(start, p));
+  const double theta12 = DegToRad(InitialBearing(start, end));
+  return std::asin(std::sin(d13) * std::sin(theta13 - theta12)) *
+         kEarthRadiusMetres;
+}
+
+double AlongTrackDistance(const GeoPoint& p, const GeoPoint& start,
+                          const GeoPoint& end) {
+  const double d13 = HaversineDistance(start, p) / kEarthRadiusMetres;
+  const double dxt = CrossTrackDistance(p, start, end) / kEarthRadiusMetres;
+  const double cos_d13 = std::cos(d13);
+  const double cos_dxt = std::cos(dxt);
+  if (std::abs(cos_dxt) < 1e-15) return 0.0;
+  const double dat = std::acos(std::clamp(cos_d13 / cos_dxt, -1.0, 1.0));
+  // Sign: negative when the closest point lies behind `start`.
+  const double theta13 = DegToRad(InitialBearing(start, p));
+  const double theta12 = DegToRad(InitialBearing(start, end));
+  const double sign = std::cos(theta13 - theta12) >= 0 ? 1.0 : -1.0;
+  return sign * dat * kEarthRadiusMetres;
+}
+
+double DistanceToSegment(const GeoPoint& p, const GeoPoint& a,
+                         const GeoPoint& b) {
+  const double seg_len = HaversineDistance(a, b);
+  if (seg_len < 1e-9) return HaversineDistance(p, a);
+  const double along = AlongTrackDistance(p, a, b);
+  if (along <= 0.0) return HaversineDistance(p, a);
+  if (along >= seg_len) return HaversineDistance(p, b);
+  return std::abs(CrossTrackDistance(p, a, b));
+}
+
+double RhumbDistance(const GeoPoint& a, const GeoPoint& b) {
+  const double phi1 = DegToRad(a.lat);
+  const double phi2 = DegToRad(b.lat);
+  const double dphi = phi2 - phi1;
+  double dlam = DegToRad(b.lon - a.lon);
+  if (std::abs(dlam) > kPi) dlam = dlam > 0 ? dlam - 2 * kPi : dlam + 2 * kPi;
+  const double dpsi =
+      std::log(std::tan(kPi / 4 + phi2 / 2) / std::tan(kPi / 4 + phi1 / 2));
+  const double q = std::abs(dpsi) > 1e-12 ? dphi / dpsi : std::cos(phi1);
+  const double d = std::sqrt(dphi * dphi + q * q * dlam * dlam);
+  return d * kEarthRadiusMetres;
+}
+
+double RhumbBearing(const GeoPoint& a, const GeoPoint& b) {
+  const double phi1 = DegToRad(a.lat);
+  const double phi2 = DegToRad(b.lat);
+  double dlam = DegToRad(b.lon - a.lon);
+  if (std::abs(dlam) > kPi) dlam = dlam > 0 ? dlam - 2 * kPi : dlam + 2 * kPi;
+  const double dpsi =
+      std::log(std::tan(kPi / 4 + phi2 / 2) / std::tan(kPi / 4 + phi1 / 2));
+  return NormalizeDegrees(RadToDeg(std::atan2(dlam, dpsi)));
+}
+
+LocalProjection::LocalProjection(const GeoPoint& origin) : origin_(origin) {
+  cos_lat_ = std::cos(DegToRad(origin.lat));
+  metres_per_deg_lat_ = DegToRad(1.0) * kEarthRadiusMetres;
+  metres_per_deg_lon_ = metres_per_deg_lat_ * cos_lat_;
+}
+
+EnuPoint LocalProjection::Project(const GeoPoint& p) const {
+  double dlon = p.lon - origin_.lon;
+  if (dlon > 180.0) dlon -= 360.0;
+  if (dlon < -180.0) dlon += 360.0;
+  return EnuPoint(dlon * metres_per_deg_lon_,
+                  (p.lat - origin_.lat) * metres_per_deg_lat_);
+}
+
+GeoPoint LocalProjection::Unproject(const EnuPoint& p) const {
+  const double lat = origin_.lat + p.north / metres_per_deg_lat_;
+  const double lon =
+      NormalizeLongitude(origin_.lon + p.east / metres_per_deg_lon_);
+  return GeoPoint(lat, lon);
+}
+
+}  // namespace marlin

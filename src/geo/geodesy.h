@@ -1,0 +1,77 @@
+#ifndef MARLIN_GEO_GEODESY_H_
+#define MARLIN_GEO_GEODESY_H_
+
+/// \file geodesy.h
+/// \brief Great-circle geodesy on the mean-radius sphere.
+///
+/// Spherical formulas (haversine et al.) keep errors below ~0.5 % of
+/// distance, far below AIS GPS accuracy (~10 m) at the ranges MARLIN handles;
+/// see DESIGN.md §5 for the justification of the spherical substitution.
+
+#include "geo/point.h"
+
+namespace marlin {
+
+/// \brief Great-circle distance between two positions, metres (haversine).
+double HaversineDistance(const GeoPoint& a, const GeoPoint& b);
+
+/// \brief Initial bearing from `a` to `b`, degrees true in [0, 360).
+double InitialBearing(const GeoPoint& a, const GeoPoint& b);
+
+/// \brief Position reached from `origin` travelling `distance_m` metres on
+/// constant initial bearing `bearing_deg` (great circle).
+GeoPoint Destination(const GeoPoint& origin, double bearing_deg,
+                     double distance_m);
+
+/// \brief Point `fraction` (0..1) of the way along the great circle a→b.
+GeoPoint Interpolate(const GeoPoint& a, const GeoPoint& b, double fraction);
+
+/// \brief Signed cross-track distance (metres) of `p` from the great-circle
+/// path start→end. Negative = left of path.
+double CrossTrackDistance(const GeoPoint& p, const GeoPoint& start,
+                          const GeoPoint& end);
+
+/// \brief Along-track distance (metres) of the closest point of the path
+/// start→end to `p`, measured from `start`.
+double AlongTrackDistance(const GeoPoint& p, const GeoPoint& start,
+                          const GeoPoint& end);
+
+/// \brief Distance (metres) from `p` to the great-circle *segment* a→b
+/// (clamped to the segment, not the full circle).
+double DistanceToSegment(const GeoPoint& p, const GeoPoint& a,
+                         const GeoPoint& b);
+
+/// \brief Loxodrome (rhumb-line) distance between two positions, metres.
+double RhumbDistance(const GeoPoint& a, const GeoPoint& b);
+
+/// \brief Constant rhumb-line bearing from `a` to `b`, degrees in [0, 360).
+double RhumbBearing(const GeoPoint& a, const GeoPoint& b);
+
+/// \brief Equirectangular local-tangent-plane projection around an origin.
+///
+/// Accurate to well under 0.1 % for extents below ~100 km, which covers every
+/// tracking/fusion use in MARLIN. Follows the pattern of a fixed projection
+/// per tracking area: construct once, then project/unproject many points.
+class LocalProjection {
+ public:
+  /// \brief Creates a projection centred on `origin`.
+  explicit LocalProjection(const GeoPoint& origin);
+
+  /// \brief Geographic → local ENU metres.
+  EnuPoint Project(const GeoPoint& p) const;
+
+  /// \brief Local ENU metres → geographic.
+  GeoPoint Unproject(const EnuPoint& p) const;
+
+  const GeoPoint& origin() const { return origin_; }
+
+ private:
+  GeoPoint origin_;
+  double cos_lat_;
+  double metres_per_deg_lat_;
+  double metres_per_deg_lon_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_GEO_GEODESY_H_

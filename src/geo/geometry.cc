@@ -1,0 +1,187 @@
+#include "geo/geometry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+void BoundingBox::Extend(const GeoPoint& p) {
+  min_lat = std::min(min_lat, p.lat);
+  max_lat = std::max(max_lat, p.lat);
+  min_lon = std::min(min_lon, p.lon);
+  max_lon = std::max(max_lon, p.lon);
+}
+
+void BoundingBox::Extend(const BoundingBox& other) {
+  if (other.IsEmpty()) return;
+  min_lat = std::min(min_lat, other.min_lat);
+  max_lat = std::max(max_lat, other.max_lat);
+  min_lon = std::min(min_lon, other.min_lon);
+  max_lon = std::max(max_lon, other.max_lon);
+}
+
+Polygon::Polygon(std::vector<GeoPoint> vertices)
+    : vertices_(std::move(vertices)) {
+  for (const auto& v : vertices_) bounds_.Extend(v);
+}
+
+bool Polygon::Contains(const GeoPoint& p) const {
+  if (IsEmpty() || !bounds_.Contains(p)) return false;
+  bool inside = false;
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const GeoPoint& vi = vertices_[i];
+    const GeoPoint& vj = vertices_[j];
+    // Boundary vertices / horizontal edges handled by the strict/non-strict
+    // comparison asymmetry of the classic even-odd ray cast.
+    if ((vi.lat > p.lat) != (vj.lat > p.lat)) {
+      const double t = (p.lat - vi.lat) / (vj.lat - vi.lat);
+      const double x = vi.lon + t * (vj.lon - vi.lon);
+      if (p.lon < x) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+double Polygon::DistanceToBoundary(const GeoPoint& p) const {
+  double best = std::numeric_limits<double>::infinity();
+  const size_t n = vertices_.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    best = std::min(best, DistanceToSegment(p, vertices_[j], vertices_[i]));
+  }
+  return best;
+}
+
+Polygon Polygon::FromBox(const BoundingBox& box) {
+  return Polygon({GeoPoint(box.min_lat, box.min_lon),
+                  GeoPoint(box.min_lat, box.max_lon),
+                  GeoPoint(box.max_lat, box.max_lon),
+                  GeoPoint(box.max_lat, box.min_lon)});
+}
+
+Polygon Polygon::Circle(const GeoPoint& centre, double radius_m, int segments) {
+  std::vector<GeoPoint> verts;
+  verts.reserve(segments);
+  for (int i = 0; i < segments; ++i) {
+    const double bearing = 360.0 * i / segments;
+    verts.push_back(Destination(centre, bearing, radius_m));
+  }
+  return Polygon(std::move(verts));
+}
+
+std::vector<GeoPoint> ConvexHull(std::vector<GeoPoint> pts) {
+  if (pts.size() < 3) return pts;
+  std::sort(pts.begin(), pts.end(), [](const GeoPoint& a, const GeoPoint& b) {
+    return a.lon < b.lon || (a.lon == b.lon && a.lat < b.lat);
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  if (pts.size() < 3) return pts;
+  auto cross = [](const GeoPoint& o, const GeoPoint& a, const GeoPoint& b) {
+    return (a.lon - o.lon) * (b.lat - o.lat) -
+           (a.lat - o.lat) * (b.lon - o.lon);
+  };
+  std::vector<GeoPoint> hull(2 * pts.size());
+  size_t k = 0;
+  for (size_t i = 0; i < pts.size(); ++i) {  // lower hull
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  const size_t lower = k + 1;
+  for (size_t i = pts.size() - 1; i-- > 0;) {  // upper hull
+    while (k >= lower && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+double PolylineLength(const std::vector<GeoPoint>& line) {
+  double total = 0.0;
+  for (size_t i = 1; i < line.size(); ++i) {
+    total += HaversineDistance(line[i - 1], line[i]);
+  }
+  return total;
+}
+
+namespace {
+
+void DouglasPeuckerRecurse(const std::vector<GeoPoint>& line, size_t first,
+                           size_t last, double tolerance_m,
+                           std::vector<bool>* keep) {
+  if (last <= first + 1) return;
+  double max_dist = -1.0;
+  size_t max_idx = first;
+  for (size_t i = first + 1; i < last; ++i) {
+    const double d = DistanceToSegment(line[i], line[first], line[last]);
+    if (d > max_dist) {
+      max_dist = d;
+      max_idx = i;
+    }
+  }
+  if (max_dist > tolerance_m) {
+    (*keep)[max_idx] = true;
+    DouglasPeuckerRecurse(line, first, max_idx, tolerance_m, keep);
+    DouglasPeuckerRecurse(line, max_idx, last, tolerance_m, keep);
+  }
+}
+
+}  // namespace
+
+std::vector<GeoPoint> SimplifyDouglasPeucker(const std::vector<GeoPoint>& line,
+                                             double tolerance_m) {
+  if (line.size() <= 2) return line;
+  std::vector<bool> keep(line.size(), false);
+  keep.front() = keep.back() = true;
+  DouglasPeuckerRecurse(line, 0, line.size() - 1, tolerance_m, &keep);
+  std::vector<GeoPoint> out;
+  for (size_t i = 0; i < line.size(); ++i) {
+    if (keep[i]) out.push_back(line[i]);
+  }
+  return out;
+}
+
+std::vector<GeoPoint> ResamplePolyline(const std::vector<GeoPoint>& line,
+                                       int n) {
+  if (line.empty() || n < 2) return line;
+  const double total = PolylineLength(line);
+  std::vector<GeoPoint> out;
+  out.reserve(n);
+  out.push_back(line.front());
+  if (total <= 0.0) {
+    for (int i = 1; i < n; ++i) out.push_back(line.front());
+    return out;
+  }
+  const double step = total / (n - 1);
+  double target = step;
+  double walked = 0.0;
+  size_t seg = 1;
+  while (static_cast<int>(out.size()) < n - 1 && seg < line.size()) {
+    const double seg_len = HaversineDistance(line[seg - 1], line[seg]);
+    if (walked + seg_len >= target && seg_len > 0.0) {
+      const double f = (target - walked) / seg_len;
+      out.push_back(Interpolate(line[seg - 1], line[seg], f));
+      target += step;
+    } else {
+      walked += seg_len;
+      ++seg;
+    }
+  }
+  while (static_cast<int>(out.size()) < n) out.push_back(line.back());
+  return out;
+}
+
+double DistanceToPolyline(const GeoPoint& p,
+                          const std::vector<GeoPoint>& line) {
+  if (line.empty()) return std::numeric_limits<double>::infinity();
+  if (line.size() == 1) return HaversineDistance(p, line[0]);
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i < line.size(); ++i) {
+    best = std::min(best, DistanceToSegment(p, line[i - 1], line[i]));
+  }
+  return best;
+}
+
+}  // namespace marlin

@@ -1,0 +1,113 @@
+#ifndef MARLIN_GEO_GEOMETRY_H_
+#define MARLIN_GEO_GEOMETRY_H_
+
+/// \file geometry.h
+/// \brief Planar-on-degrees geometry: boxes, polygons, polyline operations.
+///
+/// Polygon containment and simplification operate directly in degree space
+/// (lat/lon treated as planar). That is the standard choice for maritime
+/// zones, which are small relative to the globe; all distance *measurements*
+/// go through geodesy.h instead.
+
+#include <vector>
+
+#include "geo/point.h"
+
+namespace marlin {
+
+/// \brief Axis-aligned geographic bounding box (no antimeridian wrap).
+struct BoundingBox {
+  double min_lat = 90.0;
+  double min_lon = 180.0;
+  double max_lat = -90.0;
+  double max_lon = -180.0;
+
+  constexpr BoundingBox() = default;
+  constexpr BoundingBox(double min_latitude, double min_longitude,
+                        double max_latitude, double max_longitude)
+      : min_lat(min_latitude),
+        min_lon(min_longitude),
+        max_lat(max_latitude),
+        max_lon(max_longitude) {}
+
+  /// \brief The (initially) empty box: contains nothing, Extend()-able.
+  static constexpr BoundingBox Empty() { return BoundingBox(); }
+
+  bool IsEmpty() const { return min_lat > max_lat || min_lon > max_lon; }
+
+  /// \brief Grows the box to cover `p`.
+  void Extend(const GeoPoint& p);
+  /// \brief Grows the box to cover `other`.
+  void Extend(const BoundingBox& other);
+
+  bool Contains(const GeoPoint& p) const {
+    return p.lat >= min_lat && p.lat <= max_lat && p.lon >= min_lon &&
+           p.lon <= max_lon;
+  }
+  bool Intersects(const BoundingBox& o) const {
+    return !(o.min_lat > max_lat || o.max_lat < min_lat ||
+             o.min_lon > max_lon || o.max_lon < min_lon);
+  }
+  /// \brief Box expanded by `margin_deg` on every side.
+  BoundingBox Expanded(double margin_deg) const {
+    return BoundingBox(min_lat - margin_deg, min_lon - margin_deg,
+                       max_lat + margin_deg, max_lon + margin_deg);
+  }
+  GeoPoint Center() const {
+    return GeoPoint((min_lat + max_lat) / 2, (min_lon + max_lon) / 2);
+  }
+  /// \brief Area in squared degrees (for index packing heuristics only).
+  double AreaDeg2() const {
+    return IsEmpty() ? 0.0 : (max_lat - min_lat) * (max_lon - min_lon);
+  }
+};
+
+/// \brief Simple polygon (implicit closure; vertices in any winding order).
+class Polygon {
+ public:
+  Polygon() = default;
+  explicit Polygon(std::vector<GeoPoint> vertices);
+
+  /// \brief Even–odd point-in-polygon test (boundary counts as inside).
+  bool Contains(const GeoPoint& p) const;
+
+  /// \brief Minimum geodesic distance (metres) from `p` to the boundary.
+  double DistanceToBoundary(const GeoPoint& p) const;
+
+  const std::vector<GeoPoint>& vertices() const { return vertices_; }
+  const BoundingBox& bounds() const { return bounds_; }
+  bool IsEmpty() const { return vertices_.size() < 3; }
+
+  /// \brief Convenience: rectangle polygon from a bounding box.
+  static Polygon FromBox(const BoundingBox& box);
+
+  /// \brief Approximate circle: `segments`-gon of geodesic radius metres.
+  static Polygon Circle(const GeoPoint& centre, double radius_m,
+                        int segments = 24);
+
+ private:
+  std::vector<GeoPoint> vertices_;
+  BoundingBox bounds_;
+};
+
+/// \brief Convex hull (Andrew monotone chain) of a point set, in degree space.
+std::vector<GeoPoint> ConvexHull(std::vector<GeoPoint> points);
+
+/// \brief Total geodesic length (metres) of a polyline.
+double PolylineLength(const std::vector<GeoPoint>& line);
+
+/// \brief Douglas–Peucker simplification with geodesic tolerance (metres).
+/// First and last points are always kept.
+std::vector<GeoPoint> SimplifyDouglasPeucker(const std::vector<GeoPoint>& line,
+                                             double tolerance_m);
+
+/// \brief Resamples a polyline to `n >= 2` points equally spaced by length.
+std::vector<GeoPoint> ResamplePolyline(const std::vector<GeoPoint>& line,
+                                       int n);
+
+/// \brief Minimum geodesic distance (metres) from `p` to a polyline.
+double DistanceToPolyline(const GeoPoint& p, const std::vector<GeoPoint>& line);
+
+}  // namespace marlin
+
+#endif  // MARLIN_GEO_GEOMETRY_H_

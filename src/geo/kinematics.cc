@@ -1,0 +1,54 @@
+#include "geo/kinematics.h"
+
+#include <cmath>
+
+#include "common/units.h"
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+CpaResult ComputeCpa(const MotionState& a, const MotionState& b) {
+  const GeoPoint mid = Interpolate(a.position, b.position, 0.5);
+  const LocalProjection proj(mid);
+  const EnuPoint pa = proj.Project(a.position);
+  const EnuPoint pb = proj.Project(b.position);
+  // Velocity components: course is degrees true (0=N, clockwise), so
+  // east = v*sin(theta), north = v*cos(theta).
+  const double vax = a.speed_mps * std::sin(DegToRad(a.course_deg));
+  const double vay = a.speed_mps * std::cos(DegToRad(a.course_deg));
+  const double vbx = b.speed_mps * std::sin(DegToRad(b.course_deg));
+  const double vby = b.speed_mps * std::cos(DegToRad(b.course_deg));
+
+  const double dx = pb.east - pa.east;
+  const double dy = pb.north - pa.north;
+  const double dvx = vbx - vax;
+  const double dvy = vby - vay;
+
+  const double dv2 = dvx * dvx + dvy * dvy;
+  CpaResult result;
+  if (dv2 < 1e-9) {
+    result.tcpa_s = 0.0;
+    result.distance_m = std::sqrt(dx * dx + dy * dy);
+    result.converging = false;
+    return result;
+  }
+  const double tcpa = -(dx * dvx + dy * dvy) / dv2;
+  if (tcpa <= 0.0) {
+    result.tcpa_s = 0.0;
+    result.distance_m = std::sqrt(dx * dx + dy * dy);
+    result.converging = false;
+    return result;
+  }
+  const double cx = dx + dvx * tcpa;
+  const double cy = dy + dvy * tcpa;
+  result.tcpa_s = tcpa;
+  result.distance_m = std::sqrt(cx * cx + cy * cy);
+  result.converging = true;
+  return result;
+}
+
+GeoPoint DeadReckon(const MotionState& s, double dt_s) {
+  return Destination(s.position, s.course_deg, s.speed_mps * dt_s);
+}
+
+}  // namespace marlin

@@ -1,0 +1,39 @@
+#ifndef MARLIN_GEO_KINEMATICS_H_
+#define MARLIN_GEO_KINEMATICS_H_
+
+/// \file kinematics.h
+/// \brief Relative-motion computations: CPA/TCPA for collision-risk events.
+
+#include "geo/point.h"
+
+namespace marlin {
+
+/// \brief A moving target in geographic space.
+struct MotionState {
+  GeoPoint position;
+  double speed_mps = 0.0;    ///< speed over ground, metres/second
+  double course_deg = 0.0;   ///< course over ground, degrees true
+};
+
+/// \brief Result of a closest-point-of-approach computation.
+struct CpaResult {
+  double tcpa_s = 0.0;      ///< time to CPA in seconds (0 if diverging now)
+  double distance_m = 0.0;  ///< separation at CPA, metres
+  bool converging = false;  ///< true iff TCPA > 0 (closing geometry)
+};
+
+/// \brief Closest point of approach between two targets under constant
+/// velocity, computed in a local tangent plane around the midpoint.
+///
+/// When the relative speed is ~0 the current separation is returned with
+/// `tcpa_s == 0`. Negative analytic TCPA (already past CPA) is clamped to 0
+/// with `converging == false`, matching watch-keeping practice.
+CpaResult ComputeCpa(const MotionState& a, const MotionState& b);
+
+/// \brief Dead-reckoned position after `dt_s` seconds of constant speed and
+/// course (great-circle advance).
+GeoPoint DeadReckon(const MotionState& s, double dt_s);
+
+}  // namespace marlin
+
+#endif  // MARLIN_GEO_KINEMATICS_H_

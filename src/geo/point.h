@@ -1,0 +1,61 @@
+#ifndef MARLIN_GEO_POINT_H_
+#define MARLIN_GEO_POINT_H_
+
+/// \file point.h
+/// \brief Basic WGS-84 position type shared by every module.
+
+#include <cmath>
+#include <string>
+
+namespace marlin {
+
+/// \brief A geographic position: latitude/longitude in decimal degrees.
+///
+/// Latitude in [-90, 90], longitude in [-180, 180). The AIS "not available"
+/// encodings (lat 91, lon 181) map to `IsValid() == false`.
+struct GeoPoint {
+  double lat = 91.0;   ///< degrees north; 91 = not available (AIS convention)
+  double lon = 181.0;  ///< degrees east; 181 = not available (AIS convention)
+
+  constexpr GeoPoint() = default;
+  constexpr GeoPoint(double latitude, double longitude)
+      : lat(latitude), lon(longitude) {}
+
+  /// \brief True iff this is a usable coordinate.
+  bool IsValid() const {
+    return std::isfinite(lat) && std::isfinite(lon) && lat >= -90.0 &&
+           lat <= 90.0 && lon >= -180.0 && lon <= 180.0;
+  }
+
+  bool operator==(const GeoPoint& o) const {
+    return lat == o.lat && lon == o.lon;
+  }
+  bool operator!=(const GeoPoint& o) const { return !(*this == o); }
+
+  /// \brief "lat,lon" with 6 decimal places (~0.1 m resolution).
+  std::string ToString() const;
+};
+
+/// \brief A point in a local tangent (east-north) plane, metres.
+struct EnuPoint {
+  double east = 0.0;   ///< metres east of the projection origin
+  double north = 0.0;  ///< metres north of the projection origin
+
+  constexpr EnuPoint() = default;
+  constexpr EnuPoint(double e, double n) : east(e), north(n) {}
+
+  double NormSq() const { return east * east + north * north; }
+  double Norm() const { return std::sqrt(NormSq()); }
+
+  EnuPoint operator-(const EnuPoint& o) const {
+    return {east - o.east, north - o.north};
+  }
+  EnuPoint operator+(const EnuPoint& o) const {
+    return {east + o.east, north + o.north};
+  }
+  EnuPoint operator*(double k) const { return {east * k, north * k}; }
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_GEO_POINT_H_

@@ -1,0 +1,131 @@
+#include "rdf/annotator.h"
+
+#include <algorithm>
+
+#include "rdf/vocabulary.h"
+
+namespace marlin {
+
+std::string TrajectoryAnnotator::VesselIri(uint32_t mmsi) {
+  return "dtc:vessel/" + std::to_string(mmsi);
+}
+
+std::string TrajectoryAnnotator::TrajectoryIri(uint32_t mmsi) {
+  return "dtc:trajectory/" + std::to_string(mmsi);
+}
+
+size_t TrajectoryAnnotator::Annotate(const Trajectory& trajectory) {
+  if (trajectory.Empty()) return 0;
+  TermDictionary* dict = store_->dictionary();
+  size_t emitted = 0;
+  auto add = [&](TermId s, TermId p, TermId o) {
+    store_->Add(s, p, o);
+    ++emitted;
+  };
+
+  const TermId type = dict->Iri(vocab::kType);
+  const TermId vessel = dict->Iri(VesselIri(trajectory.mmsi));
+  const TermId traj = dict->Iri(TrajectoryIri(trajectory.mmsi));
+  add(vessel, type, dict->Iri(vocab::kVessel));
+  add(vessel, dict->Iri(vocab::kMmsi),
+      dict->IntLiteral(static_cast<int64_t>(trajectory.mmsi)));
+  add(vessel, dict->Iri(vocab::kHasTrajectory), traj);
+  add(traj, type, dict->Iri(vocab::kTrajectory));
+
+  const TermId has_segment = dict->Iri(vocab::kHasSegment);
+  const TermId next_segment = dict->Iri(vocab::kNextSegment);
+  const TermId has_position = dict->Iri(vocab::kHasPosition);
+  const TermId lat = dict->Iri(vocab::kLat);
+  const TermId lon = dict->Iri(vocab::kLon);
+  const TermId time = dict->Iri(vocab::kTime);
+  const TermId speed = dict->Iri(vocab::kSpeed);
+  const TermId course = dict->Iri(vocab::kCourse);
+  const TermId start_time = dict->Iri(vocab::kStartTime);
+  const TermId end_time = dict->Iri(vocab::kEndTime);
+  const TermId segment_class = dict->Iri(vocab::kSegment);
+  const TermId position_class = dict->Iri(vocab::kPosition);
+
+  const std::string base = TrajectoryIri(trajectory.mmsi);
+  const int per_segment = std::max(1, options_.points_per_segment);
+  TermId prev_segment = kInvalidTermId;
+  for (size_t i = 0; i < trajectory.points.size();
+       i += static_cast<size_t>(per_segment)) {
+    const size_t seg_index = i / per_segment;
+    const size_t seg_end =
+        std::min(trajectory.points.size(), i + per_segment);
+    const TermId seg =
+        dict->Iri(base + "/seg/" + std::to_string(seg_index));
+    add(traj, has_segment, seg);
+    add(seg, type, segment_class);
+    add(seg, start_time,
+        dict->IntLiteral(trajectory.points[i].t));
+    add(seg, end_time, dict->IntLiteral(trajectory.points[seg_end - 1].t));
+    if (prev_segment != kInvalidTermId) {
+      add(prev_segment, next_segment, seg);
+    }
+    prev_segment = seg;
+    for (size_t j = i; j < seg_end; ++j) {
+      const TrajectoryPoint& p = trajectory.points[j];
+      const TermId pos = dict->Iri(base + "/pos/" + std::to_string(j));
+      add(seg, has_position, pos);
+      add(pos, type, position_class);
+      add(pos, lat, dict->DoubleLiteral(p.position.lat));
+      add(pos, lon, dict->DoubleLiteral(p.position.lon));
+      add(pos, time, dict->IntLiteral(p.t));
+      add(pos, speed, dict->DoubleLiteral(p.sog_mps));
+      add(pos, course, dict->DoubleLiteral(p.cog_deg));
+    }
+  }
+  return emitted;
+}
+
+void TrajectoryAnnotator::LinkZone(uint32_t mmsi, const std::string& zone_iri) {
+  TermDictionary* dict = store_->dictionary();
+  store_->Add(dict->Iri(VesselIri(mmsi)), dict->Iri(vocab::kWithinZone),
+              dict->Iri(zone_iri));
+}
+
+std::vector<TrajectoryPoint> QueryTrajectoryFromRdf(const TripleStore& store,
+                                                    uint32_t mmsi,
+                                                    Timestamp t0,
+                                                    Timestamp t1) {
+  std::vector<TrajectoryPoint> out;
+  TermDictionary* dict = store.dictionary();
+  const TermId vessel =
+      dict->Find(TermKind::kIri, TrajectoryAnnotator::VesselIri(mmsi));
+  if (vessel == kInvalidTermId) return out;
+
+  // BGP: ?vessel hasTrajectory ?t . ?t hasSegment ?seg .
+  //      ?seg hasPosition ?pos . ?pos timestamp ?time .
+  //      ?pos lat ?lat . ?pos lon ?lon . ?pos speed ?v . ?pos course ?c
+  // Vars: 0=?t 1=?seg 2=?pos 3=?time 4=?lat 5=?lon 6=?v 7=?c
+  auto iri = [&](const char* name) -> int64_t {
+    const TermId id = dict->Find(TermKind::kIri, name);
+    return static_cast<int64_t>(id);
+  };
+  using TP = TriplePattern;
+  std::vector<TriplePattern> bgp = {
+      {static_cast<int64_t>(vessel), iri(vocab::kHasTrajectory), TP::Var(0)},
+      {TP::Var(0), iri(vocab::kHasSegment), TP::Var(1)},
+      {TP::Var(1), iri(vocab::kHasPosition), TP::Var(2)},
+      {TP::Var(2), iri(vocab::kTime), TP::Var(3)},
+      {TP::Var(2), iri(vocab::kLat), TP::Var(4)},
+      {TP::Var(2), iri(vocab::kLon), TP::Var(5)},
+      {TP::Var(2), iri(vocab::kSpeed), TP::Var(6)},
+      {TP::Var(2), iri(vocab::kCourse), TP::Var(7)},
+  };
+  for (const Binding& row : store.Query(bgp, 8)) {
+    TrajectoryPoint p;
+    p.t = static_cast<Timestamp>(dict->NumericValue(row[3]));
+    if (p.t < t0 || p.t > t1) continue;  // FILTER applied post-join
+    p.position.lat = dict->NumericValue(row[4]);
+    p.position.lon = dict->NumericValue(row[5]);
+    p.sog_mps = static_cast<float>(dict->NumericValue(row[6]));
+    p.cog_deg = static_cast<float>(dict->NumericValue(row[7]));
+    out.push_back(p);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace marlin

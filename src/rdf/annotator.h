@@ -1,0 +1,61 @@
+#ifndef MARLIN_RDF_ANNOTATOR_H_
+#define MARLIN_RDF_ANNOTATOR_H_
+
+/// \file annotator.h
+/// \brief Semantic-trajectory annotation: maps trajectories into the
+/// vocabulary.h graph shape (paper §2.2 "computation of semantic
+/// trajectories", citing Parent et al. [34]).
+
+#include <string>
+
+#include "rdf/triple_store.h"
+#include "storage/trajectory.h"
+
+namespace marlin {
+
+/// \brief Writes trajectory data as RDF triples.
+///
+/// Graph shape per vessel:
+///   <vessel/M> rdf:type dtc:Vessel ; dtc:mmsi M ; dtc:hasTrajectory <traj/M>
+///   <traj/M> dtc:hasSegment <seg/M/i> ; segments chain via dtc:nextSegment
+///   <seg/M/i> dtc:hasPosition <pos/M/i/j> ; dtc:startTime ; dtc:endTime
+///   <pos/M/i/j> geo:lat ; geo:lon ; dtc:timestamp ; dtc:speedMps
+class TrajectoryAnnotator {
+ public:
+  struct Options {
+    /// Samples per trajectory segment resource.
+    int points_per_segment = 32;
+  };
+
+  explicit TrajectoryAnnotator(TripleStore* store)
+      : TrajectoryAnnotator(store, Options()) {}
+  TrajectoryAnnotator(TripleStore* store, const Options& options)
+      : store_(store), options_(options) {}
+
+  /// \brief Adds the full graph for `trajectory`. Returns the number of
+  /// triples emitted.
+  size_t Annotate(const Trajectory& trajectory);
+
+  /// \brief Links a vessel to a zone resource (contextual enrichment edge).
+  void LinkZone(uint32_t mmsi, const std::string& zone_iri);
+
+  /// \brief The IRI of a vessel resource.
+  static std::string VesselIri(uint32_t mmsi);
+  /// \brief The IRI of a trajectory resource.
+  static std::string TrajectoryIri(uint32_t mmsi);
+
+ private:
+  TripleStore* store_;
+  Options options_;
+};
+
+/// \brief Retrieves the positions of one vessel in a time window from the
+/// triple store — the query shape experiment E4 measures against the
+/// trajectory-native store.
+std::vector<TrajectoryPoint> QueryTrajectoryFromRdf(const TripleStore& store,
+                                                    uint32_t mmsi,
+                                                    Timestamp t0, Timestamp t1);
+
+}  // namespace marlin
+
+#endif  // MARLIN_RDF_ANNOTATOR_H_

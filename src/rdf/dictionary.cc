@@ -1,0 +1,36 @@
+#include "rdf/dictionary.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace marlin {
+
+TermId TermDictionary::DoubleLiteral(double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return Intern(TermKind::kDouble, buf);
+}
+
+TermId TermDictionary::Find(TermKind kind, std::string_view lexical) const {
+  auto it = index_.find(MakeKey(kind, lexical));
+  return it == index_.end() ? kInvalidTermId : it->second;
+}
+
+double TermDictionary::NumericValue(TermId id) const {
+  const Entry& e = terms_[id];
+  if (e.kind != TermKind::kInt && e.kind != TermKind::kDouble) return 0.0;
+  return std::strtod(e.lexical.c_str(), nullptr);
+}
+
+TermId TermDictionary::Intern(TermKind kind, std::string_view lexical) {
+  const std::string key = MakeKey(kind, lexical);
+  auto it = index_.find(key);
+  if (it != index_.end()) return it->second;
+  const TermId id = static_cast<TermId>(terms_.size());
+  terms_.push_back(Entry{kind, std::string(lexical)});
+  index_.emplace(key, id);
+  approx_bytes_ += 2 * lexical.size() + sizeof(Entry) + 32;
+  return id;
+}
+
+}  // namespace marlin

@@ -1,0 +1,90 @@
+#ifndef MARLIN_RDF_DICTIONARY_H_
+#define MARLIN_RDF_DICTIONARY_H_
+
+/// \file dictionary.h
+/// \brief Term dictionary: RDF terms ⇄ dense 32-bit ids.
+///
+/// Dictionary encoding is what makes triple indexes compact and joins
+/// integer comparisons — the standard design of TriAD/Trinity-class engines
+/// the paper cites (§2.3).
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace marlin {
+
+/// Dense identifier of an interned RDF term.
+using TermId = uint32_t;
+
+inline constexpr TermId kInvalidTermId = 0xFFFFFFFFu;
+
+/// \brief Kinds of RDF terms MARLIN distinguishes.
+enum class TermKind : uint8_t {
+  kIri = 0,
+  kString = 1,
+  kInt = 2,
+  kDouble = 3,
+};
+
+/// \brief Interns terms and resolves ids back to their lexical form.
+class TermDictionary {
+ public:
+  /// \brief Interns an IRI (e.g. "dtc:Vessel").
+  TermId Iri(std::string_view iri) { return Intern(TermKind::kIri, iri); }
+
+  /// \brief Interns a string literal.
+  TermId Literal(std::string_view value) {
+    return Intern(TermKind::kString, value);
+  }
+
+  /// \brief Interns an integer literal.
+  TermId IntLiteral(int64_t value) {
+    return Intern(TermKind::kInt, std::to_string(value));
+  }
+
+  /// \brief Interns a double literal (canonical %.9g form).
+  TermId DoubleLiteral(double value);
+
+  /// \brief Looks up an already-interned term; kInvalidTermId when absent.
+  TermId Find(TermKind kind, std::string_view lexical) const;
+
+  /// \brief Lexical form of `id`.
+  const std::string& Lexical(TermId id) const { return terms_[id].lexical; }
+
+  /// \brief Kind of `id`.
+  TermKind Kind(TermId id) const { return terms_[id].kind; }
+
+  /// \brief Numeric value of an int/double literal (0.0 otherwise).
+  double NumericValue(TermId id) const;
+
+  size_t size() const { return terms_.size(); }
+
+  /// \brief Approximate dictionary memory footprint (bytes).
+  size_t ApproximateBytes() const { return approx_bytes_; }
+
+ private:
+  struct Entry {
+    TermKind kind;
+    std::string lexical;
+  };
+
+  TermId Intern(TermKind kind, std::string_view lexical);
+
+  static std::string MakeKey(TermKind kind, std::string_view lexical) {
+    std::string key;
+    key.push_back(static_cast<char>(kind));
+    key.append(lexical);
+    return key;
+  }
+
+  std::vector<Entry> terms_;
+  std::unordered_map<std::string, TermId> index_;
+  size_t approx_bytes_ = 0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_RDF_DICTIONARY_H_

@@ -1,0 +1,114 @@
+#include "rdf/link_discovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/strings.h"
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+namespace {
+
+double CompareOne(const LinkEntity& a, const LinkEntity& b,
+                  const LinkComparison& cmp) {
+  switch (cmp.metric) {
+    case LinkMetric::kExact: {
+      auto ia = a.strings.find(cmp.source_property);
+      auto ib = b.strings.find(cmp.target_property);
+      if (ia == a.strings.end() || ib == b.strings.end()) return 0.0;
+      return ToUpper(ia->second) == ToUpper(ib->second) ? 1.0 : 0.0;
+    }
+    case LinkMetric::kLevenshtein: {
+      auto ia = a.strings.find(cmp.source_property);
+      auto ib = b.strings.find(cmp.target_property);
+      if (ia == a.strings.end() || ib == b.strings.end()) return 0.0;
+      return LevenshteinSimilarity(ToUpper(ia->second), ToUpper(ib->second));
+    }
+    case LinkMetric::kTokenJaccard: {
+      auto ia = a.strings.find(cmp.source_property);
+      auto ib = b.strings.find(cmp.target_property);
+      if (ia == a.strings.end() || ib == b.strings.end()) return 0.0;
+      return TokenJaccard(ia->second, ib->second);
+    }
+    case LinkMetric::kNumericAbs: {
+      auto ia = a.numbers.find(cmp.source_property);
+      auto ib = b.numbers.find(cmp.target_property);
+      if (ia == a.numbers.end() || ib == b.numbers.end()) return 0.0;
+      const double diff = std::abs(ia->second - ib->second);
+      return 1.0 - std::min(1.0, diff / std::max(1e-12, cmp.tolerance));
+    }
+    case LinkMetric::kGeoDistance: {
+      auto ia = a.points.find(cmp.source_property);
+      auto ib = b.points.find(cmp.target_property);
+      if (ia == a.points.end() || ib == b.points.end()) return 0.0;
+      const double d = HaversineDistance(ia->second, ib->second);
+      return 1.0 - std::min(1.0, d / std::max(1e-12, cmp.tolerance));
+    }
+  }
+  return 0.0;
+}
+
+std::string BlockKey(const LinkEntity& e, const LinkSpec& spec) {
+  auto it = e.strings.find(spec.blocking_property);
+  if (it == e.strings.end()) return "";
+  const std::string upper = ToUpper(Trim(it->second));
+  return upper.substr(0,
+                      std::min<size_t>(upper.size(),
+                                       static_cast<size_t>(spec.blocking_prefix)));
+}
+
+}  // namespace
+
+double ScorePair(const LinkEntity& a, const LinkEntity& b,
+                 const LinkSpec& spec) {
+  double total_weight = 0.0;
+  double score = 0.0;
+  for (const auto& cmp : spec.comparisons) {
+    score += cmp.weight * CompareOne(a, b, cmp);
+    total_weight += cmp.weight;
+  }
+  return total_weight == 0.0 ? 0.0 : score / total_weight;
+}
+
+std::vector<Link> DiscoverLinks(const std::vector<LinkEntity>& source,
+                                const std::vector<LinkEntity>& target,
+                                const LinkSpec& spec, LinkStats* stats) {
+  std::vector<Link> links;
+  LinkStats local;
+  local.total_pairs =
+      static_cast<uint64_t>(source.size()) * target.size();
+
+  auto evaluate = [&](const LinkEntity& s, const LinkEntity& t) {
+    ++local.candidate_pairs;
+    const double score = ScorePair(s, t, spec);
+    if (score >= spec.threshold) {
+      links.push_back(Link{s.id, t.id, score});
+      ++local.links;
+    }
+  };
+
+  if (spec.blocking_property.empty()) {
+    for (const auto& s : source) {
+      for (const auto& t : target) evaluate(s, t);
+    }
+  } else {
+    std::unordered_map<std::string, std::vector<const LinkEntity*>> blocks;
+    for (const auto& t : target) {
+      blocks[BlockKey(t, spec)].push_back(&t);
+    }
+    for (const auto& s : source) {
+      auto it = blocks.find(BlockKey(s, spec));
+      if (it == blocks.end()) continue;
+      for (const LinkEntity* t : it->second) evaluate(s, *t);
+    }
+  }
+  std::sort(links.begin(), links.end(), [](const Link& a, const Link& b) {
+    return a.score > b.score;
+  });
+  if (stats != nullptr) *stats = local;
+  return links;
+}
+
+}  // namespace marlin

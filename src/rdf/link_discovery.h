@@ -1,0 +1,83 @@
+#ifndef MARLIN_RDF_LINK_DISCOVERY_H_
+#define MARLIN_RDF_LINK_DISCOVERY_H_
+
+/// \file link_discovery.h
+/// \brief Silk-style link discovery between entity collections (paper §2.2,
+/// citing Ngonga Ngomo [32] and Silk [39]).
+///
+/// Links records describing the same real-world vessel across sources
+/// (e.g. the MarineTraffic-like vs Lloyd's-like registries of §4) using
+/// weighted similarity over string / numeric / spatial properties, with
+/// hash blocking to avoid the quadratic comparison space.
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "geo/point.h"
+
+namespace marlin {
+
+/// \brief A property bag describing one entity to be linked.
+struct LinkEntity {
+  std::string id;
+  std::map<std::string, std::string> strings;
+  std::map<std::string, double> numbers;
+  std::map<std::string, GeoPoint> points;
+};
+
+/// \brief Similarity metric kinds for one property comparison.
+enum class LinkMetric : uint8_t {
+  kExact,         ///< 1 if equal strings, else 0
+  kLevenshtein,   ///< normalized edit similarity
+  kTokenJaccard,  ///< whitespace token set Jaccard
+  kNumericAbs,    ///< 1 - min(1, |a-b| / tolerance)
+  kGeoDistance,   ///< 1 - min(1, haversine(a,b) / tolerance_m)
+};
+
+/// \brief One weighted comparison in a link specification.
+struct LinkComparison {
+  std::string source_property;
+  std::string target_property;
+  LinkMetric metric = LinkMetric::kExact;
+  double weight = 1.0;
+  double tolerance = 1.0;  ///< metric-dependent scale (units or metres)
+};
+
+/// \brief A link specification: comparisons + acceptance threshold.
+struct LinkSpec {
+  std::vector<LinkComparison> comparisons;
+  double threshold = 0.8;          ///< accept when weighted score ≥ threshold
+  std::string blocking_property;   ///< string property used for hash blocking
+                                   ///< (empty = full cross product)
+  int blocking_prefix = 3;         ///< block key = uppercase prefix length
+};
+
+/// \brief A discovered link with its score.
+struct Link {
+  std::string source_id;
+  std::string target_id;
+  double score = 0.0;
+};
+
+/// \brief Statistics of one discovery run.
+struct LinkStats {
+  uint64_t candidate_pairs = 0;  ///< pairs actually compared
+  uint64_t total_pairs = 0;      ///< |source| × |target|
+  uint64_t links = 0;
+};
+
+/// \brief Runs link discovery between two entity collections.
+std::vector<Link> DiscoverLinks(const std::vector<LinkEntity>& source,
+                                const std::vector<LinkEntity>& target,
+                                const LinkSpec& spec,
+                                LinkStats* stats = nullptr);
+
+/// \brief Scores a single entity pair under `spec` (exposed for tests).
+double ScorePair(const LinkEntity& a, const LinkEntity& b,
+                 const LinkSpec& spec);
+
+}  // namespace marlin
+
+#endif  // MARLIN_RDF_LINK_DISCOVERY_H_

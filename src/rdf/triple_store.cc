@@ -1,0 +1,177 @@
+#include "rdf/triple_store.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace marlin {
+
+namespace {
+
+struct SpoLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.s != b.s) return a.s < b.s;
+    if (a.p != b.p) return a.p < b.p;
+    return a.o < b.o;
+  }
+};
+struct PosLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.p != b.p) return a.p < b.p;
+    if (a.o != b.o) return a.o < b.o;
+    return a.s < b.s;
+  }
+};
+struct OspLess {
+  bool operator()(const Triple& a, const Triple& b) const {
+    if (a.o != b.o) return a.o < b.o;
+    if (a.s != b.s) return a.s < b.s;
+    return a.p < b.p;
+  }
+};
+
+}  // namespace
+
+void TripleStore::Add(TermId s, TermId p, TermId o) {
+  spo_.push_back(Triple{s, p, o});
+  dirty_ = true;
+}
+
+void TripleStore::Add(std::string_view s_iri, std::string_view p_iri,
+                      TermId o) {
+  Add(dict_->Iri(s_iri), dict_->Iri(p_iri), o);
+}
+
+void TripleStore::Commit() { EnsureCommitted(); }
+
+void TripleStore::EnsureCommitted() const {
+  if (!dirty_) return;
+  std::sort(spo_.begin(), spo_.end(), SpoLess());
+  spo_.erase(std::unique(spo_.begin(), spo_.end()), spo_.end());
+  pos_ = spo_;
+  std::sort(pos_.begin(), pos_.end(), PosLess());
+  osp_ = spo_;
+  std::sort(osp_.begin(), osp_.end(), OspLess());
+  dirty_ = false;
+}
+
+void TripleStore::MatchInto(std::optional<TermId> s, std::optional<TermId> p,
+                            std::optional<TermId> o,
+                            std::vector<Triple>* out) const {
+  EnsureCommitted();
+  const TermId kMax = std::numeric_limits<TermId>::max();
+
+  if (s.has_value()) {
+    // SPO index: prefix (s) or (s,p).
+    Triple lo{*s, p.value_or(0), 0};
+    Triple hi{*s, p.value_or(kMax), kMax};
+    auto begin = std::lower_bound(spo_.begin(), spo_.end(), lo, SpoLess());
+    auto end = std::upper_bound(spo_.begin(), spo_.end(), hi, SpoLess());
+    for (auto it = begin; it != end; ++it) {
+      if (o.has_value() && it->o != *o) continue;
+      out->push_back(*it);
+    }
+    return;
+  }
+  if (p.has_value()) {
+    // POS index: prefix (p) or (p,o).
+    Triple lo{0, *p, o.value_or(0)};
+    Triple hi{kMax, *p, o.value_or(kMax)};
+    auto begin = std::lower_bound(pos_.begin(), pos_.end(), lo, PosLess());
+    auto end = std::upper_bound(pos_.begin(), pos_.end(), hi, PosLess());
+    for (auto it = begin; it != end; ++it) out->push_back(*it);
+    return;
+  }
+  if (o.has_value()) {
+    // OSP index: prefix (o).
+    Triple lo{0, 0, *o};
+    Triple hi{kMax, kMax, *o};
+    auto begin = std::lower_bound(osp_.begin(), osp_.end(), lo, OspLess());
+    auto end = std::upper_bound(osp_.begin(), osp_.end(), hi, OspLess());
+    for (auto it = begin; it != end; ++it) out->push_back(*it);
+    return;
+  }
+  out->insert(out->end(), spo_.begin(), spo_.end());
+}
+
+std::vector<Triple> TripleStore::Match(std::optional<TermId> s,
+                                       std::optional<TermId> p,
+                                       std::optional<TermId> o) const {
+  std::vector<Triple> out;
+  MatchInto(s, p, o, &out);
+  return out;
+}
+
+std::vector<Binding> TripleStore::Query(const std::vector<TriplePattern>& bgp,
+                                        int num_vars) const {
+  EnsureCommitted();
+  std::vector<Binding> solutions;
+  solutions.push_back(Binding(num_vars, kInvalidTermId));
+
+  // Greedy most-selective-first: at each step pick the unused pattern with
+  // the most bound positions under current bindings (static approximation:
+  // count constants + already-bound vars of the first solution row).
+  std::vector<bool> used(bgp.size(), false);
+
+  for (size_t step = 0; step < bgp.size(); ++step) {
+    // Rank patterns by number of bound positions.
+    int best = -1;
+    int best_bound = -1;
+    for (size_t i = 0; i < bgp.size(); ++i) {
+      if (used[i]) continue;
+      int bound = 0;
+      auto is_bound = [&](int64_t term) {
+        if (!TriplePattern::IsVar(term)) return true;
+        const int v = TriplePattern::VarIndex(term);
+        return !solutions.empty() && solutions[0][v] != kInvalidTermId;
+      };
+      if (is_bound(bgp[i].s)) ++bound;
+      if (is_bound(bgp[i].p)) ++bound;
+      if (is_bound(bgp[i].o)) ++bound;
+      if (bound > best_bound) {
+        best_bound = bound;
+        best = static_cast<int>(i);
+      }
+    }
+    used[best] = true;
+    const TriplePattern& pat = bgp[best];
+
+    std::vector<Binding> next;
+    for (const Binding& row : solutions) {
+      auto resolve = [&](int64_t term) -> std::optional<TermId> {
+        if (!TriplePattern::IsVar(term)) {
+          return static_cast<TermId>(term);
+        }
+        const TermId bound_value = row[TriplePattern::VarIndex(term)];
+        if (bound_value != kInvalidTermId) return bound_value;
+        return std::nullopt;
+      };
+      const auto s = resolve(pat.s);
+      const auto p = resolve(pat.p);
+      const auto o = resolve(pat.o);
+      std::vector<Triple> matches;
+      MatchInto(s, p, o, &matches);
+      for (const Triple& t : matches) {
+        Binding extended = row;
+        bool consistent = true;
+        auto bind = [&](int64_t term, TermId value) {
+          if (!TriplePattern::IsVar(term)) return;
+          TermId& slot = extended[TriplePattern::VarIndex(term)];
+          if (slot == kInvalidTermId) {
+            slot = value;
+          } else if (slot != value) {
+            consistent = false;
+          }
+        };
+        bind(pat.s, t.s);
+        bind(pat.p, t.p);
+        bind(pat.o, t.o);
+        if (consistent) next.push_back(std::move(extended));
+      }
+    }
+    solutions = std::move(next);
+    if (solutions.empty()) return solutions;
+  }
+  return solutions;
+}
+
+}  // namespace marlin

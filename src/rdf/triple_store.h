@@ -1,0 +1,101 @@
+#ifndef MARLIN_RDF_TRIPLE_STORE_H_
+#define MARLIN_RDF_TRIPLE_STORE_H_
+
+/// \file triple_store.h
+/// \brief Dictionary-encoded in-memory triple store with SPO/POS/OSP
+/// indexes and basic-graph-pattern evaluation.
+///
+/// This is the "generic RDF store" side of experiment E4: a competent triple
+/// store (sorted permutation indexes, merge-based pattern scans) that is
+/// nevertheless structurally mismatched with trajectory workloads, as the
+/// paper argues in §2.3/§2.5.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rdf/dictionary.h"
+
+namespace marlin {
+
+/// \brief One dictionary-encoded triple.
+struct Triple {
+  TermId s = 0;
+  TermId p = 0;
+  TermId o = 0;
+
+  bool operator==(const Triple& t) const {
+    return s == t.s && p == t.p && o == t.o;
+  }
+};
+
+/// \brief A triple pattern: each position is a bound term or a variable.
+///
+/// Variables are negative ints (-1, -2, ...); bindings are shared across
+/// patterns in a BGP by variable id.
+struct TriplePattern {
+  int64_t s = -1;
+  int64_t p = -1;
+  int64_t o = -1;
+
+  static constexpr int64_t Var(int n) { return -1 - n; }
+  static bool IsVar(int64_t x) { return x < 0; }
+  static int VarIndex(int64_t x) { return static_cast<int>(-1 - x); }
+};
+
+/// \brief A solution row: variable index → TermId.
+using Binding = std::vector<TermId>;
+
+/// \brief In-memory triple store.
+class TripleStore {
+ public:
+  explicit TripleStore(TermDictionary* dict) : dict_(dict) {}
+
+  /// \brief Adds a triple (duplicates are tolerated and deduped on commit).
+  void Add(TermId s, TermId p, TermId o);
+
+  /// \brief Convenience: interns terms then adds.
+  void Add(std::string_view s_iri, std::string_view p_iri, TermId o);
+
+  /// \brief Sorts/dedupes indexes. Called automatically by queries.
+  void Commit();
+
+  /// \brief All triples matching a single pattern with optional constants.
+  /// Pass std::nullopt for wildcards.
+  std::vector<Triple> Match(std::optional<TermId> s, std::optional<TermId> p,
+                            std::optional<TermId> o) const;
+
+  /// \brief Evaluates a basic graph pattern (conjunctive query) by index
+  /// nested-loop join, most-selective-first. Returns bindings for
+  /// `num_vars` variables.
+  std::vector<Binding> Query(const std::vector<TriplePattern>& bgp,
+                             int num_vars) const;
+
+  size_t size() const { return spo_.size(); }
+  TermDictionary* dictionary() const { return dict_; }
+
+  /// \brief Approximate index memory footprint (bytes), excluding dictionary.
+  size_t ApproximateBytes() const { return spo_.size() * 3 * sizeof(Triple); }
+
+ private:
+  enum class Order { kSpo, kPos, kOsp };
+
+  /// Returns matches for a pattern with the given constants; chooses the
+  /// best permutation index.
+  void MatchInto(std::optional<TermId> s, std::optional<TermId> p,
+                 std::optional<TermId> o, std::vector<Triple>* out) const;
+
+  void EnsureCommitted() const;
+
+  TermDictionary* dict_;
+  mutable std::vector<Triple> spo_;
+  mutable std::vector<Triple> pos_;
+  mutable std::vector<Triple> osp_;
+  mutable bool dirty_ = false;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_RDF_TRIPLE_STORE_H_

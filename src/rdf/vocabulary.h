@@ -1,0 +1,55 @@
+#ifndef MARLIN_RDF_VOCABULARY_H_
+#define MARLIN_RDF_VOCABULARY_H_
+
+/// \file vocabulary.h
+/// \brief datAcron-flavoured maritime vocabulary (paper §2.5).
+///
+/// A compact ontology in the spirit of the datAcron ontology and the
+/// Simple Event Model [41]: vessels, semantic trajectories with segments,
+/// events, and contextual links. Namespaces: `dtc:` (domain), `sem:`
+/// (events), `geo:` (positions).
+
+namespace marlin {
+namespace vocab {
+
+// Classes
+inline constexpr const char* kVessel = "dtc:Vessel";
+inline constexpr const char* kTrajectory = "dtc:Trajectory";
+inline constexpr const char* kSegment = "dtc:TrajectorySegment";
+inline constexpr const char* kPosition = "geo:Position";
+inline constexpr const char* kEvent = "sem:Event";
+inline constexpr const char* kZone = "dtc:Zone";
+inline constexpr const char* kWeatherCondition = "dtc:WeatherCondition";
+
+// Core properties
+inline constexpr const char* kType = "rdf:type";
+inline constexpr const char* kHasTrajectory = "dtc:hasTrajectory";
+inline constexpr const char* kHasSegment = "dtc:hasSegment";
+inline constexpr const char* kHasPosition = "dtc:hasPosition";
+inline constexpr const char* kNextSegment = "dtc:nextSegment";
+inline constexpr const char* kMmsi = "dtc:mmsi";
+inline constexpr const char* kName = "dtc:name";
+inline constexpr const char* kShipType = "dtc:shipType";
+inline constexpr const char* kFlag = "dtc:flag";
+
+// Position/segment attributes
+inline constexpr const char* kLat = "geo:lat";
+inline constexpr const char* kLon = "geo:lon";
+inline constexpr const char* kTime = "dtc:timestamp";
+inline constexpr const char* kSpeed = "dtc:speedMps";
+inline constexpr const char* kCourse = "dtc:courseDeg";
+inline constexpr const char* kStartTime = "dtc:startTime";
+inline constexpr const char* kEndTime = "dtc:endTime";
+
+// Event & context links
+inline constexpr const char* kEventType = "sem:eventType";
+inline constexpr const char* kInvolves = "sem:involves";
+inline constexpr const char* kOccursAt = "sem:occursAt";
+inline constexpr const char* kWithinZone = "dtc:withinZone";
+inline constexpr const char* kWeatherAt = "dtc:weatherAt";
+inline constexpr const char* kSameAs = "owl:sameAs";
+
+}  // namespace vocab
+}  // namespace marlin
+
+#endif  // MARLIN_RDF_VOCABULARY_H_

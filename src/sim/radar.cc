@@ -1,0 +1,56 @@
+#include "sim/radar.h"
+
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+std::vector<Contact> RadarSimulator::Scan(
+    const std::map<Mmsi, Trajectory>& truth, Timestamp t) {
+  std::vector<Contact> contacts;
+  for (const auto& [mmsi, traj] : truth) {
+    if (traj.points.empty() || t < traj.StartTime() || t > traj.EndTime()) {
+      continue;
+    }
+    const TrajectoryPoint p = traj.At(t);
+    const double range = HaversineDistance(site_.position, p.position);
+    if (range > site_.range_m) continue;
+    if (!rng_.Bernoulli(site_.detection_prob)) continue;
+    Contact c;
+    c.t = t;
+    // Noise grows mildly with range (beam spreading).
+    const double sigma = site_.sigma_m * (0.5 + range / site_.range_m);
+    c.position = Destination(p.position, rng_.Uniform(0.0, 360.0),
+                             std::abs(rng_.Gaussian(0.0, sigma)));
+    c.sigma_m = sigma;
+    c.sensor = SensorKind::kRadar;
+    c.mmsi = 0;  // radar has no identity
+    contacts.push_back(c);
+  }
+  // Poisson-ish false alarms: Bernoulli per expected count.
+  double fa = site_.false_alarms_per_scan;
+  while (fa > 0.0) {
+    if (rng_.Bernoulli(std::min(1.0, fa))) {
+      Contact c;
+      c.t = t;
+      c.position = Destination(site_.position, rng_.Uniform(0.0, 360.0),
+                               rng_.Uniform(0.0, site_.range_m));
+      c.sigma_m = site_.sigma_m;
+      c.sensor = SensorKind::kRadar;
+      contacts.push_back(c);
+    }
+    fa -= 1.0;
+  }
+  return contacts;
+}
+
+std::vector<std::pair<Timestamp, std::vector<Contact>>>
+RadarSimulator::ScanRange(const std::map<Mmsi, Trajectory>& truth,
+                          Timestamp t0, Timestamp t1) {
+  std::vector<std::pair<Timestamp, std::vector<Contact>>> out;
+  for (Timestamp t = t0; t <= t1; t += site_.scan_period) {
+    out.emplace_back(t, Scan(truth, t));
+  }
+  return out;
+}
+
+}  // namespace marlin

@@ -1,0 +1,56 @@
+#ifndef MARLIN_SIM_RADAR_H_
+#define MARLIN_SIM_RADAR_H_
+
+/// \file radar.h
+/// \brief Coastal radar simulator: the non-cooperative second sensor of the
+/// fusion experiments (paper §2.4, substituting for real radar/SAR feeds).
+///
+/// Emits anonymous position contacts at a fixed scan period with detection
+/// probability, range-dependent noise and uniform false alarms — the
+/// properties that drive association/fusion behaviour.
+
+#include <map>
+#include <vector>
+
+#include "ais/types.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "fusion/tracker.h"
+#include "storage/trajectory.h"
+
+namespace marlin {
+
+/// \brief One radar site and its performance model.
+struct RadarSite {
+  GeoPoint position;
+  double range_m = 55000.0;        ///< instrumented range (~30 NM)
+  DurationMs scan_period = 6 * kMillisPerSecond;  ///< antenna rotation
+  double sigma_m = 80.0;           ///< 1-σ position noise at mid-range
+  double detection_prob = 0.9;
+  double false_alarms_per_scan = 0.2;
+};
+
+/// \brief Generates contacts from ground-truth trajectories.
+class RadarSimulator {
+ public:
+  RadarSimulator(RadarSite site, uint64_t seed) : site_(site), rng_(seed) {}
+
+  /// \brief Contacts for one scan at time `t`: detections of every truth
+  /// position in range (with Pd and noise) plus false alarms.
+  std::vector<Contact> Scan(const std::map<Mmsi, Trajectory>& truth,
+                            Timestamp t);
+
+  /// \brief All scans over [t0, t1], keyed by scan time.
+  std::vector<std::pair<Timestamp, std::vector<Contact>>> ScanRange(
+      const std::map<Mmsi, Trajectory>& truth, Timestamp t0, Timestamp t1);
+
+  const RadarSite& site() const { return site_; }
+
+ private:
+  RadarSite site_;
+  Rng rng_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_SIM_RADAR_H_

@@ -1,0 +1,61 @@
+#include "sim/receiver.h"
+
+#include <algorithm>
+
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+ReceiverModel::Options ReceiverModel::CoastalCoverage(
+    const std::vector<GeoPoint>& station_sites, double range_m) {
+  Options opts;
+  opts.stations.reserve(station_sites.size());
+  for (const GeoPoint& site : station_sites) {
+    opts.stations.emplace_back(site, range_m);
+  }
+  return opts;
+}
+
+bool ReceiverModel::SatelliteVisible(Timestamp t) const {
+  if (options_.satellite_period_ms <= 0) return false;
+  const Timestamp phase =
+      ((t % options_.satellite_period_ms) + options_.satellite_period_ms) %
+      options_.satellite_period_ms;
+  return phase < options_.satellite_window_ms;
+}
+
+std::vector<Delivery> ReceiverModel::Deliver(Timestamp t, const GeoPoint& pos) {
+  std::vector<Delivery> out;
+
+  // Terrestrial path: any station in range.
+  bool in_terrestrial = false;
+  for (const auto& [site, range] : options_.stations) {
+    if (HaversineDistance(site, pos) <= range) {
+      in_terrestrial = true;
+      break;
+    }
+  }
+  if (in_terrestrial && !rng_.Bernoulli(options_.terrestrial_loss)) {
+    const double latency_s =
+        std::max(0.1, rng_.Gaussian(options_.terrestrial_latency_mean_s,
+                                    options_.terrestrial_latency_sigma_s));
+    out.push_back(Delivery{t + Seconds(latency_s), 1});
+  }
+
+  // Satellite path: only during a pass window, long-tail latency.
+  if (SatelliteVisible(t) && !rng_.Bernoulli(options_.satellite_loss)) {
+    const double latency_s = rng_.Uniform(options_.satellite_latency_min_s,
+                                          options_.satellite_latency_max_s);
+    out.push_back(Delivery{t + Seconds(latency_s), 2});
+  }
+
+  // Processing duplicates.
+  if (!out.empty() && rng_.Bernoulli(options_.duplicate_prob)) {
+    Delivery dupe = out.front();
+    dupe.ingest_time += Seconds(rng_.Uniform(0.5, 5.0));
+    out.push_back(dupe);
+  }
+  return out;
+}
+
+}  // namespace marlin

@@ -1,0 +1,69 @@
+#ifndef MARLIN_SIM_RECEIVER_H_
+#define MARLIN_SIM_RECEIVER_H_
+
+/// \file receiver.h
+/// \brief AIS reception model: terrestrial + satellite coverage, loss,
+/// latency, duplication.
+///
+/// Reproduces the data-quality regime of §1/§2.5: terrestrial receptions
+/// are near-real-time but range-limited; satellite receptions cover open
+/// sea with minutes of latency and a duty cycle ("AIS data at open seas …
+/// may be sparse, or delayed due to either low coverage or to multi-level
+/// processing issues").
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/time.h"
+#include "geo/point.h"
+
+namespace marlin {
+
+/// \brief One delivery of a transmitted message.
+struct Delivery {
+  Timestamp ingest_time = 0;  ///< when the shore system receives it
+  uint64_t source_id = 0;     ///< 1 = terrestrial, 2 = satellite
+};
+
+/// \brief Coverage/degradation model.
+class ReceiverModel {
+ public:
+  struct Options {
+    /// Terrestrial stations: (position, range metres).
+    std::vector<std::pair<GeoPoint, double>> stations;
+    double terrestrial_loss = 0.02;
+    double terrestrial_latency_mean_s = 2.0;
+    double terrestrial_latency_sigma_s = 1.0;
+    /// Satellite pass model: a window of visibility every period.
+    DurationMs satellite_period_ms = 90 * kMillisPerMinute;
+    DurationMs satellite_window_ms = 12 * kMillisPerMinute;
+    double satellite_loss = 0.10;
+    double satellite_latency_min_s = 30.0;
+    double satellite_latency_max_s = 900.0;
+    /// Probability a received message is delivered twice (processing dupes).
+    double duplicate_prob = 0.01;
+  };
+
+  ReceiverModel(const Options& options, uint64_t seed)
+      : options_(options), rng_(seed) {}
+
+  /// \brief Default coverage for a world: stations at every port with
+  /// 60 NM range.
+  static Options CoastalCoverage(const std::vector<GeoPoint>& station_sites,
+                                 double range_m = 111000.0);
+
+  /// \brief Deliveries (possibly none, possibly duplicated) for a message
+  /// transmitted at `t` from `pos`.
+  std::vector<Delivery> Deliver(Timestamp t, const GeoPoint& pos);
+
+  /// \brief True iff a satellite is listening at time `t`.
+  bool SatelliteVisible(Timestamp t) const;
+
+ private:
+  Options options_;
+  Rng rng_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_SIM_RECEIVER_H_

@@ -1,0 +1,468 @@
+#include "sim/scenario.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "ais/codec.h"
+#include "ais/validation.h"
+#include "common/units.h"
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+const char* TrueEventTypeName(TrueEventType t) {
+  switch (t) {
+    case TrueEventType::kRendezvous:
+      return "rendezvous";
+    case TrueEventType::kDarkPeriod:
+      return "dark-period";
+    case TrueEventType::kSpoofIdentity:
+      return "spoof-identity";
+    case TrueEventType::kSpoofTeleport:
+      return "spoof-teleport";
+    case TrueEventType::kLoitering:
+      return "loitering";
+    case TrueEventType::kProtectedZoneFishing:
+      return "protected-zone-fishing";
+  }
+  return "unknown";
+}
+
+DurationMs ReportingInterval(double sog_knots, bool at_anchor) {
+  // ITU-R M.1371 Class-A autonomous mode.
+  if (at_anchor || sog_knots < 0.2) return 3 * kMillisPerMinute;
+  if (sog_knots <= 14.0) return 10 * kMillisPerSecond;
+  if (sog_knots <= 23.0) return 6 * kMillisPerSecond;
+  return 2 * kMillisPerSecond;
+}
+
+namespace {
+
+/// MID prefixes for plausible vessel MMSIs.
+constexpr int kMids[] = {228, 247, 224, 255, 210, 636, 370, 538};
+
+Mmsi MakeMmsi(Rng* rng, int index) {
+  const int mid = kMids[index % (sizeof(kMids) / sizeof(kMids[0]))];
+  return static_cast<Mmsi>(mid) * 1000000u +
+         static_cast<Mmsi>(rng->UniformInt(100000, 999999));
+}
+
+std::string MakeName(Rng* rng, int index) {
+  static const char* kFirst[] = {"SEA",   "OCEAN", "STAR", "NORD",
+                                 "PACIFIC", "AURORA", "DELTA", "ALTAIR"};
+  static const char* kSecond[] = {"SPIRIT", "TRADER", "QUEEN", "PIONEER",
+                                  "HARMONY", "GLORY",  "WIND",  "CREST"};
+  return std::string(kFirst[rng->NextBounded(8)]) + " " +
+         kSecond[rng->NextBounded(8)] + " " + std::to_string(index);
+}
+
+std::string MakeCallSign(Rng* rng) {
+  std::string cs = "3";
+  for (int i = 0; i < 4; ++i) {
+    cs.push_back(static_cast<char>('A' + rng->NextBounded(26)));
+  }
+  return cs;
+}
+
+/// Builds the vessel fleet per the config.
+std::vector<VesselSpec> BuildFleet(const World& world,
+                                   const ScenarioConfig& cfg, Rng* rng,
+                                   std::vector<TrueEvent>* events) {
+  std::vector<VesselSpec> fleet;
+  const Timestamp t0 = cfg.start_time;
+  const Timestamp t1 = cfg.start_time + cfg.duration;
+  const int num_lanes = static_cast<int>(world.lanes().size());
+  int index = 0;
+
+  auto base_spec = [&](Behaviour behaviour) {
+    VesselSpec spec;
+    spec.mmsi = MakeMmsi(rng, index);
+    spec.name = MakeName(rng, index);
+    spec.call_sign = MakeCallSign(rng);
+    spec.imo = MakeImoNumber(
+        static_cast<uint32_t>(rng->UniformInt(900000, 999999)));
+    spec.behaviour = behaviour;
+    spec.lane = static_cast<int>(rng->NextBounded(num_lanes));
+    spec.reverse_lane = rng->Bernoulli(0.5);
+    spec.depart_time = t0 + static_cast<DurationMs>(
+                                rng->Uniform(0, cfg.duration * 0.25));
+    ++index;
+    return spec;
+  };
+
+  for (int i = 0; i < cfg.transit_vessels; ++i) {
+    VesselSpec spec = base_spec(Behaviour::kTransit);
+    const double roll = rng->NextDouble();
+    if (roll < 0.45) {
+      spec.ship_type = 70 + static_cast<int>(rng->NextBounded(5));  // cargo
+      spec.speed_knots = rng->Uniform(10.0, 16.0);
+      spec.length_m = static_cast<int>(rng->UniformInt(90, 300));
+    } else if (roll < 0.75) {
+      spec.ship_type = 80 + static_cast<int>(rng->NextBounded(5));  // tanker
+      spec.speed_knots = rng->Uniform(9.0, 14.0);
+      spec.length_m = static_cast<int>(rng->UniformInt(120, 330));
+    } else {
+      spec.ship_type = 60 + static_cast<int>(rng->NextBounded(5));  // pax
+      spec.speed_knots = rng->Uniform(15.0, 24.0);
+      spec.length_m = static_cast<int>(rng->UniformInt(60, 200));
+    }
+    spec.beam_m = std::max(8, spec.length_m / 7);
+    fleet.push_back(spec);
+  }
+
+  const int num_grounds = static_cast<int>(world.fishing_grounds().size());
+  for (int i = 0; i < cfg.fishing_vessels; ++i) {
+    VesselSpec spec = base_spec(Behaviour::kFishing);
+    spec.ship_type = 30;
+    spec.speed_knots = rng->Uniform(8.0, 11.0);
+    spec.length_m = static_cast<int>(rng->UniformInt(18, 45));
+    spec.beam_m = std::max(5, spec.length_m / 4);
+    spec.fishing_ground = static_cast<int>(rng->NextBounded(num_grounds));
+    spec.fishing_duration = static_cast<DurationMs>(
+        rng->Uniform(0.3, 0.6) * cfg.duration);
+    fleet.push_back(spec);
+    const FishingGround& ground = world.fishing_grounds()[spec.fishing_ground];
+    if (ground.protected_area) {
+      TrueEvent ev;
+      ev.type = TrueEventType::kProtectedZoneFishing;
+      ev.vessel_a = spec.mmsi;
+      ev.start = spec.depart_time;
+      ev.end = t1;
+      ev.where = ground.centre;
+      events->push_back(ev);
+    }
+  }
+
+  const BoundingBox bounds = world.Bounds();
+  for (int i = 0; i < cfg.loiter_vessels; ++i) {
+    VesselSpec spec = base_spec(Behaviour::kLoiter);
+    spec.ship_type = 36 + static_cast<int>(rng->NextBounded(2));
+    spec.speed_knots = 0.8;
+    spec.length_m = static_cast<int>(rng->UniformInt(10, 30));
+    spec.beam_m = 6;
+    spec.loiter_centre =
+        GeoPoint(rng->Uniform(bounds.min_lat + 0.5, bounds.max_lat - 0.5),
+                 rng->Uniform(bounds.min_lon + 0.5, bounds.max_lon - 0.5));
+    spec.depart_time = t0;
+    fleet.push_back(spec);
+    TrueEvent ev;
+    ev.type = TrueEventType::kLoitering;
+    ev.vessel_a = spec.mmsi;
+    ev.start = t0;
+    ev.end = t1;
+    ev.where = spec.loiter_centre;
+    events->push_back(ev);
+  }
+
+  for (int i = 0; i < cfg.rendezvous_pairs; ++i) {
+    VesselSpec a = base_spec(Behaviour::kRendezvousA);
+    VesselSpec b = base_spec(Behaviour::kRendezvousB);
+    a.ship_type = 70;
+    b.ship_type = 30;
+    a.speed_knots = rng->Uniform(10.0, 14.0);
+    b.speed_knots = rng->Uniform(9.0, 12.0);
+    a.length_m = 140;
+    b.length_m = 30;
+    const Timestamp meet_time =
+        t0 + static_cast<DurationMs>(rng->Uniform(0.4, 0.6) * cfg.duration);
+    const DurationMs meet_duration =
+        Minutes(20) + static_cast<DurationMs>(rng->Uniform(0, Minutes(25)));
+    // Anchor the meeting within A's reach: A departs its lane origin at t0
+    // and sails toward a point it can reach ~10 minutes early.
+    const GeoPoint origin_a =
+        a.reverse_lane ? world.lanes()[a.lane].waypoints.back()
+                       : world.lanes()[a.lane].waypoints.front();
+    const double budget_a_s =
+        static_cast<double>(meet_time - t0 - Minutes(10)) / kMillisPerSecond;
+    const double reach_a =
+        std::max(5000.0, KnotsToMps(a.speed_knots) * budget_a_s * 0.8);
+    GeoPoint meet =
+        Destination(origin_a, rng->Uniform(0.0, 360.0), reach_a);
+    // Keep the meeting inside the basin.
+    meet.lat = std::clamp(meet.lat, bounds.min_lat + 0.3, bounds.max_lat - 0.3);
+    meet.lon = std::clamp(meet.lon, bounds.min_lon + 0.3, bounds.max_lon - 0.3);
+    // B approaches from a different bearing, also within reach.
+    const double budget_b_s =
+        static_cast<double>(meet_time - t0 - Minutes(10)) / kMillisPerSecond;
+    const double reach_b = KnotsToMps(b.speed_knots) * budget_b_s * 0.8;
+    b.start_override =
+        Destination(meet, rng->Uniform(0.0, 360.0), reach_b);
+    for (VesselSpec* spec : {&a, &b}) {
+      spec->meet_point = meet;
+      spec->meet_time = meet_time;
+      spec->meet_duration = meet_duration;
+      const GeoPoint origin = spec == &b ? b.start_override : origin_a;
+      const double dist = HaversineDistance(origin, meet);
+      const double travel_s = dist / KnotsToMps(spec->speed_knots);
+      spec->depart_time =
+          std::max(t0, meet_time - Seconds(travel_s) - Minutes(8));
+    }
+    // Offset B's meet point slightly so they hold ~80 m apart, not on top
+    // of each other.
+    b.meet_point = Destination(meet, rng->Uniform(0.0, 360.0), 80.0);
+    fleet.push_back(a);
+    fleet.push_back(b);
+    TrueEvent ev;
+    ev.type = TrueEventType::kRendezvous;
+    ev.vessel_a = a.mmsi;
+    ev.vessel_b = b.mmsi;
+    ev.start = meet_time;
+    ev.end = meet_time + meet_duration;
+    ev.where = meet;
+    events->push_back(ev);
+  }
+
+  for (int i = 0; i < cfg.dark_vessels; ++i) {
+    VesselSpec spec = base_spec(Behaviour::kGoDark);
+    spec.ship_type = rng->Bernoulli(0.5) ? 30 : 70;
+    spec.speed_knots = rng->Uniform(9.0, 14.0);
+    spec.length_m = 60;
+    spec.beam_m = 12;
+    // Transmit from the start so a pre-window baseline exists (a gap is
+    // only observable between two reports).
+    spec.depart_time = t0 + static_cast<DurationMs>(
+                                rng->Uniform(0, Minutes(5)));
+    // One to three dark windows, each 20–90 minutes, ending early enough
+    // that the vessel re-appears before the scenario closes.
+    const int windows = 1 + static_cast<int>(rng->NextBounded(3));
+    for (int wnd = 0; wnd < windows; ++wnd) {
+      const Timestamp ds =
+          t0 + static_cast<DurationMs>(
+                   rng->Uniform(0.15 + 0.25 * wnd, 0.15 + 0.25 * wnd + 0.15) *
+                   cfg.duration);
+      const DurationMs len =
+          Minutes(20) + static_cast<DurationMs>(rng->Uniform(0, Minutes(70)));
+      const Timestamp de = std::min(t1 - Minutes(10), ds + len);
+      if (ds < de) {
+        spec.dark_windows.emplace_back(ds, de);
+        TrueEvent ev;
+        ev.type = TrueEventType::kDarkPeriod;
+        ev.vessel_a = spec.mmsi;
+        ev.start = ds;
+        ev.end = de;
+        events->push_back(ev);
+      }
+    }
+    fleet.push_back(spec);
+  }
+
+  for (int i = 0; i < cfg.spoof_identity_vessels; ++i) {
+    VesselSpec spec = base_spec(Behaviour::kSpoofIdentity);
+    spec.ship_type = 70;
+    spec.speed_knots = rng->Uniform(10.0, 14.0);
+    // Steal the identity of an existing transit vessel when available.
+    spec.spoofed_mmsi =
+        fleet.empty() ? MakeMmsi(rng, index) : fleet[rng->NextBounded(
+                                                   std::min<size_t>(
+                                                       fleet.size(), 8))]
+                                                   .mmsi;
+    fleet.push_back(spec);
+    TrueEvent ev;
+    ev.type = TrueEventType::kSpoofIdentity;
+    ev.vessel_a = spec.mmsi;          // true identity
+    ev.vessel_b = spec.spoofed_mmsi;  // claimed identity
+    ev.start = spec.depart_time;
+    ev.end = t1;
+    events->push_back(ev);
+  }
+
+  for (int i = 0; i < cfg.spoof_teleport_vessels; ++i) {
+    VesselSpec spec = base_spec(Behaviour::kSpoofTeleport);
+    spec.ship_type = 80;
+    spec.speed_knots = rng->Uniform(10.0, 14.0);
+    spec.teleport_period = Minutes(25);
+    spec.teleport_offset_m = rng->Uniform(40000.0, 90000.0);
+    fleet.push_back(spec);
+    TrueEvent ev;
+    ev.type = TrueEventType::kSpoofTeleport;
+    ev.vessel_a = spec.mmsi;
+    ev.start = spec.depart_time;
+    ev.end = t1;
+    events->push_back(ev);
+  }
+
+  return fleet;
+}
+
+StaticVoyageData MakeStatic(const VesselSpec& spec, Mmsi reported_mmsi) {
+  StaticVoyageData sv;
+  sv.mmsi = reported_mmsi;
+  sv.imo_number = spec.imo;
+  sv.call_sign = spec.call_sign;
+  sv.name = spec.name;
+  sv.ship_type = spec.ship_type;
+  sv.dim_to_bow_m = spec.length_m / 2;
+  sv.dim_to_stern_m = spec.length_m - spec.length_m / 2;
+  sv.dim_to_port_m = spec.beam_m / 2;
+  sv.dim_to_starboard_m = spec.beam_m - spec.beam_m / 2;
+  sv.draught_m = 6.5;
+  sv.destination = "NEXT PORT";
+  sv.eta_month = 6;
+  sv.eta_day = 15;
+  sv.eta_hour = 12;
+  sv.eta_minute = 0;
+  return sv;
+}
+
+/// Seeds one of the E10 static-data defects into a type-5 message.
+void CorruptStatic(StaticVoyageData* sv, Rng* rng) {
+  switch (rng->NextBounded(5)) {
+    case 0:
+      sv->imo_number += 1;  // breaks the IMO check digit
+      break;
+    case 1:
+      sv->name.clear();
+      break;
+    case 2:
+      sv->dim_to_bow_m = 400;
+      sv->dim_to_stern_m = 200;  // implausible 600 m vessel
+      break;
+    case 3:
+      sv->ship_type = 13;  // reserved code
+      break;
+    case 4:
+      sv->call_sign = "A?B*C";  // illegal characters
+      break;
+  }
+}
+
+}  // namespace
+
+ScenarioOutput GenerateScenario(const World& world,
+                                const ScenarioConfig& config) {
+  ScenarioOutput out;
+  Rng rng(config.seed);
+  const Timestamp t0 = config.start_time;
+  const Timestamp t1 = config.start_time + config.duration;
+
+  out.fleet = BuildFleet(world, config, &rng, &out.events);
+
+  ReceiverModel::Options receiver_opts = config.receiver;
+  if (receiver_opts.stations.empty() && config.use_coastal_coverage_default) {
+    std::vector<GeoPoint> sites;
+    for (const Port& p : world.ports()) sites.push_back(p.position);
+    receiver_opts = ReceiverModel::CoastalCoverage(sites);
+  }
+  ReceiverModel receiver(receiver_opts, rng.NextU64());
+  AisEncoder encoder;
+
+  for (const VesselSpec& spec : out.fleet) {
+    Rng vessel_rng = rng.Fork();
+    const std::vector<TruthState> states =
+        SimulateVessel(spec, world, t0, t1, config.tick, &vessel_rng);
+    out.truth.emplace(spec.mmsi, TruthToTrajectory(spec.mmsi, states));
+
+    const Mmsi reported_mmsi = spec.behaviour == Behaviour::kSpoofIdentity &&
+                                       spec.spoofed_mmsi != 0
+                                   ? spec.spoofed_mmsi
+                                   : spec.mmsi;
+
+    // --- Position reports at ITU cadence -------------------------------
+    Timestamp next_report = spec.depart_time;
+    Timestamp next_static = spec.depart_time + static_cast<DurationMs>(
+                                                   vessel_rng.Uniform(
+                                                       0, config.static_interval));
+    Timestamp next_teleport =
+        spec.teleport_period > 0 ? spec.depart_time + spec.teleport_period
+                                 : kMaxTimestamp;
+
+    for (const TruthState& state : states) {
+      if (state.t < next_report && state.t < next_static) continue;
+
+      // Transmit position report.
+      if (state.t >= next_report) {
+        const double sog_knots = MpsToKnots(state.sog_mps);
+        next_report =
+            state.t + static_cast<DurationMs>(
+                          ReportingInterval(sog_knots, sog_knots < 0.2) *
+                          config.report_interval_scale);
+        if (!state.transmitting) continue;
+
+        PositionReport pr;
+        pr.message_type = 1;
+        pr.mmsi = reported_mmsi;
+        pr.nav_status = sog_knots < 0.2 ? NavigationStatus::kAtAnchor
+                                        : NavigationStatus::kUnderWayUsingEngine;
+        pr.sog_knots = sog_knots;
+        pr.position = state.position;
+        // GPS noise ~10 m 1-σ.
+        pr.position = Destination(pr.position,
+                                  vessel_rng.Uniform(0.0, 360.0),
+                                  std::abs(vessel_rng.Gaussian(0.0, 10.0)));
+        pr.position_accurate = true;
+        pr.cog_deg = state.cog_deg;
+        pr.true_heading = static_cast<int>(state.cog_deg) % 360;
+        pr.utc_second = static_cast<int>((state.t / 1000) % 60);
+
+        // Teleport spoofing: displace the *reported* position.
+        if (state.t >= next_teleport) {
+          next_teleport += spec.teleport_period;
+          pr.position = Destination(state.position,
+                                    vessel_rng.Uniform(0.0, 360.0),
+                                    spec.teleport_offset_m);
+        }
+
+        ++out.transmissions;
+        auto lines = encoder.Encode(AisMessage(pr));
+        if (lines.ok()) {
+          // Receivers prepend a TAG block with their reception time — the
+          // mechanism that lets the shore side recover event time for
+          // satellite-delayed deliveries.
+          const std::string tag = FormatTagBlock(state.t);
+          if (config.perfect_reception) {
+            for (const auto& line : *lines) {
+              out.nmea.emplace_back(state.t, state.t, 1, tag + line);
+            }
+          } else {
+            for (const Delivery& d : receiver.Deliver(state.t, state.position)) {
+              for (const auto& line : *lines) {
+                out.nmea.emplace_back(state.t, d.ingest_time, d.source_id,
+                                      tag + line);
+              }
+            }
+          }
+        }
+      }
+
+      // Transmit static & voyage data.
+      if (state.t >= next_static) {
+        next_static = state.t + config.static_interval;
+        if (!state.transmitting) continue;
+        StaticVoyageData sv = MakeStatic(spec, reported_mmsi);
+        if (config.static_error_rate > 0.0 &&
+            vessel_rng.Bernoulli(config.static_error_rate)) {
+          CorruptStatic(&sv, &vessel_rng);
+        }
+        ++out.transmissions;
+        auto lines = encoder.Encode(AisMessage(sv));
+        if (lines.ok()) {
+          const std::string tag = FormatTagBlock(state.t);
+          if (config.perfect_reception) {
+            for (const auto& line : *lines) {
+              out.nmea.emplace_back(state.t, state.t, 1, tag + line);
+            }
+          } else {
+            for (const Delivery& d : receiver.Deliver(state.t, state.position)) {
+              for (const auto& line : *lines) {
+                out.nmea.emplace_back(state.t, d.ingest_time, d.source_id,
+                                      tag + line);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // Arrival order = ingest time (the stream a shore centre actually sees).
+  std::sort(out.nmea.begin(), out.nmea.end(),
+            [](const Event<std::string>& a, const Event<std::string>& b) {
+              if (a.ingest_time != b.ingest_time) {
+                return a.ingest_time < b.ingest_time;
+              }
+              return a.event_time < b.event_time;
+            });
+  return out;
+}
+
+}  // namespace marlin

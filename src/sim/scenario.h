@@ -1,0 +1,93 @@
+#ifndef MARLIN_SIM_SCENARIO_H_
+#define MARLIN_SIM_SCENARIO_H_
+
+/// \file scenario.h
+/// \brief End-to-end scenario generation: fleet → ground truth → AIS wire
+/// stream (+ ground-truth event log for precision/recall scoring).
+///
+/// This is the experiment harness substrate: every benchmark seeds a
+/// scenario, runs the system under test on the NMEA stream, and scores
+/// against the ground truth this module emits.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "sim/receiver.h"
+#include "sim/vessel_sim.h"
+#include "sim/world.h"
+#include "storage/trajectory.h"
+#include "stream/event.h"
+
+namespace marlin {
+
+/// \brief Ground-truth event classes seeded by the scenario.
+enum class TrueEventType : uint8_t {
+  kRendezvous = 0,
+  kDarkPeriod,
+  kSpoofIdentity,
+  kSpoofTeleport,
+  kLoitering,
+  kProtectedZoneFishing,
+};
+
+const char* TrueEventTypeName(TrueEventType t);
+
+/// \brief One seeded event with its true extent.
+struct TrueEvent {
+  TrueEventType type = TrueEventType::kRendezvous;
+  Timestamp start = 0;
+  Timestamp end = 0;
+  Mmsi vessel_a = 0;
+  Mmsi vessel_b = 0;  ///< 0 when single-vessel
+  GeoPoint where;
+};
+
+/// \brief Scenario composition knobs.
+struct ScenarioConfig {
+  uint64_t seed = 42;
+  Timestamp start_time = 1700000000000;  ///< arbitrary epoch anchor
+  DurationMs duration = 6 * kMillisPerHour;
+  DurationMs tick = 10 * kMillisPerSecond;
+
+  int transit_vessels = 30;
+  int fishing_vessels = 8;
+  int loiter_vessels = 3;
+  int rendezvous_pairs = 2;
+  int dark_vessels = 5;
+  int spoof_identity_vessels = 2;
+  int spoof_teleport_vessels = 2;
+
+  /// Scale factor on ITU reporting rates (1.0 = spec; larger = sparser).
+  double report_interval_scale = 1.0;
+  /// Emit type-5 static & voyage data every this often per vessel.
+  DurationMs static_interval = 6 * kMillisPerMinute;
+  /// Fraction of type-5 messages seeded with static-data defects (E10).
+  double static_error_rate = 0.0;
+
+  /// Receiver model; when `perfect_reception` is set every transmission is
+  /// delivered instantly (for decoding-throughput benchmarks).
+  ReceiverModel::Options receiver;
+  bool perfect_reception = false;
+  bool use_coastal_coverage_default = true;
+};
+
+/// \brief Everything a scenario produces.
+struct ScenarioOutput {
+  std::vector<VesselSpec> fleet;
+  std::map<Mmsi, Trajectory> truth;           ///< ground-truth trajectories
+  std::vector<Event<std::string>> nmea;       ///< wire stream, arrival order
+  std::vector<TrueEvent> events;              ///< seeded ground truth events
+  uint64_t transmissions = 0;                 ///< messages sent (pre-loss)
+};
+
+/// \brief Generates a complete scenario (deterministic per config).
+ScenarioOutput GenerateScenario(const World& world, const ScenarioConfig& config);
+
+/// \brief ITU-R M.1371 Class-A reporting interval for a given speed.
+DurationMs ReportingInterval(double sog_knots, bool at_anchor);
+
+}  // namespace marlin
+
+#endif  // MARLIN_SIM_SCENARIO_H_

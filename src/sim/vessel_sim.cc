@@ -1,0 +1,220 @@
+#include "sim/vessel_sim.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+const char* BehaviourName(Behaviour b) {
+  switch (b) {
+    case Behaviour::kTransit:
+      return "transit";
+    case Behaviour::kFishing:
+      return "fishing";
+    case Behaviour::kLoiter:
+      return "loiter";
+    case Behaviour::kRendezvousA:
+      return "rendezvous-a";
+    case Behaviour::kRendezvousB:
+      return "rendezvous-b";
+    case Behaviour::kGoDark:
+      return "go-dark";
+    case Behaviour::kSpoofIdentity:
+      return "spoof-identity";
+    case Behaviour::kSpoofTeleport:
+      return "spoof-teleport";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// A timed movement order: head to `target` at `speed_mps`; when reached,
+/// hold until `hold_until` (0 = no hold).
+struct Order {
+  GeoPoint target;
+  double speed_mps = 0.0;
+  Timestamp hold_until = 0;
+};
+
+/// Builds the waypoint schedule for a spec.
+std::vector<Order> BuildOrders(const VesselSpec& spec, const World& world,
+                               Timestamp t0, Timestamp t1, Rng* rng) {
+  std::vector<Order> orders;
+  const double cruise = KnotsToMps(spec.speed_knots);
+
+  auto lane_waypoints = [&](int lane_idx, bool reverse) {
+    std::vector<GeoPoint> wps = world.lanes()[lane_idx].waypoints;
+    if (reverse) std::reverse(wps.begin(), wps.end());
+    return wps;
+  };
+
+  switch (spec.behaviour) {
+    case Behaviour::kTransit:
+    case Behaviour::kGoDark:
+    case Behaviour::kSpoofIdentity:
+    case Behaviour::kSpoofTeleport: {
+      // Ping-pong along the lane for the whole window.
+      auto wps = lane_waypoints(spec.lane, spec.reverse_lane);
+      const double lane_len = PolylineLength(wps);
+      const double leg_s = lane_len / std::max(0.1, cruise);
+      int legs = static_cast<int>(
+          std::ceil(static_cast<double>(t1 - t0) / kMillisPerSecond / leg_s)) + 1;
+      bool forward = true;
+      for (int leg = 0; leg < legs; ++leg) {
+        const auto& seq = forward ? wps : std::vector<GeoPoint>(wps.rbegin(), wps.rend());
+        for (size_t i = 1; i < seq.size(); ++i) {
+          orders.push_back(Order{seq[i], cruise, 0});
+        }
+        // Moor at the far port for 20–60 minutes before returning.
+        if (!orders.empty()) {
+          orders.back().hold_until = -1;  // placeholder resolved at runtime
+        }
+        forward = !forward;
+      }
+      break;
+    }
+    case Behaviour::kFishing: {
+      const FishingGround& ground =
+          world.fishing_grounds()[spec.fishing_ground];
+      // Out from the lane start port, zigzag, return.
+      const GeoPoint home = world.lanes()[spec.lane].waypoints.front();
+      orders.push_back(Order{ground.centre, cruise, 0});
+      // Zigzag legs at trawling speed (~4 kn) inside the ground.
+      const double trawl = KnotsToMps(4.0);
+      const int legs = std::max(
+          2, static_cast<int>(spec.fishing_duration / Minutes(12)));
+      for (int i = 0; i < legs; ++i) {
+        const double bearing = rng->Uniform(0.0, 360.0);
+        const double dist = rng->Uniform(0.3, 0.9) * ground.radius_m;
+        orders.push_back(
+            Order{Destination(ground.centre, bearing, dist), trawl, 0});
+      }
+      orders.push_back(Order{home, cruise, 0});
+      break;
+    }
+    case Behaviour::kLoiter: {
+      const GeoPoint centre = spec.loiter_centre;
+      const double drift = KnotsToMps(0.8);
+      for (int i = 0; i < 200; ++i) {
+        const double bearing = rng->Uniform(0.0, 360.0);
+        const double dist = rng->Uniform(100.0, 1500.0);
+        orders.push_back(Order{Destination(centre, bearing, dist), drift, 0});
+      }
+      break;
+    }
+    case Behaviour::kRendezvousA:
+    case Behaviour::kRendezvousB: {
+      // Approach the meet point from the lane start, arrive by meet_time,
+      // hold through meet_duration, then continue to the lane end.
+      auto wps = lane_waypoints(spec.lane, spec.reverse_lane);
+      orders.push_back(Order{spec.meet_point, cruise,
+                             spec.meet_time + spec.meet_duration});
+      orders.push_back(Order{wps.back(), cruise, 0});
+      break;
+    }
+  }
+  return orders;
+}
+
+}  // namespace
+
+std::vector<TruthState> SimulateVessel(const VesselSpec& spec,
+                                       const World& world, Timestamp t0,
+                                       Timestamp t1, DurationMs tick_ms,
+                                       Rng* rng) {
+  std::vector<TruthState> out;
+  std::vector<Order> orders = BuildOrders(spec, world, t0, t1, rng);
+
+  // Starting position: explicit override, loiter centre, or lane origin.
+  GeoPoint pos;
+  if (spec.start_override.IsValid()) {
+    pos = spec.start_override;
+  } else {
+    switch (spec.behaviour) {
+      case Behaviour::kLoiter:
+        pos = spec.loiter_centre;
+        break;
+      case Behaviour::kFishing:
+        pos = world.lanes()[spec.lane].waypoints.front();
+        break;
+      default: {
+        auto wps = world.lanes()[spec.lane].waypoints;
+        pos = spec.reverse_lane ? wps.back() : wps.front();
+        break;
+      }
+    }
+  }
+
+  size_t order_idx = 0;
+  double course = 0.0;
+  Timestamp hold_until = 0;
+  const double dt_s = static_cast<double>(tick_ms) / kMillisPerSecond;
+
+  for (Timestamp t = t0; t <= t1; t += tick_ms) {
+    TruthState state;
+    state.t = t;
+
+    const bool departed = t >= spec.depart_time;
+    double speed = 0.0;
+
+    if (departed && t >= hold_until && order_idx < orders.size()) {
+      Order& order = orders[order_idx];
+      const double dist = HaversineDistance(pos, order.target);
+      // Speed jitter: ±5 % per tick, smoothed by being memoryless and small.
+      speed = order.speed_mps * (1.0 + 0.05 * rng->Gaussian());
+      speed = std::max(0.0, speed);
+      const double step = speed * dt_s;
+      if (dist <= step || dist < 1.0) {
+        pos = order.target;
+        if (order.hold_until == -1) {
+          // Port call: 20–60 minutes.
+          hold_until = t + Minutes(20) + static_cast<DurationMs>(
+                                             rng->Uniform(0, Minutes(40)));
+        } else if (order.hold_until > 0) {
+          hold_until = order.hold_until;
+        }
+        ++order_idx;
+        speed = 0.0;
+      } else {
+        course = InitialBearing(pos, order.target);
+        // Cross-track wander: small heading perturbation.
+        const double wander = rng->Gaussian() * 1.5;
+        pos = Destination(pos, course + wander, step);
+      }
+    }
+
+    state.position = pos;
+    state.sog_mps = speed;
+    state.cog_deg = course;
+    state.transmitting = true;
+    for (const auto& [ds, de] : spec.dark_windows) {
+      if (t >= ds && t < de) {
+        state.transmitting = false;
+        break;
+      }
+    }
+    out.push_back(state);
+  }
+  return out;
+}
+
+Trajectory TruthToTrajectory(Mmsi mmsi, const std::vector<TruthState>& states) {
+  Trajectory traj;
+  traj.mmsi = mmsi;
+  traj.points.reserve(states.size());
+  for (const auto& s : states) {
+    TrajectoryPoint p;
+    p.t = s.t;
+    p.position = s.position;
+    p.sog_mps = static_cast<float>(s.sog_mps);
+    p.cog_deg = static_cast<float>(s.cog_deg);
+    traj.points.push_back(p);
+  }
+  return traj;
+}
+
+}  // namespace marlin

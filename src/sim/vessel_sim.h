@@ -1,0 +1,94 @@
+#ifndef MARLIN_SIM_VESSEL_SIM_H_
+#define MARLIN_SIM_VESSEL_SIM_H_
+
+/// \file vessel_sim.h
+/// \brief Per-vessel behaviour simulation producing ground-truth kinematics.
+///
+/// Behaviours cover the event classes the paper's detection section (§3.1)
+/// targets: normal transits, fishing patterns, loitering, rendezvous pairs,
+/// go-dark vessels, and AIS spoofers. Motion is deterministic given the
+/// seed; the receiver model (receiver.h) separately degrades what is *seen*.
+
+#include <string>
+#include <vector>
+
+#include "ais/types.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "sim/world.h"
+#include "storage/trajectory.h"
+
+namespace marlin {
+
+/// \brief Scripted vessel behaviours.
+enum class Behaviour : uint8_t {
+  kTransit = 0,       ///< port-to-port lane following
+  kFishing,           ///< transit to ground, zigzag trawl, return
+  kLoiter,            ///< near-stationary drift in one area
+  kRendezvousA,       ///< meets partner at meet_point/meet_time (initiator)
+  kRendezvousB,       ///< the partner side
+  kGoDark,            ///< transit with transmitter-off windows
+  kSpoofIdentity,     ///< transmits under a stolen MMSI
+  kSpoofTeleport,     ///< reports occasionally displaced positions
+};
+
+const char* BehaviourName(Behaviour b);
+
+/// \brief Full specification of one simulated vessel.
+struct VesselSpec {
+  Mmsi mmsi = 0;
+  std::string name;
+  std::string call_sign;
+  uint32_t imo = 0;
+  int ship_type = 70;  ///< ITU code (70 = cargo)
+  int length_m = 120;
+  int beam_m = 20;
+  Behaviour behaviour = Behaviour::kTransit;
+  int lane = 0;                   ///< lane index in the world
+  bool reverse_lane = false;      ///< traverse the lane backwards
+  double speed_knots = 12.0;
+  Timestamp depart_time = 0;      ///< when the vessel starts moving
+  int fishing_ground = 0;
+  DurationMs fishing_duration = 4 * kMillisPerHour;
+  GeoPoint loiter_centre;
+  // Rendezvous script
+  GeoPoint meet_point;
+  Timestamp meet_time = 0;
+  DurationMs meet_duration = 30 * kMillisPerMinute;
+  /// Optional starting position overriding the lane origin (used to place
+  /// rendezvous partners within reach of the meet point).
+  GeoPoint start_override;  ///< invalid (default) = use the lane origin
+  // Go-dark script: transmitter off inside these windows
+  std::vector<std::pair<Timestamp, Timestamp>> dark_windows;
+  // Spoofing scripts
+  Mmsi spoofed_mmsi = 0;              ///< identity transmitted when spoofing
+  DurationMs teleport_period = 0;     ///< 0 = never
+  double teleport_offset_m = 60000.0;
+};
+
+/// \brief Ground-truth kinematic state at one tick.
+struct TruthState {
+  Timestamp t = 0;
+  GeoPoint position;
+  double sog_mps = 0.0;
+  double cog_deg = 0.0;
+  bool transmitting = true;  ///< false inside dark windows
+};
+
+/// \brief Simulates one vessel's true motion over [t0, t1] at `tick_ms`.
+///
+/// Deterministic given `rng` state. The trajectory respects the behaviour
+/// script; speeds carry small per-tick jitter; lane following applies a
+/// bounded cross-track wander.
+std::vector<TruthState> SimulateVessel(const VesselSpec& spec,
+                                       const World& world, Timestamp t0,
+                                       Timestamp t1, DurationMs tick_ms,
+                                       Rng* rng);
+
+/// \brief Converts truth states to a Trajectory (all ticks, regardless of
+/// transmission state).
+Trajectory TruthToTrajectory(Mmsi mmsi, const std::vector<TruthState>& states);
+
+}  // namespace marlin
+
+#endif  // MARLIN_SIM_VESSEL_SIM_H_

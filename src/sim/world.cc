@@ -1,0 +1,167 @@
+#include "sim/world.h"
+
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+namespace {
+
+Lane MakeLane(int from, int to, const std::vector<GeoPoint>& via,
+              const std::vector<Port>& ports) {
+  Lane lane;
+  lane.from_port = from;
+  lane.to_port = to;
+  lane.waypoints.push_back(ports[from].position);
+  for (const auto& p : via) lane.waypoints.push_back(p);
+  lane.waypoints.push_back(ports[to].position);
+  return lane;
+}
+
+}  // namespace
+
+World World::Basin() {
+  World w;
+  // A synthetic basin spanning roughly 36–44 N, 6 W – 9 E.
+  w.ports_ = {
+      {"Westhaven", GeoPoint(36.9, -5.2), 3000.0},
+      {"Porto Sole", GeoPoint(43.2, 8.1), 3000.0},
+      {"Cap Azur", GeoPoint(43.0, 5.4), 2500.0},
+      {"Isla Verde", GeoPoint(39.5, 2.6), 2500.0},
+      {"Puerto Rocas", GeoPoint(38.3, -0.5), 2500.0},
+      {"Cala Bruna", GeoPoint(41.3, 9.1), 2000.0},
+      {"Port Vell", GeoPoint(41.35, 2.15), 3000.0},
+      {"Bahia Norte", GeoPoint(36.7, -3.0), 2000.0},
+  };
+  w.lanes_ = {
+      MakeLane(0, 6, {GeoPoint(36.8, -2.0), GeoPoint(38.6, 0.6),
+                      GeoPoint(40.0, 1.5)}, w.ports_),
+      MakeLane(6, 1, {GeoPoint(42.0, 4.0), GeoPoint(42.8, 6.5)}, w.ports_),
+      MakeLane(0, 4, {GeoPoint(36.9, -2.5)}, w.ports_),
+      MakeLane(4, 3, {GeoPoint(38.9, 1.2)}, w.ports_),
+      MakeLane(3, 2, {GeoPoint(41.0, 4.2)}, w.ports_),
+      MakeLane(2, 1, {GeoPoint(43.0, 7.0)}, w.ports_),
+      MakeLane(3, 5, {GeoPoint(40.2, 6.0)}, w.ports_),
+      MakeLane(5, 1, {GeoPoint(42.3, 8.9)}, w.ports_),
+      MakeLane(7, 3, {GeoPoint(37.5, 0.0)}, w.ports_),
+      MakeLane(7, 0, {}, w.ports_),
+      MakeLane(6, 2, {GeoPoint(42.2, 3.8)}, w.ports_),
+      MakeLane(4, 6, {GeoPoint(39.8, 0.9)}, w.ports_),
+  };
+  w.fishing_grounds_ = {
+      {"North Banks", GeoPoint(42.3, 5.8), 25000.0, false},
+      {"Verde Shallows", GeoPoint(39.0, 3.8), 20000.0, false},
+      {"Coral Reserve", GeoPoint(37.8, 1.8), 15000.0, true},
+  };
+  w.BuildZones();
+  return w;
+}
+
+World World::Global() {
+  World w;
+  w.ports_ = {
+      {"Rotterdam", GeoPoint(51.95, 4.1), 5000.0},
+      {"Algeciras", GeoPoint(36.13, -5.43), 4000.0},
+      {"Piraeus", GeoPoint(37.94, 23.62), 4000.0},
+      {"Suez", GeoPoint(29.93, 32.55), 4000.0},
+      {"Singapore", GeoPoint(1.26, 103.82), 6000.0},
+      {"Shanghai", GeoPoint(30.63, 122.06), 6000.0},
+      {"Santos", GeoPoint(-23.98, -46.29), 4000.0},
+      {"New York", GeoPoint(40.5, -73.8), 5000.0},
+      {"Houston", GeoPoint(29.3, -94.7), 4000.0},
+      {"Lagos", GeoPoint(6.38, 3.4), 4000.0},
+      {"Durban", GeoPoint(-29.87, 31.05), 4000.0},
+      {"Mumbai", GeoPoint(18.92, 72.84), 4000.0},
+      {"Yokohama", GeoPoint(35.41, 139.68), 4000.0},
+      {"Los Angeles", GeoPoint(33.71, -118.27), 5000.0},
+      {"Panama", GeoPoint(8.88, -79.52), 4000.0},
+      {"Valparaiso", GeoPoint(-33.03, -71.63), 3000.0},
+  };
+  auto lane = [&](int a, int b, std::vector<GeoPoint> via = {}) {
+    w.lanes_.push_back(MakeLane(a, b, via, w.ports_));
+  };
+  lane(0, 1, {GeoPoint(49.2, -5.5), GeoPoint(43.5, -9.8)});
+  lane(1, 2, {GeoPoint(37.0, 5.0), GeoPoint(37.3, 11.3)});
+  lane(2, 3, {GeoPoint(34.0, 27.0)});
+  lane(3, 11, {GeoPoint(12.5, 45.0), GeoPoint(13.0, 55.0)});
+  lane(11, 4, {GeoPoint(6.0, 80.5)});
+  lane(4, 5, {GeoPoint(10.5, 109.5), GeoPoint(22.0, 116.0)});
+  lane(5, 12, {GeoPoint(31.0, 127.5)});
+  lane(12, 13, {GeoPoint(40.0, 180.0 - 0.01), GeoPoint(42.0, -160.0)});
+  lane(13, 14, {GeoPoint(20.0, -106.0)});
+  lane(14, 8, {GeoPoint(22.0, -86.0)});
+  lane(14, 6, {GeoPoint(-5.0, -40.0)});
+  lane(6, 15, {GeoPoint(-35.0, -55.0)});
+  lane(7, 0, {GeoPoint(45.0, -40.0), GeoPoint(49.5, -15.0)});
+  lane(7, 14, {GeoPoint(25.0, -75.0)});
+  lane(1, 9, {GeoPoint(25.0, -16.0), GeoPoint(10.0, -8.0)});
+  lane(9, 10, {GeoPoint(-15.0, 8.0), GeoPoint(-32.0, 20.0)});
+  lane(10, 11, {GeoPoint(-18.0, 45.0), GeoPoint(2.0, 60.0)});
+  w.fishing_grounds_ = {
+      {"Grand Banks", GeoPoint(45.0, -51.0), 120000.0, false},
+      {"North Sea", GeoPoint(56.5, 3.0), 100000.0, false},
+      {"Benguela", GeoPoint(-20.0, 11.0), 110000.0, false},
+  };
+  w.BuildZones();
+  return w;
+}
+
+void World::BuildZones() {
+  for (const Port& p : ports_) {
+    GeoZone z;
+    z.name = p.name;
+    z.type = ZoneType::kPort;
+    z.polygon = Polygon::Circle(p.position, p.radius_m, 20);
+    zones_.Add(std::move(z));
+
+    GeoZone anchorage;
+    anchorage.name = p.name + " anchorage";
+    anchorage.type = ZoneType::kAnchorage;
+    anchorage.polygon = Polygon::Circle(p.position, p.radius_m * 3.0, 20);
+    anchorage.speed_limit_knots = 8.0;
+    zones_.Add(std::move(anchorage));
+  }
+  for (const FishingGround& g : fishing_grounds_) {
+    GeoZone z;
+    z.name = g.name;
+    z.type = g.protected_area ? ZoneType::kProtectedArea
+                              : ZoneType::kFishingGround;
+    z.fishing_prohibited = g.protected_area;
+    z.polygon = Polygon::Circle(g.centre, g.radius_m, 24);
+    zones_.Add(std::move(z));
+  }
+  // Two synthetic EEZ rectangles split the basin between coastal states.
+  const BoundingBox bounds = Bounds().Expanded(1.0);
+  const double mid_lon = (bounds.min_lon + bounds.max_lon) / 2;
+  GeoZone eez_west;
+  eez_west.name = "EEZ West";
+  eez_west.type = ZoneType::kEez;
+  eez_west.polygon = Polygon::FromBox(
+      BoundingBox(bounds.min_lat, bounds.min_lon, bounds.max_lat, mid_lon));
+  zones_.Add(std::move(eez_west));
+  GeoZone eez_east;
+  eez_east.name = "EEZ East";
+  eez_east.type = ZoneType::kEez;
+  eez_east.polygon = Polygon::FromBox(
+      BoundingBox(bounds.min_lat, mid_lon, bounds.max_lat, bounds.max_lon));
+  zones_.Add(std::move(eez_east));
+}
+
+std::vector<int> World::LanesFrom(int port) const {
+  std::vector<int> out;
+  for (size_t i = 0; i < lanes_.size(); ++i) {
+    if (lanes_[i].from_port == port) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+BoundingBox World::Bounds() const {
+  BoundingBox box = BoundingBox::Empty();
+  for (const Port& p : ports_) box.Extend(p.position);
+  for (const Lane& l : lanes_) {
+    for (const GeoPoint& wp : l.waypoints) box.Extend(wp);
+  }
+  for (const FishingGround& g : fishing_grounds_) box.Extend(g.centre);
+  return box;
+}
+
+}  // namespace marlin

@@ -1,0 +1,83 @@
+#ifndef MARLIN_SIM_WORLD_H_
+#define MARLIN_SIM_WORLD_H_
+
+/// \file world.h
+/// \brief Synthetic maritime world: ports, shipping lanes, fishing grounds,
+/// and the derived zone database.
+///
+/// Substitutes for the real-world geography behind Figure 1 / the datAcron
+/// scenarios: what matters downstream is that vessels move on realistic
+/// lane networks between ports, with regulated areas to violate and
+/// fishing grounds to work — all of which this world provides
+/// deterministically.
+
+#include <string>
+#include <vector>
+
+#include "context/zones.h"
+#include "geo/point.h"
+
+namespace marlin {
+
+/// \brief A named port.
+struct Port {
+  std::string name;
+  GeoPoint position;
+  double radius_m = 3000.0;  ///< harbour approach radius
+};
+
+/// \brief A shipping lane: waypoint polyline between two ports.
+struct Lane {
+  int from_port = 0;
+  int to_port = 0;
+  std::vector<GeoPoint> waypoints;  ///< includes both port positions
+};
+
+/// \brief A fishing ground with its regulatory status.
+struct FishingGround {
+  std::string name;
+  GeoPoint centre;
+  double radius_m = 20000.0;
+  bool protected_area = false;  ///< true = fishing prohibited
+};
+
+/// \brief The static world shared by all simulations.
+class World {
+ public:
+  /// \brief The default basin: a synthetic western-Mediterranean-like sea
+  /// with 8 ports, a lane network, 3 fishing grounds (one protected), and
+  /// EEZ boundaries. Deterministic — no RNG involved.
+  static World Basin();
+
+  /// \brief A coarse global world (major ports on real-ish coordinates,
+  /// great-circle trunk lanes) used by the Figure-1 world map experiment.
+  static World Global();
+
+  const std::vector<Port>& ports() const { return ports_; }
+  const std::vector<Lane>& lanes() const { return lanes_; }
+  const std::vector<FishingGround>& fishing_grounds() const {
+    return fishing_grounds_;
+  }
+
+  /// \brief Zone database derived from the world (ports, protected areas,
+  /// EEZ rectangles, lanes).
+  const ZoneDatabase& zones() const { return zones_; }
+
+  /// \brief Lanes departing a given port.
+  std::vector<int> LanesFrom(int port) const;
+
+  /// \brief Overall bounding box of the world geometry.
+  BoundingBox Bounds() const;
+
+ private:
+  void BuildZones();
+
+  std::vector<Port> ports_;
+  std::vector<Lane> lanes_;
+  std::vector<FishingGround> fishing_grounds_;
+  ZoneDatabase zones_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_SIM_WORLD_H_

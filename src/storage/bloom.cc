@@ -1,0 +1,59 @@
+#include "storage/bloom.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace marlin {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  const size_t bits = std::max<size_t>(64, expected_keys * bits_per_key);
+  bits_.assign((bits + 7) / 8, 0);
+  // k = ln2 * bits/key, clamped to a practical range.
+  num_probes_ = std::clamp(
+      static_cast<int>(std::round(bits_per_key * 0.69)), 1, 30);
+}
+
+BloomFilter BloomFilter::Deserialize(std::string_view data) {
+  BloomFilter f;
+  if (data.empty()) {
+    f.bits_.assign(8, 0);
+    f.num_probes_ = 1;
+    return f;
+  }
+  f.num_probes_ = std::clamp<int>(static_cast<uint8_t>(data[0]), 1, 30);
+  f.bits_.assign(data.begin() + 1, data.end());
+  if (f.bits_.empty()) f.bits_.assign(8, 0);
+  return f;
+}
+
+void BloomFilter::Add(std::string_view key) {
+  const uint64_t h = Fnv1a64(key);
+  const uint64_t h1 = h;
+  const uint64_t h2 = (h >> 33) | (h << 31);
+  const uint64_t nbits = bits_.size() * 8;
+  for (int i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % nbits;
+    bits_[bit / 8] |= static_cast<uint8_t>(1u << (bit % 8));
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  const uint64_t h = Fnv1a64(key);
+  const uint64_t h1 = h;
+  const uint64_t h2 = (h >> 33) | (h << 31);
+  const uint64_t nbits = bits_.size() * 8;
+  for (int i = 0; i < num_probes_; ++i) {
+    const uint64_t bit = (h1 + i * h2) % nbits;
+    if ((bits_[bit / 8] & (1u << (bit % 8))) == 0) return false;
+  }
+  return true;
+}
+
+std::string BloomFilter::Serialize() const {
+  std::string out;
+  out.push_back(static_cast<char>(num_probes_));
+  out.append(reinterpret_cast<const char*>(bits_.data()), bits_.size());
+  return out;
+}
+
+}  // namespace marlin

@@ -1,0 +1,46 @@
+#ifndef MARLIN_STORAGE_BLOOM_H_
+#define MARLIN_STORAGE_BLOOM_H_
+
+/// \file bloom.h
+/// \brief Double-hashed Bloom filter for sorted-run point-lookup skipping.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "storage/coding.h"
+
+namespace marlin {
+
+/// \brief Classic Bloom filter with k probes derived from one 64-bit hash
+/// (Kirsch–Mitzenmacher double hashing), ~1 % false positives at 10
+/// bits/key.
+class BloomFilter {
+ public:
+  /// \brief Sizes the filter for `expected_keys` at `bits_per_key`.
+  explicit BloomFilter(size_t expected_keys, int bits_per_key = 10);
+
+  /// \brief Reconstructs a filter from its serialized form.
+  static BloomFilter Deserialize(std::string_view data);
+
+  void Add(std::string_view key);
+
+  /// \brief False means definitely absent; true means probably present.
+  bool MayContain(std::string_view key) const;
+
+  /// \brief Serialized form: [k:1][bits little-endian bytes].
+  std::string Serialize() const;
+
+  size_t SizeBytes() const { return bits_.size(); }
+
+ private:
+  BloomFilter() = default;
+
+  int num_probes_ = 6;
+  std::vector<uint8_t> bits_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_BLOOM_H_

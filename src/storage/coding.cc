@@ -1,0 +1,139 @@
+#include "storage/coding.h"
+
+namespace marlin {
+
+void PutFixed64BE(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 7; i >= 0; --i) {
+    buf[i] = static_cast<char>(v & 0xFF);
+    v >>= 8;
+  }
+  dst->append(buf, 8);
+}
+
+void PutFixed32BE(std::string* dst, uint32_t v) {
+  char buf[4];
+  for (int i = 3; i >= 0; --i) {
+    buf[i] = static_cast<char>(v & 0xFF);
+    v >>= 8;
+  }
+  dst->append(buf, 4);
+}
+
+uint64_t GetFixed64BE(std::string_view src, size_t offset) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(src[offset + i]);
+  }
+  return v;
+}
+
+uint32_t GetFixed32BE(std::string_view src, size_t offset) {
+  uint32_t v = 0;
+  for (size_t i = 0; i < 4; ++i) {
+    v = (v << 8) | static_cast<uint8_t>(src[offset + i]);
+  }
+  return v;
+}
+
+void PutFixed64LE(std::string* dst, uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>(v & 0xFF);
+    v >>= 8;
+  }
+  dst->append(buf, 8);
+}
+
+uint64_t GetFixed64LE(std::string_view src, size_t offset) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(src[offset + i]);
+  }
+  return v;
+}
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+size_t GetVarint32(std::string_view src, size_t offset, uint32_t* out) {
+  uint32_t v = 0;
+  int shift = 0;
+  size_t i = offset;
+  while (i < src.size() && shift <= 28) {
+    const uint8_t byte = static_cast<uint8_t>(src[i++]);
+    v |= static_cast<uint32_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) {
+      *out = v;
+      return i - offset;
+    }
+    shift += 7;
+  }
+  return 0;
+}
+
+void PutDoubleLE(std::string* dst, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutFixed64LE(dst, bits);
+}
+
+double GetDoubleLE(std::string_view src, size_t offset) {
+  const uint64_t bits = GetFixed64LE(src, offset);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+void PutOrderedInt64(std::string* dst, int64_t v) {
+  PutFixed64BE(dst, static_cast<uint64_t>(v) ^ (1ull << 63));
+}
+
+int64_t GetOrderedInt64(std::string_view src, size_t offset) {
+  return static_cast<int64_t>(GetFixed64BE(src, offset) ^ (1ull << 63));
+}
+
+namespace {
+
+struct Crc32cTable {
+  uint32_t table[256];
+  Crc32cTable() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int k = 0; k < 8; ++k) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      table[i] = crc;
+    }
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n) {
+  static const Crc32cTable t;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = 0xFFFFFFFFu;
+  for (size_t i = 0; i < n; ++i) {
+    crc = t.table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+uint64_t Fnv1a64(const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace marlin

@@ -1,0 +1,57 @@
+#ifndef MARLIN_STORAGE_CODING_H_
+#define MARLIN_STORAGE_CODING_H_
+
+/// \file coding.h
+/// \brief Byte-order-stable encodings and checksums for storage formats.
+///
+/// Keys use big-endian fixed-width encodings so that lexicographic byte order
+/// equals numeric order — the property every LSM key schema relies on.
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace marlin {
+
+/// \brief Appends a big-endian fixed 64-bit value.
+void PutFixed64BE(std::string* dst, uint64_t v);
+
+/// \brief Appends a big-endian fixed 32-bit value.
+void PutFixed32BE(std::string* dst, uint32_t v);
+
+/// \brief Reads a big-endian fixed 64-bit value at `offset`.
+uint64_t GetFixed64BE(std::string_view src, size_t offset);
+
+/// \brief Reads a big-endian fixed 32-bit value at `offset`.
+uint32_t GetFixed32BE(std::string_view src, size_t offset);
+
+/// \brief Appends a little-endian fixed 64-bit value (internal payloads).
+void PutFixed64LE(std::string* dst, uint64_t v);
+uint64_t GetFixed64LE(std::string_view src, size_t offset);
+
+/// \brief Appends a LEB128 varint32.
+void PutVarint32(std::string* dst, uint32_t v);
+
+/// \brief Parses a varint32; returns bytes consumed, 0 on truncation.
+size_t GetVarint32(std::string_view src, size_t offset, uint32_t* out);
+
+/// \brief Encodes a double bit-preserving (little endian).
+void PutDoubleLE(std::string* dst, double v);
+double GetDoubleLE(std::string_view src, size_t offset);
+
+/// \brief Encodes a signed 64-bit so byte order matches numeric order
+/// (offset-binary: flips the sign bit). Used for timestamps in keys.
+void PutOrderedInt64(std::string* dst, int64_t v);
+int64_t GetOrderedInt64(std::string_view src, size_t offset);
+
+/// \brief CRC-32C (Castagnoli), software table implementation.
+uint32_t Crc32c(const void* data, size_t n);
+
+/// \brief 64-bit FNV-1a hash (bloom filters, partitioning).
+uint64_t Fnv1a64(const void* data, size_t n);
+inline uint64_t Fnv1a64(std::string_view s) { return Fnv1a64(s.data(), s.size()); }
+
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_CODING_H_

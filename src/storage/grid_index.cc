@@ -1,0 +1,121 @@
+#include "storage/grid_index.h"
+
+#include <algorithm>
+#include <optional>
+
+#include "common/units.h"
+
+namespace marlin {
+
+void GridIndex::Upsert(uint64_t id, const GeoPoint& p) {
+  auto it = positions_.find(id);
+  if (it != positions_.end()) {
+    const CellKey old_key = KeyFor(it->second);
+    const CellKey new_key = KeyFor(p);
+    if (old_key != new_key) {
+      auto& bucket = cells_[old_key];
+      bucket.erase(std::remove(bucket.begin(), bucket.end(), id),
+                   bucket.end());
+      if (bucket.empty()) cells_.erase(old_key);
+      cells_[new_key].push_back(id);
+    }
+    it->second = p;
+    return;
+  }
+  positions_.emplace(id, p);
+  cells_[KeyFor(p)].push_back(id);
+}
+
+void GridIndex::Remove(uint64_t id) {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return;
+  const CellKey key = KeyFor(it->second);
+  auto& bucket = cells_[key];
+  bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
+  if (bucket.empty()) cells_.erase(key);
+  positions_.erase(it);
+}
+
+std::optional<GeoPoint> GridIndex::Get(uint64_t id) const {
+  auto it = positions_.find(id);
+  if (it == positions_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::vector<uint64_t> GridIndex::Query(const BoundingBox& box) const {
+  std::vector<uint64_t> out;
+  const int32_t row0 =
+      static_cast<int32_t>(std::floor((box.min_lat + 90.0) / cell_deg_));
+  const int32_t row1 =
+      static_cast<int32_t>(std::floor((box.max_lat + 90.0) / cell_deg_));
+  const int32_t col0 =
+      static_cast<int32_t>(std::floor((box.min_lon + 180.0) / cell_deg_));
+  const int32_t col1 =
+      static_cast<int32_t>(std::floor((box.max_lon + 180.0) / cell_deg_));
+  for (int32_t r = row0; r <= row1; ++r) {
+    for (int32_t c = col0; c <= col1; ++c) {
+      const CellKey key = (static_cast<int64_t>(r) << 32) |
+                          static_cast<int64_t>(static_cast<uint32_t>(c));
+      auto it = cells_.find(key);
+      if (it == cells_.end()) continue;
+      for (uint64_t id : it->second) {
+        if (box.Contains(positions_.at(id))) out.push_back(id);
+      }
+    }
+  }
+  return out;
+}
+
+double GridIndex::ApproxDistanceMetres(const GeoPoint& a,
+                                       const GeoPoint& b) const {
+  const double metres_per_deg = DegToRad(1.0) * kEarthRadiusMetres;
+  const double dy = (a.lat - b.lat) * metres_per_deg;
+  const double dx = (a.lon - b.lon) * metres_per_deg *
+                    std::cos(DegToRad((a.lat + b.lat) / 2));
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::vector<std::pair<uint64_t, double>> GridIndex::QueryRadius(
+    const GeoPoint& centre, double radius_m) const {
+  const double metres_per_deg = DegToRad(1.0) * kEarthRadiusMetres;
+  const double lat_margin = radius_m / metres_per_deg;
+  const double cos_lat =
+      std::max(0.01, std::cos(DegToRad(centre.lat)));
+  const double lon_margin = radius_m / (metres_per_deg * cos_lat);
+  const BoundingBox box(centre.lat - lat_margin, centre.lon - lon_margin,
+                        centre.lat + lat_margin, centre.lon + lon_margin);
+  std::vector<std::pair<uint64_t, double>> out;
+  for (uint64_t id : Query(box)) {
+    const double d = ApproxDistanceMetres(centre, positions_.at(id));
+    if (d <= radius_m) out.emplace_back(id, d);
+  }
+  return out;
+}
+
+std::vector<std::pair<uint64_t, double>> GridIndex::Nearest(
+    const GeoPoint& query, size_t k) const {
+  std::vector<std::pair<uint64_t, double>> out;
+  if (positions_.empty() || k == 0) return out;
+  // Expanding ring: double the radius until k hits are inside a radius that
+  // is fully covered by the searched ring.
+  const double metres_per_deg = DegToRad(1.0) * kEarthRadiusMetres;
+  double radius = cell_deg_ * metres_per_deg;  // one cell pitch
+  const double max_radius = 180.0 * metres_per_deg;
+  while (radius <= max_radius) {
+    auto hits = QueryRadius(query, radius);
+    if (hits.size() >= k) {
+      std::sort(hits.begin(), hits.end(),
+                [](const auto& a, const auto& b) { return a.second < b.second; });
+      hits.resize(k);
+      return hits;
+    }
+    radius *= 2.0;
+  }
+  auto hits = QueryRadius(query, max_radius);
+  std::sort(hits.begin(), hits.end(),
+            [](const auto& a, const auto& b) { return a.second < b.second; });
+  if (hits.size() > k) hits.resize(k);
+  return hits;
+}
+
+}  // namespace marlin

@@ -1,0 +1,74 @@
+#ifndef MARLIN_STORAGE_GRID_INDEX_H_
+#define MARLIN_STORAGE_GRID_INDEX_H_
+
+/// \file grid_index.h
+/// \brief Dynamic uniform-grid point index for the live picture (§2.3).
+///
+/// The streaming side needs insert/update/remove at message rate; a uniform
+/// lat/lon grid with per-cell vectors is the classic moving-objects answer
+/// (cheap updates, predictable scans). Complements the static RTree used for
+/// archival analytics.
+
+#include <cmath>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "geo/point.h"
+
+namespace marlin {
+
+/// \brief Uniform grid over lat/lon with movable point payloads.
+class GridIndex {
+ public:
+  /// \brief `cell_deg` is the grid pitch in degrees (0.1° ≈ 6 NM N-S).
+  explicit GridIndex(double cell_deg = 0.1) : cell_deg_(cell_deg) {}
+
+  /// \brief Inserts or moves `id` to `p`.
+  void Upsert(uint64_t id, const GeoPoint& p);
+
+  /// \brief Removes `id`; no-op when absent.
+  void Remove(uint64_t id);
+
+  /// \brief Current position of `id`, if present.
+  std::optional<GeoPoint> Get(uint64_t id) const;
+
+  /// \brief All ids inside `box`.
+  std::vector<uint64_t> Query(const BoundingBox& box) const;
+
+  /// \brief Ids within `radius_m` metres of `centre` (equirectangular test),
+  /// with their distances, unsorted.
+  std::vector<std::pair<uint64_t, double>> QueryRadius(const GeoPoint& centre,
+                                                       double radius_m) const;
+
+  /// \brief k nearest ids to `query` (expanding ring search), nearest first.
+  std::vector<std::pair<uint64_t, double>> Nearest(const GeoPoint& query,
+                                                   size_t k) const;
+
+  size_t size() const { return positions_.size(); }
+  double cell_deg() const { return cell_deg_; }
+
+ private:
+  using CellKey = int64_t;
+
+  CellKey KeyFor(const GeoPoint& p) const {
+    const int32_t row = static_cast<int32_t>(
+        std::floor((p.lat + 90.0) / cell_deg_));
+    const int32_t col = static_cast<int32_t>(
+        std::floor((p.lon + 180.0) / cell_deg_));
+    return (static_cast<int64_t>(row) << 32) |
+           static_cast<int64_t>(static_cast<uint32_t>(col));
+  }
+
+  double ApproxDistanceMetres(const GeoPoint& a, const GeoPoint& b) const;
+
+  double cell_deg_;
+  std::unordered_map<CellKey, std::vector<uint64_t>> cells_;
+  std::unordered_map<uint64_t, GeoPoint> positions_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_GRID_INDEX_H_

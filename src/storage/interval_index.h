@@ -1,0 +1,153 @@
+#ifndef MARLIN_STORAGE_INTERVAL_INDEX_H_
+#define MARLIN_STORAGE_INTERVAL_INDEX_H_
+
+/// \file interval_index.h
+/// \brief Static centered interval tree for temporal-extent queries.
+///
+/// Used to answer "which trajectory segments / events / dark periods overlap
+/// [t0, t1]" — the temporal half of the paper's spatio-temporal querying
+/// challenge (§2.6).
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/time.h"
+
+namespace marlin {
+
+/// \brief One indexed interval: [start, end] inclusive, with a payload id.
+struct IntervalEntry {
+  Timestamp start = 0;
+  Timestamp end = 0;
+  uint64_t id = 0;
+};
+
+/// \brief Centered interval tree (static, bulk built).
+class IntervalIndex {
+ public:
+  IntervalIndex() = default;
+
+  /// \brief Builds the tree; O(n log n).
+  explicit IntervalIndex(std::vector<IntervalEntry> entries) {
+    root_ = Build(std::move(entries));
+  }
+
+  /// \brief Ids of intervals containing time `t`.
+  std::vector<uint64_t> Stab(Timestamp t) const {
+    std::vector<uint64_t> out;
+    StabRecurse(root_.get(), t, &out);
+    return out;
+  }
+
+  /// \brief Ids of intervals overlapping [t0, t1] (inclusive ends).
+  std::vector<uint64_t> Overlapping(Timestamp t0, Timestamp t1) const {
+    std::vector<uint64_t> out;
+    OverlapRecurse(root_.get(), t0, t1, &out);
+    return out;
+  }
+
+  size_t size() const { return size_; }
+
+ private:
+  struct Node {
+    Timestamp centre = 0;
+    // Intervals crossing the centre, sorted two ways for early exit.
+    std::vector<IntervalEntry> by_start;  // ascending start
+    std::vector<IntervalEntry> by_end;    // descending end
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+  };
+
+  std::unique_ptr<Node> Build(std::vector<IntervalEntry> entries) {
+    if (entries.empty()) return nullptr;
+    size_ += entries.size();
+    // Median of endpoints as the centre.
+    std::vector<Timestamp> points;
+    points.reserve(entries.size() * 2);
+    for (const auto& e : entries) {
+      points.push_back(e.start);
+      points.push_back(e.end);
+    }
+    std::nth_element(points.begin(), points.begin() + points.size() / 2,
+                     points.end());
+    const Timestamp centre = points[points.size() / 2];
+
+    auto node = std::make_unique<Node>();
+    node->centre = centre;
+    std::vector<IntervalEntry> left_set, right_set;
+    for (auto& e : entries) {
+      if (e.end < centre) {
+        left_set.push_back(e);
+      } else if (e.start > centre) {
+        right_set.push_back(e);
+      } else {
+        node->by_start.push_back(e);
+      }
+    }
+    size_ -= left_set.size() + right_set.size();  // counted again in children
+    node->by_end = node->by_start;
+    std::sort(node->by_start.begin(), node->by_start.end(),
+              [](const IntervalEntry& a, const IntervalEntry& b) {
+                return a.start < b.start;
+              });
+    std::sort(node->by_end.begin(), node->by_end.end(),
+              [](const IntervalEntry& a, const IntervalEntry& b) {
+                return a.end > b.end;
+              });
+    node->left = Build(std::move(left_set));
+    node->right = Build(std::move(right_set));
+    return node;
+  }
+
+  static void StabRecurse(const Node* node, Timestamp t,
+                          std::vector<uint64_t>* out) {
+    if (node == nullptr) return;
+    if (t < node->centre) {
+      for (const auto& e : node->by_start) {
+        if (e.start > t) break;
+        out->push_back(e.id);
+      }
+      StabRecurse(node->left.get(), t, out);
+    } else if (t > node->centre) {
+      for (const auto& e : node->by_end) {
+        if (e.end < t) break;
+        out->push_back(e.id);
+      }
+      StabRecurse(node->right.get(), t, out);
+    } else {
+      for (const auto& e : node->by_start) out->push_back(e.id);
+    }
+  }
+
+  static void OverlapRecurse(const Node* node, Timestamp t0, Timestamp t1,
+                             std::vector<uint64_t>* out) {
+    if (node == nullptr) return;
+    if (t1 < node->centre) {
+      for (const auto& e : node->by_start) {
+        if (e.start > t1) break;
+        out->push_back(e.id);
+      }
+      OverlapRecurse(node->left.get(), t0, t1, out);
+    } else if (t0 > node->centre) {
+      for (const auto& e : node->by_end) {
+        if (e.end < t0) break;
+        out->push_back(e.id);
+      }
+      OverlapRecurse(node->right.get(), t0, t1, out);
+    } else {
+      // Query straddles the centre: all crossing intervals overlap.
+      for (const auto& e : node->by_start) out->push_back(e.id);
+      OverlapRecurse(node->left.get(), t0, t1, out);
+      OverlapRecurse(node->right.get(), t0, t1, out);
+    }
+  }
+
+  std::unique_ptr<Node> root_;
+  size_t size_ = 0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_INTERVAL_INDEX_H_

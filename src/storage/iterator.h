@@ -1,0 +1,31 @@
+#ifndef MARLIN_STORAGE_ITERATOR_H_
+#define MARLIN_STORAGE_ITERATOR_H_
+
+/// \file iterator.h
+/// \brief RocksDB-style iteration contract for ordered key-value data.
+
+#include <string>
+#include <string_view>
+
+namespace marlin {
+
+/// \brief Forward iterator over an ordered key-value source.
+///
+/// Usage: `for (it->SeekToFirst(); it->Valid(); it->Next()) ...`.
+/// Accessors are only legal while `Valid()`.
+class KvIterator {
+ public:
+  virtual ~KvIterator() = default;
+
+  virtual bool Valid() const = 0;
+  virtual void SeekToFirst() = 0;
+  /// \brief Positions at the first entry with key >= target.
+  virtual void Seek(std::string_view target) = 0;
+  virtual void Next() = 0;
+  virtual std::string_view key() const = 0;
+  virtual std::string_view value() const = 0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_ITERATOR_H_

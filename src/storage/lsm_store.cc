@@ -1,0 +1,451 @@
+#include "storage/lsm_store.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "storage/coding.h"
+
+namespace marlin {
+
+namespace {
+
+constexpr char kTypePut = 0;
+constexpr char kTypeDelete = 1;
+constexpr std::string_view kRunMagic = "MRLNSST1";
+
+std::string InternalValue(char type, std::string_view user_value) {
+  std::string v;
+  v.reserve(user_value.size() + 1);
+  v.push_back(type);
+  v.append(user_value.data(), user_value.size());
+  return v;
+}
+
+bool IsTombstone(std::string_view internal) {
+  return !internal.empty() && internal[0] == kTypeDelete;
+}
+
+std::string_view UserValue(std::string_view internal) {
+  return internal.substr(1);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SortedRun
+// ---------------------------------------------------------------------------
+
+SortedRun SortedRun::Build(
+    std::vector<std::pair<std::string, std::string>> entries,
+    int bloom_bits_per_key) {
+  SortedRun run;
+  run.bloom_ = BloomFilter(entries.size(), bloom_bits_per_key);
+  run.entries_ = std::move(entries);
+  for (const auto& [k, v] : run.entries_) run.bloom_.Add(k);
+  if (!run.entries_.empty()) {
+    run.min_key_ = run.entries_.front().first;
+    run.max_key_ = run.entries_.back().first;
+  }
+  return run;
+}
+
+const std::string* SortedRun::Get(std::string_view key) const {
+  auto it = std::lower_bound(
+      entries_.begin(), entries_.end(), key,
+      [](const auto& entry, std::string_view k) { return entry.first < k; });
+  if (it != entries_.end() && it->first == key) return &it->second;
+  return nullptr;
+}
+
+bool SortedRun::MayContain(std::string_view key) const {
+  if (entries_.empty()) return false;
+  if (key < std::string_view(min_key_) || key > std::string_view(max_key_)) {
+    return false;
+  }
+  return bloom_.MayContain(key);
+}
+
+std::string SortedRun::Serialize() const {
+  std::string body;
+  body.append(kRunMagic);
+  PutFixed32BE(&body, static_cast<uint32_t>(entries_.size()));
+  for (const auto& [k, v] : entries_) {
+    PutVarint32(&body, static_cast<uint32_t>(k.size()));
+    body.append(k);
+    PutVarint32(&body, static_cast<uint32_t>(v.size()));
+    body.append(v);
+  }
+  const std::string bloom = bloom_.Serialize();
+  PutFixed32BE(&body, static_cast<uint32_t>(bloom.size()));
+  body.append(bloom);
+  PutFixed32BE(&body, Crc32c(body.data(), body.size()));
+  return body;
+}
+
+Result<SortedRun> SortedRun::Deserialize(std::string_view data) {
+  if (data.size() < kRunMagic.size() + 8) {
+    return Status::Corruption("run file truncated");
+  }
+  const uint32_t stored_crc = GetFixed32BE(data, data.size() - 4);
+  if (Crc32c(data.data(), data.size() - 4) != stored_crc) {
+    return Status::Corruption("run file checksum mismatch");
+  }
+  if (data.substr(0, kRunMagic.size()) != kRunMagic) {
+    return Status::Corruption("bad run file magic");
+  }
+  size_t pos = kRunMagic.size();
+  const uint32_t count = GetFixed32BE(data, pos);
+  pos += 4;
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    uint32_t klen = 0, vlen = 0;
+    size_t n = GetVarint32(data, pos, &klen);
+    if (n == 0 || pos + n + klen > data.size()) {
+      return Status::Corruption("run entry key truncated");
+    }
+    pos += n;
+    std::string key(data.substr(pos, klen));
+    pos += klen;
+    n = GetVarint32(data, pos, &vlen);
+    if (n == 0 || pos + n + vlen > data.size()) {
+      return Status::Corruption("run entry value truncated");
+    }
+    pos += n;
+    std::string value(data.substr(pos, vlen));
+    pos += vlen;
+    entries.emplace_back(std::move(key), std::move(value));
+  }
+  if (pos + 8 > data.size()) return Status::Corruption("run footer truncated");
+  const uint32_t bloom_len = GetFixed32BE(data, pos);
+  pos += 4;
+  if (pos + bloom_len + 4 > data.size()) {
+    return Status::Corruption("bloom filter truncated");
+  }
+  SortedRun run;
+  run.bloom_ = BloomFilter::Deserialize(data.substr(pos, bloom_len));
+  run.entries_ = std::move(entries);
+  if (!run.entries_.empty()) {
+    run.min_key_ = run.entries_.front().first;
+    run.max_key_ = run.entries_.back().first;
+  }
+  return run;
+}
+
+// ---------------------------------------------------------------------------
+// LsmStore
+// ---------------------------------------------------------------------------
+
+LsmStore::LsmStore(const Options& options)
+    : options_(options), memtable_(std::make_unique<SkipList>()) {}
+
+LsmStore::~LsmStore() {
+  if (wal_fd_ >= 0) ::close(wal_fd_);
+}
+
+Result<std::unique_ptr<LsmStore>> LsmStore::Open(const Options& options) {
+  std::unique_ptr<LsmStore> store(new LsmStore(options));
+  if (!options.directory.empty()) {
+    std::error_code ec;
+    std::filesystem::create_directories(options.directory, ec);
+    if (ec) {
+      return Status::IOError("cannot create store directory: " + ec.message());
+    }
+    MARLIN_RETURN_NOT_OK(store->LoadRuns());
+    MARLIN_RETURN_NOT_OK(store->ReplayWal());
+    const std::string wal_path = options.directory + "/wal.log";
+    store->wal_fd_ =
+        ::open(wal_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (store->wal_fd_ < 0) {
+      return Status::IOError("cannot open WAL for append: " + wal_path);
+    }
+  }
+  return store;
+}
+
+Status LsmStore::AppendWal(char type, std::string_view key,
+                           std::string_view value) {
+  if (wal_fd_ < 0) return Status::OK();
+  std::string record;
+  record.push_back(type);
+  PutVarint32(&record, static_cast<uint32_t>(key.size()));
+  record.append(key.data(), key.size());
+  PutVarint32(&record, static_cast<uint32_t>(value.size()));
+  record.append(value.data(), value.size());
+  std::string framed;
+  PutFixed32BE(&framed, Crc32c(record.data(), record.size()));
+  PutFixed32BE(&framed, static_cast<uint32_t>(record.size()));
+  framed.append(record);
+  ssize_t written = ::write(wal_fd_, framed.data(), framed.size());
+  if (written != static_cast<ssize_t>(framed.size())) {
+    return Status::IOError("short WAL write");
+  }
+  return Status::OK();
+}
+
+Status LsmStore::ReplayWal() {
+  const std::string wal_path = options_.directory + "/wal.log";
+  std::ifstream in(wal_path, std::ios::binary);
+  if (!in.good()) return Status::OK();  // no WAL yet
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  size_t pos = 0;
+  while (pos + 8 <= data.size()) {
+    const uint32_t crc = GetFixed32BE(data, pos);
+    const uint32_t len = GetFixed32BE(data, pos + 4);
+    if (pos + 8 + len > data.size()) break;  // torn tail record
+    const std::string_view record(data.data() + pos + 8, len);
+    if (Crc32c(record.data(), record.size()) != crc) break;  // torn write
+    if (len < 1) break;
+    const char type = record[0];
+    uint32_t klen = 0, vlen = 0;
+    size_t off = 1;
+    size_t n = GetVarint32(record, off, &klen);
+    if (n == 0) break;
+    off += n;
+    if (off + klen > record.size()) break;
+    const std::string_view key = record.substr(off, klen);
+    off += klen;
+    n = GetVarint32(record, off, &vlen);
+    if (n == 0) break;
+    off += n;
+    if (off + vlen > record.size()) break;
+    const std::string_view value = record.substr(off, vlen);
+    memtable_->Insert(key, InternalValue(type, value));
+    ++stats_.wal_records_replayed;
+    pos += 8 + len;
+  }
+  return Status::OK();
+}
+
+Status LsmStore::LoadRuns() {
+  std::vector<std::pair<uint64_t, std::string>> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(options_.directory)) {
+    const std::string name = entry.path().filename().string();
+    uint64_t num = 0;
+    if (std::sscanf(name.c_str(), "run_%08lu.sst", &num) == 1) {
+      files.emplace_back(num, entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& [num, path] : files) {
+    std::ifstream in(path, std::ios::binary);
+    std::string data((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    MARLIN_ASSIGN_OR_RETURN(SortedRun run, SortedRun::Deserialize(data));
+    runs_.push_back(std::make_shared<SortedRun>(std::move(run)));
+    next_file_number_ = std::max(next_file_number_, num + 1);
+  }
+  return Status::OK();
+}
+
+Status LsmStore::PersistRun(const SortedRun& run, uint64_t file_number) {
+  if (options_.directory.empty()) return Status::OK();
+  char name[32];
+  std::snprintf(name, sizeof(name), "run_%08lu.sst",
+                static_cast<unsigned long>(file_number));
+  const std::string path = options_.directory + "/" + name;
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    const std::string data = run.Serialize();
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out.good()) return Status::IOError("failed writing run file " + tmp);
+  }
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  if (ec) return Status::IOError("failed renaming run file: " + ec.message());
+  return Status::OK();
+}
+
+Status LsmStore::Put(std::string_view key, std::string_view value) {
+  MARLIN_RETURN_NOT_OK(AppendWal(kTypePut, key, value));
+  memtable_->Insert(key, InternalValue(kTypePut, value));
+  ++stats_.puts;
+  if (memtable_->ApproximateMemoryUsage() >= options_.memtable_bytes_limit) {
+    MARLIN_RETURN_NOT_OK(Flush());
+  }
+  return Status::OK();
+}
+
+Status LsmStore::Delete(std::string_view key) {
+  MARLIN_RETURN_NOT_OK(AppendWal(kTypeDelete, key, ""));
+  memtable_->Insert(key, InternalValue(kTypeDelete, ""));
+  ++stats_.deletes;
+  if (memtable_->ApproximateMemoryUsage() >= options_.memtable_bytes_limit) {
+    MARLIN_RETURN_NOT_OK(Flush());
+  }
+  return Status::OK();
+}
+
+Result<std::string> LsmStore::Get(std::string_view key) const {
+  auto* self = const_cast<LsmStore*>(this);
+  ++self->stats_.gets;
+  if (const std::string* v = memtable_->Find(key)) {
+    if (IsTombstone(*v)) return Status::NotFound("deleted");
+    ++self->stats_.gets_found;
+    return std::string(UserValue(*v));
+  }
+  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {  // newest first
+    if (!(*it)->MayContain(key)) {
+      ++self->stats_.bloom_negative;
+      continue;
+    }
+    if (const std::string* v = (*it)->Get(key)) {
+      if (IsTombstone(*v)) return Status::NotFound("deleted");
+      ++self->stats_.gets_found;
+      return std::string(UserValue(*v));
+    }
+  }
+  return Status::NotFound("key absent");
+}
+
+Status LsmStore::WriteMemtableToRun() {
+  if (memtable_->size() == 0) return Status::OK();
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(memtable_->size());
+  SkipList::Iterator it(memtable_.get());
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    entries.emplace_back(it.key(), it.value());
+  }
+  SortedRun run = SortedRun::Build(std::move(entries),
+                                   options_.bloom_bits_per_key);
+  MARLIN_RETURN_NOT_OK(PersistRun(run, next_file_number_));
+  runs_.push_back(std::make_shared<SortedRun>(std::move(run)));
+  ++next_file_number_;
+  memtable_ = std::make_unique<SkipList>();
+  ++stats_.flushes;
+  return Status::OK();
+}
+
+Status LsmStore::Flush() {
+  MARLIN_RETURN_NOT_OK(WriteMemtableToRun());
+  // Truncate the WAL: its contents are now durable in a run file.
+  if (wal_fd_ >= 0) {
+    ::close(wal_fd_);
+    const std::string wal_path = options_.directory + "/wal.log";
+    wal_fd_ = ::open(wal_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (wal_fd_ < 0) return Status::IOError("cannot truncate WAL");
+  }
+  if (static_cast<int>(runs_.size()) > options_.max_runs) {
+    MARLIN_RETURN_NOT_OK(CompactAll());
+  }
+  return Status::OK();
+}
+
+Status LsmStore::CompactAll() {
+  MARLIN_RETURN_NOT_OK(WriteMemtableToRun());
+  if (runs_.size() <= 1) return Status::OK();
+  // Newest-wins merge of all runs; drop tombstones (full compaction).
+  std::map<std::string, std::string> merged;
+  for (const auto& run : runs_) {  // oldest → newest so later wins
+    for (const auto& [k, v] : run->entries()) merged[k] = v;
+  }
+  std::vector<std::pair<std::string, std::string>> live;
+  live.reserve(merged.size());
+  for (auto& [k, v] : merged) {
+    if (!IsTombstone(v)) live.emplace_back(k, std::move(v));
+  }
+  SortedRun compacted =
+      SortedRun::Build(std::move(live), options_.bloom_bits_per_key);
+  // Persist the new run before deleting old files (crash safety: duplicate
+  // data is recoverable, missing data is not).
+  MARLIN_RETURN_NOT_OK(PersistRun(compacted, next_file_number_));
+  if (!options_.directory.empty()) {
+    for (uint64_t n = 1; n < next_file_number_; ++n) {
+      char name[32];
+      std::snprintf(name, sizeof(name), "run_%08lu.sst",
+                    static_cast<unsigned long>(n));
+      std::error_code ec;
+      std::filesystem::remove(options_.directory + "/" + name, ec);
+    }
+  }
+  ++next_file_number_;
+  runs_.clear();
+  runs_.push_back(std::make_shared<SortedRun>(std::move(compacted)));
+  ++stats_.compactions;
+  return Status::OK();
+}
+
+namespace {
+
+/// Snapshot iterator: materializes the merged view once. Simple and correct;
+/// the archival access pattern is dominated by range scans over the result.
+class SnapshotIterator : public KvIterator {
+ public:
+  explicit SnapshotIterator(
+      std::vector<std::pair<std::string, std::string>> entries)
+      : entries_(std::move(entries)) {}
+
+  bool Valid() const override { return pos_ < entries_.size(); }
+  void SeekToFirst() override { pos_ = 0; }
+  void Seek(std::string_view target) override {
+    auto it = std::lower_bound(
+        entries_.begin(), entries_.end(), target,
+        [](const auto& e, std::string_view t) { return e.first < t; });
+    pos_ = static_cast<size_t>(it - entries_.begin());
+  }
+  void Next() override { ++pos_; }
+  std::string_view key() const override { return entries_[pos_].first; }
+  std::string_view value() const override { return entries_[pos_].second; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<KvIterator> LsmStore::NewIterator() const {
+  std::map<std::string, std::string> merged;
+  for (const auto& run : runs_) {
+    for (const auto& [k, v] : run->entries()) merged[k] = v;
+  }
+  SkipList::Iterator it(memtable_.get());
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    merged[it.key()] = it.value();
+  }
+  std::vector<std::pair<std::string, std::string>> live;
+  live.reserve(merged.size());
+  for (auto& [k, v] : merged) {
+    if (!IsTombstone(v)) live.emplace_back(k, std::string(UserValue(v)));
+  }
+  return std::make_unique<SnapshotIterator>(std::move(live));
+}
+
+std::vector<std::pair<std::string, std::string>> LsmStore::Scan(
+    std::string_view start, std::string_view end, size_t limit) const {
+  // Merge only the overlapping key range from each source.
+  std::map<std::string, std::string> merged;
+  for (const auto& run : runs_) {
+    const auto& entries = run->entries();
+    auto it = std::lower_bound(
+        entries.begin(), entries.end(), start,
+        [](const auto& e, std::string_view t) { return e.first < t; });
+    for (; it != entries.end() && std::string_view(it->first) < end; ++it) {
+      merged[it->first] = it->second;
+    }
+  }
+  SkipList::Iterator it(memtable_.get());
+  for (it.Seek(start); it.Valid() && std::string_view(it.key()) < end;
+       it.Next()) {
+    merged[it.key()] = it.value();
+  }
+  std::vector<std::pair<std::string, std::string>> out;
+  for (auto& [k, v] : merged) {
+    if (IsTombstone(v)) continue;
+    out.emplace_back(k, std::string(UserValue(v)));
+    if (out.size() >= limit) break;
+  }
+  return out;
+}
+
+}  // namespace marlin

@@ -1,0 +1,143 @@
+#ifndef MARLIN_STORAGE_LSM_STORE_H_
+#define MARLIN_STORAGE_LSM_STORE_H_
+
+/// \file lsm_store.h
+/// \brief Log-structured archival store for maritime history (paper §2.3).
+///
+/// A compact LSM engine in the LevelDB/RocksDB lineage: writes land in a
+/// write-ahead log and a skip-list memtable; full memtables flush to
+/// immutable sorted runs with Bloom filters; reads merge memtable and runs
+/// newest-first; compaction merges runs to bound read amplification.
+///
+/// The archival key schema for AIS history is `[mmsi:8][timestamp:8]`
+/// big-endian (see trajectory_store.h), so per-vessel time scans are
+/// contiguous range scans.
+///
+/// Concurrency: single writer, external synchronization required (the
+/// pipeline owns one writer thread); this matches the paper's single-ingest
+/// architecture and keeps recovery semantics simple.
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/bloom.h"
+#include "storage/iterator.h"
+#include "storage/skiplist.h"
+
+namespace marlin {
+
+/// \brief An immutable sorted run (in-memory representation of one SST).
+class SortedRun {
+ public:
+  /// \brief Builds a run from sorted, deduplicated entries.
+  /// `entries` must be sorted ascending by key. Each value is the *internal*
+  /// encoding (1-byte type tag + user value).
+  static SortedRun Build(std::vector<std::pair<std::string, std::string>> entries,
+                         int bloom_bits_per_key);
+
+  /// \brief Point lookup of the internal value. Returns nullptr when absent.
+  const std::string* Get(std::string_view key) const;
+
+  /// \brief True iff the Bloom filter / key range admits `key`.
+  bool MayContain(std::string_view key) const;
+
+  /// \brief Serializes to the MRLNSST1 format (whole-run CRC-32C).
+  std::string Serialize() const;
+
+  /// \brief Parses a serialized run, validating magic and checksum.
+  static Result<SortedRun> Deserialize(std::string_view data);
+
+  size_t size() const { return entries_.size(); }
+  const std::string& min_key() const { return min_key_; }
+  const std::string& max_key() const { return max_key_; }
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  SortedRun() : bloom_(1) {}
+
+  std::vector<std::pair<std::string, std::string>> entries_;
+  BloomFilter bloom_;
+  std::string min_key_;
+  std::string max_key_;
+};
+
+/// \brief The LSM key-value store.
+class LsmStore {
+ public:
+  struct Options {
+    /// Flush the memtable to a run once it holds this many bytes.
+    size_t memtable_bytes_limit = 4 * 1024 * 1024;
+    /// Compact all runs into one when the run count exceeds this.
+    int max_runs = 8;
+    int bloom_bits_per_key = 10;
+    /// Directory for WAL + run files; empty = volatile in-memory store.
+    std::string directory;
+  };
+
+  struct Stats {
+    uint64_t puts = 0;
+    uint64_t deletes = 0;
+    uint64_t gets = 0;
+    uint64_t gets_found = 0;
+    uint64_t bloom_negative = 0;  ///< run probes skipped by the filter
+    uint64_t flushes = 0;
+    uint64_t compactions = 0;
+    uint64_t wal_records_replayed = 0;
+  };
+
+  /// \brief Opens (and recovers, if `options.directory` is set) a store.
+  static Result<std::unique_ptr<LsmStore>> Open(const Options& options);
+
+  ~LsmStore();
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+
+  /// \brief Point lookup. NotFound when absent or deleted.
+  Result<std::string> Get(std::string_view key) const;
+
+  /// \brief Snapshot iterator over live entries in key order (tombstones
+  /// resolved). The iterator is independent of subsequent writes.
+  std::unique_ptr<KvIterator> NewIterator() const;
+
+  /// \brief Collects all live entries in [start, end) — the archival range
+  /// scan used by trajectory retrieval.
+  std::vector<std::pair<std::string, std::string>> Scan(
+      std::string_view start, std::string_view end, size_t limit = SIZE_MAX) const;
+
+  /// \brief Forces a memtable flush (also triggered automatically).
+  Status Flush();
+
+  /// \brief Merges every run (and the memtable) into a single run.
+  Status CompactAll();
+
+  size_t NumRuns() const { return runs_.size(); }
+  size_t MemtableEntries() const { return memtable_->size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  explicit LsmStore(const Options& options);
+
+  Status AppendWal(char type, std::string_view key, std::string_view value);
+  Status ReplayWal();
+  Status LoadRuns();
+  Status PersistRun(const SortedRun& run, uint64_t file_number);
+  Status WriteMemtableToRun();
+
+  Options options_;
+  std::unique_ptr<SkipList> memtable_;
+  std::vector<std::shared_ptr<SortedRun>> runs_;  // oldest first
+  Stats stats_;
+  uint64_t next_file_number_ = 1;
+  int wal_fd_ = -1;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_LSM_STORE_H_

@@ -1,0 +1,142 @@
+#include "storage/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "common/units.h"
+
+namespace marlin {
+
+RTree::RTree(std::vector<RTreeEntry> entries, int fanout)
+    : entries_(std::move(entries)), fanout_(std::max(2, fanout)) {
+  num_entries_ = entries_.size();
+  if (entries_.empty()) return;
+
+  // --- Sort-Tile-Recursive packing of the leaf level ---
+  // Sort by centre longitude, slice into vertical strips of S = ceil(sqrt(P))
+  // tiles, then sort each strip by centre latitude.
+  const size_t n = entries_.size();
+  const size_t leaves = (n + fanout_ - 1) / fanout_;
+  const size_t strips =
+      static_cast<size_t>(std::ceil(std::sqrt(static_cast<double>(leaves))));
+  const size_t per_strip = strips == 0 ? n : (n + strips - 1) / strips;
+
+  std::sort(entries_.begin(), entries_.end(),
+            [](const RTreeEntry& a, const RTreeEntry& b) {
+              return a.box.Center().lon < b.box.Center().lon;
+            });
+  for (size_t s = 0; s * per_strip < n; ++s) {
+    const size_t begin = s * per_strip;
+    const size_t end = std::min(n, begin + per_strip);
+    std::sort(entries_.begin() + begin, entries_.begin() + end,
+              [](const RTreeEntry& a, const RTreeEntry& b) {
+                return a.box.Center().lat < b.box.Center().lat;
+              });
+  }
+
+  // --- Build leaf nodes over packed entries ---
+  std::vector<int32_t> level;
+  for (size_t i = 0; i < n; i += fanout_) {
+    Node node;
+    node.leaf = true;
+    node.first_child = static_cast<int32_t>(i);
+    node.child_count = static_cast<int32_t>(std::min<size_t>(fanout_, n - i));
+    node.box = BoundingBox::Empty();
+    for (int32_t c = 0; c < node.child_count; ++c) {
+      node.box.Extend(entries_[i + c].box);
+    }
+    level.push_back(static_cast<int32_t>(nodes_.size()));
+    nodes_.push_back(node);
+  }
+  height_ = 1;
+
+  // --- Pack upper levels until a single root remains ---
+  while (level.size() > 1) {
+    std::vector<int32_t> next;
+    for (size_t i = 0; i < level.size(); i += fanout_) {
+      Node node;
+      node.leaf = false;
+      node.first_child = level[i];
+      node.child_count =
+          static_cast<int32_t>(std::min<size_t>(fanout_, level.size() - i));
+      node.box = BoundingBox::Empty();
+      for (int32_t c = 0; c < node.child_count; ++c) {
+        node.box.Extend(nodes_[level[i] + c].box);
+      }
+      next.push_back(static_cast<int32_t>(nodes_.size()));
+      nodes_.push_back(node);
+    }
+    level = std::move(next);
+    ++height_;
+  }
+  root_ = level.front();
+}
+
+std::vector<uint64_t> RTree::Query(const BoundingBox& query) const {
+  std::vector<uint64_t> out;
+  Visit(query, [&out](const RTreeEntry& e) {
+    out.push_back(e.id);
+    return true;
+  });
+  return out;
+}
+
+double RTree::MinDistanceMetres(const BoundingBox& box, const GeoPoint& p,
+                                double cos_lat) const {
+  const double dlat =
+      p.lat < box.min_lat ? box.min_lat - p.lat
+      : p.lat > box.max_lat ? p.lat - box.max_lat
+                            : 0.0;
+  const double dlon =
+      p.lon < box.min_lon ? box.min_lon - p.lon
+      : p.lon > box.max_lon ? p.lon - box.max_lon
+                            : 0.0;
+  const double metres_per_deg = DegToRad(1.0) * kEarthRadiusMetres;
+  const double dy = dlat * metres_per_deg;
+  const double dx = dlon * metres_per_deg * cos_lat;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::vector<std::pair<uint64_t, double>> RTree::Nearest(const GeoPoint& query,
+                                                        size_t k) const {
+  std::vector<std::pair<uint64_t, double>> out;
+  if (nodes_.empty() || k == 0) return out;
+  const double cos_lat = std::cos(DegToRad(query.lat));
+
+  // Best-first search over (distance, is_entry, index).
+  struct Item {
+    double dist;
+    bool is_entry;
+    int32_t index;
+    bool operator>(const Item& o) const { return dist > o.dist; }
+  };
+  std::priority_queue<Item, std::vector<Item>, std::greater<Item>> frontier;
+  frontier.push({MinDistanceMetres(nodes_[root_].box, query, cos_lat), false,
+                 root_});
+  while (!frontier.empty() && out.size() < k) {
+    const Item item = frontier.top();
+    frontier.pop();
+    if (item.is_entry) {
+      out.emplace_back(entries_[item.index].id, item.dist);
+      continue;
+    }
+    const Node& node = nodes_[item.index];
+    if (node.leaf) {
+      for (int32_t c = 0; c < node.child_count; ++c) {
+        const int32_t idx = node.first_child + c;
+        frontier.push(
+            {MinDistanceMetres(entries_[idx].box, query, cos_lat), true, idx});
+      }
+    } else {
+      for (int32_t c = 0; c < node.child_count; ++c) {
+        const int32_t idx = node.first_child + c;
+        frontier.push(
+            {MinDistanceMetres(nodes_[idx].box, query, cos_lat), false, idx});
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace marlin

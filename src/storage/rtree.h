@@ -1,0 +1,95 @@
+#ifndef MARLIN_STORAGE_RTREE_H_
+#define MARLIN_STORAGE_RTREE_H_
+
+/// \file rtree.h
+/// \brief STR bulk-loaded R-tree for spatial range and kNN queries (§2.3).
+///
+/// The archival analytics path queries *static* snapshots (a day of
+/// trajectories, a zone set), so the Sort-Tile-Recursive packed R-tree is
+/// the right engineering point: optimal packing, no insert path, simple
+/// invariants.
+
+#include <cstdint>
+#include <vector>
+
+#include "geo/geometry.h"
+#include "geo/point.h"
+
+namespace marlin {
+
+/// \brief One indexed entry: a rectangle (possibly degenerate = point) and an
+/// opaque 64-bit payload id.
+struct RTreeEntry {
+  BoundingBox box;
+  uint64_t id = 0;
+};
+
+/// \brief Static packed R-tree.
+class RTree {
+ public:
+  /// \brief Bulk loads the tree; `fanout` children per node (default 16).
+  explicit RTree(std::vector<RTreeEntry> entries, int fanout = 16);
+
+  RTree() = default;
+
+  /// \brief Ids of all entries whose box intersects `query`.
+  std::vector<uint64_t> Query(const BoundingBox& query) const;
+
+  /// \brief Visits entries intersecting `query`; stops early when the
+  /// visitor returns false.
+  template <typename Visitor>
+  void Visit(const BoundingBox& query, Visitor&& visit) const {
+    if (nodes_.empty()) return;
+    VisitRecurse(root_, query, visit);
+  }
+
+  /// \brief The `k` entries nearest to `query` by approximate metric
+  /// distance (equirectangular, metres), nearest first.
+  std::vector<std::pair<uint64_t, double>> Nearest(const GeoPoint& query,
+                                                   size_t k) const;
+
+  size_t size() const { return num_entries_; }
+  int height() const { return height_; }
+
+ private:
+  struct Node {
+    BoundingBox box;
+    int32_t first_child = -1;  ///< index into nodes_ (internal) or entries_
+    int32_t child_count = 0;
+    bool leaf = false;
+  };
+
+  template <typename Visitor>
+  bool VisitRecurse(int32_t node_idx, const BoundingBox& query,
+                    Visitor& visit) const {
+    const Node& node = nodes_[node_idx];
+    if (!node.box.Intersects(query)) return true;
+    if (node.leaf) {
+      for (int32_t i = 0; i < node.child_count; ++i) {
+        const RTreeEntry& e = entries_[node.first_child + i];
+        if (e.box.Intersects(query)) {
+          if (!visit(e)) return false;
+        }
+      }
+      return true;
+    }
+    for (int32_t i = 0; i < node.child_count; ++i) {
+      if (!VisitRecurse(node.first_child + i, query, visit)) return false;
+    }
+    return true;
+  }
+
+  double MinDistanceMetres(const BoundingBox& box, const GeoPoint& p,
+                           double cos_lat) const;
+
+  std::vector<RTreeEntry> entries_;  // leaf order after STR packing
+  std::vector<Node> nodes_;
+  int32_t root_ = -1;
+  int height_ = 0;
+  size_t num_entries_ = 0;
+  int fanout_ = 16;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_RTREE_H_

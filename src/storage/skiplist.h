@@ -1,0 +1,142 @@
+#ifndef MARLIN_STORAGE_SKIPLIST_H_
+#define MARLIN_STORAGE_SKIPLIST_H_
+
+/// \file skiplist.h
+/// \brief Ordered in-memory map used as the LSM memtable core.
+///
+/// A classic probabilistic skip list (p = 1/4, max height 12) keyed by
+/// `std::string`, following the LevelDB/RocksDB memtable design. Duplicate
+/// inserts overwrite (the memtable semantic — newest write wins).
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace marlin {
+
+/// \brief Single-writer ordered map with O(log n) insert/seek.
+class SkipList {
+ private:
+  static constexpr int kMaxHeight = 12;
+
+  struct Node {
+    std::string key;
+    std::string value;
+    std::vector<Node*> next;  // one pointer per level
+  };
+
+ public:
+  SkipList() : rng_(0xA15C0FFEEull), head_(NewNode("", "", kMaxHeight)) {}
+
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// \brief Inserts or overwrites `key`.
+  void Insert(std::string_view key, std::string_view value) {
+    Node* prev[kMaxHeight];
+    Node* node = FindGreaterOrEqual(key, prev);
+    if (node != nullptr && node->key == key) {
+      approx_bytes_ += value.size() - node->value.size();
+      node->value.assign(value.data(), value.size());
+      return;
+    }
+    const int height = RandomHeight();
+    if (height > height_) {
+      for (int i = height_; i < height; ++i) prev[i] = head_;
+      height_ = height;
+    }
+    Node* fresh = NewNode(key, value, height);
+    for (int i = 0; i < height; ++i) {
+      fresh->next[i] = prev[i]->next[i];
+      prev[i]->next[i] = fresh;
+    }
+    ++size_;
+    approx_bytes_ += key.size() + value.size() + sizeof(Node);
+  }
+
+  /// \brief Looks up `key`; returns nullptr when absent.
+  const std::string* Find(std::string_view key) const {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node != nullptr && node->key == key) return &node->value;
+    return nullptr;
+  }
+
+  size_t size() const { return size_; }
+  size_t ApproximateMemoryUsage() const { return approx_bytes_; }
+
+  /// \brief Forward iterator over (key, value) in key order.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list) : list_(list), node_(nullptr) {}
+
+    bool Valid() const { return node_ != nullptr; }
+    void SeekToFirst() { node_ = list_->head_->next[0]; }
+    /// \brief Positions at the first entry with key >= target.
+    void Seek(std::string_view target) {
+      node_ = list_->FindGreaterOrEqual(target, nullptr);
+    }
+    void Next() {
+      assert(Valid());
+      node_ = node_->next[0];
+    }
+    const std::string& key() const {
+      assert(Valid());
+      return node_->key;
+    }
+    const std::string& value() const {
+      assert(Valid());
+      return node_->value;
+    }
+
+   private:
+    const SkipList* list_;
+    Node* node_;
+  };
+
+ private:
+  Node* NewNode(std::string_view key, std::string_view value, int height) {
+    auto node = std::make_unique<Node>();
+    node->key.assign(key.data(), key.size());
+    node->value.assign(value.data(), value.size());
+    node->next.assign(height, nullptr);
+    Node* raw = node.get();
+    arena_.push_back(std::move(node));
+    return raw;
+  }
+
+  int RandomHeight() {
+    int height = 1;
+    while (height < kMaxHeight && (rng_.NextU64() & 3) == 0) ++height;
+    return height;
+  }
+
+  Node* FindGreaterOrEqual(std::string_view key, Node** prev) const {
+    Node* node = head_;
+    int level = height_ - 1;
+    while (true) {
+      Node* next = node->next[level];
+      if (next != nullptr && next->key < key) {
+        node = next;
+      } else {
+        if (prev != nullptr) prev[level] = node;
+        if (level == 0) return next;
+        --level;
+      }
+    }
+  }
+
+  Rng rng_;
+  std::vector<std::unique_ptr<Node>> arena_;
+  Node* head_;
+  int height_ = 1;
+  size_t size_ = 0;
+  size_t approx_bytes_ = 0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_SKIPLIST_H_

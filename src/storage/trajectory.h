@@ -1,0 +1,85 @@
+#ifndef MARLIN_STORAGE_TRAJECTORY_H_
+#define MARLIN_STORAGE_TRAJECTORY_H_
+
+/// \file trajectory.h
+/// \brief Vessel trajectory representation and key encodings for archival.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "geo/geometry.h"
+#include "geo/point.h"
+
+namespace marlin {
+
+/// \brief One cleaned trajectory sample.
+struct TrajectoryPoint {
+  Timestamp t = kInvalidTimestamp;
+  GeoPoint position;
+  float sog_mps = 0.0f;   ///< speed over ground, m/s
+  float cog_deg = 0.0f;   ///< course over ground, degrees true
+
+  bool operator<(const TrajectoryPoint& o) const { return t < o.t; }
+};
+
+/// \brief A time-ordered sequence of samples for one vessel.
+struct Trajectory {
+  uint32_t mmsi = 0;
+  std::vector<TrajectoryPoint> points;
+
+  bool Empty() const { return points.empty(); }
+  Timestamp StartTime() const {
+    return points.empty() ? kInvalidTimestamp : points.front().t;
+  }
+  Timestamp EndTime() const {
+    return points.empty() ? kInvalidTimestamp : points.back().t;
+  }
+
+  /// \brief Total geodesic path length in metres.
+  double LengthMetres() const;
+
+  /// \brief Spatial bounds of the whole path.
+  BoundingBox Bounds() const;
+
+  /// \brief Linear position interpolation at time `t`; clamps outside the
+  /// observed span. Returns invalid point for empty trajectories.
+  TrajectoryPoint At(Timestamp t) const;
+
+  /// \brief Sub-trajectory covering [t0, t1] (points inside the range).
+  Trajectory Slice(Timestamp t0, Timestamp t1) const;
+};
+
+/// \brief Mean / max synchronized Euclidean distance between an original
+/// trajectory and its compressed version — the standard error measure for
+/// trajectory synopses (experiment E2).
+struct TrajectoryError {
+  double mean_m = 0.0;
+  double max_m = 0.0;
+};
+
+/// \brief Computes SED error of `compressed` against every sample of
+/// `original` (positions of `compressed` interpolated at original times).
+TrajectoryError ComputeSedError(const Trajectory& original,
+                                const Trajectory& compressed);
+
+// --- Archival key/value encoding (LsmStore schema) -------------------------
+
+/// \brief Archival key `[mmsi:4 BE][timestamp:8 ordered]` — per-vessel time
+/// ranges are contiguous byte ranges.
+std::string EncodeTrajectoryKey(uint32_t mmsi, Timestamp t);
+
+/// \brief Inverse of EncodeTrajectoryKey. Returns false on malformed keys.
+bool DecodeTrajectoryKey(std::string_view key, uint32_t* mmsi, Timestamp* t);
+
+/// \brief Fixed binary encoding of a TrajectoryPoint value (position, speed,
+/// course; 24 bytes).
+std::string EncodeTrajectoryValue(const TrajectoryPoint& p);
+
+/// \brief Inverse of EncodeTrajectoryValue; returns false on size mismatch.
+bool DecodeTrajectoryValue(std::string_view value, TrajectoryPoint* out);
+
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_TRAJECTORY_H_

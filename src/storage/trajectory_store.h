@@ -1,0 +1,101 @@
+#ifndef MARLIN_STORAGE_TRAJECTORY_STORE_H_
+#define MARLIN_STORAGE_TRAJECTORY_STORE_H_
+
+/// \file trajectory_store.h
+/// \brief Trajectory-native store: the moving-object data manager the paper
+/// says generic (RDF / relational) stores fail to provide (§2.3, §2.5).
+///
+/// Combines three access paths:
+///  * per-vessel time-ordered history (vector per MMSI, archival via LSM key
+///    schema on request),
+///  * live spatial picture (GridIndex of latest positions),
+///  * spatio-temporal window queries (per-vessel binary search pruned by a
+///    per-vessel bounding box).
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "storage/grid_index.h"
+#include "storage/lsm_store.h"
+#include "storage/trajectory.h"
+
+namespace marlin {
+
+/// \brief In-memory trajectory manager with optional LSM archival backing.
+class TrajectoryStore {
+ public:
+  struct Options {
+    /// Grid pitch for the live-position index.
+    double grid_cell_deg = 0.25;
+    /// When set, every appended point is also written to this LSM store
+    /// using the `[mmsi][timestamp]` key schema.
+    LsmStore* archive = nullptr;
+  };
+
+  TrajectoryStore() : TrajectoryStore(Options()) {}
+  explicit TrajectoryStore(const Options& options);
+
+  /// \brief Appends a sample (must be newer than the vessel's last sample;
+  /// out-of-order input belongs in the reconstruction layer, which fixes
+  /// ordering before storage).
+  Status Append(uint32_t mmsi, const TrajectoryPoint& point);
+
+  /// \brief Number of vessels with at least one sample.
+  size_t VesselCount() const { return trajectories_.size(); }
+  /// \brief Total stored samples.
+  size_t PointCount() const { return point_count_; }
+
+  /// \brief Full history of one vessel.
+  Result<const Trajectory*> GetTrajectory(uint32_t mmsi) const;
+
+  /// \brief History of one vessel restricted to [t0, t1].
+  Result<Trajectory> GetTrajectorySlice(uint32_t mmsi, Timestamp t0,
+                                        Timestamp t1) const;
+
+  /// \brief Latest known sample per vessel.
+  std::optional<TrajectoryPoint> Latest(uint32_t mmsi) const;
+
+  /// \brief Vessels whose *latest* position lies in `box`.
+  std::vector<uint32_t> QueryLive(const BoundingBox& box) const;
+
+  /// \brief k vessels nearest to `p` by latest position, nearest first.
+  std::vector<std::pair<uint32_t, double>> NearestLive(const GeoPoint& p,
+                                                       size_t k) const;
+
+  /// \brief Spatio-temporal range query: all samples in `box` × [t0, t1],
+  /// grouped per vessel. Uses per-vessel bounds + time binary search.
+  std::vector<Trajectory> QueryWindow(const BoundingBox& box, Timestamp t0,
+                                      Timestamp t1) const;
+
+  /// \brief Interpolated position of every vessel active at time `t`
+  /// (vessels whose observed span covers `t`).
+  std::vector<std::pair<uint32_t, TrajectoryPoint>> TimeSlice(
+      Timestamp t) const;
+
+  /// \brief All MMSIs in the store.
+  std::vector<uint32_t> Vessels() const;
+
+  /// \brief Loads a vessel's history back from the archive LSM (round-trip
+  /// path used by recovery tests and the posteriori-analysis benchmark).
+  Result<Trajectory> LoadFromArchive(uint32_t mmsi, Timestamp t0,
+                                     Timestamp t1) const;
+
+ private:
+  struct VesselData {
+    Trajectory trajectory;
+    BoundingBox bounds = BoundingBox::Empty();
+  };
+
+  Options options_;
+  std::unordered_map<uint32_t, VesselData> trajectories_;
+  GridIndex live_index_;
+  size_t point_count_ = 0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_TRAJECTORY_STORE_H_

@@ -1,0 +1,49 @@
+#ifndef MARLIN_STREAM_EVENT_H_
+#define MARLIN_STREAM_EVENT_H_
+
+/// \file event.h
+/// \brief Timestamped stream element and stream-wide control signals.
+
+#include <cstdint>
+#include <utility>
+
+#include "common/time.h"
+
+namespace marlin {
+
+/// \brief One element of an event-time stream.
+///
+/// `event_time` is when the fact happened (e.g., the position fix);
+/// `ingest_time` is when the system first saw it. Their difference is the
+/// stream latency the paper worries about for satellite AIS (§1, §2.5).
+template <typename T>
+struct Event {
+  Timestamp event_time = kInvalidTimestamp;
+  Timestamp ingest_time = kInvalidTimestamp;
+  uint64_t source_id = 0;  ///< which feed produced it (terrestrial, satellite, radar...)
+  T payload;
+
+  Event() = default;
+  Event(Timestamp et, T value) : event_time(et), payload(std::move(value)) {}
+  Event(Timestamp et, Timestamp it, uint64_t src, T value)
+      : event_time(et), ingest_time(it), source_id(src),
+        payload(std::move(value)) {}
+
+  /// \brief Ingest-to-event latency; 0 when ingest time is unknown.
+  DurationMs Latency() const {
+    return ingest_time == kInvalidTimestamp ? 0 : ingest_time - event_time;
+  }
+};
+
+/// \brief Ordering by event time (stable tiebreak on source).
+template <typename T>
+struct EventTimeLess {
+  bool operator()(const Event<T>& a, const Event<T>& b) const {
+    if (a.event_time != b.event_time) return a.event_time < b.event_time;
+    return a.source_id < b.source_id;
+  }
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STREAM_EVENT_H_

@@ -1,0 +1,87 @@
+#ifndef MARLIN_STREAM_MERGE_H_
+#define MARLIN_STREAM_MERGE_H_
+
+/// \file merge.h
+/// \brief K-way event-time merge of independently ordered sources.
+///
+/// The paper's core integration problem (§2.2): terrestrial AIS, satellite
+/// AIS, radar and context feeds arrive as separate streams that must be
+/// consumed as one event-time-ordered stream. Each source is assumed
+/// internally ordered (or pre-passed through a ReorderBuffer); the merger
+/// emits the global minimum head across non-exhausted sources.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "stream/event.h"
+
+namespace marlin {
+
+/// \brief Pull-based k-way merge over source cursors.
+///
+/// A source is a callable `std::optional<Event<T>>()` returning the next
+/// event or nullopt at end of stream. With the handful of feeds a maritime
+/// system integrates, a linear head scan beats heap bookkeeping.
+template <typename T>
+class StreamMerger {
+ public:
+  using Source = std::function<std::optional<Event<T>>()>;
+
+  explicit StreamMerger(std::vector<Source> sources) {
+    cursors_.reserve(sources.size());
+    for (auto& s : sources) {
+      Cursor c;
+      c.source = std::move(s);
+      c.head = c.source();
+      cursors_.push_back(std::move(c));
+    }
+  }
+
+  /// \brief Next event in global event-time order; nullopt when all sources
+  /// are exhausted.
+  std::optional<Event<T>> Next() {
+    int best = -1;
+    for (size_t i = 0; i < cursors_.size(); ++i) {
+      if (!cursors_[i].head.has_value()) continue;
+      if (best < 0 ||
+          EventTimeLess<T>()(*cursors_[i].head, *cursors_[best].head)) {
+        best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) return std::nullopt;
+    Event<T> out = std::move(*cursors_[best].head);
+    cursors_[best].head = cursors_[best].source();
+    return out;
+  }
+
+  /// \brief Drains everything into a vector (testing convenience).
+  std::vector<Event<T>> DrainAll() {
+    std::vector<Event<T>> out;
+    while (auto e = Next()) out.push_back(std::move(*e));
+    return out;
+  }
+
+ private:
+  struct Cursor {
+    Source source;
+    std::optional<Event<T>> head;
+  };
+
+  std::vector<Cursor> cursors_;
+};
+
+/// \brief Adapts a vector of events into a StreamMerger source.
+template <typename T>
+typename StreamMerger<T>::Source VectorSource(std::vector<Event<T>> events) {
+  auto state = std::make_shared<std::pair<std::vector<Event<T>>, size_t>>(
+      std::move(events), 0);
+  return [state]() -> std::optional<Event<T>> {
+    if (state->second >= state->first.size()) return std::nullopt;
+    return std::move(state->first[state->second++]);
+  };
+}
+
+}  // namespace marlin
+
+#endif  // MARLIN_STREAM_MERGE_H_

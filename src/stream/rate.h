@@ -1,0 +1,83 @@
+#ifndef MARLIN_STREAM_RATE_H_
+#define MARLIN_STREAM_RATE_H_
+
+/// \file rate.h
+/// \brief Stream throughput / latency instrumentation for pipeline metrics.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/time.h"
+
+namespace marlin {
+
+/// \brief Counts events and derives rates over the observed event-time span.
+class RateMeter {
+ public:
+  void Observe(Timestamp event_time) {
+    ++count_;
+    if (first_ == kInvalidTimestamp) first_ = event_time;
+    last_ = std::max(last_, event_time);
+  }
+
+  uint64_t count() const { return count_; }
+  Timestamp first_event() const { return first_; }
+  Timestamp last_event() const { return last_; }
+
+  /// \brief Events per second over the observed event-time span.
+  double EventsPerSecond() const {
+    if (count_ < 2 || last_ <= first_) return 0.0;
+    return static_cast<double>(count_) /
+           (static_cast<double>(last_ - first_) / kMillisPerSecond);
+  }
+
+ private:
+  uint64_t count_ = 0;
+  Timestamp first_ = kInvalidTimestamp;
+  Timestamp last_ = kInvalidTimestamp;
+};
+
+/// \brief Fixed-capacity reservoir for latency quantiles.
+class LatencyReservoir {
+ public:
+  explicit LatencyReservoir(size_t capacity = 4096) : capacity_(capacity) {
+    samples_.reserve(capacity);
+  }
+
+  void Observe(DurationMs latency) {
+    ++count_;
+    sum_ += static_cast<double>(latency);
+    if (samples_.size() < capacity_) {
+      samples_.push_back(latency);
+    } else {
+      // Deterministic systematic replacement keeps the reservoir spread
+      // across the stream without an RNG dependency.
+      samples_[count_ % capacity_] = latency;
+    }
+  }
+
+  uint64_t count() const { return count_; }
+  double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// \brief q-quantile (0..1) of the retained samples.
+  DurationMs Quantile(double q) const {
+    if (samples_.empty()) return 0;
+    std::vector<DurationMs> sorted = samples_;
+    std::sort(sorted.begin(), sorted.end());
+    const size_t idx = std::min(
+        sorted.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(sorted.size())));
+    return sorted[idx];
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<DurationMs> samples_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STREAM_RATE_H_

@@ -1,0 +1,93 @@
+#ifndef MARLIN_STREAM_REORDER_H_
+#define MARLIN_STREAM_REORDER_H_
+
+/// \file reorder.h
+/// \brief Watermark-driven reorder buffer: ingests out-of-order events and
+/// releases them in event-time order.
+
+#include <queue>
+#include <vector>
+
+#include "stream/event.h"
+#include "stream/watermark.h"
+
+namespace marlin {
+
+/// \brief Buffers events until the watermark passes, then emits them sorted
+/// by event time. Events older than the watermark at ingest are counted as
+/// late and either dropped or emitted immediately (configurable).
+template <typename T>
+class ReorderBuffer {
+ public:
+  struct Options {
+    DurationMs max_delay_ms = 5 * kMillisPerSecond;
+    bool emit_late_events = false;  ///< false = drop late arrivals
+  };
+
+  struct Stats {
+    uint64_t in = 0;
+    uint64_t out = 0;
+    uint64_t late = 0;
+    uint64_t dropped_late = 0;
+  };
+
+  ReorderBuffer() : ReorderBuffer(Options()) {}
+  explicit ReorderBuffer(const Options& options)
+      : options_(options), watermark_(options.max_delay_ms) {}
+
+  /// \brief Adds an event; appends any now-releasable events to `out`.
+  void Push(Event<T> event, std::vector<Event<T>>* out) {
+    ++stats_.in;
+    if (watermark_.IsLate(event.event_time)) {
+      ++stats_.late;
+      if (options_.emit_late_events) {
+        out->push_back(std::move(event));
+        ++stats_.out;
+      } else {
+        ++stats_.dropped_late;
+      }
+      return;
+    }
+    watermark_.Observe(event.event_time);
+    heap_.push(std::move(event));
+    Release(out);
+  }
+
+  /// \brief Flushes everything still buffered (end of stream).
+  void Flush(std::vector<Event<T>>* out) {
+    while (!heap_.empty()) {
+      out->push_back(heap_.top());
+      heap_.pop();
+      ++stats_.out;
+    }
+  }
+
+  Timestamp CurrentWatermark() const { return watermark_.Current(); }
+  size_t buffered() const { return heap_.size(); }
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct Greater {
+    bool operator()(const Event<T>& a, const Event<T>& b) const {
+      return EventTimeLess<T>()(b, a);
+    }
+  };
+
+  void Release(std::vector<Event<T>>* out) {
+    const Timestamp wm = watermark_.Current();
+    while (!heap_.empty() && heap_.top().event_time <= wm) {
+      out->push_back(heap_.top());
+      heap_.pop();
+      ++stats_.out;
+    }
+  }
+
+  Options options_;
+  WatermarkGenerator watermark_;
+  std::priority_queue<Event<T>, std::vector<Event<T>>, Greater> heap_;
+  Stats stats_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STREAM_REORDER_H_

@@ -1,0 +1,52 @@
+#ifndef MARLIN_STREAM_WATERMARK_H_
+#define MARLIN_STREAM_WATERMARK_H_
+
+/// \file watermark.h
+/// \brief Event-time progress tracking for out-of-order streams.
+///
+/// Satellite AIS arrives minutes late and interleaved with terrestrial
+/// receptions (paper §1, §2.5: "data sparseness, latency"). Watermarks bound
+/// how long downstream operators wait before declaring event-time t complete.
+
+#include <algorithm>
+
+#include "common/time.h"
+
+namespace marlin {
+
+/// \brief Classic bounded-out-of-orderness watermark generator.
+///
+/// The watermark is `max_event_time_seen - max_delay`; events at or below the
+/// current watermark are late.
+class WatermarkGenerator {
+ public:
+  explicit WatermarkGenerator(DurationMs max_delay_ms)
+      : max_delay_ms_(max_delay_ms) {}
+
+  /// \brief Accounts for an observed event time.
+  void Observe(Timestamp event_time) {
+    max_seen_ = std::max(max_seen_, event_time);
+  }
+
+  /// \brief Current watermark: all events ≤ this time are considered
+  /// complete. kMinTimestamp before any observation.
+  Timestamp Current() const {
+    if (max_seen_ == kInvalidTimestamp) return kMinTimestamp;
+    return max_seen_ - max_delay_ms_;
+  }
+
+  /// \brief True iff an event at `event_time` would be late now.
+  bool IsLate(Timestamp event_time) const {
+    return event_time <= Current() && max_seen_ != kInvalidTimestamp;
+  }
+
+  DurationMs max_delay() const { return max_delay_ms_; }
+
+ private:
+  DurationMs max_delay_ms_;
+  Timestamp max_seen_ = kInvalidTimestamp;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STREAM_WATERMARK_H_

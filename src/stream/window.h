@@ -1,0 +1,147 @@
+#ifndef MARLIN_STREAM_WINDOW_H_
+#define MARLIN_STREAM_WINDOW_H_
+
+/// \file window.h
+/// \brief Keyed event-time window aggregation (tumbling and sliding).
+///
+/// Windows close when the watermark passes their end — the standard
+/// event-time discipline the paper's "cross-streaming integration" (§2.2)
+/// requires for correct joins of delayed satellite data.
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "common/time.h"
+#include "stream/event.h"
+
+namespace marlin {
+
+/// \brief A closed window's result for one key.
+template <typename K, typename A>
+struct WindowResult {
+  K key;
+  Timestamp window_start = 0;
+  Timestamp window_end = 0;  ///< exclusive
+  A aggregate;
+};
+
+/// \brief Keyed tumbling-window aggregator.
+///
+/// `A` is the accumulator type; `fold` merges one event payload into it.
+/// Windows are aligned to multiples of `size_ms`.
+template <typename K, typename T, typename A>
+class TumblingWindow {
+ public:
+  using Fold = std::function<void(A*, const T&, Timestamp)>;
+
+  TumblingWindow(DurationMs size_ms, Fold fold)
+      : size_ms_(size_ms), fold_(std::move(fold)) {}
+
+  /// \brief Adds an event for `key`.
+  void Add(const K& key, const Event<T>& event) {
+    const Timestamp start = AlignDown(event.event_time);
+    auto& acc = windows_[{start, key}];
+    fold_(&acc, event.payload, event.event_time);
+  }
+
+  /// \brief Closes all windows ending at or before `watermark`; appends
+  /// results in (time, key) order.
+  void AdvanceWatermark(Timestamp watermark,
+                        std::vector<WindowResult<K, A>>* out) {
+    auto it = windows_.begin();
+    while (it != windows_.end()) {
+      const Timestamp end = it->first.first + size_ms_;
+      if (end <= watermark) {
+        out->push_back(WindowResult<K, A>{it->first.second, it->first.first,
+                                          end, std::move(it->second)});
+        it = windows_.erase(it);
+      } else {
+        break;  // map is ordered by window start; later windows are open
+      }
+    }
+  }
+
+  /// \brief Closes everything (end of stream).
+  void Close(std::vector<WindowResult<K, A>>* out) {
+    AdvanceWatermark(kMaxTimestamp, out);
+  }
+
+  size_t open_windows() const { return windows_.size(); }
+
+ private:
+  Timestamp AlignDown(Timestamp t) const {
+    Timestamp start = t - (t % size_ms_);
+    if (t < 0 && t % size_ms_ != 0) start -= size_ms_;
+    return start;
+  }
+
+  DurationMs size_ms_;
+  Fold fold_;
+  // Key: (window start, key) — ordered so watermark advance stops early.
+  std::map<std::pair<Timestamp, K>, A> windows_;
+};
+
+/// \brief Keyed sliding-window aggregator (size + slide step).
+///
+/// An event enters every window whose span covers it; implemented by
+/// assigning to size/slide overlapping tumbling panes.
+template <typename K, typename T, typename A>
+class SlidingWindow {
+ public:
+  using Fold = std::function<void(A*, const T&, Timestamp)>;
+
+  SlidingWindow(DurationMs size_ms, DurationMs slide_ms, Fold fold)
+      : size_ms_(size_ms), slide_ms_(slide_ms), fold_(std::move(fold)) {}
+
+  void Add(const K& key, const Event<T>& event) {
+    // The windows covering time t start at AlignDown(t), AlignDown(t)-slide,
+    // ..., down to t - size + 1.
+    const Timestamp first =
+        AlignDown(event.event_time);
+    for (Timestamp start = first;
+         start > event.event_time - size_ms_ && start + size_ms_ > event.event_time;
+         start -= slide_ms_) {
+      auto& acc = windows_[{start, key}];
+      fold_(&acc, event.payload, event.event_time);
+    }
+  }
+
+  void AdvanceWatermark(Timestamp watermark,
+                        std::vector<WindowResult<K, A>>* out) {
+    auto it = windows_.begin();
+    while (it != windows_.end()) {
+      const Timestamp end = it->first.first + size_ms_;
+      if (end <= watermark) {
+        out->push_back(WindowResult<K, A>{it->first.second, it->first.first,
+                                          end, std::move(it->second)});
+        it = windows_.erase(it);
+      } else {
+        ++it;  // sliding panes are not fully ordered by end; scan all
+      }
+    }
+  }
+
+  void Close(std::vector<WindowResult<K, A>>* out) {
+    AdvanceWatermark(kMaxTimestamp, out);
+  }
+
+  size_t open_windows() const { return windows_.size(); }
+
+ private:
+  Timestamp AlignDown(Timestamp t) const {
+    Timestamp start = t - (t % slide_ms_);
+    if (t < 0 && t % slide_ms_ != 0) start -= slide_ms_;
+    return start;
+  }
+
+  DurationMs size_ms_;
+  DurationMs slide_ms_;
+  Fold fold_;
+  std::map<std::pair<Timestamp, K>, A> windows_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STREAM_WINDOW_H_

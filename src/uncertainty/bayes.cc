@@ -1,0 +1,77 @@
+#include "uncertainty/bayes.h"
+
+#include <cmath>
+
+namespace marlin {
+
+void DiscreteBayes::Normalize() {
+  double total = 0.0;
+  for (double v : p_) total += v;
+  if (total <= 0.0) return;
+  for (double& v : p_) v /= total;
+}
+
+bool DiscreteBayes::Update(const std::vector<double>& likelihood) {
+  assert(likelihood.size() == p_.size());
+  std::vector<double> next(p_.size());
+  double total = 0.0;
+  for (size_t i = 0; i < p_.size(); ++i) {
+    next[i] = p_[i] * std::max(0.0, likelihood[i]);
+    total += next[i];
+  }
+  if (total <= 0.0) return false;
+  for (double& v : next) v /= total;
+  p_ = std::move(next);
+  return true;
+}
+
+int DiscreteBayes::Decide() const {
+  int best = 0;
+  for (int i = 1; i < size(); ++i) {
+    if (p_[i] > p_[best]) best = i;
+  }
+  return best;
+}
+
+double DiscreteBayes::EntropyBits() const {
+  double h = 0.0;
+  for (double v : p_) {
+    if (v > 0.0) h -= v * std::log2(v);
+  }
+  return h;
+}
+
+bool IntervalProbability::IntersectWith(const IntervalProbability& other) {
+  bool consistent = true;
+  for (int i = 0; i < size(); ++i) {
+    const double lo = std::max(lo_[i], other.lo_[i]);
+    const double hi = std::min(hi_[i], other.hi_[i]);
+    if (lo <= hi) {
+      lo_[i] = lo;
+      hi_[i] = hi;
+    } else {
+      // Conflict: fall back to the union (cautious widening).
+      lo_[i] = std::min(lo_[i], other.lo_[i]);
+      hi_[i] = std::max(hi_[i], other.hi_[i]);
+      consistent = false;
+    }
+  }
+  return consistent;
+}
+
+std::vector<int> IntervalProbability::NonDominated() const {
+  std::vector<int> out;
+  for (int i = 0; i < size(); ++i) {
+    bool dominated = false;
+    for (int j = 0; j < size(); ++j) {
+      if (j != i && lo_[j] > hi_[i]) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace marlin

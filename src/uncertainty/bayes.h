@@ -1,0 +1,84 @@
+#ifndef MARLIN_UNCERTAINTY_BAYES_H_
+#define MARLIN_UNCERTAINTY_BAYES_H_
+
+/// \file bayes.h
+/// \brief Discrete Bayesian updating and interval (second-order)
+/// probabilities (paper §4: "considering second-order uncertainty seems
+/// also unavoidable").
+
+#include <algorithm>
+#include <cassert>
+#include <vector>
+
+namespace marlin {
+
+/// \brief Discrete probability distribution with Bayesian updates.
+class DiscreteBayes {
+ public:
+  /// \brief Uniform prior over `n` hypotheses.
+  explicit DiscreteBayes(int n)
+      : p_(n, n > 0 ? 1.0 / n : 0.0) {}
+
+  explicit DiscreteBayes(std::vector<double> prior) : p_(std::move(prior)) {
+    Normalize();
+  }
+
+  int size() const { return static_cast<int>(p_.size()); }
+  double Get(int i) const { return p_[i]; }
+
+  /// \brief Multiplies by a likelihood vector and renormalizes. Returns
+  /// false (leaving the distribution unchanged) when the evidence has zero
+  /// likelihood under every hypothesis.
+  bool Update(const std::vector<double>& likelihood);
+
+  /// \brief Maximum a-posteriori hypothesis.
+  int Decide() const;
+
+  /// \brief Shannon entropy in bits (decisiveness measure for E11).
+  double EntropyBits() const;
+
+  const std::vector<double>& probabilities() const { return p_; }
+
+ private:
+  void Normalize();
+  std::vector<double> p_;
+};
+
+/// \brief Interval-valued probability: [lower, upper] per hypothesis.
+///
+/// A minimal credal representation: enough to carry "the probability is
+/// between 0.2 and 0.6" through fusion and to report when a decision is not
+/// determined by the available evidence.
+class IntervalProbability {
+ public:
+  explicit IntervalProbability(int n) : lo_(n, 0.0), hi_(n, 1.0) {}
+
+  int size() const { return static_cast<int>(lo_.size()); }
+
+  void Set(int i, double lower, double upper) {
+    lo_[i] = std::clamp(lower, 0.0, 1.0);
+    hi_[i] = std::clamp(upper, lo_[i], 1.0);
+  }
+  double Lower(int i) const { return lo_[i]; }
+  double Upper(int i) const { return hi_[i]; }
+
+  /// \brief Width of the interval — the second-order uncertainty itself.
+  double Imprecision(int i) const { return hi_[i] - lo_[i]; }
+
+  /// \brief Intersection fusion of two interval estimates; empty
+  /// intersections (conflict) widen to the union instead, flagged via the
+  /// return value (false = at least one conflict encountered).
+  bool IntersectWith(const IntervalProbability& other);
+
+  /// \brief Interval dominance: hypothesis i dominates j iff lo(i) > hi(j).
+  /// Returns the set of non-dominated hypotheses (decision candidates).
+  std::vector<int> NonDominated() const;
+
+ private:
+  std::vector<double> lo_;
+  std::vector<double> hi_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_UNCERTAINTY_BAYES_H_

@@ -1,0 +1,179 @@
+#include "uncertainty/dempster_shafer.h"
+
+#include <bit>
+#include <cmath>
+
+namespace marlin {
+
+Frame::Frame(std::vector<std::string> hypotheses)
+    : names_(std::move(hypotheses)) {
+  // 16 hypotheses bounds focal enumeration at 2^16; maritime classification
+  // frames (ship classes, behaviour labels) are far smaller.
+  if (names_.size() > 16) names_.resize(16);
+}
+
+int Frame::Index(const std::string& name) const {
+  for (size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Frame::SetToString(FocalSet set) const {
+  std::string out = "{";
+  bool first = true;
+  for (int i = 0; i < size(); ++i) {
+    if (set & (1u << i)) {
+      if (!first) out += ",";
+      out += names_[i];
+      first = false;
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void MassFunction::Assign(FocalSet set, double mass) {
+  if (mass == 0.0) return;
+  masses_[set & frame_->Theta()] += mass;
+}
+
+MassFunction MassFunction::Vacuous(const Frame* frame) {
+  MassFunction m(frame);
+  m.Assign(frame->Theta(), 1.0);
+  return m;
+}
+
+void MassFunction::Normalize() {
+  double total = 0.0;
+  for (const auto& [set, mass] : masses_) {
+    if (set != 0) total += mass;
+  }
+  masses_.erase(0);
+  if (total <= 0.0) return;
+  for (auto& [set, mass] : masses_) mass /= total;
+}
+
+double MassFunction::Belief(FocalSet set) const {
+  double total = 0.0;
+  for (const auto& [focal, mass] : masses_) {
+    if (focal != 0 && (focal & ~set) == 0) total += mass;
+  }
+  return total;
+}
+
+double MassFunction::Plausibility(FocalSet set) const {
+  double total = 0.0;
+  for (const auto& [focal, mass] : masses_) {
+    if ((focal & set) != 0) total += mass;
+  }
+  return total;
+}
+
+double MassFunction::Pignistic(int hypothesis) const {
+  const FocalSet h = 1u << hypothesis;
+  double total = 0.0;
+  double empty_mass = Conflict();
+  const double norm = 1.0 - empty_mass;
+  if (norm <= 0.0) return 0.0;
+  for (const auto& [focal, mass] : masses_) {
+    if (focal == 0) continue;
+    if (focal & h) {
+      total += mass / static_cast<double>(std::popcount(focal));
+    }
+  }
+  return total / norm;
+}
+
+int MassFunction::Decide() const {
+  int best = -1;
+  double best_p = -1.0;
+  for (int i = 0; i < frame_->size(); ++i) {
+    const double p = Pignistic(i);
+    if (p > best_p) {
+      best_p = p;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double MassFunction::Conflict() const {
+  auto it = masses_.find(0);
+  return it == masses_.end() ? 0.0 : it->second;
+}
+
+MassFunction MassFunction::Discount(double reliability) const {
+  MassFunction out(frame_);
+  const double alpha = std::min(1.0, std::max(0.0, reliability));
+  for (const auto& [set, mass] : masses_) {
+    out.Assign(set, alpha * mass);
+  }
+  out.Assign(frame_->Theta(), 1.0 - alpha);
+  return out;
+}
+
+Result<MassFunction> Combine(const MassFunction& a, const MassFunction& b,
+                             CombinationRule rule) {
+  if (a.frame() != b.frame()) {
+    return Status::Invalid("mass functions on different frames");
+  }
+  MassFunction out(a.frame());
+  const FocalSet theta = a.frame()->Theta();
+
+  if (rule == CombinationRule::kDisjunctive) {
+    for (const auto& [sa, ma] : a.masses()) {
+      for (const auto& [sb, mb] : b.masses()) {
+        out.Assign(sa | sb, ma * mb);
+      }
+    }
+    return out;
+  }
+
+  double conflict = 0.0;
+  for (const auto& [sa, ma] : a.masses()) {
+    for (const auto& [sb, mb] : b.masses()) {
+      const FocalSet inter = sa & sb;
+      const double product = ma * mb;
+      if (inter == 0) {
+        conflict += product;
+      } else {
+        out.Assign(inter, product);
+      }
+    }
+  }
+  switch (rule) {
+    case CombinationRule::kDempster: {
+      if (conflict >= 1.0 - 1e-12) {
+        return Status::Invalid("total conflict: Dempster rule undefined");
+      }
+      const double k = 1.0 / (1.0 - conflict);
+      MassFunction normalized(a.frame());
+      for (const auto& [set, mass] : out.masses()) {
+        normalized.Assign(set, mass * k);
+      }
+      return normalized;
+    }
+    case CombinationRule::kConjunctive:
+      out.Assign(0, conflict);
+      return out;
+    case CombinationRule::kYager:
+      out.Assign(theta, conflict);
+      return out;
+    case CombinationRule::kDisjunctive:
+      break;  // handled above
+  }
+  return out;
+}
+
+Result<MassFunction> CombineAll(const std::vector<MassFunction>& sources,
+                                CombinationRule rule) {
+  if (sources.empty()) return Status::Invalid("no sources to combine");
+  MassFunction acc = sources[0];
+  for (size_t i = 1; i < sources.size(); ++i) {
+    MARLIN_ASSIGN_OR_RETURN(acc, Combine(acc, sources[i], rule));
+  }
+  return acc;
+}
+
+}  // namespace marlin

@@ -1,0 +1,110 @@
+#ifndef MARLIN_UNCERTAINTY_DEMPSTER_SHAFER_H_
+#define MARLIN_UNCERTAINTY_DEMPSTER_SHAFER_H_
+
+/// \file dempster_shafer.h
+/// \brief Dempster–Shafer evidence theory (paper §4: "extension to other
+/// uncertainty representations such as evidence or possibility theories is
+/// certainly desirable", citing Dubois et al. [13]).
+///
+/// A frame of discernment is a set of at most 16 mutually exclusive
+/// hypotheses; focal elements are subsets encoded as bitmasks. Supports the
+/// combination rules the fusion literature compares (Dempster, conjunctive,
+/// disjunctive, Yager) plus reliability discounting — the mechanism §4
+/// proposes for handling source quality.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace marlin {
+
+/// Subset of the frame encoded as a bitmask (bit i = hypothesis i).
+using FocalSet = uint32_t;
+
+/// \brief Named frame of discernment (≤ 16 hypotheses).
+class Frame {
+ public:
+  explicit Frame(std::vector<std::string> hypotheses);
+
+  int size() const { return static_cast<int>(names_.size()); }
+  FocalSet Theta() const { return (1u << names_.size()) - 1u; }
+  const std::string& Name(int i) const { return names_[i]; }
+
+  /// \brief Singleton set for hypothesis i.
+  FocalSet Singleton(int i) const { return 1u << i; }
+
+  /// \brief Index of a hypothesis by name (-1 when unknown).
+  int Index(const std::string& name) const;
+
+  /// \brief Human-readable set description, e.g. "{cargo,tanker}".
+  std::string SetToString(FocalSet set) const;
+
+ private:
+  std::vector<std::string> names_;
+};
+
+/// \brief A basic belief assignment (mass function) over a frame.
+class MassFunction {
+ public:
+  explicit MassFunction(const Frame* frame) : frame_(frame) {}
+
+  /// \brief Sets m(set) = mass (accumulates on repeated calls).
+  void Assign(FocalSet set, double mass);
+
+  /// \brief Convenience: vacuous belief m(Θ) = 1.
+  static MassFunction Vacuous(const Frame* frame);
+
+  /// \brief Renormalizes masses to sum to 1 (no-op if already normal).
+  void Normalize();
+
+  /// \brief Belief: sum of masses of subsets of `set`.
+  double Belief(FocalSet set) const;
+
+  /// \brief Plausibility: sum of masses of sets intersecting `set`.
+  double Plausibility(FocalSet set) const;
+
+  /// \brief Pignistic probability of a single hypothesis (Smets transform).
+  double Pignistic(int hypothesis) const;
+
+  /// \brief The hypothesis with maximum pignistic probability.
+  int Decide() const;
+
+  /// \brief Mass on the empty set (only nonzero for unnormalized
+  /// conjunctive combination).
+  double Conflict() const;
+
+  /// \brief Shafer discounting: m'(A) = α·m(A), m'(Θ) += 1-α.
+  /// `reliability` is α in [0,1] (1 = fully reliable source).
+  MassFunction Discount(double reliability) const;
+
+  const std::map<FocalSet, double>& masses() const { return masses_; }
+  const Frame* frame() const { return frame_; }
+
+ private:
+  const Frame* frame_;
+  std::map<FocalSet, double> masses_;
+};
+
+/// \brief Combination rules compared in experiment E11.
+enum class CombinationRule : uint8_t {
+  kDempster,     ///< normalized conjunctive (classic)
+  kConjunctive,  ///< unnormalized (keeps conflict on ∅, Smets TBM)
+  kDisjunctive,  ///< cautious union rule
+  kYager,        ///< conflict transferred to Θ
+};
+
+/// \brief Combines two mass functions on the same frame.
+/// Fails for kDempster under total conflict (normalizer = 0).
+Result<MassFunction> Combine(const MassFunction& a, const MassFunction& b,
+                             CombinationRule rule);
+
+/// \brief Left-fold combination over several sources.
+Result<MassFunction> CombineAll(const std::vector<MassFunction>& sources,
+                                CombinationRule rule);
+
+}  // namespace marlin
+
+#endif  // MARLIN_UNCERTAINTY_DEMPSTER_SHAFER_H_

@@ -1,0 +1,94 @@
+#include "uncertainty/openworld.h"
+
+#include <algorithm>
+
+namespace marlin {
+
+const char* VerdictName(Verdict v) {
+  switch (v) {
+    case Verdict::kNo:
+      return "no";
+    case Verdict::kYes:
+      return "yes";
+    case Verdict::kPossible:
+      return "possible";
+  }
+  return "?";
+}
+
+void CoverageModel::Observe(uint32_t vessel, Timestamp t) {
+  VesselCoverage& c = coverage_[vessel];
+  if (c.first == kInvalidTimestamp) {
+    c.first = c.last = c.prev_report = t;
+    return;
+  }
+  if (t <= c.prev_report) return;  // duplicates / out-of-order ignored
+  const DurationMs gap = t - c.prev_report;
+  if (gap > options_.max_report_interval_ms) {
+    c.gaps.emplace_back(c.prev_report, t);
+    c.dark_total += gap;
+  }
+  c.prev_report = t;
+  c.last = t;
+}
+
+std::vector<std::pair<Timestamp, Timestamp>> CoverageModel::DarkPeriods(
+    uint32_t vessel, Timestamp t0, Timestamp t1) const {
+  std::vector<std::pair<Timestamp, Timestamp>> out;
+  auto it = coverage_.find(vessel);
+  if (it == coverage_.end()) {
+    out.emplace_back(t0, t1);  // never observed: everything is dark
+    return out;
+  }
+  const VesselCoverage& c = it->second;
+  if (t0 < c.first) out.emplace_back(t0, std::min(t1, c.first));
+  for (const auto& [gs, ge] : c.gaps) {
+    const Timestamp s = std::max(gs, t0);
+    const Timestamp e = std::min(ge, t1);
+    if (s < e) out.emplace_back(s, e);
+  }
+  if (t1 > c.last) out.emplace_back(std::max(t0, c.last), t1);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double CoverageModel::Coverage(uint32_t vessel, Timestamp t0,
+                               Timestamp t1) const {
+  if (t1 <= t0) return 1.0;
+  DurationMs dark = 0;
+  for (const auto& [s, e] : DarkPeriods(vessel, t0, t1)) dark += e - s;
+  return 1.0 - static_cast<double>(dark) / static_cast<double>(t1 - t0);
+}
+
+bool CoverageModel::IsDark(uint32_t vessel, Timestamp t) const {
+  auto it = coverage_.find(vessel);
+  if (it == coverage_.end()) return true;
+  const VesselCoverage& c = it->second;
+  if (t < c.first || t > c.last) return true;
+  for (const auto& [gs, ge] : c.gaps) {
+    if (t > gs && t < ge) return true;
+  }
+  return false;
+}
+
+Verdict CoverageModel::CouldHaveActedAt(uint32_t vessel, Timestamp t) const {
+  return IsDark(vessel, t) ? Verdict::kPossible : Verdict::kNo;
+}
+
+std::vector<uint32_t> CoverageModel::Vessels() const {
+  std::vector<uint32_t> out;
+  out.reserve(coverage_.size());
+  for (const auto& [mmsi, _] : coverage_) out.push_back(mmsi);
+  return out;
+}
+
+double CoverageModel::DarkFraction(uint32_t vessel) const {
+  auto it = coverage_.find(vessel);
+  if (it == coverage_.end()) return 1.0;
+  const VesselCoverage& c = it->second;
+  const DurationMs span = c.last - c.first;
+  if (span <= 0) return 0.0;
+  return static_cast<double>(c.dark_total) / static_cast<double>(span);
+}
+
+}  // namespace marlin

@@ -1,0 +1,93 @@
+#ifndef MARLIN_UNCERTAINTY_OPENWORLD_H_
+#define MARLIN_UNCERTAINTY_OPENWORLD_H_
+
+/// \file openworld.h
+/// \brief Open-world query semantics over incompletely observed timelines.
+///
+/// Paper §4: "the AIS database clearly violates the closed-world assumption
+/// since … 27 % of ships do not transmit data at least 10 % of the time
+/// ('go dark'). Querying … rendez-vous events from an AIS database will
+/// return only those events reflected by the AIS data. Considering that
+/// anything which is not in the AIS database remains possible is thus
+/// crucial to maritime anomaly detection."
+///
+/// This module gives a query three-valued semantics: a predicate over a time
+/// interval evaluates to Yes / No / Possible depending on whether the data
+/// *covers* the interval. Coverage is tracked per vessel as observed
+/// reporting intervals; gaps longer than the expected reporting cadence are
+/// dark periods, inside which any unobserved behaviour "remains possible".
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/time.h"
+
+namespace marlin {
+
+/// \brief Three-valued query verdict.
+enum class Verdict : uint8_t {
+  kNo = 0,        ///< provably false given coverage
+  kYes = 1,       ///< observed
+  kPossible = 2,  ///< unobservable: a dark period covers the hypothesis
+};
+
+const char* VerdictName(Verdict v);
+
+/// \brief Per-vessel observation coverage model.
+class CoverageModel {
+ public:
+  struct Options {
+    /// A silence longer than this is a dark period (not mere cadence slack).
+    DurationMs max_report_interval_ms = 3 * kMillisPerMinute;
+  };
+
+  CoverageModel() : CoverageModel(Options()) {}
+  explicit CoverageModel(const Options& options) : options_(options) {}
+
+  /// \brief Registers one observation of `vessel` at `t`.
+  void Observe(uint32_t vessel, Timestamp t);
+
+  /// \brief Dark periods of `vessel` within [t0, t1]: maximal sub-intervals
+  /// not covered by observations (boundary-clipped).
+  std::vector<std::pair<Timestamp, Timestamp>> DarkPeriods(uint32_t vessel,
+                                                           Timestamp t0,
+                                                           Timestamp t1) const;
+
+  /// \brief Fraction of [t0, t1] covered by observation for `vessel`
+  /// (0 when never seen).
+  double Coverage(uint32_t vessel, Timestamp t0, Timestamp t1) const;
+
+  /// \brief True iff `vessel` is dark at time `t` (inside a gap or outside
+  /// its observed span).
+  bool IsDark(uint32_t vessel, Timestamp t) const;
+
+  /// \brief Evaluates "vessel could have been at an (unobserved) event at
+  /// time t": kYes is never returned here (that is the detector's job);
+  /// kPossible when t falls in a dark period, kNo when covered.
+  Verdict CouldHaveActedAt(uint32_t vessel, Timestamp t) const;
+
+  /// \brief Vessels seen at least once.
+  std::vector<uint32_t> Vessels() const;
+
+  /// \brief Fraction of observed time each vessel spent dark — the Windward
+  /// statistic ("ships that do not transmit ≥ X% of the time").
+  double DarkFraction(uint32_t vessel) const;
+
+ private:
+  struct VesselCoverage {
+    Timestamp first = kInvalidTimestamp;
+    Timestamp last = kInvalidTimestamp;
+    // Maximal observed gaps (start, end) longer than the cadence bound.
+    std::vector<std::pair<Timestamp, Timestamp>> gaps;
+    Timestamp prev_report = kInvalidTimestamp;
+    DurationMs dark_total = 0;
+  };
+
+  Options options_;
+  std::map<uint32_t, VesselCoverage> coverage_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_UNCERTAINTY_OPENWORLD_H_

@@ -1,0 +1,80 @@
+#include "uncertainty/possibility.h"
+
+#include <algorithm>
+
+namespace marlin {
+
+void PossibilityDistribution::Set(int hypothesis, double possibility) {
+  pi_[hypothesis] = std::clamp(possibility, 0.0, 1.0);
+}
+
+bool PossibilityDistribution::IsNormalized() const {
+  return !pi_.empty() && *std::max_element(pi_.begin(), pi_.end()) >= 1.0 - 1e-12;
+}
+
+void PossibilityDistribution::Normalize() {
+  const double max = pi_.empty() ? 0.0 : *std::max_element(pi_.begin(), pi_.end());
+  if (max <= 0.0) return;
+  for (double& v : pi_) v /= max;
+}
+
+double PossibilityDistribution::Possibility(const std::vector<int>& set) const {
+  double max = 0.0;
+  for (int h : set) max = std::max(max, pi_[h]);
+  return max;
+}
+
+double PossibilityDistribution::Necessity(const std::vector<int>& set) const {
+  // N(A) = 1 - Π(complement).
+  std::vector<bool> in_set(pi_.size(), false);
+  for (int h : set) in_set[h] = true;
+  double max_comp = 0.0;
+  for (size_t i = 0; i < pi_.size(); ++i) {
+    if (!in_set[i]) max_comp = std::max(max_comp, pi_[i]);
+  }
+  return 1.0 - max_comp;
+}
+
+double PossibilityDistribution::Inconsistency() const {
+  const double max =
+      pi_.empty() ? 0.0 : *std::max_element(pi_.begin(), pi_.end());
+  return 1.0 - max;
+}
+
+int PossibilityDistribution::Decide() const {
+  int best = 0;
+  for (int i = 1; i < size(); ++i) {
+    if (pi_[i] > pi_[best]) best = i;
+  }
+  return best;
+}
+
+PossibilityDistribution PossibilityDistribution::CombineMin(
+    const PossibilityDistribution& a, const PossibilityDistribution& b) {
+  PossibilityDistribution out(a.size());
+  for (int i = 0; i < a.size(); ++i) {
+    out.pi_[i] = std::min(a.pi_[i], b.pi_[i]);
+  }
+  return out;
+}
+
+PossibilityDistribution PossibilityDistribution::CombineMax(
+    const PossibilityDistribution& a, const PossibilityDistribution& b) {
+  PossibilityDistribution out(a.size());
+  for (int i = 0; i < a.size(); ++i) {
+    out.pi_[i] = std::max(a.pi_[i], b.pi_[i]);
+  }
+  return out;
+}
+
+PossibilityDistribution PossibilityDistribution::Discount(
+    double reliability) const {
+  PossibilityDistribution out(size());
+  const double floor = 1.0 - std::clamp(reliability, 0.0, 1.0);
+  for (int i = 0; i < size(); ++i) {
+    out.pi_[i] = std::max(pi_[i], floor);
+  }
+  return out;
+}
+
+}  // namespace marlin

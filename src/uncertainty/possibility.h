@@ -1,0 +1,65 @@
+#ifndef MARLIN_UNCERTAINTY_POSSIBILITY_H_
+#define MARLIN_UNCERTAINTY_POSSIBILITY_H_
+
+/// \file possibility.h
+/// \brief Possibility theory over discrete hypothesis sets (paper §4).
+///
+/// A possibility distribution π assigns each hypothesis a degree in [0,1]
+/// with max π = 1 (normalized). Possibility Π(A) = max over A; necessity
+/// N(A) = 1 − Π(Aᶜ). Suited to the "vague / ambiguous" uncertainty kinds
+/// the paper distinguishes from probabilistic ones.
+
+#include <string>
+#include <vector>
+
+namespace marlin {
+
+/// \brief Discrete possibility distribution.
+class PossibilityDistribution {
+ public:
+  explicit PossibilityDistribution(int num_hypotheses)
+      : pi_(num_hypotheses, 1.0) {}
+
+  int size() const { return static_cast<int>(pi_.size()); }
+
+  void Set(int hypothesis, double possibility);
+  double Get(int hypothesis) const { return pi_[hypothesis]; }
+
+  /// \brief True iff max π = 1.
+  bool IsNormalized() const;
+
+  /// \brief Rescales so the max equals 1 (undefined when all zero — left
+  /// unchanged, signalling total inconsistency).
+  void Normalize();
+
+  /// \brief Possibility of a set of hypotheses.
+  double Possibility(const std::vector<int>& set) const;
+
+  /// \brief Necessity of a set of hypotheses.
+  double Necessity(const std::vector<int>& set) const;
+
+  /// \brief Degree of inconsistency after conjunctive combination:
+  /// 1 − max π.
+  double Inconsistency() const;
+
+  /// \brief The most possible hypothesis (lowest index on ties).
+  int Decide() const;
+
+  /// \brief Conjunctive (min) combination — sources considered reliable.
+  static PossibilityDistribution CombineMin(const PossibilityDistribution& a,
+                                            const PossibilityDistribution& b);
+
+  /// \brief Disjunctive (max) combination — at least one source reliable.
+  static PossibilityDistribution CombineMax(const PossibilityDistribution& a,
+                                            const PossibilityDistribution& b);
+
+  /// \brief Discounting for an unreliable source: π' = max(π, 1−α).
+  PossibilityDistribution Discount(double reliability) const;
+
+ private:
+  std::vector<double> pi_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_UNCERTAINTY_POSSIBILITY_H_

@@ -1,0 +1,57 @@
+#ifndef MARLIN_UNCERTAINTY_SOURCE_QUALITY_H_
+#define MARLIN_UNCERTAINTY_SOURCE_QUALITY_H_
+
+/// \file source_quality.h
+/// \brief Source reliability estimation from agreement history (paper §4:
+/// "additional knowledge on sources' quality may help solving the issue",
+/// citing Ceolin et al. [8]).
+///
+/// Reliability is estimated as a Beta-posterior mean over agree/disagree
+/// outcomes against corroborated ground: Beta(agreements+1, conflicts+1).
+/// The estimate feeds Dempster–Shafer discounting and registry conflict
+/// resolution.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace marlin {
+
+/// \brief Tracks per-source reliability.
+class SourceQualityModel {
+ public:
+  /// \brief Records one assessed report from `source`.
+  void Record(const std::string& source, bool agreed) {
+    auto& s = stats_[source];
+    if (agreed) {
+      ++s.agreements;
+    } else {
+      ++s.conflicts;
+    }
+  }
+
+  /// \brief Posterior-mean reliability in (0,1); 0.5 for unseen sources.
+  double Reliability(const std::string& source) const {
+    auto it = stats_.find(source);
+    if (it == stats_.end()) return 0.5;
+    const auto& s = it->second;
+    return (s.agreements + 1.0) / (s.agreements + s.conflicts + 2.0);
+  }
+
+  /// \brief Number of assessed reports for `source`.
+  uint64_t Observations(const std::string& source) const {
+    auto it = stats_.find(source);
+    return it == stats_.end() ? 0 : it->second.agreements + it->second.conflicts;
+  }
+
+ private:
+  struct Stats {
+    uint64_t agreements = 0;
+    uint64_t conflicts = 0;
+  };
+  std::map<std::string, Stats> stats_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_UNCERTAINTY_SOURCE_QUALITY_H_

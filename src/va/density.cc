@@ -1,0 +1,149 @@
+#include "va/density.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace marlin {
+
+DensityGrid::DensityGrid(const BoundingBox& bounds, double cell_deg)
+    : bounds_(bounds), cell_deg_(cell_deg) {
+  rows_ = std::max(
+      1, static_cast<int>(std::ceil((bounds.max_lat - bounds.min_lat) /
+                                    cell_deg)));
+  cols_ = std::max(
+      1, static_cast<int>(std::ceil((bounds.max_lon - bounds.min_lon) /
+                                    cell_deg)));
+  cells_.assign(static_cast<size_t>(rows_) * cols_, 0.0);
+}
+
+void DensityGrid::Add(const GeoPoint& p, double weight) {
+  if (!bounds_.Contains(p)) return;
+  int row = static_cast<int>((p.lat - bounds_.min_lat) / cell_deg_);
+  int col = static_cast<int>((p.lon - bounds_.min_lon) / cell_deg_);
+  row = std::clamp(row, 0, rows_ - 1);
+  col = std::clamp(col, 0, cols_ - 1);
+  cells_[static_cast<size_t>(row) * cols_ + col] += weight;
+  total_ += weight;
+}
+
+void DensityGrid::AddTrajectory(const Trajectory& trajectory) {
+  for (const TrajectoryPoint& p : trajectory.points) Add(p.position);
+}
+
+double DensityGrid::MaxValue() const {
+  double max = 0.0;
+  for (double v : cells_) max = std::max(max, v);
+  return max;
+}
+
+uint64_t DensityGrid::NonEmptyCells() const {
+  uint64_t n = 0;
+  for (double v : cells_) {
+    if (v > 0.0) ++n;
+  }
+  return n;
+}
+
+DensityGrid DensityGrid::Coarsen(int factor) const {
+  DensityGrid out(bounds_, cell_deg_ * factor);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const double v = At(r, c);
+      if (v <= 0.0) continue;
+      const int cr = std::min(out.rows_ - 1, r / factor);
+      const int cc = std::min(out.cols_ - 1, c / factor);
+      out.cells_[static_cast<size_t>(cr) * out.cols_ + cc] += v;
+      out.total_ += v;
+    }
+  }
+  return out;
+}
+
+std::string DensityGrid::ToCsv() const {
+  std::string out = "row,col,lat,lon,value\n";
+  char line[128];
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      const double v = At(r, c);
+      if (v <= 0.0) continue;
+      const double lat = bounds_.min_lat + (r + 0.5) * cell_deg_;
+      const double lon = bounds_.min_lon + (c + 0.5) * cell_deg_;
+      std::snprintf(line, sizeof(line), "%d,%d,%.5f,%.5f,%.3f\n", r, c, lat,
+                    lon, v);
+      out += line;
+    }
+  }
+  return out;
+}
+
+Status DensityGrid::WritePpm(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return Status::IOError("cannot open " + path);
+  out << "P6\n" << cols_ << " " << rows_ << "\n255\n";
+  const double max = std::max(1.0, MaxValue());
+  const double log_max = std::log1p(max);
+  for (int r = rows_ - 1; r >= 0; --r) {  // north at the top
+    for (int c = 0; c < cols_; ++c) {
+      const double v = At(r, c);
+      const double intensity = v <= 0.0 ? 0.0 : std::log1p(v) / log_max;
+      // Blue-to-yellow-to-white ramp on dark sea.
+      unsigned char rgb[3];
+      if (intensity <= 0.0) {
+        rgb[0] = 8;
+        rgb[1] = 12;
+        rgb[2] = 40;
+      } else {
+        const double t = intensity;
+        rgb[0] = static_cast<unsigned char>(40 + 215 * t);
+        rgb[1] = static_cast<unsigned char>(40 + 195 * t * t);
+        rgb[2] = static_cast<unsigned char>(90 + 80 * (1.0 - t));
+      }
+      out.write(reinterpret_cast<const char*>(rgb), 3);
+    }
+  }
+  if (!out.good()) return Status::IOError("short write to " + path);
+  return Status::OK();
+}
+
+std::string DensityGrid::ToAscii(int max_cols) const {
+  static const char kRamp[] = " .:-=+*#%@";
+  const int step = std::max(1, (cols_ + max_cols - 1) / max_cols);
+  const double max = std::max(1.0, MaxValue());
+  const double log_max = std::log1p(max);
+  std::string out;
+  for (int r = rows_ - 1; r >= 0; r -= step) {
+    for (int c = 0; c < cols_; c += step) {
+      // Aggregate the step×step block.
+      double v = 0.0;
+      for (int dr = 0; dr < step && r - dr >= 0; ++dr) {
+        for (int dc = 0; dc < step && c + dc < cols_; ++dc) {
+          v += At(r - dr, c + dc);
+        }
+      }
+      const double intensity = v <= 0.0 ? 0.0 : std::log1p(v) / log_max;
+      const int idx = std::min(
+          9, static_cast<int>(intensity * 9.999));
+      out.push_back(kRamp[idx]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+uint64_t TemporalHistogram::Total() const {
+  uint64_t total = 0;
+  for (uint64_t b : buckets_) total += b;
+  return total;
+}
+
+int TemporalHistogram::PeakHour() const {
+  int best = 0;
+  for (int h = 1; h < 24; ++h) {
+    if (buckets_[h] > buckets_[best]) best = h;
+  }
+  return best;
+}
+
+}  // namespace marlin

@@ -1,0 +1,85 @@
+#ifndef MARLIN_VA_DENSITY_H_
+#define MARLIN_VA_DENSITY_H_
+
+/// \file density.h
+/// \brief Multi-resolution spatial density aggregation — the "situation
+/// overview … at desired scales and levels of detail" of §3.2, and the data
+/// product behind the paper's Figure 1.
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "geo/geometry.h"
+#include "storage/trajectory.h"
+
+namespace marlin {
+
+/// \brief A lat/lon histogram over a bounded region.
+class DensityGrid {
+ public:
+  /// \brief Covers `bounds` with cells of `cell_deg` pitch.
+  DensityGrid(const BoundingBox& bounds, double cell_deg);
+
+  /// \brief Adds one observation (ignored outside the bounds).
+  void Add(const GeoPoint& p, double weight = 1.0);
+
+  /// \brief Adds every sample of a trajectory.
+  void AddTrajectory(const Trajectory& trajectory);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  double cell_deg() const { return cell_deg_; }
+  const BoundingBox& bounds() const { return bounds_; }
+
+  double At(int row, int col) const { return cells_[row * cols_ + col]; }
+  double MaxValue() const;
+  double TotalWeight() const { return total_; }
+  uint64_t NonEmptyCells() const;
+
+  /// \brief Aggregates into a coarser grid (factor ≥ 2) — zoom-out.
+  DensityGrid Coarsen(int factor) const;
+
+  /// \brief Re-bins a sub-region at a finer pitch from source points —
+  /// drill-down is a fresh aggregation, so the caller re-adds data; this
+  /// helper just constructs the target grid.
+  static DensityGrid DrillDown(const BoundingBox& region, double cell_deg) {
+    return DensityGrid(region, cell_deg);
+  }
+
+  /// \brief CSV export: row,col,lat,lon,value for non-empty cells.
+  std::string ToCsv() const;
+
+  /// \brief Writes a log-scaled heat map as a binary PPM image.
+  Status WritePpm(const std::string& path) const;
+
+  /// \brief ASCII art rendering (log-scaled ramp " .:-=+*#%@").
+  std::string ToAscii(int max_cols = 100) const;
+
+ private:
+  BoundingBox bounds_;
+  double cell_deg_;
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> cells_;
+  double total_ = 0.0;
+};
+
+/// \brief Per-hour-of-day event histogram (temporal VA view).
+class TemporalHistogram {
+ public:
+  void Add(Timestamp t) { ++buckets_[static_cast<int>((t / kMillisPerHour) % 24)]; }
+  uint64_t At(int hour) const { return buckets_[hour]; }
+  uint64_t Total() const;
+  /// \brief Peak-hour index.
+  int PeakHour() const;
+
+ private:
+  uint64_t buckets_[24] = {0};
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_VA_DENSITY_H_

@@ -1,0 +1,59 @@
+#include "va/flows.h"
+
+#include <algorithm>
+
+namespace marlin {
+
+void FlowMatrix::AddTrajectory(const Trajectory& trajectory) {
+  // Sequence of distinct tracked-type zone visits along the trajectory.
+  std::vector<uint32_t> visits;
+  uint32_t current = UINT32_MAX;
+  for (const TrajectoryPoint& p : trajectory.points) {
+    uint32_t zone_here = UINT32_MAX;
+    for (const GeoZone* z : zones_->ZonesAt(p.position, tracked_type_)) {
+      zone_here = z->id;
+      break;
+    }
+    if (zone_here != UINT32_MAX && zone_here != current) {
+      visits.push_back(zone_here);
+    }
+    if (zone_here != UINT32_MAX) current = zone_here;
+  }
+  for (size_t i = 1; i < visits.size(); ++i) {
+    if (visits[i - 1] != visits[i]) {
+      ++counts_[{visits[i - 1], visits[i]}];
+    }
+  }
+}
+
+std::vector<FlowEdge> FlowMatrix::Edges() const {
+  std::vector<FlowEdge> out;
+  out.reserve(counts_.size());
+  for (const auto& [key, count] : counts_) {
+    out.push_back(FlowEdge{key.first, key.second, count});
+  }
+  std::sort(out.begin(), out.end(), [](const FlowEdge& a, const FlowEdge& b) {
+    return a.count > b.count;
+  });
+  return out;
+}
+
+uint64_t FlowMatrix::Count(uint32_t from_zone, uint32_t to_zone) const {
+  auto it = counts_.find({from_zone, to_zone});
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::string FlowMatrix::ToCsv() const {
+  std::string out = "from,to,from_name,to_name,count\n";
+  for (const FlowEdge& e : Edges()) {
+    const GeoZone* from = zones_->Find(e.from_zone);
+    const GeoZone* to = zones_->Find(e.to_zone);
+    out += std::to_string(e.from_zone) + "," + std::to_string(e.to_zone) +
+           "," + (from != nullptr ? from->name : "?") + "," +
+           (to != nullptr ? to->name : "?") + "," + std::to_string(e.count) +
+           "\n";
+  }
+  return out;
+}
+
+}  // namespace marlin

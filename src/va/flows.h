@@ -1,0 +1,55 @@
+#ifndef MARLIN_VA_FLOWS_H_
+#define MARLIN_VA_FLOWS_H_
+
+/// \file flows.h
+/// \brief Origin–destination flow aggregation between zones (§3.2:
+/// "building situation overview … an overall operational picture of
+/// mobility at desired scales").
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "context/zones.h"
+#include "storage/trajectory.h"
+
+namespace marlin {
+
+/// \brief One aggregated flow edge.
+struct FlowEdge {
+  uint32_t from_zone = 0;
+  uint32_t to_zone = 0;
+  uint64_t count = 0;
+};
+
+/// \brief Builds zone-to-zone movement counts from trajectories.
+///
+/// A "visit" is a maximal run of samples inside one zone of the tracked
+/// type; consecutive visits of one vessel form a flow edge.
+class FlowMatrix {
+ public:
+  FlowMatrix(const ZoneDatabase* zones, ZoneType tracked_type)
+      : zones_(zones), tracked_type_(tracked_type) {}
+
+  /// \brief Accumulates one vessel's trajectory.
+  void AddTrajectory(const Trajectory& trajectory);
+
+  /// \brief All edges with count > 0, heaviest first.
+  std::vector<FlowEdge> Edges() const;
+
+  /// \brief Count for a specific pair.
+  uint64_t Count(uint32_t from_zone, uint32_t to_zone) const;
+
+  /// \brief CSV "from,to,from_name,to_name,count".
+  std::string ToCsv() const;
+
+ private:
+  const ZoneDatabase* zones_;
+  ZoneType tracked_type_;
+  std::map<std::pair<uint32_t, uint32_t>, uint64_t> counts_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_VA_FLOWS_H_

@@ -1,0 +1,82 @@
+#include "va/situation.h"
+
+#include <algorithm>
+
+#include "common/time.h"
+
+namespace marlin {
+
+void SituationOverview::RecordEvents(const std::vector<DetectedEvent>& events) {
+  for (const DetectedEvent& ev : events) {
+    if (ev.severity >= options_.min_alert_severity) {
+      alert_history_.push_back(ev);
+    }
+  }
+}
+
+SituationSnapshot SituationOverview::Snapshot(Timestamp t) const {
+  SituationSnapshot snap;
+  snap.at = t;
+
+  double coverage_sum = 0.0;
+  size_t coverage_n = 0;
+  for (uint32_t mmsi : store_->Vessels()) {
+    const auto latest = store_->Latest(mmsi);
+    if (!latest.has_value()) continue;
+    const bool fresh = t - latest->t <= options_.freshness_ms;
+    if (fresh) {
+      ++snap.active_vessels;
+      for (const GeoZone* z : zones_->ZonesAt(latest->position)) {
+        ++snap.vessels_per_zone_type[ZoneTypeName(z->type)];
+      }
+    } else if (latest->t <= t) {
+      ++snap.dark_vessels;
+    }
+    if (coverage_ != nullptr) {
+      coverage_sum += coverage_->Coverage(mmsi, t - kMillisPerHour, t);
+      ++coverage_n;
+    }
+  }
+  snap.mean_coverage = coverage_n == 0 ? 0.0 : coverage_sum / coverage_n;
+
+  for (const DetectedEvent& ev : alert_history_) {
+    if (ev.detected_at <= t &&
+        t - ev.detected_at <= options_.alert_retention_ms) {
+      snap.active_alerts.push_back(ev);
+    }
+  }
+  std::sort(snap.active_alerts.begin(), snap.active_alerts.end(),
+            [](const DetectedEvent& a, const DetectedEvent& b) {
+              return a.severity > b.severity;
+            });
+  return snap;
+}
+
+std::string SituationOverview::Render(const SituationSnapshot& snap,
+                                      const ZoneDatabase* zones) {
+  std::string out;
+  out += "=== Situation overview @ " + FormatTimestamp(snap.at) + " ===\n";
+  out += "active vessels: " + std::to_string(snap.active_vessels) +
+         "   dark: " + std::to_string(snap.dark_vessels) +
+         "   mean 1h coverage: " +
+         std::to_string(static_cast<int>(snap.mean_coverage * 100)) + "%\n";
+  out += "by zone type:";
+  for (const auto& [type, n] : snap.vessels_per_zone_type) {
+    out += "  " + type + "=" + std::to_string(n);
+  }
+  out += "\nalerts (" + std::to_string(snap.active_alerts.size()) + "):\n";
+  for (const DetectedEvent& ev : snap.active_alerts) {
+    out += "  [" + std::to_string(static_cast<int>(ev.severity * 100)) +
+           "] " + EventTypeName(ev.type) + " vessel " +
+           std::to_string(ev.vessel_a);
+    if (ev.vessel_b != 0) out += " & " + std::to_string(ev.vessel_b);
+    if (ev.zone_id != 0 && zones != nullptr) {
+      const GeoZone* z = zones->Find(ev.zone_id);
+      if (z != nullptr) out += " in " + z->name;
+    }
+    out += " at " + ev.where.ToString() + "\n";
+  }
+  return out;
+}
+
+}  // namespace marlin

@@ -1,0 +1,68 @@
+#ifndef MARLIN_VA_SITUATION_H_
+#define MARLIN_VA_SITUATION_H_
+
+/// \file situation.h
+/// \brief Situation overview snapshots for operators (§3.2: "building
+/// situation overview and situation monitoring, capable of computing an
+/// overall operational picture … Monitoring needs to provide alarms and
+/// explanations if observations significantly deviate from models").
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ais/types.h"
+#include "context/zones.h"
+#include "core/events.h"
+#include "storage/trajectory_store.h"
+#include "uncertainty/openworld.h"
+
+namespace marlin {
+
+/// \brief One rendered overview at a time instant.
+struct SituationSnapshot {
+  Timestamp at = 0;
+  size_t active_vessels = 0;          ///< reported within the freshness window
+  size_t dark_vessels = 0;            ///< known but currently silent
+  std::map<std::string, size_t> vessels_per_zone_type;
+  std::vector<DetectedEvent> active_alerts;
+  double mean_coverage = 0.0;         ///< mean per-vessel coverage fraction
+};
+
+/// \brief Builds operator snapshots from the live store + event history.
+class SituationOverview {
+ public:
+  struct Options {
+    DurationMs freshness_ms = 15 * kMillisPerMinute;
+    DurationMs alert_retention_ms = 2 * kMillisPerHour;
+    double min_alert_severity = 0.5;
+  };
+
+  SituationOverview(const TrajectoryStore* store, const ZoneDatabase* zones,
+                    const CoverageModel* coverage, const Options& options)
+      : store_(store), zones_(zones), coverage_(coverage), options_(options) {}
+  SituationOverview(const TrajectoryStore* store, const ZoneDatabase* zones,
+                    const CoverageModel* coverage)
+      : SituationOverview(store, zones, coverage, Options()) {}
+
+  /// \brief Records detected events for alert retention.
+  void RecordEvents(const std::vector<DetectedEvent>& events);
+
+  /// \brief Computes the snapshot at time `t`.
+  SituationSnapshot Snapshot(Timestamp t) const;
+
+  /// \brief Renders a snapshot as a terminal-friendly block of text.
+  static std::string Render(const SituationSnapshot& snapshot,
+                            const ZoneDatabase* zones);
+
+ private:
+  const TrajectoryStore* store_;
+  const ZoneDatabase* zones_;
+  const CoverageModel* coverage_;
+  Options options_;
+  std::vector<DetectedEvent> alert_history_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_VA_SITUATION_H_

@@ -1,0 +1,227 @@
+// Unit tests for marlin_context: zones, weather provider, registries.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "context/registry.h"
+#include "context/weather.h"
+#include "context/zones.h"
+#include "geo/geodesy.h"
+
+namespace marlin {
+namespace {
+
+// --- ZoneDatabase ---------------------------------------------------------
+
+class ZoneDbTest : public ::testing::Test {
+ protected:
+  ZoneDbTest() {
+    GeoZone port;
+    port.name = "Port Vell";
+    port.type = ZoneType::kPort;
+    port.polygon = Polygon::Circle(GeoPoint(41.35, 2.15), 3000.0);
+    port_id_ = db_.Add(std::move(port));
+
+    GeoZone anchorage;
+    anchorage.name = "Port Vell anchorage";
+    anchorage.type = ZoneType::kAnchorage;
+    anchorage.polygon = Polygon::Circle(GeoPoint(41.35, 2.15), 9000.0);
+    anchorage.speed_limit_knots = 8.0;
+    anchorage_id_ = db_.Add(std::move(anchorage));
+
+    GeoZone reserve;
+    reserve.name = "Coral Reserve";
+    reserve.type = ZoneType::kProtectedArea;
+    reserve.fishing_prohibited = true;
+    reserve.polygon = Polygon::Circle(GeoPoint(37.8, 1.8), 15000.0);
+    reserve_id_ = db_.Add(std::move(reserve));
+  }
+  ZoneDatabase db_;
+  uint32_t port_id_, anchorage_id_, reserve_id_;
+};
+
+TEST_F(ZoneDbTest, PointInNestedZones) {
+  const auto zones = db_.ZonesAt(GeoPoint(41.35, 2.15));
+  ASSERT_EQ(zones.size(), 2u);  // port + anchorage
+}
+
+TEST_F(ZoneDbTest, PointInOuterRingOnly) {
+  const GeoPoint outer = Destination(GeoPoint(41.35, 2.15), 90.0, 6000.0);
+  const auto zones = db_.ZonesAt(outer);
+  ASSERT_EQ(zones.size(), 1u);
+  EXPECT_EQ(zones[0]->id, anchorage_id_);
+  EXPECT_DOUBLE_EQ(zones[0]->speed_limit_knots, 8.0);
+}
+
+TEST_F(ZoneDbTest, TypeFilteredLookup) {
+  const auto ports = db_.ZonesAt(GeoPoint(41.35, 2.15), ZoneType::kPort);
+  ASSERT_EQ(ports.size(), 1u);
+  EXPECT_EQ(ports[0]->name, "Port Vell");
+  EXPECT_TRUE(db_.ZonesAt(GeoPoint(41.35, 2.15), ZoneType::kEez).empty());
+}
+
+TEST_F(ZoneDbTest, OpenSeaHasNoZones) {
+  EXPECT_TRUE(db_.ZonesAt(GeoPoint(40.0, 5.0)).empty());
+}
+
+TEST_F(ZoneDbTest, RegionQuery) {
+  const auto zones = db_.ZonesIn(BoundingBox(37.0, 1.0, 39.0, 3.0));
+  ASSERT_EQ(zones.size(), 1u);
+  EXPECT_EQ(zones[0]->id, reserve_id_);
+}
+
+TEST_F(ZoneDbTest, FindByIdAndIri) {
+  const GeoZone* z = db_.Find(reserve_id_);
+  ASSERT_NE(z, nullptr);
+  EXPECT_TRUE(z->fishing_prohibited);
+  EXPECT_EQ(z->Iri(), "dtc:zone/" + std::to_string(reserve_id_));
+  EXPECT_EQ(db_.Find(9999), nullptr);
+}
+
+TEST(ZoneTypeTest, AllNamesDistinct) {
+  std::set<std::string> names;
+  for (int i = 0; i <= 6; ++i) {
+    names.insert(ZoneTypeName(static_cast<ZoneType>(i)));
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+// --- WeatherProvider --------------------------------------------------------
+
+TEST(WeatherTest, DeterministicForSameSeed) {
+  const WeatherProvider a(42), b(42);
+  const GeoPoint p(40.0, 5.0);
+  const Timestamp t = 1700000000000;
+  const WeatherSample sa = a.At(p, t);
+  const WeatherSample sb = b.At(p, t);
+  EXPECT_DOUBLE_EQ(sa.wind_speed_mps, sb.wind_speed_mps);
+  EXPECT_DOUBLE_EQ(sa.wave_height_m, sb.wave_height_m);
+}
+
+TEST(WeatherTest, DifferentSeedsDiffer) {
+  const WeatherProvider a(1), b(2);
+  const WeatherSample sa = a.At(GeoPoint(40, 5), 1700000000000);
+  const WeatherSample sb = b.At(GeoPoint(40, 5), 1700000000000);
+  EXPECT_NE(sa.wind_speed_mps, sb.wind_speed_mps);
+}
+
+TEST(WeatherTest, ValuesWithinPhysicalBounds) {
+  const WeatherProvider provider(7);
+  for (double lat = -60; lat <= 60; lat += 13.7) {
+    for (double lon = -170; lon <= 170; lon += 23.1) {
+      const WeatherSample s =
+          provider.At(GeoPoint(lat, lon), 1700000000000 + lat * 1e7);
+      EXPECT_GE(s.wind_speed_mps, 0.0);
+      EXPECT_LE(s.wind_speed_mps, 22.0);
+      EXPECT_GE(s.wave_height_m, 0.0);
+      EXPECT_LE(s.wave_height_m, 6.0);
+      EXPECT_GE(s.wind_dir_deg, 0.0);
+      EXPECT_LE(s.wind_dir_deg, 360.0);
+      EXPECT_LE(s.current_speed_mps, 1.5);
+    }
+  }
+}
+
+TEST(WeatherTest, SpatiallySmooth) {
+  // Adjacent points (1 km apart, grid pitch ~55 km) see nearly equal weather.
+  const WeatherProvider provider(11);
+  const GeoPoint a(40.0, 5.0);
+  const GeoPoint b = Destination(a, 90.0, 1000.0);
+  const Timestamp t = 1700000000000;
+  EXPECT_NEAR(provider.At(a, t).wind_speed_mps,
+              provider.At(b, t).wind_speed_mps, 1.0);
+}
+
+TEST(WeatherTest, TemporallySmooth) {
+  const WeatherProvider provider(13);
+  const GeoPoint p(40.0, 5.0);
+  const Timestamp t = 1700000000000;
+  EXPECT_NEAR(provider.At(p, t).wind_speed_mps,
+              provider.At(p, t + Minutes(5)).wind_speed_mps, 1.5);
+}
+
+TEST(WeatherTest, FieldActuallyVaries) {
+  const WeatherProvider provider(17);
+  double min = 1e9, max = -1e9;
+  for (int i = 0; i < 50; ++i) {
+    const double v =
+        provider.At(GeoPoint(30.0 + i, -100.0 + 3 * i), 1700000000000)
+            .wind_speed_mps;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+  EXPECT_GT(max - min, 3.0);
+}
+
+// --- Registry / conflict resolution -------------------------------------
+
+RegistryRecord MakeRecord(uint32_t mmsi, const std::string& name,
+                          const std::string& flag, int length) {
+  RegistryRecord r;
+  r.mmsi = mmsi;
+  r.imo = 9074729;
+  r.name = name;
+  r.flag = flag;
+  r.call_sign = "FABC";
+  r.length_m = length;
+  r.beam_m = 20;
+  r.ship_type = 70;
+  return r;
+}
+
+TEST(RegistryTest, LookupSemantics) {
+  VesselRegistry reg("marinetraffic");
+  EXPECT_FALSE(reg.Lookup(1).has_value());
+  reg.Upsert(MakeRecord(1, "SEA STAR", "FR", 120));
+  ASSERT_TRUE(reg.Lookup(1).has_value());
+  EXPECT_EQ(reg.Lookup(1)->name, "SEA STAR");
+  reg.Upsert(MakeRecord(1, "SEA STAR II", "FR", 120));
+  EXPECT_EQ(reg.Lookup(1)->name, "SEA STAR II");
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(RegistryResolverTest, AgreementPassesThrough) {
+  SourceQualityModel quality;
+  VesselRegistry a("marinetraffic"), b("lloyds");
+  a.Upsert(MakeRecord(1, "SEA STAR", "FR", 120));
+  b.Upsert(MakeRecord(1, "SEA STAR", "FR", 120));
+  RegistryResolver resolver(&quality);
+  const auto resolved = resolver.Resolve(a, b, 1);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_TRUE(resolved->conflicting_fields.empty());
+  EXPECT_EQ(resolved->record.name, "SEA STAR");
+}
+
+TEST(RegistryResolverTest, QualityBreaksConflicts) {
+  SourceQualityModel quality;
+  // Lloyd's has proven more reliable historically.
+  for (int i = 0; i < 20; ++i) quality.Record("lloyds", true);
+  for (int i = 0; i < 20; ++i) quality.Record("marinetraffic", i % 2 == 0);
+  VesselRegistry a("marinetraffic"), b("lloyds");
+  a.Upsert(MakeRecord(1, "SEA STAR", "MT", 118));  // stale flag, odd length
+  b.Upsert(MakeRecord(1, "SEA STAR", "FR", 120));
+  RegistryResolver resolver(&quality);
+  const auto resolved = resolver.Resolve(a, b, 1);
+  ASSERT_TRUE(resolved.has_value());
+  // Both flag and length conflicted; the reliable source won both.
+  EXPECT_EQ(resolved->conflicting_fields.size(), 2u);
+  EXPECT_EQ(resolved->record.flag, "FR");
+  EXPECT_EQ(resolved->record.length_m, 120);
+  EXPECT_EQ(resolved->chosen_source.at("flag"), "lloyds");
+}
+
+TEST(RegistryResolverTest, SingleSourceFallback) {
+  SourceQualityModel quality;
+  VesselRegistry a("marinetraffic"), b("lloyds");
+  a.Upsert(MakeRecord(5, "ONLY HERE", "FR", 80));
+  RegistryResolver resolver(&quality);
+  const auto resolved = resolver.Resolve(a, b, 5);
+  ASSERT_TRUE(resolved.has_value());
+  EXPECT_EQ(resolved->record.name, "ONLY HERE");
+  EXPECT_TRUE(resolved->conflicting_fields.empty());
+  EXPECT_FALSE(resolver.Resolve(a, b, 404).has_value());
+}
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,406 @@
+// Unit tests for marlin_fusion: matrices, Kalman filtering, assignment,
+// multi-target tracking, covariance intersection.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "ais/types.h"
+#include "fusion/assignment.h"
+#include "fusion/kalman.h"
+#include "fusion/matrix.h"
+#include "fusion/tracker.h"
+#include "geo/geodesy.h"
+
+namespace marlin {
+namespace {
+
+// --- Matrix ---------------------------------------------------------------
+
+TEST(MatrixTest, MultiplyIdentity) {
+  Mat4 a = Mat4::Zero();
+  Rng rng(127);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) a(i, j) = rng.Uniform(-5, 5);
+  }
+  const Mat4 product = a * Mat4::Identity();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(product(i, j), a(i, j));
+  }
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Mat4 a = Mat4::Zero();
+  a(0, 1) = 3.0;
+  a(2, 3) = -2.0;
+  const Mat4 att = a.Transpose().Transpose();
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(att(i, j), a(i, j));
+  }
+}
+
+TEST(MatrixTest, Invert2x2) {
+  Mat2 a;
+  a(0, 0) = 4;
+  a(0, 1) = 7;
+  a(1, 0) = 2;
+  a(1, 1) = 6;
+  Mat2 inv;
+  ASSERT_TRUE(Invert2x2(a, &inv));
+  const Mat2 product = a * inv;
+  EXPECT_NEAR(product(0, 0), 1.0, 1e-12);
+  EXPECT_NEAR(product(0, 1), 0.0, 1e-12);
+  EXPECT_NEAR(product(1, 1), 1.0, 1e-12);
+}
+
+TEST(MatrixTest, Invert2x2SingularFails) {
+  Mat2 a;
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  Mat2 inv;
+  EXPECT_FALSE(Invert2x2(a, &inv));
+}
+
+TEST(MatrixTest, Invert4x4RandomMatrices) {
+  Rng rng(131);
+  for (int trial = 0; trial < 50; ++trial) {
+    Mat4 a = Mat4::Identity();  // diagonally dominated → invertible
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        a(i, j) += rng.Uniform(-0.4, 0.4);
+        if (i == j) a(i, j) += 2.0;
+      }
+    }
+    Mat4 inv;
+    ASSERT_TRUE(Invert4x4(a, &inv));
+    const Mat4 product = a * inv;
+    for (int i = 0; i < 4; ++i) {
+      for (int j = 0; j < 4; ++j) {
+        EXPECT_NEAR(product(i, j), i == j ? 1.0 : 0.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(MatrixTest, Invert4x4SingularFails) {
+  Mat4 a = Mat4::Zero();  // rank 0
+  Mat4 inv;
+  EXPECT_FALSE(Invert4x4(a, &inv));
+}
+
+// --- Kalman -------------------------------------------------------------
+
+TEST(KalmanTest, StaticTargetConverges) {
+  KalmanCv kf(0.05);
+  Rng rng(137);
+  const EnuPoint truth(500.0, -300.0);
+  for (int i = 0; i < 60; ++i) {
+    PositionMeasurement z;
+    z.t = i * 1000;
+    z.position = EnuPoint(truth.east + rng.Gaussian(0, 10),
+                          truth.north + rng.Gaussian(0, 10));
+    z.sigma_m = 10.0;
+    kf.Update(z);
+  }
+  const EnuPoint estimate = kf.PositionEstimate();
+  // After 60 measurements the filtered error is far below the raw 10 m noise.
+  EXPECT_LT((estimate - truth).Norm(), 5.0);
+  EXPECT_LT(kf.VelocityEstimate().Norm(), 0.5);
+}
+
+TEST(KalmanTest, ConstantVelocityTracked) {
+  KalmanCv kf(0.2);
+  Rng rng(139);
+  const double ve = 4.0, vn = -2.0;
+  for (int i = 0; i <= 120; ++i) {
+    PositionMeasurement z;
+    z.t = i * 1000;
+    z.position = EnuPoint(ve * i + rng.Gaussian(0, 15),
+                          vn * i + rng.Gaussian(0, 15));
+    z.sigma_m = 15.0;
+    kf.Update(z);
+  }
+  const EnuPoint v = kf.VelocityEstimate();
+  EXPECT_NEAR(v.east, ve, 0.5);
+  EXPECT_NEAR(v.north, vn, 0.5);
+}
+
+TEST(KalmanTest, FilteredBeatsRawMeasurements) {
+  // RMSE of filtered positions must undercut raw measurement RMSE.
+  KalmanCv kf(0.3);
+  Rng rng(141);
+  double raw_sq = 0.0, filt_sq = 0.0;
+  int n = 0;
+  for (int i = 0; i <= 200; ++i) {
+    const EnuPoint truth(3.0 * i, 1.5 * i);
+    PositionMeasurement z;
+    z.t = i * 1000;
+    z.position = EnuPoint(truth.east + rng.Gaussian(0, 20),
+                          truth.north + rng.Gaussian(0, 20));
+    z.sigma_m = 20.0;
+    kf.Update(z);
+    if (i > 20) {  // after burn-in
+      raw_sq += (z.position - truth).NormSq();
+      filt_sq += (kf.PositionEstimate() - truth).NormSq();
+      ++n;
+    }
+  }
+  EXPECT_LT(std::sqrt(filt_sq / n), std::sqrt(raw_sq / n) * 0.8);
+}
+
+TEST(KalmanTest, PredictGrowsUncertainty) {
+  KalmanCv kf(0.5);
+  PositionMeasurement z;
+  z.t = 0;
+  z.position = EnuPoint(0, 0);
+  kf.Update(z);
+  const double p0 = kf.Covariance()(0, 0);
+  kf.Predict(60000);
+  EXPECT_GT(kf.Covariance()(0, 0), p0);
+}
+
+TEST(KalmanTest, MahalanobisGatesOutliers) {
+  KalmanCv kf(0.1);
+  Rng rng(149);
+  for (int i = 0; i <= 30; ++i) {
+    PositionMeasurement z;
+    z.t = i * 1000;
+    z.position = EnuPoint(rng.Gaussian(0, 5), rng.Gaussian(0, 5));
+    z.sigma_m = 5.0;
+    kf.Update(z);
+  }
+  PositionMeasurement consistent;
+  consistent.t = kf.time();
+  consistent.position = EnuPoint(0, 0);
+  consistent.sigma_m = 5.0;
+  EXPECT_LT(kf.MahalanobisSq(consistent), 9.21);
+  PositionMeasurement outlier = consistent;
+  outlier.position = EnuPoint(5000, 5000);
+  EXPECT_GT(kf.MahalanobisSq(outlier), 9.21);
+}
+
+// --- Covariance intersection ----------------------------------------------
+
+TEST(CovarianceIntersectionTest, FusedCovarianceNotWorseThanBest) {
+  Vec4 xa = Vec4::Zero(), xb = Vec4::Zero();
+  xa(0, 0) = 100.0;
+  xb(0, 0) = 110.0;
+  Mat4 Pa = Mat4::Identity() * 100.0;  // σ = 10 m
+  Mat4 Pb = Mat4::Identity() * 400.0;  // σ = 20 m
+  const FusedEstimate fused = CovarianceIntersection(xa, Pa, xb, Pb);
+  ASSERT_TRUE(fused.valid);
+  // CI guarantees consistency; trace must not exceed the better input's.
+  EXPECT_LE(fused.P.Trace(), Pa.Trace() + 1e-9);
+  // Fused state leans toward the more certain source.
+  EXPECT_LT(std::abs(fused.x(0, 0) - 100.0), std::abs(fused.x(0, 0) - 110.0));
+}
+
+TEST(CovarianceIntersectionTest, SymmetricInputsGiveMidpoint) {
+  Vec4 xa = Vec4::Zero(), xb = Vec4::Zero();
+  xa(0, 0) = -50.0;
+  xb(0, 0) = 50.0;
+  const Mat4 P = Mat4::Identity() * 100.0;
+  const FusedEstimate fused = CovarianceIntersection(xa, P, xb, P);
+  ASSERT_TRUE(fused.valid);
+  EXPECT_NEAR(fused.x(0, 0), 0.0, 1e-6);
+}
+
+// --- Assignment ------------------------------------------------------------
+
+TEST(AssignmentTest, SimpleDiagonal) {
+  const std::vector<std::vector<double>> cost = {
+      {1.0, 10.0, 10.0}, {10.0, 1.0, 10.0}, {10.0, 10.0, 1.0}};
+  const auto result = SolveAssignment(cost);
+  EXPECT_EQ(result.row_to_col, (std::vector<int>{0, 1, 2}));
+  EXPECT_DOUBLE_EQ(result.total_cost, 3.0);
+}
+
+TEST(AssignmentTest, OffDiagonalOptimum) {
+  // Greedy would pick (0,0)=1 then be forced into 100; optimal crosses.
+  const std::vector<std::vector<double>> cost = {{1.0, 2.0}, {2.0, 100.0}};
+  const auto result = SolveAssignment(cost);
+  EXPECT_EQ(result.row_to_col, (std::vector<int>{1, 0}));
+  EXPECT_DOUBLE_EQ(result.total_cost, 4.0);
+}
+
+TEST(AssignmentTest, RectangularMoreRowsThanCols) {
+  const std::vector<std::vector<double>> cost = {{5.0}, {1.0}, {3.0}};
+  const auto result = SolveAssignment(cost);
+  // Only one column: the cheapest row gets it.
+  EXPECT_EQ(result.row_to_col[1], 0);
+  EXPECT_EQ(result.row_to_col[0], -1);
+  EXPECT_EQ(result.row_to_col[2], -1);
+}
+
+TEST(AssignmentTest, ForbiddenPairsUnassigned) {
+  const double kForbidden = 1e12;
+  const std::vector<std::vector<double>> cost = {{kForbidden, kForbidden},
+                                                 {1.0, kForbidden}};
+  const auto result = SolveAssignment(cost, kForbidden);
+  EXPECT_EQ(result.row_to_col[0], -1);
+  EXPECT_EQ(result.row_to_col[1], 0);
+}
+
+TEST(AssignmentTest, MatchesBruteForceOnRandomInstances) {
+  Rng rng(151);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 2 + static_cast<int>(rng.NextBounded(4));  // 2..5
+    std::vector<std::vector<double>> cost(n, std::vector<double>(n));
+    for (auto& row : cost) {
+      for (auto& c : row) c = rng.Uniform(0, 100);
+    }
+    const auto result = SolveAssignment(cost);
+    // Brute force over permutations.
+    std::vector<int> perm(n);
+    for (int i = 0; i < n; ++i) perm[i] = i;
+    double best = 1e18;
+    do {
+      double total = 0.0;
+      for (int i = 0; i < n; ++i) total += cost[i][perm[i]];
+      best = std::min(best, total);
+    } while (std::next_permutation(perm.begin(), perm.end()));
+    EXPECT_NEAR(result.total_cost, best, 1e-9) << "n=" << n;
+  }
+}
+
+// --- MultiTargetTracker -----------------------------------------------------
+
+Contact MakeContact(Timestamp t, const GeoPoint& pos, double sigma = 50.0,
+                    Mmsi mmsi = 0) {
+  Contact c;
+  c.t = t;
+  c.position = pos;
+  c.sigma_m = sigma;
+  c.sensor = mmsi == 0 ? SensorKind::kRadar : SensorKind::kAis;
+  c.mmsi = mmsi;
+  return c;
+}
+
+TEST(TrackerTest, SingleTargetConfirmsAndTracks) {
+  const GeoPoint origin(40.0, 5.0);
+  MultiTargetTracker tracker(origin);
+  Rng rng(157);
+  // Target moving east at 10 m/s.
+  for (int i = 0; i < 10; ++i) {
+    const GeoPoint truth = Destination(origin, 90.0, 10.0 * i * 6.0);
+    const GeoPoint noisy =
+        Destination(truth, rng.Uniform(0, 360), std::abs(rng.Gaussian(0, 30)));
+    tracker.ProcessScan({MakeContact(i * 6000, noisy)}, i * 6000);
+  }
+  const auto confirmed = tracker.ConfirmedTracks();
+  ASSERT_EQ(confirmed.size(), 1u);
+  const MotionState motion = tracker.TrackMotion(*confirmed[0]);
+  EXPECT_NEAR(motion.speed_mps, 10.0, 2.5);
+  EXPECT_NEAR(AngleDifference(motion.course_deg, 90.0), 0.0, 15.0);
+}
+
+TEST(TrackerTest, IsolatedFalseAlarmNeverConfirms) {
+  MultiTargetTracker tracker(GeoPoint(40.0, 5.0));
+  tracker.ProcessScan({MakeContact(0, GeoPoint(40.2, 5.2))}, 0);
+  for (int i = 1; i < 8; ++i) {
+    tracker.ProcessScan({}, i * 6000);  // nothing afterwards
+  }
+  EXPECT_TRUE(tracker.ConfirmedTracks().empty());
+  EXPECT_TRUE(tracker.LiveTracks().empty());  // tentative died
+}
+
+TEST(TrackerTest, TwoWellSeparatedTargets) {
+  MultiTargetTracker tracker(GeoPoint(40.0, 5.0));
+  for (int i = 0; i < 10; ++i) {
+    const Timestamp t = i * 6000;
+    std::vector<Contact> scan = {
+        MakeContact(t, Destination(GeoPoint(40.0, 5.0), 90.0, 8.0 * i * 6)),
+        MakeContact(t, Destination(GeoPoint(40.3, 5.0), 270.0, 6.0 * i * 6)),
+    };
+    tracker.ProcessScan(scan, t);
+  }
+  EXPECT_EQ(tracker.ConfirmedTracks().size(), 2u);
+}
+
+TEST(TrackerTest, MissedScansCoastThenDie) {
+  MultiTargetTracker::Options opts;
+  opts.max_misses = 3;
+  opts.max_coast_ms = 30000;
+  MultiTargetTracker tracker(GeoPoint(40.0, 5.0), opts);
+  for (int i = 0; i < 5; ++i) {
+    tracker.ProcessScan(
+        {MakeContact(i * 6000, Destination(GeoPoint(40.0, 5.0), 90.0, 60.0 * i))},
+        i * 6000);
+  }
+  ASSERT_EQ(tracker.ConfirmedTracks().size(), 1u);
+  const uint64_t id = tracker.ConfirmedTracks()[0]->id;
+  // Starve the track.
+  Timestamp t = 5 * 6000;
+  for (int i = 0; i < 4; ++i, t += 6000) tracker.ProcessScan({}, t);
+  const Track* coasted = tracker.Find(id);
+  ASSERT_NE(coasted, nullptr);
+  EXPECT_EQ(coasted->status, TrackStatus::kCoasted);
+  // Past the coast budget the track is dropped.
+  t += 40000;
+  tracker.ProcessScan({}, t);
+  EXPECT_EQ(tracker.Find(id), nullptr);
+}
+
+TEST(TrackerTest, AisIdentityBindsToTrack) {
+  MultiTargetTracker tracker(GeoPoint(40.0, 5.0));
+  for (int i = 0; i < 6; ++i) {
+    const GeoPoint pos = Destination(GeoPoint(40.0, 5.0), 90.0, 50.0 * i);
+    tracker.ProcessScan({MakeContact(i * 6000, pos, 10.0, 228000123)},
+                        i * 6000);
+  }
+  const auto tracks = tracker.ConfirmedTracks();
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0]->mmsi, 228000123u);
+  EXPECT_TRUE(tracks[0]->sensors_seen & (1 << static_cast<int>(SensorKind::kAis)));
+}
+
+TEST(TrackerTest, RadarAndAisFuseIntoOneTrack) {
+  // Interleaved AIS (with identity) and radar (anonymous) contacts of the
+  // same vessel must end up in one track touched by both sensors.
+  MultiTargetTracker tracker(GeoPoint(40.0, 5.0));
+  Rng rng(163);
+  for (int i = 0; i < 12; ++i) {
+    const Timestamp t = i * 5000;
+    const GeoPoint truth = Destination(GeoPoint(40.0, 5.0), 45.0, 7.0 * i * 5);
+    std::vector<Contact> scan;
+    if (i % 2 == 0) {
+      scan.push_back(MakeContact(
+          t, Destination(truth, rng.Uniform(0, 360), 8.0), 10.0, 228000001));
+    } else {
+      scan.push_back(MakeContact(
+          t, Destination(truth, rng.Uniform(0, 360), 40.0), 60.0, 0));
+    }
+    tracker.ProcessScan(scan, t);
+  }
+  const auto tracks = tracker.ConfirmedTracks();
+  ASSERT_EQ(tracks.size(), 1u);
+  EXPECT_EQ(tracks[0]->mmsi, 228000001u);
+  const uint32_t both = (1u << static_cast<int>(SensorKind::kAis)) |
+                        (1u << static_cast<int>(SensorKind::kRadar));
+  EXPECT_EQ(tracks[0]->sensors_seen & both, both);
+}
+
+TEST(TrackerTest, CrossingTargetsKeepDistinctTracks) {
+  // Two targets crossing paths; identity constraints keep them apart.
+  MultiTargetTracker tracker(GeoPoint(40.0, 5.0));
+  for (int i = 0; i < 14; ++i) {
+    const Timestamp t = i * 6000;
+    const GeoPoint a =
+        Destination(GeoPoint(39.95, 5.0), 0.0, 8.0 * i * 6);   // northbound
+    const GeoPoint b =
+        Destination(GeoPoint(40.05, 5.0), 180.0, 8.0 * i * 6); // southbound
+    tracker.ProcessScan({MakeContact(t, a, 10.0, 111111111),
+                         MakeContact(t, b, 10.0, 222222222)},
+                        t);
+  }
+  const auto tracks = tracker.ConfirmedTracks();
+  ASSERT_EQ(tracks.size(), 2u);
+  EXPECT_NE(tracks[0]->mmsi, tracks[1]->mmsi);
+}
+
+}  // namespace
+}  // namespace marlin

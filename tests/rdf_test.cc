@@ -1,0 +1,352 @@
+// Unit tests for marlin_rdf: dictionary, triple store, BGP queries,
+// semantic trajectory annotation, link discovery.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.h"
+#include "rdf/annotator.h"
+#include "rdf/dictionary.h"
+#include "rdf/link_discovery.h"
+#include "rdf/triple_store.h"
+#include "rdf/vocabulary.h"
+
+namespace marlin {
+namespace {
+
+// --- TermDictionary ---------------------------------------------------------
+
+TEST(DictionaryTest, InternIsIdempotent) {
+  TermDictionary dict;
+  const TermId a = dict.Iri("dtc:Vessel");
+  const TermId b = dict.Iri("dtc:Vessel");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(DictionaryTest, KindsAreDistinct) {
+  TermDictionary dict;
+  const TermId iri = dict.Iri("42");
+  const TermId str = dict.Literal("42");
+  const TermId num = dict.IntLiteral(42);
+  EXPECT_NE(iri, str);
+  EXPECT_NE(str, num);
+  EXPECT_EQ(dict.Kind(iri), TermKind::kIri);
+  EXPECT_EQ(dict.Kind(str), TermKind::kString);
+  EXPECT_EQ(dict.Kind(num), TermKind::kInt);
+}
+
+TEST(DictionaryTest, FindWithoutIntern) {
+  TermDictionary dict;
+  EXPECT_EQ(dict.Find(TermKind::kIri, "missing"), kInvalidTermId);
+  const TermId id = dict.Iri("present");
+  EXPECT_EQ(dict.Find(TermKind::kIri, "present"), id);
+}
+
+TEST(DictionaryTest, NumericValues) {
+  TermDictionary dict;
+  EXPECT_DOUBLE_EQ(dict.NumericValue(dict.IntLiteral(-17)), -17.0);
+  EXPECT_NEAR(dict.NumericValue(dict.DoubleLiteral(3.25)), 3.25, 1e-9);
+  EXPECT_DOUBLE_EQ(dict.NumericValue(dict.Literal("text")), 0.0);
+}
+
+TEST(DictionaryTest, LexicalRoundTrip) {
+  TermDictionary dict;
+  const TermId id = dict.Iri("dtc:vessel/228000001");
+  EXPECT_EQ(dict.Lexical(id), "dtc:vessel/228000001");
+}
+
+// --- TripleStore ----------------------------------------------------------
+
+class TripleStoreTest : public ::testing::Test {
+ protected:
+  TripleStoreTest() : store_(&dict_) {
+    // Small ship graph.
+    v1_ = dict_.Iri("v1");
+    v2_ = dict_.Iri("v2");
+    type_ = dict_.Iri(vocab::kType);
+    vessel_ = dict_.Iri(vocab::kVessel);
+    flag_ = dict_.Iri(vocab::kFlag);
+    fr_ = dict_.Literal("FR");
+    mt_ = dict_.Literal("MT");
+    store_.Add(v1_, type_, vessel_);
+    store_.Add(v2_, type_, vessel_);
+    store_.Add(v1_, flag_, fr_);
+    store_.Add(v2_, flag_, mt_);
+  }
+  TermDictionary dict_;
+  TripleStore store_;
+  TermId v1_, v2_, type_, vessel_, flag_, fr_, mt_;
+};
+
+TEST_F(TripleStoreTest, MatchBySubject) {
+  const auto hits = store_.Match(v1_, std::nullopt, std::nullopt);
+  EXPECT_EQ(hits.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, MatchByPredicateObject) {
+  const auto hits = store_.Match(std::nullopt, type_, vessel_);
+  EXPECT_EQ(hits.size(), 2u);
+  const auto flags = store_.Match(std::nullopt, flag_, fr_);
+  ASSERT_EQ(flags.size(), 1u);
+  EXPECT_EQ(flags[0].s, v1_);
+}
+
+TEST_F(TripleStoreTest, MatchByObjectOnly) {
+  const auto hits = store_.Match(std::nullopt, std::nullopt, mt_);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].s, v2_);
+}
+
+TEST_F(TripleStoreTest, FullScanAndDedup) {
+  store_.Add(v1_, type_, vessel_);  // duplicate
+  store_.Commit();
+  EXPECT_EQ(store_.size(), 4u);
+  const auto all = store_.Match(std::nullopt, std::nullopt, std::nullopt);
+  EXPECT_EQ(all.size(), 4u);
+}
+
+TEST_F(TripleStoreTest, BgpJoinFindsFrenchVessels) {
+  // ?v rdf:type dtc:Vessel . ?v dtc:flag "FR"
+  using TP = TriplePattern;
+  const std::vector<TriplePattern> bgp = {
+      {TP::Var(0), static_cast<int64_t>(type_), static_cast<int64_t>(vessel_)},
+      {TP::Var(0), static_cast<int64_t>(flag_), static_cast<int64_t>(fr_)},
+  };
+  const auto rows = store_.Query(bgp, 1);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0][0], v1_);
+}
+
+TEST_F(TripleStoreTest, BgpWithTwoVariables) {
+  // ?v dtc:flag ?f — every vessel with its flag.
+  using TP = TriplePattern;
+  const std::vector<TriplePattern> bgp = {
+      {TP::Var(0), static_cast<int64_t>(flag_), TP::Var(1)},
+  };
+  const auto rows = store_.Query(bgp, 2);
+  EXPECT_EQ(rows.size(), 2u);
+}
+
+TEST_F(TripleStoreTest, BgpNoMatches) {
+  using TP = TriplePattern;
+  const TermId missing = dict_.Literal("XX");
+  const std::vector<TriplePattern> bgp = {
+      {TP::Var(0), static_cast<int64_t>(flag_), static_cast<int64_t>(missing)},
+  };
+  EXPECT_TRUE(store_.Query(bgp, 1).empty());
+}
+
+TEST_F(TripleStoreTest, SharedVariableJoinConsistency) {
+  // ?a flag ?f . ?b flag ?f  — pairs sharing a flag (incl. self-pairs).
+  using TP = TriplePattern;
+  const std::vector<TriplePattern> bgp = {
+      {TP::Var(0), static_cast<int64_t>(flag_), TP::Var(2)},
+      {TP::Var(1), static_cast<int64_t>(flag_), TP::Var(2)},
+  };
+  const auto rows = store_.Query(bgp, 3);
+  // v1-v1 (FR) and v2-v2 (MT): flags are unique, so only self-pairs.
+  EXPECT_EQ(rows.size(), 2u);
+  for (const auto& row : rows) EXPECT_EQ(row[0], row[1]);
+}
+
+// --- Annotator -----------------------------------------------------------
+
+Trajectory MakeTrajectory(uint32_t mmsi, int n) {
+  Trajectory traj;
+  traj.mmsi = mmsi;
+  for (int i = 0; i < n; ++i) {
+    TrajectoryPoint p;
+    p.t = 1000000 + i * 10000;
+    p.position = GeoPoint(40.0 + 0.001 * i, 5.0 + 0.002 * i);
+    p.sog_mps = 8.0f + 0.1f * static_cast<float>(i % 3);
+    p.cog_deg = 45.0f;
+    traj.points.push_back(p);
+  }
+  return traj;
+}
+
+TEST(AnnotatorTest, EmitsExpectedGraphShape) {
+  TermDictionary dict;
+  TripleStore store(&dict);
+  TrajectoryAnnotator annotator(&store);
+  const Trajectory traj = MakeTrajectory(228000001, 10);
+  const size_t emitted = annotator.Annotate(traj);
+  EXPECT_GT(emitted, 10u * 7u);  // ≥ 7 triples per position
+  store.Commit();
+  // The vessel node exists with its MMSI.
+  const TermId vessel =
+      dict.Find(TermKind::kIri, TrajectoryAnnotator::VesselIri(228000001));
+  ASSERT_NE(vessel, kInvalidTermId);
+  const auto mmsi_triples =
+      store.Match(vessel, dict.Find(TermKind::kIri, vocab::kMmsi),
+                  std::nullopt);
+  ASSERT_EQ(mmsi_triples.size(), 1u);
+  EXPECT_DOUBLE_EQ(dict.NumericValue(mmsi_triples[0].o), 228000001.0);
+}
+
+TEST(AnnotatorTest, QueryBackMatchesOriginal) {
+  TermDictionary dict;
+  TripleStore store(&dict);
+  TrajectoryAnnotator annotator(&store);
+  const Trajectory traj = MakeTrajectory(228000001, 40);
+  annotator.Annotate(traj);
+  const auto points = QueryTrajectoryFromRdf(store, 228000001,
+                                             traj.StartTime(), traj.EndTime());
+  ASSERT_EQ(points.size(), traj.points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].t, traj.points[i].t);
+    EXPECT_NEAR(points[i].position.lat, traj.points[i].position.lat, 1e-7);
+    EXPECT_NEAR(points[i].position.lon, traj.points[i].position.lon, 1e-7);
+    EXPECT_NEAR(points[i].sog_mps, traj.points[i].sog_mps, 1e-4);
+  }
+}
+
+TEST(AnnotatorTest, TimeWindowFilters) {
+  TermDictionary dict;
+  TripleStore store(&dict);
+  TrajectoryAnnotator annotator(&store);
+  const Trajectory traj = MakeTrajectory(1, 40);
+  annotator.Annotate(traj);
+  const auto points = QueryTrajectoryFromRdf(
+      store, 1, traj.points[10].t, traj.points[19].t);
+  EXPECT_EQ(points.size(), 10u);
+}
+
+TEST(AnnotatorTest, UnknownVesselYieldsNothing) {
+  TermDictionary dict;
+  TripleStore store(&dict);
+  EXPECT_TRUE(QueryTrajectoryFromRdf(store, 42, 0, 1e15).empty());
+}
+
+TEST(AnnotatorTest, SegmentsChainViaNextSegment) {
+  TermDictionary dict;
+  TripleStore store(&dict);
+  TrajectoryAnnotator::Options opts;
+  opts.points_per_segment = 8;
+  TrajectoryAnnotator annotator(&store, opts);
+  annotator.Annotate(MakeTrajectory(7, 30));  // 4 segments
+  store.Commit();
+  const auto next_links = store.Match(
+      std::nullopt, dict.Find(TermKind::kIri, vocab::kNextSegment),
+      std::nullopt);
+  EXPECT_EQ(next_links.size(), 3u);  // 4 segments → 3 chain edges
+}
+
+// --- Link discovery ---------------------------------------------------------
+
+LinkEntity MakeVesselEntity(const std::string& id, const std::string& name,
+                            double length, const std::string& flag) {
+  LinkEntity e;
+  e.id = id;
+  e.strings["name"] = name;
+  e.strings["flag"] = flag;
+  e.numbers["length"] = length;
+  return e;
+}
+
+LinkSpec VesselLinkSpec() {
+  LinkSpec spec;
+  spec.comparisons = {
+      {"name", "name", LinkMetric::kLevenshtein, 0.6, 0.0},
+      {"length", "length", LinkMetric::kNumericAbs, 0.3, 10.0},
+      {"flag", "flag", LinkMetric::kExact, 0.1, 0.0},
+  };
+  spec.threshold = 0.8;
+  spec.blocking_property = "name";
+  spec.blocking_prefix = 3;
+  return spec;
+}
+
+TEST(LinkDiscoveryTest, ExactDuplicatesLink) {
+  const auto a = MakeVesselEntity("mt:1", "SEA SPIRIT", 120, "FR");
+  const auto b = MakeVesselEntity("ll:9", "SEA SPIRIT", 120, "FR");
+  EXPECT_DOUBLE_EQ(ScorePair(a, b, VesselLinkSpec()), 1.0);
+}
+
+TEST(LinkDiscoveryTest, SlightVariationsStillLink) {
+  // The paper's scenario: "the length may differ slightly, or the flag may
+  // be different due to a lack of update in one source".
+  const auto a = MakeVesselEntity("mt:1", "SEA SPIRIT", 120, "FR");
+  const auto b = MakeVesselEntity("ll:9", "SEA SPIRIT", 123, "MT");
+  const double score = ScorePair(a, b, VesselLinkSpec());
+  EXPECT_GT(score, 0.8);
+  EXPECT_LT(score, 1.0);
+}
+
+TEST(LinkDiscoveryTest, DifferentVesselsDoNotLink) {
+  const auto a = MakeVesselEntity("mt:1", "SEA SPIRIT", 120, "FR");
+  const auto b = MakeVesselEntity("ll:9", "OCEAN QUEEN", 280, "PA");
+  EXPECT_LT(ScorePair(a, b, VesselLinkSpec()), 0.5);
+}
+
+TEST(LinkDiscoveryTest, DiscoverWithBlocking) {
+  std::vector<LinkEntity> source, target;
+  Rng rng(113);
+  for (int i = 0; i < 100; ++i) {
+    // Leading letter varies so hash blocking actually partitions the space.
+    const std::string name = std::string(1, static_cast<char>('A' + i % 26)) +
+                             "X VESSEL " + std::to_string(i);
+    // Lengths spread 7 m apart so near-duplicate *names* (VESSEL 1 vs
+    // VESSEL 2) cannot sneak over the threshold via length similarity.
+    const double length = 80 + i * 7;
+    source.push_back(
+        MakeVesselEntity("a:" + std::to_string(i), name, length, "FR"));
+    // Target side: same vessels with small length perturbations.
+    target.push_back(MakeVesselEntity("b:" + std::to_string(i), name,
+                                      length + rng.Uniform(-2, 2), "FR"));
+  }
+  LinkStats stats;
+  const auto links = DiscoverLinks(source, target, VesselLinkSpec(), &stats);
+  EXPECT_EQ(links.size(), 100u);
+  // Blocking must prune the quadratic space.
+  EXPECT_LT(stats.candidate_pairs, stats.total_pairs);
+  // Every link matches the right partner.
+  for (const auto& link : links) {
+    EXPECT_EQ(link.source_id.substr(2), link.target_id.substr(2));
+  }
+}
+
+TEST(LinkDiscoveryTest, NoBlockingComparesAllPairs) {
+  std::vector<LinkEntity> source = {MakeVesselEntity("a", "X", 100, "FR")};
+  std::vector<LinkEntity> target = {MakeVesselEntity("b", "Y", 100, "FR"),
+                                    MakeVesselEntity("c", "Z", 100, "FR")};
+  LinkSpec spec = VesselLinkSpec();
+  spec.blocking_property.clear();
+  LinkStats stats;
+  DiscoverLinks(source, target, spec, &stats);
+  EXPECT_EQ(stats.candidate_pairs, 2u);
+  EXPECT_EQ(stats.total_pairs, 2u);
+}
+
+TEST(LinkDiscoveryTest, GeoDistanceMetric) {
+  LinkEntity a, b;
+  a.id = "a";
+  b.id = "b";
+  a.points["pos"] = GeoPoint(40.0, 5.0);
+  b.points["pos"] = GeoPoint(40.0, 5.01);  // ≈ 850 m apart
+  LinkSpec spec;
+  spec.comparisons = {{"pos", "pos", LinkMetric::kGeoDistance, 1.0, 2000.0}};
+  spec.threshold = 0.5;
+  const double score = ScorePair(a, b, spec);
+  EXPECT_GT(score, 0.5);
+  EXPECT_LT(score, 0.7);
+}
+
+TEST(LinkDiscoveryTest, ResultsSortedByScore) {
+  std::vector<LinkEntity> source = {MakeVesselEntity("a", "ALPHA", 100, "FR")};
+  std::vector<LinkEntity> target = {
+      MakeVesselEntity("exact", "ALPHA", 100, "FR"),
+      MakeVesselEntity("close", "ALPHA", 104, "FR")};
+  LinkSpec spec = VesselLinkSpec();
+  spec.threshold = 0.5;
+  spec.blocking_property.clear();
+  const auto links = DiscoverLinks(source, target, spec);
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0].target_id, "exact");
+  EXPECT_GE(links[0].score, links[1].score);
+}
+
+}  // namespace
+}  // namespace marlin

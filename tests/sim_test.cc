@@ -1,0 +1,547 @@
+// Unit tests for marlin_sim: world geometry, vessel behaviours, receiver
+// model, radar simulator, and full scenario generation.
+
+#include <gtest/gtest.h>
+
+#include "ais/codec.h"
+#include "ais/validation.h"
+#include "common/units.h"
+#include "geo/geodesy.h"
+#include "sim/radar.h"
+#include "sim/receiver.h"
+#include "sim/scenario.h"
+#include "sim/vessel_sim.h"
+#include "sim/world.h"
+
+namespace marlin {
+namespace {
+
+// --- World -------------------------------------------------------------------
+
+TEST(WorldTest, BasinIsWellFormed) {
+  const World world = World::Basin();
+  EXPECT_GE(world.ports().size(), 6u);
+  EXPECT_GE(world.lanes().size(), 8u);
+  EXPECT_GE(world.fishing_grounds().size(), 2u);
+  for (const Lane& lane : world.lanes()) {
+    ASSERT_GE(lane.waypoints.size(), 2u);
+    // Lanes start and end at their ports.
+    EXPECT_LT(HaversineDistance(lane.waypoints.front(),
+                                world.ports()[lane.from_port].position),
+              1.0);
+    EXPECT_LT(HaversineDistance(lane.waypoints.back(),
+                                world.ports()[lane.to_port].position),
+              1.0);
+  }
+}
+
+TEST(WorldTest, ZonesDerivedFromGeography) {
+  const World world = World::Basin();
+  const ZoneDatabase& zones = world.zones();
+  // 2 zones per port + grounds + 2 EEZs.
+  EXPECT_GE(zones.size(), world.ports().size() * 2 + 2);
+  // Port centre is inside its port zone.
+  const auto at_port = zones.ZonesAt(world.ports()[0].position);
+  bool found_port = false;
+  for (const auto* z : at_port) {
+    if (z->type == ZoneType::kPort) found_port = true;
+  }
+  EXPECT_TRUE(found_port);
+  // The protected ground exists and prohibits fishing.
+  bool found_protected = false;
+  for (const auto& z : zones.zones()) {
+    if (z.type == ZoneType::kProtectedArea) {
+      found_protected = true;
+      EXPECT_TRUE(z.fishing_prohibited);
+    }
+  }
+  EXPECT_TRUE(found_protected);
+}
+
+TEST(WorldTest, EveryPointInExactlyOneEez) {
+  const World world = World::Basin();
+  const BoundingBox bounds = world.Bounds();
+  for (double lat = bounds.min_lat + 0.2; lat < bounds.max_lat;
+       lat += 1.7) {
+    for (double lon = bounds.min_lon + 0.2; lon < bounds.max_lon;
+         lon += 2.3) {
+      const auto eez =
+          world.zones().ZonesAt(GeoPoint(lat, lon), ZoneType::kEez);
+      EXPECT_EQ(eez.size(), 1u) << lat << "," << lon;
+    }
+  }
+}
+
+TEST(WorldTest, LanesFromPort) {
+  const World world = World::Basin();
+  const auto lanes = world.LanesFrom(0);
+  EXPECT_FALSE(lanes.empty());
+  for (int lane : lanes) {
+    EXPECT_EQ(world.lanes()[lane].from_port, 0);
+  }
+}
+
+TEST(WorldTest, GlobalWorldSpansTheGlobe) {
+  const World world = World::Global();
+  const BoundingBox bounds = world.Bounds();
+  EXPECT_LT(bounds.min_lat, -20.0);
+  EXPECT_GT(bounds.max_lat, 50.0);
+  EXPECT_LT(bounds.min_lon, -100.0);
+  EXPECT_GT(bounds.max_lon, 100.0);
+}
+
+// --- Vessel simulation ----------------------------------------------------
+
+TEST(VesselSimTest, TransitFollowsLane) {
+  const World world = World::Basin();
+  VesselSpec spec;
+  spec.mmsi = 228000001;
+  spec.behaviour = Behaviour::kTransit;
+  spec.lane = 0;
+  spec.speed_knots = 12.0;
+  spec.depart_time = 0;
+  Rng rng(211);
+  const auto states =
+      SimulateVessel(spec, world, 0, Hours(4), Seconds(10), &rng);
+  ASSERT_FALSE(states.empty());
+  // The vessel moves.
+  EXPECT_GT(HaversineDistance(states.front().position, states.back().position),
+            10000.0);
+  // Every position stays within ~3 km of the lane polyline (wander bound).
+  const auto& lane = world.lanes()[0].waypoints;
+  for (size_t i = 0; i < states.size(); i += 50) {
+    EXPECT_LT(DistanceToPolyline(states[i].position, lane), 3000.0);
+  }
+  // Speed while underway is near the commanded speed.
+  double max_speed = 0.0;
+  for (const auto& s : states) max_speed = std::max(max_speed, s.sog_mps);
+  EXPECT_NEAR(max_speed, KnotsToMps(12.0), KnotsToMps(12.0) * 0.35);
+}
+
+TEST(VesselSimTest, DepartTimeRespected) {
+  const World world = World::Basin();
+  VesselSpec spec;
+  spec.behaviour = Behaviour::kTransit;
+  spec.lane = 1;
+  spec.depart_time = Hours(1);
+  Rng rng(213);
+  const auto states =
+      SimulateVessel(spec, world, 0, Hours(2), Seconds(10), &rng);
+  // Stationary before departure.
+  for (const auto& s : states) {
+    if (s.t < spec.depart_time) {
+      EXPECT_DOUBLE_EQ(s.sog_mps, 0.0);
+    }
+  }
+}
+
+TEST(VesselSimTest, DarkWindowsSuppressTransmission) {
+  const World world = World::Basin();
+  VesselSpec spec;
+  spec.behaviour = Behaviour::kGoDark;
+  spec.lane = 0;
+  spec.depart_time = 0;
+  spec.dark_windows = {{Hours(1), Hours(2)}};
+  Rng rng(217);
+  const auto states =
+      SimulateVessel(spec, world, 0, Hours(3), Seconds(10), &rng);
+  for (const auto& s : states) {
+    const bool in_window = s.t >= Hours(1) && s.t < Hours(2);
+    EXPECT_EQ(s.transmitting, !in_window) << s.t;
+  }
+}
+
+TEST(VesselSimTest, RendezvousPairMeets) {
+  const World world = World::Basin();
+  // Meet 30 km off the lane-0 departure port: reachable in ~1.4 h at 12 kn,
+  // so both vessels arrive before the 2 h meet time and hold there.
+  const GeoPoint start = World::Basin().lanes()[0].waypoints.front();
+  const GeoPoint meet = Destination(start, 45.0, 30000.0);
+  const Timestamp meet_time = Hours(2);
+  VesselSpec a, b;
+  a.mmsi = 1;
+  b.mmsi = 2;
+  a.behaviour = Behaviour::kRendezvousA;
+  b.behaviour = Behaviour::kRendezvousB;
+  a.lane = 0;
+  b.lane = 0;
+  a.speed_knots = b.speed_knots = 12.0;
+  a.meet_point = meet;
+  b.meet_point = Destination(meet, 90.0, 80.0);
+  a.meet_time = b.meet_time = meet_time;
+  a.meet_duration = b.meet_duration = Minutes(30);
+  // Depart early enough to arrive.
+  a.depart_time = b.depart_time = 0;
+  Rng rng(219);
+  const auto sa = SimulateVessel(a, world, 0, Hours(4), Seconds(10), &rng);
+  const auto sb = SimulateVessel(b, world, 0, Hours(4), Seconds(10), &rng);
+  // During the meeting window both are near the meet point and slow.
+  const Timestamp probe = meet_time + Minutes(15);
+  const auto at = [probe](const std::vector<TruthState>& states) {
+    for (const auto& s : states) {
+      if (s.t >= probe) return s;
+    }
+    return states.back();
+  };
+  const TruthState pa = at(sa);
+  const TruthState pb = at(sb);
+  EXPECT_LT(HaversineDistance(pa.position, meet), 2000.0);
+  EXPECT_LT(HaversineDistance(pa.position, pb.position), 2000.0);
+  EXPECT_LT(pa.sog_mps, 1.0);
+}
+
+TEST(VesselSimTest, LoiterStaysConfined) {
+  const World world = World::Basin();
+  VesselSpec spec;
+  spec.behaviour = Behaviour::kLoiter;
+  spec.loiter_centre = GeoPoint(39.0, 1.0);
+  spec.depart_time = 0;
+  Rng rng(223);
+  const auto states =
+      SimulateVessel(spec, world, 0, Hours(3), Seconds(10), &rng);
+  for (size_t i = 0; i < states.size(); i += 20) {
+    EXPECT_LT(HaversineDistance(states[i].position, spec.loiter_centre),
+              3000.0);
+  }
+}
+
+TEST(VesselSimTest, TruthToTrajectoryPreservesOrder) {
+  const World world = World::Basin();
+  VesselSpec spec;
+  spec.behaviour = Behaviour::kTransit;
+  spec.lane = 0;
+  Rng rng(227);
+  const auto states =
+      SimulateVessel(spec, world, 0, Hours(1), Seconds(10), &rng);
+  const Trajectory traj = TruthToTrajectory(42, states);
+  EXPECT_EQ(traj.mmsi, 42u);
+  EXPECT_EQ(traj.points.size(), states.size());
+  for (size_t i = 1; i < traj.points.size(); ++i) {
+    EXPECT_GT(traj.points[i].t, traj.points[i - 1].t);
+  }
+}
+
+// --- Reporting intervals ------------------------------------------------
+
+TEST(ReportingIntervalTest, ItuClassARates) {
+  EXPECT_EQ(ReportingInterval(0.0, true), 3 * kMillisPerMinute);
+  EXPECT_EQ(ReportingInterval(0.1, false), 3 * kMillisPerMinute);
+  EXPECT_EQ(ReportingInterval(10.0, false), 10 * kMillisPerSecond);
+  EXPECT_EQ(ReportingInterval(14.0, false), 10 * kMillisPerSecond);
+  EXPECT_EQ(ReportingInterval(20.0, false), 6 * kMillisPerSecond);
+  EXPECT_EQ(ReportingInterval(25.0, false), 2 * kMillisPerSecond);
+}
+
+// --- ReceiverModel ----------------------------------------------------------
+
+TEST(ReceiverTest, TerrestrialCoverageByRange) {
+  ReceiverModel::Options opts;
+  opts.stations = {{GeoPoint(40.0, 5.0), 50000.0}};
+  opts.terrestrial_loss = 0.0;
+  opts.satellite_period_ms = 0;  // no satellite
+  opts.duplicate_prob = 0.0;
+  ReceiverModel model(opts, 229);
+  // In range: always delivered with small latency.
+  const auto near = model.Deliver(1000000, Destination(GeoPoint(40, 5), 0, 10000));
+  ASSERT_EQ(near.size(), 1u);
+  EXPECT_EQ(near[0].source_id, 1u);
+  EXPECT_GT(near[0].ingest_time, 1000000);
+  EXPECT_LT(near[0].ingest_time, 1000000 + Seconds(10));
+  // Out of range, no satellite: lost.
+  EXPECT_TRUE(
+      model.Deliver(1000000, Destination(GeoPoint(40, 5), 0, 200000)).empty());
+}
+
+TEST(ReceiverTest, SatelliteDutyCycle) {
+  ReceiverModel::Options opts;
+  opts.satellite_period_ms = Minutes(90);
+  opts.satellite_window_ms = Minutes(10);
+  opts.satellite_loss = 0.0;
+  ReceiverModel model(opts, 231);
+  EXPECT_TRUE(model.SatelliteVisible(Minutes(5)));
+  EXPECT_FALSE(model.SatelliteVisible(Minutes(50)));
+  EXPECT_TRUE(model.SatelliteVisible(Minutes(95)));
+  // Delivery during a pass has satellite-scale latency.
+  const auto deliveries = model.Deliver(Minutes(5), GeoPoint(40, 5));
+  ASSERT_EQ(deliveries.size(), 1u);
+  EXPECT_EQ(deliveries[0].source_id, 2u);
+  EXPECT_GE(deliveries[0].ingest_time - Minutes(5), Seconds(30));
+}
+
+TEST(ReceiverTest, LossRateApproximatelyHonoured) {
+  ReceiverModel::Options opts;
+  opts.stations = {{GeoPoint(40.0, 5.0), 100000.0}};
+  opts.terrestrial_loss = 0.25;
+  opts.satellite_period_ms = 0;
+  opts.duplicate_prob = 0.0;
+  ReceiverModel model(opts, 233);
+  int delivered = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (!model.Deliver(i * 1000, GeoPoint(40.0, 5.0)).empty()) ++delivered;
+  }
+  EXPECT_NEAR(static_cast<double>(delivered) / n, 0.75, 0.02);
+}
+
+TEST(ReceiverTest, DuplicatesProduced) {
+  ReceiverModel::Options opts;
+  opts.stations = {{GeoPoint(40.0, 5.0), 100000.0}};
+  opts.terrestrial_loss = 0.0;
+  opts.satellite_period_ms = 0;
+  opts.duplicate_prob = 1.0;  // always duplicate
+  ReceiverModel model(opts, 237);
+  const auto deliveries = model.Deliver(0, GeoPoint(40.0, 5.0));
+  EXPECT_EQ(deliveries.size(), 2u);
+  EXPECT_GT(deliveries[1].ingest_time, deliveries[0].ingest_time);
+}
+
+// --- RadarSimulator ---------------------------------------------------------
+
+TEST(RadarTest, ContactsNearTruthWithinRange) {
+  RadarSite site;
+  site.position = GeoPoint(40.0, 5.0);
+  site.range_m = 50000.0;
+  site.detection_prob = 1.0;
+  site.false_alarms_per_scan = 0.0;
+  site.sigma_m = 50.0;
+  RadarSimulator radar(site, 239);
+  std::map<Mmsi, Trajectory> truth;
+  Trajectory traj;
+  traj.mmsi = 1;
+  for (int i = 0; i < 10; ++i) {
+    TrajectoryPoint p;
+    p.t = i * 6000;
+    p.position = Destination(site.position, 45.0, 20000.0 + 50.0 * i);
+    traj.points.push_back(p);
+  }
+  truth[1] = traj;
+  const auto contacts = radar.Scan(truth, 30000);
+  ASSERT_EQ(contacts.size(), 1u);
+  EXPECT_EQ(contacts[0].mmsi, 0u);  // anonymous
+  EXPECT_LT(HaversineDistance(contacts[0].position, traj.At(30000).position),
+            500.0);
+}
+
+TEST(RadarTest, OutOfRangeInvisible) {
+  RadarSite site;
+  site.position = GeoPoint(40.0, 5.0);
+  site.range_m = 10000.0;
+  site.detection_prob = 1.0;
+  site.false_alarms_per_scan = 0.0;
+  RadarSimulator radar(site, 241);
+  std::map<Mmsi, Trajectory> truth;
+  Trajectory traj;
+  traj.mmsi = 1;
+  TrajectoryPoint p;
+  p.t = 0;
+  p.position = Destination(site.position, 0.0, 50000.0);
+  traj.points.push_back(p);
+  p.t = 100000;
+  traj.points.push_back(p);
+  truth[1] = traj;
+  EXPECT_TRUE(radar.Scan(truth, 50000).empty());
+}
+
+TEST(RadarTest, DetectionProbabilityHonoured) {
+  RadarSite site;
+  site.position = GeoPoint(40.0, 5.0);
+  site.detection_prob = 0.6;
+  site.false_alarms_per_scan = 0.0;
+  RadarSimulator radar(site, 243);
+  std::map<Mmsi, Trajectory> truth;
+  Trajectory traj;
+  traj.mmsi = 1;
+  TrajectoryPoint p;
+  p.t = 0;
+  p.position = Destination(site.position, 90.0, 10000.0);
+  traj.points.push_back(p);
+  p.t = 10000000;
+  traj.points.push_back(p);
+  truth[1] = traj;
+  int detections = 0;
+  const int scans = 5000;
+  for (int i = 0; i < scans; ++i) {
+    detections += static_cast<int>(radar.Scan(truth, i * 1000).size());
+  }
+  EXPECT_NEAR(static_cast<double>(detections) / scans, 0.6, 0.03);
+}
+
+// --- Scenario ----------------------------------------------------------------
+
+class ScenarioTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    world_ = new World(World::Basin());
+    ScenarioConfig config;
+    config.seed = 77;
+    config.duration = Hours(2);
+    config.transit_vessels = 10;
+    config.fishing_vessels = 3;
+    config.loiter_vessels = 1;
+    config.rendezvous_pairs = 1;
+    config.dark_vessels = 2;
+    config.spoof_identity_vessels = 1;
+    config.spoof_teleport_vessels = 1;
+    output_ = new ScenarioOutput(GenerateScenario(*world_, config));
+  }
+  static void TearDownTestSuite() {
+    delete output_;
+    delete world_;
+    output_ = nullptr;
+    world_ = nullptr;
+  }
+  static World* world_;
+  static ScenarioOutput* output_;
+};
+
+World* ScenarioTest::world_ = nullptr;
+ScenarioOutput* ScenarioTest::output_ = nullptr;
+
+TEST_F(ScenarioTest, FleetComposition) {
+  EXPECT_EQ(output_->fleet.size(), 10u + 3 + 1 + 2 + 2 + 1 + 1);
+  EXPECT_EQ(output_->truth.size(), output_->fleet.size());
+}
+
+TEST_F(ScenarioTest, StreamSortedByIngestTime) {
+  ASSERT_GT(output_->nmea.size(), 1000u);
+  for (size_t i = 1; i < output_->nmea.size(); ++i) {
+    EXPECT_LE(output_->nmea[i - 1].ingest_time, output_->nmea[i].ingest_time);
+  }
+}
+
+TEST_F(ScenarioTest, StreamDecodes) {
+  AisDecoder decoder;
+  size_t decoded = 0;
+  const size_t limit = std::min<size_t>(output_->nmea.size(), 5000);
+  for (size_t i = 0; i < limit; ++i) {
+    if (decoder.Decode(output_->nmea[i].payload, output_->nmea[i].ingest_time)
+            .has_value()) {
+      ++decoded;
+    }
+  }
+  // All sentences are well-formed; only pending multi-fragment sentences
+  // don't immediately produce a message.
+  EXPECT_EQ(decoder.stats().bad_sentences, 0u);
+  EXPECT_EQ(decoder.stats().bad_payloads, 0u);
+  EXPECT_GT(decoded, limit / 2);
+}
+
+TEST_F(ScenarioTest, GroundTruthEventsSeeded) {
+  int rendezvous = 0, dark = 0, spoof_id = 0, spoof_tp = 0, loiter = 0;
+  for (const auto& ev : output_->events) {
+    switch (ev.type) {
+      case TrueEventType::kRendezvous:
+        ++rendezvous;
+        EXPECT_NE(ev.vessel_a, 0u);
+        EXPECT_NE(ev.vessel_b, 0u);
+        break;
+      case TrueEventType::kDarkPeriod:
+        ++dark;
+        break;
+      case TrueEventType::kSpoofIdentity:
+        ++spoof_id;
+        break;
+      case TrueEventType::kSpoofTeleport:
+        ++spoof_tp;
+        break;
+      case TrueEventType::kLoitering:
+        ++loiter;
+        break;
+      default:
+        break;
+    }
+  }
+  EXPECT_EQ(rendezvous, 1);
+  EXPECT_GE(dark, 2);
+  EXPECT_EQ(spoof_id, 1);
+  EXPECT_EQ(spoof_tp, 1);
+  EXPECT_EQ(loiter, 1);
+}
+
+TEST_F(ScenarioTest, DeterministicForSameSeed) {
+  ScenarioConfig config;
+  config.seed = 77;
+  config.duration = Hours(2);
+  config.transit_vessels = 10;
+  config.fishing_vessels = 3;
+  config.loiter_vessels = 1;
+  config.rendezvous_pairs = 1;
+  config.dark_vessels = 2;
+  config.spoof_identity_vessels = 1;
+  config.spoof_teleport_vessels = 1;
+  const ScenarioOutput again = GenerateScenario(*world_, config);
+  ASSERT_EQ(again.nmea.size(), output_->nmea.size());
+  for (size_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(again.nmea[i].payload, output_->nmea[i].payload);
+  }
+}
+
+TEST_F(ScenarioTest, SpoofedIdentityAppearsInStream) {
+  // Find the identity-spoof ground truth.
+  Mmsi claimed = 0;
+  for (const auto& ev : output_->events) {
+    if (ev.type == TrueEventType::kSpoofIdentity) claimed = ev.vessel_b;
+  }
+  ASSERT_NE(claimed, 0u);
+  // The claimed MMSI must appear in decoded traffic (transmitted by the
+  // spoofer and possibly the legitimate holder).
+  AisDecoder decoder;
+  bool seen = false;
+  for (const auto& ev : output_->nmea) {
+    const auto msg = decoder.Decode(ev.payload, ev.ingest_time);
+    if (msg.has_value() && MmsiOf(*msg) == claimed) {
+      seen = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(seen);
+}
+
+TEST(ScenarioConfigTest, PerfectReceptionDeliversEverything) {
+  const World world = World::Basin();
+  ScenarioConfig config;
+  config.seed = 99;
+  config.duration = Minutes(30);
+  config.transit_vessels = 3;
+  config.fishing_vessels = 0;
+  config.loiter_vessels = 0;
+  config.rendezvous_pairs = 0;
+  config.dark_vessels = 0;
+  config.spoof_identity_vessels = 0;
+  config.spoof_teleport_vessels = 0;
+  config.perfect_reception = true;
+  const ScenarioOutput out = GenerateScenario(world, config);
+  // Every event has ingest == event time (no latency model).
+  for (const auto& ev : out.nmea) {
+    EXPECT_EQ(ev.ingest_time, ev.event_time);
+  }
+  EXPECT_GT(out.transmissions, 0u);
+}
+
+TEST(ScenarioConfigTest, StaticErrorRateSeedsDefects) {
+  const World world = World::Basin();
+  ScenarioConfig config;
+  config.seed = 101;
+  config.duration = Hours(1);
+  config.transit_vessels = 8;
+  config.fishing_vessels = 0;
+  config.loiter_vessels = 0;
+  config.rendezvous_pairs = 0;
+  config.dark_vessels = 0;
+  config.spoof_identity_vessels = 0;
+  config.spoof_teleport_vessels = 0;
+  config.perfect_reception = true;
+  config.static_error_rate = 0.5;  // high rate so the test is strong
+  const ScenarioOutput out = GenerateScenario(world, config);
+  AisDecoder decoder;
+  QualityAssessor qa;
+  for (const auto& ev : out.nmea) {
+    const auto msg = decoder.Decode(ev.payload, ev.ingest_time);
+    if (msg.has_value()) qa.Observe(*msg);
+  }
+  EXPECT_GT(qa.report().static_messages, 10u);
+  EXPECT_NEAR(qa.report().StaticErrorRate(), 0.5, 0.2);
+}
+
+}  // namespace
+}  // namespace marlin

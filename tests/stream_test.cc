@@ -1,0 +1,292 @@
+// Unit tests for marlin_stream: queues, watermarks, reordering, windows,
+// merging, rate metering.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <thread>
+
+#include "common/rng.h"
+#include "stream/event.h"
+#include "stream/merge.h"
+#include "stream/queue.h"
+#include "stream/rate.h"
+#include "stream/reorder.h"
+#include "stream/watermark.h"
+#include "stream/window.h"
+
+namespace marlin {
+namespace {
+
+// --- BoundedQueue ---------------------------------------------------------
+
+TEST(QueueTest, FifoOrder) {
+  BoundedQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(*q.Pop(), i);
+}
+
+TEST(QueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));  // full: backpressure point
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(QueueTest, CloseDrainsThenSignalsEnd) {
+  BoundedQueue<int> q(10);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));  // closed: rejected
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_EQ(*q.Pop(), 2);
+  EXPECT_FALSE(q.Pop().has_value());  // end of stream
+}
+
+TEST(QueueTest, ProducerConsumerThreads) {
+  BoundedQueue<int> q(4);  // small capacity forces blocking
+  constexpr int kCount = 1000;
+  std::thread producer([&q] {
+    for (int i = 0; i < kCount; ++i) q.Push(i);
+    q.Close();
+  });
+  int expected = 0;
+  int64_t sum = 0;
+  while (auto v = q.Pop()) {
+    EXPECT_EQ(*v, expected++);
+    sum += *v;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kCount);
+  EXPECT_EQ(sum, static_cast<int64_t>(kCount) * (kCount - 1) / 2);
+}
+
+TEST(QueueTest, TryPopNonBlocking) {
+  BoundedQueue<int> q(2);
+  EXPECT_FALSE(q.TryPop().has_value());
+  q.Push(9);
+  EXPECT_EQ(*q.TryPop(), 9);
+}
+
+// --- Watermark ---------------------------------------------------------------
+
+TEST(WatermarkTest, TracksMaxMinusDelay) {
+  WatermarkGenerator wm(5000);
+  EXPECT_EQ(wm.Current(), kMinTimestamp);
+  wm.Observe(100000);
+  EXPECT_EQ(wm.Current(), 95000);
+  wm.Observe(90000);  // older event does not regress the watermark
+  EXPECT_EQ(wm.Current(), 95000);
+  wm.Observe(120000);
+  EXPECT_EQ(wm.Current(), 115000);
+}
+
+TEST(WatermarkTest, LatenessClassification) {
+  WatermarkGenerator wm(5000);
+  wm.Observe(100000);
+  EXPECT_TRUE(wm.IsLate(94000));
+  EXPECT_TRUE(wm.IsLate(95000));  // at the watermark = late
+  EXPECT_FALSE(wm.IsLate(96000));
+}
+
+// --- ReorderBuffer -------------------------------------------------------
+
+TEST(ReorderTest, EmitsInEventTimeOrder) {
+  ReorderBuffer<int> buffer(
+      ReorderBuffer<int>::Options{1000, false});
+  Rng rng(71);
+  std::vector<Event<int>> out;
+  // Events shuffled within a 1 s out-of-orderness bound.
+  for (int i = 0; i < 500; ++i) {
+    const Timestamp base = i * 100;
+    const Timestamp jitter = static_cast<Timestamp>(rng.NextBounded(900));
+    buffer.Push(Event<int>(base + jitter, i), &out);
+  }
+  buffer.Flush(&out);
+  ASSERT_GE(out.size(), 450u);  // some may be dropped as late at the margin
+  for (size_t i = 1; i < out.size(); ++i) {
+    EXPECT_LE(out[i - 1].event_time, out[i].event_time);
+  }
+}
+
+TEST(ReorderTest, DropsLateEvents) {
+  ReorderBuffer<int> buffer(ReorderBuffer<int>::Options{1000, false});
+  std::vector<Event<int>> out;
+  buffer.Push(Event<int>(10000, 1), &out);
+  buffer.Push(Event<int>(20000, 2), &out);  // watermark now 19000
+  buffer.Push(Event<int>(5000, 3), &out);   // far too late
+  buffer.Flush(&out);
+  EXPECT_EQ(buffer.stats().dropped_late, 1u);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].payload, 1);
+  EXPECT_EQ(out[1].payload, 2);
+}
+
+TEST(ReorderTest, EmitLateOptionKeepsThem) {
+  ReorderBuffer<int> buffer(ReorderBuffer<int>::Options{1000, true});
+  std::vector<Event<int>> out;
+  buffer.Push(Event<int>(10000, 1), &out);
+  buffer.Push(Event<int>(20000, 2), &out);
+  buffer.Push(Event<int>(5000, 3), &out);
+  buffer.Flush(&out);
+  EXPECT_EQ(out.size(), 3u);
+  EXPECT_EQ(buffer.stats().late, 1u);
+  EXPECT_EQ(buffer.stats().dropped_late, 0u);
+}
+
+// --- TumblingWindow ---------------------------------------------------------
+
+TEST(TumblingWindowTest, CountsPerKeyPerWindow) {
+  TumblingWindow<int, int, int> win(
+      1000, [](int* acc, const int& v, Timestamp) { *acc += v; });
+  win.Add(1, Event<int>(100, 5));
+  win.Add(1, Event<int>(900, 7));
+  win.Add(2, Event<int>(500, 1));
+  win.Add(1, Event<int>(1100, 9));  // next window
+  std::vector<WindowResult<int, int>> out;
+  win.AdvanceWatermark(1000, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].key, 1);
+  EXPECT_EQ(out[0].aggregate, 12);
+  EXPECT_EQ(out[1].key, 2);
+  EXPECT_EQ(out[1].aggregate, 1);
+  EXPECT_EQ(win.open_windows(), 1u);
+  win.Close(&out);
+  ASSERT_EQ(out.size(), 3u);
+  EXPECT_EQ(out[2].aggregate, 9);
+}
+
+TEST(TumblingWindowTest, AlignmentBoundaries) {
+  TumblingWindow<int, int, int> win(
+      1000, [](int* acc, const int&, Timestamp) { *acc += 1; });
+  win.Add(0, Event<int>(999, 0));
+  win.Add(0, Event<int>(1000, 0));  // belongs to the NEXT window
+  std::vector<WindowResult<int, int>> out;
+  win.Close(&out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].window_start, 0);
+  EXPECT_EQ(out[0].window_end, 1000);
+  EXPECT_EQ(out[1].window_start, 1000);
+}
+
+TEST(TumblingWindowTest, WatermarkDoesNotCloseOpenWindows) {
+  TumblingWindow<int, int, int> win(
+      1000, [](int* acc, const int&, Timestamp) { *acc += 1; });
+  win.Add(0, Event<int>(500, 0));
+  std::vector<WindowResult<int, int>> out;
+  win.AdvanceWatermark(999, &out);
+  EXPECT_TRUE(out.empty());
+  win.AdvanceWatermark(1000, &out);
+  EXPECT_EQ(out.size(), 1u);
+}
+
+// --- SlidingWindow ---------------------------------------------------------
+
+TEST(SlidingWindowTest, EventEntersOverlappingPanes) {
+  // size 1000, slide 500: each event lands in two panes.
+  SlidingWindow<int, int, int> win(
+      1000, 500, [](int* acc, const int&, Timestamp) { *acc += 1; });
+  win.Add(0, Event<int>(750, 0));
+  std::vector<WindowResult<int, int>> out;
+  win.Close(&out);
+  ASSERT_EQ(out.size(), 2u);
+  std::vector<Timestamp> starts = {out[0].window_start, out[1].window_start};
+  std::sort(starts.begin(), starts.end());
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], 500);
+}
+
+TEST(SlidingWindowTest, AggregatesAcrossPanes) {
+  SlidingWindow<int, int, int> win(
+      2000, 1000, [](int* acc, const int& v, Timestamp) { *acc += v; });
+  win.Add(7, Event<int>(100, 1));
+  win.Add(7, Event<int>(1100, 10));
+  win.Add(7, Event<int>(2100, 100));
+  std::vector<WindowResult<int, int>> out;
+  win.Close(&out);
+  // Panes: [-1000,1000)=1? No: starts at 0 and -1000... events assign to
+  // panes [0,2000)={1,10}, [1000,3000)={10,100}, [2000,4000)={100},
+  // [-1000,1000)={1}.
+  ASSERT_EQ(out.size(), 4u);
+  int64_t total = 0;
+  for (const auto& w : out) total += w.aggregate;
+  EXPECT_EQ(total, 2 * (1 + 10 + 100));
+}
+
+// --- StreamMerger ---------------------------------------------------------
+
+TEST(MergeTest, GlobalEventTimeOrder) {
+  std::vector<Event<int>> a, b, c;
+  for (int i = 0; i < 50; ++i) a.push_back(Event<int>(i * 30, 100 + i));
+  for (int i = 0; i < 50; ++i) b.push_back(Event<int>(i * 50 + 7, 200 + i));
+  for (int i = 0; i < 20; ++i) c.push_back(Event<int>(i * 111 + 3, 300 + i));
+  StreamMerger<int> merger(
+      {VectorSource(a), VectorSource(b), VectorSource(c)});
+  const auto merged = merger.DrainAll();
+  EXPECT_EQ(merged.size(), 120u);
+  for (size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].event_time, merged[i].event_time);
+  }
+}
+
+TEST(MergeTest, HandlesEmptySources) {
+  StreamMerger<int> merger({VectorSource(std::vector<Event<int>>{}),
+                            VectorSource(std::vector<Event<int>>{
+                                Event<int>(5, 1)})});
+  const auto merged = merger.DrainAll();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].payload, 1);
+}
+
+TEST(MergeTest, AllEmpty) {
+  StreamMerger<int> merger({});
+  EXPECT_FALSE(merger.Next().has_value());
+}
+
+// --- RateMeter / LatencyReservoir ------------------------------------------
+
+TEST(RateTest, EventsPerSecond) {
+  RateMeter meter;
+  for (int i = 0; i <= 100; ++i) meter.Observe(i * 100);  // 10 evt/s, 10 s
+  EXPECT_EQ(meter.count(), 101u);
+  EXPECT_NEAR(meter.EventsPerSecond(), 10.1, 0.2);
+}
+
+TEST(RateTest, DegenerateCases) {
+  RateMeter meter;
+  EXPECT_EQ(meter.EventsPerSecond(), 0.0);
+  meter.Observe(1000);
+  EXPECT_EQ(meter.EventsPerSecond(), 0.0);  // single event: undefined rate
+}
+
+TEST(LatencyReservoirTest, MeanAndQuantiles) {
+  LatencyReservoir res(1024);
+  for (int i = 1; i <= 1000; ++i) res.Observe(i);
+  EXPECT_EQ(res.count(), 1000u);
+  EXPECT_NEAR(res.Mean(), 500.5, 1e-9);
+  EXPECT_NEAR(static_cast<double>(res.Quantile(0.5)), 500.0, 10.0);
+  EXPECT_NEAR(static_cast<double>(res.Quantile(0.99)), 990.0, 12.0);
+}
+
+TEST(LatencyReservoirTest, BoundedMemoryUnderLongStreams) {
+  LatencyReservoir res(128);
+  for (int i = 0; i < 100000; ++i) res.Observe(i % 1000);
+  EXPECT_EQ(res.count(), 100000u);
+  // Quantiles still roughly reflect the uniform 0..999 distribution.
+  EXPECT_GT(res.Quantile(0.9), 600);
+}
+
+// --- Event helpers --------------------------------------------------------
+
+TEST(EventTest, LatencyComputation) {
+  Event<int> e(1000, 3500, 1, 42);
+  EXPECT_EQ(e.Latency(), 2500);
+  Event<int> no_ingest(1000, 42);
+  EXPECT_EQ(no_ingest.Latency(), 0);
+}
+
+}  // namespace
+}  // namespace marlin

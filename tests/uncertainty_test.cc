@@ -1,0 +1,363 @@
+// Unit tests for marlin_uncertainty: Dempster–Shafer, possibility theory,
+// Bayes/intervals, open-world coverage, source quality.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "uncertainty/bayes.h"
+#include "uncertainty/dempster_shafer.h"
+#include "uncertainty/openworld.h"
+#include "uncertainty/possibility.h"
+#include "uncertainty/source_quality.h"
+
+namespace marlin {
+namespace {
+
+// --- Frame / MassFunction ---------------------------------------------------
+
+class DsTest : public ::testing::Test {
+ protected:
+  DsTest() : frame_({"cargo", "tanker", "fishing"}) {}
+  Frame frame_;
+};
+
+TEST_F(DsTest, FrameBasics) {
+  EXPECT_EQ(frame_.size(), 3);
+  EXPECT_EQ(frame_.Theta(), 0b111u);
+  EXPECT_EQ(frame_.Singleton(1), 0b010u);
+  EXPECT_EQ(frame_.Index("tanker"), 1);
+  EXPECT_EQ(frame_.Index("submarine"), -1);
+  EXPECT_EQ(frame_.SetToString(0b101), "{cargo,fishing}");
+}
+
+TEST_F(DsTest, VacuousBelief) {
+  const MassFunction m = MassFunction::Vacuous(&frame_);
+  EXPECT_DOUBLE_EQ(m.Belief(frame_.Theta()), 1.0);
+  EXPECT_DOUBLE_EQ(m.Belief(frame_.Singleton(0)), 0.0);
+  EXPECT_DOUBLE_EQ(m.Plausibility(frame_.Singleton(0)), 1.0);
+}
+
+TEST_F(DsTest, BeliefPlausibilityDuality) {
+  MassFunction m(&frame_);
+  m.Assign(frame_.Singleton(0), 0.5);
+  m.Assign(0b011, 0.3);  // {cargo, tanker}
+  m.Assign(frame_.Theta(), 0.2);
+  // Bel(A) = 1 - Pl(complement of A).
+  const FocalSet a = 0b001;
+  const FocalSet not_a = 0b110;
+  EXPECT_NEAR(m.Belief(a), 1.0 - m.Plausibility(not_a), 1e-12);
+  EXPECT_NEAR(m.Belief(a), 0.5, 1e-12);
+  EXPECT_NEAR(m.Plausibility(a), 1.0, 1e-12);
+}
+
+TEST_F(DsTest, PignisticSumsToOne) {
+  MassFunction m(&frame_);
+  m.Assign(frame_.Singleton(0), 0.4);
+  m.Assign(0b110, 0.4);
+  m.Assign(frame_.Theta(), 0.2);
+  double total = 0.0;
+  for (int i = 0; i < frame_.size(); ++i) total += m.Pignistic(i);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+  // {tanker,fishing} mass splits evenly between hypotheses 1 and 2.
+  EXPECT_NEAR(m.Pignistic(1), 0.4 / 2 + 0.2 / 3, 1e-12);
+}
+
+TEST_F(DsTest, DempsterCombinationAgreeingSources) {
+  MassFunction a(&frame_), b(&frame_);
+  a.Assign(frame_.Singleton(0), 0.7);
+  a.Assign(frame_.Theta(), 0.3);
+  b.Assign(frame_.Singleton(0), 0.6);
+  b.Assign(frame_.Theta(), 0.4);
+  const auto combined = Combine(a, b, CombinationRule::kDempster);
+  ASSERT_TRUE(combined.ok());
+  // Agreement reinforces: belief in cargo exceeds either input.
+  EXPECT_GT(combined->Belief(frame_.Singleton(0)), 0.7);
+  EXPECT_EQ(combined->Decide(), 0);
+}
+
+TEST_F(DsTest, ZadehParadoxDempsterVsYager) {
+  // Zadeh's classic: two experts almost certain of different hypotheses,
+  // tiny shared mass on the third. Dempster's rule concentrates everything
+  // on the barely-supported hypothesis; Yager keeps conflict on Θ instead.
+  MassFunction a(&frame_), b(&frame_);
+  a.Assign(frame_.Singleton(0), 0.99);
+  a.Assign(frame_.Singleton(2), 0.01);
+  b.Assign(frame_.Singleton(1), 0.99);
+  b.Assign(frame_.Singleton(2), 0.01);
+  const auto dempster = Combine(a, b, CombinationRule::kDempster);
+  ASSERT_TRUE(dempster.ok());
+  EXPECT_NEAR(dempster->Belief(frame_.Singleton(2)), 1.0, 1e-9);
+  const auto yager = Combine(a, b, CombinationRule::kYager);
+  ASSERT_TRUE(yager.ok());
+  EXPECT_NEAR(yager->Belief(frame_.Singleton(2)), 0.0001, 1e-9);
+  EXPECT_GT(yager->Belief(frame_.Theta()), 0.99);
+}
+
+TEST_F(DsTest, ConjunctiveKeepsConflictOnEmptySet) {
+  MassFunction a(&frame_), b(&frame_);
+  a.Assign(frame_.Singleton(0), 1.0);
+  b.Assign(frame_.Singleton(1), 1.0);
+  const auto combined = Combine(a, b, CombinationRule::kConjunctive);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_NEAR(combined->Conflict(), 1.0, 1e-12);
+  // Dempster is undefined under total conflict.
+  EXPECT_FALSE(Combine(a, b, CombinationRule::kDempster).ok());
+}
+
+TEST_F(DsTest, DisjunctiveNeverCreatesConflict) {
+  MassFunction a(&frame_), b(&frame_);
+  a.Assign(frame_.Singleton(0), 1.0);
+  b.Assign(frame_.Singleton(1), 1.0);
+  const auto combined = Combine(a, b, CombinationRule::kDisjunctive);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_DOUBLE_EQ(combined->Conflict(), 0.0);
+  EXPECT_NEAR(combined->Belief(0b011), 1.0, 1e-12);  // union gets the mass
+}
+
+TEST_F(DsTest, DiscountingMovesTowardVacuous) {
+  MassFunction m(&frame_);
+  m.Assign(frame_.Singleton(0), 1.0);
+  const MassFunction discounted = m.Discount(0.6);
+  EXPECT_NEAR(discounted.Belief(frame_.Singleton(0)), 0.6, 1e-12);
+  EXPECT_NEAR(discounted.Belief(frame_.Theta()), 1.0, 1e-12);
+  const MassFunction fully_unreliable = m.Discount(0.0);
+  EXPECT_NEAR(fully_unreliable.Belief(frame_.Singleton(0)), 0.0, 1e-12);
+}
+
+TEST_F(DsTest, DiscountingResolvesZadehParadox) {
+  // With moderate source reliability, Dempster's rule no longer explodes:
+  // the discounted masses leave room on Θ and the verdict is reasonable.
+  MassFunction a(&frame_), b(&frame_);
+  a.Assign(frame_.Singleton(0), 0.99);
+  a.Assign(frame_.Singleton(2), 0.01);
+  b.Assign(frame_.Singleton(1), 0.99);
+  b.Assign(frame_.Singleton(2), 0.01);
+  const auto combined = Combine(a.Discount(0.8), b.Discount(0.8),
+                                CombinationRule::kDempster);
+  ASSERT_TRUE(combined.ok());
+  // Hypothesis 2 no longer wins automatically.
+  EXPECT_LT(combined->Pignistic(2), combined->Pignistic(0) + 0.2);
+}
+
+TEST_F(DsTest, CombineAllFolds) {
+  std::vector<MassFunction> sources;
+  for (int i = 0; i < 3; ++i) {
+    MassFunction m(&frame_);
+    m.Assign(frame_.Singleton(1), 0.5);
+    m.Assign(frame_.Theta(), 0.5);
+    sources.push_back(m);
+  }
+  const auto combined = CombineAll(sources, CombinationRule::kDempster);
+  ASSERT_TRUE(combined.ok());
+  EXPECT_GT(combined->Belief(frame_.Singleton(1)), 0.8);
+  EXPECT_FALSE(CombineAll({}, CombinationRule::kDempster).ok());
+}
+
+TEST_F(DsTest, NormalizeRedistributes) {
+  MassFunction m(&frame_);
+  m.Assign(frame_.Singleton(0), 0.4);
+  m.Assign(0, 0.6);  // conflict mass
+  m.Normalize();
+  EXPECT_NEAR(m.Belief(frame_.Singleton(0)), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.Conflict(), 0.0);
+}
+
+// --- Possibility ----------------------------------------------------------
+
+TEST(PossibilityTest, NecessityPossibilityDuality) {
+  PossibilityDistribution pi(3);
+  pi.Set(0, 1.0);
+  pi.Set(1, 0.6);
+  pi.Set(2, 0.2);
+  EXPECT_TRUE(pi.IsNormalized());
+  // N(A) = 1 - Π(A^c).
+  EXPECT_NEAR(pi.Necessity({0}), 1.0 - pi.Possibility({1, 2}), 1e-12);
+  EXPECT_NEAR(pi.Possibility({1, 2}), 0.6, 1e-12);
+  EXPECT_NEAR(pi.Necessity({0}), 0.4, 1e-12);
+  // N(A) <= Π(A) always.
+  EXPECT_LE(pi.Necessity({1}), pi.Possibility({1}));
+}
+
+TEST(PossibilityTest, MinCombinationInconsistency) {
+  PossibilityDistribution a(3), b(3);
+  a.Set(0, 1.0);
+  a.Set(1, 0.3);
+  a.Set(2, 0.0);
+  b.Set(0, 0.1);
+  b.Set(1, 0.4);
+  b.Set(2, 1.0);
+  const auto combined = PossibilityDistribution::CombineMin(a, b);
+  // Sources disagree: the conjunction is subnormal.
+  EXPECT_FALSE(combined.IsNormalized());
+  EXPECT_NEAR(combined.Inconsistency(), 0.7, 1e-12);
+  EXPECT_EQ(combined.Decide(), 1);  // overlap hypothesis wins
+}
+
+TEST(PossibilityTest, MaxCombinationStaysNormalized) {
+  PossibilityDistribution a(2), b(2);
+  a.Set(0, 1.0);
+  a.Set(1, 0.0);
+  b.Set(0, 0.0);
+  b.Set(1, 1.0);
+  const auto combined = PossibilityDistribution::CombineMax(a, b);
+  EXPECT_TRUE(combined.IsNormalized());
+  EXPECT_DOUBLE_EQ(combined.Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(combined.Get(1), 1.0);
+}
+
+TEST(PossibilityTest, DiscountRaisesFloor) {
+  PossibilityDistribution pi(2);
+  pi.Set(0, 1.0);
+  pi.Set(1, 0.0);
+  const auto discounted = pi.Discount(0.7);
+  EXPECT_DOUBLE_EQ(discounted.Get(1), 0.3);
+  EXPECT_DOUBLE_EQ(discounted.Get(0), 1.0);
+}
+
+TEST(PossibilityTest, NormalizeRestoresMaxOne) {
+  PossibilityDistribution pi(2);
+  pi.Set(0, 0.5);
+  pi.Set(1, 0.25);
+  pi.Normalize();
+  EXPECT_DOUBLE_EQ(pi.Get(0), 1.0);
+  EXPECT_DOUBLE_EQ(pi.Get(1), 0.5);
+}
+
+// --- Bayes -------------------------------------------------------------------
+
+TEST(BayesTest, UniformPriorUpdates) {
+  DiscreteBayes bayes(3);
+  EXPECT_TRUE(bayes.Update({0.9, 0.05, 0.05}));
+  EXPECT_EQ(bayes.Decide(), 0);
+  EXPECT_GT(bayes.Get(0), 0.8);
+}
+
+TEST(BayesTest, SequentialEvidenceSharpens) {
+  DiscreteBayes bayes(2);
+  const double h0 = bayes.EntropyBits();
+  bayes.Update({0.7, 0.3});
+  const double h1 = bayes.EntropyBits();
+  bayes.Update({0.7, 0.3});
+  const double h2 = bayes.EntropyBits();
+  EXPECT_LT(h1, h0);
+  EXPECT_LT(h2, h1);
+}
+
+TEST(BayesTest, ZeroLikelihoodEverywhereRejected) {
+  DiscreteBayes bayes(2);
+  EXPECT_FALSE(bayes.Update({0.0, 0.0}));
+  EXPECT_NEAR(bayes.Get(0), 0.5, 1e-12);  // unchanged
+}
+
+TEST(IntervalProbabilityTest, IntersectionNarrows) {
+  IntervalProbability a(2), b(2);
+  a.Set(0, 0.2, 0.8);
+  b.Set(0, 0.5, 0.9);
+  EXPECT_TRUE(a.IntersectWith(b));
+  EXPECT_DOUBLE_EQ(a.Lower(0), 0.5);
+  EXPECT_DOUBLE_EQ(a.Upper(0), 0.8);
+  EXPECT_NEAR(a.Imprecision(0), 0.3, 1e-12);
+}
+
+TEST(IntervalProbabilityTest, ConflictWidensToUnion) {
+  IntervalProbability a(1), b(1);
+  a.Set(0, 0.1, 0.3);
+  b.Set(0, 0.6, 0.9);
+  EXPECT_FALSE(a.IntersectWith(b));
+  EXPECT_DOUBLE_EQ(a.Lower(0), 0.1);
+  EXPECT_DOUBLE_EQ(a.Upper(0), 0.9);
+}
+
+TEST(IntervalProbabilityTest, IntervalDominance) {
+  IntervalProbability p(3);
+  p.Set(0, 0.6, 0.8);   // dominates 1
+  p.Set(1, 0.0, 0.2);
+  p.Set(2, 0.3, 0.7);   // overlaps 0: both non-dominated
+  const auto nd = p.NonDominated();
+  EXPECT_EQ(nd, (std::vector<int>{0, 2}));
+}
+
+// --- CoverageModel / open world ------------------------------------------
+
+TEST(CoverageTest, ContinuousReportingHasNoDarkPeriods) {
+  CoverageModel coverage;
+  for (int i = 0; i < 100; ++i) {
+    coverage.Observe(1, i * 10000);  // every 10 s
+  }
+  EXPECT_TRUE(coverage.DarkPeriods(1, 0, 990000).empty());
+  EXPECT_NEAR(coverage.Coverage(1, 0, 990000), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(coverage.DarkFraction(1), 0.0);
+}
+
+TEST(CoverageTest, GapBecomesDarkPeriod) {
+  CoverageModel coverage;
+  coverage.Observe(1, 0);
+  coverage.Observe(1, 10000);
+  coverage.Observe(1, 1000000);  // ~16.5 minute silence
+  coverage.Observe(1, 1010000);
+  const auto dark = coverage.DarkPeriods(1, 0, 1010000);
+  ASSERT_EQ(dark.size(), 1u);
+  EXPECT_EQ(dark[0].first, 10000);
+  EXPECT_EQ(dark[0].second, 1000000);
+  EXPECT_TRUE(coverage.IsDark(1, 500000));
+  EXPECT_FALSE(coverage.IsDark(1, 5000));
+  EXPECT_GT(coverage.DarkFraction(1), 0.9);
+}
+
+TEST(CoverageTest, UnknownVesselIsFullyDark) {
+  CoverageModel coverage;
+  const auto dark = coverage.DarkPeriods(42, 100, 200);
+  ASSERT_EQ(dark.size(), 1u);
+  EXPECT_EQ(dark[0], (std::pair<Timestamp, Timestamp>{100, 200}));
+  EXPECT_DOUBLE_EQ(coverage.Coverage(42, 100, 200), 0.0);
+  EXPECT_TRUE(coverage.IsDark(42, 150));
+}
+
+TEST(CoverageTest, OutsideObservedSpanIsDark) {
+  CoverageModel coverage;
+  coverage.Observe(1, 100000);
+  coverage.Observe(1, 110000);
+  EXPECT_TRUE(coverage.IsDark(1, 50000));    // before first report
+  EXPECT_TRUE(coverage.IsDark(1, 200000));   // after last report
+  EXPECT_FALSE(coverage.IsDark(1, 105000));
+}
+
+TEST(CoverageTest, VerdictSemantics) {
+  CoverageModel coverage;
+  coverage.Observe(1, 0);
+  coverage.Observe(1, 10000);
+  coverage.Observe(1, 2000000);
+  // Covered instant: the vessel was reporting, unobserved action excluded.
+  EXPECT_EQ(coverage.CouldHaveActedAt(1, 5000), Verdict::kNo);
+  // Dark instant: the action "remains possible" (paper §4).
+  EXPECT_EQ(coverage.CouldHaveActedAt(1, 1000000), Verdict::kPossible);
+  EXPECT_STREQ(VerdictName(Verdict::kPossible), "possible");
+}
+
+TEST(CoverageTest, CoverageFractionPartial) {
+  CoverageModel::Options opts;
+  opts.max_report_interval_ms = 60000;
+  CoverageModel coverage(opts);
+  coverage.Observe(1, 0);
+  coverage.Observe(1, 30000);
+  coverage.Observe(1, 530000);  // 500 s gap
+  // Window [0, 530000]: dark 500 s of 530 s.
+  EXPECT_NEAR(coverage.Coverage(1, 0, 530000), 30.0 / 530.0, 1e-9);
+}
+
+// --- SourceQualityModel -----------------------------------------------------
+
+TEST(SourceQualityTest, BetaPosteriorMean) {
+  SourceQualityModel model;
+  EXPECT_DOUBLE_EQ(model.Reliability("unseen"), 0.5);
+  for (int i = 0; i < 8; ++i) model.Record("good", true);
+  for (int i = 0; i < 2; ++i) model.Record("good", false);
+  EXPECT_NEAR(model.Reliability("good"), 9.0 / 12.0, 1e-12);
+  EXPECT_EQ(model.Observations("good"), 10u);
+  for (int i = 0; i < 10; ++i) model.Record("bad", false);
+  EXPECT_LT(model.Reliability("bad"), 0.15);
+}
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,265 @@
+// Unit tests for marlin_va: density grids, temporal histograms, flows,
+// situation overview.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "common/rng.h"
+#include "va/density.h"
+#include "va/flows.h"
+#include "va/situation.h"
+
+namespace marlin {
+namespace {
+
+// --- DensityGrid ----------------------------------------------------------
+
+TEST(DensityGridTest, DimensionsFromBoundsAndPitch) {
+  const DensityGrid grid(BoundingBox(36.0, -6.0, 44.0, 9.0), 0.5);
+  EXPECT_EQ(grid.rows(), 16);
+  EXPECT_EQ(grid.cols(), 30);
+}
+
+TEST(DensityGridTest, AddAccumulates) {
+  DensityGrid grid(BoundingBox(0, 0, 10, 10), 1.0);
+  grid.Add(GeoPoint(5.5, 5.5));
+  grid.Add(GeoPoint(5.6, 5.4), 2.0);
+  EXPECT_DOUBLE_EQ(grid.At(5, 5), 3.0);
+  EXPECT_DOUBLE_EQ(grid.TotalWeight(), 3.0);
+  EXPECT_EQ(grid.NonEmptyCells(), 1u);
+  EXPECT_DOUBLE_EQ(grid.MaxValue(), 3.0);
+}
+
+TEST(DensityGridTest, OutOfBoundsIgnored) {
+  DensityGrid grid(BoundingBox(0, 0, 10, 10), 1.0);
+  grid.Add(GeoPoint(20, 20));
+  grid.Add(GeoPoint(-5, 5));
+  EXPECT_DOUBLE_EQ(grid.TotalWeight(), 0.0);
+}
+
+TEST(DensityGridTest, EdgeCellsClamped) {
+  DensityGrid grid(BoundingBox(0, 0, 10, 10), 1.0);
+  grid.Add(GeoPoint(10.0, 10.0));  // exactly on the max corner
+  EXPECT_DOUBLE_EQ(grid.At(grid.rows() - 1, grid.cols() - 1), 1.0);
+}
+
+TEST(DensityGridTest, CoarsenPreservesMass) {
+  DensityGrid grid(BoundingBox(0, 0, 8, 8), 0.5);
+  Rng rng(271);
+  for (int i = 0; i < 500; ++i) {
+    grid.Add(GeoPoint(rng.Uniform(0, 8), rng.Uniform(0, 8)));
+  }
+  const DensityGrid coarse = grid.Coarsen(4);
+  EXPECT_DOUBLE_EQ(coarse.TotalWeight(), grid.TotalWeight());
+  EXPECT_EQ(coarse.rows(), grid.rows() / 4);
+  EXPECT_LE(coarse.NonEmptyCells(), grid.NonEmptyCells());
+}
+
+TEST(DensityGridTest, AddTrajectory) {
+  DensityGrid grid(BoundingBox(39, 4, 41, 6), 0.1);
+  Trajectory traj;
+  traj.mmsi = 1;
+  for (int i = 0; i < 50; ++i) {
+    TrajectoryPoint p;
+    p.t = i;
+    p.position = GeoPoint(40.0, 4.5 + 0.02 * i);
+    traj.points.push_back(p);
+  }
+  grid.AddTrajectory(traj);
+  EXPECT_DOUBLE_EQ(grid.TotalWeight(), 50.0);
+  EXPECT_GE(grid.NonEmptyCells(), 9u);
+}
+
+TEST(DensityGridTest, CsvListsNonEmptyCells) {
+  DensityGrid grid(BoundingBox(0, 0, 2, 2), 1.0);
+  grid.Add(GeoPoint(0.5, 0.5));
+  grid.Add(GeoPoint(1.5, 1.5));
+  const std::string csv = grid.ToCsv();
+  EXPECT_NE(csv.find("row,col,lat,lon,value"), std::string::npos);
+  // Header + 2 data lines.
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 3);
+}
+
+TEST(DensityGridTest, AsciiRenderHasExpectedShape) {
+  DensityGrid grid(BoundingBox(0, 0, 10, 20), 1.0);
+  for (int i = 0; i < 100; ++i) grid.Add(GeoPoint(5.5, 10.5));
+  const std::string art = grid.ToAscii(40);
+  EXPECT_EQ(std::count(art.begin(), art.end(), '\n'), grid.rows());
+  EXPECT_NE(art.find('@'), std::string::npos);  // the hot cell
+}
+
+TEST(DensityGridTest, PpmWritesValidHeader) {
+  DensityGrid grid(BoundingBox(0, 0, 4, 4), 1.0);
+  grid.Add(GeoPoint(2.5, 2.5));
+  const std::string path = ::testing::TempDir() + "/marlin_density.ppm";
+  ASSERT_TRUE(grid.WritePpm(path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string magic;
+  int w = 0, h = 0, maxval = 0;
+  in >> magic >> w >> h >> maxval;
+  EXPECT_EQ(magic, "P6");
+  EXPECT_EQ(w, grid.cols());
+  EXPECT_EQ(h, grid.rows());
+  EXPECT_EQ(maxval, 255);
+  // Pixel payload present: 1 whitespace + w*h*3 bytes.
+  in.seekg(0, std::ios::end);
+  EXPECT_GE(static_cast<int>(in.tellg()),
+            w * h * 3);
+  std::filesystem::remove(path);
+}
+
+// --- TemporalHistogram -----------------------------------------------------
+
+TEST(TemporalHistogramTest, BucketsByHourOfDay) {
+  TemporalHistogram hist;
+  const Timestamp midnight = 1700006400000;  // some UTC midnight multiple
+  const Timestamp base = midnight - (midnight % kMillisPerDay);
+  hist.Add(base + 3 * kMillisPerHour + 5);
+  hist.Add(base + 3 * kMillisPerHour + 999);
+  hist.Add(base + 17 * kMillisPerHour);
+  EXPECT_EQ(hist.At(3), 2u);
+  EXPECT_EQ(hist.At(17), 1u);
+  EXPECT_EQ(hist.Total(), 3u);
+  EXPECT_EQ(hist.PeakHour(), 3);
+}
+
+// --- FlowMatrix ------------------------------------------------------------
+
+TEST(FlowMatrixTest, PortToPortVisitSequence) {
+  ZoneDatabase zones;
+  GeoZone a;
+  a.name = "A";
+  a.type = ZoneType::kPort;
+  a.polygon = Polygon::Circle(GeoPoint(40.0, 5.0), 3000.0);
+  const uint32_t id_a = zones.Add(std::move(a));
+  GeoZone b;
+  b.name = "B";
+  b.type = ZoneType::kPort;
+  b.polygon = Polygon::Circle(GeoPoint(41.0, 6.0), 3000.0);
+  const uint32_t id_b = zones.Add(std::move(b));
+
+  FlowMatrix flows(&zones, ZoneType::kPort);
+  Trajectory traj;
+  traj.mmsi = 1;
+  // A → open sea → B.
+  auto add = [&traj](const GeoPoint& p, Timestamp t) {
+    TrajectoryPoint tp;
+    tp.t = t;
+    tp.position = p;
+    traj.points.push_back(tp);
+  };
+  add(GeoPoint(40.0, 5.0), 0);
+  add(GeoPoint(40.5, 5.5), 1000);
+  add(GeoPoint(41.0, 6.0), 2000);
+  flows.AddTrajectory(traj);
+  EXPECT_EQ(flows.Count(id_a, id_b), 1u);
+  EXPECT_EQ(flows.Count(id_b, id_a), 0u);
+  const auto edges = flows.Edges();
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].count, 1u);
+  const std::string csv = flows.ToCsv();
+  EXPECT_NE(csv.find("A,B,1"), std::string::npos);
+}
+
+TEST(FlowMatrixTest, RepeatSamplesInOneZoneCountOnce) {
+  ZoneDatabase zones;
+  GeoZone a;
+  a.name = "A";
+  a.type = ZoneType::kPort;
+  a.polygon = Polygon::Circle(GeoPoint(40.0, 5.0), 3000.0);
+  const uint32_t id_a = zones.Add(std::move(a));
+  GeoZone b;
+  b.name = "B";
+  b.type = ZoneType::kPort;
+  b.polygon = Polygon::Circle(GeoPoint(41.0, 6.0), 3000.0);
+  const uint32_t id_b = zones.Add(std::move(b));
+  FlowMatrix flows(&zones, ZoneType::kPort);
+  Trajectory traj;
+  traj.mmsi = 1;
+  for (int i = 0; i < 10; ++i) {  // linger in A
+    TrajectoryPoint tp;
+    tp.t = i;
+    tp.position = GeoPoint(40.0, 5.0);
+    traj.points.push_back(tp);
+  }
+  TrajectoryPoint tp;
+  tp.t = 100;
+  tp.position = GeoPoint(41.0, 6.0);
+  traj.points.push_back(tp);
+  flows.AddTrajectory(traj);
+  EXPECT_EQ(flows.Count(id_a, id_b), 1u);
+}
+
+// --- SituationOverview -------------------------------------------------
+
+TEST(SituationTest, SnapshotCountsAndAlerts) {
+  TrajectoryStore store;
+  ZoneDatabase zones;
+  GeoZone port;
+  port.name = "P";
+  port.type = ZoneType::kPort;
+  port.polygon = Polygon::Circle(GeoPoint(41.35, 2.15), 3000.0);
+  zones.Add(std::move(port));
+  CoverageModel coverage;
+
+  const Timestamp t0 = 1700000000000;
+  // Fresh vessel inside the port.
+  TrajectoryPoint p;
+  p.t = t0;
+  p.position = GeoPoint(41.35, 2.15);
+  ASSERT_TRUE(store.Append(1, p).ok());
+  coverage.Observe(1, t0);
+  // Stale vessel at sea (last seen 2 h ago).
+  p.t = t0 - Hours(2);
+  p.position = GeoPoint(40.0, 5.0);
+  ASSERT_TRUE(store.Append(2, p).ok());
+  coverage.Observe(2, t0 - Hours(2));
+
+  SituationOverview overview(&store, &zones, &coverage);
+  DetectedEvent alert;
+  alert.type = EventType::kRendezvous;
+  alert.severity = 0.8;
+  alert.detected_at = t0 - Minutes(10);
+  alert.vessel_a = 1;
+  alert.vessel_b = 2;
+  overview.RecordEvents({alert});
+  // Low-severity events are not retained as alerts.
+  DetectedEvent minor;
+  minor.type = EventType::kZoneExit;
+  minor.severity = 0.1;
+  minor.detected_at = t0;
+  overview.RecordEvents({minor});
+
+  const SituationSnapshot snap = overview.Snapshot(t0 + Minutes(1));
+  EXPECT_EQ(snap.active_vessels, 1u);
+  EXPECT_EQ(snap.dark_vessels, 1u);
+  EXPECT_EQ(snap.vessels_per_zone_type.at("port"), 1u);
+  ASSERT_EQ(snap.active_alerts.size(), 1u);
+  EXPECT_EQ(snap.active_alerts[0].type, EventType::kRendezvous);
+
+  const std::string text = SituationOverview::Render(snap, &zones);
+  EXPECT_NE(text.find("active vessels: 1"), std::string::npos);
+  EXPECT_NE(text.find("rendezvous"), std::string::npos);
+}
+
+TEST(SituationTest, AlertsExpire) {
+  TrajectoryStore store;
+  ZoneDatabase zones;
+  CoverageModel coverage;
+  SituationOverview::Options opts;
+  opts.alert_retention_ms = Minutes(30);
+  SituationOverview overview(&store, &zones, &coverage, opts);
+  DetectedEvent alert;
+  alert.type = EventType::kCollisionRisk;
+  alert.severity = 0.9;
+  alert.detected_at = 1700000000000;
+  overview.RecordEvents({alert});
+  EXPECT_EQ(overview.Snapshot(alert.detected_at + Minutes(10)).active_alerts.size(),
+            1u);
+  EXPECT_TRUE(overview.Snapshot(alert.detected_at + Hours(1)).active_alerts.empty());
+}
+
+}  // namespace
+}  // namespace marlin
