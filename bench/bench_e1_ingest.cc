@@ -11,6 +11,7 @@
 #include "ais/codec.h"
 #include "bench_util.h"
 #include "core/pipeline.h"
+#include "core/sharded_pipeline.h"
 
 namespace marlin {
 namespace {
@@ -87,6 +88,35 @@ void BM_FullPipeline(benchmark::State& state) {
       benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullPipeline)->Unit(benchmark::kMillisecond);
+
+// Sharded ingest via the batched API: the scaling axis threads=1..N.
+void BM_ShardedPipeline(benchmark::State& state) {
+  const ScenarioOutput& scenario = bench::SharedScenario(IngestConfig());
+  const World& world = bench::SharedWorld();
+  uint64_t messages = 0;
+  for (auto _ : state) {
+    ShardedPipeline::Options opts;
+    opts.num_shards = static_cast<size_t>(state.range(0));
+    ShardedPipeline pipeline(PipelineConfig{}, opts, &world.zones(), nullptr,
+                             nullptr, nullptr);
+    pipeline.IngestBatch(scenario.nmea);
+    pipeline.Finish();
+    messages += pipeline.metrics().decoder.messages_out;
+  }
+  state.counters["msgs_per_s"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kIsRate);
+  state.counters["headroom_vs_global_feed"] = benchmark::Counter(
+      static_cast<double>(messages) / kGlobalFeedMsgPerSec,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedPipeline)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace marlin

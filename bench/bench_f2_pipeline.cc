@@ -14,6 +14,7 @@
 #include "bench_util.h"
 #include "context/weather.h"
 #include "core/pipeline.h"
+#include "core/sharded_pipeline.h"
 #include "va/situation.h"
 
 namespace marlin {
@@ -87,17 +88,53 @@ void BM_FullArchitecture(benchmark::State& state) {
   const ScenarioOutput& scenario = bench::SharedScenario(F2Config());
   WeatherProvider weather(7);
   uint64_t events_out = 0;
+  uint64_t lines = 0;
   for (auto _ : state) {
     MaritimePipeline pipeline(PipelineConfig{}, &world.zones(), &weather,
                               nullptr, nullptr);
     const auto events = pipeline.Run(scenario.nmea);
     events_out = events.size();
+    lines += scenario.nmea.size();
     benchmark::DoNotOptimize(events);
   }
   state.counters["events"] = static_cast<double>(events_out);
   state.counters["nmea_lines"] = static_cast<double>(scenario.nmea.size());
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(lines), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_FullArchitecture)->Unit(benchmark::kMillisecond);
+
+// The tentpole scaling axis: the same architecture across 1..N MMSI shards.
+// Near-linear growth of lines_per_s demonstrates that every stateful stage
+// partitions cleanly by vessel (AISdb-style partitioning, arXiv:2407.08082).
+void BM_ShardedArchitecture(benchmark::State& state) {
+  const World& world = bench::SharedWorld();
+  const ScenarioOutput& scenario = bench::SharedScenario(F2Config());
+  WeatherProvider weather(7);
+  uint64_t events_out = 0;
+  uint64_t lines = 0;
+  for (auto _ : state) {
+    ShardedPipeline::Options opts;
+    opts.num_shards = static_cast<size_t>(state.range(0));
+    ShardedPipeline pipeline(PipelineConfig{}, opts, &world.zones(), &weather,
+                             nullptr, nullptr);
+    const auto events = pipeline.Run(scenario.nmea);
+    events_out = events.size();
+    lines += scenario.nmea.size();
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["events"] = static_cast<double>(events_out);
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(lines), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ShardedArchitecture)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
 
 }  // namespace
 }  // namespace marlin

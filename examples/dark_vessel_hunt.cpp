@@ -13,7 +13,7 @@
 
 #include <cstdio>
 
-#include "core/pipeline.h"
+#include "core/sharded_pipeline.h"
 #include "fusion/tracker.h"
 #include "geo/geodesy.h"
 #include "sim/radar.h"
@@ -37,9 +37,13 @@ int main() {
   config.perfect_reception = true;
   const ScenarioOutput scenario = GenerateScenario(world, config);
 
-  MaritimePipeline pipeline(PipelineConfig{}, &world.zones(), nullptr,
-                            nullptr, nullptr);
+  ShardedPipeline::Options shard_options;
+  shard_options.num_shards = 4;
+  ShardedPipeline pipeline(PipelineConfig{}, shard_options, &world.zones(),
+                           nullptr, nullptr, nullptr);
   const auto events = pipeline.Run(scenario.nmea);
+  // Per-shard coverage maps, folded into one open-world model.
+  const CoverageModel coverage = pipeline.MergedCoverage();
 
   // --- Closed world vs open world ----------------------------------------
   std::printf("=== dark periods detected from the AIS stream ===\n");
@@ -66,8 +70,7 @@ int main() {
   for (const auto& ev : events) {
     if (ev.type != EventType::kDarkPeriod) continue;
     const Timestamp mid = (ev.start + ev.end) / 2;
-    if (pipeline.coverage().CouldHaveActedAt(ev.vessel_a, mid) ==
-        Verdict::kPossible) {
+    if (coverage.CouldHaveActedAt(ev.vessel_a, mid) == Verdict::kPossible) {
       ++possible;
       std::printf(
           "open-world: vessel %u COULD have held a rendezvous around %s "

@@ -30,9 +30,12 @@ int main() {
   config.dark_vessels = 2;
   const ScenarioOutput scenario = GenerateScenario(world, config);
 
+  // The sequential reference pipeline, driven through the batched API.
   MaritimePipeline pipeline(PipelineConfig{}, &world.zones(), nullptr,
                             nullptr, nullptr);
-  const auto events = pipeline.Run(scenario.nmea);
+  std::vector<DetectedEvent> events = pipeline.IngestBatch(scenario.nmea);
+  const std::vector<DetectedEvent> tail = pipeline.Finish();
+  events.insert(events.end(), tail.begin(), tail.end());
 
   // --- Zone activity around the busiest port -----------------------------
   std::printf("=== zone events ===\n");

@@ -9,8 +9,9 @@
 //   ./build/examples/quickstart
 
 #include <cstdio>
+#include <thread>
 
-#include "core/pipeline.h"
+#include "core/sharded_pipeline.h"
 #include "sim/scenario.h"
 #include "sim/world.h"
 
@@ -35,11 +36,15 @@ int main() {
               static_cast<unsigned long long>(scenario.transmissions));
 
   // 3. The integrated pipeline: decode -> reconstruct -> synopses ->
-  //    events -> live picture.
+  //    events -> live picture, sharded by MMSI across the machine's cores.
   PipelineConfig pipeline_config;
-  MaritimePipeline pipeline(pipeline_config, &world.zones(),
-                            /*weather=*/nullptr, /*registry_a=*/nullptr,
-                            /*registry_b=*/nullptr);
+  ShardedPipeline::Options shard_options;
+  shard_options.num_shards =
+      std::max(1u, std::thread::hardware_concurrency());
+  ShardedPipeline pipeline(pipeline_config, shard_options, &world.zones(),
+                           /*weather=*/nullptr, /*registry_a=*/nullptr,
+                           /*registry_b=*/nullptr);
+  std::printf("pipeline: %zu shards\n", pipeline.num_shards());
   pipeline.OnAlert([](const DetectedEvent& ev) {
     std::printf("  ALERT %-16s vessel %u%s%s at %s (severity %.2f)\n",
                 EventTypeName(ev.type), ev.vessel_a,
@@ -48,7 +53,10 @@ int main() {
                 ev.where.ToString().c_str(), ev.severity);
   });
 
-  const std::vector<DetectedEvent> events = pipeline.Run(scenario.nmea);
+  // Batched ingest: one call per feed chunk instead of one per line.
+  std::vector<DetectedEvent> events = pipeline.IngestBatch(scenario.nmea);
+  const std::vector<DetectedEvent> tail = pipeline.Finish();
+  events.insert(events.end(), tail.begin(), tail.end());
 
   // 4. What happened?
   const PipelineMetrics& m = pipeline.metrics();
@@ -62,13 +70,15 @@ int main() {
               static_cast<unsigned long long>(m.reconstruction.outliers));
   std::printf("  synopsis compression : %.1f %%\n",
               100.0 * m.synopses.CompressionRatio());
+  const PartitionedTrajectoryView store = pipeline.store_view();
   std::printf("  events detected      : %zu (alerts: %llu)\n", events.size(),
               static_cast<unsigned long long>(m.alerts));
-  std::printf("  vessels tracked      : %zu\n", pipeline.store().VesselCount());
+  std::printf("  vessels tracked      : %zu (across %zu store partitions)\n",
+              store.VesselCount(), store.partition_count());
 
   // 5. Query the live picture: who is near the first port right now?
   const Port& port = world.ports()[0];
-  const auto nearby = pipeline.store().NearestLive(port.position, 3);
+  const auto nearby = store.NearestLive(port.position, 3);
   std::printf("\nclosest vessels to %s:\n", port.name.c_str());
   for (const auto& [mmsi, dist_m] : nearby) {
     std::printf("  vessel %u at %.1f km\n", mmsi, dist_m / 1000.0);

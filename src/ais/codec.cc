@@ -7,26 +7,37 @@ namespace marlin {
 
 std::optional<AisMessage> AisDecoder::Decode(const std::string& line,
                                              Timestamp received_at) {
-  ++stats_.lines_in;
+  return Assemble(Parse(line, received_at));
+}
+
+ParsedLine AisDecoder::Parse(const std::string& line, Timestamp received_at) {
+  ParsedLine out;
+  out.received_at = received_at;
   // Optional NMEA 4.0 TAG block: the remote receiver's timestamp is the
   // authoritative reception time (satellite feeds arrive minutes after the
   // remote receiver heard them).
   TagBlock tag;
   Result<std::string> stripped = StripTagBlock(line, &tag);
-  if (!stripped.ok()) {
-    ++stats_.bad_sentences;
-    return std::nullopt;
-  }
+  if (!stripped.ok()) return out;
   if (tag.receiver_time != kInvalidTimestamp) {
-    received_at = tag.receiver_time;
+    out.received_at = tag.receiver_time;
   }
   Result<NmeaSentence> sentence = ParseSentence(*stripped);
-  if (!sentence.ok()) {
+  if (!sentence.ok()) return out;
+  out.ok = true;
+  out.sentence = std::move(*sentence);
+  return out;
+}
+
+std::optional<AisMessage> AisDecoder::Assemble(const ParsedLine& parsed) {
+  ++stats_.lines_in;
+  if (!parsed.ok) {
     ++stats_.bad_sentences;
     return std::nullopt;
   }
+  const Timestamp received_at = parsed.received_at;
   Result<std::optional<AivdmAssembler::CompletePayload>> assembled =
-      assembler_.Add(*sentence, received_at);
+      assembler_.Add(parsed.sentence, received_at);
   if (!assembled.ok()) {
     ++stats_.bad_sentences;
     return std::nullopt;

@@ -13,11 +13,29 @@
 
 namespace marlin {
 
+/// \brief A pre-parsed NMEA line: the output of the stateless (and therefore
+/// embarrassingly parallel) front half of decoding, ready to be fed to the
+/// stateful reassembly half in arrival order.
+struct ParsedLine {
+  /// Receiver timestamp after TAG-block override.
+  Timestamp received_at = kInvalidTimestamp;
+  bool ok = false;  ///< false: checksum / format / TAG-block failure
+  NmeaSentence sentence;
+};
+
 /// \brief Stream decoder: feed NMEA lines, receive decoded messages.
 ///
 /// Handles checksum validation, multi-fragment reassembly, and bit-level
 /// decoding. Malformed input is counted, never fatal — a real feed contains
 /// garbage and the decoder must keep going (paper §1: veracity).
+///
+/// Decoding is split in two halves so a sharded pipeline can parallelise the
+/// string-heavy part while keeping fragment reassembly exact:
+///  * `Parse` is stateless (safe to run concurrently on line chunks),
+///  * `Assemble` owns the fragment-assembly state and all statistics and
+///    must see parsed lines in arrival order.
+/// `Decode` == `Assemble(Parse(...))`, so a sequential caller and a
+/// parse-parallel caller produce bit-identical message streams and stats.
 class AisDecoder {
  public:
   struct Stats {
@@ -27,6 +45,16 @@ class AisDecoder {
     uint64_t bad_payloads = 0;      ///< bit-level decode failures
     uint64_t unsupported_types = 0; ///< valid but unimplemented types
     uint64_t pending_fragments = 0; ///< sentences absorbed into groups
+
+    /// \brief Accumulates another decoder's counters (per-shard merge).
+    void Merge(const Stats& other) {
+      lines_in += other.lines_in;
+      messages_out += other.messages_out;
+      bad_sentences += other.bad_sentences;
+      bad_payloads += other.bad_payloads;
+      unsupported_types += other.unsupported_types;
+      pending_fragments += other.pending_fragments;
+    }
   };
 
   AisDecoder() = default;
@@ -36,6 +64,14 @@ class AisDecoder {
   /// `received_at` stamps the decoded message.
   std::optional<AisMessage> Decode(const std::string& line,
                                    Timestamp received_at);
+
+  /// \brief Stateless front half: TAG-block strip + sentence parse +
+  /// checksum. Thread-safe; does not touch decoder state or stats.
+  static ParsedLine Parse(const std::string& line, Timestamp received_at);
+
+  /// \brief Stateful back half: fragment reassembly + bit-level decode +
+  /// stats. Must be called in arrival order on one thread.
+  std::optional<AisMessage> Assemble(const ParsedLine& parsed);
 
   const Stats& stats() const { return stats_; }
 

@@ -56,6 +56,16 @@ class QualityAssessor {
     uint64_t invalid_positions = 0;   ///< lat/lon out of range or N/A
     uint64_t speed_not_available = 0;
 
+    /// \brief Accumulates another assessor's counters (per-shard merge).
+    void Merge(const Report& other) {
+      static_messages += other.static_messages;
+      static_with_defects += other.static_with_defects;
+      for (int i = 0; i < 8; ++i) defect_counts[i] += other.defect_counts[i];
+      position_messages += other.position_messages;
+      invalid_positions += other.invalid_positions;
+      speed_not_available += other.speed_not_available;
+    }
+
     /// Fraction of static transmissions with at least one defect
     /// (paper benchmark: ~0.005).
     double StaticErrorRate() const {

@@ -38,6 +38,14 @@ class EnrichmentEngine {
     uint64_t zone_hits = 0;
     uint64_t registry_hits = 0;
     uint64_t registry_conflicts = 0;
+
+    /// \brief Accumulates another engine's counters (per-shard merge).
+    void Merge(const Stats& other) {
+      points += other.points;
+      zone_hits += other.zone_hits;
+      registry_hits += other.registry_hits;
+      registry_conflicts += other.registry_conflicts;
+    }
   };
 
   /// \brief Any of the context sources may be null (skipped).

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <tuple>
 
 #include "geo/geodesy.h"
 #include "geo/kinematics.h"
@@ -38,15 +39,29 @@ const char* EventTypeName(EventType t) {
   return "unknown";
 }
 
-EventEngine::EventEngine(const ZoneDatabase* zones, const Options& options)
-    : zones_(zones), options_(options), live_(0.1) {}
+bool CanonicalEventLess(const DetectedEvent& a, const DetectedEvent& b) {
+  return std::tie(a.detected_at, a.vessel_a, a.vessel_b, a.type, a.start,
+                  a.end, a.zone_id, a.severity) <
+         std::tie(b.detected_at, b.vessel_a, b.vessel_b, b.type, b.start,
+                  b.end, b.zone_id, b.severity);
+}
 
-void EventEngine::SetVesselInfo(Mmsi mmsi, int ship_type) {
+void ResequenceEvents(std::vector<DetectedEvent>* events) {
+  std::stable_sort(events->begin(), events->end(), CanonicalEventLess);
+}
+
+// --- VesselEventEngine ------------------------------------------------------
+
+VesselEventEngine::VesselEventEngine(const ZoneDatabase* zones,
+                                     const Options& options)
+    : zones_(zones), options_(options) {}
+
+void VesselEventEngine::SetVesselInfo(Mmsi mmsi, int ship_type) {
   vessels_[mmsi].ship_type = ship_type;
 }
 
-void EventEngine::Ingest(const ReconstructedPoint& rp,
-                         std::vector<DetectedEvent>* out) {
+PairObservation VesselEventEngine::Ingest(const ReconstructedPoint& rp,
+                                          std::vector<DetectedEvent>* out) {
   ++stats_.points_in;
   VesselState& vessel = vessels_[rp.mmsi];
 
@@ -71,18 +86,15 @@ void EventEngine::Ingest(const ReconstructedPoint& rp,
   CheckIllegalFishing(rp, &vessel, out);
   CheckLoitering(rp, &vessel, out);
 
-  // Update the live picture before pair scans so self-lookups see fresh data.
-  live_.Upsert(rp.mmsi, rp.point.position);
   vessel.last = rp.point;
   vessel.has_last = true;
 
-  CheckRendezvous(rp, &vessel, out);
-  CheckCollision(rp, &vessel, out);
+  return PairObservation{rp.mmsi, rp.point, vessel.in_port_area};
 }
 
-void EventEngine::CheckZones(const ReconstructedPoint& rp,
-                             VesselState* vessel,
-                             std::vector<DetectedEvent>* out) {
+void VesselEventEngine::CheckZones(const ReconstructedPoint& rp,
+                                   VesselState* vessel,
+                                   std::vector<DetectedEvent>* out) {
   std::set<uint32_t> current;
   bool in_port_area = false;
   for (const GeoZone* z : zones_->ZonesAt(rp.point.position)) {
@@ -146,9 +158,9 @@ void EventEngine::CheckZones(const ReconstructedPoint& rp,
   vessel->in_port_area = in_port_area;
 }
 
-void EventEngine::CheckStopMove(const ReconstructedPoint& rp,
-                                VesselState* vessel,
-                                std::vector<DetectedEvent>* out) {
+void VesselEventEngine::CheckStopMove(const ReconstructedPoint& rp,
+                                      VesselState* vessel,
+                                      std::vector<DetectedEvent>* out) {
   const bool now_stopped = rp.point.sog_mps < options_.stop_speed_mps;
   if (vessel->has_last && now_stopped != vessel->stopped) {
     DetectedEvent ev;
@@ -163,54 +175,9 @@ void EventEngine::CheckStopMove(const ReconstructedPoint& rp,
   vessel->stopped = now_stopped;
 }
 
-void EventEngine::CheckRendezvous(const ReconstructedPoint& rp,
-                                  VesselState* vessel,
-                                  std::vector<DetectedEvent>* out) {
-  const Timestamp t = rp.point.t;
-  const bool eligible = rp.point.sog_mps <= options_.rendezvous_max_speed_mps &&
-                        !vessel->in_port_area;
-  if (eligible) {
-    for (const auto& [other_id, dist] :
-         live_.QueryRadius(rp.point.position, options_.rendezvous_distance_m)) {
-      const Mmsi other = static_cast<Mmsi>(other_id);
-      if (other == rp.mmsi) continue;
-      auto other_it = vessels_.find(other);
-      if (other_it == vessels_.end() || !other_it->second.has_last) continue;
-      const VesselState& partner = other_it->second;
-      if (partner.last.sog_mps > options_.rendezvous_max_speed_mps) continue;
-      if (partner.in_port_area) continue;
-      // Partner must be current (not a stale last-position).
-      if (t - partner.last.t > 5 * kMillisPerMinute) continue;
-
-      PairState& pair = rendezvous_pairs_[MakePair(rp.mmsi, other)];
-      if (pair.since == 0 || t - pair.last_seen > 5 * kMillisPerMinute) {
-        pair.since = t;
-        pair.reported = false;
-      }
-      pair.last_seen = t;
-      pair.where = rp.point.position;
-      if (!pair.reported &&
-          t - pair.since >= options_.rendezvous_min_duration) {
-        pair.reported = true;
-        DetectedEvent ev;
-        ev.type = EventType::kRendezvous;
-        ev.start = pair.since;
-        ev.end = t;
-        ev.vessel_a = std::min(rp.mmsi, other);
-        ev.vessel_b = std::max(rp.mmsi, other);
-        ev.where = pair.where;
-        ev.severity = 0.8;
-        ev.detected_at = t;
-        out->push_back(ev);
-        ++stats_.events_out;
-      }
-    }
-  }
-}
-
-void EventEngine::CheckLoitering(const ReconstructedPoint& rp,
-                                 VesselState* vessel,
-                                 std::vector<DetectedEvent>* out) {
+void VesselEventEngine::CheckLoitering(const ReconstructedPoint& rp,
+                                       VesselState* vessel,
+                                       std::vector<DetectedEvent>* out) {
   const Timestamp t = rp.point.t;
   auto& window = vessel->window;
   window.push_back(rp.point);
@@ -254,60 +221,12 @@ void EventEngine::CheckLoitering(const ReconstructedPoint& rp,
   }
 }
 
-void EventEngine::CheckCollision(const ReconstructedPoint& rp,
-                                 VesselState* vessel,
-                                 std::vector<DetectedEvent>* out) {
-  if (rp.point.sog_mps < options_.collision_min_speed_mps) return;
-  const Timestamp t = rp.point.t;
-  MotionState self;
-  self.position = rp.point.position;
-  self.speed_mps = rp.point.sog_mps;
-  self.course_deg = rp.point.cog_deg;
-
-  for (const auto& [other_id, dist] :
-       live_.QueryRadius(rp.point.position, options_.collision_scan_radius_m)) {
-    const Mmsi other = static_cast<Mmsi>(other_id);
-    if (other == rp.mmsi) continue;
-    auto other_it = vessels_.find(other);
-    if (other_it == vessels_.end() || !other_it->second.has_last) continue;
-    const VesselState& partner = other_it->second;
-    if (t - partner.last.t > 3 * kMillisPerMinute) continue;
-    if (partner.last.sog_mps < options_.collision_min_speed_mps) continue;
-
-    const PairKey key = MakePair(rp.mmsi, other);
-    auto alert_it = collision_alerts_.find(key);
-    if (alert_it != collision_alerts_.end() &&
-        t - alert_it->second < options_.collision_realert_ms) {
-      continue;
-    }
-
-    MotionState target;
-    target.position = partner.last.position;
-    target.speed_mps = partner.last.sog_mps;
-    target.course_deg = partner.last.cog_deg;
-    const CpaResult cpa = ComputeCpa(self, target);
-    if (cpa.converging && cpa.distance_m < options_.cpa_threshold_m &&
-        cpa.tcpa_s < options_.tcpa_horizon_s) {
-      collision_alerts_[key] = t;
-      DetectedEvent ev;
-      ev.type = EventType::kCollisionRisk;
-      ev.start = ev.detected_at = t;
-      ev.end = t + static_cast<DurationMs>(cpa.tcpa_s * kMillisPerSecond);
-      ev.vessel_a = std::min(rp.mmsi, other);
-      ev.vessel_b = std::max(rp.mmsi, other);
-      ev.where = rp.point.position;
-      ev.severity = 0.9;
-      out->push_back(ev);
-      ++stats_.events_out;
-    }
-  }
-}
-
-void EventEngine::CheckIllegalFishing(const ReconstructedPoint& rp,
-                                      VesselState* vessel,
-                                      std::vector<DetectedEvent>* out) {
-  const bool fishing_speed = rp.point.sog_mps >= options_.fishing_speed_lo_mps &&
-                             rp.point.sog_mps <= options_.fishing_speed_hi_mps;
+void VesselEventEngine::CheckIllegalFishing(const ReconstructedPoint& rp,
+                                            VesselState* vessel,
+                                            std::vector<DetectedEvent>* out) {
+  const bool fishing_speed =
+      rp.point.sog_mps >= options_.fishing_speed_lo_mps &&
+      rp.point.sog_mps <= options_.fishing_speed_hi_mps;
   const bool is_fishing_vessel =
       ShipTypeToCategory(vessel->ship_type) == ShipCategory::kFishing;
   for (uint32_t zone_id : vessel->zones) {
@@ -339,8 +258,8 @@ void EventEngine::CheckIllegalFishing(const ReconstructedPoint& rp,
   }
 }
 
-void EventEngine::IngestRejection(const RejectedReport& rejection,
-                                  std::vector<DetectedEvent>* out) {
+void VesselEventEngine::IngestRejection(const RejectedReport& rejection,
+                                        std::vector<DetectedEvent>* out) {
   if (rejection.reason != RejectedReport::Reason::kImpossibleJump) return;
   VesselState& vessel = vessels_[rejection.mmsi];
   auto& jumps = vessel.jump_times;
@@ -365,13 +284,139 @@ void EventEngine::IngestRejection(const RejectedReport& rejection,
   ev.where = rejection.reported;
   ev.severity = persistent ? 0.95 : 0.7;
   if (persistent || jumps.size() == 1) {
-    vessel.last_spoof_alert = persistent ? rejection.t : vessel.last_spoof_alert;
+    vessel.last_spoof_alert =
+        persistent ? rejection.t : vessel.last_spoof_alert;
     out->push_back(ev);
     ++stats_.events_out;
   }
 }
 
-void EventEngine::Flush(std::vector<DetectedEvent>* out) {
+// --- PairEventEngine --------------------------------------------------------
+
+PairEventEngine::PairEventEngine(const Options& options)
+    : options_(options), live_(0.1) {}
+
+void PairEventEngine::Ingest(const PairObservation& obs,
+                             std::vector<DetectedEvent>* out) {
+  ++stats_.points_in;
+  // Update the live picture before the pair scans so self-lookups see fresh
+  // data (same ordering the unified engine used).
+  live_.Upsert(obs.mmsi, obs.point.position);
+  VesselState& vessel = vessels_[obs.mmsi];
+  vessel.last = obs.point;
+  vessel.has_last = true;
+  vessel.in_port_area = obs.in_port_area;
+
+  CheckRendezvous(obs, out);
+  CheckCollision(obs, out);
+}
+
+void PairEventEngine::CheckRendezvous(const PairObservation& obs,
+                                      std::vector<DetectedEvent>* out) {
+  const Timestamp t = obs.point.t;
+  const bool eligible =
+      obs.point.sog_mps <= options_.rendezvous_max_speed_mps &&
+      !obs.in_port_area;
+  if (!eligible) return;
+  for (const auto& [other_id, dist] :
+       live_.QueryRadius(obs.point.position, options_.rendezvous_distance_m)) {
+    const Mmsi other = static_cast<Mmsi>(other_id);
+    if (other == obs.mmsi) continue;
+    auto other_it = vessels_.find(other);
+    if (other_it == vessels_.end() || !other_it->second.has_last) continue;
+    const VesselState& partner = other_it->second;
+    if (partner.last.sog_mps > options_.rendezvous_max_speed_mps) continue;
+    if (partner.in_port_area) continue;
+    // Partner must be current (not a stale last-position).
+    if (t - partner.last.t > 5 * kMillisPerMinute) continue;
+
+    PairState& pair = rendezvous_pairs_[MakePair(obs.mmsi, other)];
+    if (pair.since == 0 || t - pair.last_seen > 5 * kMillisPerMinute) {
+      pair.since = t;
+      pair.reported = false;
+    }
+    pair.last_seen = t;
+    pair.where = obs.point.position;
+    if (!pair.reported && t - pair.since >= options_.rendezvous_min_duration) {
+      pair.reported = true;
+      DetectedEvent ev;
+      ev.type = EventType::kRendezvous;
+      ev.start = pair.since;
+      ev.end = t;
+      ev.vessel_a = std::min(obs.mmsi, other);
+      ev.vessel_b = std::max(obs.mmsi, other);
+      ev.where = pair.where;
+      ev.severity = 0.8;
+      ev.detected_at = t;
+      out->push_back(ev);
+      ++stats_.events_out;
+    }
+  }
+}
+
+void PairEventEngine::CheckCollision(const PairObservation& obs,
+                                     std::vector<DetectedEvent>* out) {
+  if (obs.point.sog_mps < options_.collision_min_speed_mps) return;
+  const Timestamp t = obs.point.t;
+  MotionState self;
+  self.position = obs.point.position;
+  self.speed_mps = obs.point.sog_mps;
+  self.course_deg = obs.point.cog_deg;
+
+  for (const auto& [other_id, dist] :
+       live_.QueryRadius(obs.point.position, options_.collision_scan_radius_m)) {
+    const Mmsi other = static_cast<Mmsi>(other_id);
+    if (other == obs.mmsi) continue;
+    auto other_it = vessels_.find(other);
+    if (other_it == vessels_.end() || !other_it->second.has_last) continue;
+    const VesselState& partner = other_it->second;
+    if (t - partner.last.t > 3 * kMillisPerMinute) continue;
+    if (partner.last.sog_mps < options_.collision_min_speed_mps) continue;
+
+    const PairKey key = MakePair(obs.mmsi, other);
+    auto alert_it = collision_alerts_.find(key);
+    if (alert_it != collision_alerts_.end() &&
+        t - alert_it->second < options_.collision_realert_ms) {
+      continue;
+    }
+
+    MotionState target;
+    target.position = partner.last.position;
+    target.speed_mps = partner.last.sog_mps;
+    target.course_deg = partner.last.cog_deg;
+    const CpaResult cpa = ComputeCpa(self, target);
+    if (cpa.converging && cpa.distance_m < options_.cpa_threshold_m &&
+        cpa.tcpa_s < options_.tcpa_horizon_s) {
+      collision_alerts_[key] = t;
+      DetectedEvent ev;
+      ev.type = EventType::kCollisionRisk;
+      ev.start = ev.detected_at = t;
+      ev.end = t + static_cast<DurationMs>(cpa.tcpa_s * kMillisPerSecond);
+      ev.vessel_a = std::min(obs.mmsi, other);
+      ev.vessel_b = std::max(obs.mmsi, other);
+      ev.where = obs.point.position;
+      ev.severity = 0.9;
+      out->push_back(ev);
+      ++stats_.events_out;
+    }
+  }
+}
+
+void PairEventEngine::CloseWindow(std::vector<PairObservation>* pairs,
+                                  bool flush,
+                                  std::vector<DetectedEvent>* events) {
+  std::sort(pairs->begin(), pairs->end(),
+            [](const PairObservation& a, const PairObservation& b) {
+              if (a.point.t != b.point.t) return a.point.t < b.point.t;
+              return a.mmsi < b.mmsi;
+            });
+  for (const PairObservation& obs : *pairs) Ingest(obs, events);
+  pairs->clear();
+  if (flush) Flush(events);
+  ResequenceEvents(events);
+}
+
+void PairEventEngine::Flush(std::vector<DetectedEvent>* out) {
   // Close rendezvous pairs that accumulated enough dwell but never crossed
   // the reporting threshold before the stream ended.
   for (auto& [key, pair] : rendezvous_pairs_) {

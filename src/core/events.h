@@ -13,6 +13,17 @@
 /// vessel pairs, contextualized by the zone database — the paper's
 /// "explicit consideration of context … as a reference for anomaly
 /// detection" (§4).
+///
+/// The detector is split along the sharding axis of the pipeline:
+///  * `VesselEventEngine` holds every rule whose state is keyed by a single
+///    MMSI (zones, stop/move, dark periods, loitering, fishing, spoofing).
+///    One instance per pipeline shard scales linearly.
+///  * `PairEventEngine` holds the vessel-pair rules (rendezvous, collision
+///    risk) that need the *global* live picture. It consumes the compact
+///    `PairObservation` stream the vessel engines emit, canonically ordered
+///    by (event time, MMSI), downstream of the shard merge.
+/// `EventEngine` composes the two for single-threaded callers and preserves
+/// the original per-point behaviour exactly.
 
 #include <cstdint>
 #include <deque>
@@ -59,60 +70,87 @@ struct DetectedEvent {
   Timestamp detected_at = 0;  ///< event-time when the detector fired
 };
 
-/// \brief Streaming complex-event detector.
-class EventEngine {
+/// \brief Strict-weak order used to re-sequence events merged from pipeline
+/// shards into one canonical, partition-independent stream.
+bool CanonicalEventLess(const DetectedEvent& a, const DetectedEvent& b);
+
+/// \brief Stable-sorts `events` into the canonical order. Events of one
+/// vessel keep their detection order (same shard ⇒ stable); cross-vessel
+/// ties are broken by vessel ids.
+void ResequenceEvents(std::vector<DetectedEvent>* events);
+
+/// \brief The per-point digest a vessel engine hands to the pair engine:
+/// everything the pair rules need, nothing they can recompute.
+struct PairObservation {
+  Mmsi mmsi = 0;
+  TrajectoryPoint point;
+  bool in_port_area = false;  ///< inside a port/anchorage zone at this point
+};
+
+/// \brief Shared rule thresholds (vessel and pair rules).
+struct EventRuleOptions {
+  // Rendezvous
+  double rendezvous_distance_m = 500.0;
+  double rendezvous_max_speed_mps = 1.5;
+  DurationMs rendezvous_min_duration = 10 * kMillisPerMinute;
+  // Loitering
+  double loiter_radius_m = 2500.0;
+  double loiter_max_speed_mps = 1.5;
+  DurationMs loiter_min_duration = 45 * kMillisPerMinute;
+  DurationMs loiter_realert_ms = 2 * kMillisPerHour;
+  // Dark periods
+  DurationMs dark_threshold_ms = 15 * kMillisPerMinute;
+  // Spoofing
+  int identity_conflict_count = 3;
+  DurationMs identity_conflict_window = 30 * kMillisPerMinute;
+  // Collision risk
+  double cpa_threshold_m = 300.0;
+  double tcpa_horizon_s = 900.0;
+  double collision_min_speed_mps = 2.0;
+  double collision_scan_radius_m = 10000.0;
+  DurationMs collision_realert_ms = 10 * kMillisPerMinute;
+  // Illegal fishing
+  double fishing_speed_lo_mps = 0.8;
+  double fishing_speed_hi_mps = 3.5;
+  DurationMs fishing_min_duration = 20 * kMillisPerMinute;
+  // Stops
+  double stop_speed_mps = 0.5;
+};
+
+/// \brief Counters shared by all event engines.
+struct EventEngineStats {
+  uint64_t points_in = 0;
+  uint64_t events_out = 0;
+
+  /// \brief Accumulates another engine's counters (per-shard merge).
+  void Merge(const EventEngineStats& other) {
+    points_in += other.points_in;
+    events_out += other.events_out;
+  }
+};
+
+/// \brief Single-vessel rules: shardable by MMSI.
+class VesselEventEngine {
  public:
-  struct Options {
-    // Rendezvous
-    double rendezvous_distance_m = 500.0;
-    double rendezvous_max_speed_mps = 1.5;
-    DurationMs rendezvous_min_duration = 10 * kMillisPerMinute;
-    // Loitering
-    double loiter_radius_m = 2500.0;
-    double loiter_max_speed_mps = 1.5;
-    DurationMs loiter_min_duration = 45 * kMillisPerMinute;
-    DurationMs loiter_realert_ms = 2 * kMillisPerHour;
-    // Dark periods
-    DurationMs dark_threshold_ms = 15 * kMillisPerMinute;
-    // Spoofing
-    int identity_conflict_count = 3;
-    DurationMs identity_conflict_window = 30 * kMillisPerMinute;
-    // Collision risk
-    double cpa_threshold_m = 300.0;
-    double tcpa_horizon_s = 900.0;
-    double collision_min_speed_mps = 2.0;
-    double collision_scan_radius_m = 10000.0;
-    DurationMs collision_realert_ms = 10 * kMillisPerMinute;
-    // Illegal fishing
-    double fishing_speed_lo_mps = 0.8;
-    double fishing_speed_hi_mps = 3.5;
-    DurationMs fishing_min_duration = 20 * kMillisPerMinute;
-    // Stops
-    double stop_speed_mps = 0.5;
-  };
+  using Options = EventRuleOptions;
+  using Stats = EventEngineStats;
 
-  struct Stats {
-    uint64_t points_in = 0;
-    uint64_t events_out = 0;
-  };
-
-  EventEngine(const ZoneDatabase* zones, const Options& options);
-  explicit EventEngine(const ZoneDatabase* zones)
-      : EventEngine(zones, Options()) {}
+  VesselEventEngine(const ZoneDatabase* zones, const Options& options);
+  explicit VesselEventEngine(const ZoneDatabase* zones)
+      : VesselEventEngine(zones, Options()) {}
 
   /// \brief Registers static vessel info (ship type from type-5 messages);
   /// enables category-sensitive rules (illegal fishing).
   void SetVesselInfo(Mmsi mmsi, int ship_type);
 
-  /// \brief Consumes one clean point; appends detected events.
-  void Ingest(const ReconstructedPoint& rp, std::vector<DetectedEvent>* out);
+  /// \brief Consumes one clean point; appends detected events. Returns the
+  /// observation the pair rules need for this point.
+  PairObservation Ingest(const ReconstructedPoint& rp,
+                         std::vector<DetectedEvent>* out);
 
   /// \brief Consumes a rejected report (spoofing evidence).
   void IngestRejection(const RejectedReport& rejection,
                        std::vector<DetectedEvent>* out);
-
-  /// \brief Closes open pair/duration states at end of stream.
-  void Flush(std::vector<DetectedEvent>* out);
 
   const Stats& stats() const { return stats_; }
 
@@ -137,6 +175,56 @@ class EventEngine {
     int ship_type = 0;
   };
 
+  void CheckZones(const ReconstructedPoint& rp, VesselState* vessel,
+                  std::vector<DetectedEvent>* out);
+  void CheckStopMove(const ReconstructedPoint& rp, VesselState* vessel,
+                     std::vector<DetectedEvent>* out);
+  void CheckLoitering(const ReconstructedPoint& rp, VesselState* vessel,
+                      std::vector<DetectedEvent>* out);
+  void CheckIllegalFishing(const ReconstructedPoint& rp, VesselState* vessel,
+                           std::vector<DetectedEvent>* out);
+
+  const ZoneDatabase* zones_;
+  Options options_;
+  std::map<Mmsi, VesselState> vessels_;
+  Stats stats_;
+};
+
+/// \brief Vessel-pair rules (rendezvous, collision risk) over the global
+/// live picture. Consumes the canonical `PairObservation` stream; a single
+/// instance sits downstream of the shard merge.
+class PairEventEngine {
+ public:
+  using Options = EventRuleOptions;
+  using Stats = EventEngineStats;
+
+  explicit PairEventEngine(const Options& options);
+  PairEventEngine() : PairEventEngine(Options()) {}
+
+  /// \brief Consumes one observation; appends detected pair events.
+  void Ingest(const PairObservation& obs, std::vector<DetectedEvent>* out);
+
+  /// \brief Closes one processing window: sorts `pairs` into the canonical
+  /// (event-time, MMSI) order, ingests them (clearing the vector), flushes
+  /// open pair states when `flush` is set, and re-sequences `events`
+  /// canonically. Both the sequential and the sharded pipeline close their
+  /// windows through this single code path — the determinism guarantee
+  /// depends on them never diverging.
+  void CloseWindow(std::vector<PairObservation>* pairs, bool flush,
+                   std::vector<DetectedEvent>* events);
+
+  /// \brief Closes open pair states at end of stream.
+  void Flush(std::vector<DetectedEvent>* out);
+
+  const Stats& stats() const { return stats_; }
+
+ private:
+  struct VesselState {
+    TrajectoryPoint last;
+    bool has_last = false;
+    bool in_port_area = false;
+  };
+
   struct PairState {
     Timestamp since = 0;
     Timestamp last_seen = 0;
@@ -149,26 +237,60 @@ class EventEngine {
     return a < b ? PairKey{a, b} : PairKey{b, a};
   }
 
-  void CheckZones(const ReconstructedPoint& rp, VesselState* vessel,
-                  std::vector<DetectedEvent>* out);
-  void CheckStopMove(const ReconstructedPoint& rp, VesselState* vessel,
-                     std::vector<DetectedEvent>* out);
-  void CheckRendezvous(const ReconstructedPoint& rp, VesselState* vessel,
+  void CheckRendezvous(const PairObservation& obs,
                        std::vector<DetectedEvent>* out);
-  void CheckLoitering(const ReconstructedPoint& rp, VesselState* vessel,
+  void CheckCollision(const PairObservation& obs,
                       std::vector<DetectedEvent>* out);
-  void CheckCollision(const ReconstructedPoint& rp, VesselState* vessel,
-                      std::vector<DetectedEvent>* out);
-  void CheckIllegalFishing(const ReconstructedPoint& rp, VesselState* vessel,
-                           std::vector<DetectedEvent>* out);
 
-  const ZoneDatabase* zones_;
   Options options_;
   std::map<Mmsi, VesselState> vessels_;
   std::map<PairKey, PairState> rendezvous_pairs_;
   std::map<PairKey, Timestamp> collision_alerts_;
   GridIndex live_;
   Stats stats_;
+};
+
+/// \brief Streaming complex-event detector: the single-threaded composition
+/// of the vessel and pair engines (each point flows through both in order).
+class EventEngine {
+ public:
+  using Options = EventRuleOptions;
+  using Stats = EventEngineStats;
+
+  EventEngine(const ZoneDatabase* zones, const Options& options)
+      : vessel_rules_(zones, options), pair_rules_(options) {}
+  explicit EventEngine(const ZoneDatabase* zones)
+      : EventEngine(zones, Options()) {}
+
+  /// \brief Registers static vessel info (ship type from type-5 messages).
+  void SetVesselInfo(Mmsi mmsi, int ship_type) {
+    vessel_rules_.SetVesselInfo(mmsi, ship_type);
+  }
+
+  /// \brief Consumes one clean point; appends detected events.
+  void Ingest(const ReconstructedPoint& rp, std::vector<DetectedEvent>* out) {
+    pair_rules_.Ingest(vessel_rules_.Ingest(rp, out), out);
+  }
+
+  /// \brief Consumes a rejected report (spoofing evidence).
+  void IngestRejection(const RejectedReport& rejection,
+                       std::vector<DetectedEvent>* out) {
+    vessel_rules_.IngestRejection(rejection, out);
+  }
+
+  /// \brief Closes open pair/duration states at end of stream.
+  void Flush(std::vector<DetectedEvent>* out) { pair_rules_.Flush(out); }
+
+  const Stats& stats() const {
+    stats_ = vessel_rules_.stats();
+    stats_.events_out += pair_rules_.stats().events_out;
+    return stats_;
+  }
+
+ private:
+  VesselEventEngine vessel_rules_;
+  PairEventEngine pair_rules_;
+  mutable Stats stats_;
 };
 
 }  // namespace marlin

@@ -1,5 +1,7 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
+
 namespace marlin {
 
 MaritimePipeline::MaritimePipeline(const PipelineConfig& config,
@@ -8,120 +10,79 @@ MaritimePipeline::MaritimePipeline(const PipelineConfig& config,
                                    const VesselRegistry* registry_a,
                                    const VesselRegistry* registry_b)
     : config_(config),
-      reconstructor_(config.reconstruction),
-      synopses_(config.synopses),
-      events_(zones, config.events),
-      enrichment_(zones, weather, registry_a, registry_b, &source_quality_),
-      store_(config.store),
-      coverage_(config.coverage) {}
+      core_(config_, zones, weather, registry_a, registry_b),
+      pair_events_(config.events) {}
 
 std::vector<DetectedEvent> MaritimePipeline::IngestNmea(
     const std::string& line, Timestamp ingest_time) {
-  std::vector<DetectedEvent> detected;
+  if (window_line_count_ == 0) window_first_ingest_ = ingest_time;
   std::optional<AisMessage> msg = decoder_.Decode(line, ingest_time);
-  if (!msg.has_value()) return detected;
-
-  if (config_.enable_quality_assessment) quality_.Observe(*msg);
-
-  if (const auto* sv = std::get_if<StaticVoyageData>(&*msg)) {
-    events_.SetVesselInfo(sv->mmsi, sv->ship_type);
-    return detected;
+  if (msg.has_value()) {
+    if (config_.enable_quality_assessment) quality_.Observe(*msg);
+    ProcessDecoded(*msg, ingest_time);
   }
+  ++window_line_count_;
+  if (WindowMustClose(config_, window_line_count_, window_first_ingest_,
+                      ingest_time)) {
+    return CloseWindow(/*flush_pairs=*/false);
+  }
+  return {};
+}
 
-  const PositionReport* pr = std::get_if<PositionReport>(&*msg);
-  const ExtendedClassBReport* eb = std::get_if<ExtendedClassBReport>(&*msg);
-  if (pr == nullptr && eb != nullptr) pr = &eb->position_report;
-  if (pr == nullptr) return detected;
+void MaritimePipeline::ProcessDecoded(const AisMessage& msg,
+                                      Timestamp ingest_time) {
+  if (const auto* sv = std::get_if<StaticVoyageData>(&msg)) {
+    core_.ProcessStatic(*sv);
+    return;
+  }
+  const PositionReport* pr = PositionReportOf(msg);
+  if (pr == nullptr) return;
 
   metrics_.ingest_rate.Observe(ingest_time);
+  core_.ProcessPosition(*pr, ingest_time, &window_events_, &window_pairs_);
+}
 
-  std::vector<ReconstructedPoint> points;
-  std::vector<RejectedReport> rejections;
-  reconstructor_.Ingest(*pr, &points, &rejections);
-  for (const RejectedReport& rej : rejections) {
-    events_.IngestRejection(rej, &detected);
-  }
-  for (const ReconstructedPoint& rp : points) {
-    ProcessPoint(rp, &detected);
-    metrics_.end_to_end_latency.Observe(ingest_time - rp.point.t);
-  }
+std::vector<DetectedEvent> MaritimePipeline::CloseWindow(bool flush_pairs) {
+  pair_events_.CloseWindow(&window_pairs_, flush_pairs, &window_events_);
+  FireAlerts(window_events_, &metrics_.alerts, alert_callback_);
+  RefreshMetrics();
+  window_line_count_ = 0;
+  window_first_ingest_ = kInvalidTimestamp;
+  return std::exchange(window_events_, {});
+}
 
-  for (const DetectedEvent& ev : detected) {
-    if (ev.severity >= 0.5) {
-      ++metrics_.alerts;
-      if (alert_callback_) alert_callback_(ev);
-    }
-  }
-  // Refresh stat snapshots.
+void MaritimePipeline::RefreshMetrics() {
   metrics_.decoder = decoder_.stats();
-  metrics_.reconstruction = reconstructor_.stats();
-  metrics_.synopses = synopses_.stats();
-  metrics_.events = events_.stats();
-  metrics_.enrichment = enrichment_.stats();
+  metrics_.reconstruction = core_.reconstruction_stats();
+  metrics_.synopses = core_.synopses_stats();
+  metrics_.events = core_.vessel_event_stats();
+  metrics_.events.events_out += pair_events_.stats().events_out;
+  metrics_.enrichment = core_.enrichment_stats();
   metrics_.quality = quality_.report();
-  return detected;
+  metrics_.end_to_end_latency = core_.end_to_end_latency();
 }
 
-void MaritimePipeline::ProcessPoint(const ReconstructedPoint& rp,
-                                    std::vector<DetectedEvent>* out) {
-  coverage_.Observe(rp.mmsi, rp.point.t);
-
-  // Synopsis stage.
-  std::vector<CriticalPoint> critical;
-  synopses_.Ingest(rp, &critical);
-  for (const CriticalPoint& cp : critical) synopsis_log_.push_back(cp);
-
-  // Storage stage: full rate, or synopsis-only (in-situ mode).
-  if (config_.store_full_rate) {
-    (void)store_.Append(rp.mmsi, rp.point);
-  } else {
-    for (const CriticalPoint& cp : critical) {
-      (void)store_.Append(cp.mmsi, cp.point);
-    }
-  }
-
-  // Enrichment + event recognition.
-  (void)enrichment_.Enrich(rp);
-  events_.Ingest(rp, out);
-}
-
-std::vector<DetectedEvent> MaritimePipeline::Run(
-    const std::vector<Event<std::string>>& nmea) {
+std::vector<DetectedEvent> MaritimePipeline::IngestBatch(
+    std::span<const Event<std::string>> nmea) {
   std::vector<DetectedEvent> all;
   for (const auto& ev : nmea) {
     auto detected = IngestNmea(ev.payload, ev.ingest_time);
     all.insert(all.end(), detected.begin(), detected.end());
   }
+  return all;
+}
+
+std::vector<DetectedEvent> MaritimePipeline::Run(
+    const std::vector<Event<std::string>>& nmea) {
+  std::vector<DetectedEvent> all = IngestBatch(nmea);
   auto tail = Finish();
   all.insert(all.end(), tail.begin(), tail.end());
   return all;
 }
 
 std::vector<DetectedEvent> MaritimePipeline::Finish() {
-  std::vector<DetectedEvent> detected;
-  std::vector<ReconstructedPoint> points;
-  std::vector<RejectedReport> rejections;
-  reconstructor_.Flush(&points, &rejections);
-  for (const RejectedReport& rej : rejections) {
-    events_.IngestRejection(rej, &detected);
-  }
-  for (const ReconstructedPoint& rp : points) {
-    ProcessPoint(rp, &detected);
-  }
-  events_.Flush(&detected);
-  for (const DetectedEvent& ev : detected) {
-    if (ev.severity >= 0.5) {
-      ++metrics_.alerts;
-      if (alert_callback_) alert_callback_(ev);
-    }
-  }
-  metrics_.decoder = decoder_.stats();
-  metrics_.reconstruction = reconstructor_.stats();
-  metrics_.synopses = synopses_.stats();
-  metrics_.events = events_.stats();
-  metrics_.enrichment = enrichment_.stats();
-  metrics_.quality = quality_.report();
-  return detected;
+  core_.Flush(&window_events_, &window_pairs_);
+  return CloseWindow(/*flush_pairs=*/true);
 }
 
 }  // namespace marlin

@@ -7,11 +7,24 @@
 /// enrichment → event recognition → live picture & alerts, with per-stage
 /// metrics.
 ///
-/// One `MaritimePipeline` instance is the system under test in the
-/// end-to-end experiments (E1, E5, F2) and the object the examples drive.
+/// One `MaritimePipeline` instance is the single-threaded reference
+/// implementation — the system under test in the end-to-end experiments
+/// (E1, E5, F2) and the object the examples drive. Its sharded counterpart
+/// (`ShardedPipeline`, core/sharded_pipeline.h) runs the same stages across
+/// N worker threads and reproduces this pipeline's event stream exactly.
+///
+/// Processing is *windowed*: single-vessel stages run per input line, while
+/// the vessel-pair rules (rendezvous, collision risk) and event
+/// re-sequencing run once per window over the canonically
+/// (event-time, MMSI)-ordered point stream. A window closes after
+/// `PipelineConfig::window_lines` input lines or `window_time_ms` of ingest
+/// time, whichever comes first. Windowing is what makes the event stream
+/// independent of how the work is partitioned — the sharded pipeline uses
+/// the same boundaries.
 
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +36,7 @@
 #include "core/enrichment.h"
 #include "core/events.h"
 #include "core/reconstruction.h"
+#include "core/shard.h"
 #include "core/synopses.h"
 #include "storage/trajectory_store.h"
 #include "stream/event.h"
@@ -43,7 +57,58 @@ struct PipelineConfig {
   /// in-situ trade-off of E12.
   bool store_full_rate = true;
   bool enable_quality_assessment = true;
+  /// Pair-rule / re-sequencing window, in input lines. Smaller windows
+  /// lower pair-event latency; larger windows amortise the merge. Must be
+  /// identical between a sequential pipeline and a sharded pipeline whose
+  /// outputs are being compared (as must `window_time_ms`).
+  size_t window_lines = 4096;
+  /// Ingest-time cap on a window: the window also closes once the newest
+  /// line arrived this long after the window's first line. Keeps alert
+  /// latency bounded on low-rate feeds, where filling `window_lines` could
+  /// take arbitrarily long. 0 disables the time trigger.
+  DurationMs window_time_ms = kMillisPerMinute;
 };
+
+/// \brief Window-close predicate shared by the sequential and sharded
+/// pipelines: a window holding `line_count` lines, the first of which
+/// arrived at `first_ingest` and the newest at `newest_ingest`, must close
+/// when either the line budget or the ingest-time budget is exhausted.
+/// Depends only on the input stream, so every pipeline draws identical
+/// window boundaries — a prerequisite for determinism across shard counts.
+inline bool WindowMustClose(const PipelineConfig& config, size_t line_count,
+                            Timestamp first_ingest, Timestamp newest_ingest) {
+  if (line_count >= std::max<size_t>(1, config.window_lines)) return true;
+  return config.window_time_ms > 0 &&
+         newest_ingest - first_ingest >= config.window_time_ms;
+}
+
+/// \brief The position report borne by a decoded message, if any — the one
+/// classification both pipelines must agree on (handles the Class B
+/// extended report's embedded position). Null for non-position messages.
+inline const PositionReport* PositionReportOf(const AisMessage& msg) {
+  if (const auto* pr = std::get_if<PositionReport>(&msg)) return pr;
+  if (const auto* eb = std::get_if<ExtendedClassBReport>(&msg)) {
+    return &eb->position_report;
+  }
+  return nullptr;
+}
+
+/// Events at or above this severity increment the alert counter and fire
+/// the pipeline's OnAlert callback.
+inline constexpr double kAlertSeverityThreshold = 0.5;
+
+/// \brief Counts and dispatches the alerts in a finalized event window —
+/// the single alert path both pipelines share.
+inline void FireAlerts(const std::vector<DetectedEvent>& events,
+                       uint64_t* alert_count,
+                       const std::function<void(const DetectedEvent&)>& cb) {
+  for (const DetectedEvent& ev : events) {
+    if (ev.severity >= kAlertSeverityThreshold) {
+      ++*alert_count;
+      if (cb) cb(ev);
+    }
+  }
+}
 
 /// \brief Per-stage pipeline metrics (the Figure-2 instrumentation).
 struct PipelineMetrics {
@@ -58,7 +123,7 @@ struct PipelineMetrics {
   LatencyReservoir end_to_end_latency;  ///< event time → processed
 };
 
-/// \brief The integrated system.
+/// \brief The integrated system (single-threaded reference).
 class MaritimePipeline {
  public:
   /// \brief Context sources may be null; the corresponding enrichment is
@@ -74,39 +139,50 @@ class MaritimePipeline {
   }
 
   /// \brief Feeds one NMEA line with its ingest timestamp. Returns the
-  /// events detected as a consequence of this line.
+  /// events finalized by this line — single-vessel events surface when the
+  /// current window closes (every `window_lines` lines or at `Finish`),
+  /// together with the window's pair events, re-sequenced canonically.
   std::vector<DetectedEvent> IngestNmea(const std::string& line,
                                         Timestamp ingest_time);
 
-  /// \brief Convenience: runs a whole pre-generated stream (arrival order).
+  /// \brief Batched ingest: feeds a span of pre-timestamped lines (arrival
+  /// order) and returns all events finalized along the way. Windows carry
+  /// over between calls; `Finish` closes the last partial window.
+  std::vector<DetectedEvent> IngestBatch(
+      std::span<const Event<std::string>> nmea);
+
+  /// \brief Convenience: runs a whole pre-generated stream (arrival order)
+  /// and finishes it.
   std::vector<DetectedEvent> Run(const std::vector<Event<std::string>>& nmea);
 
-  /// \brief Flushes reorder buffers and closes open pattern states.
+  /// \brief Flushes reorder buffers, closes open pattern states, and closes
+  /// the current window.
   std::vector<DetectedEvent> Finish();
 
-  const TrajectoryStore& store() const { return store_; }
-  const CoverageModel& coverage() const { return coverage_; }
+  const TrajectoryStore& store() const { return core_.store(); }
+  const CoverageModel& coverage() const { return core_.coverage(); }
   const PipelineMetrics& metrics() const { return metrics_; }
   const std::vector<CriticalPoint>& synopsis_log() const {
-    return synopsis_log_;
+    return core_.synopsis_log();
   }
 
  private:
-  void ProcessPoint(const ReconstructedPoint& rp,
-                    std::vector<DetectedEvent>* out);
+  void ProcessDecoded(const AisMessage& msg, Timestamp ingest_time);
+  /// Runs the pair stage over the window's observations, re-sequences the
+  /// window's events, fires alerts, refreshes metric snapshots.
+  std::vector<DetectedEvent> CloseWindow(bool flush_pairs);
+  void RefreshMetrics();
 
   PipelineConfig config_;
   AisDecoder decoder_;
-  TrajectoryReconstructor reconstructor_;
-  SynopsisEngine synopses_;
-  EventEngine events_;
-  SourceQualityModel source_quality_;
-  EnrichmentEngine enrichment_;
-  TrajectoryStore store_;
-  CoverageModel coverage_;
   QualityAssessor quality_;
+  PipelineShardCore core_;
+  PairEventEngine pair_events_;
   PipelineMetrics metrics_;
-  std::vector<CriticalPoint> synopsis_log_;
+  std::vector<DetectedEvent> window_events_;
+  std::vector<PairObservation> window_pairs_;
+  size_t window_line_count_ = 0;
+  Timestamp window_first_ingest_ = kInvalidTimestamp;
   std::function<void(const DetectedEvent&)> alert_callback_;
 };
 

@@ -28,7 +28,7 @@ Timestamp ResolveEventTime(int utc_second, Timestamp received_at,
 
 TrajectoryReconstructor::TrajectoryReconstructor(const Options& options)
     : options_(options),
-      reorder_(ReorderBuffer<PositionReport>::Options{
+      reorder_options_(ReorderBuffer<PositionReport>::Options{
           options.reorder_delay_ms, /*emit_late_events=*/false}) {}
 
 void TrajectoryReconstructor::Ingest(const PositionReport& report,
@@ -46,11 +46,14 @@ void TrajectoryReconstructor::Ingest(const PositionReport& report,
   }
   const Timestamp event_time =
       ResolveEventTime(report.utc_second, report.received_at);
+  VesselState& vessel =
+      vessels_.try_emplace(report.mmsi, reorder_options_).first->second;
+  const uint64_t dropped_before = vessel.reorder.stats().dropped_late;
   std::vector<Event<PositionReport>> released;
-  reorder_.Push(Event<PositionReport>(event_time, report.received_at, 0,
-                                      report),
-                &released);
-  stats_.late_dropped = reorder_.stats().dropped_late;
+  vessel.reorder.Push(
+      Event<PositionReport>(event_time, report.received_at, 0, report),
+      &released);
+  stats_.late_dropped += vessel.reorder.stats().dropped_late - dropped_before;
   for (const auto& ev : released) {
     Process(ev.payload, ev.event_time, out, rejected);
   }
@@ -58,10 +61,13 @@ void TrajectoryReconstructor::Ingest(const PositionReport& report,
 
 void TrajectoryReconstructor::Flush(std::vector<ReconstructedPoint>* out,
                                     std::vector<RejectedReport>* rejected) {
-  std::vector<Event<PositionReport>> released;
-  reorder_.Flush(&released);
-  for (const auto& ev : released) {
-    Process(ev.payload, ev.event_time, out, rejected);
+  // MMSI order: deterministic regardless of ingest interleaving.
+  for (auto& [mmsi, vessel] : vessels_) {
+    std::vector<Event<PositionReport>> released;
+    vessel.reorder.Flush(&released);
+    for (const auto& ev : released) {
+      Process(ev.payload, ev.event_time, out, rejected);
+    }
   }
 }
 
@@ -69,7 +75,8 @@ void TrajectoryReconstructor::Process(const PositionReport& report,
                                       Timestamp event_time,
                                       std::vector<ReconstructedPoint>* out,
                                       std::vector<RejectedReport>* rejected) {
-  VesselState& vessel = vessels_[report.mmsi];
+  VesselState& vessel =
+      vessels_.try_emplace(report.mmsi, reorder_options_).first->second;
 
   if (vessel.last_t != kInvalidTimestamp) {
     const DurationMs dt = event_time - vessel.last_t;

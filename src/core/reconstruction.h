@@ -61,6 +61,13 @@ struct ReconstructedPoint {
 };
 
 /// \brief Streaming trajectory reconstructor.
+///
+/// Reordering is watermarked *per vessel*: each MMSI owns its own reorder
+/// buffer, so one vessel's slow satellite deliveries never force another
+/// vessel's reports to be classified late. This also makes reconstruction
+/// output invariant under MMSI-sharding — a sharded pipeline produces
+/// exactly the per-vessel streams the sequential pipeline does, whatever
+/// the partitioning.
 class TrajectoryReconstructor {
  public:
   struct Options {
@@ -83,6 +90,18 @@ class TrajectoryReconstructor {
     uint64_t invalid = 0;
     uint64_t late_dropped = 0;
     uint64_t segments_started = 0;
+
+    /// \brief Accumulates another reconstructor's counters (per-shard merge).
+    void Merge(const Stats& other) {
+      reports_in += other.reports_in;
+      points_out += other.points_out;
+      duplicates += other.duplicates;
+      stale += other.stale;
+      outliers += other.outliers;
+      invalid += other.invalid;
+      late_dropped += other.late_dropped;
+      segments_started += other.segments_started;
+    }
   };
 
   TrajectoryReconstructor() : TrajectoryReconstructor(Options()) {}
@@ -103,6 +122,9 @@ class TrajectoryReconstructor {
 
  private:
   struct VesselState {
+    explicit VesselState(const ReorderBuffer<PositionReport>::Options& opts)
+        : reorder(opts) {}
+    ReorderBuffer<PositionReport> reorder;
     Timestamp last_t = kInvalidTimestamp;
     GeoPoint last_pos;
   };
@@ -113,7 +135,7 @@ class TrajectoryReconstructor {
                std::vector<RejectedReport>* rejected);
 
   Options options_;
-  ReorderBuffer<PositionReport> reorder_;
+  ReorderBuffer<PositionReport>::Options reorder_options_;
   std::map<Mmsi, VesselState> vessels_;
   Stats stats_;
 };

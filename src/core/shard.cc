@@ -1,0 +1,79 @@
+#include "core/shard.h"
+
+#include "core/pipeline.h"
+
+namespace marlin {
+
+PipelineShardCore::PipelineShardCore(const PipelineConfig& config,
+                                     const ZoneDatabase* zones,
+                                     const WeatherProvider* weather,
+                                     const VesselRegistry* registry_a,
+                                     const VesselRegistry* registry_b)
+    : config_(config),
+      reconstructor_(config.reconstruction),
+      synopses_(config.synopses),
+      vessel_events_(zones, config.events),
+      enrichment_(zones, weather, registry_a, registry_b, &source_quality_),
+      store_(config.store),
+      coverage_(config.coverage) {}
+
+void PipelineShardCore::ProcessStatic(const StaticVoyageData& sv) {
+  vessel_events_.SetVesselInfo(sv.mmsi, sv.ship_type);
+}
+
+void PipelineShardCore::ProcessPosition(const PositionReport& report,
+                                        Timestamp ingest_time,
+                                        std::vector<DetectedEvent>* events,
+                                        std::vector<PairObservation>* pairs) {
+  points_scratch_.clear();
+  rejections_scratch_.clear();
+  reconstructor_.Ingest(report, &points_scratch_, &rejections_scratch_);
+  for (const RejectedReport& rej : rejections_scratch_) {
+    vessel_events_.IngestRejection(rej, events);
+  }
+  for (const ReconstructedPoint& rp : points_scratch_) {
+    ProcessPoint(rp, events, pairs);
+    latency_.Observe(ingest_time - rp.point.t);
+  }
+}
+
+void PipelineShardCore::ProcessPoint(const ReconstructedPoint& rp,
+                                     std::vector<DetectedEvent>* events,
+                                     std::vector<PairObservation>* pairs) {
+  coverage_.Observe(rp.mmsi, rp.point.t);
+
+  // Synopsis stage.
+  critical_scratch_.clear();
+  synopses_.Ingest(rp, &critical_scratch_);
+  for (const CriticalPoint& cp : critical_scratch_) {
+    synopsis_log_.push_back(cp);
+  }
+
+  // Storage stage: full rate, or synopsis-only (in-situ mode).
+  if (config_.store_full_rate) {
+    (void)store_.Append(rp.mmsi, rp.point);
+  } else {
+    for (const CriticalPoint& cp : critical_scratch_) {
+      (void)store_.Append(cp.mmsi, cp.point);
+    }
+  }
+
+  // Enrichment + single-vessel event recognition.
+  (void)enrichment_.Enrich(rp);
+  pairs->push_back(vessel_events_.Ingest(rp, events));
+}
+
+void PipelineShardCore::Flush(std::vector<DetectedEvent>* events,
+                              std::vector<PairObservation>* pairs) {
+  points_scratch_.clear();
+  rejections_scratch_.clear();
+  reconstructor_.Flush(&points_scratch_, &rejections_scratch_);
+  for (const RejectedReport& rej : rejections_scratch_) {
+    vessel_events_.IngestRejection(rej, events);
+  }
+  for (const ReconstructedPoint& rp : points_scratch_) {
+    ProcessPoint(rp, events, pairs);
+  }
+}
+
+}  // namespace marlin

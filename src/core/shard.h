@@ -1,0 +1,109 @@
+#ifndef MARLIN_CORE_SHARD_H_
+#define MARLIN_CORE_SHARD_H_
+
+/// \file shard.h
+/// \brief The per-MMSI stateful half of the Figure-2 pipeline, factored out
+/// of `MaritimePipeline` so it can run once (sequential reference) or N
+/// times (one instance per shard of a `ShardedPipeline`).
+///
+/// Every stage whose state is keyed by vessel lives here: trajectory
+/// reconstruction, synopses, single-vessel event rules, enrichment, the
+/// store partition, and the coverage model. Message decoding (stateful
+/// across the *whole* stream) and vessel-pair rules (global live picture)
+/// stay with the pipeline coordinator.
+///
+/// A shard core is strictly single-threaded: determinism of the sharded
+/// pipeline rests on each vessel's reports flowing through exactly one core
+/// in arrival order.
+
+#include <vector>
+
+#include "ais/types.h"
+#include "context/registry.h"
+#include "context/weather.h"
+#include "context/zones.h"
+#include "core/enrichment.h"
+#include "core/events.h"
+#include "core/reconstruction.h"
+#include "core/synopses.h"
+#include "storage/trajectory_store.h"
+#include "stream/rate.h"
+#include "uncertainty/openworld.h"
+
+namespace marlin {
+
+struct PipelineConfig;  // core/pipeline.h
+
+/// \brief One shard's worth of per-vessel pipeline state.
+class PipelineShardCore {
+ public:
+  /// \brief Context sources may be null; the corresponding enrichment is
+  /// skipped. `config` must outlive the core.
+  PipelineShardCore(const PipelineConfig& config, const ZoneDatabase* zones,
+                    const WeatherProvider* weather,
+                    const VesselRegistry* registry_a,
+                    const VesselRegistry* registry_b);
+
+  // Self-referential (config reference, enrichment_ points at
+  // source_quality_): copying or moving would leave dangling internals.
+  PipelineShardCore(const PipelineShardCore&) = delete;
+  PipelineShardCore& operator=(const PipelineShardCore&) = delete;
+
+  /// \brief Registers static & voyage data (ship type → event rules).
+  void ProcessStatic(const StaticVoyageData& sv);
+
+  /// \brief Runs one position report through reconstruction → synopses →
+  /// store → enrichment → vessel event rules. Vessel events are appended to
+  /// `events`; one `PairObservation` per clean point is appended to `pairs`
+  /// for the downstream pair-rule stage.
+  void ProcessPosition(const PositionReport& report, Timestamp ingest_time,
+                       std::vector<DetectedEvent>* events,
+                       std::vector<PairObservation>* pairs);
+
+  /// \brief Flushes reorder buffers at end of stream.
+  void Flush(std::vector<DetectedEvent>* events,
+             std::vector<PairObservation>* pairs);
+
+  const TrajectoryStore& store() const { return store_; }
+  const CoverageModel& coverage() const { return coverage_; }
+  const std::vector<CriticalPoint>& synopsis_log() const {
+    return synopsis_log_;
+  }
+  const TrajectoryReconstructor::Stats& reconstruction_stats() const {
+    return reconstructor_.stats();
+  }
+  const SynopsisEngine::Stats& synopses_stats() const {
+    return synopses_.stats();
+  }
+  const VesselEventEngine::Stats& vessel_event_stats() const {
+    return vessel_events_.stats();
+  }
+  const EnrichmentEngine::Stats& enrichment_stats() const {
+    return enrichment_.stats();
+  }
+  const LatencyReservoir& end_to_end_latency() const { return latency_; }
+
+ private:
+  void ProcessPoint(const ReconstructedPoint& rp,
+                    std::vector<DetectedEvent>* events,
+                    std::vector<PairObservation>* pairs);
+
+  const PipelineConfig& config_;
+  TrajectoryReconstructor reconstructor_;
+  SynopsisEngine synopses_;
+  VesselEventEngine vessel_events_;
+  SourceQualityModel source_quality_;
+  EnrichmentEngine enrichment_;
+  TrajectoryStore store_;
+  CoverageModel coverage_;
+  LatencyReservoir latency_;  ///< event time → processed
+  std::vector<CriticalPoint> synopsis_log_;
+  // Scratch buffers reused across calls to avoid per-report allocation.
+  std::vector<ReconstructedPoint> points_scratch_;
+  std::vector<RejectedReport> rejections_scratch_;
+  std::vector<CriticalPoint> critical_scratch_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_SHARD_H_

@@ -1,0 +1,315 @@
+#include "core/sharded_pipeline.h"
+
+#include <algorithm>
+
+namespace marlin {
+
+ShardedPipeline::ShardedPipeline(const PipelineConfig& config,
+                                 const Options& options,
+                                 const ZoneDatabase* zones,
+                                 const WeatherProvider* weather,
+                                 const VesselRegistry* registry_a,
+                                 const VesselRegistry* registry_b)
+    : config_(config),
+      options_(options),
+      router_(options.num_shards),
+      pair_events_(config.events) {
+  // Shards writing one LSM archive concurrently would race; archival stays a
+  // sequential-pipeline feature.
+  config_.store.archive = nullptr;
+  const size_t n = router_.num_shards();
+  // Capacity 1 cannot deadlock (workers always drain), it just serialises
+  // the coordinator against the slowest shard; honor the caller's choice.
+  const size_t capacity = std::max<size_t>(1, options_.queue_capacity);
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>(capacity);
+    shard->core = std::make_unique<PipelineShardCore>(
+        config_, zones, weather, registry_a, registry_b);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* raw = shard.get();
+    raw->thread = std::thread([this, raw] { WorkerLoop(raw); });
+  }
+}
+
+ShardedPipeline::~ShardedPipeline() {
+  for (auto& shard : shards_) shard->queue.Close();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+void ShardedPipeline::WorkerLoop(Shard* shard) {
+  std::vector<Command> batch;
+  while (shard->queue.PopBatch(&batch, 8) > 0) {
+    for (Command& cmd : batch) {
+      if (auto* parse = std::get_if<ParseTask>(&cmd)) {
+        for (size_t j = 0; j < parse->count; ++j) {
+          parse->out[j] = AisDecoder::Parse(parse->lines[j].payload,
+                                            parse->lines[j].ingest_time);
+        }
+        parse->done->count_down();
+      } else {
+        ShardTask& task = std::get<ShardTask>(cmd);
+        if (task.messages == nullptr) {
+          shard->core->Flush(task.events, task.pairs);
+        } else {
+          for (const RoutedMessage& m : *task.messages) {
+            if (const auto* pr = std::get_if<PositionReport>(&m.payload)) {
+              shard->core->ProcessPosition(*pr, m.ingest_time, task.events,
+                                           task.pairs);
+            } else {
+              shard->core->ProcessStatic(
+                  std::get<StaticVoyageData>(m.payload));
+            }
+          }
+        }
+        task.done->count_down();
+      }
+    }
+    batch.clear();
+  }
+}
+
+void ShardedPipeline::ParseWindow(std::span<const Event<std::string>> lines,
+                                  Window* window) {
+  const size_t n = lines.size();
+  const size_t shard_count = shards_.size();
+  window->parsed.resize(n);
+  const size_t chunk = (n + shard_count - 1) / shard_count;
+  size_t tasks = 0;
+  for (size_t s = 0; s < shard_count && s * chunk < n; ++s) ++tasks;
+  std::latch parse_done(static_cast<ptrdiff_t>(tasks));
+  for (size_t s = 0; s < tasks; ++s) {
+    const size_t begin = s * chunk;
+    const size_t count = std::min(chunk, n - begin);
+    shards_[s]->queue.Push(Command(ParseTask{lines.data() + begin,
+                                             window->parsed.data() + begin,
+                                             count, &parse_done}));
+  }
+  // The decoder overrides receiver time from TAG blocks; the stream-level
+  // ingest timestamps (rate meter, end-to-end latency) use the original
+  // arrival time, so keep it per line.
+  window->ingest_times.resize(n);
+  for (size_t i = 0; i < n; ++i) window->ingest_times[i] = lines[i].ingest_time;
+  parse_done.wait();
+}
+
+void ShardedPipeline::AssembleAndRoute(Window* window) {
+  const size_t shard_count = shards_.size();
+  window->routed.assign(shard_count, {});
+  window->events.assign(shard_count, {});
+  window->pairs.assign(shard_count, {});
+
+  // Assembly is stateful across the whole stream (fragment groups can span
+  // windows) and therefore runs here, in arrival order.
+  for (size_t i = 0; i < window->parsed.size(); ++i) {
+    std::optional<AisMessage> msg = decoder_.Assemble(window->parsed[i]);
+    if (!msg.has_value()) continue;
+    if (config_.enable_quality_assessment) quality_.Observe(*msg);
+    const Timestamp ingest_time = window->ingest_times[i];
+
+    if (const auto* sv = std::get_if<StaticVoyageData>(&*msg)) {
+      window->routed[router_.ShardFor(sv->mmsi)].push_back(
+          RoutedMessage{ingest_time, *sv});
+      continue;
+    }
+    const PositionReport* pr = PositionReportOf(*msg);
+    if (pr == nullptr) continue;
+    metrics_.ingest_rate.Observe(ingest_time);
+    window->routed[router_.ShardFor(pr->mmsi)].push_back(
+        RoutedMessage{ingest_time, *pr});
+  }
+}
+
+void ShardedPipeline::DispatchShardTasks(Window* window) {
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    shards_[s]->queue.Push(Command(
+        ShardTask{&window->routed[s], &window->events[s], &window->pairs[s],
+                  window->shards_done.get()}));
+  }
+}
+
+void ShardedPipeline::DispatchWindow(Window* window) {
+  AssembleAndRoute(window);
+  window->shards_done =
+      std::make_unique<std::latch>(static_cast<ptrdiff_t>(shards_.size()));
+  DispatchShardTasks(window);
+}
+
+void ShardedPipeline::MergeWindow(Window* window, bool flush_pairs,
+                                  std::vector<DetectedEvent>* out) {
+  window->shards_done->wait();
+
+  size_t event_count = 0, pair_count = 0;
+  for (const auto& shard_events : window->events) {
+    event_count += shard_events.size();
+  }
+  for (const auto& shard_pairs : window->pairs) {
+    pair_count += shard_pairs.size();
+  }
+  std::vector<DetectedEvent> events;
+  std::vector<PairObservation> pairs;
+  events.reserve(event_count);
+  pairs.reserve(pair_count);
+  for (auto& shard_events : window->events) {
+    events.insert(events.end(),
+                  std::make_move_iterator(shard_events.begin()),
+                  std::make_move_iterator(shard_events.end()));
+  }
+  for (auto& shard_pairs : window->pairs) {
+    pairs.insert(pairs.end(), std::make_move_iterator(shard_pairs.begin()),
+                 std::make_move_iterator(shard_pairs.end()));
+  }
+
+  // Same canonical window close and alert path the sequential pipeline uses.
+  pair_events_.CloseWindow(&pairs, flush_pairs, &events);
+  FireAlerts(events, &metrics_.alerts, alert_callback_);
+  // Metrics are NOT refreshed here: when this window is merged the shards
+  // may already be processing the next one, and their stats are only safe
+  // to read at a quiescent point (end of IngestBatch / Finish).
+  if (out->empty()) {
+    *out = std::move(events);
+  } else {
+    out->insert(out->end(), std::make_move_iterator(events.begin()),
+                std::make_move_iterator(events.end()));
+  }
+}
+
+void ShardedPipeline::RefreshMetrics() {
+  metrics_.decoder = decoder_.stats();
+  metrics_.quality = quality_.report();
+  metrics_.reconstruction = {};
+  metrics_.synopses = {};
+  metrics_.events = {};
+  metrics_.enrichment = {};
+  metrics_.end_to_end_latency = LatencyReservoir();
+  for (const auto& shard : shards_) {
+    metrics_.reconstruction.Merge(shard->core->reconstruction_stats());
+    metrics_.synopses.Merge(shard->core->synopses_stats());
+    metrics_.events.Merge(shard->core->vessel_event_stats());
+    metrics_.enrichment.Merge(shard->core->enrichment_stats());
+    metrics_.end_to_end_latency.Merge(shard->core->end_to_end_latency());
+  }
+  metrics_.events.events_out += pair_events_.stats().events_out;
+}
+
+std::vector<DetectedEvent> ShardedPipeline::IngestBatch(
+    std::span<const Event<std::string>> nmea) {
+  std::vector<DetectedEvent> all;
+  std::unique_ptr<Window> in_flight;
+  size_t consumed = 0;
+
+  // Walk the span cutting windows exactly where the sequential pipeline
+  // would (WindowMustClose over line count + ingest time). The coordinator
+  // merges window k-1 (pair stage + re-sequencing) while the shards
+  // process window k.
+  while (consumed < nmea.size()) {
+    const Timestamp first_ingest = pending_lines_.empty()
+                                       ? nmea[consumed].ingest_time
+                                       : pending_lines_.front().ingest_time;
+    size_t count = pending_lines_.size();
+    size_t end = consumed;  // one past the window's last line, once closed
+    bool closed = false;
+    while (end < nmea.size()) {
+      ++count;
+      const Timestamp newest = nmea[end].ingest_time;
+      ++end;
+      if (WindowMustClose(config_, count, first_ingest, newest)) {
+        closed = true;
+        break;
+      }
+    }
+    if (!closed) break;  // span exhausted with the window still open
+
+    auto window = std::make_unique<Window>();
+    if (pending_lines_.empty()) {
+      ParseWindow(nmea.subspan(consumed, end - consumed), window.get());
+    } else {
+      pending_lines_.insert(pending_lines_.end(), nmea.begin() + consumed,
+                            nmea.begin() + end);
+      ParseWindow(std::span<const Event<std::string>>(pending_lines_),
+                  window.get());
+      pending_lines_.clear();
+    }
+    DispatchWindow(window.get());
+    consumed = end;
+    if (in_flight) MergeWindow(in_flight.get(), /*flush_pairs=*/false, &all);
+    in_flight = std::move(window);
+  }
+  if (in_flight) MergeWindow(in_flight.get(), /*flush_pairs=*/false, &all);
+  RefreshMetrics();  // quiescent: every dispatched window has been merged
+
+  // Stash the open window's tail for the next batch / Finish.
+  pending_lines_.insert(pending_lines_.end(), nmea.begin() + consumed,
+                        nmea.end());
+  return all;
+}
+
+std::vector<DetectedEvent> ShardedPipeline::Run(
+    const std::vector<Event<std::string>>& nmea) {
+  std::vector<DetectedEvent> all = IngestBatch(nmea);
+  auto tail = Finish();
+  all.insert(all.end(), tail.begin(), tail.end());
+  return all;
+}
+
+std::vector<DetectedEvent> ShardedPipeline::Finish() {
+  const size_t shard_count = shards_.size();
+  Window window;
+  const bool has_lines = !pending_lines_.empty();
+  if (has_lines) {
+    ParseWindow(std::span<const Event<std::string>>(pending_lines_), &window);
+  }
+  AssembleAndRoute(&window);
+  // Each shard gets its window task (if any lines remain) plus a flush task,
+  // queued back-to-back so both write the shard's slots in order.
+  const size_t tasks_per_shard = has_lines ? 2 : 1;
+  window.shards_done = std::make_unique<std::latch>(
+      static_cast<ptrdiff_t>(shard_count * tasks_per_shard));
+  if (has_lines) {
+    DispatchShardTasks(&window);
+    pending_lines_.clear();
+  }
+  for (size_t s = 0; s < shard_count; ++s) {
+    shards_[s]->queue.Push(Command(ShardTask{nullptr, &window.events[s],
+                                             &window.pairs[s],
+                                             window.shards_done.get()}));
+  }
+  std::vector<DetectedEvent> all;
+  MergeWindow(&window, /*flush_pairs=*/true, &all);
+  RefreshMetrics();
+  return all;
+}
+
+PartitionedTrajectoryView ShardedPipeline::store_view() const {
+  std::vector<const TrajectoryStore*> partitions;
+  partitions.reserve(shards_.size());
+  for (const auto& shard : shards_) partitions.push_back(&shard->core->store());
+  return PartitionedTrajectoryView(std::move(partitions));
+}
+
+CoverageModel ShardedPipeline::MergedCoverage() const {
+  CoverageModel merged(config_.coverage);
+  for (const auto& shard : shards_) merged.Merge(shard->core->coverage());
+  return merged;
+}
+
+std::vector<CriticalPoint> ShardedPipeline::MergedSynopsisLog() const {
+  std::vector<CriticalPoint> merged;
+  for (const auto& shard : shards_) {
+    const auto& log = shard->core->synopsis_log();
+    merged.insert(merged.end(), log.begin(), log.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const CriticalPoint& a, const CriticalPoint& b) {
+                     if (a.point.t != b.point.t) return a.point.t < b.point.t;
+                     if (a.mmsi != b.mmsi) return a.mmsi < b.mmsi;
+                     return static_cast<int>(a.type) < static_cast<int>(b.type);
+                   });
+  return merged;
+}
+
+}  // namespace marlin

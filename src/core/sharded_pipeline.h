@@ -1,0 +1,188 @@
+#ifndef MARLIN_CORE_SHARDED_PIPELINE_H_
+#define MARLIN_CORE_SHARDED_PIPELINE_H_
+
+/// \file sharded_pipeline.h
+/// \brief Multi-threaded, per-MMSI-sharded variant of the Figure-2 pipeline.
+///
+/// Stage graph (N = number of shards):
+///
+///   NMEA lines (arrival order, windows of `window_lines`)
+///        │ parse: stateless, chunked across the N shard workers
+///        ▼
+///   coordinator: fragment reassembly + bit decode (stateful, in order)
+///        │ route by splitmix64(MMSI) % N
+///        ▼
+///   N × PipelineShardCore (reconstruction → synopses → store partition →
+///        enrichment → single-vessel event rules), one thread each, fed
+///        through BoundedQueue
+///        │ merge: pair observations sorted by (event time, MMSI)
+///        ▼
+///   coordinator: PairEventEngine (rendezvous / collision) + canonical
+///        event re-sequencing + alerts + metric merge
+///
+/// Determinism: every vessel's reports flow through exactly one
+/// single-threaded shard core in arrival order, reconstruction watermarks
+/// are per-vessel, the pair stage consumes a canonically ordered stream
+/// with window boundaries fixed by input line count, and merged events are
+/// re-sequenced with a total order. Consequently a `ShardedPipeline` with
+/// one shard reproduces `MaritimePipeline`'s event stream *exactly*, and
+/// N shards produce the same events for any N.
+
+#include <functional>
+#include <latch>
+#include <memory>
+#include <span>
+#include <string>
+#include <thread>
+#include <variant>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/shard.h"
+#include "storage/trajectory_store.h"
+#include "stream/queue.h"
+#include "stream/shard_router.h"
+
+namespace marlin {
+
+/// \brief The sharded integrated system.
+class ShardedPipeline {
+ public:
+  struct Options {
+    /// Worker (= shard) count. 0 means one shard.
+    size_t num_shards = 1;
+    /// Command-queue depth per shard. The coordinator keeps at most one
+    /// window in flight plus the next window's parse task, so ≥ 2 avoids
+    /// push-side blocking; 1 is safe but lock-steps the coordinator with
+    /// the slowest shard.
+    size_t queue_capacity = 4;
+  };
+
+  /// \brief Context sources may be null. The LSM archive option is not
+  /// supported in sharded mode (partitions would race on one archive) and
+  /// is stripped from the shard configs.
+  ShardedPipeline(const PipelineConfig& config, const Options& options,
+                  const ZoneDatabase* zones, const WeatherProvider* weather,
+                  const VesselRegistry* registry_a,
+                  const VesselRegistry* registry_b);
+  ~ShardedPipeline();
+
+  ShardedPipeline(const ShardedPipeline&) = delete;
+  ShardedPipeline& operator=(const ShardedPipeline&) = delete;
+
+  /// \brief Alert callback: invoked on the coordinator thread for events
+  /// with severity ≥ 0.5.
+  void OnAlert(std::function<void(const DetectedEvent&)> callback) {
+    alert_callback_ = std::move(callback);
+  }
+
+  /// \brief Batched ingest (arrival order). Returns all events finalized by
+  /// the windows this batch completed; partial windows carry over to the
+  /// next call (closed by `Finish`).
+  std::vector<DetectedEvent> IngestBatch(
+      std::span<const Event<std::string>> nmea);
+
+  /// \brief Convenience: runs a whole stream and finishes it.
+  std::vector<DetectedEvent> Run(const std::vector<Event<std::string>>& nmea);
+
+  /// \brief Flushes shard reorder buffers, closes open pair states and the
+  /// current window.
+  std::vector<DetectedEvent> Finish();
+
+  size_t num_shards() const { return shards_.size(); }
+
+  /// \brief Merged per-stage metrics. Refreshed at the end of every
+  /// IngestBatch / Finish call (shard stats are only safe to read when the
+  /// workers are quiescent, so mid-batch window closes do not refresh).
+  const PipelineMetrics& metrics() const { return metrics_; }
+
+  /// \brief Read-only view over the per-shard store partitions. Valid while
+  /// the pipeline is alive and quiescent (between ingest calls).
+  PartitionedTrajectoryView store_view() const;
+
+  /// \brief Coverage model merged across shards (copy).
+  CoverageModel MergedCoverage() const;
+
+  /// \brief Synopsis log merged across shards, ordered by (time, MMSI).
+  std::vector<CriticalPoint> MergedSynopsisLog() const;
+
+  /// \brief Partition introspection (e.g. per-shard store sizes).
+  const PipelineShardCore& shard_core(size_t i) const {
+    return *shards_[i]->core;
+  }
+
+ private:
+  /// One decoded message routed to a shard, tagged with its ingest time.
+  struct RoutedMessage {
+    Timestamp ingest_time = kInvalidTimestamp;
+    std::variant<PositionReport, StaticVoyageData> payload;
+  };
+
+  /// Parallel parse of a chunk of the window's lines into pre-sized slots.
+  struct ParseTask {
+    const Event<std::string>* lines = nullptr;
+    ParsedLine* out = nullptr;
+    size_t count = 0;
+    std::latch* done = nullptr;
+  };
+
+  /// One window's routed work for one shard (outputs owned by the window).
+  struct ShardTask {
+    std::vector<RoutedMessage>* messages = nullptr;  ///< null for flush
+    std::vector<DetectedEvent>* events = nullptr;
+    std::vector<PairObservation>* pairs = nullptr;
+    std::latch* done = nullptr;
+  };
+
+  using Command = std::variant<ParseTask, ShardTask>;
+
+  /// All coordinator-side state of one in-flight window.
+  struct Window {
+    std::vector<ParsedLine> parsed;
+    std::vector<Timestamp> ingest_times;  ///< original per-line ingest time
+    std::vector<std::vector<RoutedMessage>> routed;      // per shard
+    std::vector<std::vector<DetectedEvent>> events;      // per shard
+    std::vector<std::vector<PairObservation>> pairs;     // per shard
+    std::unique_ptr<std::latch> shards_done;
+  };
+
+  struct Shard {
+    explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+    std::unique_ptr<PipelineShardCore> core;
+    BoundedQueue<Command> queue;
+    std::thread thread;
+  };
+
+  void WorkerLoop(Shard* shard);
+  /// Parses `lines` across the shard workers (blocking) into `window`.
+  void ParseWindow(std::span<const Event<std::string>> lines, Window* window);
+  /// Assembles parsed lines (stateful, arrival order) and routes the decoded
+  /// messages into the window's per-shard slices.
+  void AssembleAndRoute(Window* window);
+  /// Enqueues one ShardTask per shard for the window (non-blocking).
+  void DispatchShardTasks(Window* window);
+  /// AssembleAndRoute + latch setup + DispatchShardTasks.
+  void DispatchWindow(Window* window);
+  /// Waits for the window's shards, runs the pair stage, re-sequences,
+  /// fires alerts, appends finalized events to `out`.
+  void MergeWindow(Window* window, bool flush_pairs,
+                   std::vector<DetectedEvent>* out);
+  void RefreshMetrics();
+
+  PipelineConfig config_;
+  Options options_;
+  ShardRouter router_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  AisDecoder decoder_;          ///< assembly half runs on the coordinator
+  QualityAssessor quality_;
+  PairEventEngine pair_events_;
+  PipelineMetrics metrics_;
+  std::function<void(const DetectedEvent&)> alert_callback_;
+
+  /// Lines accumulated toward the current (partial) window.
+  std::vector<Event<std::string>> pending_lines_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_SHARDED_PIPELINE_H_

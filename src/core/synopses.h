@@ -59,6 +59,13 @@ class SynopsisEngine {
   struct Stats {
     uint64_t points_in = 0;
     uint64_t points_out = 0;
+
+    /// \brief Accumulates another engine's counters (per-shard merge).
+    void Merge(const Stats& other) {
+      points_in += other.points_in;
+      points_out += other.points_out;
+    }
+
     double CompressionRatio() const {
       return points_in == 0
                  ? 0.0

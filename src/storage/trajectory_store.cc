@@ -145,4 +145,108 @@ Result<Trajectory> TrajectoryStore::LoadFromArchive(uint32_t mmsi,
   return out;
 }
 
+// --- PartitionedTrajectoryView ----------------------------------------------
+
+size_t PartitionedTrajectoryView::VesselCount() const {
+  size_t n = 0;
+  for (const TrajectoryStore* p : partitions_) n += p->VesselCount();
+  return n;
+}
+
+size_t PartitionedTrajectoryView::PointCount() const {
+  size_t n = 0;
+  for (const TrajectoryStore* p : partitions_) n += p->PointCount();
+  return n;
+}
+
+Result<const Trajectory*> PartitionedTrajectoryView::GetTrajectory(
+    uint32_t mmsi) const {
+  for (const TrajectoryStore* p : partitions_) {
+    auto traj = p->GetTrajectory(mmsi);
+    if (traj.ok()) return traj;
+  }
+  return Status::NotFound("vessel not in any partition");
+}
+
+Result<Trajectory> PartitionedTrajectoryView::GetTrajectorySlice(
+    uint32_t mmsi, Timestamp t0, Timestamp t1) const {
+  for (const TrajectoryStore* p : partitions_) {
+    auto slice = p->GetTrajectorySlice(mmsi, t0, t1);
+    if (slice.ok()) return slice;
+  }
+  return Status::NotFound("vessel not in any partition");
+}
+
+std::optional<TrajectoryPoint> PartitionedTrajectoryView::Latest(
+    uint32_t mmsi) const {
+  for (const TrajectoryStore* p : partitions_) {
+    auto latest = p->Latest(mmsi);
+    if (latest.has_value()) return latest;
+  }
+  return std::nullopt;
+}
+
+std::vector<uint32_t> PartitionedTrajectoryView::QueryLive(
+    const BoundingBox& box) const {
+  std::vector<uint32_t> out;
+  for (const TrajectoryStore* p : partitions_) {
+    const auto part = p->QueryLive(box);
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<std::pair<uint32_t, double>> PartitionedTrajectoryView::NearestLive(
+    const GeoPoint& p, size_t k) const {
+  std::vector<std::pair<uint32_t, double>> all;
+  for (const TrajectoryStore* part : partitions_) {
+    const auto nearest = part->NearestLive(p, k);
+    all.insert(all.end(), nearest.begin(), nearest.end());
+  }
+  std::sort(all.begin(), all.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+std::vector<Trajectory> PartitionedTrajectoryView::QueryWindow(
+    const BoundingBox& box, Timestamp t0, Timestamp t1) const {
+  std::vector<Trajectory> out;
+  for (const TrajectoryStore* p : partitions_) {
+    auto part = p->QueryWindow(box, t0, t1);
+    for (auto& traj : part) out.push_back(std::move(traj));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Trajectory& a, const Trajectory& b) {
+              return a.mmsi < b.mmsi;
+            });
+  return out;
+}
+
+std::vector<std::pair<uint32_t, TrajectoryPoint>>
+PartitionedTrajectoryView::TimeSlice(Timestamp t) const {
+  std::vector<std::pair<uint32_t, TrajectoryPoint>> out;
+  for (const TrajectoryStore* p : partitions_) {
+    auto part = p->TimeSlice(t);
+    for (auto& entry : part) out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  return out;
+}
+
+std::vector<uint32_t> PartitionedTrajectoryView::Vessels() const {
+  std::vector<uint32_t> out;
+  for (const TrajectoryStore* p : partitions_) {
+    const auto part = p->Vessels();
+    out.insert(out.end(), part.begin(), part.end());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 }  // namespace marlin

@@ -96,6 +96,63 @@ class TrajectoryStore {
   size_t point_count_ = 0;
 };
 
+/// \brief Read-only fan-out over MMSI-partitioned trajectory stores.
+///
+/// A `ShardedPipeline` gives each shard its own `TrajectoryStore`; this view
+/// answers the store's query API across all partitions — routing per-vessel
+/// lookups to the owning partition (by probing: partitions are disjoint) and
+/// merging the results of spatial/temporal scans. The view does not own the
+/// partitions and must not outlive them; queries require the partitions to
+/// be quiescent (no shard thread appending).
+class PartitionedTrajectoryView {
+ public:
+  explicit PartitionedTrajectoryView(
+      std::vector<const TrajectoryStore*> partitions)
+      : partitions_(std::move(partitions)) {}
+
+  size_t partition_count() const { return partitions_.size(); }
+  const TrajectoryStore& partition(size_t i) const { return *partitions_[i]; }
+
+  /// \brief Vessels with at least one sample, across all partitions.
+  size_t VesselCount() const;
+  /// \brief Total stored samples across all partitions.
+  size_t PointCount() const;
+
+  /// \brief Full history of one vessel (routed to its partition).
+  Result<const Trajectory*> GetTrajectory(uint32_t mmsi) const;
+
+  /// \brief History of one vessel restricted to [t0, t1].
+  Result<Trajectory> GetTrajectorySlice(uint32_t mmsi, Timestamp t0,
+                                        Timestamp t1) const;
+
+  /// \brief Latest known sample of one vessel.
+  std::optional<TrajectoryPoint> Latest(uint32_t mmsi) const;
+
+  /// \brief Vessels whose latest position lies in `box` (merged, sorted).
+  std::vector<uint32_t> QueryLive(const BoundingBox& box) const;
+
+  /// \brief k vessels nearest to `p` by latest position, nearest first
+  /// (k-way merge of per-partition results).
+  std::vector<std::pair<uint32_t, double>> NearestLive(const GeoPoint& p,
+                                                       size_t k) const;
+
+  /// \brief Spatio-temporal range query, grouped per vessel (merged,
+  /// ordered by MMSI).
+  std::vector<Trajectory> QueryWindow(const BoundingBox& box, Timestamp t0,
+                                      Timestamp t1) const;
+
+  /// \brief Interpolated position of every vessel active at `t` (merged,
+  /// ordered by MMSI).
+  std::vector<std::pair<uint32_t, TrajectoryPoint>> TimeSlice(
+      Timestamp t) const;
+
+  /// \brief All MMSIs, sorted ascending.
+  std::vector<uint32_t> Vessels() const;
+
+ private:
+  std::vector<const TrajectoryStore*> partitions_;
+};
+
 }  // namespace marlin
 
 #endif  // MARLIN_STORAGE_TRAJECTORY_STORE_H_

@@ -56,6 +56,22 @@ class BoundedQueue {
     return item;
   }
 
+  /// \brief Blocking batch pop: waits for at least one item (or close),
+  /// then drains up to `max_items` in one lock acquisition. Returns the
+  /// number of items appended to `out`; 0 means closed-and-drained.
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    size_t n = 0;
+    while (!items_.empty() && n < max_items) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+      ++n;
+    }
+    if (n > 0) not_full_.notify_all();
+    return n;
+  }
+
   /// \brief Non-blocking pop.
   std::optional<T> TryPop() {
     std::lock_guard<std::mutex> lock(mutex_);

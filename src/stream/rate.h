@@ -25,6 +25,17 @@ class RateMeter {
   Timestamp first_event() const { return first_; }
   Timestamp last_event() const { return last_; }
 
+  /// \brief Folds another meter into this one (per-shard merge): counts sum,
+  /// the observed span becomes the union of the two spans.
+  void Merge(const RateMeter& other) {
+    count_ += other.count_;
+    if (other.first_ != kInvalidTimestamp &&
+        (first_ == kInvalidTimestamp || other.first_ < first_)) {
+      first_ = other.first_;
+    }
+    if (other.last_ != kInvalidTimestamp) last_ = std::max(last_, other.last_);
+  }
+
   /// \brief Events per second over the observed event-time span.
   double EventsPerSecond() const {
     if (count_ < 2 || last_ <= first_) return 0.0;
@@ -59,6 +70,28 @@ class LatencyReservoir {
 
   uint64_t count() const { return count_; }
   double Mean() const { return count_ == 0 ? 0.0 : sum_ / count_; }
+
+  /// \brief Folds another reservoir into this one (per-shard merge). Counts
+  /// and sums are exact; the retained sample sets are combined and, when
+  /// over capacity, thinned systematically so both sides stay represented
+  /// proportionally — quantiles stay approximate, as with any reservoir.
+  void Merge(const LatencyReservoir& other) {
+    sum_ += other.sum_;
+    count_ += other.count_;
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    if (samples_.size() > capacity_) {
+      std::vector<DurationMs> thinned;
+      thinned.reserve(capacity_);
+      const double stride =
+          static_cast<double>(samples_.size()) / static_cast<double>(capacity_);
+      for (size_t i = 0; i < capacity_; ++i) {
+        thinned.push_back(
+            samples_[static_cast<size_t>(static_cast<double>(i) * stride)]);
+      }
+      samples_ = std::move(thinned);
+    }
+  }
 
   /// \brief q-quantile (0..1) of the retained samples.
   DurationMs Quantile(double q) const {

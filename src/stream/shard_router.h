@@ -1,0 +1,45 @@
+#ifndef MARLIN_STREAM_SHARD_ROUTER_H_
+#define MARLIN_STREAM_SHARD_ROUTER_H_
+
+/// \file shard_router.h
+/// \brief Key → shard assignment for partitioned stream processing.
+///
+/// MMSIs are structured (3-digit country prefix + operator block), so a
+/// plain modulo would skew shard load for fleets clustered under a few
+/// MIDs. A 64-bit finalizer (splitmix64) whitens the key first; the mapping
+/// is a pure function, so any router instance — on any thread, in any
+/// process — routes a key identically.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace marlin {
+
+/// \brief splitmix64 finalizer — a fast, well-distributed 64-bit mixer.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// \brief Deterministic hash partitioner over a fixed shard count.
+class ShardRouter {
+ public:
+  explicit ShardRouter(size_t num_shards)
+      : num_shards_(num_shards == 0 ? 1 : num_shards) {}
+
+  size_t num_shards() const { return num_shards_; }
+
+  /// \brief Shard index for a key (stable across runs and machines).
+  size_t ShardFor(uint64_t key) const {
+    return static_cast<size_t>(SplitMix64(key) % num_shards_);
+  }
+
+ private:
+  size_t num_shards_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STREAM_SHARD_ROUTER_H_

@@ -32,6 +32,20 @@ void CoverageModel::Observe(uint32_t vessel, Timestamp t) {
   c.last = t;
 }
 
+void CoverageModel::Merge(const CoverageModel& other) {
+  for (const auto& [vessel, theirs] : other.coverage_) {
+    auto [it, inserted] = coverage_.emplace(vessel, theirs);
+    if (inserted) continue;
+    VesselCoverage& ours = it->second;
+    ours.first = std::min(ours.first, theirs.first);
+    ours.last = std::max(ours.last, theirs.last);
+    ours.prev_report = std::max(ours.prev_report, theirs.prev_report);
+    ours.gaps.insert(ours.gaps.end(), theirs.gaps.begin(), theirs.gaps.end());
+    std::sort(ours.gaps.begin(), ours.gaps.end());
+    ours.dark_total += theirs.dark_total;
+  }
+}
+
 std::vector<std::pair<Timestamp, Timestamp>> CoverageModel::DarkPeriods(
     uint32_t vessel, Timestamp t0, Timestamp t1) const {
   std::vector<std::pair<Timestamp, Timestamp>> out;

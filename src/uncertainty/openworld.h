@@ -48,6 +48,11 @@ class CoverageModel {
   /// \brief Registers one observation of `vessel` at `t`.
   void Observe(uint32_t vessel, Timestamp t);
 
+  /// \brief Folds another model into this one. Intended for per-shard
+  /// coverage maps whose vessel sets are disjoint (MMSI-partitioned); when a
+  /// vessel appears in both, spans are unioned and gap lists merged.
+  void Merge(const CoverageModel& other);
+
   /// \brief Dark periods of `vessel` within [t0, t1]: maximal sub-intervals
   /// not covered by observations (boundary-clipped).
   std::vector<std::pair<Timestamp, Timestamp>> DarkPeriods(uint32_t vessel,

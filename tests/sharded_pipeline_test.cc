@@ -1,0 +1,431 @@
+// Sharded-pipeline tests: determinism against the sequential reference,
+// partition-aware storage views, metric merging, shard routing.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "core/sharded_pipeline.h"
+#include "sim/scenario.h"
+#include "sim/world.h"
+#include "storage/trajectory_store.h"
+#include "stream/shard_router.h"
+
+namespace marlin {
+namespace {
+
+ScenarioOutput MakeScenario(uint64_t seed, bool perfect_reception) {
+  static World world = World::Basin();
+  ScenarioConfig config;
+  config.seed = seed;
+  config.duration = 90 * kMillisPerMinute;
+  config.transit_vessels = 14;
+  config.fishing_vessels = 4;
+  config.loiter_vessels = 2;
+  config.rendezvous_pairs = 2;
+  config.dark_vessels = 2;
+  config.spoof_identity_vessels = 1;
+  config.spoof_teleport_vessels = 1;
+  config.perfect_reception = perfect_reception;
+  return GenerateScenario(world, config);
+}
+
+const World& SharedWorld() {
+  static World world = World::Basin();
+  return world;
+}
+
+auto EventKey(const DetectedEvent& ev) {
+  return std::make_tuple(ev.detected_at, ev.vessel_a, ev.vessel_b,
+                         static_cast<int>(ev.type), ev.start, ev.end,
+                         ev.zone_id, ev.severity, ev.where.lat, ev.where.lon);
+}
+
+void ExpectSameEvents(const std::vector<DetectedEvent>& a,
+                      const std::vector<DetectedEvent>& b,
+                      bool compare_order) {
+  ASSERT_EQ(a.size(), b.size());
+  std::vector<decltype(EventKey(a.front()))> ka, kb;
+  for (const auto& ev : a) ka.push_back(EventKey(ev));
+  for (const auto& ev : b) kb.push_back(EventKey(ev));
+  if (!compare_order) {
+    std::sort(ka.begin(), ka.end());
+    std::sort(kb.begin(), kb.end());
+  }
+  for (size_t i = 0; i < ka.size(); ++i) {
+    EXPECT_EQ(ka[i], kb[i]) << "event mismatch at index " << i;
+  }
+}
+
+PipelineConfig TestConfig() {
+  PipelineConfig pc;
+  pc.window_lines = 512;  // several windows per scenario
+  return pc;
+}
+
+// --- Determinism ------------------------------------------------------------
+
+TEST(ShardedPipelineTest, OneShardReproducesSequentialExactly) {
+  const ScenarioOutput scenario = MakeScenario(901, /*perfect_reception=*/false);
+  const PipelineConfig pc = TestConfig();
+
+  MaritimePipeline sequential(pc, &SharedWorld().zones(), nullptr, nullptr,
+                              nullptr);
+  const auto seq_events = sequential.Run(scenario.nmea);
+
+  ShardedPipeline::Options opts;
+  opts.num_shards = 1;
+  ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), nullptr, nullptr,
+                          nullptr);
+  const auto shard_events = sharded.Run(scenario.nmea);
+
+  ASSERT_GT(seq_events.size(), 0u);
+  ExpectSameEvents(seq_events, shard_events, /*compare_order=*/true);
+
+  // Stage counters agree bit-for-bit.
+  const PipelineMetrics& ms = sequential.metrics();
+  const PipelineMetrics& mp = sharded.metrics();
+  EXPECT_EQ(ms.decoder.lines_in, mp.decoder.lines_in);
+  EXPECT_EQ(ms.decoder.messages_out, mp.decoder.messages_out);
+  EXPECT_EQ(ms.decoder.bad_sentences, mp.decoder.bad_sentences);
+  EXPECT_EQ(ms.decoder.pending_fragments, mp.decoder.pending_fragments);
+  EXPECT_EQ(ms.reconstruction.points_out, mp.reconstruction.points_out);
+  EXPECT_EQ(ms.reconstruction.late_dropped, mp.reconstruction.late_dropped);
+  EXPECT_EQ(ms.synopses.points_in, mp.synopses.points_in);
+  EXPECT_EQ(ms.synopses.points_out, mp.synopses.points_out);
+  EXPECT_EQ(ms.events.points_in, mp.events.points_in);
+  EXPECT_EQ(ms.events.events_out, mp.events.events_out);
+  EXPECT_EQ(ms.alerts, mp.alerts);
+  EXPECT_EQ(ms.ingest_rate.count(), mp.ingest_rate.count());
+  EXPECT_EQ(ms.end_to_end_latency.count(), mp.end_to_end_latency.count());
+}
+
+TEST(ShardedPipelineTest, ManyShardsProduceSameEventMultiset) {
+  const ScenarioOutput scenario = MakeScenario(902, /*perfect_reception=*/false);
+  const PipelineConfig pc = TestConfig();
+
+  MaritimePipeline sequential(pc, &SharedWorld().zones(), nullptr, nullptr,
+                              nullptr);
+  const auto seq_events = sequential.Run(scenario.nmea);
+  ASSERT_GT(seq_events.size(), 0u);
+
+  for (size_t num_shards : {2, 3, 4, 8}) {
+    ShardedPipeline::Options opts;
+    opts.num_shards = num_shards;
+    ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), nullptr,
+                            nullptr, nullptr);
+    const auto shard_events = sharded.Run(scenario.nmea);
+    ExpectSameEvents(seq_events, shard_events, /*compare_order=*/false);
+
+    const PipelineMetrics& ms = sequential.metrics();
+    const PipelineMetrics& mp = sharded.metrics();
+    EXPECT_EQ(ms.decoder.messages_out, mp.decoder.messages_out);
+    EXPECT_EQ(ms.reconstruction.points_out, mp.reconstruction.points_out);
+    EXPECT_EQ(ms.synopses.points_out, mp.synopses.points_out);
+    EXPECT_EQ(ms.events.events_out, mp.events.events_out);
+    EXPECT_EQ(ms.alerts, mp.alerts);
+    EXPECT_EQ(ms.end_to_end_latency.count(), mp.end_to_end_latency.count());
+  }
+}
+
+TEST(ShardedPipelineTest, SplitBatchesMatchSingleBatch) {
+  // Window boundaries are defined by line count, not batch boundaries:
+  // feeding the stream in arbitrary chunks must not change the output.
+  const ScenarioOutput scenario = MakeScenario(903, /*perfect_reception=*/true);
+  const PipelineConfig pc = TestConfig();
+
+  ShardedPipeline::Options opts;
+  opts.num_shards = 3;
+  ShardedPipeline one_batch(pc, opts, &SharedWorld().zones(), nullptr,
+                            nullptr, nullptr);
+  const auto whole = one_batch.Run(scenario.nmea);
+
+  ShardedPipeline split(pc, opts, &SharedWorld().zones(), nullptr, nullptr,
+                        nullptr);
+  std::vector<DetectedEvent> pieced;
+  std::span<const Event<std::string>> all(scenario.nmea);
+  // Deliberately misaligned chunk sizes.
+  for (size_t off = 0; off < all.size();) {
+    const size_t take = std::min<size_t>(737, all.size() - off);
+    auto part = split.IngestBatch(all.subspan(off, take));
+    pieced.insert(pieced.end(), part.begin(), part.end());
+    off += take;
+  }
+  auto tail = split.Finish();
+  pieced.insert(pieced.end(), tail.begin(), tail.end());
+
+  ExpectSameEvents(whole, pieced, /*compare_order=*/true);
+}
+
+TEST(ShardedPipelineTest, TimeCapClosesWindowsOnLowRateFeeds) {
+  // With a line budget that never fills, the ingest-time cap must still
+  // close windows so alerts are not deferred to Finish.
+  const ScenarioOutput scenario = MakeScenario(905, /*perfect_reception=*/true);
+  PipelineConfig pc;
+  pc.window_lines = 1u << 20;  // effectively line-unbounded
+  pc.window_time_ms = Minutes(1);
+
+  MaritimePipeline sequential(pc, &SharedWorld().zones(), nullptr, nullptr,
+                              nullptr);
+  size_t seq_before_finish = 0;
+  for (const auto& ev : scenario.nmea) {
+    seq_before_finish +=
+        sequential.IngestNmea(ev.payload, ev.ingest_time).size();
+  }
+  const auto seq_tail = sequential.Finish();
+  EXPECT_GT(seq_before_finish, 0u) << "no window closed before Finish";
+
+  ShardedPipeline::Options opts;
+  opts.num_shards = 2;
+  ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), nullptr, nullptr,
+                          nullptr);
+  const size_t sharded_before_finish =
+      sharded.IngestBatch(scenario.nmea).size();
+  const auto sharded_tail = sharded.Finish();
+  EXPECT_EQ(sharded_before_finish, seq_before_finish);
+  EXPECT_EQ(sharded_tail.size(), seq_tail.size());
+}
+
+// --- Partitioned storage ----------------------------------------------------
+
+TEST(ShardedPipelineTest, PartitionedStoreViewMatchesSequentialStore) {
+  const ScenarioOutput scenario = MakeScenario(904, /*perfect_reception=*/true);
+  const PipelineConfig pc = TestConfig();
+
+  MaritimePipeline sequential(pc, &SharedWorld().zones(), nullptr, nullptr,
+                              nullptr);
+  sequential.Run(scenario.nmea);
+
+  ShardedPipeline::Options opts;
+  opts.num_shards = 4;
+  ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), nullptr, nullptr,
+                          nullptr);
+  sharded.Run(scenario.nmea);
+
+  const TrajectoryStore& seq_store = sequential.store();
+  const PartitionedTrajectoryView view = sharded.store_view();
+
+  EXPECT_EQ(view.partition_count(), 4u);
+  EXPECT_EQ(view.VesselCount(), seq_store.VesselCount());
+  EXPECT_EQ(view.PointCount(), seq_store.PointCount());
+
+  // Work actually spread across partitions.
+  size_t populated = 0;
+  for (size_t i = 0; i < view.partition_count(); ++i) {
+    if (view.partition(i).VesselCount() > 0) ++populated;
+  }
+  EXPECT_GE(populated, 2u);
+
+  // Per-vessel routing: histories identical.
+  auto vessels = view.Vessels();
+  ASSERT_FALSE(vessels.empty());
+  auto seq_vessels = seq_store.Vessels();
+  std::sort(seq_vessels.begin(), seq_vessels.end());
+  EXPECT_EQ(vessels, seq_vessels);
+  for (uint32_t mmsi : vessels) {
+    auto seq_traj = seq_store.GetTrajectory(mmsi);
+    auto sharded_traj = view.GetTrajectory(mmsi);
+    ASSERT_TRUE(seq_traj.ok());
+    ASSERT_TRUE(sharded_traj.ok());
+    ASSERT_EQ((*seq_traj)->points.size(), (*sharded_traj)->points.size());
+  }
+
+  // Merged spatial queries agree with the sequential store.
+  const GeoPoint probe = (*seq_store.GetTrajectory(vessels[0]))->points[0]
+                             .position;
+  auto seq_near = seq_store.NearestLive(probe, 5);
+  auto view_near = view.NearestLive(probe, 5);
+  ASSERT_EQ(seq_near.size(), view_near.size());
+  for (size_t i = 0; i < seq_near.size(); ++i) {
+    EXPECT_EQ(seq_near[i].first, view_near[i].first);
+    EXPECT_DOUBLE_EQ(seq_near[i].second, view_near[i].second);
+  }
+
+  // Merged coverage answers like the sequential model.
+  const CoverageModel merged = sharded.MergedCoverage();
+  for (uint32_t mmsi : vessels) {
+    EXPECT_EQ(merged.DarkFraction(mmsi),
+              sequential.coverage().DarkFraction(mmsi));
+  }
+
+  // Merged synopsis log is the sequential log, canonically ordered.
+  auto seq_log = sequential.synopsis_log();
+  auto sharded_log = sharded.MergedSynopsisLog();
+  ASSERT_EQ(seq_log.size(), sharded_log.size());
+  std::stable_sort(seq_log.begin(), seq_log.end(),
+                   [](const CriticalPoint& a, const CriticalPoint& b) {
+                     if (a.point.t != b.point.t) return a.point.t < b.point.t;
+                     if (a.mmsi != b.mmsi) return a.mmsi < b.mmsi;
+                     return static_cast<int>(a.type) < static_cast<int>(b.type);
+                   });
+  for (size_t i = 0; i < seq_log.size(); ++i) {
+    EXPECT_EQ(seq_log[i].mmsi, sharded_log[i].mmsi);
+    EXPECT_EQ(seq_log[i].point.t, sharded_log[i].point.t);
+    EXPECT_EQ(seq_log[i].type, sharded_log[i].type);
+  }
+}
+
+// --- Mergeable stats --------------------------------------------------------
+
+TEST(StatsMergeTest, DecoderStatsSum) {
+  AisDecoder::Stats a, b;
+  a.lines_in = 10;
+  a.messages_out = 7;
+  a.bad_sentences = 2;
+  b.lines_in = 5;
+  b.messages_out = 4;
+  b.pending_fragments = 1;
+  a.Merge(b);
+  EXPECT_EQ(a.lines_in, 15u);
+  EXPECT_EQ(a.messages_out, 11u);
+  EXPECT_EQ(a.bad_sentences, 2u);
+  EXPECT_EQ(a.pending_fragments, 1u);
+}
+
+TEST(StatsMergeTest, ReconstructionStatsSum) {
+  TrajectoryReconstructor::Stats a, b;
+  a.reports_in = 100;
+  a.points_out = 90;
+  a.duplicates = 5;
+  b.reports_in = 50;
+  b.points_out = 45;
+  b.outliers = 3;
+  a.Merge(b);
+  EXPECT_EQ(a.reports_in, 150u);
+  EXPECT_EQ(a.points_out, 135u);
+  EXPECT_EQ(a.duplicates, 5u);
+  EXPECT_EQ(a.outliers, 3u);
+}
+
+TEST(StatsMergeTest, SynopsisStatsPreserveCompressionRatio) {
+  SynopsisEngine::Stats a, b;
+  a.points_in = 1000;
+  a.points_out = 50;
+  b.points_in = 500;
+  b.points_out = 100;
+  a.Merge(b);
+  EXPECT_EQ(a.points_in, 1500u);
+  EXPECT_EQ(a.points_out, 150u);
+  EXPECT_NEAR(a.CompressionRatio(), 0.9, 1e-9);
+}
+
+TEST(StatsMergeTest, EventAndEnrichmentStatsSum) {
+  EventEngine::Stats ea, eb;
+  ea.points_in = 10;
+  ea.events_out = 3;
+  eb.points_in = 20;
+  eb.events_out = 5;
+  ea.Merge(eb);
+  EXPECT_EQ(ea.points_in, 30u);
+  EXPECT_EQ(ea.events_out, 8u);
+
+  EnrichmentEngine::Stats na, nb;
+  na.points = 4;
+  nb.points = 6;
+  nb.zone_hits = 2;
+  na.Merge(nb);
+  EXPECT_EQ(na.points, 10u);
+  EXPECT_EQ(na.zone_hits, 2u);
+}
+
+TEST(StatsMergeTest, QualityReportSums) {
+  QualityAssessor::Report a, b;
+  a.static_messages = 10;
+  a.static_with_defects = 1;
+  a.defect_counts[2] = 1;
+  b.static_messages = 30;
+  b.static_with_defects = 3;
+  b.defect_counts[2] = 2;
+  b.position_messages = 100;
+  a.Merge(b);
+  EXPECT_EQ(a.static_messages, 40u);
+  EXPECT_EQ(a.static_with_defects, 4u);
+  EXPECT_EQ(a.defect_counts[2], 3u);
+  EXPECT_EQ(a.position_messages, 100u);
+  EXPECT_NEAR(a.StaticErrorRate(), 0.1, 1e-9);
+}
+
+TEST(StatsMergeTest, RateMeterUnionsSpan) {
+  RateMeter a, b;
+  for (int i = 0; i <= 10; ++i) a.Observe(1000 + i * 100);
+  for (int i = 0; i <= 10; ++i) b.Observe(500 + i * 100);
+  const uint64_t total = a.count() + b.count();
+  a.Merge(b);
+  EXPECT_EQ(a.count(), total);
+  EXPECT_EQ(a.first_event(), 500);
+  EXPECT_EQ(a.last_event(), 2000);
+
+  RateMeter empty;
+  a.Merge(empty);  // merging an empty meter is a no-op
+  EXPECT_EQ(a.count(), total);
+  EXPECT_EQ(a.first_event(), 500);
+}
+
+TEST(StatsMergeTest, LatencyReservoirMergePreservesCountAndMean) {
+  LatencyReservoir a(64), b(64);
+  for (int i = 1; i <= 1000; ++i) a.Observe(i);
+  for (int i = 1001; i <= 2000; ++i) b.Observe(i);
+  const double expected_mean =
+      (a.Mean() * a.count() + b.Mean() * b.count()) / 2000.0;
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2000u);
+  EXPECT_NEAR(a.Mean(), expected_mean, 1e-9);
+  // Quantiles remain sane (samples from both halves retained).
+  EXPECT_GT(a.Quantile(0.99), 500);
+}
+
+TEST(StatsMergeTest, CoverageModelMergeDisjointVessels) {
+  CoverageModel::Options opts;
+  opts.max_report_interval_ms = Minutes(3);
+  CoverageModel a(opts), b(opts);
+  // Vessel 1 in a: dark gap 10:00–10:30-ish.
+  a.Observe(1, 0);
+  a.Observe(1, Minutes(1));
+  a.Observe(1, Minutes(31));  // 30-minute gap
+  a.Observe(1, Minutes(32));
+  // Vessel 2 in b: continuous.
+  for (int i = 0; i <= 30; ++i) b.Observe(2, Minutes(i));
+  a.Merge(b);
+  EXPECT_TRUE(a.IsDark(1, Minutes(15)));
+  EXPECT_FALSE(a.IsDark(2, Minutes(15)));
+  EXPECT_EQ(a.Vessels().size(), 2u);
+}
+
+// --- Shard router -----------------------------------------------------------
+
+TEST(ShardRouterTest, DeterministicAndInRange) {
+  ShardRouter router(7);
+  for (uint64_t key = 0; key < 1000; ++key) {
+    const size_t s = router.ShardFor(key);
+    EXPECT_LT(s, 7u);
+    EXPECT_EQ(s, router.ShardFor(key));  // stable
+  }
+}
+
+TEST(ShardRouterTest, BalancesStructuredMmsis) {
+  // Real MMSIs cluster under a few country prefixes; the router must still
+  // spread them. Simulate two MID blocks with sequential suffixes.
+  ShardRouter router(8);
+  std::vector<size_t> load(8, 0);
+  for (uint32_t i = 0; i < 500; ++i) {
+    ++load[router.ShardFor(247000000 + i)];  // Italy block
+    ++load[router.ShardFor(538000000 + i)];  // Marshall Islands block
+  }
+  const size_t total = 1000;
+  for (size_t s = 0; s < 8; ++s) {
+    EXPECT_GT(load[s], total / 8 / 3) << "shard " << s << " starved";
+    EXPECT_LT(load[s], total / 8 * 3) << "shard " << s << " overloaded";
+  }
+}
+
+TEST(ShardRouterTest, ZeroShardCountClampsToOne) {
+  ShardRouter router(0);
+  EXPECT_EQ(router.num_shards(), 1u);
+  EXPECT_EQ(router.ShardFor(42), 0u);
+}
+
+}  // namespace
+}  // namespace marlin

@@ -4,7 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "stream/event.h"
@@ -69,6 +72,83 @@ TEST(QueueTest, TryPopNonBlocking) {
   EXPECT_FALSE(q.TryPop().has_value());
   q.Push(9);
   EXPECT_EQ(*q.TryPop(), 9);
+}
+
+TEST(QueueTest, MultiProducerMultiConsumerStress) {
+  BoundedQueue<int> q(8);  // tight capacity: producers and consumers block
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 5000;
+  std::vector<std::thread> producers, consumers;
+  std::atomic<int64_t> consumed_sum{0};
+  std::atomic<int64_t> consumed_count{0};
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        consumed_sum.fetch_add(*v, std::memory_order_relaxed);
+        consumed_count.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+  constexpr int64_t kTotal = int64_t{kProducers} * kPerProducer;
+  EXPECT_EQ(consumed_count.load(), kTotal);
+  EXPECT_EQ(consumed_sum.load(), kTotal * (kTotal - 1) / 2);
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(QueueTest, CloseUnblocksWaitingProducers) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.Push(1));
+  std::thread producer([&q] {
+    EXPECT_FALSE(q.Push(2));  // blocks on full queue until Close rejects it
+  });
+  // Give the producer time to block, then close.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  producer.join();
+  // The queued item is still drainable after close.
+  EXPECT_EQ(*q.Pop(), 1);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(QueueTest, CloseUnblocksWaitingConsumers) {
+  BoundedQueue<int> q(4);
+  std::thread consumer([&q] { EXPECT_FALSE(q.Pop().has_value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Close();
+  consumer.join();
+}
+
+TEST(QueueTest, PopBatchDrainsUpToLimit) {
+  BoundedQueue<int> q(16);
+  for (int i = 0; i < 10; ++i) q.Push(i);
+  std::vector<int> out;
+  EXPECT_EQ(q.PopBatch(&out, 4), 4u);
+  EXPECT_EQ(out, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(q.PopBatch(&out, 100), 6u);
+  EXPECT_EQ(out.size(), 10u);
+  q.Close();
+  EXPECT_EQ(q.PopBatch(&out, 4), 0u);  // closed & drained
+}
+
+TEST(QueueTest, PopBatchBlocksUntilFirstItem) {
+  BoundedQueue<int> q(4);
+  std::vector<int> out;
+  std::thread consumer([&] { EXPECT_EQ(q.PopBatch(&out, 8), 1u); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.Push(77);
+  consumer.join();
+  EXPECT_EQ(out, std::vector<int>{77});
 }
 
 // --- Watermark ---------------------------------------------------------------
