@@ -9,7 +9,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "context/weather.h"
@@ -64,9 +67,10 @@ void PrintArchitectureRun() {
       100.0 * m.synopses.CompressionRatio());
   std::printf(
       "      |\n  [semantic enrichment] -> %llu points joined "
-      "(zones hit: %llu)\n",
+      "(zones hit: %llu, queue drops: %llu)\n",
       static_cast<unsigned long long>(m.enrichment.points),
-      static_cast<unsigned long long>(m.enrichment.zone_hits));
+      static_cast<unsigned long long>(m.enrichment.zone_hits),
+      static_cast<unsigned long long>(m.enrichment_stage.queue_dropped));
   std::printf(
       "      |\n  [complex event recognition] -> %llu events, %llu alerts\n",
       static_cast<unsigned long long>(m.events.events_out),
@@ -132,6 +136,75 @@ BENCHMARK(BM_ShardedArchitecture)
     ->Arg(2)
     ->Arg(4)
     ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Weather source with a deliberate per-lookup stall, modelling a slow
+// *remote* context service (the case §2.2's integration must survive).
+// The stall blocks rather than spins: a slow upstream is I/O latency, not
+// CPU demand, and on small hosts a spinning stall would steal the very
+// cores the ingest path is being measured on.
+class SlowWeather : public WeatherProvider {
+ public:
+  SlowWeather(uint64_t seed, std::chrono::microseconds stall)
+      : WeatherProvider(seed), stall_(stall) {}
+
+  WeatherSample At(const GeoPoint& p, Timestamp t) const override {
+    std::this_thread::sleep_for(stall_);
+    return WeatherProvider::At(p, t);
+  }
+
+ private:
+  std::chrono::microseconds stall_;
+};
+
+// The enrichment-on/off axis: arg0 = shards, arg1 = mode.
+//   mode 0: enrichment stage disabled entirely (the ingest-only baseline)
+//   mode 1: async enrichment against a deliberately slow weather provider
+//           (1 ms/lookup), enriched points delivered to a counting sink.
+// The side-stage's drop-oldest queue means mode 1's ingest throughput must
+// stay within ~10% of mode 0 — slow context sources cost drops (surfaced
+// in the counters), never ingest stalls. The residual gap is the Finish
+// delivery barrier (≤ queue_depth stalled lookups per shard) plus, on
+// small hosts, sleep wake-up scheduling.
+void BM_EnrichmentSideStage(benchmark::State& state) {
+  const World& world = bench::SharedWorld();
+  const ScenarioOutput& scenario = bench::SharedScenario(F2Config());
+  const bool enrich = state.range(1) != 0;
+  SlowWeather weather(7, std::chrono::microseconds(1000));
+  uint64_t lines = 0;
+  uint64_t enriched_out = 0;
+  uint64_t drops = 0;
+  for (auto _ : state) {
+    PipelineConfig config;
+    config.enable_enrichment = enrich;
+    config.enrichment_queue_depth = 8;  // keeps the Finish barrier short
+    ShardedPipeline::Options opts;
+    opts.num_shards = static_cast<size_t>(state.range(0));
+    ShardedPipeline pipeline(config, opts, &world.zones(),
+                             enrich ? &weather : nullptr, nullptr, nullptr);
+    std::atomic<uint64_t> delivered{0};
+    if (enrich) {
+      pipeline.SetEnrichedSink(
+          [&delivered](const EnrichedPoint&) { ++delivered; });
+    }
+    const auto events = pipeline.Run(scenario.nmea);
+    lines += scenario.nmea.size();
+    enriched_out = delivered.load();
+    drops = pipeline.metrics().enrichment_stage.queue_dropped;
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(lines), benchmark::Counter::kIsRate);
+  state.counters["enriched"] = static_cast<double>(enriched_out);
+  state.counters["enrich_drops"] = static_cast<double>(drops);
+}
+BENCHMARK(BM_EnrichmentSideStage)
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 0})
+    ->Args({4, 1})
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

@@ -40,9 +40,12 @@ class WeatherProvider {
   explicit WeatherProvider(uint64_t seed) : WeatherProvider(seed, Options()) {}
   WeatherProvider(uint64_t seed, const Options& options)
       : seed_(seed), options_(options) {}
+  virtual ~WeatherProvider() = default;
 
-  /// \brief Trilinear-interpolated sample at (p, t).
-  WeatherSample At(const GeoPoint& p, Timestamp t) const;
+  /// \brief Trilinear-interpolated sample at (p, t). Virtual so tests and
+  /// benches can model slow upstream sources (the enrichment side-stage's
+  /// backpressure scenarios).
+  virtual WeatherSample At(const GeoPoint& p, Timestamp t) const;
 
   /// \brief Native resolution of the source (for enrichment metadata).
   double grid_deg() const { return options_.grid_deg; }

@@ -10,12 +10,14 @@ MaritimePipeline::MaritimePipeline(const PipelineConfig& config,
                                    const VesselRegistry* registry_a,
                                    const VesselRegistry* registry_b)
     : config_(config),
-      core_(config_, zones, weather, registry_a, registry_b),
+      core_(config_, /*async_enrichment=*/false, zones, weather, registry_a,
+            registry_b),
       pair_events_(config.events) {}
 
 std::vector<DetectedEvent> MaritimePipeline::IngestNmea(
     const std::string& line, Timestamp ingest_time) {
   if (window_line_count_ == 0) window_first_ingest_ = ingest_time;
+  last_ingest_ = ingest_time;
   std::optional<AisMessage> msg = decoder_.Decode(line, ingest_time);
   if (msg.has_value()) {
     if (config_.enable_quality_assessment) quality_.Observe(*msg);
@@ -58,6 +60,7 @@ void MaritimePipeline::RefreshMetrics() {
   metrics_.events = core_.vessel_event_stats();
   metrics_.events.events_out += pair_events_.stats().events_out;
   metrics_.enrichment = core_.enrichment_stats();
+  metrics_.enrichment_stage = core_.enrichment_stage_stats();
   metrics_.quality = quality_.report();
   metrics_.end_to_end_latency = core_.end_to_end_latency();
 }
@@ -81,7 +84,8 @@ std::vector<DetectedEvent> MaritimePipeline::Run(
 }
 
 std::vector<DetectedEvent> MaritimePipeline::Finish() {
-  core_.Flush(&window_events_, &window_pairs_);
+  core_.Flush(last_ingest_, &window_events_, &window_pairs_);
+  core_.FlushEnrichment();  // delivery-completeness barrier (no-op inline)
   return CloseWindow(/*flush_pairs=*/true);
 }
 

@@ -57,6 +57,16 @@ struct PipelineConfig {
   /// in-situ trade-off of E12.
   bool store_full_rate = true;
   bool enable_quality_assessment = true;
+  /// Run the contextual-join side-stage at all. Off skips the stage
+  /// entirely (the bench baseline for the enrichment-on/off axis).
+  bool enable_enrichment = true;
+  /// Enrichment side-stage input queue depth, per shard. The stage never
+  /// blocks ingest: overflow evicts the oldest queued point and counts it
+  /// in `PipelineMetrics::enrichment_stage.queue_dropped`.
+  size_t enrichment_queue_depth = 1024;
+  /// Capacity of the per-shard enriched drain buffer used when no sink is
+  /// registered; overflow evicts the oldest buffered point (counted).
+  size_t enriched_output_capacity = 8192;
   /// Pair-rule / re-sequencing window, in input lines. Smaller windows
   /// lower pair-event latency; larger windows amortise the merge. Must be
   /// identical between a sequential pipeline and a sharded pipeline whose
@@ -117,6 +127,10 @@ struct PipelineMetrics {
   SynopsisEngine::Stats synopses;
   EventEngine::Stats events;
   EnrichmentEngine::Stats enrichment;
+  /// Enrichment side-stage health: queue depth high-water mark, counted
+  /// drops (backpressure made visible, never a stall), submit→delivery
+  /// latency.
+  SideStageStats enrichment_stage;
   QualityAssessor::Report quality;
   uint64_t alerts = 0;
   RateMeter ingest_rate;
@@ -137,6 +151,26 @@ class MaritimePipeline {
   void OnAlert(std::function<void(const DetectedEvent&)> callback) {
     alert_callback_ = std::move(callback);
   }
+
+  /// \brief Subscribes to the enriched output stream (§2.2's contextually
+  /// rich stream). The sequential pipeline runs the stage synchronously, so
+  /// the sink fires on the caller thread, in processing order. Install
+  /// before the first ingest call.
+  void SetEnrichedSink(EnrichedSink sink) {
+    core_.SetEnrichedSink(std::move(sink));
+  }
+
+  /// \brief Batched alternative to a sink: moves the enriched points
+  /// buffered since the last drain (delivery order) into `out`.
+  size_t DrainEnriched(std::vector<EnrichedPoint>* out) {
+    return core_.DrainEnriched(out);
+  }
+
+  /// \brief Enrichment delivery barrier. A no-op here (the stage is
+  /// synchronous); `Finish` calls it so both pipelines share the contract
+  /// that after Finish every clean point has been delivered or counted
+  /// dropped.
+  void FlushEnrichment() { core_.FlushEnrichment(); }
 
   /// \brief Feeds one NMEA line with its ingest timestamp. Returns the
   /// events finalized by this line — single-vessel events surface when the
@@ -183,6 +217,7 @@ class MaritimePipeline {
   std::vector<PairObservation> window_pairs_;
   size_t window_line_count_ = 0;
   Timestamp window_first_ingest_ = kInvalidTimestamp;
+  Timestamp last_ingest_ = kInvalidTimestamp;  ///< newest line's ingest time
   std::function<void(const DetectedEvent&)> alert_callback_;
 };
 

@@ -4,7 +4,23 @@
 
 namespace marlin {
 
+namespace {
+
+AsyncSideStage<ReconstructedPoint, EnrichedPoint>::Options EnrichmentOptions(
+    const PipelineConfig& config, bool async) {
+  AsyncSideStage<ReconstructedPoint, EnrichedPoint>::Options options;
+  // A disabled stage never receives a Submit; keep it synchronous so no
+  // idle worker thread is spawned per shard.
+  options.async = async && config.enable_enrichment;
+  options.queue_depth = config.enrichment_queue_depth;
+  options.output_capacity = config.enriched_output_capacity;
+  return options;
+}
+
+}  // namespace
+
 PipelineShardCore::PipelineShardCore(const PipelineConfig& config,
+                                     bool async_enrichment,
                                      const ZoneDatabase* zones,
                                      const WeatherProvider* weather,
                                      const VesselRegistry* registry_a,
@@ -14,6 +30,13 @@ PipelineShardCore::PipelineShardCore(const PipelineConfig& config,
       synopses_(config.synopses),
       vessel_events_(zones, config.events),
       enrichment_(zones, weather, registry_a, registry_b, &source_quality_),
+      enrichment_stage_(EnrichmentOptions(config, async_enrichment),
+                        [this](const ReconstructedPoint& rp) {
+                          EnrichedPoint out = enrichment_.Enrich(rp);
+                          std::lock_guard<std::mutex> lock(enrichment_mutex_);
+                          enrichment_stats_snapshot_ = enrichment_.stats();
+                          return out;
+                        }),
       store_(config.store),
       coverage_(config.coverage) {}
 
@@ -58,12 +81,14 @@ void PipelineShardCore::ProcessPoint(const ReconstructedPoint& rp,
     }
   }
 
-  // Enrichment + single-vessel event recognition.
-  (void)enrichment_.Enrich(rp);
+  // Enrichment side-stage (never blocks: drop-oldest backpressure) +
+  // single-vessel event recognition.
+  if (config_.enable_enrichment) enrichment_stage_.Submit(rp);
   pairs->push_back(vessel_events_.Ingest(rp, events));
 }
 
-void PipelineShardCore::Flush(std::vector<DetectedEvent>* events,
+void PipelineShardCore::Flush(Timestamp ingest_time,
+                              std::vector<DetectedEvent>* events,
                               std::vector<PairObservation>* pairs) {
   points_scratch_.clear();
   rejections_scratch_.clear();
@@ -73,6 +98,9 @@ void PipelineShardCore::Flush(std::vector<DetectedEvent>* events,
   }
   for (const ReconstructedPoint& rp : points_scratch_) {
     ProcessPoint(rp, events, pairs);
+    if (ingest_time != kInvalidTimestamp) {
+      latency_.Observe(ingest_time - rp.point.t);
+    }
   }
 }
 

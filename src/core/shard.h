@@ -12,10 +12,18 @@
 /// across the *whole* stream) and vessel-pair rules (global live picture)
 /// stay with the pipeline coordinator.
 ///
-/// A shard core is strictly single-threaded: determinism of the sharded
-/// pipeline rests on each vessel's reports flowing through exactly one core
-/// in arrival order.
+/// A shard core is strictly single-threaded on its ingest path: determinism
+/// of the sharded pipeline rests on each vessel's reports flowing through
+/// exactly one core in arrival order. The one exception is *enrichment*,
+/// which runs as an `AsyncSideStage` off the hot path: clean points are
+/// handed to a per-core worker through a bounded drop-oldest queue, so a
+/// slow context source (weather service, registry) can never stall ingest.
+/// The sequential pipeline runs the same stage synchronously, which keeps
+/// the 1-shard == sequential determinism guarantee intact for enriched
+/// output.
 
+#include <functional>
+#include <mutex>
 #include <vector>
 
 #include "ais/types.h"
@@ -28,19 +36,28 @@
 #include "core/synopses.h"
 #include "storage/trajectory_store.h"
 #include "stream/rate.h"
+#include "stream/side_stage.h"
 #include "uncertainty/openworld.h"
 
 namespace marlin {
 
 struct PipelineConfig;  // core/pipeline.h
 
+/// \brief Consumer callback for the enriched output stream. In the sharded
+/// pipeline it is invoked on the enrichment worker threads (one per shard)
+/// and must be thread-safe; per-vessel event-time order is preserved either
+/// way, because every vessel lives on exactly one FIFO stage.
+using EnrichedSink = std::function<void(const EnrichedPoint&)>;
+
 /// \brief One shard's worth of per-vessel pipeline state.
 class PipelineShardCore {
  public:
   /// \brief Context sources may be null; the corresponding enrichment is
-  /// skipped. `config` must outlive the core.
-  PipelineShardCore(const PipelineConfig& config, const ZoneDatabase* zones,
-                    const WeatherProvider* weather,
+  /// skipped. `config` must outlive the core. `async_enrichment` selects
+  /// whether the enrichment side-stage runs on its own worker (sharded
+  /// pipeline) or inline on the caller thread (sequential reference).
+  PipelineShardCore(const PipelineConfig& config, bool async_enrichment,
+                    const ZoneDatabase* zones, const WeatherProvider* weather,
                     const VesselRegistry* registry_a,
                     const VesselRegistry* registry_b);
 
@@ -60,9 +77,29 @@ class PipelineShardCore {
                        std::vector<DetectedEvent>* events,
                        std::vector<PairObservation>* pairs);
 
-  /// \brief Flushes reorder buffers at end of stream.
-  void Flush(std::vector<DetectedEvent>* events,
+  /// \brief Flushes reorder buffers at end of stream. `ingest_time` is the
+  /// stream's last observed ingest timestamp: flushed points enter the
+  /// latency reservoir against it, so end-of-stream points are measured the
+  /// same way streamed ones are (kInvalidTimestamp skips the observation).
+  void Flush(Timestamp ingest_time, std::vector<DetectedEvent>* events,
              std::vector<PairObservation>* pairs);
+
+  /// \brief Registers the enriched-output consumer. Install before the
+  /// first ProcessPosition; with async enrichment it runs on the stage
+  /// worker thread.
+  void SetEnrichedSink(EnrichedSink sink) {
+    enrichment_stage_.SetSink(std::move(sink));
+  }
+
+  /// \brief Moves buffered enriched points (delivery order) into `out`;
+  /// returns how many. Only meaningful when no sink is registered.
+  size_t DrainEnriched(std::vector<EnrichedPoint>* out) {
+    return enrichment_stage_.Drain(out);
+  }
+
+  /// \brief Barrier: returns once every submitted point has been enriched
+  /// (delivered to the sink / drain buffer) or counted as dropped.
+  void FlushEnrichment() { enrichment_stage_.Flush(); }
 
   const TrajectoryStore& store() const { return store_; }
   const CoverageModel& coverage() const { return coverage_; }
@@ -78,8 +115,18 @@ class PipelineShardCore {
   const VesselEventEngine::Stats& vessel_event_stats() const {
     return vessel_events_.stats();
   }
-  const EnrichmentEngine::Stats& enrichment_stats() const {
-    return enrichment_.stats();
+  /// \brief Snapshot of the enrichment join counters. The engine itself is
+  /// touched only by the stage transform; the transform publishes a copy of
+  /// the counters after each point, so reading here never waits on a slow
+  /// context lookup in progress.
+  EnrichmentEngine::Stats enrichment_stats() const {
+    std::lock_guard<std::mutex> lock(enrichment_mutex_);
+    return enrichment_stats_snapshot_;
+  }
+  /// \brief Snapshot of the side-stage counters (queue drops, depth,
+  /// submit→delivery latency).
+  SideStageStats enrichment_stage_stats() const {
+    return enrichment_stage_.stats();
   }
   const LatencyReservoir& end_to_end_latency() const { return latency_; }
 
@@ -93,7 +140,14 @@ class PipelineShardCore {
   SynopsisEngine synopses_;
   VesselEventEngine vessel_events_;
   SourceQualityModel source_quality_;
+  /// Engine + quality model belong to the stage transform alone (the
+  /// worker thread in async mode, the producer thread in sync mode); the
+  /// mutex guards only the published counter snapshot below, so readers
+  /// never block behind a slow context lookup.
+  mutable std::mutex enrichment_mutex_;
   EnrichmentEngine enrichment_;
+  EnrichmentEngine::Stats enrichment_stats_snapshot_;
+  AsyncSideStage<ReconstructedPoint, EnrichedPoint> enrichment_stage_;
   TrajectoryStore store_;
   CoverageModel coverage_;
   LatencyReservoir latency_;  ///< event time → processed

@@ -25,7 +25,8 @@ ShardedPipeline::ShardedPipeline(const PipelineConfig& config,
   for (size_t i = 0; i < n; ++i) {
     auto shard = std::make_unique<Shard>(capacity);
     shard->core = std::make_unique<PipelineShardCore>(
-        config_, zones, weather, registry_a, registry_b);
+        config_, /*async_enrichment=*/true, zones, weather, registry_a,
+        registry_b);
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -54,7 +55,7 @@ void ShardedPipeline::WorkerLoop(Shard* shard) {
       } else {
         ShardTask& task = std::get<ShardTask>(cmd);
         if (task.messages == nullptr) {
-          shard->core->Flush(task.events, task.pairs);
+          shard->core->Flush(task.flush_ingest_time, task.events, task.pairs);
         } else {
           for (const RoutedMessage& m : *task.messages) {
             if (const auto* pr = std::get_if<PositionReport>(&m.payload)) {
@@ -185,12 +186,18 @@ void ShardedPipeline::RefreshMetrics() {
   metrics_.synopses = {};
   metrics_.events = {};
   metrics_.enrichment = {};
+  metrics_.enrichment_stage = {};
   metrics_.end_to_end_latency = LatencyReservoir();
   for (const auto& shard : shards_) {
     metrics_.reconstruction.Merge(shard->core->reconstruction_stats());
     metrics_.synopses.Merge(shard->core->synopses_stats());
     metrics_.events.Merge(shard->core->vessel_event_stats());
+    // Engine counters and stage counters are snapshotted under their own
+    // locks, so this is safe even while enrichment workers lag behind the
+    // merged windows; Finish flushes the stages first, making the final
+    // refresh complete.
     metrics_.enrichment.Merge(shard->core->enrichment_stats());
+    metrics_.enrichment_stage.Merge(shard->core->enrichment_stage_stats());
     metrics_.end_to_end_latency.Merge(shard->core->end_to_end_latency());
   }
   metrics_.events.events_out += pair_events_.stats().events_out;
@@ -201,6 +208,9 @@ std::vector<DetectedEvent> ShardedPipeline::IngestBatch(
   std::vector<DetectedEvent> all;
   std::unique_ptr<Window> in_flight;
   size_t consumed = 0;
+  // Arrival order: the newest line is the span's last (same value the
+  // sequential pipeline tracks per IngestNmea call).
+  if (!nmea.empty()) last_ingest_ = nmea.back().ingest_time;
 
   // Walk the span cutting windows exactly where the sequential pipeline
   // would (WindowMustClose over line count + ingest time). The coordinator
@@ -276,12 +286,31 @@ std::vector<DetectedEvent> ShardedPipeline::Finish() {
   for (size_t s = 0; s < shard_count; ++s) {
     shards_[s]->queue.Push(Command(ShardTask{nullptr, &window.events[s],
                                              &window.pairs[s],
-                                             window.shards_done.get()}));
+                                             window.shards_done.get(),
+                                             last_ingest_}));
   }
   std::vector<DetectedEvent> all;
   MergeWindow(&window, /*flush_pairs=*/true, &all);
+  // Shard workers are quiescent now; drain the enrichment side-stages so
+  // the enriched stream (and its counters) are complete before the final
+  // metric refresh.
+  FlushEnrichment();
   RefreshMetrics();
   return all;
+}
+
+void ShardedPipeline::SetEnrichedSink(EnrichedSink sink) {
+  for (auto& shard : shards_) shard->core->SetEnrichedSink(sink);
+}
+
+size_t ShardedPipeline::DrainEnriched(std::vector<EnrichedPoint>* out) {
+  size_t n = 0;
+  for (auto& shard : shards_) n += shard->core->DrainEnriched(out);
+  return n;
+}
+
+void ShardedPipeline::FlushEnrichment() {
+  for (auto& shard : shards_) shard->core->FlushEnrichment();
 }
 
 PartitionedTrajectoryView ShardedPipeline::store_view() const {

@@ -13,8 +13,10 @@
 ///        │ route by splitmix64(MMSI) % N
 ///        ▼
 ///   N × PipelineShardCore (reconstruction → synopses → store partition →
-///        enrichment → single-vessel event rules), one thread each, fed
-///        through BoundedQueue
+///        single-vessel event rules), one thread each, fed through
+///        BoundedQueue — each core also feeds an async enrichment
+///        side-stage (own worker + bounded drop-oldest queue) whose
+///        output surfaces through SetEnrichedSink / DrainEnriched
 ///        │ merge: pair observations sorted by (event time, MMSI)
 ///        ▼
 ///   coordinator: PairEventEngine (rendezvous / collision) + canonical
@@ -76,6 +78,27 @@ class ShardedPipeline {
     alert_callback_ = std::move(callback);
   }
 
+  /// \brief Subscribes to the enriched output stream. The sink is invoked
+  /// concurrently from the N enrichment workers and must be thread-safe;
+  /// per-vessel event-time order is preserved (each vessel lives on one
+  /// FIFO side-stage). Install before the first ingest call.
+  void SetEnrichedSink(EnrichedSink sink);
+
+  /// \brief Batched alternative to a sink: appends each shard's buffered
+  /// enriched points (shard index order, per-shard delivery order) to
+  /// `out`; returns how many. With one shard and no drops
+  /// (`metrics().enrichment_stage.dropped() == 0`) this is byte-identical
+  /// to the sequential pipeline's drain; under backpressure the async
+  /// stage thins the stream where the synchronous one cannot. Call between
+  /// ingest calls.
+  size_t DrainEnriched(std::vector<EnrichedPoint>* out);
+
+  /// \brief Enrichment delivery barrier: blocks until every point
+  /// submitted so far has been enriched (sink/drain buffer) or counted as
+  /// dropped. `Finish` runs it before its final metric refresh, so after
+  /// Finish the enriched stream is complete. Call between ingest calls.
+  void FlushEnrichment();
+
   /// \brief Batched ingest (arrival order). Returns all events finalized by
   /// the windows this batch completed; partial windows carry over to the
   /// next call (closed by `Finish`).
@@ -132,6 +155,9 @@ class ShardedPipeline {
     std::vector<DetectedEvent>* events = nullptr;
     std::vector<PairObservation>* pairs = nullptr;
     std::latch* done = nullptr;
+    /// Flush tasks only: the stream's last ingest time, so end-of-stream
+    /// points are latency-measured like streamed ones.
+    Timestamp flush_ingest_time = kInvalidTimestamp;
   };
 
   using Command = std::variant<ParseTask, ShardTask>;
@@ -181,6 +207,7 @@ class ShardedPipeline {
 
   /// Lines accumulated toward the current (partial) window.
   std::vector<Event<std::string>> pending_lines_;
+  Timestamp last_ingest_ = kInvalidTimestamp;  ///< newest line's ingest time
 };
 
 }  // namespace marlin

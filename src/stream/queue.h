@@ -45,6 +45,30 @@ class BoundedQueue {
     return true;
   }
 
+  /// \brief Lossy push for latency-critical producers: never blocks. When
+  /// the queue is full the oldest queued item is evicted to make room — the
+  /// backpressure policy of side-stages that must not stall the hot path.
+  /// `*evicted` receives the number of items discarded (0 or 1);
+  /// `*depth_after`, when non-null, the queue size after the push (saves
+  /// the producer a separate size() lock when tracking high-water marks).
+  /// Returns false only when the queue is closed (the item is rejected,
+  /// nothing is evicted).
+  bool PushEvictOldest(T item, size_t* evicted, size_t* depth_after = nullptr) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    *evicted = 0;
+    if (closed_) return false;
+    // The emptiness check makes capacity 0 safe (degenerates to a
+    // size-1 always-evict slot rather than popping an empty deque).
+    while (!items_.empty() && items_.size() >= capacity_) {
+      items_.pop_front();
+      ++*evicted;
+    }
+    items_.push_back(std::move(item));
+    if (depth_after != nullptr) *depth_after = items_.size();
+    not_empty_.notify_one();
+    return true;
+  }
+
   /// \brief Blocks until an item arrives; std::nullopt once closed & drained.
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);

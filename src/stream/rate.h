@@ -17,8 +17,13 @@ class RateMeter {
  public:
   void Observe(Timestamp event_time) {
     ++count_;
-    if (first_ == kInvalidTimestamp) first_ = event_time;
-    last_ = std::max(last_, event_time);
+    // Out-of-order streams (satellite deliveries) can observe an earlier
+    // event after a later one; the span must be the min/max envelope, not
+    // the first/latest *arrival*, or EventsPerSecond overestimates.
+    if (first_ == kInvalidTimestamp || event_time < first_) {
+      first_ = event_time;
+    }
+    if (last_ == kInvalidTimestamp || event_time > last_) last_ = event_time;
   }
 
   uint64_t count() const { return count_; }
@@ -52,8 +57,9 @@ class RateMeter {
 /// \brief Fixed-capacity reservoir for latency quantiles.
 class LatencyReservoir {
  public:
-  explicit LatencyReservoir(size_t capacity = 4096) : capacity_(capacity) {
-    samples_.reserve(capacity);
+  explicit LatencyReservoir(size_t capacity = 4096)
+      : capacity_(std::max<size_t>(1, capacity)) {
+    samples_.reserve(capacity_);
   }
 
   void Observe(DurationMs latency) {
@@ -62,9 +68,13 @@ class LatencyReservoir {
     if (samples_.size() < capacity_) {
       samples_.push_back(latency);
     } else {
-      // Deterministic systematic replacement keeps the reservoir spread
-      // across the stream without an RNG dependency.
-      samples_[count_ % capacity_] = latency;
+      // Deterministic ring replacement keeps the reservoir spread across
+      // the stream without an RNG dependency. An explicit cursor (rather
+      // than count_ % capacity_) stays valid after Merge rewrites the
+      // sample set — count_ jumps by the other side's total there, which
+      // would leave the replacement phase arbitrary.
+      samples_[next_replace_] = latency;
+      next_replace_ = (next_replace_ + 1) % capacity_;
     }
   }
 
@@ -75,6 +85,10 @@ class LatencyReservoir {
   /// and sums are exact; the retained sample sets are combined and, when
   /// over capacity, thinned systematically so both sides stay represented
   /// proportionally — quantiles stay approximate, as with any reservoir.
+  /// The merged set may come from a reservoir of a *different* capacity, so
+  /// the replacement cursor is recomputed: subsequent Observe calls resume
+  /// a well-defined ring over the thinned set instead of indexing with a
+  /// count that just jumped by the other side's total.
   void Merge(const LatencyReservoir& other) {
     sum_ += other.sum_;
     count_ += other.count_;
@@ -91,6 +105,7 @@ class LatencyReservoir {
       }
       samples_ = std::move(thinned);
     }
+    next_replace_ = 0;
   }
 
   /// \brief q-quantile (0..1) of the retained samples.
@@ -107,6 +122,7 @@ class LatencyReservoir {
  private:
   size_t capacity_;
   std::vector<DurationMs> samples_;
+  size_t next_replace_ = 0;  ///< ring cursor, valid while samples_ is full
   uint64_t count_ = 0;
   double sum_ = 0.0;
 };

@@ -4,9 +4,15 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <thread>
 #include <tuple>
 #include <vector>
 
+#include "context/registry.h"
+#include "context/weather.h"
 #include "core/pipeline.h"
 #include "core/sharded_pipeline.h"
 #include "sim/scenario.h"
@@ -392,6 +398,233 @@ TEST(StatsMergeTest, CoverageModelMergeDisjointVessels) {
   EXPECT_TRUE(a.IsDark(1, Minutes(15)));
   EXPECT_FALSE(a.IsDark(2, Minutes(15)));
   EXPECT_EQ(a.Vessels().size(), 2u);
+}
+
+// --- Enriched output stream -------------------------------------------------
+
+auto EnrichedKey(const EnrichedPoint& p) {
+  return std::make_tuple(p.base.mmsi, p.base.point.t, p.base.point.position.lat,
+                         p.base.point.position.lon, p.base.starts_segment,
+                         p.base.gap_before_ms, p.zone_ids,
+                         p.weather.wind_speed_mps, p.weather.wave_height_m,
+                         static_cast<int>(p.category), p.vessel_name,
+                         p.registry_conflict);
+}
+
+/// Two registries over the scenario fleet, disagreeing on some flags so the
+/// resolver's conflict path is exercised end-to-end.
+void FillRegistries(const std::vector<VesselSpec>& fleet, VesselRegistry* a,
+                    VesselRegistry* b) {
+  for (const VesselSpec& v : fleet) {
+    RegistryRecord rec;
+    rec.mmsi = v.mmsi;
+    rec.imo = v.imo;
+    rec.name = v.name;
+    rec.call_sign = v.call_sign;
+    rec.length_m = v.length_m;
+    rec.beam_m = v.beam_m;
+    rec.ship_type = v.ship_type;
+    rec.flag = "GR";
+    a->Upsert(rec);
+    RegistryRecord rec_b = rec;
+    if (v.mmsi % 3 == 0) rec_b.flag = "MT";
+    b->Upsert(rec_b);
+  }
+}
+
+PipelineConfig EnrichedTestConfig() {
+  PipelineConfig pc = TestConfig();
+  // Deep queues/buffers: these tests assert lossless delivery; drops are
+  // exercised separately with a deliberately slow provider.
+  pc.enrichment_queue_depth = 1u << 20;
+  pc.enriched_output_capacity = 1u << 20;
+  return pc;
+}
+
+TEST(EnrichedStreamTest, OneShardMatchesSequentialExactly) {
+  const ScenarioOutput scenario = MakeScenario(911, /*perfect_reception=*/false);
+  const PipelineConfig pc = EnrichedTestConfig();
+  WeatherProvider weather(7);
+  VesselRegistry reg_a("marinetraffic"), reg_b("lloyds");
+  FillRegistries(scenario.fleet, &reg_a, &reg_b);
+
+  MaritimePipeline sequential(pc, &SharedWorld().zones(), &weather, &reg_a,
+                              &reg_b);
+  sequential.Run(scenario.nmea);
+  std::vector<EnrichedPoint> seq_enriched;
+  sequential.DrainEnriched(&seq_enriched);
+
+  ShardedPipeline::Options opts;
+  opts.num_shards = 1;
+  ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), &weather, &reg_a,
+                          &reg_b);
+  sharded.Run(scenario.nmea);
+  std::vector<EnrichedPoint> shard_enriched;
+  sharded.DrainEnriched(&shard_enriched);
+
+  // Every clean point reaches the consumer — nothing is discarded.
+  ASSERT_GT(seq_enriched.size(), 0u);
+  EXPECT_EQ(seq_enriched.size(),
+            sequential.metrics().reconstruction.points_out);
+
+  // One shard reproduces the sequential enriched stream exactly, in order.
+  ASSERT_EQ(seq_enriched.size(), shard_enriched.size());
+  for (size_t i = 0; i < seq_enriched.size(); ++i) {
+    ASSERT_EQ(EnrichedKey(seq_enriched[i]), EnrichedKey(shard_enriched[i]))
+        << "enriched point mismatch at index " << i;
+  }
+
+  const PipelineMetrics& ms = sequential.metrics();
+  const PipelineMetrics& mp = sharded.metrics();
+  EXPECT_EQ(ms.enrichment.points, mp.enrichment.points);
+  EXPECT_EQ(ms.enrichment.zone_hits, mp.enrichment.zone_hits);
+  EXPECT_EQ(ms.enrichment.registry_hits, mp.enrichment.registry_hits);
+  EXPECT_EQ(ms.enrichment.registry_conflicts, mp.enrichment.registry_conflicts);
+  EXPECT_GT(ms.enrichment.registry_hits, 0u);
+  EXPECT_EQ(ms.enrichment_stage.submitted, mp.enrichment_stage.submitted);
+  EXPECT_EQ(mp.enrichment_stage.processed, mp.enrichment_stage.submitted);
+  EXPECT_EQ(mp.enrichment_stage.dropped(), 0u);
+}
+
+TEST(EnrichedStreamTest, ManyShardsPreservePerVesselStreams) {
+  const ScenarioOutput scenario = MakeScenario(912, /*perfect_reception=*/false);
+  const PipelineConfig pc = EnrichedTestConfig();
+  WeatherProvider weather(7);
+
+  MaritimePipeline sequential(pc, &SharedWorld().zones(), &weather, nullptr,
+                              nullptr);
+  sequential.Run(scenario.nmea);
+  std::vector<EnrichedPoint> seq_enriched;
+  sequential.DrainEnriched(&seq_enriched);
+  ASSERT_GT(seq_enriched.size(), 0u);
+
+  using Key = decltype(EnrichedKey(seq_enriched.front()));
+  std::map<Mmsi, std::vector<Key>> seq_per_vessel;
+  for (const EnrichedPoint& p : seq_enriched) {
+    seq_per_vessel[p.base.mmsi].push_back(EnrichedKey(p));
+  }
+
+  for (size_t num_shards : {2, 4}) {
+    ShardedPipeline::Options opts;
+    opts.num_shards = num_shards;
+    ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), &weather,
+                            nullptr, nullptr);
+    sharded.Run(scenario.nmea);
+    std::vector<EnrichedPoint> shard_enriched;
+    sharded.DrainEnriched(&shard_enriched);
+    EXPECT_EQ(shard_enriched.size(), seq_enriched.size());
+
+    // Per-vessel subsequences are exactly the sequential ones (which also
+    // implies the streams are equal as multisets).
+    std::map<Mmsi, std::vector<Key>> per_vessel;
+    for (const EnrichedPoint& p : shard_enriched) {
+      per_vessel[p.base.mmsi].push_back(EnrichedKey(p));
+    }
+    EXPECT_EQ(per_vessel, seq_per_vessel) << num_shards << " shards";
+  }
+}
+
+TEST(EnrichedStreamTest, SinkDeliversEveryPointWithPerVesselOrder) {
+  const ScenarioOutput scenario = MakeScenario(913, /*perfect_reception=*/true);
+  const PipelineConfig pc = EnrichedTestConfig();
+
+  ShardedPipeline::Options opts;
+  opts.num_shards = 3;
+  ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), nullptr, nullptr,
+                          nullptr);
+  std::mutex mu;
+  uint64_t delivered = 0;
+  std::map<Mmsi, Timestamp> last_t;
+  bool ordered = true;
+  sharded.SetEnrichedSink([&](const EnrichedPoint& p) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++delivered;
+    auto [it, inserted] = last_t.try_emplace(p.base.mmsi, p.base.point.t);
+    if (!inserted) {
+      if (p.base.point.t < it->second) ordered = false;
+      it->second = p.base.point.t;
+    }
+  });
+  sharded.Run(scenario.nmea);
+
+  std::lock_guard<std::mutex> lock(mu);
+  EXPECT_TRUE(ordered) << "per-vessel event-time order violated";
+  EXPECT_EQ(delivered, sharded.metrics().reconstruction.points_out);
+  EXPECT_EQ(delivered, sharded.metrics().enrichment_stage.processed);
+  EXPECT_EQ(sharded.metrics().enrichment_stage.dropped(), 0u);
+  // With a sink installed nothing accumulates for DrainEnriched.
+  std::vector<EnrichedPoint> drained;
+  EXPECT_EQ(sharded.DrainEnriched(&drained), 0u);
+}
+
+/// Weather source with a deliberate per-lookup stall — the slow upstream
+/// service of the backpressure scenarios. Blocks rather than spins so it
+/// models I/O latency without stealing CPU from the shard workers.
+class SlowWeatherProvider : public WeatherProvider {
+ public:
+  SlowWeatherProvider(uint64_t seed, std::chrono::microseconds stall)
+      : WeatherProvider(seed), stall_(stall) {}
+
+  WeatherSample At(const GeoPoint& p, Timestamp t) const override {
+    std::this_thread::sleep_for(stall_);
+    return WeatherProvider::At(p, t);
+  }
+
+ private:
+  std::chrono::microseconds stall_;
+};
+
+TEST(EnrichedStreamTest, SlowProviderDropsAreCountedAndIngestCompletes) {
+  const ScenarioOutput scenario = MakeScenario(914, /*perfect_reception=*/true);
+  PipelineConfig pc = TestConfig();
+  pc.enrichment_queue_depth = 8;  // tiny queue: force backpressure
+  pc.enriched_output_capacity = 1u << 20;
+  // 2 ms per lookup: slower than ingest even under sanitizers (sleeps are
+  // not throttled by TSan, ingest is), so drops always occur.
+  SlowWeatherProvider weather(7, std::chrono::milliseconds(2));
+
+  ShardedPipeline::Options opts;
+  opts.num_shards = 2;
+  ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), &weather, nullptr,
+                          nullptr);
+  const auto events = sharded.Run(scenario.nmea);
+  EXPECT_GT(events.size(), 0u);  // detection unaffected by slow enrichment
+
+  const SideStageStats stage = sharded.metrics().enrichment_stage;
+  EXPECT_EQ(stage.submitted, sharded.metrics().reconstruction.points_out);
+  EXPECT_GT(stage.queue_dropped, 0u) << "expected drop-oldest backpressure";
+  EXPECT_EQ(stage.processed + stage.queue_dropped, stage.submitted)
+      << "Finish must be a delivery-completeness barrier";
+
+  // The thinned stream still arrives in per-vessel event-time order.
+  std::vector<EnrichedPoint> drained;
+  sharded.DrainEnriched(&drained);
+  EXPECT_EQ(drained.size(), stage.processed);
+  std::map<Mmsi, Timestamp> last_t;
+  for (const EnrichedPoint& p : drained) {
+    auto [it, inserted] = last_t.try_emplace(p.base.mmsi, p.base.point.t);
+    if (!inserted) {
+      EXPECT_LE(it->second, p.base.point.t);
+      it->second = p.base.point.t;
+    }
+  }
+}
+
+TEST(EnrichedStreamTest, EnrichmentCanBeDisabledEntirely) {
+  const ScenarioOutput scenario = MakeScenario(915, /*perfect_reception=*/true);
+  PipelineConfig pc = TestConfig();
+  pc.enable_enrichment = false;
+
+  ShardedPipeline::Options opts;
+  opts.num_shards = 2;
+  ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), nullptr, nullptr,
+                          nullptr);
+  const auto events = sharded.Run(scenario.nmea);
+  EXPECT_GT(events.size(), 0u);
+  EXPECT_EQ(sharded.metrics().enrichment_stage.submitted, 0u);
+  EXPECT_EQ(sharded.metrics().enrichment.points, 0u);
+  std::vector<EnrichedPoint> drained;
+  EXPECT_EQ(sharded.DrainEnriched(&drained), 0u);
 }
 
 // --- Shard router -----------------------------------------------------------

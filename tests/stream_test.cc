@@ -15,6 +15,7 @@
 #include "stream/queue.h"
 #include "stream/rate.h"
 #include "stream/reorder.h"
+#include "stream/side_stage.h"
 #include "stream/watermark.h"
 #include "stream/window.h"
 
@@ -366,6 +367,155 @@ TEST(EventTest, LatencyComputation) {
   EXPECT_EQ(e.Latency(), 2500);
   Event<int> no_ingest(1000, 42);
   EXPECT_EQ(no_ingest.Latency(), 0);
+}
+
+// --- Regressions: rate/latency metrics under merge & disorder --------------
+
+TEST(RateTest, OutOfOrderStreamUsesEventTimeEnvelope) {
+  // Satellite deliveries can surface an *earlier* event after a later one.
+  // The observed span must be min..max of event times, not first-arrival..max,
+  // or the rate is overestimated.
+  RateMeter meter;
+  meter.Observe(10'000);  // arrives first but is NOT the earliest event
+  for (int i = 0; i <= 100; ++i) meter.Observe(i * 100);  // 0..10 s
+  EXPECT_EQ(meter.first_event(), 0);
+  EXPECT_EQ(meter.last_event(), 10'000);
+  // 102 events over exactly 10 s.
+  EXPECT_NEAR(meter.EventsPerSecond(), 10.2, 1e-9);
+}
+
+TEST(LatencyReservoirTest, MergeMixedCapacitiesKeepsReplacementInBounds) {
+  // Merging a larger-capacity reservoir used to leave the systematic
+  // replacement index desynchronised from the thinned sample set.
+  LatencyReservoir a(64), b(256);
+  for (int i = 1; i <= 500; ++i) a.Observe(10);
+  for (int i = 1; i <= 1000; ++i) b.Observe(20);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 1500u);
+  EXPECT_NEAR(a.Mean(), (500.0 * 10 + 1000.0 * 20) / 1500.0, 1e-9);
+
+  // Replacement after the merge walks a well-defined ring over the thinned
+  // set: 64 fresh observations must refresh the *entire* reservoir.
+  for (int i = 0; i < 64; ++i) a.Observe(99);
+  EXPECT_EQ(a.Quantile(0.0), 99);
+  EXPECT_EQ(a.Quantile(1.0), 99);
+  EXPECT_EQ(a.count(), 1564u);
+}
+
+TEST(LatencyReservoirTest, MergeBelowCapacityKeepsAllSamples) {
+  LatencyReservoir a(4096), b(64);
+  for (int i = 1; i <= 10; ++i) a.Observe(i);
+  for (int i = 11; i <= 20; ++i) b.Observe(i);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 20u);
+  EXPECT_EQ(a.Quantile(0.0), 1);
+  EXPECT_EQ(a.Quantile(1.0), 20);
+}
+
+// --- Lossy push (side-stage backpressure primitive) ------------------------
+
+TEST(QueueTest, PushEvictOldestNeverBlocksAndCountsEvictions) {
+  BoundedQueue<int> q(2);
+  size_t evicted = 0;
+  size_t total_evicted = 0;
+  for (int i = 1; i <= 5; ++i) {
+    EXPECT_TRUE(q.PushEvictOldest(i, &evicted));
+    total_evicted += evicted;
+  }
+  EXPECT_EQ(total_evicted, 3u);
+  EXPECT_EQ(q.size(), 2u);
+  EXPECT_EQ(q.Pop(), 4);  // the oldest survivors are the newest two
+  EXPECT_EQ(q.Pop(), 5);
+  q.Close();
+  EXPECT_FALSE(q.PushEvictOldest(6, &evicted));
+  EXPECT_EQ(evicted, 0u);
+}
+
+// --- Async side-stage ------------------------------------------------------
+
+TEST(SideStageTest, SynchronousModeDeliversInline) {
+  AsyncSideStage<int, int>::Options opts;
+  opts.async = false;
+  AsyncSideStage<int, int> stage(opts, [](const int& v) { return v * 2; });
+  std::vector<int> seen;
+  stage.SetSink([&seen](const int& v) { seen.push_back(v); });
+  for (int i = 0; i < 5; ++i) stage.Submit(i);
+  // Inline mode: everything delivered before Submit returns.
+  EXPECT_EQ(seen, (std::vector<int>{0, 2, 4, 6, 8}));
+  const SideStageStats stats = stage.stats();
+  EXPECT_EQ(stats.submitted, 5u);
+  EXPECT_EQ(stats.processed, 5u);
+  EXPECT_EQ(stats.dropped(), 0u);
+}
+
+TEST(SideStageTest, FlushIsACompletenessBarrier) {
+  AsyncSideStage<int, int>::Options opts;
+  opts.queue_depth = 4096;
+  AsyncSideStage<int, int> stage(opts, [](const int& v) { return v + 1; });
+  for (int i = 0; i < 2000; ++i) stage.Submit(i);
+  stage.Flush();
+  std::vector<int> out;
+  EXPECT_EQ(stage.Drain(&out), 2000u);
+  // FIFO: delivery order is submission order.
+  for (int i = 0; i < 2000; ++i) ASSERT_EQ(out[i], i + 1);
+  const SideStageStats stats = stage.stats();
+  EXPECT_EQ(stats.submitted, 2000u);
+  EXPECT_EQ(stats.processed + stats.queue_dropped, stats.submitted);
+  EXPECT_EQ(stats.queue_dropped, 0u);
+}
+
+TEST(SideStageTest, DropOldestUnderSlowTransform) {
+  AsyncSideStage<int, int>::Options opts;
+  opts.queue_depth = 4;
+  opts.max_batch = 1;
+  AsyncSideStage<int, int> stage(opts, [](const int& v) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return v;
+  });
+  const int n = 200;
+  for (int i = 0; i < n; ++i) stage.Submit(i);  // far faster than 1 ms/item
+  stage.Flush();
+  const SideStageStats stats = stage.stats();
+  EXPECT_EQ(stats.submitted, static_cast<uint64_t>(n));
+  EXPECT_GT(stats.queue_dropped, 0u);
+  EXPECT_EQ(stats.processed + stats.queue_dropped, stats.submitted);
+  EXPECT_GE(stats.max_queue_depth, 4u);
+  // Drops thin the stream but never reorder it.
+  std::vector<int> out;
+  stage.Drain(&out);
+  EXPECT_EQ(out.size(), stats.processed);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(SideStageTest, DrainBufferEvictsOldestWhenUnconsumed) {
+  AsyncSideStage<int, int>::Options opts;
+  opts.async = false;  // deterministic accounting
+  opts.output_capacity = 8;
+  AsyncSideStage<int, int> stage(opts, [](const int& v) { return v; });
+  for (int i = 0; i < 32; ++i) stage.Submit(i);
+  std::vector<int> out;
+  EXPECT_EQ(stage.Drain(&out), 8u);
+  EXPECT_EQ(out, (std::vector<int>{24, 25, 26, 27, 28, 29, 30, 31}));
+  const SideStageStats stats = stage.stats();
+  EXPECT_EQ(stats.output_dropped, 24u);
+  EXPECT_EQ(stats.processed, 32u);
+}
+
+TEST(SideStageStatsTest, MergeAccumulates) {
+  SideStageStats a, b;
+  a.submitted = 10;
+  a.processed = 8;
+  a.queue_dropped = 2;
+  a.max_queue_depth = 3;
+  b.submitted = 20;
+  b.processed = 20;
+  b.output_dropped = 5;
+  b.max_queue_depth = 7;
+  a.Merge(b);
+  EXPECT_EQ(a.submitted, 30u);
+  EXPECT_EQ(a.processed, 28u);
+  EXPECT_EQ(a.dropped(), 7u);
+  EXPECT_EQ(a.max_queue_depth, 7u);
 }
 
 }  // namespace
