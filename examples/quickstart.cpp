@@ -43,6 +43,11 @@ int main() {
   WeatherProvider weather(7);
   PipelineConfig pipeline_config;
   pipeline_config.enriched_output_capacity = 1u << 17;  // drain at the end
+  // The vessel-pair rules (rendezvous, collision risk) also run in
+  // parallel, sharded across grid cells — same event stream, byte for byte.
+  // Floor of 2 so the grid engages even on single-core demo hosts.
+  pipeline_config.pair_threads =
+      std::max(2u, std::thread::hardware_concurrency());
   ShardedPipeline::Options shard_options;
   shard_options.num_shards =
       std::max(1u, std::thread::hardware_concurrency());
@@ -80,6 +85,12 @@ int main() {
               static_cast<unsigned long long>(m.alerts));
   std::printf("  vessels tracked      : %zu (across %zu store partitions)\n",
               store.VesselCount(), store.partition_count());
+  std::printf("  pair stage           : %llu/%llu windows grid-parallel "
+              "(%.1f cells/window, heaviest cell %.0f %%)\n",
+              static_cast<unsigned long long>(m.pair_stage.parallel_windows),
+              static_cast<unsigned long long>(m.pair_stage.windows),
+              m.pair_stage.MeanCellsPerWindow(),
+              100.0 * m.pair_stage.max_cell_share);
 
   // 5. The enriched output stream (paper §2.2): each clean point joined
   //    with the zones it crosses and the weather at its position/time.

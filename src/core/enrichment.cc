@@ -1,22 +1,57 @@
 #include "core/enrichment.h"
 
+#include <chrono>
+
 namespace marlin {
 
-EnrichedPoint EnrichmentEngine::Enrich(const ReconstructedPoint& rp) {
+namespace {
+
+using SteadyClock = std::chrono::steady_clock;
+
+uint64_t MicrosSince(SteadyClock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          SteadyClock::now() - start)
+          .count());
+}
+
+}  // namespace
+
+EnrichedPoint EnrichmentEngine::Enrich(const ReconstructedPoint& rp,
+                                       SourceTimings* timings) {
   EnrichedPoint out;
   out.base = rp;
   ++stats_.points;
 
   if (zones_ != nullptr) {
+    const auto start = timings != nullptr ? SteadyClock::now()
+                                          : SteadyClock::time_point();
     for (const GeoZone* z : zones_->ZonesAt(rp.point.position)) {
       out.zone_ids.push_back(z->id);
     }
     if (!out.zone_ids.empty()) ++stats_.zone_hits;
+    if (timings != nullptr) {
+      timings->zones_ran = true;
+      timings->zones_us = MicrosSince(start);
+    }
   }
   if (weather_ != nullptr) {
+    const auto start = timings != nullptr ? SteadyClock::now()
+                                          : SteadyClock::time_point();
     out.weather = weather_->At(rp.point.position, rp.point.t);
+    if (timings != nullptr) {
+      timings->weather_ran = true;
+      timings->weather_us = MicrosSince(start);
+    }
   }
+  // Only the registry_a_ branches below consult a registry; skip the clock
+  // read entirely when none is configured.
+  const bool time_registry = timings != nullptr && registry_a_ != nullptr;
+  const auto registry_start =
+      time_registry ? SteadyClock::now() : SteadyClock::time_point();
+  bool registry_ran = false;
   if (registry_a_ != nullptr && registry_b_ != nullptr) {
+    registry_ran = true;
     const auto resolved = resolver_.Resolve(*registry_a_, *registry_b_, rp.mmsi);
     if (resolved.has_value()) {
       ++stats_.registry_hits;
@@ -26,12 +61,17 @@ EnrichedPoint EnrichmentEngine::Enrich(const ReconstructedPoint& rp) {
       if (out.registry_conflict) ++stats_.registry_conflicts;
     }
   } else if (registry_a_ != nullptr) {
+    registry_ran = true;
     const auto rec = registry_a_->Lookup(rp.mmsi);
     if (rec.has_value()) {
       ++stats_.registry_hits;
       out.category = ShipTypeToCategory(rec->ship_type);
       out.vessel_name = rec->name;
     }
+  }
+  if (timings != nullptr && registry_ran) {
+    timings->registry_ran = true;
+    timings->registry_us = MicrosSince(registry_start);
   }
   return out;
 }

@@ -48,6 +48,19 @@ class EnrichmentEngine {
     }
   };
 
+  /// \brief Wall-clock cost of each context join in one `Enrich` call. A
+  /// source that was not consulted (null provider) leaves its `ran` flag
+  /// false — the attribution layer must not credit it with a zero-cost
+  /// call.
+  struct SourceTimings {
+    uint64_t zones_us = 0;
+    uint64_t weather_us = 0;
+    uint64_t registry_us = 0;
+    bool zones_ran = false;
+    bool weather_ran = false;
+    bool registry_ran = false;
+  };
+
   /// \brief Any of the context sources may be null (skipped).
   EnrichmentEngine(const ZoneDatabase* zones, const WeatherProvider* weather,
                    const VesselRegistry* registry_a,
@@ -59,8 +72,10 @@ class EnrichmentEngine {
         registry_b_(registry_b),
         resolver_(quality) {}
 
-  /// \brief Annotates one point.
-  EnrichedPoint Enrich(const ReconstructedPoint& rp);
+  /// \brief Annotates one point. When `timings` is non-null, each join's
+  /// wall-clock cost is measured into it (per-source latency attribution).
+  EnrichedPoint Enrich(const ReconstructedPoint& rp,
+                       SourceTimings* timings = nullptr);
 
   const Stats& stats() const { return stats_; }
 

@@ -338,18 +338,22 @@ void PairEventEngine::CheckRendezvous(const PairObservation& obs,
     pair.last_seen = t;
     pair.where = obs.point.position;
     if (!pair.reported && t - pair.since >= options_.rendezvous_min_duration) {
+      // The `reported` latch flips in every replica that tracks this pair;
+      // only the owner replica (emit filter) appends the event.
       pair.reported = true;
-      DetectedEvent ev;
-      ev.type = EventType::kRendezvous;
-      ev.start = pair.since;
-      ev.end = t;
-      ev.vessel_a = std::min(obs.mmsi, other);
-      ev.vessel_b = std::max(obs.mmsi, other);
-      ev.where = pair.where;
-      ev.severity = 0.8;
-      ev.detected_at = t;
-      out->push_back(ev);
-      ++stats_.events_out;
+      if (MayEmit(obs.mmsi, other)) {
+        DetectedEvent ev;
+        ev.type = EventType::kRendezvous;
+        ev.start = pair.since;
+        ev.end = t;
+        ev.vessel_a = std::min(obs.mmsi, other);
+        ev.vessel_b = std::max(obs.mmsi, other);
+        ev.where = pair.where;
+        ev.severity = 0.8;
+        ev.detected_at = t;
+        out->push_back(ev);
+        ++stats_.events_out;
+      }
     }
   }
 }
@@ -387,17 +391,20 @@ void PairEventEngine::CheckCollision(const PairObservation& obs,
     const CpaResult cpa = ComputeCpa(self, target);
     if (cpa.converging && cpa.distance_m < options_.cpa_threshold_m &&
         cpa.tcpa_s < options_.tcpa_horizon_s) {
+      // The re-alert clock advances in every replica; only the owner emits.
       collision_alerts_[key] = t;
-      DetectedEvent ev;
-      ev.type = EventType::kCollisionRisk;
-      ev.start = ev.detected_at = t;
-      ev.end = t + static_cast<DurationMs>(cpa.tcpa_s * kMillisPerSecond);
-      ev.vessel_a = std::min(obs.mmsi, other);
-      ev.vessel_b = std::max(obs.mmsi, other);
-      ev.where = obs.point.position;
-      ev.severity = 0.9;
-      out->push_back(ev);
-      ++stats_.events_out;
+      if (MayEmit(obs.mmsi, other)) {
+        DetectedEvent ev;
+        ev.type = EventType::kCollisionRisk;
+        ev.start = ev.detected_at = t;
+        ev.end = t + static_cast<DurationMs>(cpa.tcpa_s * kMillisPerSecond);
+        ev.vessel_a = std::min(obs.mmsi, other);
+        ev.vessel_b = std::max(obs.mmsi, other);
+        ev.where = obs.point.position;
+        ev.severity = 0.9;
+        out->push_back(ev);
+        ++stats_.events_out;
+      }
     }
   }
 }
@@ -405,11 +412,7 @@ void PairEventEngine::CheckCollision(const PairObservation& obs,
 void PairEventEngine::CloseWindow(std::vector<PairObservation>* pairs,
                                   bool flush,
                                   std::vector<DetectedEvent>* events) {
-  std::sort(pairs->begin(), pairs->end(),
-            [](const PairObservation& a, const PairObservation& b) {
-              if (a.point.t != b.point.t) return a.point.t < b.point.t;
-              return a.mmsi < b.mmsi;
-            });
+  std::sort(pairs->begin(), pairs->end(), ObservationLess);
   for (const PairObservation& obs : *pairs) Ingest(obs, events);
   pairs->clear();
   if (flush) Flush(events);
@@ -423,6 +426,7 @@ void PairEventEngine::Flush(std::vector<DetectedEvent>* out) {
     if (!pair.reported &&
         pair.last_seen - pair.since >= options_.rendezvous_min_duration) {
       pair.reported = true;
+      if (!MayEmit(key.first, key.second)) continue;
       DetectedEvent ev;
       ev.type = EventType::kRendezvous;
       ev.start = pair.since;
@@ -436,6 +440,62 @@ void PairEventEngine::Flush(std::vector<DetectedEvent>* out) {
       ++stats_.events_out;
     }
   }
+}
+
+// --- Grid-parallel state transplant ----------------------------------------
+
+void PairEventEngine::ExportVessels(std::vector<VesselSnapshot>* out) const {
+  out->reserve(out->size() + vessels_.size());
+  for (const auto& [mmsi, state] : vessels_) {
+    // Entries are only ever created by Ingest, which sets `last`
+    // immediately, so every exported snapshot carries a real position.
+    out->push_back(VesselSnapshot{mmsi, state.last, state.in_port_area});
+  }
+}
+
+bool PairEventEngine::GetVessel(Mmsi mmsi, VesselSnapshot* out) const {
+  auto it = vessels_.find(mmsi);
+  if (it == vessels_.end() || !it->second.has_last) return false;
+  *out = VesselSnapshot{mmsi, it->second.last, it->second.in_port_area};
+  return true;
+}
+
+void PairEventEngine::ExportRendezvous(
+    std::vector<RendezvousSnapshot>* out) const {
+  out->reserve(out->size() + rendezvous_pairs_.size());
+  for (const auto& [key, pair] : rendezvous_pairs_) {
+    out->push_back(RendezvousSnapshot{key.first, key.second, pair.since,
+                                      pair.last_seen, pair.where,
+                                      pair.reported});
+  }
+}
+
+void PairEventEngine::ExportCollisions(
+    std::vector<CollisionSnapshot>* out) const {
+  out->reserve(out->size() + collision_alerts_.size());
+  for (const auto& [key, last_alert] : collision_alerts_) {
+    out->push_back(CollisionSnapshot{key.first, key.second, last_alert});
+  }
+}
+
+void PairEventEngine::RestoreVessel(const VesselSnapshot& snapshot) {
+  VesselState& state = vessels_[snapshot.mmsi];
+  state.last = snapshot.last;
+  state.has_last = true;
+  state.in_port_area = snapshot.in_port_area;
+  live_.Upsert(snapshot.mmsi, snapshot.last.position);
+}
+
+void PairEventEngine::RestoreRendezvous(const RendezvousSnapshot& snapshot) {
+  PairState& pair = rendezvous_pairs_[MakePair(snapshot.a, snapshot.b)];
+  pair.since = snapshot.since;
+  pair.last_seen = snapshot.last_seen;
+  pair.where = snapshot.where;
+  pair.reported = snapshot.reported;
+}
+
+void PairEventEngine::RestoreCollision(const CollisionSnapshot& snapshot) {
+  collision_alerts_[MakePair(snapshot.a, snapshot.b)] = snapshot.last_alert;
 }
 
 }  // namespace marlin

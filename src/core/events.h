@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <set>
 #include <string>
@@ -193,6 +194,14 @@ class VesselEventEngine {
 /// \brief Vessel-pair rules (rendezvous, collision risk) over the global
 /// live picture. Consumes the canonical `PairObservation` stream; a single
 /// instance sits downstream of the shard merge.
+///
+/// The engine is also the unit of *spatial* parallelism: the grid pair
+/// stage (`GridPairPartitioner`, core/pair_grid.h) runs one replica engine
+/// per grid cell, seeded from the authoritative engine through the
+/// snapshot/restore API below, and gates which replica may emit a given
+/// pair's events through `SetEmitFilter`. All state transitions happen in
+/// every replica that sees the pair — only the owner speaks — so replicas
+/// stay in lockstep with what a single sequential engine would compute.
 class PairEventEngine {
  public:
   using Options = EventRuleOptions;
@@ -201,15 +210,26 @@ class PairEventEngine {
   explicit PairEventEngine(const Options& options);
   PairEventEngine() : PairEventEngine(Options()) {}
 
+  /// \brief The canonical (event-time, MMSI) order of the pair-observation
+  /// stream. Every window closer (sequential engine, sharded coordinator,
+  /// grid partitioner) must sort with exactly this comparator.
+  static bool ObservationLess(const PairObservation& a,
+                              const PairObservation& b) {
+    if (a.point.t != b.point.t) return a.point.t < b.point.t;
+    return a.mmsi < b.mmsi;
+  }
+
   /// \brief Consumes one observation; appends detected pair events.
   void Ingest(const PairObservation& obs, std::vector<DetectedEvent>* out);
 
   /// \brief Closes one processing window: sorts `pairs` into the canonical
   /// (event-time, MMSI) order, ingests them (clearing the vector), flushes
   /// open pair states when `flush` is set, and re-sequences `events`
-  /// canonically. Both the sequential and the sharded pipeline close their
-  /// windows through this single code path — the determinism guarantee
-  /// depends on them never diverging.
+  /// canonically. The sequential pipeline closes its windows here; the
+  /// sharded pipeline closes them through `GridPairPartitioner::CloseWindow`,
+  /// which performs these exact steps (proven equivalent by
+  /// tests/pair_grid_test.cc) — the determinism guarantee depends on the
+  /// two paths never diverging.
   void CloseWindow(std::vector<PairObservation>* pairs, bool flush,
                    std::vector<DetectedEvent>* events);
 
@@ -217,6 +237,71 @@ class PairEventEngine {
   void Flush(std::vector<DetectedEvent>* out);
 
   const Stats& stats() const { return stats_; }
+
+  // --- Grid-parallel support (core/pair_grid.h) -----------------------------
+
+  /// \brief Portable copy of one vessel's pair-rule state.
+  struct VesselSnapshot {
+    Mmsi mmsi = 0;
+    TrajectoryPoint last;
+    bool in_port_area = false;
+  };
+
+  /// \brief Portable copy of one rendezvous pair's dwell state (a < b).
+  struct RendezvousSnapshot {
+    Mmsi a = 0;
+    Mmsi b = 0;
+    Timestamp since = 0;
+    Timestamp last_seen = 0;
+    GeoPoint where;
+    bool reported = false;
+  };
+
+  /// \brief Portable copy of one pair's collision re-alert clock (a < b).
+  struct CollisionSnapshot {
+    Mmsi a = 0;
+    Mmsi b = 0;
+    Timestamp last_alert = 0;
+  };
+
+  /// \brief Emission gate for cell replicas: when set, a pair event (and its
+  /// `events_out` count) is produced only if the filter approves the
+  /// unordered vessel pair. Every state transition — dwell accumulation,
+  /// `reported` latching, re-alert clocks — still occurs, so a non-owner
+  /// replica tracks exactly the state the owner does.
+  void SetEmitFilter(std::function<bool(Mmsi, Mmsi)> filter) {
+    emit_filter_ = std::move(filter);
+  }
+
+  /// \brief Copies every per-vessel state, ascending MMSI.
+  void ExportVessels(std::vector<VesselSnapshot>* out) const;
+
+  /// \brief Copies one vessel's state; false when unknown.
+  bool GetVessel(Mmsi mmsi, VesselSnapshot* out) const;
+
+  /// \brief Copies every rendezvous pair state, ascending (a, b).
+  void ExportRendezvous(std::vector<RendezvousSnapshot>* out) const;
+
+  /// \brief Copies every collision re-alert clock, ascending (a, b).
+  void ExportCollisions(std::vector<CollisionSnapshot>* out) const;
+
+  /// \brief Installs (or overwrites) one vessel's state, including its
+  /// entry in the live picture index.
+  void RestoreVessel(const VesselSnapshot& snapshot);
+
+  /// \brief Installs (or overwrites) one rendezvous pair state.
+  void RestoreRendezvous(const RendezvousSnapshot& snapshot);
+
+  /// \brief Installs (or overwrites) one collision re-alert clock.
+  void RestoreCollision(const CollisionSnapshot& snapshot);
+
+  /// \brief Advances the engine counters on behalf of work executed in cell
+  /// replicas (the partitioner ingests observations and emits events outside
+  /// this instance but the merged totals belong to it).
+  void AccumulateStats(uint64_t points_in, uint64_t events_out) {
+    stats_.points_in += points_in;
+    stats_.events_out += events_out;
+  }
 
  private:
   struct VesselState {
@@ -237,6 +322,10 @@ class PairEventEngine {
     return a < b ? PairKey{a, b} : PairKey{b, a};
   }
 
+  bool MayEmit(Mmsi a, Mmsi b) const {
+    return !emit_filter_ || emit_filter_(a, b);
+  }
+
   void CheckRendezvous(const PairObservation& obs,
                        std::vector<DetectedEvent>* out);
   void CheckCollision(const PairObservation& obs,
@@ -248,6 +337,7 @@ class PairEventEngine {
   std::map<PairKey, Timestamp> collision_alerts_;
   GridIndex live_;
   Stats stats_;
+  std::function<bool(Mmsi, Mmsi)> emit_filter_;  ///< null = always emit
 };
 
 /// \brief Streaming complex-event detector: the single-threaded composition

@@ -1,0 +1,398 @@
+#include "core/pair_grid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <latch>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/units.h"
+
+namespace marlin {
+
+namespace {
+
+/// Degrees → metres scale of the live picture's grid math (GridIndex).
+double MetresPerDegree() { return DegToRad(1.0) * kEarthRadiusMetres; }
+
+}  // namespace
+
+/// All shared, read-only context of one window's grid execution: the
+/// vessel → cell assignment, the materialized-cell set, and the halo
+/// geometry. Built by the coordinator, read concurrently by cell tasks.
+struct GridPairPartitioner::WindowPlan {
+  double pitch_deg = 0.1;
+  int rings_row = 1;
+  int rings_col = 1;
+  std::unordered_map<Mmsi, int64_t> vessel_cell;
+  std::unordered_set<int64_t> materialized;  ///< cells with ≥ 1 owned obs
+
+  /// The live picture's own cell scheme (GridIndex::KeyOnPitch) — in
+  /// particular no antimeridian wrap, matching its scan behaviour exactly.
+  int64_t CellFor(const GeoPoint& p) const {
+    return GridIndex::KeyOnPitch(p, pitch_deg);
+  }
+
+  bool WithinHalo(int64_t cell, int64_t other) const {
+    return std::abs(GridIndex::CellRow(cell) - GridIndex::CellRow(other)) <=
+               rings_row &&
+           std::abs(GridIndex::CellCol(cell) - GridIndex::CellCol(other)) <=
+               rings_col;
+  }
+
+  /// The deterministic min-cell ownership rule: of the two vessels' cells,
+  /// the smallest key that is materialized owns the pair — exactly one cell
+  /// emits a cross-boundary pair's events and writes its state back. Pairs
+  /// with no materialized cell had no observation from either vessel this
+  /// window and therefore no owner (nothing to emit or write).
+  int64_t OwnerCell(Mmsi a, Mmsi b) const {
+    const auto ia = vessel_cell.find(a);
+    const auto ib = vessel_cell.find(b);
+    if (ia == vessel_cell.end() || ib == vessel_cell.end()) return INT64_MIN;
+    const bool ma = materialized.count(ia->second) > 0;
+    const bool mb = materialized.count(ib->second) > 0;
+    if (ma && mb) return std::min(ia->second, ib->second);
+    if (ma) return ia->second;
+    if (mb) return ib->second;
+    return INT64_MIN;
+  }
+};
+
+/// One cell's unit of work: inputs are fully written by the coordinator
+/// before the task is queued; outputs are fully written by the runner
+/// before `done` counts down (the latch orders both handoffs).
+struct GridPairPartitioner::CellTask {
+  int64_t cell = 0;
+  const WindowPlan* plan = nullptr;
+  std::vector<const PairObservation*> observations;  ///< canonical order
+  std::vector<PairEventEngine::VesselSnapshot> vessels;
+  std::vector<PairEventEngine::RendezvousSnapshot> rendezvous;
+  std::vector<PairEventEngine::CollisionSnapshot> collisions;
+  std::vector<Mmsi> owned_observed;  ///< deduped, first-observation order
+  size_t owned_count = 0;            ///< owned observations (skew metric)
+
+  std::vector<DetectedEvent> events;
+  std::vector<PairEventEngine::VesselSnapshot> vessels_out;
+  std::vector<PairEventEngine::RendezvousSnapshot> rendezvous_out;
+  std::vector<PairEventEngine::CollisionSnapshot> collisions_out;
+  std::latch* done = nullptr;
+};
+
+GridPairPartitioner::GridPairPartitioner(const EventRuleOptions& rules,
+                                         const Options& options)
+    : rules_(rules),
+      options_(options),
+      interaction_radius_m_(std::max(rules.rendezvous_distance_m,
+                                     rules.collision_scan_radius_m)),
+      cell_size_m_(options.cell_size_m > 0.0 ? options.cell_size_m
+                                             : interaction_radius_m_),
+      queue_(/*capacity=*/256) {
+  if (options_.pair_threads > 1) {
+    workers_.reserve(options_.pair_threads);
+    for (size_t i = 0; i < options_.pair_threads; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+}
+
+GridPairPartitioner::~GridPairPartitioner() {
+  queue_.Close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+}
+
+void GridPairPartitioner::WorkerLoop() {
+  while (auto task = queue_.Pop()) RunTask(*task);
+}
+
+void GridPairPartitioner::RunTask(CellTask* task) const {
+  PairEventEngine replica(rules_);
+  for (const auto& snapshot : task->vessels) replica.RestoreVessel(snapshot);
+  for (const auto& snapshot : task->rendezvous) {
+    replica.RestoreRendezvous(snapshot);
+  }
+  for (const auto& snapshot : task->collisions) {
+    replica.RestoreCollision(snapshot);
+  }
+  const WindowPlan* plan = task->plan;
+  const int64_t cell = task->cell;
+  replica.SetEmitFilter([plan, cell](Mmsi a, Mmsi b) {
+    return plan->OwnerCell(a, b) == cell;
+  });
+  for (const PairObservation* obs : task->observations) {
+    replica.Ingest(*obs, &task->events);
+  }
+  // Write-back: the final state of this cell's observed vessels and of the
+  // pairs it owns. Non-owner replicas computed identical state for shared
+  // pairs (they replayed the same observation subsequence); one writer is
+  // enough, and pairs touched only between halo vessels are discarded.
+  task->vessels_out.reserve(task->owned_observed.size());
+  for (Mmsi mmsi : task->owned_observed) {
+    PairEventEngine::VesselSnapshot snapshot;
+    if (replica.GetVessel(mmsi, &snapshot)) {
+      task->vessels_out.push_back(snapshot);
+    }
+  }
+  std::vector<PairEventEngine::RendezvousSnapshot> rendezvous;
+  replica.ExportRendezvous(&rendezvous);
+  for (const auto& snapshot : rendezvous) {
+    if (plan->OwnerCell(snapshot.a, snapshot.b) == cell) {
+      task->rendezvous_out.push_back(snapshot);
+    }
+  }
+  std::vector<PairEventEngine::CollisionSnapshot> collisions;
+  replica.ExportCollisions(&collisions);
+  for (const auto& snapshot : collisions) {
+    if (plan->OwnerCell(snapshot.a, snapshot.b) == cell) {
+      task->collisions_out.push_back(snapshot);
+    }
+  }
+  task->done->count_down();
+}
+
+bool GridPairPartitioner::TryParallelWindow(
+    PairEventEngine* engine, const std::vector<PairObservation>& observations,
+    std::vector<DetectedEvent>* events) {
+  WindowPlan plan;
+  plan.pitch_deg = cell_size_m_ / MetresPerDegree();
+
+  // --- Assignment: every vessel the engine knows anchors at its position
+  // entering the window; vessels first seen this window anchor at their
+  // first observation. All of a vessel's observations route to its one
+  // anchor cell, keeping its stream whole.
+  std::vector<PairEventEngine::VesselSnapshot> known;
+  engine->ExportVessels(&known);
+  plan.vessel_cell.reserve(known.size() + 16);
+  std::unordered_map<Mmsi, GeoPoint> anchor;
+  anchor.reserve(known.size() + 16);
+  for (const auto& snapshot : known) {
+    if (!snapshot.last.position.IsValid()) return false;
+    anchor.emplace(snapshot.mmsi, snapshot.last.position);
+    plan.vessel_cell.emplace(snapshot.mmsi,
+                             plan.CellFor(snapshot.last.position));
+  }
+
+  // Drift: how far any vessel's in-window observations stray from its
+  // anchor, per axis. The halo widens by twice the worst drift so a scan
+  // from a drifted vessel can still reach a drifted partner.
+  double drift_lat_deg = 0.0;
+  double drift_lon_deg = 0.0;
+  double max_abs_lat = 0.0;
+  for (const PairObservation& obs : observations) {
+    const GeoPoint& p = obs.point.position;
+    if (!p.IsValid()) return false;
+    auto [it, inserted] = anchor.emplace(obs.mmsi, p);
+    if (inserted) {
+      plan.vessel_cell.emplace(obs.mmsi, plan.CellFor(p));
+    } else {
+      drift_lat_deg = std::max(drift_lat_deg, std::abs(p.lat - it->second.lat));
+      drift_lon_deg = std::max(drift_lon_deg, std::abs(p.lon - it->second.lon));
+    }
+    max_abs_lat = std::max(max_abs_lat, std::abs(p.lat));
+  }
+
+  // --- Halo width. The margins are GridIndex::QueryRadius's own bounding
+  // box (shared helper — the two can never diverge), taken at the window's
+  // worst-case scan latitude: a partner the global engine's scan could
+  // return is within `lat_margin` / `lon_margin` degrees of the scanning
+  // observation, whose own anchor is at most one drift away — so anchors
+  // of interacting vessels differ by at most margin + 2·drift degrees per
+  // axis, which `ceil` converts to a cell-ring bound (padded against FP
+  // rounding).
+  double lat_margin_deg = 0.0;
+  double lon_margin_deg = 0.0;
+  GridIndex::RadiusMargins(interaction_radius_m_, max_abs_lat,
+                           &lat_margin_deg, &lon_margin_deg);
+  constexpr double kPadDeg = 1e-6;  // ~0.1 m of slack
+  plan.rings_row = static_cast<int>(std::ceil(
+      (lat_margin_deg + 2.0 * drift_lat_deg + kPadDeg) / plan.pitch_deg));
+  plan.rings_col = static_cast<int>(std::ceil(
+      (lon_margin_deg + 2.0 * drift_lon_deg + kPadDeg) / plan.pitch_deg));
+  if (plan.rings_row > options_.max_halo_rings ||
+      plan.rings_col > options_.max_halo_rings) {
+    // Drift defeated the grid (e.g. an antimeridian crossing, which is a
+    // ~360° lon jump in this unwrapped space): close sequentially.
+    return false;
+  }
+
+  for (const PairObservation& obs : observations) {
+    plan.materialized.insert(plan.vessel_cell.find(obs.mmsi)->second);
+  }
+  if (plan.materialized.size() < 2) return false;  // nothing to spread
+
+  // --- Build per-cell tasks, in deterministic ascending cell order. ---
+  std::map<int64_t, std::unique_ptr<CellTask>> tasks;
+  for (int64_t cell : plan.materialized) {
+    auto task = std::make_unique<CellTask>();
+    task->cell = cell;
+    task->plan = &plan;
+    tasks.emplace(cell, std::move(task));
+  }
+  std::unordered_map<int64_t, CellTask*> task_index;
+  task_index.reserve(tasks.size());
+  for (auto& [cell, task] : tasks) task_index.emplace(cell, task.get());
+
+  // Applies `fn` to every materialized task whose cell lies in the given
+  // row/col box: enumerate the box when it is smaller than the task set
+  // (the common case — the box is the halo neighbourhood, a few cells),
+  // scan the tasks otherwise. Both strategies visit the identical set, so
+  // routing cost is O(items × min(box, cells)) instead of O(items × cells).
+  const auto for_each_task_in_box = [&](int32_t row_lo, int32_t row_hi,
+                                        int32_t col_lo, int32_t col_hi,
+                                        auto&& fn) {
+    if (row_lo > row_hi || col_lo > col_hi) return;
+    const int64_t box = (static_cast<int64_t>(row_hi) - row_lo + 1) *
+                        (static_cast<int64_t>(col_hi) - col_lo + 1);
+    if (box <= static_cast<int64_t>(tasks.size())) {
+      for (int32_t row = row_lo; row <= row_hi; ++row) {
+        for (int32_t col = col_lo; col <= col_hi; ++col) {
+          auto it = task_index.find(GridIndex::PackCell(row, col));
+          if (it != task_index.end()) fn(*it->second);
+        }
+      }
+    } else {
+      for (auto& [cell, task] : tasks) {
+        const int32_t row = GridIndex::CellRow(cell);
+        const int32_t col = GridIndex::CellCol(cell);
+        if (row >= row_lo && row <= row_hi && col >= col_lo &&
+            col <= col_hi) {
+          fn(*task);
+        }
+      }
+    }
+  };
+  // The tasks within the halo of one home cell.
+  const auto for_each_halo_task = [&](int64_t home, auto&& fn) {
+    for_each_task_in_box(GridIndex::CellRow(home) - plan.rings_row,
+                         GridIndex::CellRow(home) + plan.rings_row,
+                         GridIndex::CellCol(home) - plan.rings_col,
+                         GridIndex::CellCol(home) + plan.rings_col, fn);
+  };
+  // The tasks within the halo of *both* of a pair's cells (box
+  // intersection — empty when the cells are too far apart to interact).
+  const auto for_each_pair_task = [&](int64_t ca, int64_t cb, auto&& fn) {
+    for_each_task_in_box(
+        std::max(GridIndex::CellRow(ca), GridIndex::CellRow(cb)) -
+            plan.rings_row,
+        std::min(GridIndex::CellRow(ca), GridIndex::CellRow(cb)) +
+            plan.rings_row,
+        std::max(GridIndex::CellCol(ca), GridIndex::CellCol(cb)) -
+            plan.rings_col,
+        std::min(GridIndex::CellCol(ca), GridIndex::CellCol(cb)) +
+            plan.rings_col,
+        fn);
+  };
+
+  uint64_t halo_count = 0;
+  std::unordered_set<Mmsi> seen_observed;
+  for (const PairObservation& obs : observations) {
+    const int64_t home = plan.vessel_cell.find(obs.mmsi)->second;
+    for_each_halo_task(home, [&](CellTask& task) {
+      task.observations.push_back(&obs);
+      if (task.cell == home) {
+        ++task.owned_count;
+      } else {
+        ++halo_count;
+      }
+    });
+    if (seen_observed.insert(obs.mmsi).second) {
+      task_index.find(home)->second->owned_observed.push_back(obs.mmsi);
+    }
+  }
+  for (const auto& snapshot : known) {
+    for_each_halo_task(
+        plan.vessel_cell.find(snapshot.mmsi)->second,
+        [&](CellTask& task) { task.vessels.push_back(snapshot); });
+  }
+  std::vector<PairEventEngine::RendezvousSnapshot> rendezvous;
+  engine->ExportRendezvous(&rendezvous);
+  for (const auto& snapshot : rendezvous) {
+    for_each_pair_task(
+        plan.vessel_cell.find(snapshot.a)->second,
+        plan.vessel_cell.find(snapshot.b)->second,
+        [&](CellTask& task) { task.rendezvous.push_back(snapshot); });
+  }
+  std::vector<PairEventEngine::CollisionSnapshot> collisions;
+  engine->ExportCollisions(&collisions);
+  for (const auto& snapshot : collisions) {
+    for_each_pair_task(
+        plan.vessel_cell.find(snapshot.a)->second,
+        plan.vessel_cell.find(snapshot.b)->second,
+        [&](CellTask& task) { task.collisions.push_back(snapshot); });
+  }
+
+  // --- Dispatch; the coordinator drains the queue alongside the pool
+  // rather than idling at the latch. ---
+  std::latch done(static_cast<ptrdiff_t>(tasks.size()));
+  for (auto& [cell, task] : tasks) {
+    task->done = &done;
+    queue_.Push(task.get());
+  }
+  while (auto task = queue_.TryPop()) RunTask(*task);
+  done.wait();
+
+  // --- Merge: transplant owned state back, concatenate events in cell
+  // order (the canonical re-sequence follows in CloseWindow). ---
+  uint64_t emitted = 0;
+  size_t heaviest = 0;
+  size_t heaviest_total = 0;
+  for (auto& [cell, task] : tasks) {
+    for (const auto& snapshot : task->vessels_out) {
+      engine->RestoreVessel(snapshot);
+    }
+    for (const auto& snapshot : task->rendezvous_out) {
+      engine->RestoreRendezvous(snapshot);
+    }
+    for (const auto& snapshot : task->collisions_out) {
+      engine->RestoreCollision(snapshot);
+    }
+    emitted += task->events.size();
+    events->insert(events->end(), std::make_move_iterator(task->events.begin()),
+                   std::make_move_iterator(task->events.end()));
+    heaviest = std::max(heaviest, task->owned_count);
+    heaviest_total = std::max(heaviest_total, task->observations.size());
+  }
+  engine->AccumulateStats(observations.size(), emitted);
+
+  stats_.halo_observations += halo_count;
+  stats_.cells += tasks.size();
+  stats_.max_cells_per_window =
+      std::max(stats_.max_cells_per_window, tasks.size());
+  stats_.max_cell_observations =
+      std::max(stats_.max_cell_observations, heaviest_total);
+  stats_.max_halo_rings = std::max(
+      stats_.max_halo_rings, std::max(plan.rings_row, plan.rings_col));
+  stats_.max_cell_share =
+      std::max(stats_.max_cell_share,
+               static_cast<double>(heaviest) /
+                   static_cast<double>(observations.size()));
+  return true;
+}
+
+void GridPairPartitioner::CloseWindow(PairEventEngine* engine,
+                                      std::vector<PairObservation>* pairs,
+                                      bool flush,
+                                      std::vector<DetectedEvent>* events) {
+  std::sort(pairs->begin(), pairs->end(), PairEventEngine::ObservationLess);
+  ++stats_.windows;
+  stats_.observations += pairs->size();
+  bool parallel_done = false;
+  if (!workers_.empty() && !pairs->empty()) {
+    parallel_done = TryParallelWindow(engine, *pairs, events);
+  }
+  if (parallel_done) {
+    ++stats_.parallel_windows;
+  } else {
+    ++stats_.sequential_windows;
+    for (const PairObservation& obs : *pairs) engine->Ingest(obs, events);
+  }
+  pairs->clear();
+  if (flush) engine->Flush(events);
+  ResequenceEvents(events);
+}
+
+}  // namespace marlin

@@ -1,0 +1,166 @@
+#ifndef MARLIN_CORE_PAIR_GRID_H_
+#define MARLIN_CORE_PAIR_GRID_H_
+
+/// \file pair_grid.h
+/// \brief Grid-cell sharded execution of the vessel-pair event stage.
+///
+/// PR 1 parallelized every vessel-keyed stage; the pair rules (rendezvous,
+/// collision risk) stayed sequential on the coordinator because they need
+/// the *global* live picture — the last Amdahl term of ROADMAP.md. But pair
+/// interactions are spatially local: no rule looks farther than the max
+/// interaction radius (`collision_scan_radius_m`). `GridPairPartitioner`
+/// exploits that locality to run each closed window's pair scans across a
+/// worker pool without changing a single emitted byte:
+///
+///  1. **Bucketing.** Every vessel the authoritative `PairEventEngine`
+///     knows (plus vessels first observed this window) is assigned to a
+///     uniform lat/lon grid cell sized by the interaction radius, keyed by
+///     its position entering the window. All of a vessel's observations in
+///     the window route to that one cell, keeping its stream whole.
+///  2. **Halo exchange.** Each materialized cell (≥ 1 owned observation)
+///     also receives the observation streams and state snapshots of
+///     vessels assigned within a halo of neighbouring cells — one ring
+///     when cells match the radius and vessels barely move, widened
+///     deterministically by the window's observed per-vessel drift so a
+///     partner can never be missed. Both margins mirror the bounding-box
+///     prefilter of `GridIndex::QueryRadius` exactly, so a cell replica's
+///     radius scans return the same partner sets the global engine's
+///     would.
+///  3. **Replica lockstep.** Each cell task runs a fresh `PairEventEngine`
+///     replica seeded with the relevant vessel/pair state and processes
+///     its (owned + halo) observations in the canonical (event-time, MMSI)
+///     order. Replicas perform *every* state transition; an emit filter
+///     restricts event output to the pair's **owner cell** — the minimum
+///     materialized cell key of the two vessels' cells — so every
+///     cross-boundary pair is spoken for by exactly one cell.
+///  4. **Write-back & merge.** The owner cell's final state for its
+///     observed vessels and owned pairs is transplanted back into the
+///     authoritative engine (non-owner replicas computed identical state
+///     and are discarded); per-cell event streams are concatenated in cell
+///     order and re-sequenced through the same canonical order the
+///     sequential close uses.
+///
+/// Windows whose geometry defeats the grid (a single materialized cell,
+/// antimeridian-crossing drift blowing the halo past `max_halo_rings`, or
+/// invalid positions) fall back to the sequential close — the decision is a
+/// pure function of the window input, so the output stays byte-identical
+/// to `PairEventEngine::CloseWindow` for every cell-size/thread
+/// configuration. tests/pair_grid_test.cc replays scenario worlds through
+/// both paths and asserts exact equality.
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "core/events.h"
+#include "stream/queue.h"
+
+namespace marlin {
+
+/// \brief Pair-stage instrumentation: how well the grid spreads the pair
+/// work (occupancy) and how lopsided the cells are (skew). Mergeable.
+struct PairStageStats {
+  uint64_t windows = 0;             ///< windows closed through the stage
+  uint64_t parallel_windows = 0;    ///< windows that took the grid path
+  uint64_t sequential_windows = 0;  ///< fallbacks (incl. pool-less runs)
+  uint64_t observations = 0;        ///< pair observations ingested
+  uint64_t halo_observations = 0;   ///< halo copies shipped to non-owner cells
+  uint64_t cells = 0;               ///< materialized cells over all windows
+  size_t max_cells_per_window = 0;  ///< occupancy high-water mark
+  size_t max_cell_observations = 0;  ///< heaviest single cell task
+  int max_halo_rings = 0;           ///< widest halo a window needed
+  /// Skew: worst observed share of one window's observations landing in a
+  /// single cell (1.0 = everything in one cell, 1/cells = perfectly even).
+  double max_cell_share = 0.0;
+
+  double MeanCellsPerWindow() const {
+    return parallel_windows == 0
+               ? 0.0
+               : static_cast<double>(cells) /
+                     static_cast<double>(parallel_windows);
+  }
+
+  void Merge(const PairStageStats& other) {
+    windows += other.windows;
+    parallel_windows += other.parallel_windows;
+    sequential_windows += other.sequential_windows;
+    observations += other.observations;
+    halo_observations += other.halo_observations;
+    cells += other.cells;
+    max_cells_per_window =
+        std::max(max_cells_per_window, other.max_cells_per_window);
+    max_cell_observations =
+        std::max(max_cell_observations, other.max_cell_observations);
+    max_halo_rings = std::max(max_halo_rings, other.max_halo_rings);
+    max_cell_share = std::max(max_cell_share, other.max_cell_share);
+  }
+};
+
+/// \brief Spatially sharded window closer for the pair-event stage.
+///
+/// Owns a pool of `pair_threads` workers fed through a `BoundedQueue`;
+/// `CloseWindow` is the drop-in parallel equivalent of
+/// `PairEventEngine::CloseWindow` on the authoritative engine.
+class GridPairPartitioner {
+ public:
+  struct Options {
+    /// Worker count for the cell pool. ≤ 1 disables the pool: every window
+    /// closes sequentially (still through this class, same stats).
+    size_t pair_threads = 0;
+    /// Grid pitch in metres; 0 sizes cells to the max interaction radius
+    /// (one-cell halos when vessels move little within a window).
+    double cell_size_m = 0.0;
+    /// Fallback threshold: when the drift-widened halo would exceed this
+    /// many rings per axis (vessels teleporting across the window, e.g. an
+    /// antimeridian crossing), the window closes sequentially instead.
+    int max_halo_rings = 8;
+  };
+
+  /// \brief `rules` must equal the authoritative engine's options — cell
+  /// replicas are constructed from them.
+  GridPairPartitioner(const EventRuleOptions& rules, const Options& options);
+  ~GridPairPartitioner();
+
+  GridPairPartitioner(const GridPairPartitioner&) = delete;
+  GridPairPartitioner& operator=(const GridPairPartitioner&) = delete;
+
+  /// \brief Closes one window on `engine`: exactly the sort → ingest →
+  /// clear → flush → re-sequence sequence of `PairEventEngine::CloseWindow`,
+  /// with the ingest fan-out across grid cells when the pool is enabled and
+  /// the window's geometry permits. After return, `engine`'s state, stats,
+  /// and the appended `events` are byte-identical to a sequential close.
+  void CloseWindow(PairEventEngine* engine,
+                   std::vector<PairObservation>* pairs, bool flush,
+                   std::vector<DetectedEvent>* events);
+
+  /// \brief True when the worker pool exists (pair_threads > 1).
+  bool parallel() const { return !workers_.empty(); }
+
+  const PairStageStats& stats() const { return stats_; }
+
+ private:
+  struct WindowPlan;
+  struct CellTask;
+
+  /// Attempts the grid path; false = caller must close sequentially.
+  bool TryParallelWindow(PairEventEngine* engine,
+                         const std::vector<PairObservation>& observations,
+                         std::vector<DetectedEvent>* events);
+
+  /// Runs one cell task to completion (worker thread or coordinator).
+  void RunTask(CellTask* task) const;
+
+  void WorkerLoop();
+
+  const EventRuleOptions rules_;
+  const Options options_;
+  const double interaction_radius_m_;
+  const double cell_size_m_;
+  BoundedQueue<CellTask*> queue_;
+  std::vector<std::thread> workers_;
+  PairStageStats stats_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_PAIR_GRID_H_

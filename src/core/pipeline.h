@@ -35,6 +35,7 @@
 #include "context/zones.h"
 #include "core/enrichment.h"
 #include "core/events.h"
+#include "core/pair_grid.h"
 #include "core/reconstruction.h"
 #include "core/shard.h"
 #include "core/synopses.h"
@@ -77,6 +78,15 @@ struct PipelineConfig {
   /// latency bounded on low-rate feeds, where filling `window_lines` could
   /// take arbitrarily long. 0 disables the time trigger.
   DurationMs window_time_ms = kMillisPerMinute;
+  /// Grid-cell worker count for the vessel-pair stage (rendezvous /
+  /// collision) in `ShardedPipeline` — ≤ 1 keeps the pair stage sequential
+  /// on the coordinator. The emitted event stream is byte-identical either
+  /// way (see core/pair_grid.h). `MaritimePipeline` is the single-threaded
+  /// reference and ignores this.
+  size_t pair_threads = 0;
+  /// Grid pitch in metres for the parallel pair stage; 0 sizes cells to the
+  /// max pair-interaction radius (`events.collision_scan_radius_m`).
+  double pair_cell_size_m = 0.0;
 };
 
 /// \brief Window-close predicate shared by the sequential and sharded
@@ -129,8 +139,12 @@ struct PipelineMetrics {
   EnrichmentEngine::Stats enrichment;
   /// Enrichment side-stage health: queue depth high-water mark, counted
   /// drops (backpressure made visible, never a stall), submit→delivery
-  /// latency.
+  /// latency, and the per-source (zones / weather / registry) share of the
+  /// join work.
   SideStageStats enrichment_stage;
+  /// Pair-stage grid health: parallel vs fallback windows, cell occupancy,
+  /// halo traffic, skew. All zero when the pair stage runs sequentially.
+  PairStageStats pair_stage;
   QualityAssessor::Report quality;
   uint64_t alerts = 0;
   RateMeter ingest_rate;

@@ -1,5 +1,7 @@
 #include "core/shard.h"
 
+#include <utility>
+
 #include "core/pipeline.h"
 
 namespace marlin {
@@ -32,7 +34,24 @@ PipelineShardCore::PipelineShardCore(const PipelineConfig& config,
       enrichment_(zones, weather, registry_a, registry_b, &source_quality_),
       enrichment_stage_(EnrichmentOptions(config, async_enrichment),
                         [this](const ReconstructedPoint& rp) {
-                          EnrichedPoint out = enrichment_.Enrich(rp);
+                          EnrichmentEngine::SourceTimings timings;
+                          EnrichedPoint out = enrichment_.Enrich(rp, &timings);
+                          // Per-source attribution (PR 2 follow-on): which
+                          // context join is eating the stage's budget —
+                          // batched so the point pays one stats lock.
+                          std::pair<const char*, uint64_t> attributed[3];
+                          size_t n = 0;
+                          if (timings.zones_ran) {
+                            attributed[n++] = {"zones", timings.zones_us};
+                          }
+                          if (timings.weather_ran) {
+                            attributed[n++] = {"weather", timings.weather_us};
+                          }
+                          if (timings.registry_ran) {
+                            attributed[n++] = {"registry",
+                                               timings.registry_us};
+                          }
+                          enrichment_stage_.AttributeSources({attributed, n});
                           std::lock_guard<std::mutex> lock(enrichment_mutex_);
                           enrichment_stats_snapshot_ = enrichment_.stats();
                           return out;

@@ -4,6 +4,17 @@
 
 namespace marlin {
 
+namespace {
+
+GridPairPartitioner::Options GridPairOptions(const PipelineConfig& config) {
+  GridPairPartitioner::Options options;
+  options.pair_threads = config.pair_threads;
+  options.cell_size_m = config.pair_cell_size_m;
+  return options;
+}
+
+}  // namespace
+
 ShardedPipeline::ShardedPipeline(const PipelineConfig& config,
                                  const Options& options,
                                  const ZoneDatabase* zones,
@@ -13,7 +24,8 @@ ShardedPipeline::ShardedPipeline(const PipelineConfig& config,
     : config_(config),
       options_(options),
       router_(options.num_shards),
-      pair_events_(config.events) {
+      pair_events_(config.events),
+      pair_grid_(config.events, GridPairOptions(config)) {
   // Shards writing one LSM archive concurrently would race; archival stays a
   // sequential-pipeline feature.
   config_.store.archive = nullptr;
@@ -165,8 +177,10 @@ void ShardedPipeline::MergeWindow(Window* window, bool flush_pairs,
                  std::make_move_iterator(shard_pairs.end()));
   }
 
-  // Same canonical window close and alert path the sequential pipeline uses.
-  pair_events_.CloseWindow(&pairs, flush_pairs, &events);
+  // Same canonical window close the sequential pipeline performs — the
+  // partitioner fans the pair scans out across grid cells when configured,
+  // with byte-identical output (core/pair_grid.h).
+  pair_grid_.CloseWindow(&pair_events_, &pairs, flush_pairs, &events);
   FireAlerts(events, &metrics_.alerts, alert_callback_);
   // Metrics are NOT refreshed here: when this window is merged the shards
   // may already be processing the next one, and their stats are only safe
@@ -201,6 +215,7 @@ void ShardedPipeline::RefreshMetrics() {
     metrics_.end_to_end_latency.Merge(shard->core->end_to_end_latency());
   }
   metrics_.events.events_out += pair_events_.stats().events_out;
+  metrics_.pair_stage = pair_grid_.stats();
 }
 
 std::vector<DetectedEvent> ShardedPipeline::IngestBatch(

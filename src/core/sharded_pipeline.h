@@ -19,8 +19,12 @@
 ///        output surfaces through SetEnrichedSink / DrainEnriched
 ///        │ merge: pair observations sorted by (event time, MMSI)
 ///        ▼
-///   coordinator: PairEventEngine (rendezvous / collision) + canonical
-///        event re-sequencing + alerts + metric merge
+///   coordinator: pair stage (rendezvous / collision) — sequential
+///        PairEventEngine, or grid-cell sharded across a
+///        GridPairPartitioner worker pool when `PipelineConfig::
+///        pair_threads` > 1 (halo exchange + min-cell ownership keep the
+///        output byte-identical) — + canonical event re-sequencing +
+///        alerts + metric merge
 ///
 /// Determinism: every vessel's reports flow through exactly one
 /// single-threaded shard core in arrival order, reconstruction watermarks
@@ -28,7 +32,8 @@
 /// with window boundaries fixed by input line count, and merged events are
 /// re-sequenced with a total order. Consequently a `ShardedPipeline` with
 /// one shard reproduces `MaritimePipeline`'s event stream *exactly*, and
-/// N shards produce the same events for any N.
+/// N shards produce the same events for any N — for every pair-stage
+/// cell-size/thread configuration (core/pair_grid.h).
 
 #include <functional>
 #include <latch>
@@ -39,6 +44,7 @@
 #include <variant>
 #include <vector>
 
+#include "core/pair_grid.h"
 #include "core/pipeline.h"
 #include "core/shard.h"
 #include "storage/trajectory_store.h"
@@ -201,7 +207,10 @@ class ShardedPipeline {
   std::vector<std::unique_ptr<Shard>> shards_;
   AisDecoder decoder_;          ///< assembly half runs on the coordinator
   QualityAssessor quality_;
-  PairEventEngine pair_events_;
+  PairEventEngine pair_events_;  ///< authoritative pair-rule state
+  /// Closes pair windows on `pair_events_` — grid-cell parallel when
+  /// `config.pair_threads` > 1, sequential otherwise; identical output.
+  GridPairPartitioner pair_grid_;
   PipelineMetrics metrics_;
   std::function<void(const DetectedEvent&)> alert_callback_;
 

@@ -54,9 +54,7 @@ std::vector<uint64_t> GridIndex::Query(const BoundingBox& box) const {
       static_cast<int32_t>(std::floor((box.max_lon + 180.0) / cell_deg_));
   for (int32_t r = row0; r <= row1; ++r) {
     for (int32_t c = col0; c <= col1; ++c) {
-      const CellKey key = (static_cast<int64_t>(r) << 32) |
-                          static_cast<int64_t>(static_cast<uint32_t>(c));
-      auto it = cells_.find(key);
+      auto it = cells_.find(PackCell(r, c));
       if (it == cells_.end()) continue;
       for (uint64_t id : it->second) {
         if (box.Contains(positions_.at(id))) out.push_back(id);
@@ -75,13 +73,19 @@ double GridIndex::ApproxDistanceMetres(const GeoPoint& a,
   return std::sqrt(dx * dx + dy * dy);
 }
 
+void GridIndex::RadiusMargins(double radius_m, double centre_lat,
+                              double* lat_margin_deg, double* lon_margin_deg) {
+  const double metres_per_deg = DegToRad(1.0) * kEarthRadiusMetres;
+  *lat_margin_deg = radius_m / metres_per_deg;
+  const double cos_lat = std::max(0.01, std::cos(DegToRad(centre_lat)));
+  *lon_margin_deg = radius_m / (metres_per_deg * cos_lat);
+}
+
 std::vector<std::pair<uint64_t, double>> GridIndex::QueryRadius(
     const GeoPoint& centre, double radius_m) const {
-  const double metres_per_deg = DegToRad(1.0) * kEarthRadiusMetres;
-  const double lat_margin = radius_m / metres_per_deg;
-  const double cos_lat =
-      std::max(0.01, std::cos(DegToRad(centre.lat)));
-  const double lon_margin = radius_m / (metres_per_deg * cos_lat);
+  double lat_margin = 0.0;
+  double lon_margin = 0.0;
+  RadiusMargins(radius_m, centre.lat, &lat_margin, &lon_margin);
   const BoundingBox box(centre.lat - lat_margin, centre.lon - lon_margin,
                         centre.lat + lat_margin, centre.lon + lon_margin);
   std::vector<std::pair<uint64_t, double>> out;

@@ -26,14 +26,39 @@
 #include <chrono>
 #include <deque>
 #include <functional>
+#include <map>
 #include <mutex>
+#include <span>
+#include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "stream/queue.h"
 #include "stream/rate.h"
 
 namespace marlin {
+
+/// \brief Wall-clock share of the transform attributed to one named
+/// upstream source — which context join (zones vs weather vs registry, for
+/// the enrichment stage) is actually eating the stage's budget.
+struct SourceLatency {
+  uint64_t calls = 0;     ///< attributed transform invocations
+  uint64_t total_us = 0;  ///< summed wall-clock microseconds
+  uint64_t max_us = 0;    ///< slowest single call
+
+  double MeanUs() const {
+    return calls == 0 ? 0.0
+                      : static_cast<double>(total_us) /
+                            static_cast<double>(calls);
+  }
+
+  void Merge(const SourceLatency& other) {
+    calls += other.calls;
+    total_us += other.total_us;
+    max_us = std::max(max_us, other.max_us);
+  }
+};
 
 /// \brief Side-stage instrumentation. Mergeable across shards.
 struct SideStageStats {
@@ -43,6 +68,10 @@ struct SideStageStats {
   uint64_t output_dropped = 0;  ///< delivered but evicted from drain buffer
   size_t max_queue_depth = 0;   ///< high-water mark of the input queue
   LatencyReservoir latency{512};  ///< submit → delivered, wall-clock ms
+  /// Per-source attribution, filled by the transform through
+  /// `AsyncSideStage::AttributeSource`. Empty when the transform does not
+  /// attribute.
+  std::map<std::string, SourceLatency> source_latency;
 
   uint64_t dropped() const { return queue_dropped + output_dropped; }
 
@@ -53,6 +82,9 @@ struct SideStageStats {
     output_dropped += other.output_dropped;
     max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
     latency.Merge(other.latency);
+    for (const auto& [name, source] : other.source_latency) {
+      source_latency[name].Merge(source);
+    }
   }
 };
 
@@ -142,6 +174,29 @@ class AsyncSideStage {
     complete_cv_.wait(lock, [this] {
       return stats_.processed + stats_.queue_dropped >= stats_.submitted;
     });
+  }
+
+  /// \brief Attributes `micros` of transform wall-clock to the named
+  /// upstream source. Call from inside the transform — it runs on the
+  /// worker thread in async mode, the producer thread in sync mode; either
+  /// way the stats lock serialises the update.
+  void AttributeSource(const std::string& name, uint64_t micros) {
+    const std::pair<const char*, uint64_t> one[] = {{name.c_str(), micros}};
+    AttributeSources(one);
+  }
+
+  /// \brief Batched attribution: one stats-lock acquisition for all of a
+  /// transform invocation's sources (the per-point hot path).
+  void AttributeSources(
+      std::span<const std::pair<const char*, uint64_t>> sources) {
+    if (sources.empty()) return;
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, micros] : sources) {
+      SourceLatency& source = stats_.source_latency[name];
+      ++source.calls;
+      source.total_us += micros;
+      source.max_us = std::max(source.max_us, micros);
+    }
   }
 
   /// \brief Snapshot of the stage counters (safe while the worker runs).

@@ -1,0 +1,603 @@
+// Grid-cell sharded pair stage: scenario-replay equivalence against the
+// sequential PairEventEngine, halo-exchange correctness at cell boundaries
+// (straddling pairs, antimeridian-adjacent cells, co-located vessels at a
+// cell corner), deterministic fallback, and pair-stage stats.
+//
+// The equivalence harness is the point of this file: every test closes the
+// same canonical observation windows through (a) a lone PairEventEngine and
+// (b) a GridPairPartitioner over an authoritative engine, and asserts the
+// two event streams are byte-identical — every field, in order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/pair_grid.h"
+#include "core/pipeline.h"
+#include "core/sharded_pipeline.h"
+#include "sim/scenario.h"
+#include "sim/world.h"
+
+namespace marlin {
+namespace {
+
+constexpr Timestamp kT0 = 1700000000000;
+
+auto EventKey(const DetectedEvent& ev) {
+  return std::make_tuple(ev.detected_at, ev.vessel_a, ev.vessel_b,
+                         static_cast<int>(ev.type), ev.start, ev.end,
+                         ev.zone_id, ev.severity, ev.where.lat, ev.where.lon);
+}
+
+/// Byte-identical comparison: same count, same content, same order.
+void ExpectByteIdentical(const std::vector<DetectedEvent>& expected,
+                         const std::vector<DetectedEvent>& actual,
+                         const std::string& label) {
+  ASSERT_EQ(expected.size(), actual.size()) << label;
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(EventKey(expected[i]), EventKey(actual[i]))
+        << label << ": event mismatch at index " << i;
+  }
+}
+
+PairObservation Obs(Mmsi mmsi, Timestamp t, double lat, double lon,
+                    double sog_mps, double cog_deg = 90.0,
+                    bool in_port = false) {
+  PairObservation obs;
+  obs.mmsi = mmsi;
+  obs.point.t = t;
+  obs.point.position = GeoPoint(lat, lon);
+  obs.point.sog_mps = static_cast<float>(sog_mps);
+  obs.point.cog_deg = static_cast<float>(cog_deg);
+  obs.in_port_area = in_port;
+  return obs;
+}
+
+/// Drives the observation windows through a lone sequential engine.
+std::vector<DetectedEvent> CloseAllSequential(
+    const EventRuleOptions& rules,
+    const std::vector<std::vector<PairObservation>>& windows) {
+  PairEventEngine engine(rules);
+  std::vector<DetectedEvent> out;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    std::vector<PairObservation> window = windows[i];
+    std::vector<DetectedEvent> events;
+    engine.CloseWindow(&window, /*flush=*/i + 1 == windows.size(), &events);
+    out.insert(out.end(), events.begin(), events.end());
+  }
+  return out;
+}
+
+/// Drives the same windows through the grid partitioner.
+std::vector<DetectedEvent> CloseAllGrid(
+    const EventRuleOptions& rules, const GridPairPartitioner::Options& options,
+    const std::vector<std::vector<PairObservation>>& windows,
+    PairStageStats* stats = nullptr) {
+  PairEventEngine engine(rules);
+  GridPairPartitioner partitioner(rules, options);
+  std::vector<DetectedEvent> out;
+  for (size_t i = 0; i < windows.size(); ++i) {
+    std::vector<PairObservation> window = windows[i];
+    std::vector<DetectedEvent> events;
+    partitioner.CloseWindow(&engine, &window,
+                            /*flush=*/i + 1 == windows.size(), &events);
+    out.insert(out.end(), events.begin(), events.end());
+  }
+  if (stats != nullptr) *stats = partitioner.stats();
+  return out;
+}
+
+double PitchDeg(double cell_size_m) {
+  return cell_size_m / (DegToRad(1.0) * kEarthRadiusMetres);
+}
+
+/// Smallest grid-line longitude ≥ `lon` for the given pitch.
+double LonBoundaryAtOrAfter(double lon, double pitch_deg) {
+  return std::ceil((lon + 180.0) / pitch_deg) * pitch_deg - 180.0;
+}
+
+double LatBoundaryAtOrAfter(double lat, double pitch_deg) {
+  return std::ceil((lat + 90.0) / pitch_deg) * pitch_deg - 90.0;
+}
+
+// --- Halo correctness at cell boundaries ------------------------------------
+
+TEST(PairGridHaloTest, BoundaryStraddlingRendezvousEmittedExactlyOnce) {
+  EventRuleOptions rules;  // rendezvous: ≤ 500 m, ≤ 1.5 m/s, ≥ 10 min
+  // Match the scan radius to the rendezvous radius so radius-sized cells
+  // need only a one-cell halo (the default 10 km collision scan would
+  // widen it past the fallback cap at this cell size).
+  rules.collision_scan_radius_m = 500.0;
+  const double cell_m = 500.0;
+  const double pitch = PitchDeg(cell_m);
+  // Two slow vessels ~85 m apart in *adjacent* cells: a column boundary
+  // runs between them.
+  const double boundary = LonBoundaryAtOrAfter(5.0, pitch);
+  const double lat = 40.0;
+  const double lon_west = boundary - 0.0005;
+  const double lon_east = boundary + 0.0005;
+
+  std::vector<std::vector<PairObservation>> windows;
+  std::vector<PairObservation> window;
+  for (int minute = 0; minute <= 15; ++minute) {
+    const Timestamp t = kT0 + minute * kMillisPerMinute;
+    window.push_back(Obs(111000001, t, lat, lon_west, 0.4));
+    window.push_back(Obs(222000002, t, lat, lon_east, 0.5));
+    if (minute % 5 == 4) {  // several windows → cross-window state carry
+      windows.push_back(std::move(window));
+      window.clear();
+    }
+  }
+  if (!window.empty()) windows.push_back(std::move(window));
+
+  const auto sequential = CloseAllSequential(rules, windows);
+  // The pair dwells > 10 minutes within 500 m: exactly one rendezvous.
+  size_t rendezvous = 0;
+  for (const auto& ev : sequential) {
+    if (ev.type == EventType::kRendezvous) ++rendezvous;
+  }
+  EXPECT_EQ(rendezvous, 1u);
+
+  for (size_t threads : {2, 3}) {
+    GridPairPartitioner::Options options;
+    options.pair_threads = threads;
+    options.cell_size_m = cell_m;
+    PairStageStats stats;
+    const auto grid = CloseAllGrid(rules, options, windows, &stats);
+    ExpectByteIdentical(sequential, grid,
+                        "straddling pair, threads=" + std::to_string(threads));
+    EXPECT_GT(stats.parallel_windows, 0u) << "grid path never engaged";
+  }
+}
+
+TEST(PairGridHaloTest, CollisionAcrossBoundaryEmittedExactlyOnce) {
+  const EventRuleOptions rules;  // CPA < 300 m, scan radius 10 km
+  const double cell_m = 2000.0;
+  const double pitch = PitchDeg(cell_m);
+  const double boundary = LonBoundaryAtOrAfter(12.0, pitch);
+  const double lat = 38.0;
+  const double cos_lat = std::cos(DegToRad(lat));
+  const double deg_per_m_lon = PitchDeg(1.0) / cos_lat;
+
+  // Head-on approach along one parallel: vessels start ~8 km apart on
+  // opposite sides of a cell boundary, closing at 12 m/s (TCPA ≈ 11 min).
+  std::vector<std::vector<PairObservation>> windows;
+  std::vector<PairObservation> window;
+  for (int step = 0; step < 10; ++step) {
+    const Timestamp t = kT0 + step * 30 * kMillisPerSecond;
+    const double travelled = 6.0 * 30 * step;  // metres each, toward the other
+    const double lon_west = boundary - (4000.0 - travelled) * deg_per_m_lon;
+    const double lon_east = boundary + (4000.0 - travelled) * deg_per_m_lon;
+    window.push_back(Obs(111000001, t, lat, lon_west, 6.0, 90.0));
+    window.push_back(Obs(222000002, t, lat, lon_east, 6.0, 270.0));
+    if (step % 4 == 3) {
+      windows.push_back(std::move(window));
+      window.clear();
+    }
+  }
+  if (!window.empty()) windows.push_back(std::move(window));
+
+  const auto sequential = CloseAllSequential(rules, windows);
+  size_t collisions = 0;
+  for (const auto& ev : sequential) {
+    if (ev.type == EventType::kCollisionRisk) ++collisions;
+  }
+  // One alert per pair per re-alert window (10 min > the 4.5 min run).
+  EXPECT_EQ(collisions, 1u);
+
+  GridPairPartitioner::Options options;
+  options.pair_threads = 2;
+  options.cell_size_m = cell_m;
+  PairStageStats stats;
+  const auto grid = CloseAllGrid(rules, options, windows, &stats);
+  ExpectByteIdentical(sequential, grid, "boundary collision");
+  EXPECT_GT(stats.parallel_windows, 0u);
+}
+
+TEST(PairGridHaloTest, CellCornerColocatedVesselsEmitEachPairOnce) {
+  EventRuleOptions rules;
+  rules.collision_scan_radius_m = 500.0;  // radius-sized cells, see above
+  const double cell_m = 500.0;
+  const double pitch = PitchDeg(cell_m);
+  // A grid corner: a row boundary and a column boundary intersect here.
+  const double corner_lat = LatBoundaryAtOrAfter(43.0, pitch);
+  const double corner_lon = LonBoundaryAtOrAfter(7.0, pitch);
+  const double d = 0.0003;  // ~33 m lat / ~24 m lon offsets
+
+  // Four vessels, one per quadrant around the corner, plus two co-located
+  // *exactly at* the corner point — every pairwise distance ≤ ~90 m.
+  struct Spec {
+    Mmsi mmsi;
+    double lat, lon;
+  };
+  const std::vector<Spec> fleet = {
+      {301000001, corner_lat - d, corner_lon - d},
+      {301000002, corner_lat - d, corner_lon + d},
+      {301000003, corner_lat + d, corner_lon - d},
+      {301000004, corner_lat + d, corner_lon + d},
+      {301000005, corner_lat, corner_lon},
+      {301000006, corner_lat, corner_lon},
+  };
+
+  std::vector<std::vector<PairObservation>> windows;
+  std::vector<PairObservation> window;
+  for (int minute = 0; minute <= 14; ++minute) {
+    const Timestamp t = kT0 + minute * kMillisPerMinute;
+    for (const Spec& spec : fleet) {
+      window.push_back(Obs(spec.mmsi, t, spec.lat, spec.lon, 0.3));
+    }
+    if (minute % 4 == 3) {
+      windows.push_back(std::move(window));
+      window.clear();
+    }
+  }
+  if (!window.empty()) windows.push_back(std::move(window));
+
+  const auto sequential = CloseAllSequential(rules, windows);
+  size_t rendezvous = 0;
+  for (const auto& ev : sequential) {
+    if (ev.type == EventType::kRendezvous) ++rendezvous;
+  }
+  EXPECT_EQ(rendezvous, 15u) << "C(6,2) pairs, each exactly once";
+
+  for (size_t threads : {2, 4}) {
+    GridPairPartitioner::Options options;
+    options.pair_threads = threads;
+    options.cell_size_m = cell_m;
+    PairStageStats stats;
+    const auto grid = CloseAllGrid(rules, options, windows, &stats);
+    ExpectByteIdentical(sequential, grid,
+                        "cell corner, threads=" + std::to_string(threads));
+    EXPECT_GT(stats.parallel_windows, 0u);
+    EXPECT_GE(stats.max_cells_per_window, 4u) << "corner spans four cells";
+  }
+}
+
+TEST(PairGridHaloTest, AntimeridianAdjacentCellsMatchSequential) {
+  EventRuleOptions rules;
+  rules.collision_scan_radius_m = 500.0;  // radius-sized cells, see above
+  const double cell_m = 500.0;
+
+  // One close pair on each side of the antimeridian, plus a cross-seam
+  // "pair" ~44 m apart physically. The live picture's grid is unwrapped
+  // (GridIndex::KeyFor), so the sequential engine never pairs across the
+  // seam — the grid stage must reproduce that behaviour, not "fix" it.
+  std::vector<std::vector<PairObservation>> windows;
+  std::vector<PairObservation> window;
+  for (int minute = 0; minute <= 14; ++minute) {
+    const Timestamp t = kT0 + minute * kMillisPerMinute;
+    window.push_back(Obs(401000001, t, 5.0, 179.9930, 0.4));
+    window.push_back(Obs(401000002, t, 5.0, 179.9938, 0.4));
+    window.push_back(Obs(402000001, t, 5.0, -179.9930, 0.4));
+    window.push_back(Obs(402000002, t, 5.0, -179.9938, 0.4));
+    window.push_back(Obs(403000001, t, 5.0, 179.9998, 0.4));
+    window.push_back(Obs(403000002, t, 5.0, -179.9998, 0.4));
+    if (minute % 4 == 3) {
+      windows.push_back(std::move(window));
+      window.clear();
+    }
+  }
+  if (!window.empty()) windows.push_back(std::move(window));
+
+  const auto sequential = CloseAllSequential(rules, windows);
+  size_t rendezvous = 0;
+  for (const auto& ev : sequential) {
+    if (ev.type == EventType::kRendezvous) ++rendezvous;
+  }
+  EXPECT_EQ(rendezvous, 2u) << "east pair + west pair; never across the seam";
+
+  GridPairPartitioner::Options options;
+  options.pair_threads = 3;
+  options.cell_size_m = cell_m;
+  PairStageStats stats;
+  const auto grid = CloseAllGrid(rules, options, windows, &stats);
+  ExpectByteIdentical(sequential, grid, "antimeridian-adjacent cells");
+  EXPECT_GT(stats.parallel_windows, 0u);
+}
+
+TEST(PairGridHaloTest, AntimeridianCrossingVesselFallsBackDeterministically) {
+  EventRuleOptions rules;
+  rules.collision_scan_radius_m = 500.0;  // radius-sized cells, see above
+  // A vessel teleporting across the seam mid-window is a ~360° longitude
+  // jump in unwrapped degrees: the drift-widened halo blows past
+  // max_halo_rings and the window must fall back to the sequential close.
+  std::vector<std::vector<PairObservation>> windows;
+  std::vector<PairObservation> window;
+  for (int minute = 0; minute <= 12; ++minute) {
+    const Timestamp t = kT0 + minute * kMillisPerMinute;
+    const double lon = minute < 6 ? 179.9990 : -179.9990;  // crosses at 6'
+    window.push_back(Obs(501000001, t, 5.0, lon, 0.4));
+    window.push_back(Obs(501000002, t, 5.0, lon + 0.0006, 0.4));
+    window.push_back(Obs(502000001, t, 6.0, 170.0, 0.4));
+    window.push_back(Obs(502000002, t, 6.0, 170.0006, 0.4));
+    if (minute % 6 == 5) {
+      windows.push_back(std::move(window));
+      window.clear();
+    }
+  }
+  if (!window.empty()) windows.push_back(std::move(window));
+
+  const auto sequential = CloseAllSequential(rules, windows);
+  GridPairPartitioner::Options options;
+  options.pair_threads = 2;
+  options.cell_size_m = 500.0;
+  PairStageStats stats;
+  const auto grid = CloseAllGrid(rules, options, windows, &stats);
+  ExpectByteIdentical(sequential, grid, "antimeridian crossing");
+  EXPECT_GT(stats.sequential_windows, 0u)
+      << "the crossing window must take the fallback";
+}
+
+// --- Randomized soak --------------------------------------------------------
+
+TEST(PairGridEquivalenceTest, RandomWalkFleetMatchesAcrossConfigs) {
+  const EventRuleOptions rules;
+  Rng rng(20260728);
+
+  // 40 vessels random-walking a ~20 km box: dense enough that rendezvous,
+  // collision scans, re-alerts, and flush-time closures all fire.
+  constexpr int kVessels = 40;
+  struct VesselSim {
+    Mmsi mmsi;
+    double lat, lon, speed, course;
+  };
+  std::vector<VesselSim> fleet;
+  for (int i = 0; i < kVessels; ++i) {
+    fleet.push_back(VesselSim{static_cast<Mmsi>(600000001 + i),
+                              39.0 + rng.Uniform(0.0, 0.18),
+                              8.0 + rng.Uniform(0.0, 0.18),
+                              rng.Uniform(0.0, 8.0), rng.Uniform(0.0, 360.0)});
+  }
+  std::vector<std::vector<PairObservation>> windows;
+  std::vector<PairObservation> window;
+  const double deg_per_m = PitchDeg(1.0);
+  for (int step = 0; step < 120; ++step) {  // 60 minutes at 30 s ticks
+    const Timestamp t = kT0 + step * 30 * kMillisPerSecond;
+    for (auto& v : fleet) {
+      const double rad = DegToRad(v.course);
+      v.lat += std::cos(rad) * v.speed * 30.0 * deg_per_m;
+      v.lon += std::sin(rad) * v.speed * 30.0 * deg_per_m;
+      v.course += rng.Uniform(-15.0, 15.0);
+      v.speed = std::clamp(v.speed + rng.Uniform(-0.4, 0.4), 0.0, 9.0);
+      window.push_back(Obs(v.mmsi, t, v.lat, v.lon, v.speed, v.course));
+    }
+    if (step % 10 == 9) {
+      windows.push_back(std::move(window));
+      window.clear();
+    }
+  }
+  if (!window.empty()) windows.push_back(std::move(window));
+
+  const auto sequential = CloseAllSequential(rules, windows);
+  ASSERT_GT(sequential.size(), 0u) << "soak scenario produced no pair events";
+
+  struct Config {
+    size_t threads;
+    double cell_m;
+    bool expect_parallel;  // tiny cells fall back (10 km scan ⇒ huge halo)
+  };
+  for (const Config& config :
+       {Config{2, 4000.0, true}, Config{3, 6000.0, true},
+        Config{4, 12000.0, true}, Config{2, 700.0, false}}) {
+    GridPairPartitioner::Options options;
+    options.pair_threads = config.threads;
+    options.cell_size_m = config.cell_m;
+    PairStageStats stats;
+    const auto grid = CloseAllGrid(rules, options, windows, &stats);
+    ExpectByteIdentical(sequential, grid,
+                        "soak threads=" + std::to_string(config.threads) +
+                            " cell=" + std::to_string(config.cell_m));
+    EXPECT_EQ(stats.windows, windows.size());
+    EXPECT_EQ(stats.parallel_windows + stats.sequential_windows,
+              stats.windows);
+    if (config.expect_parallel) {
+      EXPECT_GT(stats.parallel_windows, 0u)
+          << "cell=" << config.cell_m << " never engaged the grid";
+      EXPECT_GT(stats.cells, 0u);
+      EXPECT_GT(stats.max_cell_share, 0.0);
+      EXPECT_LE(stats.max_cell_share, 1.0);
+    }
+  }
+}
+
+// --- Scenario replay: full simulated worlds through both pipelines ----------
+
+PipelineConfig ReplayConfig(size_t pair_threads, double cell_m) {
+  PipelineConfig pc;
+  pc.window_lines = 384;  // several windows per scenario
+  pc.pair_threads = pair_threads;
+  pc.pair_cell_size_m = cell_m;
+  return pc;
+}
+
+const World& ReplayWorld() {
+  static World world = World::Basin();
+  return world;
+}
+
+/// Runs one scenario through the sequential reference and through sharded
+/// pipelines with randomized (shards, pair_threads, cell size) draws,
+/// asserting byte-identical streams for 1 shard and identical multisets
+/// plus identical counters for N shards. Returns the total number of
+/// windows the grid path parallelized (so callers can assert coverage).
+uint64_t ReplayScenario(const ScenarioOutput& scenario,
+                        const std::string& label, uint64_t config_seed,
+                        const std::vector<double>& cell_sizes) {
+  MaritimePipeline sequential(ReplayConfig(0, 0.0), &ReplayWorld().zones(),
+                              nullptr, nullptr, nullptr);
+  const auto seq_events = sequential.Run(scenario.nmea);
+  EXPECT_GT(seq_events.size(), 0u) << label;
+
+  Rng rng(config_seed);
+  uint64_t parallel_windows = 0;
+  for (int round = 0; round < 3; ++round) {
+    const size_t num_shards = 1 + rng.NextBounded(4);
+    const size_t pair_threads = 2 + rng.NextBounded(3);
+    const double cell_m =
+        cell_sizes[rng.NextBounded(cell_sizes.size())];
+    const std::string config_label =
+        label + " shards=" + std::to_string(num_shards) +
+        " pair_threads=" + std::to_string(pair_threads) +
+        " cell=" + std::to_string(cell_m);
+
+    ShardedPipeline::Options opts;
+    opts.num_shards = num_shards;
+    ShardedPipeline sharded(ReplayConfig(pair_threads, cell_m), opts,
+                            &ReplayWorld().zones(), nullptr, nullptr, nullptr);
+    const auto grid_events = sharded.Run(scenario.nmea);
+
+    if (num_shards == 1) {
+      ExpectByteIdentical(seq_events, grid_events, config_label);
+    } else {
+      EXPECT_EQ(seq_events.size(), grid_events.size()) << config_label;
+      std::vector<decltype(EventKey(seq_events.front()))> ka, kb;
+      for (const auto& ev : seq_events) ka.push_back(EventKey(ev));
+      for (const auto& ev : grid_events) kb.push_back(EventKey(ev));
+      std::sort(ka.begin(), ka.end());
+      std::sort(kb.begin(), kb.end());
+      EXPECT_EQ(ka, kb) << config_label;
+    }
+    const PipelineMetrics& ms = sequential.metrics();
+    const PipelineMetrics& mg = sharded.metrics();
+    EXPECT_EQ(ms.events.events_out, mg.events.events_out) << config_label;
+    EXPECT_EQ(ms.alerts, mg.alerts) << config_label;
+    EXPECT_EQ(mg.pair_stage.windows,
+              mg.pair_stage.parallel_windows + mg.pair_stage.sequential_windows)
+        << config_label;
+    parallel_windows += mg.pair_stage.parallel_windows;
+  }
+  return parallel_windows;
+}
+
+TEST(PairGridScenarioReplayTest, DensePortTraffic) {
+  // Heavy mixed traffic around the basin's ports: the rendezvous/loiter
+  // density the paper's §4 anomaly rules target.
+  ScenarioConfig config;
+  config.seed = 7001;
+  config.duration = 75 * kMillisPerMinute;
+  config.transit_vessels = 18;
+  config.fishing_vessels = 6;
+  config.loiter_vessels = 4;
+  config.rendezvous_pairs = 4;
+  config.dark_vessels = 2;
+  config.spoof_identity_vessels = 1;
+  config.spoof_teleport_vessels = 1;
+  config.perfect_reception = true;
+  const ScenarioOutput scenario = GenerateScenario(ReplayWorld(), config);
+  const uint64_t parallel =
+      ReplayScenario(scenario, "dense-port", 9101, {2000.0, 5000.0, 12000.0});
+  EXPECT_GT(parallel, 0u) << "grid path never engaged across configs";
+}
+
+TEST(PairGridScenarioReplayTest, CrossingLanes) {
+  // Transit-dominated crossing traffic: the collision-risk (CPA/TCPA)
+  // workload, with realistic coastal+satellite reception.
+  ScenarioConfig config;
+  config.seed = 7002;
+  config.duration = 75 * kMillisPerMinute;
+  config.transit_vessels = 26;
+  config.fishing_vessels = 2;
+  config.loiter_vessels = 1;
+  config.rendezvous_pairs = 2;
+  config.dark_vessels = 2;
+  config.spoof_identity_vessels = 1;
+  config.spoof_teleport_vessels = 1;
+  const ScenarioOutput scenario = GenerateScenario(ReplayWorld(), config);
+  const uint64_t parallel =
+      ReplayScenario(scenario, "crossing-lanes", 9102,
+                     {2000.0, 5000.0, 12000.0});
+  EXPECT_GT(parallel, 0u);
+}
+
+TEST(PairGridScenarioReplayTest, SatelliteLatencyGaps) {
+  // No coastal stations at all: deliveries ride satellite passes with
+  // 30–900 s latency — windows see wide event-time spans and heavy
+  // reordering, the worst case for the drift-widened halo.
+  ScenarioConfig config;
+  config.seed = 7003;
+  config.duration = 2 * kMillisPerHour;
+  config.transit_vessels = 14;
+  config.fishing_vessels = 4;
+  config.loiter_vessels = 2;
+  config.rendezvous_pairs = 3;
+  config.dark_vessels = 2;
+  config.spoof_identity_vessels = 1;
+  config.spoof_teleport_vessels = 1;
+  config.use_coastal_coverage_default = false;  // satellite-only reception
+  const ScenarioOutput scenario = GenerateScenario(ReplayWorld(), config);
+  // Wide cells: satellite latency inflates per-window drift, so small cells
+  // would legitimately fall back (that path is covered above).
+  ReplayScenario(scenario, "satellite-gaps", 9103, {12000.0, 20000.0});
+}
+
+// --- Stats ------------------------------------------------------------------
+
+TEST(PairStageStatsTest, MergeAccumulates) {
+  PairStageStats a, b;
+  a.windows = 4;
+  a.parallel_windows = 3;
+  a.sequential_windows = 1;
+  a.observations = 100;
+  a.halo_observations = 30;
+  a.cells = 12;
+  a.max_cells_per_window = 5;
+  a.max_cell_observations = 40;
+  a.max_halo_rings = 2;
+  a.max_cell_share = 0.5;
+  b.windows = 2;
+  b.parallel_windows = 2;
+  b.observations = 50;
+  b.halo_observations = 5;
+  b.cells = 8;
+  b.max_cells_per_window = 6;
+  b.max_cell_observations = 10;
+  b.max_halo_rings = 4;
+  b.max_cell_share = 0.25;
+  a.Merge(b);
+  EXPECT_EQ(a.windows, 6u);
+  EXPECT_EQ(a.parallel_windows, 5u);
+  EXPECT_EQ(a.sequential_windows, 1u);
+  EXPECT_EQ(a.observations, 150u);
+  EXPECT_EQ(a.halo_observations, 35u);
+  EXPECT_EQ(a.cells, 20u);
+  EXPECT_EQ(a.max_cells_per_window, 6u);
+  EXPECT_EQ(a.max_cell_observations, 40u);
+  EXPECT_EQ(a.max_halo_rings, 4);
+  EXPECT_DOUBLE_EQ(a.max_cell_share, 0.5);
+  EXPECT_DOUBLE_EQ(a.MeanCellsPerWindow(), 4.0);
+}
+
+TEST(PairGridTest, PoollessPartitionerClosesSequentially) {
+  // pair_threads ≤ 1: no worker pool, every window closes sequentially —
+  // and the partitioner is still a byte-exact drop-in for the engine close.
+  const EventRuleOptions rules;
+  std::vector<std::vector<PairObservation>> windows;
+  std::vector<PairObservation> window;
+  for (int minute = 0; minute <= 12; ++minute) {
+    const Timestamp t = kT0 + minute * kMillisPerMinute;
+    window.push_back(Obs(701000001, t, 40.0, 5.0, 0.4));
+    window.push_back(Obs(701000002, t, 40.0, 5.0008, 0.4));
+    if (minute % 4 == 3) {
+      windows.push_back(std::move(window));
+      window.clear();
+    }
+  }
+  if (!window.empty()) windows.push_back(std::move(window));
+
+  const auto sequential = CloseAllSequential(rules, windows);
+  GridPairPartitioner::Options options;
+  options.pair_threads = 1;
+  PairStageStats stats;
+  const auto grid = CloseAllGrid(rules, options, windows, &stats);
+  ExpectByteIdentical(sequential, grid, "pool-less partitioner");
+  EXPECT_EQ(stats.parallel_windows, 0u);
+  EXPECT_EQ(stats.sequential_windows, stats.windows);
+}
+
+}  // namespace
+}  // namespace marlin

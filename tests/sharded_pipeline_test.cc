@@ -195,6 +195,102 @@ TEST(ShardedPipelineTest, TimeCapClosesWindowsOnLowRateFeeds) {
   EXPECT_EQ(sharded_tail.size(), seq_tail.size());
 }
 
+// --- Grid-parallel pair stage (scenario replay) ------------------------------
+
+TEST(ShardedPipelineTest, GridPairStageOneShardIsByteIdenticalToSequential) {
+  // The tightest equivalence claim: one MMSI shard + grid-parallel pair
+  // stage reproduces the sequential pipeline's event stream exactly, in
+  // order, for several cell-grid/thread configurations.
+  const ScenarioOutput scenario = MakeScenario(921, /*perfect_reception=*/false);
+  const PipelineConfig pc = TestConfig();
+
+  MaritimePipeline sequential(pc, &SharedWorld().zones(), nullptr, nullptr,
+                              nullptr);
+  const auto seq_events = sequential.Run(scenario.nmea);
+  ASSERT_GT(seq_events.size(), 0u);
+
+  struct GridConfig {
+    size_t pair_threads;
+    double cell_m;
+  };
+  for (const GridConfig& grid :
+       {GridConfig{2, 0.0 /* auto: interaction radius */},
+        GridConfig{3, 5000.0}, GridConfig{4, 20000.0}}) {
+    PipelineConfig grid_pc = pc;
+    grid_pc.pair_threads = grid.pair_threads;
+    grid_pc.pair_cell_size_m = grid.cell_m;
+    ShardedPipeline::Options opts;
+    opts.num_shards = 1;
+    ShardedPipeline sharded(grid_pc, opts, &SharedWorld().zones(), nullptr,
+                            nullptr, nullptr);
+    const auto grid_events = sharded.Run(scenario.nmea);
+    ExpectSameEvents(seq_events, grid_events, /*compare_order=*/true);
+
+    const PipelineMetrics& ms = sequential.metrics();
+    const PipelineMetrics& mp = sharded.metrics();
+    EXPECT_EQ(ms.events.points_in, mp.events.points_in);
+    EXPECT_EQ(ms.events.events_out, mp.events.events_out);
+    EXPECT_EQ(ms.alerts, mp.alerts);
+    EXPECT_EQ(mp.pair_stage.windows,
+              mp.pair_stage.parallel_windows + mp.pair_stage.sequential_windows);
+    EXPECT_GT(mp.pair_stage.parallel_windows, 0u)
+        << "pair_threads=" << grid.pair_threads << " cell=" << grid.cell_m
+        << ": grid path never engaged";
+  }
+}
+
+TEST(ShardedPipelineTest, GridPairStageManyShardsMatchSequentialMultiset) {
+  const ScenarioOutput scenario = MakeScenario(922, /*perfect_reception=*/true);
+  const PipelineConfig pc = TestConfig();
+
+  MaritimePipeline sequential(pc, &SharedWorld().zones(), nullptr, nullptr,
+                              nullptr);
+  const auto seq_events = sequential.Run(scenario.nmea);
+  ASSERT_GT(seq_events.size(), 0u);
+
+  for (size_t num_shards : {2, 4}) {
+    for (size_t pair_threads : {2, 4}) {
+      PipelineConfig grid_pc = pc;
+      grid_pc.pair_threads = pair_threads;
+      ShardedPipeline::Options opts;
+      opts.num_shards = num_shards;
+      ShardedPipeline sharded(grid_pc, opts, &SharedWorld().zones(), nullptr,
+                              nullptr, nullptr);
+      const auto grid_events = sharded.Run(scenario.nmea);
+      ExpectSameEvents(seq_events, grid_events, /*compare_order=*/false);
+      EXPECT_EQ(sequential.metrics().events.events_out,
+                sharded.metrics().events.events_out);
+      EXPECT_EQ(sequential.metrics().alerts, sharded.metrics().alerts);
+      EXPECT_GT(sharded.metrics().pair_stage.parallel_windows, 0u);
+    }
+  }
+}
+
+TEST(ShardedPipelineTest, GridPairStageReportsOccupancyAndHaloTraffic) {
+  const ScenarioOutput scenario = MakeScenario(923, /*perfect_reception=*/true);
+  PipelineConfig pc = TestConfig();
+  pc.pair_threads = 3;
+  pc.pair_cell_size_m = 8000.0;
+
+  ShardedPipeline::Options opts;
+  opts.num_shards = 2;
+  ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), nullptr, nullptr,
+                          nullptr);
+  sharded.Run(scenario.nmea);
+
+  const PairStageStats& stage = sharded.metrics().pair_stage;
+  EXPECT_GT(stage.windows, 0u);
+  EXPECT_GT(stage.parallel_windows, 0u);
+  EXPECT_GT(stage.observations, 0u);
+  EXPECT_GT(stage.cells, 0u);
+  EXPECT_GE(stage.max_cells_per_window, 2u);
+  EXPECT_GT(stage.max_cell_observations, 0u);
+  EXPECT_GE(stage.max_halo_rings, 1);
+  EXPECT_GT(stage.max_cell_share, 0.0);
+  EXPECT_LE(stage.max_cell_share, 1.0);
+  EXPECT_GT(stage.MeanCellsPerWindow(), 1.0);
+}
+
 // --- Partitioned storage ----------------------------------------------------
 
 TEST(ShardedPipelineTest, PartitionedStoreViewMatchesSequentialStore) {
@@ -608,6 +704,63 @@ TEST(EnrichedStreamTest, SlowProviderDropsAreCountedAndIngestCompletes) {
       it->second = p.base.point.t;
     }
   }
+}
+
+TEST(EnrichedStreamTest, PerSourceLatencyAttributionCoversEveryJoin) {
+  // PR 2 follow-on: SideStageStats attributes the join work per context
+  // source, so a slow weather service is distinguishable from slow zones.
+  const ScenarioOutput scenario = MakeScenario(916, /*perfect_reception=*/true);
+  const PipelineConfig pc = EnrichedTestConfig();
+  WeatherProvider weather(7);
+  VesselRegistry reg_a("marinetraffic"), reg_b("lloyds");
+  FillRegistries(scenario.fleet, &reg_a, &reg_b);
+
+  ShardedPipeline::Options opts;
+  opts.num_shards = 2;
+  ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), &weather, &reg_a,
+                          &reg_b);
+  sharded.Run(scenario.nmea);
+
+  const SideStageStats stage = sharded.metrics().enrichment_stage;
+  ASSERT_GT(stage.processed, 0u);
+  ASSERT_EQ(stage.source_latency.size(), 3u);
+  for (const char* source : {"zones", "weather", "registry"}) {
+    auto it = stage.source_latency.find(source);
+    ASSERT_NE(it, stage.source_latency.end()) << source;
+    // One attributed call per transformed point, merged across shards.
+    EXPECT_EQ(it->second.calls, stage.processed) << source;
+    EXPECT_GE(it->second.max_us, it->second.total_us / (it->second.calls + 1))
+        << source;
+  }
+}
+
+TEST(EnrichedStreamTest, SlowSourceDominatesItsLatencyAttribution) {
+  const ScenarioOutput scenario = MakeScenario(917, /*perfect_reception=*/true);
+  PipelineConfig pc = TestConfig();
+  pc.enrichment_queue_depth = 1u << 20;  // lossless: every point measured
+  pc.enriched_output_capacity = 1u << 20;
+  // 2 ms per weather lookup — sleeps give a hard per-call lower bound the
+  // assertion can rely on even under sanitizers.
+  SlowWeatherProvider weather(7, std::chrono::milliseconds(2));
+
+  ShardedPipeline::Options opts;
+  opts.num_shards = 2;
+  ShardedPipeline sharded(pc, opts, &SharedWorld().zones(), &weather, nullptr,
+                          nullptr);
+  sharded.Run(scenario.nmea);
+
+  const SideStageStats stage = sharded.metrics().enrichment_stage;
+  ASSERT_GT(stage.processed, 0u);
+  // No registries configured: that source must not be credited with calls.
+  EXPECT_EQ(stage.source_latency.count("registry"), 0u);
+  const auto weather_it = stage.source_latency.find("weather");
+  const auto zones_it = stage.source_latency.find("zones");
+  ASSERT_NE(weather_it, stage.source_latency.end());
+  ASSERT_NE(zones_it, stage.source_latency.end());
+  EXPECT_EQ(weather_it->second.calls, stage.processed);
+  // Each weather lookup slept ≥ 2 ms; zone lookups are in-memory.
+  EXPECT_GE(weather_it->second.MeanUs(), 2000.0);
+  EXPECT_GT(weather_it->second.total_us, zones_it->second.total_us);
 }
 
 TEST(EnrichedStreamTest, EnrichmentCanBeDisabledEntirely) {

@@ -518,5 +518,50 @@ TEST(SideStageStatsTest, MergeAccumulates) {
   EXPECT_EQ(a.max_queue_depth, 7u);
 }
 
+TEST(SideStageTest, SourceAttributionAggregatesPerName) {
+  // The transform attributes its per-source wall-clock through the stage;
+  // the stage aggregates by name under the stats lock (sync mode here for
+  // deterministic accounting — async shares the code path).
+  AsyncSideStage<int, int>::Options opts;
+  opts.async = false;
+  AsyncSideStage<int, int>* stage_ptr = nullptr;
+  AsyncSideStage<int, int> stage(opts, [&stage_ptr](const int& v) {
+    stage_ptr->AttributeSource("alpha", 5);
+    stage_ptr->AttributeSource("beta", static_cast<uint64_t>(10 + v));
+    return v;
+  });
+  stage_ptr = &stage;  // installed before the first Submit
+  for (int i = 0; i < 4; ++i) stage.Submit(i);
+  stage.Flush();
+
+  const SideStageStats stats = stage.stats();
+  ASSERT_EQ(stats.source_latency.size(), 2u);
+  const SourceLatency& alpha = stats.source_latency.at("alpha");
+  EXPECT_EQ(alpha.calls, 4u);
+  EXPECT_EQ(alpha.total_us, 20u);
+  EXPECT_EQ(alpha.max_us, 5u);
+  EXPECT_DOUBLE_EQ(alpha.MeanUs(), 5.0);
+  const SourceLatency& beta = stats.source_latency.at("beta");
+  EXPECT_EQ(beta.calls, 4u);
+  EXPECT_EQ(beta.total_us, 10u + 11u + 12u + 13u);
+  EXPECT_EQ(beta.max_us, 13u);
+}
+
+TEST(SideStageStatsTest, MergeUnionsSourceLatencyByName) {
+  SideStageStats a, b;
+  a.source_latency["zones"] = SourceLatency{10, 100, 20};
+  a.source_latency["weather"] = SourceLatency{10, 5000, 900};
+  b.source_latency["weather"] = SourceLatency{5, 1000, 400};
+  b.source_latency["registry"] = SourceLatency{5, 50, 15};
+  a.Merge(b);
+  ASSERT_EQ(a.source_latency.size(), 3u);
+  EXPECT_EQ(a.source_latency["zones"].calls, 10u);
+  EXPECT_EQ(a.source_latency["weather"].calls, 15u);
+  EXPECT_EQ(a.source_latency["weather"].total_us, 6000u);
+  EXPECT_EQ(a.source_latency["weather"].max_us, 900u);
+  EXPECT_EQ(a.source_latency["registry"].total_us, 50u);
+  EXPECT_DOUBLE_EQ(a.source_latency["weather"].MeanUs(), 400.0);
+}
+
 }  // namespace
 }  // namespace marlin
