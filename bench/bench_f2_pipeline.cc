@@ -15,11 +15,17 @@
 #include <map>
 #include <thread>
 
+#include "ais/codec.h"
 #include "bench_util.h"
+#include "common/alloc_probe.h"
 #include "context/weather.h"
 #include "core/pipeline.h"
 #include "core/sharded_pipeline.h"
 #include "va/situation.h"
+
+// Heap probe for the allocations/line axis of the decode microbench: this
+// binary's operator new counts into a thread-local the benchmark samples.
+MARLIN_INSTALL_ALLOC_PROBE()
 
 namespace marlin {
 namespace {
@@ -87,6 +93,46 @@ void PrintArchitectureRun() {
   std::printf("  (satellite deliveries dominate the tail — §1's latency "
               "challenge)\n");
 }
+
+// The decode inner loop in isolation: the per-line cost every shard worker
+// pays before any stateful stage runs (PR 4's zero-copy parse + pooled
+// de-armor scratch). Counters surface both axes the refactor targets:
+// lines/s and steady-state heap allocations per line (multi-fragment
+// groups are the only remaining allocators — single-fragment traffic is
+// allocation-free, asserted by tests/decode_equivalence_test.cc). CI runs
+// this benchmark and fails on a >2x lines_per_s regression vs the
+// committed BENCH_f2_pipeline.json baseline (tools/check_bench_regression.py).
+void BM_DecodeMicro(benchmark::State& state) {
+  const ScenarioOutput& scenario = bench::SharedScenario(F2Config());
+  AisDecoder decoder;
+  // Warmup: size the decoder's pooled scratch so the counter reads the
+  // steady state rather than first-touch growth.
+  for (const auto& ev : scenario.nmea) {
+    benchmark::DoNotOptimize(decoder.Decode(ev.payload, ev.ingest_time));
+  }
+  uint64_t lines = 0;
+  uint64_t messages = 0;
+  uint64_t allocations = 0;
+  for (auto _ : state) {
+    const uint64_t before = AllocProbe::ThreadCount();
+    for (const auto& ev : scenario.nmea) {
+      auto msg = decoder.Decode(ev.payload, ev.ingest_time);
+      if (msg.has_value()) ++messages;
+      benchmark::DoNotOptimize(msg);
+    }
+    allocations += AllocProbe::ThreadCount() - before;
+    lines += scenario.nmea.size();
+  }
+  // Per-iteration message count (one pass over the corpus), not the
+  // iteration-scaled running total.
+  state.counters["messages"] = benchmark::Counter(
+      static_cast<double>(messages), benchmark::Counter::kAvgIterations);
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(lines), benchmark::Counter::kIsRate);
+  state.counters["allocs_per_line"] =
+      static_cast<double>(allocations) / static_cast<double>(lines);
+}
+BENCHMARK(BM_DecodeMicro)->Unit(benchmark::kMillisecond);
 
 void BM_FullArchitecture(benchmark::State& state) {
   const World& world = bench::SharedWorld();

@@ -5,27 +5,27 @@
 
 namespace marlin {
 
-std::optional<AisMessage> AisDecoder::Decode(const std::string& line,
+std::optional<AisMessage> AisDecoder::Decode(std::string_view line,
                                              Timestamp received_at) {
   return Assemble(Parse(line, received_at));
 }
 
-ParsedLine AisDecoder::Parse(const std::string& line, Timestamp received_at) {
+ParsedLine AisDecoder::Parse(std::string_view line, Timestamp received_at) {
   ParsedLine out;
   out.received_at = received_at;
   // Optional NMEA 4.0 TAG block: the remote receiver's timestamp is the
   // authoritative reception time (satellite feeds arrive minutes after the
   // remote receiver heard them).
   TagBlock tag;
-  Result<std::string> stripped = StripTagBlock(line, &tag);
+  Result<std::string_view> stripped = StripTagBlockView(line, &tag);
   if (!stripped.ok()) return out;
   if (tag.receiver_time != kInvalidTimestamp) {
     out.received_at = tag.receiver_time;
   }
-  Result<NmeaSentence> sentence = ParseSentence(*stripped);
+  Result<NmeaSentenceView> sentence = ParseSentenceView(*stripped);
   if (!sentence.ok()) return out;
   out.ok = true;
-  out.sentence = std::move(*sentence);
+  out.sentence = *sentence;
   return out;
 }
 
@@ -47,13 +47,13 @@ std::optional<AisMessage> AisDecoder::Assemble(const ParsedLine& parsed) {
     return std::nullopt;
   }
   const AivdmAssembler::CompletePayload& payload = **assembled;
-  Result<std::vector<uint8_t>> bits =
-      UnarmorPayload(payload.payload, payload.fill_bits);
-  if (!bits.ok()) {
+  const Status unarmored =
+      UnarmorPayloadInto(payload.payload, payload.fill_bits, &bits_scratch_);
+  if (!unarmored.ok()) {
     ++stats_.bad_payloads;
     return std::nullopt;
   }
-  Result<AisMessage> msg = DecodeMessageBits(*bits);
+  Result<AisMessage> msg = DecodeMessageBits(bits_scratch_);
   if (!msg.ok()) {
     if (msg.status().IsNotImplemented()) {
       ++stats_.unsupported_types;

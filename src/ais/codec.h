@@ -5,6 +5,7 @@
 /// \brief Top-level AIS codec: NMEA lines ⇄ typed messages.
 
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "ais/nmea.h"
@@ -16,11 +17,16 @@ namespace marlin {
 /// \brief A pre-parsed NMEA line: the output of the stateless (and therefore
 /// embarrassingly parallel) front half of decoding, ready to be fed to the
 /// stateful reassembly half in arrival order.
+///
+/// Zero-copy: `sentence` holds `string_view`s into the line buffer handed to
+/// `AisDecoder::Parse`, so parsing allocates nothing — the contract is that
+/// the source line outlives the `ParsedLine` (the pipelines keep each
+/// window's lines alive until the window's parsed slots are assembled).
 struct ParsedLine {
   /// Receiver timestamp after TAG-block override.
   Timestamp received_at = kInvalidTimestamp;
   bool ok = false;  ///< false: checksum / format / TAG-block failure
-  NmeaSentence sentence;
+  NmeaSentenceView sentence;
 };
 
 /// \brief Stream decoder: feed NMEA lines, receive decoded messages.
@@ -61,16 +67,19 @@ class AisDecoder {
 
   /// \brief Decodes one NMEA line. Returns a message when one completes,
   /// std::nullopt when the line was a fragment / unusable.
-  /// `received_at` stamps the decoded message.
-  std::optional<AisMessage> Decode(const std::string& line,
+  /// `received_at` stamps the decoded message. Steady-state (single-fragment
+  /// lines, warmed scratch) this performs no heap allocation.
+  std::optional<AisMessage> Decode(std::string_view line,
                                    Timestamp received_at);
 
   /// \brief Stateless front half: TAG-block strip + sentence parse +
-  /// checksum. Thread-safe; does not touch decoder state or stats.
-  static ParsedLine Parse(const std::string& line, Timestamp received_at);
+  /// checksum. Thread-safe; does not touch decoder state or stats. The
+  /// returned `ParsedLine` aliases `line`'s buffer (see ParsedLine).
+  static ParsedLine Parse(std::string_view line, Timestamp received_at);
 
   /// \brief Stateful back half: fragment reassembly + bit-level decode +
-  /// stats. Must be called in arrival order on one thread.
+  /// stats. Must be called in arrival order on one thread, while the
+  /// buffer `parsed` aliases is still alive.
   std::optional<AisMessage> Assemble(const ParsedLine& parsed);
 
   const Stats& stats() const { return stats_; }
@@ -78,6 +87,7 @@ class AisDecoder {
  private:
   AivdmAssembler assembler_;
   Stats stats_;
+  std::vector<uint8_t> bits_scratch_;  ///< de-armored bits, reused per line
 };
 
 /// \brief Encodes a message as one or more NMEA AIVDM sentences.

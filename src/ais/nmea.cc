@@ -1,12 +1,25 @@
 #include "ais/nmea.h"
 
+#include <charconv>
 #include <cstdio>
+#include <limits>
 
 #include "common/strings.h"
 
 namespace marlin {
 
-uint8_t NmeaChecksum(const std::string& body) {
+namespace {
+
+/// Appends a decimal integer without the temporary `std::to_string` makes.
+void AppendInt(std::string* out, int64_t value) {
+  char buf[24];
+  const auto res = std::to_chars(buf, buf + sizeof(buf), value);
+  out->append(buf, res.ptr);
+}
+
+}  // namespace
+
+uint8_t NmeaChecksum(std::string_view body) {
   uint8_t sum = 0;
   for (char c : body) sum ^= static_cast<uint8_t>(c);
   return sum;
@@ -14,31 +27,39 @@ uint8_t NmeaChecksum(const std::string& body) {
 
 std::string FormatTagBlock(Timestamp receiver_time) {
   // The `c:` parameter carries integer seconds per NMEA 4.0.
-  std::string body = "c:" + std::to_string(receiver_time / kMillisPerSecond);
+  std::string body = "c:";
+  AppendInt(&body, receiver_time / kMillisPerSecond);
   char buf[8];
   std::snprintf(buf, sizeof(buf), "*%02X", NmeaChecksum(body));
-  return "\\" + body + buf + "\\";
+  std::string out;
+  out.reserve(body.size() + 5);
+  out += '\\';
+  out += body;
+  out += buf;
+  out += '\\';
+  return out;
 }
 
-Result<std::string> StripTagBlock(const std::string& line, TagBlock* tag) {
+Result<std::string_view> StripTagBlockView(std::string_view line,
+                                           TagBlock* tag) {
   if (line.empty() || line[0] != '\\') return line;
   const size_t end = line.find('\\', 1);
-  if (end == std::string::npos) {
+  if (end == std::string_view::npos) {
     return Status::Corruption("unterminated TAG block");
   }
-  const std::string block = line.substr(1, end - 1);
+  const std::string_view block = line.substr(1, end - 1);
   const size_t star = block.rfind('*');
-  if (star == std::string::npos || star + 3 > block.size()) {
+  if (star == std::string_view::npos || star + 3 > block.size()) {
     return Status::Corruption("TAG block missing checksum");
   }
-  const std::string body = block.substr(0, star);
+  const std::string_view body = block.substr(0, star);
   unsigned int expected = 0;
-  if (std::sscanf(block.c_str() + star + 1, "%2X", &expected) != 1 ||
+  if (!ParseHexByte(block.substr(star + 1), &expected) ||
       NmeaChecksum(body) != static_cast<uint8_t>(expected)) {
     return Status::Corruption("TAG block checksum mismatch");
   }
   if (tag != nullptr) {
-    for (const std::string& field : Split(body, ',')) {
+    ForEachField(body, ',', [tag](std::string_view field) {
       if (StartsWith(field, "c:")) {
         int64_t seconds = 0;
         if (ParseInt64(field.substr(2), &seconds)) {
@@ -50,57 +71,74 @@ Result<std::string> StripTagBlock(const std::string& line, TagBlock* tag) {
       } else if (StartsWith(field, "s:")) {
         tag->source = field.substr(2);
       }
-    }
+    });
   }
   return line.substr(end + 1);
 }
 
-std::string FormatSentence(const NmeaSentence& s) {
-  std::string body = s.talker;
-  body += ',';
-  body += std::to_string(s.fragment_count);
-  body += ',';
-  body += std::to_string(s.fragment_number);
-  body += ',';
-  if (s.sequential_id >= 0) body += std::to_string(s.sequential_id);
-  body += ',';
-  if (s.channel != '\0') body += s.channel;
-  body += ',';
-  body += s.payload;
-  body += ',';
-  body += std::to_string(s.fill_bits);
-  char buf[8];
-  std::snprintf(buf, sizeof(buf), "*%02X", NmeaChecksum(body));
-  return "!" + body + buf;
+Result<std::string> StripTagBlock(const std::string& line, TagBlock* tag) {
+  MARLIN_ASSIGN_OR_RETURN(std::string_view rest, StripTagBlockView(line, tag));
+  return std::string(rest);
 }
 
-Result<NmeaSentence> ParseSentence(const std::string& raw) {
-  std::string line(Trim(raw));
+std::string FormatSentence(const NmeaSentence& s) {
+  std::string out;
+  // talker + 6 commas + 4 small ints + channel + "!...*hh" trimmings.
+  out.reserve(s.talker.size() + s.payload.size() + 20);
+  out += '!';
+  out += s.talker;
+  out += ',';
+  AppendInt(&out, s.fragment_count);
+  out += ',';
+  AppendInt(&out, s.fragment_number);
+  out += ',';
+  if (s.sequential_id >= 0) AppendInt(&out, s.sequential_id);
+  out += ',';
+  if (s.channel != '\0') out += s.channel;
+  out += ',';
+  out += s.payload;
+  out += ',';
+  AppendInt(&out, s.fill_bits);
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "*%02X",
+                NmeaChecksum(std::string_view(out).substr(1)));
+  out += buf;
+  return out;
+}
+
+Result<NmeaSentenceView> ParseSentenceView(std::string_view raw) {
+  const std::string_view line = Trim(raw);
   if (line.size() < 10 || line[0] != '!') {
     return Status::Corruption("not an NMEA sentence: missing '!'");
   }
   const size_t star = line.rfind('*');
-  if (star == std::string::npos || star + 3 > line.size()) {
+  if (star == std::string_view::npos || star + 3 > line.size()) {
     return Status::Corruption("missing NMEA checksum");
   }
-  const std::string body = line.substr(1, star - 1);
-  const std::string cksum_hex = line.substr(star + 1, 2);
+  const std::string_view body = line.substr(1, star - 1);
   unsigned int expected = 0;
-  if (std::sscanf(cksum_hex.c_str(), "%2X", &expected) != 1) {
+  if (!ParseHexByte(line.substr(star + 1, 2), &expected)) {
     return Status::Corruption("malformed NMEA checksum field");
   }
   if (NmeaChecksum(body) != static_cast<uint8_t>(expected)) {
     return Status::Corruption("NMEA checksum mismatch");
   }
 
-  const std::vector<std::string> fields = Split(body, ',');
-  if (fields.size() != 7) {
+  // Tokenize in place: an AIVDM sentence has exactly 7 comma-separated
+  // fields (empty fields kept).
+  std::array<std::string_view, 7> fields;
+  size_t count = 0;
+  ForEachField(body, ',', [&fields, &count](std::string_view field) {
+    if (count < fields.size()) fields[count] = field;
+    ++count;
+  });
+  if (count != 7) {
     return Status::Corruption("AIVDM sentence must have 7 fields");
   }
-  NmeaSentence s;
+  NmeaSentenceView s;
   s.talker = fields[0];
   if (s.talker != "AIVDM" && s.talker != "AIVDO") {
-    return Status::Corruption("unsupported talker: " + s.talker);
+    return Status::Corruption("unsupported talker: " + std::string(s.talker));
   }
   int64_t v = 0;
   if (!ParseInt64(fields[1], &v) || v < 1 || v > 9) {
@@ -131,67 +169,136 @@ Result<NmeaSentence> ParseSentence(const std::string& raw) {
   return s;
 }
 
+Result<NmeaSentence> ParseSentence(std::string_view line) {
+  MARLIN_ASSIGN_OR_RETURN(NmeaSentenceView view, ParseSentenceView(line));
+  NmeaSentence s;
+  s.talker.assign(view.talker);
+  s.fragment_count = view.fragment_count;
+  s.fragment_number = view.fragment_number;
+  s.sequential_id = view.sequential_id;
+  s.channel = view.channel;
+  s.payload.assign(view.payload);
+  s.fill_bits = view.fill_bits;
+  return s;
+}
+
 Result<std::optional<AivdmAssembler::CompletePayload>> AivdmAssembler::Add(
-    const NmeaSentence& s, Timestamp now) {
+    const NmeaSentenceView& s, Timestamp now) {
   if (s.fragment_count == 1) {
-    CompletePayload done;
-    done.payload = s.payload;
-    done.fill_bits = s.fill_bits;
-    done.channel = s.channel;
-    return std::optional<CompletePayload>(std::move(done));
+    return std::optional<CompletePayload>(
+        CompletePayload{s.payload, s.fill_bits, s.channel});
+  }
+  constexpr int kMaxFragments =
+      static_cast<int>(std::tuple_size<decltype(Group::frag_off)>::value);
+  if (s.fragment_count > kMaxFragments || s.fragment_number < 1 ||
+      s.fragment_number > s.fragment_count) {
+    return Status::Corruption("inconsistent fragment numbering");
   }
 
   EvictExpired(now);
-  const GroupKey key{s.sequential_id, s.channel, s.fragment_count};
-  auto it = pending_.find(key);
-  if (it == pending_.end()) {
+  const uint64_t key = GroupKeyOf(s);
+  Group* group = pending_.Find(key);
+  if (group == nullptr) {
     if (pending_.size() >= options_.max_pending_groups) {
-      // Drop the oldest group to bound memory under loss.
-      auto oldest = pending_.begin();
-      for (auto g = pending_.begin(); g != pending_.end(); ++g) {
-        if (g->second.first_seen < oldest->second.first_seen) oldest = g;
-      }
-      pending_.erase(oldest);
+      // Drop the oldest group to bound memory under loss (ties broken by
+      // smallest key, the deterministic choice regardless of table layout).
+      uint64_t oldest_key = 0;
+      Timestamp oldest_seen = std::numeric_limits<Timestamp>::max();
+      pending_.ForEach([&](uint64_t k, const Group& g) {
+        if (g.first_seen < oldest_seen ||
+            (g.first_seen == oldest_seen && k < oldest_key)) {
+          oldest_seen = g.first_seen;
+          oldest_key = k;
+        }
+      });
+      pending_.Erase(oldest_key);
     }
-    Group group;
-    group.fragments.resize(s.fragment_count);
-    group.first_seen = now;
-    group.channel = s.channel;
-    it = pending_.emplace(key, std::move(group)).first;
+    // Recycle the slot's arena capacity (TryEmplaceWith clear, not V{}):
+    // a steady multi-fragment rate reuses warmed group buffers.
+    group = pending_
+                .TryEmplaceWith(key,
+                                [](Group& g) {
+                                  g.buf.clear();
+                                  g.frag_off.fill(0);
+                                  g.frag_len.fill(0);
+                                  g.received_mask = 0;
+                                  g.received = 0;
+                                  g.fill_bits = 0;
+                                  g.channel = 'A';
+                                  g.first_seen = 0;
+                                })
+                .first;
+    group->first_seen = now;
+    group->channel = s.channel;
   }
-  Group& group = it->second;
-  std::string& slot = group.fragments[s.fragment_number - 1];
-  if (!slot.empty()) {
-    // Duplicate fragment (VHF repeats); restart the group with this one.
-    slot = s.payload;
+  const int idx = s.fragment_number - 1;
+  const uint16_t bit = static_cast<uint16_t>(1u << idx);
+  if ((group->received_mask & bit) != 0) {
+    // Duplicate fragment (VHF repeats): replace the existing span without
+    // leaking the old bytes, so a repeat flood cannot grow the arena.
+    // Equal-or-shorter repeats overwrite in place; a longer repeat (rare)
+    // compacts the arena, dropping the stale span.
+    if (s.payload.size() <= group->frag_len[idx]) {
+      group->buf.replace(group->frag_off[idx], s.payload.size(), s.payload);
+      group->frag_len[idx] = static_cast<uint32_t>(s.payload.size());
+    } else {
+      assembly_buf_.clear();  // scratch; any prior returned view is dead
+      for (int f = 0; f < kMaxFragments; ++f) {
+        if (f == idx || (group->received_mask & (1u << f)) == 0) continue;
+        const uint32_t off = group->frag_off[f];
+        const uint32_t len = group->frag_len[f];
+        group->frag_off[f] = static_cast<uint32_t>(assembly_buf_.size());
+        assembly_buf_.append(group->buf, off, len);
+      }
+      group->frag_off[idx] = static_cast<uint32_t>(assembly_buf_.size());
+      group->frag_len[idx] = static_cast<uint32_t>(s.payload.size());
+      assembly_buf_.append(s.payload);
+      group->buf.swap(assembly_buf_);
+    }
   } else {
-    slot = s.payload;
-    ++group.received;
+    group->frag_off[idx] = static_cast<uint32_t>(group->buf.size());
+    group->frag_len[idx] = static_cast<uint32_t>(s.payload.size());
+    group->buf.append(s.payload);
+    group->received_mask |= bit;
+    ++group->received;
   }
-  if (s.fragment_number == s.fragment_count) group.fill_bits = s.fill_bits;
+  if (s.fragment_number == s.fragment_count) group->fill_bits = s.fill_bits;
 
-  if (group.received == s.fragment_count) {
-    CompletePayload done;
-    for (const auto& f : group.fragments) done.payload += f;
-    done.fill_bits = group.fill_bits;
-    done.channel = group.channel;
-    pending_.erase(it);
-    return std::optional<CompletePayload>(std::move(done));
+  if (group->received == s.fragment_count) {
+    assembly_buf_.clear();
+    for (int f = 0; f < s.fragment_count; ++f) {
+      assembly_buf_.append(group->buf, group->frag_off[f], group->frag_len[f]);
+    }
+    CompletePayload done{std::string_view(assembly_buf_), group->fill_bits,
+                         group->channel};
+    pending_.Erase(key);
+    return std::optional<CompletePayload>(done);
   }
   return std::optional<CompletePayload>(std::nullopt);
 }
 
+Result<std::optional<AivdmAssembler::CompletePayload>> AivdmAssembler::Add(
+    const NmeaSentence& s, Timestamp now) {
+  NmeaSentenceView view;
+  view.talker = s.talker;
+  view.fragment_count = s.fragment_count;
+  view.fragment_number = s.fragment_number;
+  view.sequential_id = s.sequential_id;
+  view.channel = s.channel;
+  view.payload = s.payload;
+  view.fill_bits = s.fill_bits;
+  return Add(view, now);
+}
+
 size_t AivdmAssembler::EvictExpired(Timestamp now) {
-  size_t evicted = 0;
-  for (auto it = pending_.begin(); it != pending_.end();) {
-    if (now - it->second.first_seen > options_.timeout_ms) {
-      it = pending_.erase(it);
-      ++evicted;
-    } else {
-      ++it;
+  evict_scratch_.clear();
+  pending_.ForEach([this, now](uint64_t key, const Group& group) {
+    if (now - group.first_seen > options_.timeout_ms) {
+      evict_scratch_.push_back(key);
     }
-  }
-  return evicted;
+  });
+  for (uint64_t key : evict_scratch_) pending_.Erase(key);
+  return evict_scratch_.size();
 }
 
 }  // namespace marlin

@@ -4,20 +4,32 @@
 /// \file nmea.h
 /// \brief NMEA 0183 transport layer for AIS: AIVDM sentence parsing,
 /// checksum verification, and multi-fragment message assembly.
+///
+/// The parse layer is the per-line inner loop of every ingest worker, so it
+/// comes in two forms:
+///  * a zero-copy form (`NmeaSentenceView`, `ParseSentenceView`,
+///    `StripTagBlockView`) whose outputs are `std::string_view`s into the
+///    caller's line buffer — no heap allocation per line — used by
+///    `AisDecoder` and the pipelines;
+///  * an owning form (`NmeaSentence`, `ParseSentence`, `StripTagBlock`)
+///    for callers that keep sentences around (encoder, tests), implemented
+///    as a thin materializing wrapper over the view form.
 
-#include <map>
+#include <array>
+#include <cstdint>
 #include <optional>
 #include <string>
-#include <tuple>
+#include <string_view>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "common/time.h"
 
 namespace marlin {
 
-/// \brief One parsed !AIVDM / !AIVDO sentence.
+/// \brief One parsed !AIVDM / !AIVDO sentence (owning form).
 struct NmeaSentence {
   std::string talker = "AIVDM";  ///< "AIVDM" (received) or "AIVDO" (own ship)
   int fragment_count = 1;
@@ -28,8 +40,21 @@ struct NmeaSentence {
   int fill_bits = 0;
 };
 
+/// \brief Zero-copy view of one parsed sentence. `talker` and `payload`
+/// point into the line buffer handed to `ParseSentenceView`; the view is
+/// valid only while that buffer is.
+struct NmeaSentenceView {
+  std::string_view talker = "AIVDM";
+  int fragment_count = 1;
+  int fragment_number = 1;
+  int sequential_id = -1;
+  char channel = 'A';
+  std::string_view payload;
+  int fill_bits = 0;
+};
+
 /// \brief Computes the NMEA checksum (XOR of bytes between '!'/'$' and '*').
-uint8_t NmeaChecksum(const std::string& body);
+uint8_t NmeaChecksum(std::string_view body);
 
 /// \brief NMEA 4.0 TAG block data relevant to AIS feeds.
 ///
@@ -47,16 +72,25 @@ struct TagBlock {
 /// \brief Renders a TAG block prefix `\c:<seconds>*hh\` for a sentence.
 std::string FormatTagBlock(Timestamp receiver_time);
 
-/// \brief Splits an optional leading TAG block from a line. Returns the
-/// remainder (the sentence proper) and fills `tag` when a valid block is
-/// present. Malformed blocks yield Corruption.
+/// \brief Zero-copy TAG block strip: returns a view of the remainder (the
+/// sentence proper) into `line`'s buffer and fills `tag` when a valid block
+/// is present. Malformed blocks yield Corruption. Allocation-free except
+/// for a rare `s:` source-id copy into `tag`.
+Result<std::string_view> StripTagBlockView(std::string_view line,
+                                           TagBlock* tag);
+
+/// \brief Owning wrapper over `StripTagBlockView`.
 Result<std::string> StripTagBlock(const std::string& line, TagBlock* tag);
 
 /// \brief Renders a sentence as a full "!AIVDM,...*hh" line.
 std::string FormatSentence(const NmeaSentence& s);
 
-/// \brief Parses and validates one NMEA line (checksum, field count, ranges).
-Result<NmeaSentence> ParseSentence(const std::string& line);
+/// \brief Zero-copy parse + validation of one NMEA line (checksum, field
+/// count, ranges). The returned views alias `line`'s buffer.
+Result<NmeaSentenceView> ParseSentenceView(std::string_view line);
+
+/// \brief Owning wrapper over `ParseSentenceView`.
+Result<NmeaSentence> ParseSentence(std::string_view line);
 
 /// \brief Reassembles multi-fragment AIVDM messages.
 ///
@@ -72,18 +106,28 @@ class AivdmAssembler {
   };
 
   /// \brief A fully reassembled payload ready for bit-level decoding.
+  /// `payload` aliases either the sentence handed to the completing `Add`
+  /// (single-fragment case) or the assembler's internal scratch
+  /// (multi-fragment case); it is valid until the next `Add` call or until
+  /// the source sentence's buffer dies, whichever comes first.
   struct CompletePayload {
-    std::string payload;  ///< concatenated armored payload
-    int fill_bits = 0;    ///< fill bits of the *last* fragment
+    std::string_view payload;  ///< concatenated armored payload
+    int fill_bits = 0;         ///< fill bits of the *last* fragment
     char channel = 'A';
   };
 
   AivdmAssembler() : AivdmAssembler(Options()) {}
   explicit AivdmAssembler(const Options& options) : options_(options) {}
 
-  /// \brief Adds one sentence. Returns a payload when it completes a message,
-  /// an empty optional while a group is pending, or an error for
-  /// inconsistent fragments.
+  /// \brief Adds one sentence. Returns a payload when it completes a
+  /// message, an empty optional while a group is pending, or an error for
+  /// inconsistent fragments. Single-fragment sentences (the steady-state
+  /// bulk of an AIS feed) pass through without touching the heap.
+  Result<std::optional<CompletePayload>> Add(const NmeaSentenceView& sentence,
+                                             Timestamp now);
+
+  /// \brief Owning-sentence convenience overload (same lifetime contract:
+  /// the returned view may alias `sentence.payload`).
   Result<std::optional<CompletePayload>> Add(const NmeaSentence& sentence,
                                              Timestamp now);
 
@@ -95,8 +139,13 @@ class AivdmAssembler {
   size_t EvictExpired(Timestamp now);
 
  private:
+  /// One in-flight fragment group. Fragment characters live in a per-group
+  /// append-only arena (`buf`) instead of one string per fragment.
   struct Group {
-    std::vector<std::string> fragments;  // indexed by fragment_number-1
+    std::string buf;
+    std::array<uint32_t, 9> frag_off{};
+    std::array<uint32_t, 9> frag_len{};
+    uint16_t received_mask = 0;
     int received = 0;
     int fill_bits = 0;
     char channel = 'A';
@@ -104,11 +153,18 @@ class AivdmAssembler {
   };
 
   // Key: (sequential_id, channel, fragment_count) — the practical uniqueness
-  // key for interleaved VHF groups.
-  using GroupKey = std::tuple<int, char, int>;
+  // key for interleaved VHF groups — packed into one integer.
+  static uint64_t GroupKeyOf(const NmeaSentenceView& s) {
+    return (static_cast<uint64_t>(static_cast<uint8_t>(s.sequential_id))
+            << 16) |
+           (static_cast<uint64_t>(static_cast<uint8_t>(s.channel)) << 8) |
+           static_cast<uint64_t>(static_cast<uint8_t>(s.fragment_count));
+  }
 
   Options options_;
-  std::map<GroupKey, Group> pending_;
+  FlatHashMap<uint64_t, Group> pending_;
+  std::string assembly_buf_;            ///< completed-payload scratch
+  std::vector<uint64_t> evict_scratch_; ///< keys collected for eviction
 };
 
 }  // namespace marlin

@@ -17,7 +17,7 @@ void BitWriter::WriteSigned(int32_t value, int width) {
                 width);
 }
 
-void BitWriter::WriteString(const std::string& text, int chars) {
+void BitWriter::WriteString(std::string_view text, int chars) {
   for (int i = 0; i < chars; ++i) {
     if (i < static_cast<int>(text.size())) {
       WriteUnsigned(CharToSixBit(text[i]), 6);
@@ -91,27 +91,43 @@ std::string ArmorBits(const std::vector<uint8_t>& bits, int* fill_bits) {
   return payload;
 }
 
-Result<std::vector<uint8_t>> UnarmorPayload(const std::string& payload,
-                                            int fill_bits) {
+Status UnarmorPayloadInto(std::string_view payload, int fill_bits,
+                          std::vector<uint8_t>* bits) {
   if (fill_bits < 0 || fill_bits > 5) {
     return Status::Invalid("fill bits must be 0..5");
   }
-  std::vector<uint8_t> bits;
-  bits.reserve(payload.size() * 6);
+  // resize() alone (no clear()) avoids re-zeroing the whole buffer per
+  // line — every slot up to the new size is overwritten below.
+  bits->resize(payload.size() * 6);
+  uint8_t* out = bits->data();
   for (char c : payload) {
     int v = static_cast<unsigned char>(c) - 48;
     if (v > 40) v -= 8;
     if (v < 0 || v > 63) {
+      bits->clear();
       return Status::Corruption("invalid armoring character in AIS payload");
     }
-    for (int b = 5; b >= 0; --b) {
-      bits.push_back(static_cast<uint8_t>((v >> b) & 1));
-    }
+    out[0] = static_cast<uint8_t>((v >> 5) & 1);
+    out[1] = static_cast<uint8_t>((v >> 4) & 1);
+    out[2] = static_cast<uint8_t>((v >> 3) & 1);
+    out[3] = static_cast<uint8_t>((v >> 2) & 1);
+    out[4] = static_cast<uint8_t>((v >> 1) & 1);
+    out[5] = static_cast<uint8_t>(v & 1);
+    out += 6;
   }
-  if (static_cast<int>(bits.size()) < fill_bits) {
+  if (static_cast<int>(bits->size()) < fill_bits) {
+    bits->clear();
     return Status::Corruption("payload shorter than fill bits");
   }
-  bits.resize(bits.size() - fill_bits);
+  bits->resize(bits->size() - fill_bits);
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> UnarmorPayload(std::string_view payload,
+                                            int fill_bits) {
+  std::vector<uint8_t> bits;
+  Status st = UnarmorPayloadInto(payload, fill_bits, &bits);
+  if (!st.ok()) return st;
   return bits;
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
@@ -30,7 +31,7 @@ class BitWriter {
 
   /// \brief Appends a string in the AIS 6-bit alphabet, padded/truncated to
   /// exactly `chars` characters ('@' = 0 pads the tail).
-  void WriteString(const std::string& text, int chars);
+  void WriteString(std::string_view text, int chars);
 
   /// \brief Number of bits written so far.
   int size_bits() const { return static_cast<int>(bits_.size()); }
@@ -75,8 +76,14 @@ std::string ArmorBits(const std::vector<uint8_t>& bits, int* fill_bits);
 
 /// \brief Converts an AIVDM payload back to raw bits; `fill_bits` trailing
 /// bits are dropped. Fails on characters outside the armoring alphabet.
-Result<std::vector<uint8_t>> UnarmorPayload(const std::string& payload,
+Result<std::vector<uint8_t>> UnarmorPayload(std::string_view payload,
                                             int fill_bits);
+
+/// \brief Allocation-free de-armoring for the decode hot path: clears and
+/// refills `*bits` (capacity is retained across calls, so a caller-owned
+/// scratch vector makes the steady state heap-silent).
+Status UnarmorPayloadInto(std::string_view payload, int fill_bits,
+                          std::vector<uint8_t>* bits);
 
 /// \brief Maps a 6-bit value (0..63) to the AIS string alphabet character.
 char SixBitToChar(uint32_t v);

@@ -1,0 +1,81 @@
+#ifndef MARLIN_COMMON_ALLOC_PROBE_H_
+#define MARLIN_COMMON_ALLOC_PROBE_H_
+
+/// \file alloc_probe.h
+/// \brief Opt-in heap-allocation counter for allocation-freedom proofs.
+///
+/// The ingest hot path claims steady-state zero allocations per line; a
+/// claim like that bit-rots silently unless a counter watches it. A binary
+/// that wants the counter places `MARLIN_INSTALL_ALLOC_PROBE()` at namespace
+/// scope in exactly one translation unit — that replaces the global
+/// `operator new`/`delete` with malloc/free wrappers that bump a
+/// thread-local counter — and brackets the measured region with
+/// `AllocProbe::ThreadCount()` reads. Binaries that never install the probe
+/// are completely unaffected (the header alone overrides nothing), which is
+/// why this is a macro and not a library: linking the replacement into
+/// `marlin_common` would silently re-route allocation for every target.
+///
+/// The counter is thread-local: a measured single-threaded loop is not
+/// polluted by background threads (benchmark harness, enrichment workers).
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace marlin {
+
+struct AllocProbe {
+  /// \brief Allocations performed by the *calling thread* since start,
+  /// counted only in binaries that install the probe (otherwise frozen).
+  static uint64_t& ThreadCount() {
+    thread_local uint64_t count = 0;
+    return count;
+  }
+};
+
+}  // namespace marlin
+
+#define MARLIN_INSTALL_ALLOC_PROBE()                                         \
+  void* operator new(std::size_t size) {                                     \
+    ++::marlin::AllocProbe::ThreadCount();                                   \
+    if (void* p = std::malloc(size ? size : 1)) return p;                    \
+    throw std::bad_alloc();                                                  \
+  }                                                                          \
+  void* operator new[](std::size_t size) {                                   \
+    ++::marlin::AllocProbe::ThreadCount();                                   \
+    if (void* p = std::malloc(size ? size : 1)) return p;                    \
+    throw std::bad_alloc();                                                  \
+  }                                                                          \
+  void* operator new(std::size_t size, std::align_val_t align) {             \
+    ++::marlin::AllocProbe::ThreadCount();                                   \
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),        \
+                                     size ? size : 1)) {                     \
+      return p;                                                              \
+    }                                                                        \
+    throw std::bad_alloc();                                                  \
+  }                                                                          \
+  void* operator new[](std::size_t size, std::align_val_t align) {           \
+    ++::marlin::AllocProbe::ThreadCount();                                   \
+    if (void* p = std::aligned_alloc(static_cast<std::size_t>(align),        \
+                                     size ? size : 1)) {                     \
+      return p;                                                              \
+    }                                                                        \
+    throw std::bad_alloc();                                                  \
+  }                                                                          \
+  void operator delete(void* p) noexcept { std::free(p); }                   \
+  void operator delete[](void* p) noexcept { std::free(p); }                 \
+  void operator delete(void* p, std::size_t) noexcept { std::free(p); }      \
+  void operator delete[](void* p, std::size_t) noexcept { std::free(p); }    \
+  void operator delete(void* p, std::align_val_t) noexcept { std::free(p); } \
+  void operator delete[](void* p, std::align_val_t) noexcept {               \
+    std::free(p);                                                            \
+  }                                                                          \
+  void operator delete(void* p, std::size_t, std::align_val_t) noexcept {    \
+    std::free(p);                                                            \
+  }                                                                          \
+  void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {  \
+    std::free(p);                                                            \
+  }
+
+#endif  // MARLIN_COMMON_ALLOC_PROBE_H_

@@ -58,6 +58,30 @@ bool ParseInt64(std::string_view s, int64_t* out) {
   return ec == std::errc() && ptr == s.data() + s.size();
 }
 
+bool ParseHexByte(std::string_view s, unsigned int* out) {
+  size_t i = 0;
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  unsigned int value = 0;
+  int digits = 0;
+  for (; i < s.size() && digits < 2; ++i, ++digits) {
+    const unsigned char c = static_cast<unsigned char>(s[i]);
+    unsigned int nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = c - '0';
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = c - 'A' + 10;
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = c - 'a' + 10;
+    } else {
+      break;
+    }
+    value = value * 16 + nibble;
+  }
+  if (digits == 0) return false;
+  *out = value;
+  return true;
+}
+
 bool ParseDouble(std::string_view s, double* out) {
   s = Trim(s);
   if (s.empty()) return false;

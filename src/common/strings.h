@@ -13,6 +13,20 @@ namespace marlin {
 /// \brief Splits `input` on `delim`, keeping empty fields.
 std::vector<std::string> Split(std::string_view input, char delim);
 
+/// \brief Allocation-free split: calls `fn(field)` for each
+/// `delim`-separated field of `s` (empty fields kept, same field boundaries
+/// as `Split`). The views alias `s`'s buffer.
+template <typename Fn>
+void ForEachField(std::string_view s, char delim, Fn&& fn) {
+  size_t start = 0;
+  while (true) {
+    const size_t pos = s.find(delim, start);
+    fn(s.substr(start, pos - start));  // substr clamps npos counts
+    if (pos == std::string_view::npos) return;
+    start = pos + 1;
+  }
+}
+
 /// \brief Removes leading and trailing ASCII whitespace.
 std::string_view Trim(std::string_view s);
 
@@ -27,6 +41,13 @@ bool StartsWith(std::string_view s, std::string_view prefix);
 
 /// \brief Parses a decimal integer; returns false on any malformed input.
 bool ParseInt64(std::string_view s, int64_t* out);
+
+/// \brief Parses a one- or two-digit hex byte after optional leading ASCII
+/// whitespace — the exact acceptance of `sscanf("%2X")`, which the NMEA
+/// checksum fields were historically parsed with (minus sscanf's buffer
+/// copy). Characters after the parsed digits are ignored. Returns false
+/// when no hex digit is found.
+bool ParseHexByte(std::string_view s, unsigned int* out);
 
 /// \brief Parses a floating point number; returns false on malformed input.
 bool ParseDouble(std::string_view s, double* out);

@@ -40,15 +40,21 @@ void ZoneDatabase::Build() const {
   index_dirty_ = false;
 }
 
-std::vector<const GeoZone*> ZoneDatabase::ZonesAt(const GeoPoint& p) const {
+void ZoneDatabase::ZonesAtInto(const GeoPoint& p,
+                               std::vector<const GeoZone*>* out) const {
   Build();
-  std::vector<const GeoZone*> out;
+  out->clear();
   const BoundingBox probe(p.lat, p.lon, p.lat, p.lon);
   index_.Visit(probe, [&](const RTreeEntry& e) {
     const GeoZone& z = zones_[e.id];
-    if (z.polygon.Contains(p)) out.push_back(&z);
+    if (z.polygon.Contains(p)) out->push_back(&z);
     return true;
   });
+}
+
+std::vector<const GeoZone*> ZoneDatabase::ZonesAt(const GeoPoint& p) const {
+  std::vector<const GeoZone*> out;
+  ZonesAtInto(p, &out);
   return out;
 }
 

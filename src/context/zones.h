@@ -54,6 +54,13 @@ class ZoneDatabase {
   /// \brief All zones containing `p`.
   std::vector<const GeoZone*> ZonesAt(const GeoPoint& p) const;
 
+  /// \brief Allocation-free variant for per-message callers: clears and
+  /// refills `*out` with the zones containing `p` (same order as
+  /// `ZonesAt`), retaining its capacity — the same scratch contract as
+  /// `GridIndex::QueryRadiusInto`.
+  void ZonesAtInto(const GeoPoint& p,
+                   std::vector<const GeoZone*>* out) const;
+
   /// \brief Zones of a given type containing `p`.
   std::vector<const GeoZone*> ZonesAt(const GeoPoint& p, ZoneType type) const;
 

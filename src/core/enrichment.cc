@@ -26,7 +26,8 @@ EnrichedPoint EnrichmentEngine::Enrich(const ReconstructedPoint& rp,
   if (zones_ != nullptr) {
     const auto start = timings != nullptr ? SteadyClock::now()
                                           : SteadyClock::time_point();
-    for (const GeoZone* z : zones_->ZonesAt(rp.point.position)) {
+    zones_->ZonesAtInto(rp.point.position, &zones_scratch_);
+    for (const GeoZone* z : zones_scratch_) {
       out.zone_ids.push_back(z->id);
     }
     if (!out.zone_ids.empty()) ++stats_.zone_hits;

@@ -86,6 +86,7 @@ class EnrichmentEngine {
   const VesselRegistry* registry_b_;
   RegistryResolver resolver_;
   Stats stats_;
+  std::vector<const GeoZone*> zones_scratch_;  ///< per-point join scratch
 };
 
 }  // namespace marlin

@@ -9,6 +9,38 @@
 
 namespace marlin {
 
+namespace {
+
+// Sorted-small-vector set operations for the per-vessel id sets (zone
+// membership, per-zone alert latches). The sets hold a handful of ids, so a
+// binary search over contiguous memory beats a node-based std::set and the
+// inserts stay allocation-free at steady state.
+bool SortedContains(const std::vector<uint32_t>& v, uint32_t id) {
+  return std::binary_search(v.begin(), v.end(), id);
+}
+
+void SortedInsert(std::vector<uint32_t>* v, uint32_t id) {
+  auto it = std::lower_bound(v->begin(), v->end(), id);
+  if (it == v->end() || *it != id) v->insert(it, id);
+}
+
+void SortedErase(std::vector<uint32_t>* v, uint32_t id) {
+  auto it = std::lower_bound(v->begin(), v->end(), id);
+  if (it != v->end() && *it == id) v->erase(it);
+}
+
+void EraseFishingSince(std::vector<std::pair<uint32_t, Timestamp>>* v,
+                       uint32_t zone_id) {
+  for (auto it = v->begin(); it != v->end(); ++it) {
+    if (it->first == zone_id) {
+      v->erase(it);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
 const char* EventTypeName(EventType t) {
   switch (t) {
     case EventType::kZoneEntry:
@@ -95,18 +127,19 @@ PairObservation VesselEventEngine::Ingest(const ReconstructedPoint& rp,
 void VesselEventEngine::CheckZones(const ReconstructedPoint& rp,
                                    VesselState* vessel,
                                    std::vector<DetectedEvent>* out) {
-  std::set<uint32_t> current;
+  zones_->ZonesAtInto(rp.point.position, &zones_at_scratch_);
+  zone_ids_scratch_.clear();
   bool in_port_area = false;
-  for (const GeoZone* z : zones_->ZonesAt(rp.point.position)) {
-    current.insert(z->id);
+  for (const GeoZone* z : zones_at_scratch_) {
+    zone_ids_scratch_.push_back(z->id);
     if (z->type == ZoneType::kPort || z->type == ZoneType::kAnchorage) {
       in_port_area = true;
     }
     // Speed limits: alert once per zone visit.
     if (z->speed_limit_knots > 0.0 &&
         rp.point.sog_mps > z->speed_limit_knots * 0.5144 * 1.15 &&
-        vessel->speed_alerted.find(z->id) == vessel->speed_alerted.end()) {
-      vessel->speed_alerted.insert(z->id);
+        !SortedContains(vessel->speed_alerted, z->id)) {
+      SortedInsert(&vessel->speed_alerted, z->id);
       DetectedEvent ev;
       ev.type = EventType::kSpeedViolation;
       ev.start = ev.end = ev.detected_at = rp.point.t;
@@ -118,9 +151,14 @@ void VesselEventEngine::CheckZones(const ReconstructedPoint& rp,
       ++stats_.events_out;
     }
   }
-  // Entries.
-  for (uint32_t id : current) {
-    if (vessel->zones.find(id) == vessel->zones.end()) {
+  std::sort(zone_ids_scratch_.begin(), zone_ids_scratch_.end());
+  zone_ids_scratch_.erase(
+      std::unique(zone_ids_scratch_.begin(), zone_ids_scratch_.end()),
+      zone_ids_scratch_.end());
+  // Entries, in ascending zone-id order (the emission order the canonical
+  // re-sequencing ties depend on — previously the std::set order).
+  for (uint32_t id : zone_ids_scratch_) {
+    if (!SortedContains(vessel->zones, id)) {
       DetectedEvent ev;
       ev.type = EventType::kZoneEntry;
       ev.start = ev.end = ev.detected_at = rp.point.t;
@@ -137,9 +175,9 @@ void VesselEventEngine::CheckZones(const ReconstructedPoint& rp,
       ++stats_.events_out;
     }
   }
-  // Exits.
+  // Exits, ascending likewise.
   for (uint32_t id : vessel->zones) {
-    if (current.find(id) == current.end()) {
+    if (!SortedContains(zone_ids_scratch_, id)) {
       DetectedEvent ev;
       ev.type = EventType::kZoneExit;
       ev.start = ev.end = ev.detected_at = rp.point.t;
@@ -149,12 +187,12 @@ void VesselEventEngine::CheckZones(const ReconstructedPoint& rp,
       ev.severity = 0.1;
       out->push_back(ev);
       ++stats_.events_out;
-      vessel->speed_alerted.erase(id);
-      vessel->fishing_since.erase(id);
-      vessel->fishing_alerted.erase(id);
+      SortedErase(&vessel->speed_alerted, id);
+      EraseFishingSince(&vessel->fishing_since, id);
+      SortedErase(&vessel->fishing_alerted, id);
     }
   }
-  vessel->zones = std::move(current);
+  vessel->zones.assign(zone_ids_scratch_.begin(), zone_ids_scratch_.end());
   vessel->in_port_area = in_port_area;
 }
 
@@ -198,7 +236,8 @@ void VesselEventEngine::CheckLoitering(const ReconstructedPoint& rp,
   // mean speed must be low.
   BoundingBox box = BoundingBox::Empty();
   double speed_sum = 0.0;
-  for (const auto& p : window) {
+  for (size_t i = 0; i < window.size(); ++i) {
+    const TrajectoryPoint& p = window[i];
     box.Extend(p.position);
     speed_sum += p.sog_mps;
   }
@@ -233,19 +272,26 @@ void VesselEventEngine::CheckIllegalFishing(const ReconstructedPoint& rp,
     const GeoZone* z = zones_->Find(zone_id);
     if (z == nullptr || !z->fishing_prohibited) continue;
     if (!fishing_speed || !is_fishing_vessel) {
-      vessel->fishing_since.erase(zone_id);
+      EraseFishingSince(&vessel->fishing_since, zone_id);
       continue;
     }
-    auto [it, inserted] =
-        vessel->fishing_since.emplace(zone_id, rp.point.t);
-    if (!inserted &&
-        rp.point.t - it->second >= options_.fishing_min_duration &&
-        vessel->fishing_alerted.find(zone_id) ==
-            vessel->fishing_alerted.end()) {
-      vessel->fishing_alerted.insert(zone_id);
+    Timestamp since = kInvalidTimestamp;
+    for (const auto& [id, t0] : vessel->fishing_since) {
+      if (id == zone_id) {
+        since = t0;
+        break;
+      }
+    }
+    if (since == kInvalidTimestamp) {
+      vessel->fishing_since.emplace_back(zone_id, rp.point.t);
+      continue;
+    }
+    if (rp.point.t - since >= options_.fishing_min_duration &&
+        !SortedContains(vessel->fishing_alerted, zone_id)) {
+      SortedInsert(&vessel->fishing_alerted, zone_id);
       DetectedEvent ev;
       ev.type = EventType::kIllegalFishing;
-      ev.start = it->second;
+      ev.start = since;
       ev.end = rp.point.t;
       ev.vessel_a = rp.mmsi;
       ev.where = rp.point.position;
@@ -318,19 +364,19 @@ void PairEventEngine::CheckRendezvous(const PairObservation& obs,
       obs.point.sog_mps <= options_.rendezvous_max_speed_mps &&
       !obs.in_port_area;
   if (!eligible) return;
-  for (const auto& [other_id, dist] :
-       live_.QueryRadius(obs.point.position, options_.rendezvous_distance_m)) {
+  live_.QueryRadiusInto(obs.point.position, options_.rendezvous_distance_m,
+                        &radius_scratch_);
+  for (const auto& [other_id, dist] : radius_scratch_) {
     const Mmsi other = static_cast<Mmsi>(other_id);
     if (other == obs.mmsi) continue;
-    auto other_it = vessels_.find(other);
-    if (other_it == vessels_.end() || !other_it->second.has_last) continue;
-    const VesselState& partner = other_it->second;
-    if (partner.last.sog_mps > options_.rendezvous_max_speed_mps) continue;
-    if (partner.in_port_area) continue;
+    const VesselState* partner = vessels_.Find(other);
+    if (partner == nullptr || !partner->has_last) continue;
+    if (partner->last.sog_mps > options_.rendezvous_max_speed_mps) continue;
+    if (partner->in_port_area) continue;
     // Partner must be current (not a stale last-position).
-    if (t - partner.last.t > 5 * kMillisPerMinute) continue;
+    if (t - partner->last.t > 5 * kMillisPerMinute) continue;
 
-    PairState& pair = rendezvous_pairs_[MakePair(obs.mmsi, other)];
+    PairState& pair = rendezvous_pairs_[PackPair(obs.mmsi, other)];
     if (pair.since == 0 || t - pair.last_seen > 5 * kMillisPerMinute) {
       pair.since = t;
       pair.reported = false;
@@ -367,27 +413,27 @@ void PairEventEngine::CheckCollision(const PairObservation& obs,
   self.speed_mps = obs.point.sog_mps;
   self.course_deg = obs.point.cog_deg;
 
-  for (const auto& [other_id, dist] :
-       live_.QueryRadius(obs.point.position, options_.collision_scan_radius_m)) {
+  live_.QueryRadiusInto(obs.point.position, options_.collision_scan_radius_m,
+                        &radius_scratch_);
+  for (const auto& [other_id, dist] : radius_scratch_) {
     const Mmsi other = static_cast<Mmsi>(other_id);
     if (other == obs.mmsi) continue;
-    auto other_it = vessels_.find(other);
-    if (other_it == vessels_.end() || !other_it->second.has_last) continue;
-    const VesselState& partner = other_it->second;
-    if (t - partner.last.t > 3 * kMillisPerMinute) continue;
-    if (partner.last.sog_mps < options_.collision_min_speed_mps) continue;
+    const VesselState* partner = vessels_.Find(other);
+    if (partner == nullptr || !partner->has_last) continue;
+    if (t - partner->last.t > 3 * kMillisPerMinute) continue;
+    if (partner->last.sog_mps < options_.collision_min_speed_mps) continue;
 
-    const PairKey key = MakePair(obs.mmsi, other);
-    auto alert_it = collision_alerts_.find(key);
-    if (alert_it != collision_alerts_.end() &&
-        t - alert_it->second < options_.collision_realert_ms) {
+    const uint64_t key = PackPair(obs.mmsi, other);
+    const Timestamp* last_alert = collision_alerts_.Find(key);
+    if (last_alert != nullptr &&
+        t - *last_alert < options_.collision_realert_ms) {
       continue;
     }
 
     MotionState target;
-    target.position = partner.last.position;
-    target.speed_mps = partner.last.sog_mps;
-    target.course_deg = partner.last.cog_deg;
+    target.position = partner->last.position;
+    target.speed_mps = partner->last.sog_mps;
+    target.course_deg = partner->last.cog_deg;
     const CpaResult cpa = ComputeCpa(self, target);
     if (cpa.converging && cpa.distance_m < options_.cpa_threshold_m &&
         cpa.tcpa_s < options_.tcpa_horizon_s) {
@@ -413,26 +459,35 @@ void PairEventEngine::CloseWindow(std::vector<PairObservation>* pairs,
                                   bool flush,
                                   std::vector<DetectedEvent>* events) {
   std::sort(pairs->begin(), pairs->end(), ObservationLess);
+  const Timestamp window_max_t =
+      pairs->empty() ? kInvalidTimestamp : pairs->back().point.t;
   for (const PairObservation& obs : *pairs) Ingest(obs, events);
   pairs->clear();
   if (flush) Flush(events);
   ResequenceEvents(events);
+  PruneAfterWindow(window_max_t);
 }
 
 void PairEventEngine::Flush(std::vector<DetectedEvent>* out) {
   // Close rendezvous pairs that accumulated enough dwell but never crossed
-  // the reporting threshold before the stream ended.
-  for (auto& [key, pair] : rendezvous_pairs_) {
+  // the reporting threshold before the stream ended — in ascending (a, b)
+  // order, the explicit deterministic walk over the flat table.
+  key_scratch_.clear();
+  rendezvous_pairs_.ForEach(
+      [this](uint64_t key, const PairState&) { key_scratch_.push_back(key); });
+  std::sort(key_scratch_.begin(), key_scratch_.end());
+  for (uint64_t key : key_scratch_) {
+    PairState& pair = *rendezvous_pairs_.Find(key);
     if (!pair.reported &&
         pair.last_seen - pair.since >= options_.rendezvous_min_duration) {
       pair.reported = true;
-      if (!MayEmit(key.first, key.second)) continue;
+      if (!MayEmit(PairLo(key), PairHi(key))) continue;
       DetectedEvent ev;
       ev.type = EventType::kRendezvous;
       ev.start = pair.since;
       ev.end = pair.last_seen;
-      ev.vessel_a = key.first;
-      ev.vessel_b = key.second;
+      ev.vessel_a = PairLo(key);
+      ev.vessel_b = PairHi(key);
       ev.where = pair.where;
       ev.severity = 0.8;
       ev.detected_at = pair.last_seen;
@@ -442,11 +497,77 @@ void PairEventEngine::Flush(std::vector<DetectedEvent>* out) {
   }
 }
 
+void PairEventEngine::Clear() {
+  vessels_.Clear();
+  rendezvous_pairs_.Clear();
+  collision_alerts_.Clear();
+  live_.Clear();
+  stats_ = Stats{};
+  emit_filter_ = nullptr;
+  prune_watermark_ = kInvalidTimestamp;
+}
+
+size_t PairEventEngine::PruneAfterWindow(Timestamp window_max_t) {
+  const DurationMs age = options_.pair_state_prune_age_ms;
+  if (age <= 0 || window_max_t == kInvalidTimestamp) return 0;
+  if (prune_watermark_ == kInvalidTimestamp ||
+      window_max_t > prune_watermark_) {
+    prune_watermark_ = window_max_t;
+  }
+  const Timestamp now = prune_watermark_;
+  size_t pruned = 0;
+
+  // Rendezvous dwell states: prunable once stale, unless an unreported
+  // above-threshold dwell is still waiting for its Flush emission.
+  key_scratch_.clear();
+  rendezvous_pairs_.ForEach([this, now, age](uint64_t key,
+                                             const PairState& pair) {
+    if (now - pair.last_seen > age &&
+        (pair.reported ||
+         pair.last_seen - pair.since < options_.rendezvous_min_duration)) {
+      key_scratch_.push_back(key);
+    }
+  });
+  for (uint64_t key : key_scratch_) pruned += rendezvous_pairs_.Erase(key);
+
+  // Collision re-alert clocks: inert once both the re-alert window and the
+  // prune horizon have passed.
+  key_scratch_.clear();
+  collision_alerts_.ForEach([this, now, age](uint64_t key,
+                                             const Timestamp& last_alert) {
+    if (now - last_alert > age &&
+        now - last_alert > options_.collision_realert_ms) {
+      key_scratch_.push_back(key);
+    }
+  });
+  for (uint64_t key : key_scratch_) pruned += collision_alerts_.Erase(key);
+
+  // Vessels past every partner-freshness horizon: the pair rules already
+  // ignore them (stale-partner checks), and a returning vessel's state is
+  // fully rewritten by its first observation.
+  key_scratch_.clear();
+  vessels_.ForEach([this, now, age](Mmsi mmsi, const VesselState& vessel) {
+    if (now - vessel.last.t > age) key_scratch_.push_back(mmsi);
+  });
+  for (uint64_t key : key_scratch_) {
+    const Mmsi mmsi = static_cast<Mmsi>(key);
+    pruned += vessels_.Erase(mmsi);
+    live_.Remove(mmsi);
+  }
+  return pruned;
+}
+
 // --- Grid-parallel state transplant ----------------------------------------
 
-void PairEventEngine::ExportVessels(std::vector<VesselSnapshot>* out) const {
-  out->reserve(out->size() + vessels_.size());
-  for (const auto& [mmsi, state] : vessels_) {
+void PairEventEngine::ExportVessels(std::vector<VesselSnapshot>* out) {
+  key_scratch_.clear();
+  vessels_.ForEach(
+      [this](Mmsi mmsi, const VesselState&) { key_scratch_.push_back(mmsi); });
+  std::sort(key_scratch_.begin(), key_scratch_.end());
+  out->reserve(out->size() + key_scratch_.size());
+  for (uint64_t key : key_scratch_) {
+    const Mmsi mmsi = static_cast<Mmsi>(key);
+    const VesselState& state = *vessels_.Find(mmsi);
     // Entries are only ever created by Ingest, which sets `last`
     // immediately, so every exported snapshot carries a real position.
     out->push_back(VesselSnapshot{mmsi, state.last, state.in_port_area});
@@ -454,27 +575,37 @@ void PairEventEngine::ExportVessels(std::vector<VesselSnapshot>* out) const {
 }
 
 bool PairEventEngine::GetVessel(Mmsi mmsi, VesselSnapshot* out) const {
-  auto it = vessels_.find(mmsi);
-  if (it == vessels_.end() || !it->second.has_last) return false;
-  *out = VesselSnapshot{mmsi, it->second.last, it->second.in_port_area};
+  const VesselState* state = vessels_.Find(mmsi);
+  if (state == nullptr || !state->has_last) return false;
+  *out = VesselSnapshot{mmsi, state->last, state->in_port_area};
   return true;
 }
 
 void PairEventEngine::ExportRendezvous(
-    std::vector<RendezvousSnapshot>* out) const {
-  out->reserve(out->size() + rendezvous_pairs_.size());
-  for (const auto& [key, pair] : rendezvous_pairs_) {
-    out->push_back(RendezvousSnapshot{key.first, key.second, pair.since,
+    std::vector<RendezvousSnapshot>* out) {
+  key_scratch_.clear();
+  rendezvous_pairs_.ForEach(
+      [this](uint64_t key, const PairState&) { key_scratch_.push_back(key); });
+  std::sort(key_scratch_.begin(), key_scratch_.end());
+  out->reserve(out->size() + key_scratch_.size());
+  for (uint64_t key : key_scratch_) {
+    const PairState& pair = *rendezvous_pairs_.Find(key);
+    out->push_back(RendezvousSnapshot{PairLo(key), PairHi(key), pair.since,
                                       pair.last_seen, pair.where,
                                       pair.reported});
   }
 }
 
 void PairEventEngine::ExportCollisions(
-    std::vector<CollisionSnapshot>* out) const {
-  out->reserve(out->size() + collision_alerts_.size());
-  for (const auto& [key, last_alert] : collision_alerts_) {
-    out->push_back(CollisionSnapshot{key.first, key.second, last_alert});
+    std::vector<CollisionSnapshot>* out) {
+  key_scratch_.clear();
+  collision_alerts_.ForEach(
+      [this](uint64_t key, const Timestamp&) { key_scratch_.push_back(key); });
+  std::sort(key_scratch_.begin(), key_scratch_.end());
+  out->reserve(out->size() + key_scratch_.size());
+  for (uint64_t key : key_scratch_) {
+    out->push_back(CollisionSnapshot{PairLo(key), PairHi(key),
+                                     *collision_alerts_.Find(key)});
   }
 }
 
@@ -487,7 +618,7 @@ void PairEventEngine::RestoreVessel(const VesselSnapshot& snapshot) {
 }
 
 void PairEventEngine::RestoreRendezvous(const RendezvousSnapshot& snapshot) {
-  PairState& pair = rendezvous_pairs_[MakePair(snapshot.a, snapshot.b)];
+  PairState& pair = rendezvous_pairs_[PackPair(snapshot.a, snapshot.b)];
   pair.since = snapshot.since;
   pair.last_seen = snapshot.last_seen;
   pair.where = snapshot.where;
@@ -495,7 +626,7 @@ void PairEventEngine::RestoreRendezvous(const RendezvousSnapshot& snapshot) {
 }
 
 void PairEventEngine::RestoreCollision(const CollisionSnapshot& snapshot) {
-  collision_alerts_[MakePair(snapshot.a, snapshot.b)] = snapshot.last_alert;
+  collision_alerts_[PackPair(snapshot.a, snapshot.b)] = snapshot.last_alert;
 }
 
 }  // namespace marlin

@@ -26,14 +26,14 @@
 /// the original per-point behaviour exactly.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
-#include <map>
-#include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ais/types.h"
+#include "common/flat_hash.h"
+#include "common/ring_buffer.h"
 #include "context/zones.h"
 #include "core/reconstruction.h"
 #include "storage/grid_index.h"
@@ -116,6 +116,16 @@ struct EventRuleOptions {
   DurationMs fishing_min_duration = 20 * kMillisPerMinute;
   // Stops
   double stop_speed_mps = 0.5;
+  // Windowed pruning of stale pair-rule state (vessels unseen past the
+  // horizon, inert rendezvous/collision entries). Keeps the per-window
+  // state export of the grid pair stage O(active pairs) instead of
+  // O(everything ever seen). The horizon must comfortably exceed both the
+  // partner-freshness windows of the pair rules (5 minutes) and the worst
+  // cross-window event-time regression of the feed (satellite deliveries:
+  // up to 15 minutes) — pruning is behaviour-neutral under that assumption
+  // because expired state is reconstructed identically on next contact.
+  // 0 disables pruning.
+  DurationMs pair_state_prune_age_ms = 60 * kMillisPerMinute;
 };
 
 /// \brief Counters shared by all event engines.
@@ -156,22 +166,26 @@ class VesselEventEngine {
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Flat per-vessel state: the id sets are small sorted vectors (zone
+  /// membership is a handful of ids), the sliding windows are ring buffers,
+  /// and the whole struct lives by value in an open-addressing table — no
+  /// node allocations anywhere on the per-point path.
   struct VesselState {
     TrajectoryPoint last;
     bool has_last = false;
-    std::set<uint32_t> zones;
+    std::vector<uint32_t> zones;  ///< sorted ascending (emission order)
     bool stopped = false;
     bool in_port_area = false;
     // Loitering window
-    std::deque<TrajectoryPoint> window;
+    RingBuffer<TrajectoryPoint> window;
     Timestamp last_loiter_alert = kInvalidTimestamp;
-    // Illegal fishing accumulation per prohibited zone
-    std::map<uint32_t, Timestamp> fishing_since;
-    std::set<uint32_t> fishing_alerted;
+    // Illegal fishing accumulation per prohibited zone (tiny: linear scan)
+    std::vector<std::pair<uint32_t, Timestamp>> fishing_since;
+    std::vector<uint32_t> fishing_alerted;  ///< sorted ascending
     // Speed-violation rate limit per zone visit
-    std::set<uint32_t> speed_alerted;
+    std::vector<uint32_t> speed_alerted;    ///< sorted ascending
     // Spoof jump history
-    std::deque<Timestamp> jump_times;
+    RingBuffer<Timestamp> jump_times;
     Timestamp last_spoof_alert = kInvalidTimestamp;
     int ship_type = 0;
   };
@@ -187,8 +201,11 @@ class VesselEventEngine {
 
   const ZoneDatabase* zones_;
   Options options_;
-  std::map<Mmsi, VesselState> vessels_;
+  FlatHashMap<Mmsi, VesselState> vessels_;
   Stats stats_;
+  // Per-point scratch, reused across Ingest calls.
+  std::vector<const GeoZone*> zones_at_scratch_;
+  std::vector<uint32_t> zone_ids_scratch_;
 };
 
 /// \brief Vessel-pair rules (rendezvous, collision risk) over the global
@@ -273,17 +290,19 @@ class PairEventEngine {
     emit_filter_ = std::move(filter);
   }
 
-  /// \brief Copies every per-vessel state, ascending MMSI.
-  void ExportVessels(std::vector<VesselSnapshot>* out) const;
+  /// \brief Copies every per-vessel state, ascending MMSI. Non-const:
+  /// the sorted walk uses the engine's key scratch (the engine, like every
+  /// stage, is single-threaded by contract).
+  void ExportVessels(std::vector<VesselSnapshot>* out);
 
   /// \brief Copies one vessel's state; false when unknown.
   bool GetVessel(Mmsi mmsi, VesselSnapshot* out) const;
 
   /// \brief Copies every rendezvous pair state, ascending (a, b).
-  void ExportRendezvous(std::vector<RendezvousSnapshot>* out) const;
+  void ExportRendezvous(std::vector<RendezvousSnapshot>* out);
 
   /// \brief Copies every collision re-alert clock, ascending (a, b).
-  void ExportCollisions(std::vector<CollisionSnapshot>* out) const;
+  void ExportCollisions(std::vector<CollisionSnapshot>* out);
 
   /// \brief Installs (or overwrites) one vessel's state, including its
   /// entry in the live picture index.
@@ -303,6 +322,24 @@ class PairEventEngine {
     stats_.events_out += events_out;
   }
 
+  /// \brief Resets every vessel/pair state, the live picture, the emit
+  /// filter, and the counters, keeping allocated capacity — the contract
+  /// the grid pair stage's replica pool relies on to reuse engines across
+  /// windows without per-window map rebuilds.
+  void Clear();
+
+  /// \brief Windowed pruning of stale state (see
+  /// `EventRuleOptions::pair_state_prune_age_ms`). `window_max_t` is the
+  /// newest event time of the window just closed; both window-close paths
+  /// (sequential `CloseWindow`, grid `GridPairPartitioner::CloseWindow`)
+  /// call this with the identical value, so the authoritative state — and
+  /// with it the byte-identity guarantee — never diverges. Entries are
+  /// prunable only when their disappearance is unobservable: vessels past
+  /// every partner-freshness horizon, reported or sub-threshold rendezvous
+  /// dwell (both reconstructed from scratch on next contact), and expired
+  /// collision re-alert clocks. Returns the number of entries removed.
+  size_t PruneAfterWindow(Timestamp window_max_t);
+
  private:
   struct VesselState {
     TrajectoryPoint last;
@@ -317,9 +354,15 @@ class PairEventEngine {
     bool reported = false;
   };
 
-  using PairKey = std::pair<Mmsi, Mmsi>;
-  static PairKey MakePair(Mmsi a, Mmsi b) {
-    return a < b ? PairKey{a, b} : PairKey{b, a};
+  /// Unordered pair key, packed (min << 32 | max) for the flat tables.
+  static uint64_t PackPair(Mmsi a, Mmsi b) {
+    const Mmsi lo = a < b ? a : b;
+    const Mmsi hi = a < b ? b : a;
+    return (static_cast<uint64_t>(lo) << 32) | hi;
+  }
+  static Mmsi PairLo(uint64_t key) { return static_cast<Mmsi>(key >> 32); }
+  static Mmsi PairHi(uint64_t key) {
+    return static_cast<Mmsi>(key & 0xFFFFFFFFull);
   }
 
   bool MayEmit(Mmsi a, Mmsi b) const {
@@ -332,12 +375,19 @@ class PairEventEngine {
                       std::vector<DetectedEvent>* out);
 
   Options options_;
-  std::map<Mmsi, VesselState> vessels_;
-  std::map<PairKey, PairState> rendezvous_pairs_;
-  std::map<PairKey, Timestamp> collision_alerts_;
+  // Open-addressing flat tables: iteration order is slot order, so every
+  // consumer whose *output* depends on order (Flush emission, the Export*
+  // snapshot walks) collects keys into `key_scratch_` and sorts — the
+  // explicit deterministic order the sharding equivalence proofs rest on.
+  FlatHashMap<Mmsi, VesselState> vessels_;
+  FlatHashMap<uint64_t, PairState> rendezvous_pairs_;
+  FlatHashMap<uint64_t, Timestamp> collision_alerts_;
   GridIndex live_;
   Stats stats_;
   std::function<bool(Mmsi, Mmsi)> emit_filter_;  ///< null = always emit
+  Timestamp prune_watermark_ = kInvalidTimestamp;
+  std::vector<uint64_t> key_scratch_;  ///< sorted-walk scratch
+  std::vector<std::pair<uint64_t, double>> radius_scratch_;  ///< scan scratch
 };
 
 /// \brief Streaming complex-event detector: the single-threaded composition

@@ -4,11 +4,8 @@
 #include <cmath>
 #include <cstdint>
 #include <latch>
-#include <map>
-#include <memory>
-#include <unordered_map>
-#include <unordered_set>
 
+#include "common/flat_hash.h"
 #include "common/units.h"
 
 namespace marlin {
@@ -23,12 +20,21 @@ double MetresPerDegree() { return DegToRad(1.0) * kEarthRadiusMetres; }
 /// All shared, read-only context of one window's grid execution: the
 /// vessel → cell assignment, the materialized-cell set, and the halo
 /// geometry. Built by the coordinator, read concurrently by cell tasks.
+/// One instance lives in the partitioner and is `Clear()`ed per window —
+/// its flat tables keep their capacity, so steady windows plan without
+/// allocating.
 struct GridPairPartitioner::WindowPlan {
   double pitch_deg = 0.1;
   int rings_row = 1;
   int rings_col = 1;
-  std::unordered_map<Mmsi, int64_t> vessel_cell;
-  std::unordered_set<int64_t> materialized;  ///< cells with ≥ 1 owned obs
+  FlatHashMap<Mmsi, int64_t> vessel_cell;
+  FlatHashSet<int64_t> materialized;  ///< cells with ≥ 1 owned obs
+
+  void Clear() {
+    vessel_cell.Clear();
+    materialized.Clear();
+    rings_row = rings_col = 1;
+  }
 
   /// The live picture's own cell scheme (GridIndex::KeyOnPitch) — in
   /// particular no antimeridian wrap, matching its scan behaviour exactly.
@@ -47,23 +53,26 @@ struct GridPairPartitioner::WindowPlan {
   /// the smallest key that is materialized owns the pair — exactly one cell
   /// emits a cross-boundary pair's events and writes its state back. Pairs
   /// with no materialized cell had no observation from either vessel this
-  /// window and therefore no owner (nothing to emit or write).
+  /// window and therefore no owner (nothing to emit or write); the same
+  /// holds for a pair whose vessel was pruned from the authoritative state
+  /// (it has no cell at all).
   int64_t OwnerCell(Mmsi a, Mmsi b) const {
-    const auto ia = vessel_cell.find(a);
-    const auto ib = vessel_cell.find(b);
-    if (ia == vessel_cell.end() || ib == vessel_cell.end()) return INT64_MIN;
-    const bool ma = materialized.count(ia->second) > 0;
-    const bool mb = materialized.count(ib->second) > 0;
-    if (ma && mb) return std::min(ia->second, ib->second);
-    if (ma) return ia->second;
-    if (mb) return ib->second;
+    const int64_t* ca = vessel_cell.Find(a);
+    const int64_t* cb = vessel_cell.Find(b);
+    if (ca == nullptr || cb == nullptr) return INT64_MIN;
+    const bool ma = materialized.Contains(*ca);
+    const bool mb = materialized.Contains(*cb);
+    if (ma && mb) return std::min(*ca, *cb);
+    if (ma) return *ca;
+    if (mb) return *cb;
     return INT64_MIN;
   }
 };
 
 /// One cell's unit of work: inputs are fully written by the coordinator
 /// before the task is queued; outputs are fully written by the runner
-/// before `done` counts down (the latch orders both handoffs).
+/// before `done` counts down (the latch orders both handoffs). Tasks are
+/// pooled by the coordinator; `Reset()` keeps every vector's capacity.
 struct GridPairPartitioner::CellTask {
   int64_t cell = 0;
   const WindowPlan* plan = nullptr;
@@ -78,7 +87,40 @@ struct GridPairPartitioner::CellTask {
   std::vector<PairEventEngine::VesselSnapshot> vessels_out;
   std::vector<PairEventEngine::RendezvousSnapshot> rendezvous_out;
   std::vector<PairEventEngine::CollisionSnapshot> collisions_out;
+  // Runner-side export scratch, reused across windows like the rest.
+  std::vector<PairEventEngine::RendezvousSnapshot> rendezvous_scratch;
+  std::vector<PairEventEngine::CollisionSnapshot> collisions_scratch;
   std::latch* done = nullptr;
+
+  void Reset() {
+    cell = 0;
+    plan = nullptr;
+    observations.clear();
+    vessels.clear();
+    rendezvous.clear();
+    collisions.clear();
+    owned_observed.clear();
+    owned_count = 0;
+    events.clear();
+    vessels_out.clear();
+    rendezvous_out.clear();
+    collisions_out.clear();
+    rendezvous_scratch.clear();
+    collisions_scratch.clear();
+    done = nullptr;
+  }
+};
+
+/// Coordinator-side per-window scratch, reused across windows.
+struct GridPairPartitioner::Scratch {
+  std::vector<PairEventEngine::VesselSnapshot> known;
+  std::vector<PairEventEngine::RendezvousSnapshot> rendezvous;
+  std::vector<PairEventEngine::CollisionSnapshot> collisions;
+  FlatHashMap<Mmsi, GeoPoint> anchor;
+  FlatHashSet<Mmsi> seen_observed;
+  FlatHashMap<int64_t, CellTask*> task_index;
+  std::vector<int64_t> cells;      ///< materialized cells, ascending
+  std::vector<CellTask*> tasks;    ///< active tasks, ascending cell order
 };
 
 GridPairPartitioner::GridPairPartitioner(const EventRuleOptions& rules,
@@ -89,7 +131,9 @@ GridPairPartitioner::GridPairPartitioner(const EventRuleOptions& rules,
                                      rules.collision_scan_radius_m)),
       cell_size_m_(options.cell_size_m > 0.0 ? options.cell_size_m
                                              : interaction_radius_m_),
-      queue_(/*capacity=*/256) {
+      queue_(/*capacity=*/256),
+      plan_(std::make_unique<WindowPlan>()),
+      scratch_(std::make_unique<Scratch>()) {
   if (options_.pair_threads > 1) {
     workers_.reserve(options_.pair_threads);
     for (size_t i = 0; i < options_.pair_threads; ++i) {
@@ -109,22 +153,42 @@ void GridPairPartitioner::WorkerLoop() {
   while (auto task = queue_.Pop()) RunTask(*task);
 }
 
-void GridPairPartitioner::RunTask(CellTask* task) const {
-  PairEventEngine replica(rules_);
-  for (const auto& snapshot : task->vessels) replica.RestoreVessel(snapshot);
+std::unique_ptr<PairEventEngine> GridPairPartitioner::AcquireReplica() {
+  {
+    std::lock_guard<std::mutex> lock(replica_mutex_);
+    if (!replica_pool_.empty()) {
+      std::unique_ptr<PairEventEngine> replica =
+          std::move(replica_pool_.back());
+      replica_pool_.pop_back();
+      return replica;
+    }
+  }
+  return std::make_unique<PairEventEngine>(rules_);
+}
+
+void GridPairPartitioner::ReleaseReplica(
+    std::unique_ptr<PairEventEngine> replica) {
+  replica->Clear();  // capacity retained — the point of the pool
+  std::lock_guard<std::mutex> lock(replica_mutex_);
+  replica_pool_.push_back(std::move(replica));
+}
+
+void GridPairPartitioner::RunTask(CellTask* task) {
+  std::unique_ptr<PairEventEngine> replica = AcquireReplica();
+  for (const auto& snapshot : task->vessels) replica->RestoreVessel(snapshot);
   for (const auto& snapshot : task->rendezvous) {
-    replica.RestoreRendezvous(snapshot);
+    replica->RestoreRendezvous(snapshot);
   }
   for (const auto& snapshot : task->collisions) {
-    replica.RestoreCollision(snapshot);
+    replica->RestoreCollision(snapshot);
   }
   const WindowPlan* plan = task->plan;
   const int64_t cell = task->cell;
-  replica.SetEmitFilter([plan, cell](Mmsi a, Mmsi b) {
+  replica->SetEmitFilter([plan, cell](Mmsi a, Mmsi b) {
     return plan->OwnerCell(a, b) == cell;
   });
   for (const PairObservation* obs : task->observations) {
-    replica.Ingest(*obs, &task->events);
+    replica->Ingest(*obs, &task->events);
   }
   // Write-back: the final state of this cell's observed vessels and of the
   // pairs it owns. Non-owner replicas computed identical state for shared
@@ -133,47 +197,49 @@ void GridPairPartitioner::RunTask(CellTask* task) const {
   task->vessels_out.reserve(task->owned_observed.size());
   for (Mmsi mmsi : task->owned_observed) {
     PairEventEngine::VesselSnapshot snapshot;
-    if (replica.GetVessel(mmsi, &snapshot)) {
+    if (replica->GetVessel(mmsi, &snapshot)) {
       task->vessels_out.push_back(snapshot);
     }
   }
-  std::vector<PairEventEngine::RendezvousSnapshot> rendezvous;
-  replica.ExportRendezvous(&rendezvous);
-  for (const auto& snapshot : rendezvous) {
+  task->rendezvous_scratch.clear();
+  replica->ExportRendezvous(&task->rendezvous_scratch);
+  for (const auto& snapshot : task->rendezvous_scratch) {
     if (plan->OwnerCell(snapshot.a, snapshot.b) == cell) {
       task->rendezvous_out.push_back(snapshot);
     }
   }
-  std::vector<PairEventEngine::CollisionSnapshot> collisions;
-  replica.ExportCollisions(&collisions);
-  for (const auto& snapshot : collisions) {
+  task->collisions_scratch.clear();
+  replica->ExportCollisions(&task->collisions_scratch);
+  for (const auto& snapshot : task->collisions_scratch) {
     if (plan->OwnerCell(snapshot.a, snapshot.b) == cell) {
       task->collisions_out.push_back(snapshot);
     }
   }
+  ReleaseReplica(std::move(replica));
   task->done->count_down();
 }
 
 bool GridPairPartitioner::TryParallelWindow(
     PairEventEngine* engine, const std::vector<PairObservation>& observations,
     std::vector<DetectedEvent>* events) {
-  WindowPlan plan;
+  WindowPlan& plan = *plan_;
+  Scratch& scratch = *scratch_;
+  plan.Clear();
   plan.pitch_deg = cell_size_m_ / MetresPerDegree();
 
   // --- Assignment: every vessel the engine knows anchors at its position
   // entering the window; vessels first seen this window anchor at their
   // first observation. All of a vessel's observations route to its one
   // anchor cell, keeping its stream whole.
-  std::vector<PairEventEngine::VesselSnapshot> known;
-  engine->ExportVessels(&known);
-  plan.vessel_cell.reserve(known.size() + 16);
-  std::unordered_map<Mmsi, GeoPoint> anchor;
-  anchor.reserve(known.size() + 16);
-  for (const auto& snapshot : known) {
+  scratch.known.clear();
+  engine->ExportVessels(&scratch.known);
+  plan.vessel_cell.Reserve(scratch.known.size() + 16);
+  scratch.anchor.Clear();
+  scratch.anchor.Reserve(scratch.known.size() + 16);
+  for (const auto& snapshot : scratch.known) {
     if (!snapshot.last.position.IsValid()) return false;
-    anchor.emplace(snapshot.mmsi, snapshot.last.position);
-    plan.vessel_cell.emplace(snapshot.mmsi,
-                             plan.CellFor(snapshot.last.position));
+    scratch.anchor[snapshot.mmsi] = snapshot.last.position;
+    plan.vessel_cell[snapshot.mmsi] = plan.CellFor(snapshot.last.position);
   }
 
   // Drift: how far any vessel's in-window observations stray from its
@@ -185,12 +251,15 @@ bool GridPairPartitioner::TryParallelWindow(
   for (const PairObservation& obs : observations) {
     const GeoPoint& p = obs.point.position;
     if (!p.IsValid()) return false;
-    auto [it, inserted] = anchor.emplace(obs.mmsi, p);
+    auto [anchor_p, inserted] = scratch.anchor.TryEmplace(obs.mmsi);
     if (inserted) {
-      plan.vessel_cell.emplace(obs.mmsi, plan.CellFor(p));
+      *anchor_p = p;
+      plan.vessel_cell[obs.mmsi] = plan.CellFor(p);
     } else {
-      drift_lat_deg = std::max(drift_lat_deg, std::abs(p.lat - it->second.lat));
-      drift_lon_deg = std::max(drift_lon_deg, std::abs(p.lon - it->second.lon));
+      drift_lat_deg =
+          std::max(drift_lat_deg, std::abs(p.lat - anchor_p->lat));
+      drift_lon_deg =
+          std::max(drift_lon_deg, std::abs(p.lon - anchor_p->lon));
     }
     max_abs_lat = std::max(max_abs_lat, std::abs(p.lat));
   }
@@ -220,44 +289,53 @@ bool GridPairPartitioner::TryParallelWindow(
   }
 
   for (const PairObservation& obs : observations) {
-    plan.materialized.insert(plan.vessel_cell.find(obs.mmsi)->second);
+    plan.materialized.Insert(*plan.vessel_cell.Find(obs.mmsi));
   }
   if (plan.materialized.size() < 2) return false;  // nothing to spread
 
-  // --- Build per-cell tasks, in deterministic ascending cell order. ---
-  std::map<int64_t, std::unique_ptr<CellTask>> tasks;
-  for (int64_t cell : plan.materialized) {
-    auto task = std::make_unique<CellTask>();
-    task->cell = cell;
-    task->plan = &plan;
-    tasks.emplace(cell, std::move(task));
+  // --- Bind pooled per-cell tasks, in deterministic ascending cell order.
+  scratch.cells.clear();
+  plan.materialized.ForEach(
+      [&scratch](int64_t cell) { scratch.cells.push_back(cell); });
+  std::sort(scratch.cells.begin(), scratch.cells.end());
+  while (task_pool_.size() < scratch.cells.size()) {
+    task_pool_.push_back(std::make_unique<CellTask>());
   }
-  std::unordered_map<int64_t, CellTask*> task_index;
-  task_index.reserve(tasks.size());
-  for (auto& [cell, task] : tasks) task_index.emplace(cell, task.get());
+  scratch.tasks.clear();
+  scratch.task_index.Clear();
+  scratch.task_index.Reserve(scratch.cells.size());
+  for (size_t i = 0; i < scratch.cells.size(); ++i) {
+    CellTask* task = task_pool_[i].get();
+    task->Reset();
+    task->cell = scratch.cells[i];
+    task->plan = &plan;
+    scratch.tasks.push_back(task);
+    scratch.task_index[task->cell] = task;
+  }
 
   // Applies `fn` to every materialized task whose cell lies in the given
   // row/col box: enumerate the box when it is smaller than the task set
   // (the common case — the box is the halo neighbourhood, a few cells),
   // scan the tasks otherwise. Both strategies visit the identical set, so
   // routing cost is O(items × min(box, cells)) instead of O(items × cells).
-  const auto for_each_task_in_box = [&](int32_t row_lo, int32_t row_hi,
-                                        int32_t col_lo, int32_t col_hi,
-                                        auto&& fn) {
+  const auto for_each_task_in_box = [&scratch](int32_t row_lo, int32_t row_hi,
+                                               int32_t col_lo, int32_t col_hi,
+                                               auto&& fn) {
     if (row_lo > row_hi || col_lo > col_hi) return;
     const int64_t box = (static_cast<int64_t>(row_hi) - row_lo + 1) *
                         (static_cast<int64_t>(col_hi) - col_lo + 1);
-    if (box <= static_cast<int64_t>(tasks.size())) {
+    if (box <= static_cast<int64_t>(scratch.tasks.size())) {
       for (int32_t row = row_lo; row <= row_hi; ++row) {
         for (int32_t col = col_lo; col <= col_hi; ++col) {
-          auto it = task_index.find(GridIndex::PackCell(row, col));
-          if (it != task_index.end()) fn(*it->second);
+          CellTask* const* task =
+              scratch.task_index.Find(GridIndex::PackCell(row, col));
+          if (task != nullptr) fn(**task);
         }
       }
     } else {
-      for (auto& [cell, task] : tasks) {
-        const int32_t row = GridIndex::CellRow(cell);
-        const int32_t col = GridIndex::CellCol(cell);
+      for (CellTask* task : scratch.tasks) {
+        const int32_t row = GridIndex::CellRow(task->cell);
+        const int32_t col = GridIndex::CellCol(task->cell);
         if (row >= row_lo && row <= row_hi && col >= col_lo &&
             col <= col_hi) {
           fn(*task);
@@ -288,9 +366,9 @@ bool GridPairPartitioner::TryParallelWindow(
   };
 
   uint64_t halo_count = 0;
-  std::unordered_set<Mmsi> seen_observed;
+  scratch.seen_observed.Clear();
   for (const PairObservation& obs : observations) {
-    const int64_t home = plan.vessel_cell.find(obs.mmsi)->second;
+    const int64_t home = *plan.vessel_cell.Find(obs.mmsi);
     for_each_halo_task(home, [&](CellTask& task) {
       task.observations.push_back(&obs);
       if (task.cell == home) {
@@ -299,38 +377,45 @@ bool GridPairPartitioner::TryParallelWindow(
         ++halo_count;
       }
     });
-    if (seen_observed.insert(obs.mmsi).second) {
-      task_index.find(home)->second->owned_observed.push_back(obs.mmsi);
+    if (scratch.seen_observed.Insert(obs.mmsi)) {
+      (*scratch.task_index.Find(home))->owned_observed.push_back(obs.mmsi);
     }
   }
-  for (const auto& snapshot : known) {
+  for (const auto& snapshot : scratch.known) {
     for_each_halo_task(
-        plan.vessel_cell.find(snapshot.mmsi)->second,
+        *plan.vessel_cell.Find(snapshot.mmsi),
         [&](CellTask& task) { task.vessels.push_back(snapshot); });
   }
-  std::vector<PairEventEngine::RendezvousSnapshot> rendezvous;
-  engine->ExportRendezvous(&rendezvous);
-  for (const auto& snapshot : rendezvous) {
-    for_each_pair_task(
-        plan.vessel_cell.find(snapshot.a)->second,
-        plan.vessel_cell.find(snapshot.b)->second,
-        [&](CellTask& task) { task.rendezvous.push_back(snapshot); });
+  scratch.rendezvous.clear();
+  engine->ExportRendezvous(&scratch.rendezvous);
+  for (const auto& snapshot : scratch.rendezvous) {
+    const int64_t* ca = plan.vessel_cell.Find(snapshot.a);
+    const int64_t* cb = plan.vessel_cell.Find(snapshot.b);
+    // A pair one of whose vessels was pruned has no cell: no replica can
+    // touch it this window (the vessel is absent from every live picture),
+    // so it stays, untouched, in the authoritative engine.
+    if (ca == nullptr || cb == nullptr) continue;
+    for_each_pair_task(*ca, *cb, [&](CellTask& task) {
+      task.rendezvous.push_back(snapshot);
+    });
   }
-  std::vector<PairEventEngine::CollisionSnapshot> collisions;
-  engine->ExportCollisions(&collisions);
-  for (const auto& snapshot : collisions) {
-    for_each_pair_task(
-        plan.vessel_cell.find(snapshot.a)->second,
-        plan.vessel_cell.find(snapshot.b)->second,
-        [&](CellTask& task) { task.collisions.push_back(snapshot); });
+  scratch.collisions.clear();
+  engine->ExportCollisions(&scratch.collisions);
+  for (const auto& snapshot : scratch.collisions) {
+    const int64_t* ca = plan.vessel_cell.Find(snapshot.a);
+    const int64_t* cb = plan.vessel_cell.Find(snapshot.b);
+    if (ca == nullptr || cb == nullptr) continue;
+    for_each_pair_task(*ca, *cb, [&](CellTask& task) {
+      task.collisions.push_back(snapshot);
+    });
   }
 
   // --- Dispatch; the coordinator drains the queue alongside the pool
   // rather than idling at the latch. ---
-  std::latch done(static_cast<ptrdiff_t>(tasks.size()));
-  for (auto& [cell, task] : tasks) {
+  std::latch done(static_cast<ptrdiff_t>(scratch.tasks.size()));
+  for (CellTask* task : scratch.tasks) {
     task->done = &done;
-    queue_.Push(task.get());
+    queue_.Push(task);
   }
   while (auto task = queue_.TryPop()) RunTask(*task);
   done.wait();
@@ -340,7 +425,7 @@ bool GridPairPartitioner::TryParallelWindow(
   uint64_t emitted = 0;
   size_t heaviest = 0;
   size_t heaviest_total = 0;
-  for (auto& [cell, task] : tasks) {
+  for (CellTask* task : scratch.tasks) {
     for (const auto& snapshot : task->vessels_out) {
       engine->RestoreVessel(snapshot);
     }
@@ -351,7 +436,8 @@ bool GridPairPartitioner::TryParallelWindow(
       engine->RestoreCollision(snapshot);
     }
     emitted += task->events.size();
-    events->insert(events->end(), std::make_move_iterator(task->events.begin()),
+    events->insert(events->end(),
+                   std::make_move_iterator(task->events.begin()),
                    std::make_move_iterator(task->events.end()));
     heaviest = std::max(heaviest, task->owned_count);
     heaviest_total = std::max(heaviest_total, task->observations.size());
@@ -359,9 +445,9 @@ bool GridPairPartitioner::TryParallelWindow(
   engine->AccumulateStats(observations.size(), emitted);
 
   stats_.halo_observations += halo_count;
-  stats_.cells += tasks.size();
+  stats_.cells += scratch.tasks.size();
   stats_.max_cells_per_window =
-      std::max(stats_.max_cells_per_window, tasks.size());
+      std::max(stats_.max_cells_per_window, scratch.tasks.size());
   stats_.max_cell_observations =
       std::max(stats_.max_cell_observations, heaviest_total);
   stats_.max_halo_rings = std::max(
@@ -378,6 +464,8 @@ void GridPairPartitioner::CloseWindow(PairEventEngine* engine,
                                       bool flush,
                                       std::vector<DetectedEvent>* events) {
   std::sort(pairs->begin(), pairs->end(), PairEventEngine::ObservationLess);
+  const Timestamp window_max_t =
+      pairs->empty() ? kInvalidTimestamp : pairs->back().point.t;
   ++stats_.windows;
   stats_.observations += pairs->size();
   bool parallel_done = false;
@@ -393,6 +481,9 @@ void GridPairPartitioner::CloseWindow(PairEventEngine* engine,
   pairs->clear();
   if (flush) engine->Flush(events);
   ResequenceEvents(events);
+  // The same windowed prune the sequential close performs — identical
+  // watermark, identical state either way (core/events.h).
+  engine->PruneAfterWindow(window_max_t);
 }
 
 }  // namespace marlin

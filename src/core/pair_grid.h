@@ -26,8 +26,10 @@
 ///     prefilter of `GridIndex::QueryRadius` exactly, so a cell replica's
 ///     radius scans return the same partner sets the global engine's
 ///     would.
-///  3. **Replica lockstep.** Each cell task runs a fresh `PairEventEngine`
-///     replica seeded with the relevant vessel/pair state and processes
+///  3. **Replica lockstep.** Each cell task runs a pooled `PairEventEngine`
+///     replica (cleared between windows — flat-table capacity retained, so
+///     steady windows rebuild no maps) seeded with the relevant
+///     vessel/pair state, and processes
 ///     its (owned + halo) observations in the canonical (event-time, MMSI)
 ///     order. Replicas perform *every* state transition; an emit filter
 ///     restricts event output to the pair's **owner cell** — the minimum
@@ -49,6 +51,8 @@
 /// both paths and asserts exact equality.
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -141,16 +145,26 @@ class GridPairPartitioner {
  private:
   struct WindowPlan;
   struct CellTask;
+  struct Scratch;
 
   /// Attempts the grid path; false = caller must close sequentially.
   bool TryParallelWindow(PairEventEngine* engine,
                          const std::vector<PairObservation>& observations,
                          std::vector<DetectedEvent>* events);
 
-  /// Runs one cell task to completion (worker thread or coordinator).
-  void RunTask(CellTask* task) const;
+  /// Runs one cell task to completion (worker thread or coordinator),
+  /// on a pooled replica engine.
+  void RunTask(CellTask* task);
 
   void WorkerLoop();
+
+  /// Replica pool: engines are expensive to build (flat tables + live
+  /// picture) and windows arrive continuously, so cell tasks borrow a
+  /// cleared engine instead of constructing one. Capacity of the cleared
+  /// state is retained, so a warmed replica re-runs a window of similar
+  /// shape without touching the heap.
+  std::unique_ptr<PairEventEngine> AcquireReplica();
+  void ReleaseReplica(std::unique_ptr<PairEventEngine> replica);
 
   const EventRuleOptions rules_;
   const Options options_;
@@ -159,6 +173,15 @@ class GridPairPartitioner {
   BoundedQueue<CellTask*> queue_;
   std::vector<std::thread> workers_;
   PairStageStats stats_;
+
+  std::mutex replica_mutex_;
+  std::vector<std::unique_ptr<PairEventEngine>> replica_pool_;
+  // Coordinator-owned pools, reused across windows (CloseWindow is always
+  // called from one thread; workers only ever touch the tasks handed to
+  // them between queue push and latch count-down).
+  std::vector<std::unique_ptr<CellTask>> task_pool_;
+  std::unique_ptr<WindowPlan> plan_;
+  std::unique_ptr<Scratch> scratch_;
 };
 
 }  // namespace marlin

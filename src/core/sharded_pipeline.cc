@@ -110,11 +110,28 @@ void ShardedPipeline::ParseWindow(std::span<const Event<std::string>> lines,
   parse_done.wait();
 }
 
+std::unique_ptr<ShardedPipeline::Window> ShardedPipeline::AcquireWindow() {
+  if (!window_pool_.empty()) {
+    std::unique_ptr<Window> window = std::move(window_pool_.back());
+    window_pool_.pop_back();
+    return window;
+  }
+  return std::make_unique<Window>();
+}
+
+void ShardedPipeline::ReleaseWindow(std::unique_ptr<Window> window) {
+  window->Reset();
+  window_pool_.push_back(std::move(window));
+}
+
 void ShardedPipeline::AssembleAndRoute(Window* window) {
   const size_t shard_count = shards_.size();
-  window->routed.assign(shard_count, {});
-  window->events.assign(shard_count, {});
-  window->pairs.assign(shard_count, {});
+  // Size the per-shard slots; the inner vectors are empty already — fresh
+  // windows start empty and pooled ones were cleared by Window::Reset
+  // (which keeps their capacity).
+  window->routed.resize(shard_count);
+  window->events.resize(shard_count);
+  window->pairs.resize(shard_count);
 
   // Assembly is stateful across the whole stream (fragment groups can span
   // windows) and therefore runs here, in arrival order.
@@ -249,22 +266,32 @@ std::vector<DetectedEvent> ShardedPipeline::IngestBatch(
     }
     if (!closed) break;  // span exhausted with the window still open
 
-    auto window = std::make_unique<Window>();
+    std::unique_ptr<Window> window = AcquireWindow();
     if (pending_lines_.empty()) {
       ParseWindow(nmea.subspan(consumed, end - consumed), window.get());
+      DispatchWindow(window.get());
     } else {
       pending_lines_.insert(pending_lines_.end(), nmea.begin() + consumed,
                             nmea.begin() + end);
       ParseWindow(std::span<const Event<std::string>>(pending_lines_),
                   window.get());
+      // Parsed sentences are zero-copy views into the line buffers, so the
+      // pending lines must stay alive until the window is assembled and
+      // routed (DispatchWindow) — only then may they be dropped.
+      DispatchWindow(window.get());
       pending_lines_.clear();
     }
-    DispatchWindow(window.get());
     consumed = end;
-    if (in_flight) MergeWindow(in_flight.get(), /*flush_pairs=*/false, &all);
+    if (in_flight) {
+      MergeWindow(in_flight.get(), /*flush_pairs=*/false, &all);
+      ReleaseWindow(std::move(in_flight));
+    }
     in_flight = std::move(window);
   }
-  if (in_flight) MergeWindow(in_flight.get(), /*flush_pairs=*/false, &all);
+  if (in_flight) {
+    MergeWindow(in_flight.get(), /*flush_pairs=*/false, &all);
+    ReleaseWindow(std::move(in_flight));
+  }
   RefreshMetrics();  // quiescent: every dispatched window has been merged
 
   // Stash the open window's tail for the next batch / Finish.

@@ -168,7 +168,10 @@ class ShardedPipeline {
 
   using Command = std::variant<ParseTask, ShardTask>;
 
-  /// All coordinator-side state of one in-flight window.
+  /// All coordinator-side state of one in-flight window. Windows are
+  /// pooled: `Reset` clears every vector but keeps its capacity, so a
+  /// steady stream reuses two windows' buffers instead of reallocating
+  /// per window.
   struct Window {
     std::vector<ParsedLine> parsed;
     std::vector<Timestamp> ingest_times;  ///< original per-line ingest time
@@ -176,6 +179,15 @@ class ShardedPipeline {
     std::vector<std::vector<DetectedEvent>> events;      // per shard
     std::vector<std::vector<PairObservation>> pairs;     // per shard
     std::unique_ptr<std::latch> shards_done;
+
+    void Reset() {
+      parsed.clear();
+      ingest_times.clear();
+      for (auto& r : routed) r.clear();
+      for (auto& e : events) e.clear();
+      for (auto& p : pairs) p.clear();
+      shards_done.reset();
+    }
   };
 
   struct Shard {
@@ -186,6 +198,9 @@ class ShardedPipeline {
   };
 
   void WorkerLoop(Shard* shard);
+  /// Window pool (coordinator thread only).
+  std::unique_ptr<Window> AcquireWindow();
+  void ReleaseWindow(std::unique_ptr<Window> window);
   /// Parses `lines` across the shard workers (blocking) into `window`.
   void ParseWindow(std::span<const Event<std::string>> lines, Window* window);
   /// Assembles parsed lines (stateful, arrival order) and routes the decoded
@@ -216,6 +231,8 @@ class ShardedPipeline {
 
   /// Lines accumulated toward the current (partial) window.
   std::vector<Event<std::string>> pending_lines_;
+  /// Recycled Window objects (at most two are ever in flight).
+  std::vector<std::unique_ptr<Window>> window_pool_;
   Timestamp last_ingest_ = kInvalidTimestamp;  ///< newest line's ingest time
 };
 

@@ -8,59 +8,44 @@
 namespace marlin {
 
 void GridIndex::Upsert(uint64_t id, const GeoPoint& p) {
-  auto it = positions_.find(id);
-  if (it != positions_.end()) {
-    const CellKey old_key = KeyFor(it->second);
+  GeoPoint* current = positions_.Find(id);
+  if (current != nullptr) {
+    const CellKey old_key = KeyFor(*current);
     const CellKey new_key = KeyFor(p);
     if (old_key != new_key) {
-      auto& bucket = cells_[old_key];
+      std::vector<uint64_t>& bucket = cells_[old_key];
       bucket.erase(std::remove(bucket.begin(), bucket.end(), id),
                    bucket.end());
-      if (bucket.empty()) cells_.erase(old_key);
-      cells_[new_key].push_back(id);
+      if (bucket.empty()) cells_.Erase(old_key);
+      BucketInsert(new_key, id);
     }
-    it->second = p;
+    // `current` stays valid: the bucket moves above only touch `cells_`.
+    *current = p;
     return;
   }
-  positions_.emplace(id, p);
-  cells_[KeyFor(p)].push_back(id);
+  positions_[id] = p;
+  BucketInsert(KeyFor(p), id);
 }
 
 void GridIndex::Remove(uint64_t id) {
-  auto it = positions_.find(id);
-  if (it == positions_.end()) return;
-  const CellKey key = KeyFor(it->second);
-  auto& bucket = cells_[key];
+  GeoPoint* current = positions_.Find(id);
+  if (current == nullptr) return;
+  const CellKey key = KeyFor(*current);
+  std::vector<uint64_t>& bucket = cells_[key];
   bucket.erase(std::remove(bucket.begin(), bucket.end(), id), bucket.end());
-  if (bucket.empty()) cells_.erase(key);
-  positions_.erase(it);
+  if (bucket.empty()) cells_.Erase(key);
+  positions_.Erase(id);
 }
 
 std::optional<GeoPoint> GridIndex::Get(uint64_t id) const {
-  auto it = positions_.find(id);
-  if (it == positions_.end()) return std::nullopt;
-  return it->second;
+  const GeoPoint* p = positions_.Find(id);
+  if (p == nullptr) return std::nullopt;
+  return *p;
 }
 
 std::vector<uint64_t> GridIndex::Query(const BoundingBox& box) const {
   std::vector<uint64_t> out;
-  const int32_t row0 =
-      static_cast<int32_t>(std::floor((box.min_lat + 90.0) / cell_deg_));
-  const int32_t row1 =
-      static_cast<int32_t>(std::floor((box.max_lat + 90.0) / cell_deg_));
-  const int32_t col0 =
-      static_cast<int32_t>(std::floor((box.min_lon + 180.0) / cell_deg_));
-  const int32_t col1 =
-      static_cast<int32_t>(std::floor((box.max_lon + 180.0) / cell_deg_));
-  for (int32_t r = row0; r <= row1; ++r) {
-    for (int32_t c = col0; c <= col1; ++c) {
-      auto it = cells_.find(PackCell(r, c));
-      if (it == cells_.end()) continue;
-      for (uint64_t id : it->second) {
-        if (box.Contains(positions_.at(id))) out.push_back(id);
-      }
-    }
-  }
+  VisitBox(box, [&out](uint64_t id, const GeoPoint&) { out.push_back(id); });
   return out;
 }
 
@@ -81,18 +66,26 @@ void GridIndex::RadiusMargins(double radius_m, double centre_lat,
   *lon_margin_deg = radius_m / (metres_per_deg * cos_lat);
 }
 
-std::vector<std::pair<uint64_t, double>> GridIndex::QueryRadius(
-    const GeoPoint& centre, double radius_m) const {
+void GridIndex::QueryRadiusInto(
+    const GeoPoint& centre, double radius_m,
+    std::vector<std::pair<uint64_t, double>>* out) const {
+  out->clear();
   double lat_margin = 0.0;
   double lon_margin = 0.0;
   RadiusMargins(radius_m, centre.lat, &lat_margin, &lon_margin);
   const BoundingBox box(centre.lat - lat_margin, centre.lon - lon_margin,
                         centre.lat + lat_margin, centre.lon + lon_margin);
+  VisitBox(box, [this, &centre, radius_m, out](uint64_t id,
+                                               const GeoPoint& p) {
+    const double d = ApproxDistanceMetres(centre, p);
+    if (d <= radius_m) out->emplace_back(id, d);
+  });
+}
+
+std::vector<std::pair<uint64_t, double>> GridIndex::QueryRadius(
+    const GeoPoint& centre, double radius_m) const {
   std::vector<std::pair<uint64_t, double>> out;
-  for (uint64_t id : Query(box)) {
-    const double d = ApproxDistanceMetres(centre, positions_.at(id));
-    if (d <= radius_m) out.emplace_back(id, d);
-  }
+  QueryRadiusInto(centre, radius_m, &out);
   return out;
 }
 

@@ -12,9 +12,9 @@
 #include <cmath>
 #include <cstdint>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
+#include "common/flat_hash.h"
 #include "geo/geometry.h"
 #include "geo/point.h"
 
@@ -81,6 +81,12 @@ class GridIndex {
   std::vector<std::pair<uint64_t, double>> QueryRadius(const GeoPoint& centre,
                                                        double radius_m) const;
 
+  /// \brief Allocation-free radius scan for per-message callers: clears and
+  /// refills `*out` (deterministic cell-row/column, bucket-insertion order —
+  /// identical to `QueryRadius`'s), retaining its capacity across calls.
+  void QueryRadiusInto(const GeoPoint& centre, double radius_m,
+                       std::vector<std::pair<uint64_t, double>>* out) const;
+
   /// \brief k nearest ids to `query` (expanding ring search), nearest first.
   std::vector<std::pair<uint64_t, double>> Nearest(const GeoPoint& query,
                                                    size_t k) const;
@@ -88,14 +94,55 @@ class GridIndex {
   size_t size() const { return positions_.size(); }
   double cell_deg() const { return cell_deg_; }
 
+  /// \brief Drops every point; table capacity is retained (the pooled
+  /// pair-stage replicas clear and refill their live picture per window).
+  void Clear() {
+    cells_.Clear();
+    positions_.Clear();
+  }
+
  private:
   CellKey KeyFor(const GeoPoint& p) const { return KeyOnPitch(p, cell_deg_); }
+
+  /// \brief Appends `id` to the bucket of `key`, recycling a pooled
+  /// slot's vector capacity when the cell is re-materialized.
+  void BucketInsert(CellKey key, uint64_t id) {
+    cells_
+        .TryEmplaceWith(key,
+                        [](std::vector<uint64_t>& bucket) { bucket.clear(); })
+        .first->push_back(id);
+  }
+
+  /// \brief Applies `fn(id, position)` to every point whose cell
+  /// intersects `box` and whose position lies inside it — the single
+  /// cell-range walk both `Query` and `QueryRadiusInto` share.
+  template <typename Fn>
+  void VisitBox(const BoundingBox& box, Fn&& fn) const {
+    const int32_t row0 =
+        static_cast<int32_t>(std::floor((box.min_lat + 90.0) / cell_deg_));
+    const int32_t row1 =
+        static_cast<int32_t>(std::floor((box.max_lat + 90.0) / cell_deg_));
+    const int32_t col0 =
+        static_cast<int32_t>(std::floor((box.min_lon + 180.0) / cell_deg_));
+    const int32_t col1 =
+        static_cast<int32_t>(std::floor((box.max_lon + 180.0) / cell_deg_));
+    for (int32_t r = row0; r <= row1; ++r) {
+      for (int32_t c = col0; c <= col1; ++c) {
+        const std::vector<uint64_t>* bucket = cells_.Find(PackCell(r, c));
+        if (bucket == nullptr) continue;
+        for (uint64_t id : *bucket) {
+          const GeoPoint& p = *positions_.Find(id);
+          if (box.Contains(p)) fn(id, p);
+        }
+      }
+    }
+  }
 
   double ApproxDistanceMetres(const GeoPoint& a, const GeoPoint& b) const;
 
   double cell_deg_;
-  std::unordered_map<CellKey, std::vector<uint64_t>> cells_;
-  std::unordered_map<uint64_t, GeoPoint> positions_;
+  FlatHashMap<CellKey, std::vector<uint64_t>> cells_;
+  FlatHashMap<uint64_t, GeoPoint> positions_;
 };
 
 }  // namespace marlin

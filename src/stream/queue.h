@@ -6,10 +6,12 @@
 /// pipeline stages (paper §2.1: in-situ processing must be communication
 /// efficient; a bounded queue is where that pressure becomes visible).
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 namespace marlin {
 
@@ -86,6 +88,7 @@ class BoundedQueue {
   size_t PopBatch(std::vector<T>* out, size_t max_items) {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    out->reserve(out->size() + std::min(items_.size(), max_items));
     size_t n = 0;
     while (!items_.empty() && n < max_items) {
       out->push_back(std::move(items_.front()));

@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <deque>
+#include <map>
 #include <set>
+#include <vector>
 
+#include "common/flat_hash.h"
 #include "common/result.h"
+#include "common/ring_buffer.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
@@ -324,6 +330,124 @@ TEST(RngTest, ExponentialMean) {
   const int n = 100000;
   for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
   EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+// --- ParseHexByte -----------------------------------------------------------
+
+TEST(StringsTest, ParseHexByteMatchesScanfAcceptance) {
+  unsigned int v = 0;
+  EXPECT_TRUE(ParseHexByte("5C", &v));
+  EXPECT_EQ(v, 0x5Cu);
+  EXPECT_TRUE(ParseHexByte("ff", &v));
+  EXPECT_EQ(v, 0xFFu);
+  // One digit, trailing junk, leading whitespace — all sscanf("%2X") quirks.
+  EXPECT_TRUE(ParseHexByte("7", &v));
+  EXPECT_EQ(v, 0x7u);
+  EXPECT_TRUE(ParseHexByte("3G", &v));
+  EXPECT_EQ(v, 0x3u);
+  EXPECT_TRUE(ParseHexByte(" A", &v));
+  EXPECT_EQ(v, 0xAu);
+  EXPECT_FALSE(ParseHexByte("", &v));
+  EXPECT_FALSE(ParseHexByte("G5", &v));
+  EXPECT_FALSE(ParseHexByte("  ", &v));
+}
+
+// --- FlatHashMap ------------------------------------------------------------
+
+TEST(FlatHashMapTest, InsertFindEraseAgainstStdMap) {
+  // Randomized differential test vs std::map, including the backward-shift
+  // erase path (dense colliding keys).
+  Rng rng(99);
+  FlatHashMap<uint64_t, int> flat;
+  std::map<uint64_t, int> reference;
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t key = rng.NextBounded(512);  // force probe collisions
+    switch (rng.NextBounded(3)) {
+      case 0: {
+        const int value = static_cast<int>(rng.NextBounded(1000));
+        flat[key] = value;
+        reference[key] = value;
+        break;
+      }
+      case 1:
+        EXPECT_EQ(flat.Erase(key), reference.erase(key) > 0);
+        break;
+      default: {
+        const int* found = flat.Find(key);
+        auto it = reference.find(key);
+        ASSERT_EQ(found != nullptr, it != reference.end());
+        if (found != nullptr) EXPECT_EQ(*found, it->second);
+        break;
+      }
+    }
+    ASSERT_EQ(flat.size(), reference.size());
+  }
+  std::vector<std::pair<uint64_t, int>> seen;
+  flat.ForEach([&seen](uint64_t k, int v) { seen.emplace_back(k, v); });
+  std::sort(seen.begin(), seen.end());
+  EXPECT_TRUE(std::equal(seen.begin(), seen.end(), reference.begin(),
+                         reference.end(),
+                         [](const auto& a, const auto& b) {
+                           return a.first == b.first && a.second == b.second;
+                         }));
+}
+
+TEST(FlatHashMapTest, TryEmplaceResetsRecycledSlots) {
+  FlatHashMap<uint32_t, std::vector<int>> map;
+  map[7].push_back(42);
+  EXPECT_TRUE(map.Erase(7));
+  auto [value, inserted] = map.TryEmplace(7);
+  EXPECT_TRUE(inserted);
+  EXPECT_TRUE(value->empty()) << "re-inserted slot must be value-fresh";
+}
+
+TEST(FlatHashMapTest, ClearKeepsEntriesOutButAllowsReuse) {
+  FlatHashMap<uint64_t, int> map;
+  for (uint64_t k = 0; k < 100; ++k) map[k] = static_cast<int>(k);
+  map.Clear();
+  EXPECT_EQ(map.size(), 0u);
+  EXPECT_EQ(map.Find(5), nullptr);
+  map[5] = 55;
+  EXPECT_EQ(*map.Find(5), 55);
+  EXPECT_EQ(map.size(), 1u);
+}
+
+TEST(FlatHashSetTest, InsertContainsErase) {
+  FlatHashSet<int64_t> set;
+  EXPECT_TRUE(set.Insert(-3));
+  EXPECT_FALSE(set.Insert(-3));
+  EXPECT_TRUE(set.Contains(-3));
+  EXPECT_FALSE(set.Contains(4));
+  EXPECT_TRUE(set.Erase(-3));
+  EXPECT_FALSE(set.Contains(-3));
+  EXPECT_EQ(set.size(), 0u);
+}
+
+// --- RingBuffer -------------------------------------------------------------
+
+TEST(RingBufferTest, SlidingWindowAgainstDeque) {
+  Rng rng(7);
+  RingBuffer<int> ring;
+  std::deque<int> reference;
+  for (int i = 0; i < 5000; ++i) {
+    if (reference.empty() || rng.NextBounded(3) != 0) {
+      ring.push_back(i);
+      reference.push_back(i);
+    } else {
+      ring.pop_front();
+      reference.pop_front();
+    }
+    ASSERT_EQ(ring.size(), reference.size());
+    if (!reference.empty()) {
+      ASSERT_EQ(ring.front(), reference.front());
+      ASSERT_EQ(ring.back(), reference.back());
+    }
+  }
+  for (size_t i = 0; i < reference.size(); ++i) {
+    ASSERT_EQ(ring[i], reference[i]);
+  }
+  ring.clear();
+  EXPECT_TRUE(ring.empty());
 }
 
 }  // namespace

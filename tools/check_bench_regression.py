@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Decode-microbench regression gate.
+
+Compares the BM_DecodeMicro lines_per_s counter of a fresh Release run
+against the committed BENCH_f2_pipeline.json baseline and fails (exit 1)
+on a >2x regression. The 2x margin absorbs host differences between the
+recording machine and CI runners while still catching the failure mode
+this guards against: an accidental re-introduction of per-line
+allocation/copying into the decode hot path, which costs well over 2x.
+
+Usage:
+  check_bench_regression.py <baseline.json> <current.json> [min_ratio]
+
+Both files are Google Benchmark JSON (--benchmark_format=json /
+--benchmark_out). Exits 0 with a notice when the baseline predates the
+microbench (no BM_DecodeMicro entry).
+"""
+
+import json
+import sys
+
+
+def decode_lines_per_s(path):
+    with open(path) as f:
+        data = json.load(f)
+    for bench in data.get("benchmarks", []):
+        if bench.get("name", "").startswith("BM_DecodeMicro") and \
+                "lines_per_s" in bench:
+            return float(bench["lines_per_s"])
+    return None
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__)
+        return 2
+    baseline_path, current_path = argv[1], argv[2]
+    min_ratio = float(argv[3]) if len(argv) > 3 else 0.5
+
+    baseline = decode_lines_per_s(baseline_path)
+    if baseline is None:
+        print(f"notice: {baseline_path} has no BM_DecodeMicro lines_per_s; "
+              "nothing to gate against")
+        return 0
+    current = decode_lines_per_s(current_path)
+    if current is None:
+        print(f"error: {current_path} has no BM_DecodeMicro lines_per_s — "
+              "did the benchmark run?")
+        return 1
+
+    ratio = current / baseline
+    print(f"decode microbench: baseline {baseline:,.0f} lines/s, "
+          f"current {current:,.0f} lines/s ({ratio:.2f}x baseline, "
+          f"gate at {min_ratio:.2f}x)")
+    if ratio < min_ratio:
+        print("FAIL: decode throughput regressed beyond the gate")
+        return 1
+    print("OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
