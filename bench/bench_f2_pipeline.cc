@@ -16,6 +16,9 @@
 #include <thread>
 
 #include "ais/codec.h"
+#include "ais/messages.h"
+#include "ais/nmea.h"
+#include "ais/sixbit.h"
 #include "bench_util.h"
 #include "common/alloc_probe.h"
 #include "context/weather.h"
@@ -94,21 +97,74 @@ void PrintArchitectureRun() {
               "challenge)\n");
 }
 
+// The byte-per-bit decode loop: PR 4's zero-copy parse + fragment assembly
+// feeding the frozen byte-vector bit layer (`UnarmorPayloadInto` over a
+// vector<uint8_t> of 0/1 + byte `DecodeMessageBits`) — the reference arm of
+// BM_DecodeMicro's packed-vs-byte axis. Mirrors AisDecoder::Assemble
+// including the receiver-time stamping so the two arms differ only in the
+// bit representation.
+class ByteBitDecoder {
+ public:
+  std::optional<AisMessage> Decode(std::string_view line,
+                                   Timestamp received_at) {
+    const ParsedLine parsed = AisDecoder::Parse(line, received_at);
+    if (!parsed.ok) return std::nullopt;
+    const auto assembled =
+        assembler_.Add(parsed.sentence, parsed.received_at);
+    if (!assembled.ok() || !assembled->has_value()) return std::nullopt;
+    if (!UnarmorPayloadInto((*assembled)->payload, (*assembled)->fill_bits,
+                            &bits_scratch_)
+             .ok()) {
+      return std::nullopt;
+    }
+    Result<AisMessage> msg = DecodeMessageBits(bits_scratch_);
+    if (!msg.ok()) return std::nullopt;
+    AisMessage out = std::move(*msg);
+    const Timestamp stamp = parsed.received_at;
+    std::visit(
+        [stamp](auto& m) {
+          using T = std::decay_t<decltype(m)>;
+          if constexpr (std::is_same_v<T, ExtendedClassBReport>) {
+            m.position_report.received_at = stamp;
+          } else {
+            m.received_at = stamp;
+          }
+        },
+        out);
+    return out;
+  }
+
+ private:
+  AivdmAssembler assembler_;
+  std::vector<uint8_t> bits_scratch_;
+};
+
 // The decode inner loop in isolation: the per-line cost every shard worker
-// pays before any stateful stage runs (PR 4's zero-copy parse + pooled
-// de-armor scratch). Counters surface both axes the refactor targets:
-// lines/s and steady-state heap allocations per line (multi-fragment
-// groups are the only remaining allocators — single-fragment traffic is
-// allocation-free, asserted by tests/decode_equivalence_test.cc). CI runs
-// this benchmark and fails on a >2x lines_per_s regression vs the
-// committed BENCH_f2_pipeline.json baseline (tools/check_bench_regression.py).
+// pays before any stateful stage runs. The packed:1 arm is the production
+// path (zero-copy parse + packed-word de-armor + shift/mask field
+// extraction over pooled `PackedBits` scratch); the packed:0 arm runs the
+// frozen byte-per-bit bit layer over the same parse/assembly front half, so
+// the ratio isolates PR 5's bit-packing multiplier. Counters surface both
+// axes the refactor targets: lines/s and steady-state heap allocations per
+// line (multi-fragment groups are the only remaining allocators —
+// single-fragment traffic is allocation-free, asserted by
+// tests/decode_equivalence_test.cc). CI runs the packed arm and fails on a
+// >2x lines_per_s regression vs the committed BENCH_f2_pipeline.json
+// baseline (tools/check_bench_regression.py).
 void BM_DecodeMicro(benchmark::State& state) {
   const ScenarioOutput& scenario = bench::SharedScenario(F2Config());
-  AisDecoder decoder;
+  const bool packed = state.range(0) != 0;
+  AisDecoder packed_decoder;
+  ByteBitDecoder byte_decoder;
   // Warmup: size the decoder's pooled scratch so the counter reads the
   // steady state rather than first-touch growth.
   for (const auto& ev : scenario.nmea) {
-    benchmark::DoNotOptimize(decoder.Decode(ev.payload, ev.ingest_time));
+    if (packed) {
+      benchmark::DoNotOptimize(
+          packed_decoder.Decode(ev.payload, ev.ingest_time));
+    } else {
+      benchmark::DoNotOptimize(byte_decoder.Decode(ev.payload, ev.ingest_time));
+    }
   }
   uint64_t lines = 0;
   uint64_t messages = 0;
@@ -116,7 +172,8 @@ void BM_DecodeMicro(benchmark::State& state) {
   for (auto _ : state) {
     const uint64_t before = AllocProbe::ThreadCount();
     for (const auto& ev : scenario.nmea) {
-      auto msg = decoder.Decode(ev.payload, ev.ingest_time);
+      auto msg = packed ? packed_decoder.Decode(ev.payload, ev.ingest_time)
+                        : byte_decoder.Decode(ev.payload, ev.ingest_time);
       if (msg.has_value()) ++messages;
       benchmark::DoNotOptimize(msg);
     }
@@ -132,7 +189,11 @@ void BM_DecodeMicro(benchmark::State& state) {
   state.counters["allocs_per_line"] =
       static_cast<double>(allocations) / static_cast<double>(lines);
 }
-BENCHMARK(BM_DecodeMicro)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DecodeMicro)
+    ->ArgName("packed")
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_FullArchitecture(benchmark::State& state) {
   const World& world = bench::SharedWorld();

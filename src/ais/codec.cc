@@ -79,7 +79,7 @@ std::optional<AisMessage> AisDecoder::Assemble(const ParsedLine& parsed) {
 }
 
 Result<std::vector<std::string>> AisEncoder::Encode(const AisMessage& msg) {
-  MARLIN_ASSIGN_OR_RETURN(std::vector<uint8_t> bits, EncodeMessageBits(msg));
+  MARLIN_ASSIGN_OR_RETURN(PackedBits bits, EncodeMessagePacked(msg));
   int fill_bits = 0;
   const std::string payload = ArmorBits(bits, &fill_bits);
 

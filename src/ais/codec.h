@@ -10,6 +10,7 @@
 
 #include "ais/nmea.h"
 #include "ais/types.h"
+#include "common/packed_bits.h"
 #include "common/result.h"
 
 namespace marlin {
@@ -87,7 +88,11 @@ class AisDecoder {
  private:
   AivdmAssembler assembler_;
   Stats stats_;
-  std::vector<uint8_t> bits_scratch_;  ///< de-armored bits, reused per line
+  /// De-armored payload words, reused per line: `UnarmorPayloadInto` refills
+  /// it in place and `Clear()` retains word capacity, so the steady state
+  /// never touches the heap (the packed-words successor to PR 4's pooled
+  /// byte-per-bit scratch).
+  PackedBits bits_scratch_;
 };
 
 /// \brief Encodes a message as one or more NMEA AIVDM sentences.

@@ -44,7 +44,14 @@ struct CommonHeader {
   Mmsi mmsi = 0;
 };
 
-Result<CommonHeader> ReadHeader(BitReader* r) {
+// The field layout below is templated over the reader/writer so the packed
+// (`PackedBitReader`/`PackedBitWriter`) and frozen byte-per-bit
+// (`BitReader`/`BitWriter`) paths decode and encode the exact same field
+// sequence — the differential suites then pin the two *extraction layers*
+// against each other over the full corpus.
+
+template <typename Reader>
+Result<CommonHeader> ReadHeader(Reader* r) {
   CommonHeader h;
   MARLIN_ASSIGN_OR_RETURN(uint32_t type, r->ReadUnsigned(6));
   MARLIN_ASSIGN_OR_RETURN(uint32_t repeat, r->ReadUnsigned(2));
@@ -55,7 +62,20 @@ Result<CommonHeader> ReadHeader(BitReader* r) {
   return h;
 }
 
-void WriteHeader(BitWriter* w, int type, int repeat, Mmsi mmsi) {
+// Packed fast path: the 38-bit common header in one word read. The split is
+// bit-identical to the three field reads the generic template performs, and
+// `DecodeMessageBits` has already guaranteed at least 38 bits.
+Result<CommonHeader> ReadHeader(PackedBitReader* r) {
+  MARLIN_ASSIGN_OR_RETURN(uint64_t v, r->ReadUnsigned(38));
+  CommonHeader h;
+  h.type = static_cast<int>(v >> 32);
+  h.repeat = static_cast<int>((v >> 30) & 0x3u);
+  h.mmsi = static_cast<Mmsi>(v & 0x3FFFFFFFu);
+  return h;
+}
+
+template <typename Writer>
+void WriteHeader(Writer* w, int type, int repeat, Mmsi mmsi) {
   w->WriteUnsigned(static_cast<uint32_t>(type), 6);
   w->WriteUnsigned(static_cast<uint32_t>(repeat), 2);
   w->WriteUnsigned(mmsi, 30);
@@ -63,7 +83,8 @@ void WriteHeader(BitWriter* w, int type, int repeat, Mmsi mmsi) {
 
 // --- Decoders --------------------------------------------------------------
 
-Result<AisMessage> DecodeClassAPosition(const CommonHeader& h, BitReader* r) {
+template <typename Reader>
+Result<AisMessage> DecodeClassAPosition(const CommonHeader& h, Reader* r) {
   PositionReport m;
   m.message_type = h.type;
   m.repeat_indicator = h.repeat;
@@ -95,7 +116,51 @@ Result<AisMessage> DecodeClassAPosition(const CommonHeader& h, BitReader* r) {
   return AisMessage(m);
 }
 
-Result<AisMessage> DecodeBaseStation(const CommonHeader& h, BitReader* r) {
+/// Sign-extends the low `width` bits of a wide-read field (identical to
+/// `ReadSigned` on a reader positioned at the field).
+inline int32_t SignExtendField(uint64_t raw, int width) {
+  const uint64_t sign = uint64_t{1} << (width - 1);
+  raw &= (uint64_t{1} << width) - 1;
+  return static_cast<int32_t>(static_cast<int64_t>(raw ^ sign) -
+                              static_cast<int64_t>(sign));
+}
+
+// Packed fast path for the dominant steady-state shape: the 130-bit
+// position-report body in three wide word reads instead of thirteen field
+// reads. Field boundaries and values are bit-identical to the generic
+// template above (the corpus differential sweeps every truncation point of
+// every type to prove it); any mid-body truncation fails with the same
+// "bit stream exhausted" status the field-by-field path produces.
+Result<AisMessage> DecodeClassAPosition(const CommonHeader& h,
+                                        PackedBitReader* r) {
+  PositionReport m;
+  m.message_type = h.type;
+  m.repeat_indicator = h.repeat;
+  m.mmsi = h.mmsi;
+  // status(4) rot(8) sog(10) acc(1) lon(28) = 51 bits
+  MARLIN_ASSIGN_OR_RETURN(uint64_t a, r->ReadUnsigned(51));
+  m.nav_status = static_cast<NavigationStatus>((a >> 47) & 0xF);
+  m.rate_of_turn = SignExtendField(a >> 39, 8);
+  m.sog_knots = DequantizeSog(static_cast<uint32_t>((a >> 29) & 0x3FF));
+  m.position_accurate = ((a >> 28) & 1) != 0;
+  const int32_t lon = SignExtendField(a, 28);
+  // lat(27) cog(12) hdg(9) = 48 bits
+  MARLIN_ASSIGN_OR_RETURN(uint64_t b, r->ReadUnsigned(48));
+  const int32_t lat = SignExtendField(b >> 21, 27);
+  m.position = GeoPoint(DequantizeLonLat(lat), DequantizeLonLat(lon));
+  m.cog_deg = DequantizeCog(static_cast<uint32_t>((b >> 9) & 0xFFF));
+  m.true_heading = static_cast<int>(b & 0x1FF);
+  // ts(6) man(2) spare(3) raim(1) radio(19) = 31 bits
+  MARLIN_ASSIGN_OR_RETURN(uint64_t c, r->ReadUnsigned(31));
+  m.utc_second = static_cast<int>((c >> 25) & 0x3F);
+  m.maneuver_indicator = static_cast<int>((c >> 23) & 0x3);
+  m.raim = ((c >> 19) & 1) != 0;
+  m.radio_status = static_cast<uint32_t>(c & 0x7FFFF);
+  return AisMessage(m);
+}
+
+template <typename Reader>
+Result<AisMessage> DecodeBaseStation(const CommonHeader& h, Reader* r) {
   BaseStationReport m;
   m.repeat_indicator = h.repeat;
   m.mmsi = h.mmsi;
@@ -126,7 +191,8 @@ Result<AisMessage> DecodeBaseStation(const CommonHeader& h, BitReader* r) {
   return AisMessage(m);
 }
 
-Result<AisMessage> DecodeStaticVoyage(const CommonHeader& h, BitReader* r) {
+template <typename Reader>
+Result<AisMessage> DecodeStaticVoyage(const CommonHeader& h, Reader* r) {
   StaticVoyageData m;
   m.repeat_indicator = h.repeat;
   m.mmsi = h.mmsi;
@@ -164,7 +230,8 @@ Result<AisMessage> DecodeStaticVoyage(const CommonHeader& h, BitReader* r) {
   return AisMessage(m);
 }
 
-Result<AisMessage> DecodeClassBPosition(const CommonHeader& h, BitReader* r) {
+template <typename Reader>
+Result<AisMessage> DecodeClassBPosition(const CommonHeader& h, Reader* r) {
   PositionReport m;
   m.message_type = 18;
   m.repeat_indicator = h.repeat;
@@ -193,8 +260,35 @@ Result<AisMessage> DecodeClassBPosition(const CommonHeader& h, BitReader* r) {
   return AisMessage(m);
 }
 
-Result<AisMessage> DecodeExtendedClassBMsg(const CommonHeader& h,
-                                           BitReader* r) {
+// Packed fast path for the Class-B body (type 18), mirroring the Class-A
+// wide-read layout above.
+Result<AisMessage> DecodeClassBPosition(const CommonHeader& h,
+                                        PackedBitReader* r) {
+  PositionReport m;
+  m.message_type = 18;
+  m.repeat_indicator = h.repeat;
+  m.mmsi = h.mmsi;
+  // reserved(8) sog(10) acc(1) lon(28) = 47 bits
+  MARLIN_ASSIGN_OR_RETURN(uint64_t a, r->ReadUnsigned(47));
+  m.sog_knots = DequantizeSog(static_cast<uint32_t>((a >> 29) & 0x3FF));
+  m.position_accurate = ((a >> 28) & 1) != 0;
+  const int32_t lon = SignExtendField(a, 28);
+  // lat(27) cog(12) hdg(9) = 48 bits
+  MARLIN_ASSIGN_OR_RETURN(uint64_t b, r->ReadUnsigned(48));
+  const int32_t lat = SignExtendField(b >> 21, 27);
+  m.position = GeoPoint(DequantizeLonLat(lat), DequantizeLonLat(lon));
+  m.cog_deg = DequantizeCog(static_cast<uint32_t>((b >> 9) & 0xFFF));
+  m.true_heading = static_cast<int>(b & 0x1FF);
+  // ts(6) reserved(2) flags(5) assigned(1) raim(1) radio(20) = 35 bits
+  MARLIN_ASSIGN_OR_RETURN(uint64_t c, r->ReadUnsigned(35));
+  m.utc_second = static_cast<int>((c >> 29) & 0x3F);
+  m.raim = ((c >> 20) & 1) != 0;
+  m.radio_status = static_cast<uint32_t>(c & 0xFFFFF);
+  return AisMessage(m);
+}
+
+template <typename Reader>
+Result<AisMessage> DecodeExtendedClassBMsg(const CommonHeader& h, Reader* r) {
   ExtendedClassBReport m;
   PositionReport& p = m.position_report;
   p.message_type = 19;
@@ -234,7 +328,8 @@ Result<AisMessage> DecodeExtendedClassBMsg(const CommonHeader& h,
   return AisMessage(m);
 }
 
-Result<AisMessage> DecodeStaticData(const CommonHeader& h, BitReader* r) {
+template <typename Reader>
+Result<AisMessage> DecodeStaticData(const CommonHeader& h, Reader* r) {
   StaticDataReport m;
   m.repeat_indicator = h.repeat;
   m.mmsi = h.mmsi;
@@ -264,192 +359,247 @@ Result<AisMessage> DecodeStaticData(const CommonHeader& h, BitReader* r) {
   return AisMessage(m);
 }
 
-}  // namespace
-
-Result<AisMessage> DecodeMessageBits(const std::vector<uint8_t>& bits) {
-  if (bits.size() < 38) {
-    return Status::Corruption("AIS payload shorter than common header");
-  }
-  BitReader r(bits);
-  MARLIN_ASSIGN_OR_RETURN(CommonHeader h, ReadHeader(&r));
+template <typename Reader>
+Result<AisMessage> DecodeWithReader(Reader* r) {
+  MARLIN_ASSIGN_OR_RETURN(CommonHeader h, ReadHeader(r));
   switch (h.type) {
     case 1:
     case 2:
     case 3:
-      return DecodeClassAPosition(h, &r);
+      return DecodeClassAPosition(h, r);
     case 4:
-      return DecodeBaseStation(h, &r);
+      return DecodeBaseStation(h, r);
     case 5:
-      return DecodeStaticVoyage(h, &r);
+      return DecodeStaticVoyage(h, r);
     case 18:
-      return DecodeClassBPosition(h, &r);
+      return DecodeClassBPosition(h, r);
     case 19:
-      return DecodeExtendedClassBMsg(h, &r);
+      return DecodeExtendedClassBMsg(h, r);
     case 24:
-      return DecodeStaticData(h, &r);
+      return DecodeStaticData(h, r);
     default:
       return Status::NotImplemented("unsupported AIS message type " +
                                     std::to_string(h.type));
   }
 }
 
-Result<std::vector<uint8_t>> EncodePositionReport(const PositionReport& m) {
-  BitWriter w;
+// --- Encoders --------------------------------------------------------------
+
+template <typename Writer>
+Status EncodePositionReportInto(const PositionReport& m, Writer* w) {
   if (m.message_type == 18) {
-    WriteHeader(&w, 18, m.repeat_indicator, m.mmsi);
-    w.WriteUnsigned(0, 8);  // regional reserved
-    w.WriteUnsigned(QuantizeSog(m.sog_knots), 10);
-    w.WriteUnsigned(m.position_accurate ? 1 : 0, 1);
-    w.WriteSigned(QuantizeLon(m.position.lon), 28);
-    w.WriteSigned(QuantizeLat(m.position.lat), 27);
-    w.WriteUnsigned(QuantizeCog(m.cog_deg), 12);
-    w.WriteUnsigned(static_cast<uint32_t>(m.true_heading), 9);
-    w.WriteUnsigned(static_cast<uint32_t>(m.utc_second), 6);
-    w.WriteUnsigned(0, 2);  // regional reserved
-    w.WriteUnsigned(0b11000, 5);  // CS unit, no display, no DSC
-    w.WriteUnsigned(0, 1);  // not assigned
-    w.WriteUnsigned(m.raim ? 1 : 0, 1);
-    w.WriteUnsigned(m.radio_status & 0xFFFFF, 20);
-    return w.bits();
+    WriteHeader(w, 18, m.repeat_indicator, m.mmsi);
+    w->WriteUnsigned(0, 8);  // regional reserved
+    w->WriteUnsigned(QuantizeSog(m.sog_knots), 10);
+    w->WriteUnsigned(m.position_accurate ? 1 : 0, 1);
+    w->WriteSigned(QuantizeLon(m.position.lon), 28);
+    w->WriteSigned(QuantizeLat(m.position.lat), 27);
+    w->WriteUnsigned(QuantizeCog(m.cog_deg), 12);
+    w->WriteUnsigned(static_cast<uint32_t>(m.true_heading), 9);
+    w->WriteUnsigned(static_cast<uint32_t>(m.utc_second), 6);
+    w->WriteUnsigned(0, 2);  // regional reserved
+    w->WriteUnsigned(0b11000, 5);  // CS unit, no display, no DSC
+    w->WriteUnsigned(0, 1);  // not assigned
+    w->WriteUnsigned(m.raim ? 1 : 0, 1);
+    w->WriteUnsigned(m.radio_status & 0xFFFFF, 20);
+    return Status::OK();
   }
   if (m.message_type < 1 || m.message_type > 3) {
     return Status::Invalid("position report type must be 1, 2, 3, or 18");
   }
-  WriteHeader(&w, m.message_type, m.repeat_indicator, m.mmsi);
-  w.WriteUnsigned(static_cast<uint32_t>(m.nav_status), 4);
-  w.WriteSigned(m.rate_of_turn, 8);
-  w.WriteUnsigned(QuantizeSog(m.sog_knots), 10);
-  w.WriteUnsigned(m.position_accurate ? 1 : 0, 1);
-  w.WriteSigned(QuantizeLon(m.position.lon), 28);
-  w.WriteSigned(QuantizeLat(m.position.lat), 27);
-  w.WriteUnsigned(QuantizeCog(m.cog_deg), 12);
-  w.WriteUnsigned(static_cast<uint32_t>(m.true_heading), 9);
-  w.WriteUnsigned(static_cast<uint32_t>(m.utc_second), 6);
-  w.WriteUnsigned(static_cast<uint32_t>(m.maneuver_indicator), 2);
-  w.WriteUnsigned(0, 3);  // spare
-  w.WriteUnsigned(m.raim ? 1 : 0, 1);
-  w.WriteUnsigned(m.radio_status & 0x7FFFF, 19);
+  WriteHeader(w, m.message_type, m.repeat_indicator, m.mmsi);
+  w->WriteUnsigned(static_cast<uint32_t>(m.nav_status), 4);
+  w->WriteSigned(m.rate_of_turn, 8);
+  w->WriteUnsigned(QuantizeSog(m.sog_knots), 10);
+  w->WriteUnsigned(m.position_accurate ? 1 : 0, 1);
+  w->WriteSigned(QuantizeLon(m.position.lon), 28);
+  w->WriteSigned(QuantizeLat(m.position.lat), 27);
+  w->WriteUnsigned(QuantizeCog(m.cog_deg), 12);
+  w->WriteUnsigned(static_cast<uint32_t>(m.true_heading), 9);
+  w->WriteUnsigned(static_cast<uint32_t>(m.utc_second), 6);
+  w->WriteUnsigned(static_cast<uint32_t>(m.maneuver_indicator), 2);
+  w->WriteUnsigned(0, 3);  // spare
+  w->WriteUnsigned(m.raim ? 1 : 0, 1);
+  w->WriteUnsigned(m.radio_status & 0x7FFFF, 19);
+  return Status::OK();
+}
+
+template <typename Writer>
+Status EncodeBaseStationReportInto(const BaseStationReport& m, Writer* w) {
+  WriteHeader(w, 4, m.repeat_indicator, m.mmsi);
+  w->WriteUnsigned(static_cast<uint32_t>(m.year), 14);
+  w->WriteUnsigned(static_cast<uint32_t>(m.month), 4);
+  w->WriteUnsigned(static_cast<uint32_t>(m.day), 5);
+  w->WriteUnsigned(static_cast<uint32_t>(m.hour), 5);
+  w->WriteUnsigned(static_cast<uint32_t>(m.minute), 6);
+  w->WriteUnsigned(static_cast<uint32_t>(m.second), 6);
+  w->WriteUnsigned(m.position_accurate ? 1 : 0, 1);
+  w->WriteSigned(QuantizeLon(m.position.lon), 28);
+  w->WriteSigned(QuantizeLat(m.position.lat), 27);
+  w->WriteUnsigned(static_cast<uint32_t>(m.epfd_type), 4);
+  w->WriteUnsigned(0, 10);  // spare
+  w->WriteUnsigned(m.raim ? 1 : 0, 1);
+  w->WriteUnsigned(m.radio_status & 0x7FFFF, 19);
+  return Status::OK();
+}
+
+template <typename Writer>
+Status EncodeStaticVoyageDataInto(const StaticVoyageData& m, Writer* w) {
+  WriteHeader(w, 5, m.repeat_indicator, m.mmsi);
+  w->WriteUnsigned(static_cast<uint32_t>(m.ais_version), 2);
+  w->WriteUnsigned(m.imo_number, 30);
+  w->WriteString(m.call_sign, 7);
+  w->WriteString(m.name, 20);
+  w->WriteUnsigned(static_cast<uint32_t>(m.ship_type), 8);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_bow_m), 9);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_stern_m), 9);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_port_m), 6);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_starboard_m), 6);
+  w->WriteUnsigned(static_cast<uint32_t>(m.epfd_type), 4);
+  w->WriteUnsigned(static_cast<uint32_t>(m.eta_month), 4);
+  w->WriteUnsigned(static_cast<uint32_t>(m.eta_day), 5);
+  w->WriteUnsigned(static_cast<uint32_t>(m.eta_hour), 5);
+  w->WriteUnsigned(static_cast<uint32_t>(m.eta_minute), 6);
+  w->WriteUnsigned(
+      static_cast<uint32_t>(std::clamp(std::lround(m.draught_m * 10), 0l, 255l)),
+      8);
+  w->WriteString(m.destination, 20);
+  w->WriteUnsigned(m.dte ? 0 : 1, 1);  // wire: 0 = DTE available
+  w->WriteUnsigned(0, 1);              // spare
+  return Status::OK();
+}
+
+template <typename Writer>
+Status EncodeExtendedClassBInto(const ExtendedClassBReport& m, Writer* w) {
+  const PositionReport& p = m.position_report;
+  WriteHeader(w, 19, p.repeat_indicator, p.mmsi);
+  w->WriteUnsigned(0, 8);  // regional reserved
+  w->WriteUnsigned(QuantizeSog(p.sog_knots), 10);
+  w->WriteUnsigned(p.position_accurate ? 1 : 0, 1);
+  w->WriteSigned(QuantizeLon(p.position.lon), 28);
+  w->WriteSigned(QuantizeLat(p.position.lat), 27);
+  w->WriteUnsigned(QuantizeCog(p.cog_deg), 12);
+  w->WriteUnsigned(static_cast<uint32_t>(p.true_heading), 9);
+  w->WriteUnsigned(static_cast<uint32_t>(p.utc_second), 6);
+  w->WriteUnsigned(0, 4);  // regional reserved
+  w->WriteString(m.name, 20);
+  w->WriteUnsigned(static_cast<uint32_t>(m.ship_type), 8);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_bow_m), 9);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_stern_m), 9);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_port_m), 6);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_starboard_m), 6);
+  w->WriteUnsigned(static_cast<uint32_t>(m.epfd_type), 4);
+  w->WriteUnsigned(0, 1);  // raim
+  w->WriteUnsigned(m.dte ? 0 : 1, 1);
+  w->WriteUnsigned(0, 1);  // assigned-mode flag
+  w->WriteUnsigned(0, 4);  // spare
+  return Status::OK();
+}
+
+template <typename Writer>
+Status EncodeStaticDataReportInto(const StaticDataReport& m, Writer* w) {
+  WriteHeader(w, 24, m.repeat_indicator, m.mmsi);
+  w->WriteUnsigned(static_cast<uint32_t>(m.part_number), 2);
+  if (m.part_number == 0) {
+    w->WriteString(m.name, 20);
+    return Status::OK();
+  }
+  if (m.part_number != 1) {
+    return Status::Invalid("type 24 part number must be 0 or 1");
+  }
+  w->WriteUnsigned(static_cast<uint32_t>(m.ship_type), 8);
+  w->WriteString(m.vendor_id, 3);
+  w->WriteUnsigned(0, 4);   // unit model code
+  w->WriteUnsigned(0, 20);  // serial number
+  w->WriteString(m.call_sign, 7);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_bow_m), 9);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_stern_m), 9);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_port_m), 6);
+  w->WriteUnsigned(static_cast<uint32_t>(m.dim_to_starboard_m), 6);
+  w->WriteUnsigned(0, 6);  // spare
+  return Status::OK();
+}
+
+template <typename Writer>
+Status EncodeMessageInto(const AisMessage& msg, Writer* w) {
+  return std::visit(
+      [w](const auto& m) -> Status {
+        using T = std::decay_t<decltype(m)>;
+        if constexpr (std::is_same_v<T, PositionReport>) {
+          return EncodePositionReportInto(m, w);
+        } else if constexpr (std::is_same_v<T, BaseStationReport>) {
+          return EncodeBaseStationReportInto(m, w);
+        } else if constexpr (std::is_same_v<T, StaticVoyageData>) {
+          return EncodeStaticVoyageDataInto(m, w);
+        } else if constexpr (std::is_same_v<T, ExtendedClassBReport>) {
+          return EncodeExtendedClassBInto(m, w);
+        } else {
+          return EncodeStaticDataReportInto(m, w);
+        }
+      },
+      msg);
+}
+
+}  // namespace
+
+Result<AisMessage> DecodeMessageBits(const PackedBits& bits) {
+  if (bits.size_bits() < 38) {
+    return Status::Corruption("AIS payload shorter than common header");
+  }
+  PackedBitReader r(bits);
+  return DecodeWithReader(&r);
+}
+
+Result<AisMessage> DecodeMessageBits(const std::vector<uint8_t>& bits) {
+  if (bits.size() < 38) {
+    return Status::Corruption("AIS payload shorter than common header");
+  }
+  BitReader r(bits);
+  return DecodeWithReader(&r);
+}
+
+Result<PackedBits> EncodeMessagePacked(const AisMessage& msg) {
+  PackedBitWriter w;
+  MARLIN_RETURN_NOT_OK(EncodeMessageInto(msg, &w));
+  return std::move(w).TakeBits();
+}
+
+Result<std::vector<uint8_t>> EncodePositionReport(const PositionReport& m) {
+  BitWriter w;
+  MARLIN_RETURN_NOT_OK(EncodePositionReportInto(m, &w));
   return w.bits();
 }
 
 Result<std::vector<uint8_t>> EncodeBaseStationReport(
     const BaseStationReport& m) {
   BitWriter w;
-  WriteHeader(&w, 4, m.repeat_indicator, m.mmsi);
-  w.WriteUnsigned(static_cast<uint32_t>(m.year), 14);
-  w.WriteUnsigned(static_cast<uint32_t>(m.month), 4);
-  w.WriteUnsigned(static_cast<uint32_t>(m.day), 5);
-  w.WriteUnsigned(static_cast<uint32_t>(m.hour), 5);
-  w.WriteUnsigned(static_cast<uint32_t>(m.minute), 6);
-  w.WriteUnsigned(static_cast<uint32_t>(m.second), 6);
-  w.WriteUnsigned(m.position_accurate ? 1 : 0, 1);
-  w.WriteSigned(QuantizeLon(m.position.lon), 28);
-  w.WriteSigned(QuantizeLat(m.position.lat), 27);
-  w.WriteUnsigned(static_cast<uint32_t>(m.epfd_type), 4);
-  w.WriteUnsigned(0, 10);  // spare
-  w.WriteUnsigned(m.raim ? 1 : 0, 1);
-  w.WriteUnsigned(m.radio_status & 0x7FFFF, 19);
+  MARLIN_RETURN_NOT_OK(EncodeBaseStationReportInto(m, &w));
   return w.bits();
 }
 
 Result<std::vector<uint8_t>> EncodeStaticVoyageData(const StaticVoyageData& m) {
   BitWriter w;
-  WriteHeader(&w, 5, m.repeat_indicator, m.mmsi);
-  w.WriteUnsigned(static_cast<uint32_t>(m.ais_version), 2);
-  w.WriteUnsigned(m.imo_number, 30);
-  w.WriteString(m.call_sign, 7);
-  w.WriteString(m.name, 20);
-  w.WriteUnsigned(static_cast<uint32_t>(m.ship_type), 8);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_bow_m), 9);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_stern_m), 9);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_port_m), 6);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_starboard_m), 6);
-  w.WriteUnsigned(static_cast<uint32_t>(m.epfd_type), 4);
-  w.WriteUnsigned(static_cast<uint32_t>(m.eta_month), 4);
-  w.WriteUnsigned(static_cast<uint32_t>(m.eta_day), 5);
-  w.WriteUnsigned(static_cast<uint32_t>(m.eta_hour), 5);
-  w.WriteUnsigned(static_cast<uint32_t>(m.eta_minute), 6);
-  w.WriteUnsigned(
-      static_cast<uint32_t>(std::clamp(std::lround(m.draught_m * 10), 0l, 255l)),
-      8);
-  w.WriteString(m.destination, 20);
-  w.WriteUnsigned(m.dte ? 0 : 1, 1);  // wire: 0 = DTE available
-  w.WriteUnsigned(0, 1);              // spare
+  MARLIN_RETURN_NOT_OK(EncodeStaticVoyageDataInto(m, &w));
   return w.bits();
 }
 
 Result<std::vector<uint8_t>> EncodeExtendedClassB(
     const ExtendedClassBReport& m) {
-  const PositionReport& p = m.position_report;
   BitWriter w;
-  WriteHeader(&w, 19, p.repeat_indicator, p.mmsi);
-  w.WriteUnsigned(0, 8);  // regional reserved
-  w.WriteUnsigned(QuantizeSog(p.sog_knots), 10);
-  w.WriteUnsigned(p.position_accurate ? 1 : 0, 1);
-  w.WriteSigned(QuantizeLon(p.position.lon), 28);
-  w.WriteSigned(QuantizeLat(p.position.lat), 27);
-  w.WriteUnsigned(QuantizeCog(p.cog_deg), 12);
-  w.WriteUnsigned(static_cast<uint32_t>(p.true_heading), 9);
-  w.WriteUnsigned(static_cast<uint32_t>(p.utc_second), 6);
-  w.WriteUnsigned(0, 4);  // regional reserved
-  w.WriteString(m.name, 20);
-  w.WriteUnsigned(static_cast<uint32_t>(m.ship_type), 8);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_bow_m), 9);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_stern_m), 9);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_port_m), 6);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_starboard_m), 6);
-  w.WriteUnsigned(static_cast<uint32_t>(m.epfd_type), 4);
-  w.WriteUnsigned(0, 1);  // raim
-  w.WriteUnsigned(m.dte ? 0 : 1, 1);
-  w.WriteUnsigned(0, 1);  // assigned-mode flag
-  w.WriteUnsigned(0, 4);  // spare
+  MARLIN_RETURN_NOT_OK(EncodeExtendedClassBInto(m, &w));
   return w.bits();
 }
 
 Result<std::vector<uint8_t>> EncodeStaticDataReport(const StaticDataReport& m) {
   BitWriter w;
-  WriteHeader(&w, 24, m.repeat_indicator, m.mmsi);
-  w.WriteUnsigned(static_cast<uint32_t>(m.part_number), 2);
-  if (m.part_number == 0) {
-    w.WriteString(m.name, 20);
-    return w.bits();
-  }
-  if (m.part_number != 1) {
-    return Status::Invalid("type 24 part number must be 0 or 1");
-  }
-  w.WriteUnsigned(static_cast<uint32_t>(m.ship_type), 8);
-  w.WriteString(m.vendor_id, 3);
-  w.WriteUnsigned(0, 4);   // unit model code
-  w.WriteUnsigned(0, 20);  // serial number
-  w.WriteString(m.call_sign, 7);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_bow_m), 9);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_stern_m), 9);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_port_m), 6);
-  w.WriteUnsigned(static_cast<uint32_t>(m.dim_to_starboard_m), 6);
-  w.WriteUnsigned(0, 6);  // spare
+  MARLIN_RETURN_NOT_OK(EncodeStaticDataReportInto(m, &w));
   return w.bits();
 }
 
 Result<std::vector<uint8_t>> EncodeMessageBits(const AisMessage& msg) {
-  struct Visitor {
-    Result<std::vector<uint8_t>> operator()(const PositionReport& m) const {
-      return EncodePositionReport(m);
-    }
-    Result<std::vector<uint8_t>> operator()(const BaseStationReport& m) const {
-      return EncodeBaseStationReport(m);
-    }
-    Result<std::vector<uint8_t>> operator()(const StaticVoyageData& m) const {
-      return EncodeStaticVoyageData(m);
-    }
-    Result<std::vector<uint8_t>> operator()(
-        const ExtendedClassBReport& m) const {
-      return EncodeExtendedClassB(m);
-    }
-    Result<std::vector<uint8_t>> operator()(const StaticDataReport& m) const {
-      return EncodeStaticDataReport(m);
-    }
-  };
-  return std::visit(Visitor{}, msg);
+  BitWriter w;
+  MARLIN_RETURN_NOT_OK(EncodeMessageInto(msg, &w));
+  return w.bits();
 }
 
 }  // namespace marlin

@@ -1,8 +1,44 @@
 #include "ais/sixbit.h"
 
-#include <cctype>
+#include <bit>
+#include <cstring>
 
 namespace marlin {
+namespace {
+
+/// Shared armor-character validation for the untouched-or-complete contract:
+/// both de-armor representations validate the whole payload *before* the
+/// first write, so a corrupt payload can never leave a partially overwritten
+/// buffer. Valid armor characters are exactly the range 48..119 under the
+/// lenient (+48 / skip-8) rule the armoring uses.
+Status ValidateArmor(std::string_view payload, int fill_bits) {
+  if (fill_bits < 0 || fill_bits > 5) {
+    return Status::Invalid("fill bits must be 0..5");
+  }
+  // Branchless accumulate (auto-vectorizes): one test after the scan instead
+  // of a conditional per character.
+  unsigned bad = 0;
+  for (const char c : payload) {
+    bad |= (static_cast<unsigned char>(c) - 48u) > 71u;
+  }
+  if (bad != 0) {
+    return Status::Corruption("invalid armoring character in AIS payload");
+  }
+  if (static_cast<int>(payload.size()) * 6 < fill_bits) {
+    return Status::Corruption("payload shorter than fill bits");
+  }
+  return Status::OK();
+}
+
+/// De-armors one payload character to its 6-bit value. Precondition: `c`
+/// passed `ValidateArmor`.
+inline uint32_t ArmorCharToSixBits(char c) {
+  uint32_t v = static_cast<unsigned char>(c) - 48u;
+  if (v > 40u) v -= 8u;
+  return v;
+}
+
+}  // namespace
 
 void BitWriter::WriteUnsigned(uint32_t value, int width) {
   for (int i = width - 1; i >= 0; --i) {
@@ -91,22 +127,37 @@ std::string ArmorBits(const std::vector<uint8_t>& bits, int* fill_bits) {
   return payload;
 }
 
+std::string ArmorBits(const PackedBits& bits, int* fill_bits) {
+  std::string payload;
+  const int n = bits.size_bits();
+  const int groups = (n + 5) / 6;
+  payload.reserve(groups);
+  for (int g = 0; g < groups; ++g) {
+    uint32_t v = 0;
+    for (int b = 0; b < 6; ++b) {
+      const int idx = g * 6 + b;
+      // Bits past size are the zero fill (tail-zero invariant would also
+      // allow reading the word directly, but `idx < n` keeps this safe when
+      // the last group starts beyond the final word).
+      v = (v << 1) | (idx < n && bits.GetBit(idx) ? 1u : 0u);
+    }
+    char c = static_cast<char>(v + 48);
+    if (v > 39) c = static_cast<char>(v + 56);
+    payload.push_back(c);
+  }
+  if (fill_bits != nullptr) *fill_bits = groups * 6 - n;
+  return payload;
+}
+
 Status UnarmorPayloadInto(std::string_view payload, int fill_bits,
                           std::vector<uint8_t>* bits) {
-  if (fill_bits < 0 || fill_bits > 5) {
-    return Status::Invalid("fill bits must be 0..5");
-  }
+  MARLIN_RETURN_NOT_OK(ValidateArmor(payload, fill_bits));
   // resize() alone (no clear()) avoids re-zeroing the whole buffer per
   // line — every slot up to the new size is overwritten below.
   bits->resize(payload.size() * 6);
   uint8_t* out = bits->data();
-  for (char c : payload) {
-    int v = static_cast<unsigned char>(c) - 48;
-    if (v > 40) v -= 8;
-    if (v < 0 || v > 63) {
-      bits->clear();
-      return Status::Corruption("invalid armoring character in AIS payload");
-    }
+  for (const char c : payload) {
+    const uint32_t v = ArmorCharToSixBits(c);
     out[0] = static_cast<uint8_t>((v >> 5) & 1);
     out[1] = static_cast<uint8_t>((v >> 4) & 1);
     out[2] = static_cast<uint8_t>((v >> 3) & 1);
@@ -115,11 +166,54 @@ Status UnarmorPayloadInto(std::string_view payload, int fill_bits,
     out[5] = static_cast<uint8_t>(v & 1);
     out += 6;
   }
-  if (static_cast<int>(bits->size()) < fill_bits) {
-    bits->clear();
-    return Status::Corruption("payload shorter than fill bits");
-  }
   bits->resize(bits->size() - fill_bits);
+  return Status::OK();
+}
+
+Status UnarmorPayloadInto(std::string_view payload, int fill_bits,
+                          PackedBits* bits) {
+  MARLIN_RETURN_NOT_OK(ValidateArmor(payload, fill_bits));
+  bits->Clear();
+  bits->ReserveBits(payload.size() * 6);
+  size_t i = 0;
+  if constexpr (std::endian::native == std::endian::little) {
+    // SWAR block: de-armor eight characters per step. Each byte is already
+    // validated to be in 48..119, so per-byte arithmetic cannot borrow or
+    // carry across lanes.
+    for (; i + 8 <= payload.size(); i += 8) {
+      uint64_t x;
+      std::memcpy(&x, payload.data() + i, 8);
+      // Armor -> 6-bit value per byte: subtract 48, and 8 more where the
+      // byte is >= 89 (the post-'W' armor range).
+      const uint64_t ge89 =
+          ((x + 0x2727272727272727ull) & 0x8080808080808080ull) >> 7;
+      x = x - 0x3030303030303030ull - (ge89 << 3);
+      // Gather the eight 6-bit values MSB-first into 48 bits (pair, quad,
+      // then halves — the classic base64 bit-merge).
+      const uint64_t m6 = 0x003F003F003F003Full;
+      const uint64_t pairs = ((x & m6) << 6) | ((x >> 8) & m6);
+      const uint64_t m12 = 0x00000FFF00000FFFull;
+      const uint64_t quads = ((pairs & m12) << 12) | ((pairs >> 16) & m12);
+      const uint64_t v =
+          ((quads & 0xFFFFFFull) << 24) | ((quads >> 32) & 0xFFFFFFull);
+      bits->AppendBits(v, 48);
+    }
+  }
+  // Tail (and the full payload on big-endian hosts): batch characters into
+  // a 60-bit accumulator so appends stay word-granular.
+  uint64_t acc = 0;
+  int acc_bits = 0;
+  for (; i < payload.size(); ++i) {
+    acc = (acc << 6) | ArmorCharToSixBits(payload[i]);
+    acc_bits += 6;
+    if (acc_bits == 60) {
+      bits->AppendBits(acc, 60);
+      acc = 0;
+      acc_bits = 0;
+    }
+  }
+  if (acc_bits != 0) bits->AppendBits(acc, acc_bits);
+  bits->Truncate(bits->size_bits() - fill_bits);
   return Status::OK();
 }
 
@@ -129,20 +223,6 @@ Result<std::vector<uint8_t>> UnarmorPayload(std::string_view payload,
   Status st = UnarmorPayloadInto(payload, fill_bits, &bits);
   if (!st.ok()) return st;
   return bits;
-}
-
-char SixBitToChar(uint32_t v) {
-  v &= 0x3F;
-  // 0..31 -> '@','A'..'Z','[','\',']','^','_' ; 32..63 -> ' '..'?'
-  return v < 32 ? static_cast<char>(v + 64) : static_cast<char>(v);
-}
-
-uint32_t CharToSixBit(char c) {
-  const unsigned char u =
-      static_cast<unsigned char>(std::toupper(static_cast<unsigned char>(c)));
-  if (u >= 64 && u < 96) return u - 64;  // '@'..'_'
-  if (u >= 32 && u < 64) return u;       // ' '..'?'
-  return 0;                              // outside alphabet -> '@'
 }
 
 }  // namespace marlin

@@ -5,22 +5,38 @@
 /// \brief Bit-level packing for ITU-R M.1371 AIS payloads.
 ///
 /// AIS messages are dense bitfields transported as 6-bit-armored ASCII in
-/// NMEA AIVDM sentences. `BitWriter`/`BitReader` handle arbitrary-width
-/// big-endian fields, two's-complement signed fields, and the AIS 6-bit
-/// string alphabet; the armoring functions convert between raw bits and the
-/// ASCII payload characters.
+/// NMEA AIVDM sentences. Two bit representations exist side by side:
+///
+///  * the **packed** form (`PackedBits` in `common/packed_bits.h`, 64-bit
+///    words, MSB-first) used by the decode/encode hot path — de-armoring
+///    lands six bits at a time directly into words and field extraction is
+///    shift/mask;
+///  * the **byte-per-bit** form (`BitWriter`/`BitReader` over a
+///    `std::vector<uint8_t>` of 0/1) — the pre-packing implementation, kept
+///    verbatim as the frozen reference the differential suites
+///    (tests/packed_bits_test.cc, tests/decode_equivalence_test.cc) decode
+///    against. New call sites should use the packed form.
+///
+/// Both `UnarmorPayloadInto` overloads share one error contract:
+/// **untouched-or-complete** — on any failure (bad fill-bit count, illegal
+/// armor character, payload shorter than its fill bits) the output buffer is
+/// left exactly as the caller passed it; on success it holds exactly the
+/// de-armored bits. Callers may therefore keep a pooled scratch buffer and
+/// never observe a partially overwritten state.
 
 #include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/packed_bits.h"
 #include "common/result.h"
 #include "common/status.h"
 
 namespace marlin {
 
-/// \brief Append-only big-endian bit stream builder.
+/// \brief Append-only big-endian bit stream builder (byte-per-bit frozen
+/// reference; hot paths use `PackedBitWriter`).
 class BitWriter {
  public:
   /// \brief Appends the low `width` bits of `value`, MSB first. Width 1..32.
@@ -43,7 +59,8 @@ class BitWriter {
   std::vector<uint8_t> bits_;
 };
 
-/// \brief Sequential big-endian bit stream reader with bounds checking.
+/// \brief Sequential big-endian bit stream reader with bounds checking
+/// (byte-per-bit frozen reference; hot paths use `PackedBitReader`).
 class BitReader {
  public:
   explicit BitReader(const std::vector<uint8_t>& bits) : bits_(bits) {}
@@ -74,23 +91,30 @@ class BitReader {
 /// a 6-bit boundary.
 std::string ArmorBits(const std::vector<uint8_t>& bits, int* fill_bits);
 
+/// \brief Packed-word armoring; produces the identical payload string and
+/// fill count as the byte-per-bit overload for the same bit stream.
+std::string ArmorBits(const PackedBits& bits, int* fill_bits);
+
 /// \brief Converts an AIVDM payload back to raw bits; `fill_bits` trailing
 /// bits are dropped. Fails on characters outside the armoring alphabet.
 Result<std::vector<uint8_t>> UnarmorPayload(std::string_view payload,
                                             int fill_bits);
 
-/// \brief Allocation-free de-armoring for the decode hot path: clears and
-/// refills `*bits` (capacity is retained across calls, so a caller-owned
-/// scratch vector makes the steady state heap-silent).
+/// \brief Allocation-free de-armoring for the decode hot path (byte-per-bit
+/// form): refills `*bits` (capacity is retained across calls, so a
+/// caller-owned scratch vector makes the steady state heap-silent).
+/// Untouched-or-complete: on any error `*bits` is left exactly as passed.
 Status UnarmorPayloadInto(std::string_view payload, int fill_bits,
                           std::vector<uint8_t>* bits);
 
-/// \brief Maps a 6-bit value (0..63) to the AIS string alphabet character.
-char SixBitToChar(uint32_t v);
-
-/// \brief Maps an AIS text character to its 6-bit value; returns 0 ('@') for
-/// characters outside the alphabet.
-uint32_t CharToSixBit(char c);
+/// \brief Packed-word de-armoring for the decode hot path: lands six bits
+/// per payload character directly into 64-bit words. Produces the identical
+/// bit stream (and identical error statuses) as the byte-per-bit overload.
+/// Untouched-or-complete: on any error `*bits` is left exactly as passed;
+/// on success `*bits` is cleared and refilled (word capacity retained, so a
+/// pooled scratch keeps the steady state allocation-free).
+Status UnarmorPayloadInto(std::string_view payload, int fill_bits,
+                          PackedBits* bits);
 
 }  // namespace marlin
 

@@ -1,13 +1,18 @@
 // Decode-equivalence suite (CTest label: equivalence).
 //
 // PR 4 rebuilt the NMEA parse/de-armor inner loop to be zero-copy and
-// steady-state allocation-free. This suite pins the new path to the exact
-// behaviour of the pre-refactor parser: the `ref` namespace below is a
-// frozen copy of the old string-allocating implementation, and every test
-// replays a corpus (valid, truncated, bad-checksum, multi-fragment,
-// TAG-blocked, garbage) through both, asserting byte-identical sentences,
-// decoded messages, and counters. A final test asserts the allocation-free
-// claim itself through the heap probe.
+// steady-state allocation-free; PR 5 moved the bit layer onto 64-bit packed
+// words (`PackedBits`, common/packed_bits.h). This suite pins the production
+// path to the exact behaviour of the pre-refactor decoder: the `ref`
+// namespace below is a frozen copy of the old string-allocating parser, and
+// its decode half runs the frozen byte-per-bit bit layer (`UnarmorPayload`
+// over a `std::vector<uint8_t>` of 0/1 plus the `BitReader` extraction) —
+// so every stream test here is also the packed-vs-byte differential: each
+// corpus (valid, truncated, bad-checksum, multi-fragment, TAG-blocked,
+// garbage, plus the scenario sweep) replays through both, asserting
+// byte-identical sentences, decoded messages, and counters. The final tests
+// assert the allocation-free claim itself through the heap probe, for the
+// full per-line loop and for the packed unarmor+decode layer in isolation.
 
 #include <cstdint>
 #include <map>
@@ -498,6 +503,52 @@ TEST(DecodeEquivalenceTest, StreamMatchesReferenceOnScenarioCorpus) {
   ExpectStreamEquivalence(corpus);
 }
 
+TEST(DecodeEquivalenceTest, StreamMatchesReferenceOnScenarioSweep) {
+  // Packed-path cases across scenario shapes: a dense mixed feed (loiter +
+  // rendezvous + spoofers), a satellite-dominated feed (deep delays, heavy
+  // loss), and a fishing-heavy feed (many type-18/19 Class-B emitters) —
+  // each replayed through the packed production decoder and the frozen
+  // byte-per-bit reference.
+  World world = World::Basin();
+  std::vector<ScenarioConfig> sweep;
+  {
+    ScenarioConfig dense;
+    dense.seed = 23;
+    dense.duration = 20 * kMillisPerMinute;
+    dense.transit_vessels = 20;
+    dense.fishing_vessels = 6;
+    dense.loiter_vessels = 3;
+    dense.rendezvous_pairs = 2;
+    dense.spoof_identity_vessels = 1;
+    dense.spoof_teleport_vessels = 1;
+    sweep.push_back(dense);
+  }
+  {
+    ScenarioConfig satellite;
+    satellite.seed = 29;
+    satellite.duration = 25 * kMillisPerMinute;
+    satellite.transit_vessels = 10;
+    satellite.fishing_vessels = 2;
+    satellite.dark_vessels = 2;
+    sweep.push_back(satellite);
+  }
+  {
+    ScenarioConfig fishing;
+    fishing.seed = 31;
+    fishing.duration = 20 * kMillisPerMinute;
+    fishing.transit_vessels = 4;
+    fishing.fishing_vessels = 14;
+    sweep.push_back(fishing);
+  }
+  for (const ScenarioConfig& config : sweep) {
+    const ScenarioOutput scenario = GenerateScenario(world, config);
+    std::vector<std::string> corpus;
+    corpus.reserve(scenario.nmea.size());
+    for (const auto& ev : scenario.nmea) corpus.push_back(ev.payload);
+    ExpectStreamEquivalence(corpus);
+  }
+}
+
 TEST(DecodeEquivalenceTest, SteadyStateDecodeIsAllocationFree) {
   const std::vector<std::string> corpus = ValidSingleFragmentCorpus();
   AisDecoder decoder;
@@ -518,6 +569,48 @@ TEST(DecodeEquivalenceTest, SteadyStateDecodeIsAllocationFree) {
   EXPECT_EQ(messages, corpus.size());
   EXPECT_EQ(allocations, 0u)
       << "steady-state parse/de-armor loop must not touch the heap";
+}
+
+TEST(DecodeEquivalenceTest, PackedDecodeLayerIsAllocationFreePerLine) {
+  // The packed bit layer in isolation: de-armor into a pooled PackedBits
+  // scratch plus packed DecodeMessageBits must perform exactly zero heap
+  // allocations per steady-state line (position reports carry no strings).
+  std::vector<std::pair<std::string, int>> payloads;
+  {
+    AisEncoder encoder;
+    AivdmAssembler assembler;
+    for (int i = 0; i < 600; ++i) {
+      const auto enc = encoder.Encode(AisMessage(MakePosition(i)));
+      ASSERT_TRUE(enc.ok());
+      for (const std::string& line : *enc) {
+        const ParsedLine parsed = AisDecoder::Parse(line, 0);
+        ASSERT_TRUE(parsed.ok);
+        const auto assembled = assembler.Add(parsed.sentence, 0);
+        ASSERT_TRUE(assembled.ok() && assembled->has_value());
+        payloads.emplace_back(std::string((*assembled)->payload),
+                              (*assembled)->fill_bits);
+      }
+    }
+  }
+  PackedBits scratch;
+  // Warmup: grows the scratch's word capacity to the corpus maximum.
+  for (const auto& [payload, fill] : payloads) {
+    ASSERT_TRUE(UnarmorPayloadInto(payload, fill, &scratch).ok());
+    ASSERT_TRUE(DecodeMessageBits(scratch).ok());
+  }
+
+  const uint64_t before = AllocProbe::ThreadCount();
+  uint64_t decoded = 0;
+  for (const auto& [payload, fill] : payloads) {
+    if (!UnarmorPayloadInto(payload, fill, &scratch).ok()) continue;
+    if (DecodeMessageBits(scratch).ok()) ++decoded;
+  }
+  const uint64_t allocations = AllocProbe::ThreadCount() - before;
+  EXPECT_EQ(decoded, payloads.size());
+  EXPECT_EQ(allocations, 0u)
+      << "packed unarmor+decode must not touch the heap at steady state "
+      << "(allocs/line = "
+      << static_cast<double>(allocations) / payloads.size() << ")";
 }
 
 }  // namespace

@@ -8,6 +8,12 @@ recording machine and CI runners while still catching the failure mode
 this guards against: an accidental re-introduction of per-line
 allocation/copying into the decode hot path, which costs well over 2x.
 
+The gate tracks the *packed* arm of the packed-vs-byte axis
+(BM_DecodeMicro/packed:1) — the production bit-packed decode path. Older
+baselines that predate the axis expose a single unsuffixed BM_DecodeMicro
+entry, which is accepted as a fallback so the gate stays comparable across
+the transition.
+
 Usage:
   check_bench_regression.py <baseline.json> <current.json> [min_ratio]
 
@@ -23,11 +29,16 @@ import sys
 def decode_lines_per_s(path):
     with open(path) as f:
         data = json.load(f)
+    fallback = None
     for bench in data.get("benchmarks", []):
-        if bench.get("name", "").startswith("BM_DecodeMicro") and \
-                "lines_per_s" in bench:
+        name = bench.get("name", "")
+        if not name.startswith("BM_DecodeMicro") or "lines_per_s" not in bench:
+            continue
+        if "packed:1" in name:
             return float(bench["lines_per_s"])
-    return None
+        if "packed:0" not in name and fallback is None:
+            fallback = float(bench["lines_per_s"])
+    return fallback
 
 
 def main(argv):
