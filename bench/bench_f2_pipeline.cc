@@ -24,6 +24,7 @@
 #include "context/weather.h"
 #include "core/pipeline.h"
 #include "core/sharded_pipeline.h"
+#include "stream/channel.h"
 #include "va/situation.h"
 
 // Heap probe for the allocations/line axis of the decode microbench: this
@@ -216,7 +217,50 @@ void BM_FullArchitecture(benchmark::State& state) {
 }
 BENCHMARK(BM_FullArchitecture)->Unit(benchmark::kMillisecond);
 
-// The tentpole scaling axis: the same architecture across 1..N MMSI shards.
+// The isolated hand-off cost of one inter-stage hop: push `batch` items
+// through a StageChannel and pop them back, single-threaded. Running both
+// sides on one thread measures the *uncontended* per-item fabric cost —
+// exactly the price every window hand-off pays before any cross-core
+// effects — and is reproducible on single-core CI hosts where a two-thread
+// arrangement would measure the scheduler instead. The spsc:1 arm is the
+// lock-free ring (atomic store per publish, zero notifies when nobody
+// waits); spsc:0 is the mutex+condvar reference arm (two lock acquisitions
+// per cycle minimum). CI gates the spsc:1 arm's items_per_s against the
+// committed baseline (tools/check_bench_regression.py).
+void BM_QueueHop(benchmark::State& state) {
+  const bool spsc = state.range(0) != 0;
+  const size_t batch = static_cast<size_t>(state.range(1));
+  StageChannel<uint64_t> channel(
+      spsc ? QueueFabric::kSpscRing : QueueFabric::kMutex, /*capacity=*/256);
+  std::vector<uint64_t> out;
+  out.reserve(batch);
+  uint64_t items = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) channel.Push(i);
+    out.clear();
+    size_t got = 0;
+    while (got < batch) got += channel.PopBatch(&out, batch - got);
+    benchmark::DoNotOptimize(out.data());
+    items += batch;
+  }
+  state.counters["items_per_s"] = benchmark::Counter(
+      static_cast<double>(items), benchmark::Counter::kIsRate);
+  state.counters["notifies"] =
+      static_cast<double>(channel.stats().notifies);
+}
+BENCHMARK(BM_QueueHop)
+    ->ArgNames({"spsc", "batch"})
+    ->Args({1, 1})
+    ->Args({0, 1})
+    ->Args({1, 16})
+    ->Args({0, 16})
+    ->Args({1, 64})
+    ->Args({0, 64})
+    ->Unit(benchmark::kMicrosecond);
+
+// The tentpole scaling axis: the same architecture across 1..N MMSI shards,
+// on either hand-off fabric (fabric:1 = lock-free SPSC rings, fabric:0 =
+// the mutex reference arm — identical output, different hop cost).
 // Near-linear growth of lines_per_s demonstrates that every stateful stage
 // partitions cleanly by vessel (AISdb-style partitioning, arXiv:2407.08082).
 void BM_ShardedArchitecture(benchmark::State& state) {
@@ -226,9 +270,11 @@ void BM_ShardedArchitecture(benchmark::State& state) {
   uint64_t events_out = 0;
   uint64_t lines = 0;
   for (auto _ : state) {
+    PipelineConfig config;
+    config.lock_free_fabric = state.range(1) != 0;
     ShardedPipeline::Options opts;
     opts.num_shards = static_cast<size_t>(state.range(0));
-    ShardedPipeline pipeline(PipelineConfig{}, opts, &world.zones(), &weather,
+    ShardedPipeline pipeline(config, opts, &world.zones(), &weather,
                              nullptr, nullptr);
     const auto events = pipeline.Run(scenario.nmea);
     events_out = events.size();
@@ -240,10 +286,13 @@ void BM_ShardedArchitecture(benchmark::State& state) {
       static_cast<double>(lines), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_ShardedArchitecture)
-    ->Arg(1)
-    ->Arg(2)
-    ->Arg(4)
-    ->Arg(8)
+    ->ArgNames({"shards", "fabric"})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({4, 1})
+    ->Args({8, 1})
+    ->Args({2, 0})
+    ->Args({4, 0})
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

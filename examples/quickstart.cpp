@@ -45,12 +45,12 @@ int main() {
   pipeline_config.enriched_output_capacity = 1u << 17;  // drain at the end
   // The vessel-pair rules (rendezvous, collision risk) also run in
   // parallel, sharded across grid cells — same event stream, byte for byte.
-  // Floor of 2 so the grid engages even on single-core demo hosts.
+  // 0 = size the pool to the host topology; floor of 2 so the grid engages
+  // even on single-core demo hosts.
   pipeline_config.pair_threads =
-      std::max(2u, std::thread::hardware_concurrency());
+      std::max<size_t>(2, ResolveTopologyCount(0));
   ShardedPipeline::Options shard_options;
-  shard_options.num_shards =
-      std::max(1u, std::thread::hardware_concurrency());
+  shard_options.num_shards = 0;  // 0 = one shard per hardware thread
   ShardedPipeline pipeline(pipeline_config, shard_options, &world.zones(),
                            &weather, /*registry_a=*/nullptr,
                            /*registry_b=*/nullptr);
@@ -91,6 +91,23 @@ int main() {
               static_cast<unsigned long long>(m.pair_stage.windows),
               m.pair_stage.MeanCellsPerWindow(),
               100.0 * m.pair_stage.max_cell_share);
+
+  // Per-hop hand-off health: how deep each stage's channel backed up, how
+  // often a side had to wait, and how many items each consumer wake-up
+  // carried (the lock-free fabric moves work in batches, not item-by-item).
+  const auto print_hop = [](const char* name, const QueueHopStats& hop) {
+    std::printf("  %-20s : %llu items, depth high-water %zu, "
+                "waits %llu/%llu, %.1f items/batch\n",
+                name, static_cast<unsigned long long>(hop.popped),
+                hop.depth_high_water,
+                static_cast<unsigned long long>(hop.push_waits),
+                static_cast<unsigned long long>(hop.pop_waits),
+                hop.MeanBatch());
+  };
+  std::printf("\nqueue hops (lock-free SPSC fabric)\n");
+  print_hop("coord -> shard", m.shard_hop);
+  print_hop("pair -> cell worker", m.pair_hop);
+  print_hop("shard -> enrichment", m.enrichment_stage.hop);
 
   // 5. The enriched output stream (paper §2.2): each clean point joined
   //    with the zones it crosses and the weather at its position/time.

@@ -1,0 +1,79 @@
+#ifndef MARLIN_COMMON_ASYMMETRIC_BARRIER_H_
+#define MARLIN_COMMON_ASYMMETRIC_BARRIER_H_
+
+/// \file asymmetric_barrier.h
+/// \brief Asymmetric Dekker barrier: free on the fast (light) side, one
+/// syscall on the rare (heavy) side.
+///
+/// The classic gated-wake-up handshake needs a StoreLoad barrier on both
+/// sides: the publisher stores an index then loads the waiter count, the
+/// waiter stores its registration then loads the index. Paying that
+/// barrier symmetrically puts a seq_cst store (an `xchg`, ~10x a plain
+/// store) on every queue operation even though waiters are rare.
+///
+/// `sys_membarrier(MEMBARRIER_CMD_PRIVATE_EXPEDITED)` makes the exchange
+/// asymmetric: the heavy side's call IPIs every core running this process
+/// and serializes their store buffers. If the light side's waiter-count
+/// load executed before the IPI, its earlier index store is forced visible
+/// before the heavy side's re-check; if it executes after, it sees the
+/// registration. Either way the lost-wake-up interleaving is impossible,
+/// and the light side runs a plain release store + relaxed load.
+///
+/// When the kernel lacks membarrier (or under TSan, which does not model
+/// IPI serialization), `AsymmetricBarrierSupported()` reports false and
+/// callers must keep the symmetric seq_cst protocol; `HeavyBarrier()`
+/// degrades to a seq_cst fence so slow paths can call it unconditionally.
+
+#include <atomic>
+
+#if defined(__SANITIZE_THREAD__)
+#define MARLIN_ASYMMETRIC_BARRIER_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define MARLIN_ASYMMETRIC_BARRIER_TSAN 1
+#endif
+#endif
+
+#if defined(__linux__) && !defined(MARLIN_ASYMMETRIC_BARRIER_TSAN)
+#include <linux/membarrier.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#define MARLIN_HAS_MEMBARRIER 1
+#endif
+
+namespace marlin {
+
+/// \brief True once the process is registered for expedited membarrier.
+/// Probed and registered on first call; the result never changes after.
+inline bool AsymmetricBarrierSupported() {
+#if defined(MARLIN_HAS_MEMBARRIER)
+  static const bool supported = [] {
+    const long cmds = syscall(__NR_membarrier, MEMBARRIER_CMD_QUERY, 0, 0);
+    if (cmds < 0 || !(cmds & MEMBARRIER_CMD_PRIVATE_EXPEDITED) ||
+        !(cmds & MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED)) {
+      return false;
+    }
+    return syscall(__NR_membarrier, MEMBARRIER_CMD_REGISTER_PRIVATE_EXPEDITED,
+                   0, 0) == 0;
+  }();
+  return supported;
+#else
+  return false;
+#endif
+}
+
+/// \brief The heavy side of the barrier (call between registering as a
+/// waiter and re-checking the condition). ~100ns — slow paths only.
+inline void AsymmetricHeavyBarrier() {
+#if defined(MARLIN_HAS_MEMBARRIER)
+  if (AsymmetricBarrierSupported()) {
+    syscall(__NR_membarrier, MEMBARRIER_CMD_PRIVATE_EXPEDITED, 0, 0);
+    return;
+  }
+#endif
+  std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+
+}  // namespace marlin
+
+#endif  // MARLIN_COMMON_ASYMMETRIC_BARRIER_H_

@@ -1,0 +1,39 @@
+#ifndef MARLIN_COMMON_CACHE_LINE_H_
+#define MARLIN_COMMON_CACHE_LINE_H_
+
+/// \file cache_line.h
+/// \brief Cache-line geometry for the mechanical-sympathy passes.
+///
+/// Two independent shard workers mutating fields that happen to share a
+/// 64-byte line serialize on the coherence protocol even though they never
+/// touch the same byte (false sharing). Hot per-thread control blocks —
+/// queue producer/consumer halves, per-shard stats, per-shard flat tables —
+/// align and pad to this boundary so one thread's writes never invalidate
+/// another thread's line.
+
+#include <cstddef>
+
+namespace marlin {
+
+/// \brief Destructive-interference granularity. 64 bytes covers x86-64 and
+/// most AArch64 parts; `std::hardware_destructive_interference_size` is not
+/// used because GCC warns that its value is ABI-unstable across -mtune
+/// flags, and a constant keeps struct layouts identical across TUs.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// \brief Wrapper that gives `T` a cache line of its own: aligned to the
+/// line boundary and padded to a whole number of lines, so adjacent array
+/// elements (one per thread) can never false-share.
+template <typename T>
+struct alignas(kCacheLineBytes) CacheAligned {
+  T value{};
+
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_COMMON_CACHE_LINE_H_

@@ -28,6 +28,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/cache_line.h"
+
 namespace marlin {
 
 /// \brief splitmix64 finalizer: the avalanche mix used everywhere the code
@@ -41,8 +43,14 @@ inline uint64_t FlatHashMix(uint64_t x) {
 }
 
 /// \brief Open-addressing hash map, linear probing, backward-shift erase.
+///
+/// The control block (three vector headers + size) is line-aligned and
+/// fills exactly one 64-byte line on LP64: per-shard tables that sit next
+/// to each other in engine state never share a line, so one shard's
+/// insert (which rewrites `size_` and possibly the vector headers) cannot
+/// invalidate the line a neighbouring shard's lookups are probing through.
 template <typename K, typename V>
-class FlatHashMap {
+class alignas(kCacheLineBytes) FlatHashMap {
  public:
   FlatHashMap() = default;
 
@@ -200,11 +208,15 @@ class FlatHashMap {
     }
   }
 
+  // Hottest first: every lookup reads the `used_` header and `size_`
+  // drives the load-factor check — one line covers the whole block.
   std::vector<uint8_t> used_;
+  size_t size_ = 0;
   std::vector<K> keys_;
   std::vector<V> vals_;
-  size_t size_ = 0;
 };
+static_assert(sizeof(FlatHashMap<uint64_t, uint64_t>) <= 2 * kCacheLineBytes,
+              "FlatHashMap control block should stay within two lines");
 
 /// \brief Flat hash set over the same table machinery.
 template <typename K>

@@ -13,10 +13,16 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/cache_line.h"
+
 namespace marlin {
 
+/// The control block (vector header + head + size) is line-aligned: the
+/// per-vessel windows live as values inside per-shard flat tables, and the
+/// alignment keeps one vessel's slide (head/size rewrites) from dirtying
+/// the line a neighbouring slot's reads go through.
 template <typename T>
-class RingBuffer {
+class alignas(kCacheLineBytes) RingBuffer {
  public:
   bool empty() const { return size_ == 0; }
   size_t size() const { return size_; }

@@ -131,26 +131,31 @@ GridPairPartitioner::GridPairPartitioner(const EventRuleOptions& rules,
                                      rules.collision_scan_radius_m)),
       cell_size_m_(options.cell_size_m > 0.0 ? options.cell_size_m
                                              : interaction_radius_m_),
-      queue_(/*capacity=*/256),
       plan_(std::make_unique<WindowPlan>()),
       scratch_(std::make_unique<Scratch>()) {
   if (options_.pair_threads > 1) {
+    channels_.reserve(options_.pair_threads);
     workers_.reserve(options_.pair_threads);
     for (size_t i = 0; i < options_.pair_threads; ++i) {
-      workers_.emplace_back([this] { WorkerLoop(); });
+      channels_.push_back(std::make_unique<StageChannel<CellTask*>>(
+          options_.fabric, /*capacity=*/64));
+    }
+    for (size_t i = 0; i < options_.pair_threads; ++i) {
+      workers_.emplace_back([this, i] { WorkerLoop(i); });
     }
   }
 }
 
 GridPairPartitioner::~GridPairPartitioner() {
-  queue_.Close();
+  for (auto& channel : channels_) channel->Close();
   for (auto& worker : workers_) {
     if (worker.joinable()) worker.join();
   }
 }
 
-void GridPairPartitioner::WorkerLoop() {
-  while (auto task = queue_.Pop()) RunTask(*task);
+void GridPairPartitioner::WorkerLoop(size_t worker) {
+  StageChannel<CellTask*>& channel = *channels_[worker];
+  while (auto task = channel.Pop()) RunTask(*task);
 }
 
 std::unique_ptr<PairEventEngine> GridPairPartitioner::AcquireReplica() {
@@ -410,14 +415,20 @@ bool GridPairPartitioner::TryParallelWindow(
     });
   }
 
-  // --- Dispatch; the coordinator drains the queue alongside the pool
-  // rather than idling at the latch. ---
+  // --- Dispatch: deal the cell tasks round-robin over W workers plus a
+  // coordinator-inline slice (runner W). Worker tasks are pushed first so
+  // the pool is busy while the coordinator works its own share; a full
+  // channel blocks the push, which is safe — workers always drain. ---
   std::latch done(static_cast<ptrdiff_t>(scratch.tasks.size()));
-  for (CellTask* task : scratch.tasks) {
-    task->done = &done;
-    queue_.Push(task);
+  const size_t runners = channels_.size() + 1;
+  for (size_t i = 0; i < scratch.tasks.size(); ++i) {
+    scratch.tasks[i]->done = &done;
+    const size_t runner = i % runners;
+    if (runner < channels_.size()) channels_[runner]->Push(scratch.tasks[i]);
   }
-  while (auto task = queue_.TryPop()) RunTask(*task);
+  for (size_t i = channels_.size(); i < scratch.tasks.size(); i += runners) {
+    RunTask(scratch.tasks[i]);
+  }
   done.wait();
 
   // --- Merge: transplant owned state back, concatenate events in cell

@@ -57,7 +57,7 @@
 #include <vector>
 
 #include "core/events.h"
-#include "stream/queue.h"
+#include "stream/channel.h"
 
 namespace marlin {
 
@@ -102,9 +102,13 @@ struct PairStageStats {
 
 /// \brief Spatially sharded window closer for the pair-event stage.
 ///
-/// Owns a pool of `pair_threads` workers fed through a `BoundedQueue`;
-/// `CloseWindow` is the drop-in parallel equivalent of
-/// `PairEventEngine::CloseWindow` on the authoritative engine.
+/// Owns a pool of `pair_threads` workers, each fed through its own
+/// `StageChannel` (the coordinator is every channel's sole producer and
+/// each worker its sole consumer, so the lock-free SPSC fabric applies);
+/// cell tasks are dealt round-robin across the workers plus a
+/// coordinator-inline slice. `CloseWindow` is the drop-in parallel
+/// equivalent of `PairEventEngine::CloseWindow` on the authoritative
+/// engine.
 class GridPairPartitioner {
  public:
   struct Options {
@@ -118,6 +122,8 @@ class GridPairPartitioner {
     /// many rings per axis (vessels teleporting across the window, e.g. an
     /// antimeridian crossing), the window closes sequentially instead.
     int max_halo_rings = 8;
+    /// Hand-off fabric for the per-worker task channels.
+    QueueFabric fabric = QueueFabric::kSpscRing;
   };
 
   /// \brief `rules` must equal the authoritative engine's options — cell
@@ -142,6 +148,14 @@ class GridPairPartitioner {
 
   const PairStageStats& stats() const { return stats_; }
 
+  /// \brief Coordinator → cell-worker hop counters, merged across the
+  /// per-worker channels (all zero when the pool is disabled).
+  QueueHopStats hop_stats() const {
+    QueueHopStats merged;
+    for (const auto& channel : channels_) merged.Merge(channel->stats());
+    return merged;
+  }
+
  private:
   struct WindowPlan;
   struct CellTask;
@@ -156,7 +170,8 @@ class GridPairPartitioner {
   /// on a pooled replica engine.
   void RunTask(CellTask* task);
 
-  void WorkerLoop();
+  /// Drains `channels_[worker]` until close (one worker thread each).
+  void WorkerLoop(size_t worker);
 
   /// Replica pool: engines are expensive to build (flat tables + live
   /// picture) and windows arrive continuously, so cell tasks borrow a
@@ -170,7 +185,12 @@ class GridPairPartitioner {
   const Options options_;
   const double interaction_radius_m_;
   const double cell_size_m_;
-  BoundedQueue<CellTask*> queue_;
+  /// One task channel per worker (SPSC: coordinator pushes, that worker
+  /// pops). Round-robin dealing replaces work-stealing from a shared
+  /// queue; cell tasks within a window are close in cost (skew is tracked
+  /// and bounded by the grid), so static assignment balances well and the
+  /// hand-off needs no lock.
+  std::vector<std::unique_ptr<StageChannel<CellTask*>>> channels_;
   std::vector<std::thread> workers_;
   PairStageStats stats_;
 

@@ -26,6 +26,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ais/codec.h"
@@ -42,6 +43,7 @@
 #include "storage/trajectory_store.h"
 #include "stream/event.h"
 #include "stream/rate.h"
+#include "stream/spsc_ring.h"
 #include "uncertainty/openworld.h"
 
 namespace marlin {
@@ -79,15 +81,32 @@ struct PipelineConfig {
   /// take arbitrarily long. 0 disables the time trigger.
   DurationMs window_time_ms = kMillisPerMinute;
   /// Grid-cell worker count for the vessel-pair stage (rendezvous /
-  /// collision) in `ShardedPipeline` — ≤ 1 keeps the pair stage sequential
-  /// on the coordinator. The emitted event stream is byte-identical either
-  /// way (see core/pair_grid.h). `MaritimePipeline` is the single-threaded
-  /// reference and ignores this.
-  size_t pair_threads = 0;
+  /// collision) in `ShardedPipeline`. 0 sizes the pool to the host
+  /// topology (`std::thread::hardware_concurrency`); 1 keeps the pair
+  /// stage sequential on the coordinator. The emitted event stream is
+  /// byte-identical either way (see core/pair_grid.h). `MaritimePipeline`
+  /// is the single-threaded reference and ignores this.
+  size_t pair_threads = 1;
   /// Grid pitch in metres for the parallel pair stage; 0 sizes cells to the
   /// max pair-interaction radius (`events.collision_scan_radius_m`).
   double pair_cell_size_m = 0.0;
+  /// Inter-stage hand-off fabric for `ShardedPipeline`: true runs every
+  /// single-producer hop (coordinator → shard, shard → enrichment
+  /// side-stage, pair coordinator → cell worker) on the lock-free
+  /// `SpscRing`; false swaps all of them back to the mutex+condvar
+  /// `BoundedQueue` reference arm (stream/channel.h). Output is identical
+  /// either way — the fabric only changes hand-off cost.
+  bool lock_free_fabric = true;
 };
+
+/// \brief Resolves a thread/shard-count knob where 0 means "size to the
+/// host topology". `hardware_concurrency` may itself report 0 (unknown);
+/// floor at 1 so callers always get a runnable count.
+inline size_t ResolveTopologyCount(size_t requested) {
+  if (requested > 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? hw : 1;
+}
 
 /// \brief Window-close predicate shared by the sequential and sharded
 /// pipelines: a window holding `line_count` lines, the first of which
@@ -145,6 +164,13 @@ struct PipelineMetrics {
   /// Pair-stage grid health: parallel vs fallback windows, cell occupancy,
   /// halo traffic, skew. All zero when the pair stage runs sequentially.
   PairStageStats pair_stage;
+  /// Coordinator → shard-worker hop: command-queue depth high-water,
+  /// producer/consumer waits, pop batch-size histogram — merged across the
+  /// per-shard channels. Zero in the single-threaded pipeline.
+  QueueHopStats shard_hop;
+  /// Pair coordinator → cell-worker hop, merged across the per-worker
+  /// channels. Zero when the pair stage runs sequentially.
+  QueueHopStats pair_hop;
   QualityAssessor::Report quality;
   uint64_t alerts = 0;
   RateMeter ingest_rate;

@@ -8,8 +8,10 @@ namespace {
 
 GridPairPartitioner::Options GridPairOptions(const PipelineConfig& config) {
   GridPairPartitioner::Options options;
-  options.pair_threads = config.pair_threads;
+  options.pair_threads = ResolveTopologyCount(config.pair_threads);
   options.cell_size_m = config.pair_cell_size_m;
+  options.fabric = config.lock_free_fabric ? QueueFabric::kSpscRing
+                                           : QueueFabric::kMutex;
   return options;
 }
 
@@ -23,7 +25,7 @@ ShardedPipeline::ShardedPipeline(const PipelineConfig& config,
                                  const VesselRegistry* registry_b)
     : config_(config),
       options_(options),
-      router_(options.num_shards),
+      router_(ResolveTopologyCount(options.num_shards)),
       pair_events_(config.events),
       pair_grid_(config.events, GridPairOptions(config)) {
   // Shards writing one LSM archive concurrently would race; archival stays a
@@ -31,11 +33,14 @@ ShardedPipeline::ShardedPipeline(const PipelineConfig& config,
   config_.store.archive = nullptr;
   const size_t n = router_.num_shards();
   // Capacity 1 cannot deadlock (workers always drain), it just serialises
-  // the coordinator against the slowest shard; honor the caller's choice.
+  // the coordinator against the slowest shard; honor the caller's choice
+  // (the ring fabric rounds up to its power-of-two floor of 2).
   const size_t capacity = std::max<size_t>(1, options_.queue_capacity);
+  const QueueFabric fabric = config_.lock_free_fabric ? QueueFabric::kSpscRing
+                                                      : QueueFabric::kMutex;
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    auto shard = std::make_unique<Shard>(capacity);
+    auto shard = std::make_unique<Shard>(fabric, capacity);
     shard->core = std::make_unique<PipelineShardCore>(
         config_, /*async_enrichment=*/true, zones, weather, registry_a,
         registry_b);
@@ -233,6 +238,11 @@ void ShardedPipeline::RefreshMetrics() {
   }
   metrics_.events.events_out += pair_events_.stats().events_out;
   metrics_.pair_stage = pair_grid_.stats();
+  metrics_.shard_hop = {};
+  for (const auto& shard : shards_) {
+    metrics_.shard_hop.Merge(shard->queue.stats());
+  }
+  metrics_.pair_hop = pair_grid_.hop_stats();
 }
 
 std::vector<DetectedEvent> ShardedPipeline::IngestBatch(

@@ -13,10 +13,13 @@
 ///        │ route by splitmix64(MMSI) % N
 ///        ▼
 ///   N × PipelineShardCore (reconstruction → synopses → store partition →
-///        single-vessel event rules), one thread each, fed through
-///        BoundedQueue — each core also feeds an async enrichment
-///        side-stage (own worker + bounded drop-oldest queue) whose
-///        output surfaces through SetEnrichedSink / DrainEnriched
+///        single-vessel event rules), one thread each, fed through a
+///        StageChannel (lock-free SpscRing by default — the coordinator is
+///        each command queue's only producer — or the mutex BoundedQueue
+///        reference arm when `PipelineConfig::lock_free_fabric` is off) —
+///        each core also feeds an async enrichment side-stage (own worker
+///        + bounded lossy channel) whose output surfaces through
+///        SetEnrichedSink / DrainEnriched
 ///        │ merge: pair observations sorted by (event time, MMSI)
 ///        ▼
 ///   coordinator: pair stage (rendezvous / collision) — sequential
@@ -48,7 +51,7 @@
 #include "core/pipeline.h"
 #include "core/shard.h"
 #include "storage/trajectory_store.h"
-#include "stream/queue.h"
+#include "stream/channel.h"
 #include "stream/shard_router.h"
 
 namespace marlin {
@@ -57,7 +60,8 @@ namespace marlin {
 class ShardedPipeline {
  public:
   struct Options {
-    /// Worker (= shard) count. 0 means one shard.
+    /// Worker (= shard) count. 0 sizes the pool to the host topology
+    /// (`std::thread::hardware_concurrency`, floor 1).
     size_t num_shards = 1;
     /// Command-queue depth per shard. The coordinator keeps at most one
     /// window in flight plus the next window's parse task, so ≥ 2 avoids
@@ -191,9 +195,12 @@ class ShardedPipeline {
   };
 
   struct Shard {
-    explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+    Shard(QueueFabric fabric, size_t queue_capacity)
+        : queue(fabric, queue_capacity) {}
     std::unique_ptr<PipelineShardCore> core;
-    BoundedQueue<Command> queue;
+    /// Command hop. The coordinator is the only producer and the shard
+    /// worker the only consumer, so the SPSC contract holds.
+    StageChannel<Command> queue;
     std::thread thread;
   };
 

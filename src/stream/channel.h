@@ -1,0 +1,178 @@
+#ifndef MARLIN_STREAM_CHANNEL_H_
+#define MARLIN_STREAM_CHANNEL_H_
+
+/// \file channel.h
+/// \brief The queue-concept seam between pipeline stages: one hand-off
+/// surface, two interchangeable fabrics.
+///
+/// Every hot hop in the sharded pipeline (coordinator → shard worker,
+/// shard core → enrichment side-stage, pair coordinator → cell worker) is
+/// single-producer/single-consumer, so the default fabric is the lock-free
+/// `SpscRing`. The mutex+condvar `BoundedQueue` remains behind the same
+/// surface as the MPMC-capable fallback and the frozen reference arm —
+/// `PipelineConfig::lock_free_fabric = false` swaps every hop back, which
+/// is how the equivalence battery and the queue-hop benchmark compare the
+/// two with zero other differences.
+///
+/// The channel also owns the per-hop instrumentation (`QueueHopStats`) so
+/// both arms are measured identically: the ring reports its own counters,
+/// the mutex arm is counted here around the queue calls.
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "stream/queue.h"
+#include "stream/spsc_ring.h"
+
+namespace marlin {
+
+/// \brief Which hand-off implementation a channel runs on.
+enum class QueueFabric {
+  kSpscRing,  ///< lock-free ring (default; hops are single-producer)
+  kMutex,     ///< BoundedQueue — MPMC fallback and frozen reference arm
+};
+
+/// \brief One inter-stage hop: blocking bounded FIFO with close/drain
+/// end-of-stream semantics, backed by the selected fabric.
+///
+/// The SPSC contract (one pushing thread, one popping thread at a time)
+/// must hold when constructed with `kSpscRing`; `kMutex` lifts it.
+template <typename T>
+class StageChannel {
+ public:
+  StageChannel(QueueFabric fabric, size_t capacity) {
+    if (fabric == QueueFabric::kSpscRing) {
+      ring_ = std::make_unique<SpscRing<T>>(capacity);
+    } else {
+      queue_ = std::make_unique<BoundedQueue<T>>(std::max<size_t>(1, capacity));
+    }
+  }
+
+  QueueFabric fabric() const {
+    return ring_ ? QueueFabric::kSpscRing : QueueFabric::kMutex;
+  }
+
+  size_t capacity() const {
+    return ring_ ? ring_->capacity() : queue_->capacity();
+  }
+
+  size_t size() const { return ring_ ? ring_->size() : queue_->size(); }
+
+  /// \brief Blocks until space is available; returns false if closed.
+  bool Push(T item) {
+    if (ring_) return ring_->Push(std::move(item));
+    size_t depth = 0;
+    bool blocked = false;
+    if (!queue_->Push(std::move(item), &depth, &blocked)) return false;
+    mutex_stats_.pushed.fetch_add(1, std::memory_order_relaxed);
+    if (blocked) mutex_stats_.push_waits.fetch_add(1, std::memory_order_relaxed);
+    mutex_stats_.ObserveDepth(depth);
+    return true;
+  }
+
+  /// \brief Lossy push for latency-critical producers: never blocks.
+  /// Returns false only when the channel is closed (the item is rejected
+  /// and `*dropped` is 0). `*dropped` counts items lost making room:
+  ///  * mutex fabric — drop-oldest: the new item always enters; evicted
+  ///    older items are counted (BoundedQueue::PushEvictOldest).
+  ///  * ring fabric — drop-newest: the far end of a lock-free ring belongs
+  ///    to the consumer, so a full ring drops the incoming item instead
+  ///    (counted, return true). Either policy preserves FIFO order of the
+  ///    surviving items and the `accepted == delivered + dropped`
+  ///    completeness invariant; they differ only in *which* items a
+  ///    saturated consumer loses.
+  bool PushLossy(T item, size_t* dropped) {
+    *dropped = 0;
+    if (ring_) {
+      if (ring_->TryPush(item)) return true;
+      if (ring_->closed()) return false;
+      *dropped = 1;
+      return true;
+    }
+    size_t depth = 0;
+    if (!queue_->PushEvictOldest(std::move(item), dropped, &depth)) {
+      return false;
+    }
+    mutex_stats_.pushed.fetch_add(1, std::memory_order_relaxed);
+    mutex_stats_.ObserveDepth(depth);
+    return true;
+  }
+
+  /// \brief Blocks until an item arrives; std::nullopt once closed+drained.
+  std::optional<T> Pop() {
+    if (ring_) return ring_->Pop();
+    std::optional<T> item = queue_->Pop();
+    if (item.has_value()) {
+      mutex_stats_.popped.fetch_add(1, std::memory_order_relaxed);
+      mutex_stats_.batch_hist[0].fetch_add(1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// \brief Blocking batch pop; 0 means closed-and-drained.
+  size_t PopBatch(std::vector<T>* out, size_t max_items) {
+    if (ring_) return ring_->PopBatch(out, max_items);
+    const size_t n = queue_->PopBatch(out, max_items);
+    if (n > 0) {
+      mutex_stats_.popped.fetch_add(n, std::memory_order_relaxed);
+      mutex_stats_.batch_hist[QueueHopStats::BatchBucket(n)].fetch_add(
+          1, std::memory_order_relaxed);
+    }
+    return n;
+  }
+
+  /// \brief Marks end-of-stream; wakes all waiters.
+  void Close() {
+    if (ring_) {
+      ring_->Close();
+    } else {
+      queue_->Close();
+    }
+  }
+
+  bool closed() const { return ring_ ? ring_->closed() : queue_->closed(); }
+
+  /// \brief Snapshot of the hop counters (safe while both sides run).
+  QueueHopStats stats() const {
+    if (ring_) return ring_->stats();
+    QueueHopStats s;
+    s.pushed = mutex_stats_.pushed.load(std::memory_order_relaxed);
+    s.popped = mutex_stats_.popped.load(std::memory_order_relaxed);
+    s.push_waits = mutex_stats_.push_waits.load(std::memory_order_relaxed);
+    s.depth_high_water =
+        mutex_stats_.depth_high_water.load(std::memory_order_relaxed);
+    for (size_t i = 0; i < QueueHopStats::kBatchBuckets; ++i) {
+      s.batch_hist[i] =
+          mutex_stats_.batch_hist[i].load(std::memory_order_relaxed);
+    }
+    return s;
+  }
+
+ private:
+  /// Counters for the mutex arm (the ring keeps its own). Atomics because
+  /// BoundedQueue permits multiple producers/consumers.
+  struct MutexStats {
+    std::atomic<uint64_t> pushed{0};
+    std::atomic<uint64_t> popped{0};
+    std::atomic<uint64_t> push_waits{0};
+    std::atomic<size_t> depth_high_water{0};
+    std::atomic<uint64_t> batch_hist[QueueHopStats::kBatchBuckets] = {};
+
+    void ObserveDepth(size_t depth) {
+      if (depth > depth_high_water.load(std::memory_order_relaxed)) {
+        depth_high_water.store(depth, std::memory_order_relaxed);
+      }
+    }
+  };
+
+  std::unique_ptr<SpscRing<T>> ring_;
+  std::unique_ptr<BoundedQueue<T>> queue_;
+  MutexStats mutex_stats_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STREAM_CHANNEL_H_

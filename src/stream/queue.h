@@ -5,6 +5,16 @@
 /// \brief Bounded blocking MPMC queue — the backpressure boundary between
 /// pipeline stages (paper §2.1: in-situ processing must be communication
 /// efficient; a bounded queue is where that pressure becomes visible).
+///
+/// Since the lock-free SPSC fabric (stream/spsc_ring.h) took over the
+/// single-producer hot hops, this queue is the MPMC-capable fallback and
+/// the frozen reference arm behind the `StageChannel` seam
+/// (stream/channel.h).
+///
+/// Condition variables are always notified *after* the mutex is released:
+/// notifying under the lock makes the woken thread immediately block on
+/// the very mutex the notifier still holds (hurry-up-and-wait), adding a
+/// futex round-trip per hand-off on contended hops.
 
 #include <algorithm>
 #include <condition_variable>
@@ -28,21 +38,32 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// \brief Blocks until space is available; returns false if closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
+  /// `*depth_after` (when non-null) receives the queue size after the push
+  /// and `*blocked` whether the producer had to wait — the hop
+  /// instrumentation reads both without a second lock acquisition.
+  bool Push(T item, size_t* depth_after = nullptr, bool* blocked = nullptr) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      if (blocked != nullptr) {
+        *blocked = items_.size() >= capacity_ && !closed_;
+      }
+      not_full_.wait(lock,
+                     [this] { return items_.size() < capacity_ || closed_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+      if (depth_after != nullptr) *depth_after = items_.size();
+    }
     not_empty_.notify_one();
     return true;
   }
 
   /// \brief Non-blocking push; returns false when full or closed.
   bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_ || items_.size() >= capacity_) return false;
-    items_.push_back(std::move(item));
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -56,28 +77,33 @@ class BoundedQueue {
   /// Returns false only when the queue is closed (the item is rejected,
   /// nothing is evicted).
   bool PushEvictOldest(T item, size_t* evicted, size_t* depth_after = nullptr) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    *evicted = 0;
-    if (closed_) return false;
-    // The emptiness check makes capacity 0 safe (degenerates to a
-    // size-1 always-evict slot rather than popping an empty deque).
-    while (!items_.empty() && items_.size() >= capacity_) {
-      items_.pop_front();
-      ++*evicted;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      *evicted = 0;
+      if (closed_) return false;
+      // The emptiness check makes capacity 0 safe (degenerates to a
+      // size-1 always-evict slot rather than popping an empty deque).
+      while (!items_.empty() && items_.size() >= capacity_) {
+        items_.pop_front();
+        ++*evicted;
+      }
+      items_.push_back(std::move(item));
+      if (depth_after != nullptr) *depth_after = items_.size();
     }
-    items_.push_back(std::move(item));
-    if (depth_after != nullptr) *depth_after = items_.size();
     not_empty_.notify_one();
     return true;
   }
 
   /// \brief Blocks until an item arrives; std::nullopt once closed & drained.
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
   }
@@ -86,14 +112,16 @@ class BoundedQueue {
   /// then drains up to `max_items` in one lock acquisition. Returns the
   /// number of items appended to `out`; 0 means closed-and-drained.
   size_t PopBatch(std::vector<T>* out, size_t max_items) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
-    out->reserve(out->size() + std::min(items_.size(), max_items));
     size_t n = 0;
-    while (!items_.empty() && n < max_items) {
-      out->push_back(std::move(items_.front()));
-      items_.pop_front();
-      ++n;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      out->reserve(out->size() + std::min(items_.size(), max_items));
+      while (!items_.empty() && n < max_items) {
+        out->push_back(std::move(items_.front()));
+        items_.pop_front();
+        ++n;
+      }
     }
     if (n > 0) not_full_.notify_all();
     return n;
@@ -101,18 +129,23 @@ class BoundedQueue {
 
   /// \brief Non-blocking pop.
   std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
+    std::optional<T> item;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return std::nullopt;
+      item = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return item;
   }
 
   /// \brief Marks end-of-stream; wakes all waiters.
   void Close() {
-    std::lock_guard<std::mutex> lock(mutex_);
-    closed_ = true;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
     not_empty_.notify_all();
     not_full_.notify_all();
   }

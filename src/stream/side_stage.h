@@ -3,23 +3,27 @@
 
 /// \file side_stage.h
 /// \brief Asynchronous side-stage: a worker fed off the hot path through a
-/// bounded drop-oldest queue (paper §2.2: joining streams with contextual
+/// bounded lossy channel (paper §2.2: joining streams with contextual
 /// sources must not stall ingest when those sources are slow).
 ///
 /// A side-stage receives items from exactly one producer (`Submit`), applies
 /// a transform on its own thread, and delivers the results either to a
 /// registered sink or to a bounded drain buffer. Backpressure is *lossy by
-/// design*: when the transform cannot keep up, the oldest queued item is
-/// evicted and counted — the producer never blocks. `Flush` is the
+/// design*: when the transform cannot keep up an item is evicted and
+/// counted — the producer never blocks. Which item is lost depends on the
+/// channel fabric (stream/channel.h): the mutex arm evicts the oldest
+/// queued item, the lock-free ring drops the incoming one. `Flush` is the
 /// end-of-stream barrier: after it returns, every submitted item has been
 /// either delivered or counted as dropped, so
-/// `submitted == processed + queue_dropped` is the completeness invariant.
+/// `submitted == processed + queue_dropped` is the completeness invariant
+/// under either policy.
 ///
-/// Ordering: the queue is FIFO and the worker is single, so delivery order
-/// is submission order (minus evicted items — drops thin the stream but
-/// never reorder it). A synchronous mode (`Options::async = false`) runs
-/// the transform inline on the producer thread with identical accounting,
-/// giving a deterministic single-threaded reference for the async stage.
+/// Ordering: the channel is FIFO and the worker is single, so delivery
+/// order is submission order (minus evicted items — drops thin the stream
+/// but never reorder it). A synchronous mode (`Options::async = false`)
+/// runs the transform inline on the producer thread with identical
+/// accounting, giving a deterministic single-threaded reference for the
+/// async stage.
 
 #include <condition_variable>
 #include <cstdint>
@@ -34,7 +38,7 @@
 #include <utility>
 #include <vector>
 
-#include "stream/queue.h"
+#include "stream/channel.h"
 #include "stream/rate.h"
 
 namespace marlin {
@@ -67,6 +71,9 @@ struct SideStageStats {
   uint64_t queue_dropped = 0;   ///< evicted unprocessed (input backpressure)
   uint64_t output_dropped = 0;  ///< delivered but evicted from drain buffer
   size_t max_queue_depth = 0;   ///< high-water mark of the input queue
+  /// Producer → worker hop counters (waits, batch-size histogram; its
+  /// depth high-water equals `max_queue_depth`). Zero in sync mode.
+  QueueHopStats hop;
   LatencyReservoir latency{512};  ///< submit → delivered, wall-clock ms
   /// Per-source attribution, filled by the transform through
   /// `AsyncSideStage::AttributeSource`. Empty when the transform does not
@@ -81,6 +88,7 @@ struct SideStageStats {
     queue_dropped += other.queue_dropped;
     output_dropped += other.output_dropped;
     max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
+    hop.Merge(other.hop);
     latency.Merge(other.latency);
     for (const auto& [name, source] : other.source_latency) {
       source_latency[name].Merge(source);
@@ -96,13 +104,17 @@ class AsyncSideStage {
     /// Run the transform on a dedicated worker (true) or inline on the
     /// producer thread (false — the sequential reference mode).
     bool async = true;
-    /// Input queue depth; overflow evicts the oldest queued item.
+    /// Input channel depth; overflow evicts an item (which one depends on
+    /// the fabric — see the file comment).
     size_t queue_depth = 1024;
     /// Drain-buffer capacity when no sink is registered; overflow evicts
     /// the oldest buffered output.
     size_t output_capacity = 8192;
-    /// Worker pops up to this many items per lock acquisition.
+    /// Worker pops up to this many items per channel acquisition.
     size_t max_batch = 64;
+    /// Hand-off fabric for the input channel (the Submit caller is the
+    /// stage's single producer, so the SPSC contract holds).
+    QueueFabric fabric = QueueFabric::kSpscRing;
   };
 
   using Transform = std::function<Out(const In&)>;
@@ -111,12 +123,12 @@ class AsyncSideStage {
   AsyncSideStage(const Options& options, Transform transform)
       : options_(options),
         transform_(std::move(transform)),
-        queue_(std::max<size_t>(1, options.queue_depth)) {
+        channel_(options.fabric, std::max<size_t>(1, options.queue_depth)) {
     if (options_.async) worker_ = std::thread([this] { WorkerLoop(); });
   }
 
   ~AsyncSideStage() {
-    queue_.Close();  // worker drains the remaining items, then exits
+    channel_.Close();  // worker drains the remaining items, then exits
     if (worker_.joinable()) worker_.join();
   }
 
@@ -127,8 +139,8 @@ class AsyncSideStage {
   /// first Submit; in async mode it runs on the worker thread.
   void SetSink(Sink sink) { sink_ = std::move(sink); }
 
-  /// \brief Hands one item to the stage. Never blocks: a full queue evicts
-  /// its oldest item (counted in `queue_dropped`). Single producer.
+  /// \brief Hands one item to the stage. Never blocks: a full channel
+  /// evicts an item (counted in `queue_dropped`). Single producer.
   /// Counter note: `submitted` is published after the push, so a stats
   /// snapshot taken while the producer runs may transiently read
   /// `processed > submitted`; the `submitted == processed + queue_dropped`
@@ -144,14 +156,11 @@ class AsyncSideStage {
       return;
     }
     size_t evicted = 0;
-    size_t depth = 0;
-    const bool pushed = queue_.PushEvictOldest(Item{item, now}, &evicted,
-                                               &depth);
+    const bool pushed = channel_.PushLossy(Item{item, now}, &evicted);
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.submitted;
     if (!pushed) ++evicted;  // closed: account the rejected item itself
     stats_.queue_dropped += evicted;
-    stats_.max_queue_depth = std::max(stats_.max_queue_depth, depth);
     if (evicted > 0) complete_cv_.notify_all();
   }
 
@@ -201,8 +210,13 @@ class AsyncSideStage {
 
   /// \brief Snapshot of the stage counters (safe while the worker runs).
   SideStageStats stats() const {
+    QueueHopStats hop;
+    if (options_.async) hop = channel_.stats();
     std::lock_guard<std::mutex> lock(mutex_);
-    return stats_;
+    SideStageStats s = stats_;
+    s.hop = hop;
+    s.max_queue_depth = std::max(s.max_queue_depth, hop.depth_high_water);
+    return s;
   }
 
  private:
@@ -217,7 +231,7 @@ class AsyncSideStage {
   void WorkerLoop() {
     std::vector<Item> batch;
     std::vector<std::pair<Out, DurationMs>> done;
-    while (queue_.PopBatch(&batch, std::max<size_t>(1, options_.max_batch)) >
+    while (channel_.PopBatch(&batch, std::max<size_t>(1, options_.max_batch)) >
            0) {
       // Transform (and sink delivery) run without the stats lock; the
       // bookkeeping for the whole batch is one lock acquisition.
@@ -267,7 +281,7 @@ class AsyncSideStage {
   const Options options_;
   const Transform transform_;
   Sink sink_;  ///< written before the first Submit, read by the worker
-  BoundedQueue<Item> queue_;
+  StageChannel<Item> channel_;
   std::thread worker_;
   mutable std::mutex mutex_;
   std::condition_variable complete_cv_;

@@ -137,6 +137,38 @@ TEST(ShardedPipelineTest, ManyShardsProduceSameEventMultiset) {
   }
 }
 
+// The queue fabric (lock-free SPSC rings vs the mutex reference arm) only
+// changes hand-off cost, never the stream: both arms must emit the same
+// events in the same order and keep the hop counters conserved.
+TEST(ShardedPipelineTest, FabricArmsProduceIdenticalEvents) {
+  const ScenarioOutput scenario = MakeScenario(903, /*perfect_reception=*/false);
+  PipelineConfig pc = TestConfig();
+  pc.pair_threads = 2;  // exercise the pair-stage hop as well
+
+  std::vector<DetectedEvent> events[2];
+  for (int arm = 0; arm < 2; ++arm) {
+    PipelineConfig cfg = pc;
+    cfg.lock_free_fabric = (arm == 0);
+    ShardedPipeline::Options opts;
+    opts.num_shards = 2;
+    ShardedPipeline pipeline(cfg, opts, &SharedWorld().zones(), nullptr,
+                             nullptr, nullptr);
+    events[arm] = pipeline.Run(scenario.nmea);
+
+    // Hop conservation at the post-Finish quiescent point: every command
+    // pushed was popped, and pops were accounted to batch buckets.
+    const QueueHopStats& hop = pipeline.metrics().shard_hop;
+    EXPECT_GT(hop.pushed, 0u);
+    EXPECT_EQ(hop.pushed, hop.popped);
+    EXPECT_GT(hop.batches(), 0u);
+    EXPECT_GT(hop.depth_high_water, 0u);
+    const QueueHopStats& pair_hop = pipeline.metrics().pair_hop;
+    EXPECT_EQ(pair_hop.pushed, pair_hop.popped);
+  }
+  ASSERT_GT(events[0].size(), 0u);
+  ExpectSameEvents(events[0], events[1], /*compare_order=*/true);
+}
+
 TEST(ShardedPipelineTest, SplitBatchesMatchSingleBatch) {
   // Window boundaries are defined by line count, not batch boundaries:
   // feeding the stream in arbitrary chunks must not change the output.

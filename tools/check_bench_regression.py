@@ -1,36 +1,47 @@
 #!/usr/bin/env python3
-"""Decode-microbench regression gate.
+"""Hot-path microbench regression gates.
 
-Compares the BM_DecodeMicro lines_per_s counter of a fresh Release run
-against the committed BENCH_f2_pipeline.json baseline and fails (exit 1)
-on a >2x regression. The 2x margin absorbs host differences between the
-recording machine and CI runners while still catching the failure mode
-this guards against: an accidental re-introduction of per-line
-allocation/copying into the decode hot path, which costs well over 2x.
+Compares counters of a fresh Release run against the committed
+BENCH_f2_pipeline.json baseline and fails (exit 1) on a >2x regression.
+The 2x margin absorbs host differences between the recording machine and
+CI runners while still catching the failure modes these guard against.
 
-The gate tracks the *packed* arm of the packed-vs-byte axis
-(BM_DecodeMicro/packed:1) — the production bit-packed decode path. Older
-baselines that predate the axis expose a single unsuffixed BM_DecodeMicro
-entry, which is accepted as a fallback so the gate stays comparable across
-the transition.
+Two gates:
+
+* BM_DecodeMicro lines_per_s, packed arm (packed:1) — the production
+  bit-packed decode path. Canary for per-line allocation, copying, or
+  byte-per-bit extraction sneaking back into the hot path. Older
+  baselines that predate the axis expose a single unsuffixed
+  BM_DecodeMicro entry, which is accepted as a fallback so the gate
+  stays comparable across the transition.
+* BM_QueueHop items_per_s, lock-free arm (spsc:1) — the SPSC ring
+  stage-to-stage hand-off. Canary for a lock, syscall, or unconditional
+  wake-up sneaking into the push/pop fast path. Baselines recorded
+  before the queue-hop bench existed simply skip this gate with a
+  notice.
 
 Usage:
   check_bench_regression.py <baseline.json> <current.json> [min_ratio]
 
 Both files are Google Benchmark JSON (--benchmark_format=json /
---benchmark_out). Exits 0 with a notice when the baseline predates the
-microbench (no BM_DecodeMicro entry).
+--benchmark_out). Exits 0 with a notice when the baseline predates a
+gated benchmark; current runs that merely filtered a benchmark out are
+skipped per-gate the same way (only gates whose benchmark ran are
+enforced, and at least one must have).
 """
 
 import json
 import sys
 
 
-def decode_lines_per_s(path):
+def load_benchmarks(path):
     with open(path) as f:
-        data = json.load(f)
+        return json.load(f).get("benchmarks", [])
+
+
+def decode_lines_per_s(benchmarks):
     fallback = None
-    for bench in data.get("benchmarks", []):
+    for bench in benchmarks:
         name = bench.get("name", "")
         if not name.startswith("BM_DecodeMicro") or "lines_per_s" not in bench:
             continue
@@ -41,6 +52,29 @@ def decode_lines_per_s(path):
     return fallback
 
 
+def queue_hop_items_per_s(benchmarks):
+    # Prefer the singleton-batch arm (the worst case for hand-off
+    # overhead); fall back to any spsc:1 arm if the batch axis changes.
+    fallback = None
+    for bench in benchmarks:
+        name = bench.get("name", "")
+        if not name.startswith("BM_QueueHop") or "items_per_s" not in bench:
+            continue
+        if "spsc:1" not in name:
+            continue
+        if "batch:1/" in name or name.endswith("batch:1"):
+            return float(bench["items_per_s"])
+        if fallback is None:
+            fallback = float(bench["items_per_s"])
+    return fallback
+
+
+GATES = [
+    ("decode microbench", decode_lines_per_s, "lines/s"),
+    ("queue hop (spsc)", queue_hop_items_per_s, "items/s"),
+]
+
+
 def main(argv):
     if len(argv) < 3:
         print(__doc__)
@@ -48,23 +82,35 @@ def main(argv):
     baseline_path, current_path = argv[1], argv[2]
     min_ratio = float(argv[3]) if len(argv) > 3 else 0.5
 
-    baseline = decode_lines_per_s(baseline_path)
-    if baseline is None:
-        print(f"notice: {baseline_path} has no BM_DecodeMicro lines_per_s; "
-              "nothing to gate against")
-        return 0
-    current = decode_lines_per_s(current_path)
-    if current is None:
-        print(f"error: {current_path} has no BM_DecodeMicro lines_per_s — "
-              "did the benchmark run?")
-        return 1
+    baseline_benchmarks = load_benchmarks(baseline_path)
+    current_benchmarks = load_benchmarks(current_path)
 
-    ratio = current / baseline
-    print(f"decode microbench: baseline {baseline:,.0f} lines/s, "
-          f"current {current:,.0f} lines/s ({ratio:.2f}x baseline, "
-          f"gate at {min_ratio:.2f}x)")
-    if ratio < min_ratio:
-        print("FAIL: decode throughput regressed beyond the gate")
+    failed = False
+    gated = 0
+    for label, extract, unit in GATES:
+        baseline = extract(baseline_benchmarks)
+        if baseline is None:
+            print(f"notice: {baseline_path} predates the {label} bench; "
+                  "skipping that gate")
+            continue
+        current = extract(current_benchmarks)
+        if current is None:
+            print(f"notice: {current_path} has no {label} entry "
+                  "(filtered out of this run); skipping that gate")
+            continue
+        gated += 1
+        ratio = current / baseline
+        print(f"{label}: baseline {baseline:,.0f} {unit}, "
+              f"current {current:,.0f} {unit} ({ratio:.2f}x baseline, "
+              f"gate at {min_ratio:.2f}x)")
+        if ratio < min_ratio:
+            print(f"FAIL: {label} regressed beyond the gate")
+            failed = True
+    if gated == 0:
+        print(f"error: no gated benchmark present in both {baseline_path} "
+              f"and {current_path} — did the benchmark run?")
+        return 1
+    if failed:
         return 1
     print("OK")
     return 0
