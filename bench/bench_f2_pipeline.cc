@@ -15,6 +15,8 @@
 #include <map>
 #include <thread>
 
+#include <span>
+
 #include "ais/codec.h"
 #include "ais/messages.h"
 #include "ais/nmea.h"
@@ -23,8 +25,10 @@
 #include "common/alloc_probe.h"
 #include "context/weather.h"
 #include "core/pipeline.h"
+#include "core/query_engine.h"
 #include "core/sharded_pipeline.h"
 #include "stream/channel.h"
+#include "stream/rate.h"
 #include "va/situation.h"
 
 // Heap probe for the allocations/line axis of the decode microbench: this
@@ -426,6 +430,129 @@ BENCHMARK(BM_PairStageGrid)
     ->Args({4, 2})
     ->Args({1, 3})
     ->Args({4, 3})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// The historical serving tier under reader load: arg0 = concurrent reader
+// threads, arg1 = live ingest on/off. Readers cycle a four-spec battery
+// (full scan, time range, region, vessel set) against the per-shard epoch
+// snapshots via the QueryEngine fan-out; the live:1 arm holds back the
+// final quarter of the corpus and trickles it in chunk-by-chunk while the
+// readers run, so the measured latencies include writer/reader contention
+// on the snapshot handoff — the "N concurrent readers against live ingest"
+// property the serving tier promises. Latencies feed per-reader
+// LatencyReservoirs (merged after each round; samples are stored in
+// microseconds, the reservoir is unit-agnostic). CI gates the readers:1 /
+// live:0 arm's queries_per_s against the committed baseline
+// (tools/check_bench_regression.py); the concurrent arms are there to show
+// scaling and tail behaviour, not to gate on a 1-CPU recording host.
+void BM_QueryServing(benchmark::State& state) {
+  const World& world = bench::SharedWorld();
+  const ScenarioOutput& scenario = bench::SharedScenario(F2Config());
+  const size_t readers = static_cast<size_t>(state.range(0));
+  const bool live = state.range(1) != 0;
+  constexpr int kQueriesPerReader = 4;
+
+  PipelineConfig config;
+  config.archive.enabled = true;  // volatile archives: serving cost, not disk
+  ShardedPipeline::Options opts;
+  opts.num_shards = 2;
+  ShardedPipeline pipeline(config, opts, &world.zones(), nullptr, nullptr,
+                           nullptr);
+  const std::span<const Event<std::string>> all(scenario.nmea);
+  size_t ingested = live ? all.size() * 3 / 4 : all.size();
+  pipeline.IngestBatch(all.subspan(0, ingested));
+  if (!live) pipeline.Finish();
+
+  QueryEngine::Options qopts;
+  qopts.num_workers = 2;
+  QueryEngine engine(pipeline.archive_view(), qopts);
+
+  // Derive the battery's filters from what the archive actually holds so
+  // every spec matches real data (an empty-result query would measure the
+  // index pruning alone).
+  const QueryResult probe = engine.Execute(QuerySpec{});
+  Timestamp t_min = kMaxTimestamp;
+  Timestamp t_max = kInvalidTimestamp;
+  BoundingBox extent;
+  std::vector<Mmsi> vessels;
+  for (const QueryRow& row : probe.rows) {
+    t_min = std::min(t_min, row.t);
+    t_max = std::max(t_max, row.t);
+    extent.Extend(row.position);
+    if (vessels.empty() || vessels.back() != row.mmsi) {
+      vessels.push_back(row.mmsi);
+    }
+  }
+  std::sort(vessels.begin(), vessels.end());
+  vessels.erase(std::unique(vessels.begin(), vessels.end()), vessels.end());
+  std::vector<QuerySpec> specs(4);
+  const Timestamp span = t_max - t_min;
+  specs[1].t0 = t_min + span / 4;
+  specs[1].t1 = t_min + 3 * span / 4;
+  const double lat_pad = (extent.max_lat - extent.min_lat) * 0.2;
+  const double lon_pad = (extent.max_lon - extent.min_lon) * 0.2;
+  specs[2].region = BoundingBox{extent.min_lat + lat_pad,
+                                extent.min_lon + lon_pad,
+                                extent.max_lat - lat_pad,
+                                extent.max_lon - lon_pad};
+  for (size_t i = 0; i < vessels.size(); i += 3) {
+    specs[3].vessels.push_back(vessels[i]);
+  }
+
+  LatencyReservoir latency;
+  uint64_t queries = 0;
+  uint64_t rows_last_round = 0;
+  for (auto _ : state) {
+    std::vector<LatencyReservoir> per_reader(readers);
+    std::atomic<uint64_t> row_count{0};
+    std::vector<std::thread> pool;
+    pool.reserve(readers);
+    for (size_t r = 0; r < readers; ++r) {
+      pool.emplace_back([&engine, &specs, &per_reader, &row_count, r] {
+        for (int q = 0; q < kQueriesPerReader; ++q) {
+          const auto start = std::chrono::steady_clock::now();
+          const QueryResult res =
+              engine.Execute(specs[(r + static_cast<size_t>(q)) %
+                                   specs.size()]);
+          const auto elapsed =
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  std::chrono::steady_clock::now() - start);
+          per_reader[r].Observe(static_cast<DurationMs>(elapsed.count()));
+          row_count.fetch_add(res.rows.size(), std::memory_order_relaxed);
+        }
+      });
+    }
+    if (live && ingested < all.size()) {
+      // One chunk per round keeps epochs publishing for as long as the
+      // corpus lasts; once drained the readers keep running against the
+      // finished archive.
+      const size_t chunk = std::min<size_t>(2048, all.size() - ingested);
+      pipeline.IngestBatch(all.subspan(ingested, chunk));
+      ingested += chunk;
+      if (ingested == all.size()) pipeline.Finish();
+    }
+    for (auto& t : pool) t.join();
+    for (const LatencyReservoir& r : per_reader) latency.Merge(r);
+    queries += readers * kQueriesPerReader;
+    rows_last_round = row_count.load(std::memory_order_relaxed);
+  }
+  state.counters["queries_per_s"] = benchmark::Counter(
+      static_cast<double>(queries), benchmark::Counter::kIsRate);
+  state.counters["p99_us"] =
+      static_cast<double>(latency.Quantile(0.99));
+  state.counters["mean_us"] = latency.Mean();
+  state.counters["rows_per_query"] =
+      static_cast<double>(rows_last_round) /
+      static_cast<double>(readers * kQueriesPerReader);
+}
+BENCHMARK(BM_QueryServing)
+    ->ArgNames({"readers", "live"})
+    ->Args({1, 0})
+    ->Args({2, 0})
+    ->Args({2, 1})
+    ->Args({4, 1})
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

@@ -45,6 +45,10 @@ void MaritimePipeline::ProcessDecoded(const AisMessage& msg,
 }
 
 std::vector<DetectedEvent> MaritimePipeline::CloseWindow(bool flush_pairs) {
+  // Serving tier: window close is epoch close — the staged points become
+  // immutable position blocks and a fresh read snapshot. Archive write
+  // failures degrade durability, not the live pipeline.
+  (void)core_.CloseArchiveEpoch();
   pair_events_.CloseWindow(&window_pairs_, flush_pairs, &window_events_);
   FireAlerts(window_events_, &metrics_.alerts, alert_callback_);
   RefreshMetrics();
@@ -62,7 +66,21 @@ void MaritimePipeline::RefreshMetrics() {
   metrics_.enrichment = core_.enrichment_stats();
   metrics_.enrichment_stage = core_.enrichment_stage_stats();
   metrics_.quality = quality_.report();
+  if (core_.archive() != nullptr) metrics_.archive = core_.archive()->stats();
   metrics_.end_to_end_latency = core_.end_to_end_latency();
+}
+
+size_t MaritimePipeline::DrainEnrichedOrdered(std::vector<EnrichedPoint>* out) {
+  const size_t base = out->size();
+  core_.DrainEnriched(out);
+  std::stable_sort(out->begin() + static_cast<ptrdiff_t>(base), out->end(),
+                   [](const EnrichedPoint& a, const EnrichedPoint& b) {
+                     if (a.base.point.t != b.base.point.t) {
+                       return a.base.point.t < b.base.point.t;
+                     }
+                     return a.base.mmsi < b.base.mmsi;
+                   });
+  return out->size() - base;
 }
 
 std::vector<DetectedEvent> MaritimePipeline::IngestBatch(

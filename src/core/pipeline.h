@@ -56,6 +56,11 @@ struct PipelineConfig {
   EventEngine::Options events;
   TrajectoryStore::Options store;
   CoverageModel::Options coverage;
+  /// Historical serving tier (storage/archive.h): per-shard queryable
+  /// archives cut at window boundaries, served to `QueryEngine` readers via
+  /// epoch snapshots. Disabled by default — enabling it adds one staging
+  /// copy per clean point to the ingest path and an epoch close per window.
+  ArchiveOptions archive;
   /// Store full-rate trajectories (true) or synopses only (false) — the
   /// in-situ trade-off of E12.
   bool store_full_rate = true;
@@ -172,6 +177,10 @@ struct PipelineMetrics {
   /// channels. Zero when the pair stage runs sequentially.
   QueueHopStats pair_hop;
   QualityAssessor::Report quality;
+  /// Historical serving tier counters (blocks cut, epochs published, LSM
+  /// flush/compaction activity), merged across shard archives. All zero when
+  /// `PipelineConfig::archive.enabled` is false.
+  ArchiveStats archive;
   uint64_t alerts = 0;
   RateMeter ingest_rate;
   LatencyReservoir end_to_end_latency;  ///< event time → processed
@@ -206,6 +215,13 @@ class MaritimePipeline {
     return core_.DrainEnriched(out);
   }
 
+  /// \brief Drains the buffered enriched points in canonical
+  /// (event-time, MMSI) order — the coordinator-side merged view of §2.2's
+  /// contextually rich stream. Appends to `out`; returns how many. The
+  /// sharded pipeline's `DrainEnrichedOrdered` produces the identical
+  /// sequence for the same input, shard count notwithstanding.
+  size_t DrainEnrichedOrdered(std::vector<EnrichedPoint>* out);
+
   /// \brief Enrichment delivery barrier. A no-op here (the stage is
   /// synchronous); `Finish` calls it so both pipelines share the contract
   /// that after Finish every clean point has been delivered or counted
@@ -235,6 +251,10 @@ class MaritimePipeline {
 
   const TrajectoryStore& store() const { return core_.store(); }
   const CoverageModel& coverage() const { return core_.coverage(); }
+  /// \brief The historical archive (single partition here); null when
+  /// `PipelineConfig::archive` is disabled. Hand `{archive()}` to a
+  /// `QueryEngine` for the sequential serving reference.
+  const ShardArchive* archive() const { return core_.archive(); }
   const PipelineMetrics& metrics() const { return metrics_; }
   const std::vector<CriticalPoint>& synopsis_log() const {
     return core_.synopsis_log();

@@ -1,5 +1,6 @@
 #include "core/shard.h"
 
+#include <string>
 #include <utility>
 
 #include "core/pipeline.h"
@@ -28,7 +29,8 @@ PipelineShardCore::PipelineShardCore(const PipelineConfig& config,
                                      const ZoneDatabase* zones,
                                      const WeatherProvider* weather,
                                      const VesselRegistry* registry_a,
-                                     const VesselRegistry* registry_b)
+                                     const VesselRegistry* registry_b,
+                                     size_t shard_index)
     : config_(config),
       reconstructor_(config.reconstruction),
       synopses_(config.synopses),
@@ -59,7 +61,13 @@ PipelineShardCore::PipelineShardCore(const PipelineConfig& config,
                           return out;
                         }),
       store_(config.store),
-      coverage_(config.coverage) {}
+      coverage_(config.coverage) {
+  if (config.archive.enabled) {
+    std::string dir = config.archive.directory;
+    if (!dir.empty()) dir += "/shard_" + std::to_string(shard_index);
+    archive_ = std::make_unique<ShardArchive>(config.archive, std::move(dir));
+  }
+}
 
 void PipelineShardCore::ProcessStatic(const StaticVoyageData& sv) {
   vessel_events_.SetVesselInfo(sv.mmsi, sv.ship_type);
@@ -101,6 +109,11 @@ void PipelineShardCore::ProcessPoint(const ReconstructedPoint& rp,
       (void)store_.Append(cp.mmsi, cp.point);
     }
   }
+
+  // Historical archive staging: a pooled vector push per clean point, cut
+  // into blocks at window close. Same clean points every arrangement, so
+  // archives are partition-invariant.
+  if (archive_ != nullptr) archive_->Stage(rp.mmsi, rp.point);
 
   // Enrichment side-stage (never blocks: drop-oldest backpressure) +
   // single-vessel event recognition.

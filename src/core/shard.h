@@ -23,6 +23,7 @@
 /// output.
 
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <vector>
 
@@ -34,6 +35,7 @@
 #include "core/events.h"
 #include "core/reconstruction.h"
 #include "core/synopses.h"
+#include "storage/archive.h"
 #include "storage/trajectory_store.h"
 #include "stream/rate.h"
 #include "stream/side_stage.h"
@@ -56,10 +58,12 @@ class PipelineShardCore {
   /// skipped. `config` must outlive the core. `async_enrichment` selects
   /// whether the enrichment side-stage runs on its own worker (sharded
   /// pipeline) or inline on the caller thread (sequential reference).
+  /// `shard_index` names this core's partition of the historical archive
+  /// (directory suffix "shard_<i>"); the sequential pipeline is index 0.
   PipelineShardCore(const PipelineConfig& config, bool async_enrichment,
                     const ZoneDatabase* zones, const WeatherProvider* weather,
                     const VesselRegistry* registry_a,
-                    const VesselRegistry* registry_b);
+                    const VesselRegistry* registry_b, size_t shard_index = 0);
 
   // Self-referential (config reference, enrichment_ points at
   // source_quality_): copying or moving would leave dangling internals.
@@ -100,6 +104,18 @@ class PipelineShardCore {
   /// \brief Barrier: returns once every submitted point has been enriched
   /// (delivered to the sink / drain buffer) or counted as dropped.
   void FlushEnrichment() { enrichment_stage_.Flush(); }
+
+  /// \brief Closes the historical archive's current epoch: cuts the staged
+  /// points into position blocks, persists them, and publishes a new read
+  /// snapshot. Called by both pipelines at every window close, so epoch
+  /// boundaries equal window boundaries — the serving tier's determinism
+  /// hinges on that alignment. No-op without an archive.
+  Status CloseArchiveEpoch() {
+    return archive_ != nullptr ? archive_->CloseEpoch() : Status::OK();
+  }
+
+  /// \brief This shard's archive partition; null when archiving is off.
+  const ShardArchive* archive() const { return archive_.get(); }
 
   const TrajectoryStore& store() const { return store_; }
   const CoverageModel& coverage() const { return coverage_; }
@@ -149,6 +165,10 @@ class PipelineShardCore {
   EnrichmentEngine::Stats enrichment_stats_snapshot_;
   AsyncSideStage<ReconstructedPoint, EnrichedPoint> enrichment_stage_;
   TrajectoryStore store_;
+  /// Historical serving-tier partition (null when PipelineConfig::archive is
+  /// disabled). Written only by this core's worker thread; read via its
+  /// lock-free snapshots by the query layer.
+  std::unique_ptr<ShardArchive> archive_;
   CoverageModel coverage_;
   LatencyReservoir latency_;  ///< event time → processed
   std::vector<CriticalPoint> synopsis_log_;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "stream/merge.h"
+
 namespace marlin {
 
 namespace {
@@ -28,8 +30,9 @@ ShardedPipeline::ShardedPipeline(const PipelineConfig& config,
       router_(ResolveTopologyCount(options.num_shards)),
       pair_events_(config.events),
       pair_grid_(config.events, GridPairOptions(config)) {
-  // Shards writing one LSM archive concurrently would race; archival stays a
-  // sequential-pipeline feature.
+  // Shards writing the legacy single LSM archive concurrently would race;
+  // strip it. The serving tier's per-shard archives (config_.archive) take
+  // its place: each shard core owns partition "shard_<i>".
   config_.store.archive = nullptr;
   const size_t n = router_.num_shards();
   // Capacity 1 cannot deadlock (workers always drain), it just serialises
@@ -43,7 +46,7 @@ ShardedPipeline::ShardedPipeline(const PipelineConfig& config,
     auto shard = std::make_unique<Shard>(fabric, capacity);
     shard->core = std::make_unique<PipelineShardCore>(
         config_, /*async_enrichment=*/true, zones, weather, registry_a,
-        registry_b);
+        registry_b, /*shard_index=*/i);
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -84,6 +87,11 @@ void ShardedPipeline::WorkerLoop(Shard* shard) {
             }
           }
         }
+        // Epoch close rides the worker thread (the archive's writer) and
+        // precedes the latch, so once the coordinator observes the window
+        // done, the new snapshot is published — readers joining after a
+        // merged window always see that window's blocks.
+        if (task.close_epoch) (void)shard->core->CloseArchiveEpoch();
         task.done->count_down();
       }
     }
@@ -159,11 +167,11 @@ void ShardedPipeline::AssembleAndRoute(Window* window) {
   }
 }
 
-void ShardedPipeline::DispatchShardTasks(Window* window) {
+void ShardedPipeline::DispatchShardTasks(Window* window, bool close_epoch) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->queue.Push(Command(
         ShardTask{&window->routed[s], &window->events[s], &window->pairs[s],
-                  window->shards_done.get()}));
+                  window->shards_done.get(), kInvalidTimestamp, close_epoch}));
   }
 }
 
@@ -237,6 +245,12 @@ void ShardedPipeline::RefreshMetrics() {
     metrics_.end_to_end_latency.Merge(shard->core->end_to_end_latency());
   }
   metrics_.events.events_out += pair_events_.stats().events_out;
+  metrics_.archive = {};
+  for (const auto& shard : shards_) {
+    if (shard->core->archive() != nullptr) {
+      metrics_.archive.Merge(shard->core->archive()->stats());
+    }
+  }
   metrics_.pair_stage = pair_grid_.stats();
   metrics_.shard_hop = {};
   for (const auto& shard : shards_) {
@@ -332,7 +346,10 @@ std::vector<DetectedEvent> ShardedPipeline::Finish() {
   window.shards_done = std::make_unique<std::latch>(
       static_cast<ptrdiff_t>(shard_count * tasks_per_shard));
   if (has_lines) {
-    DispatchShardTasks(&window);
+    // Tail lines + flush are ONE window: the flush task below closes the
+    // archive epoch for both, matching the sequential pipeline's single
+    // Finish-time window close.
+    DispatchShardTasks(&window, /*close_epoch=*/false);
     pending_lines_.clear();
   }
   for (size_t s = 0; s < shard_count; ++s) {
@@ -361,8 +378,52 @@ size_t ShardedPipeline::DrainEnriched(std::vector<EnrichedPoint>* out) {
   return n;
 }
 
+size_t ShardedPipeline::DrainEnrichedOrdered(std::vector<EnrichedPoint>* out) {
+  struct EnrichedLess {
+    bool operator()(const Event<EnrichedPoint>& a,
+                    const Event<EnrichedPoint>& b) const {
+      if (a.payload.base.point.t != b.payload.base.point.t) {
+        return a.payload.base.point.t < b.payload.base.point.t;
+      }
+      return a.payload.base.mmsi < b.payload.base.mmsi;
+    }
+  };
+  // Per-shard drains are each sorted locally (delivery order interleaves
+  // vessels), then k-way merged — reconstruction emits one point per
+  // (vessel, timestamp), and vessels never span shards, so (t, MMSI) is a
+  // total order over the merged stream.
+  std::vector<StreamMerger<EnrichedPoint, EnrichedLess>::Source> sources;
+  sources.reserve(shards_.size());
+  size_t n = 0;
+  for (auto& shard : shards_) {
+    std::vector<EnrichedPoint> drained;
+    shard->core->DrainEnriched(&drained);
+    n += drained.size();
+    std::vector<Event<EnrichedPoint>> wrapped;
+    wrapped.reserve(drained.size());
+    for (EnrichedPoint& p : drained) {
+      wrapped.emplace_back(p.base.point.t, std::move(p));
+    }
+    std::stable_sort(wrapped.begin(), wrapped.end(), EnrichedLess{});
+    sources.push_back(VectorSource<EnrichedPoint>(std::move(wrapped)));
+  }
+  StreamMerger<EnrichedPoint, EnrichedLess> merger(std::move(sources));
+  out->reserve(out->size() + n);
+  while (auto ev = merger.Next()) out->push_back(std::move(ev->payload));
+  return n;
+}
+
 void ShardedPipeline::FlushEnrichment() {
   for (auto& shard : shards_) shard->core->FlushEnrichment();
+}
+
+std::vector<const ShardArchive*> ShardedPipeline::archive_view() const {
+  std::vector<const ShardArchive*> partitions;
+  partitions.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    partitions.push_back(shard->core->archive());
+  }
+  return partitions;
 }
 
 PartitionedTrajectoryView ShardedPipeline::store_view() const {

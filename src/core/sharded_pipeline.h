@@ -70,9 +70,13 @@ class ShardedPipeline {
     size_t queue_capacity = 4;
   };
 
-  /// \brief Context sources may be null. The LSM archive option is not
-  /// supported in sharded mode (partitions would race on one archive) and
-  /// is stripped from the shard configs.
+  /// \brief Context sources may be null. The legacy single-store LSM
+  /// archive option (`TrajectoryStore::Options::archive`) is stripped from
+  /// the shard configs — partitions would race on one archive. The serving
+  /// tier replaces it: with `PipelineConfig::archive.enabled`, every shard
+  /// owns its own `ShardArchive` partition (directory suffix "shard_<i>")
+  /// whose epochs close at the shared window boundaries, so N-shard
+  /// archives are block-identical to the sequential pipeline's.
   ShardedPipeline(const PipelineConfig& config, const Options& options,
                   const ZoneDatabase* zones, const WeatherProvider* weather,
                   const VesselRegistry* registry_a,
@@ -102,6 +106,13 @@ class ShardedPipeline {
   /// stage thins the stream where the synchronous one cannot. Call between
   /// ingest calls.
   size_t DrainEnriched(std::vector<EnrichedPoint>* out);
+
+  /// \brief Coordinator-side merged view of the enriched stream: drains
+  /// every shard's buffer and k-way-merges (stream/merge.h) into canonical
+  /// (event-time, MMSI) order. With no drops this equals the sequential
+  /// pipeline's `DrainEnrichedOrdered` output for any shard count. Appends
+  /// to `out`; returns how many. Call between ingest calls.
+  size_t DrainEnrichedOrdered(std::vector<EnrichedPoint>* out);
 
   /// \brief Enrichment delivery barrier: blocks until every point
   /// submitted so far has been enriched (sink/drain buffer) or counted as
@@ -144,6 +155,12 @@ class ShardedPipeline {
     return *shards_[i]->core;
   }
 
+  /// \brief The per-shard archive partitions, shard index order — the input
+  /// to a `QueryEngine`. Entries are null when `PipelineConfig::archive` is
+  /// disabled. Snapshots are safe to read while ingest runs; valid while
+  /// the pipeline is alive.
+  std::vector<const ShardArchive*> archive_view() const;
+
  private:
   /// One decoded message routed to a shard, tagged with its ingest time.
   struct RoutedMessage {
@@ -168,6 +185,11 @@ class ShardedPipeline {
     /// Flush tasks only: the stream's last ingest time, so end-of-stream
     /// points are latency-measured like streamed ones.
     Timestamp flush_ingest_time = kInvalidTimestamp;
+    /// Close the shard's archive epoch after this task. True for window and
+    /// flush tasks; false for `Finish`'s tail-lines task, whose lines and
+    /// flush form ONE window — exactly one epoch, as in the sequential
+    /// pipeline.
+    bool close_epoch = true;
   };
 
   using Command = std::variant<ParseTask, ShardTask>;
@@ -214,7 +236,7 @@ class ShardedPipeline {
   /// messages into the window's per-shard slices.
   void AssembleAndRoute(Window* window);
   /// Enqueues one ShardTask per shard for the window (non-blocking).
-  void DispatchShardTasks(Window* window);
+  void DispatchShardTasks(Window* window, bool close_epoch = true);
   /// AssembleAndRoute + latch setup + DispatchShardTasks.
   void DispatchWindow(Window* window);
   /// Waits for the window's shards, runs the pair stage, re-sequences,

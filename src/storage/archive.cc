@@ -1,0 +1,260 @@
+#include "storage/archive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "storage/coding.h"
+
+namespace marlin {
+
+namespace {
+
+// Field widths of the block column encoding. 40-bit deltas cover ~34 years
+// between consecutive points of one vessel; coordinates are 1e-7-degree
+// fixed point (int32 covers ±214°, so the AIS not-available sentinels 91/181
+// encode losslessly too).
+constexpr int kDtBits = 40;
+constexpr int kCoordBits = 32;
+constexpr int kFloatBits = 32;
+constexpr double kCoordScale = 1e7;
+
+int64_t QuantizeCoord(double degrees) {
+  return std::llround(degrees * kCoordScale);
+}
+
+uint32_t FloatBits(float f) {
+  uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return bits;
+}
+
+float BitsFloat(uint32_t bits) {
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+
+}  // namespace
+
+void EncodePositionBlock(const std::vector<TrajectoryPoint>& points,
+                         PackedBits* out) {
+  out->Clear();
+  out->ReserveBits(points.size() *
+                   (kDtBits + 2 * kCoordBits + 2 * kFloatBits));
+  Timestamp prev = points.empty() ? 0 : points.front().t;
+  for (const TrajectoryPoint& p : points) {
+    out->AppendBits(static_cast<uint64_t>(p.t - prev), kDtBits);
+    prev = p.t;
+  }
+  for (const TrajectoryPoint& p : points) {
+    out->AppendBits(static_cast<uint64_t>(QuantizeCoord(p.position.lat)),
+                    kCoordBits);
+  }
+  for (const TrajectoryPoint& p : points) {
+    out->AppendBits(static_cast<uint64_t>(QuantizeCoord(p.position.lon)),
+                    kCoordBits);
+  }
+  for (const TrajectoryPoint& p : points) {
+    out->AppendBits(FloatBits(p.sog_mps), kFloatBits);
+  }
+  for (const TrajectoryPoint& p : points) {
+    out->AppendBits(FloatBits(p.cog_deg), kFloatBits);
+  }
+}
+
+Status DecodePositionBlock(const PackedBits& data, uint32_t count, uint32_t mmsi,
+                           Timestamp t0, std::vector<TrajectoryPoint>* out) {
+  (void)mmsi;
+  const size_t base = out->size();
+  out->resize(base + count);
+  PackedBitReader reader(data);
+  Timestamp t = t0;
+  for (uint32_t i = 0; i < count; ++i) {
+    MARLIN_ASSIGN_OR_RETURN(uint64_t dt, reader.ReadUnsigned(kDtBits));
+    t += static_cast<Timestamp>(dt);
+    (*out)[base + i].t = t;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    MARLIN_ASSIGN_OR_RETURN(int64_t lat, reader.ReadSigned(kCoordBits));
+    (*out)[base + i].position.lat = static_cast<double>(lat) / kCoordScale;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    MARLIN_ASSIGN_OR_RETURN(int64_t lon, reader.ReadSigned(kCoordBits));
+    (*out)[base + i].position.lon = static_cast<double>(lon) / kCoordScale;
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    MARLIN_ASSIGN_OR_RETURN(uint64_t sog, reader.ReadUnsigned(kFloatBits));
+    (*out)[base + i].sog_mps = BitsFloat(static_cast<uint32_t>(sog));
+  }
+  for (uint32_t i = 0; i < count; ++i) {
+    MARLIN_ASSIGN_OR_RETURN(uint64_t cog, reader.ReadUnsigned(kFloatBits));
+    (*out)[base + i].cog_deg = BitsFloat(static_cast<uint32_t>(cog));
+  }
+  return Status::OK();
+}
+
+std::string SerializeBlockValue(const PositionBlock& block) {
+  std::string v;
+  v.reserve(8 + block.data.word_count() * 8);
+  PutFixed32BE(&v, block.count);
+  PutFixed32BE(&v, static_cast<uint32_t>(block.data.size_bits()));
+  for (size_t i = 0; i < block.data.word_count(); ++i) {
+    PutFixed64BE(&v, block.data.word(i));
+  }
+  return v;
+}
+
+Status ParseBlockValue(std::string_view value, uint32_t* count,
+                       PackedBits* data) {
+  if (value.size() < 8) return Status::Corruption("block value truncated");
+  *count = GetFixed32BE(value, 0);
+  const uint32_t size_bits = GetFixed32BE(value, 4);
+  const size_t words = (static_cast<size_t>(size_bits) + 63) / 64;
+  if (value.size() != 8 + words * 8) {
+    return Status::Corruption("block value word count mismatch");
+  }
+  data->Clear();
+  data->ReserveBits(size_bits);
+  size_t remaining = size_bits;
+  for (size_t i = 0; i < words; ++i) {
+    const int width = static_cast<int>(std::min<size_t>(64, remaining));
+    data->AppendBits(GetFixed64BE(value, 8 + i * 8) >> (64 - width), width);
+    remaining -= static_cast<size_t>(width);
+  }
+  return Status::OK();
+}
+
+ShardArchive::ShardArchive(const ArchiveOptions& options, std::string directory)
+    : options_(options), directory_(std::move(directory)) {
+  LsmStore::Options lsm_options;
+  lsm_options.memtable_bytes_limit = options_.memtable_bytes_limit;
+  lsm_options.max_runs = options_.max_runs;
+  lsm_options.background_compaction = options_.background_compaction;
+  lsm_options.directory = directory_;
+  auto opened = LsmStore::Open(lsm_options);
+  if (!opened.ok()) {
+    // Unwritable directory: degrade to a volatile archive rather than
+    // poisoning the ingest path. Durability is lost, serving still works.
+    lsm_options.directory.clear();
+    opened = LsmStore::Open(lsm_options);
+  }
+  lsm_ = std::move(opened).ValueOrDie();
+  snapshot_ = std::make_shared<const PartitionSnapshot>();
+}
+
+void ShardArchive::Stage(uint32_t mmsi, const TrajectoryPoint& point) {
+  auto [slot, inserted] = slots_.TryEmplace(mmsi);
+  if (inserted) {
+    *slot = static_cast<uint32_t>(staged_.size());
+    if (pool_.size() <= *slot) pool_.emplace_back();
+    staged_.push_back(mmsi);
+  }
+  pool_[*slot].push_back(point);
+  ++stats_.points_staged;
+}
+
+Status ShardArchive::CloseEpoch() {
+  ++epoch_;
+  ++stats_.epochs;
+  if (staged_.empty()) return Status::OK();
+
+  // Ascending MMSI gives a deterministic block order within the epoch
+  // regardless of arrival order (the slot map's iteration order is not
+  // canonical).
+  std::sort(staged_.begin(), staged_.end());
+  Status status = Status::OK();
+  for (const uint32_t mmsi : staged_) {
+    std::vector<TrajectoryPoint>& points = pool_[*slots_.Find(mmsi)];
+    auto block = std::make_shared<PositionBlock>();
+    block->mmsi = mmsi;
+    block->t0 = points.front().t;
+    block->t1 = points.back().t;
+    block->count = static_cast<uint32_t>(points.size());
+    for (const TrajectoryPoint& p : points) block->bounds.Extend(p.position);
+    EncodePositionBlock(points, &block->data);
+    points.clear();  // keep capacity for the next epoch
+
+    ++stats_.blocks;
+    stats_.encoded_bytes += block->data.word_count() * 8;
+    if (lsm_ != nullptr) {
+      Status put = lsm_->Put(EncodeTrajectoryKey(mmsi, block->t0),
+                             SerializeBlockValue(*block));
+      if (!put.ok() && status.ok()) status = put;
+    }
+    blocks_.push_back(std::move(block));
+  }
+  slots_.Clear();
+  staged_.clear();
+
+  // Incremental index maintenance: rebuild the static indexes once the
+  // unindexed tail outgrows its budget, else let the tail ride.
+  if (blocks_.size() - indexed_ > options_.index_rebuild_blocks) {
+    std::vector<RTreeEntry> boxes;
+    std::vector<IntervalEntry> spans;
+    boxes.reserve(blocks_.size());
+    spans.reserve(blocks_.size());
+    for (size_t i = 0; i < blocks_.size(); ++i) {
+      boxes.push_back(RTreeEntry{blocks_[i]->bounds, i});
+      spans.push_back(IntervalEntry{blocks_[i]->t0, blocks_[i]->t1, i});
+    }
+    rtree_ = std::make_shared<const RTree>(std::move(boxes));
+    intervals_ = std::make_shared<const IntervalIndex>(std::move(spans));
+    indexed_ = blocks_.size();
+    ++stats_.index_rebuilds;
+  }
+
+  auto snapshot = std::make_shared<PartitionSnapshot>();
+  snapshot->epoch = epoch_;
+  snapshot->blocks = blocks_;  // shared_ptr copies, payloads shared
+  snapshot->rtree = rtree_;
+  snapshot->intervals = intervals_;
+  snapshot->indexed = indexed_;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = std::move(snapshot);
+  }
+  return status;
+}
+
+Status ShardArchive::LoadVesselRange(uint32_t mmsi, Timestamp t0, Timestamp t1,
+                                     std::vector<TrajectoryPoint>* out) const {
+  if (lsm_ == nullptr) return Status::OK();
+  // Scan the vessel's full key range (a block starting before t0 can still
+  // overlap it) — both bounds share the MMSI prefix, so the per-run prefix
+  // Bloom filter prunes runs without this vessel.
+  const auto entries = lsm_->Scan(EncodeTrajectoryKey(mmsi, kInvalidTimestamp),
+                                  EncodeTrajectoryKey(mmsi, kMaxTimestamp));
+  std::vector<TrajectoryPoint> scratch;
+  for (const auto& [key, value] : entries) {
+    uint32_t key_mmsi = 0;
+    Timestamp block_t0 = 0;
+    if (!DecodeTrajectoryKey(key, &key_mmsi, &block_t0)) {
+      return Status::Corruption("bad archive block key");
+    }
+    if (block_t0 > t1) break;  // keys ascend in time within the vessel
+    uint32_t count = 0;
+    PackedBits data;
+    MARLIN_RETURN_NOT_OK(ParseBlockValue(value, &count, &data));
+    scratch.clear();
+    MARLIN_RETURN_NOT_OK(
+        DecodePositionBlock(data, count, key_mmsi, block_t0, &scratch));
+    for (const TrajectoryPoint& p : scratch) {
+      if (p.t >= t0 && p.t <= t1) out->push_back(p);
+    }
+  }
+  return Status::OK();
+}
+
+ArchiveStats ShardArchive::stats() const {
+  ArchiveStats out = stats_;
+  if (lsm_ != nullptr) {
+    const LsmStore::Stats lsm_stats = lsm_->stats();
+    out.lsm_flushes = lsm_stats.flushes;
+    out.lsm_compactions = lsm_stats.compactions;
+    out.prefix_bloom_skipped = lsm_stats.prefix_bloom_skipped;
+  }
+  return out;
+}
+
+}  // namespace marlin

@@ -1,0 +1,227 @@
+#ifndef MARLIN_STORAGE_ARCHIVE_H_
+#define MARLIN_STORAGE_ARCHIVE_H_
+
+/// \file archive.h
+/// \brief Per-shard historical archive: PackedBits position blocks, LSM
+/// durability, secondary indexes, and epoch-published read snapshots.
+///
+/// This is the storage half of the historical serving tier (ROADMAP
+/// direction 3). Each `PipelineShardCore` owns one `ShardArchive` for its
+/// vessel partition; the coordinator-side `QueryEngine`
+/// (core/query_engine.h) fans out over the per-shard snapshots and merges.
+///
+/// Write path (shard worker thread only):
+///   * `Stage(mmsi, point)` runs per clean reconstructed point. It is a
+///     pooled vector push — no allocation in steady state — so the ingest
+///     hot path pays nothing for archival beyond the copy.
+///   * `CloseEpoch()` runs at every pipeline window close. The staged
+///     points are cut into one *position block* per (vessel, window) —
+///     count, base time, then delta-time / scaled-int coordinate / float
+///     kinematics columns packed MSB-first into `PackedBits` words (the
+///     PR 5 follow-on: ≤ 2 shift/mask ops per field on decode) — appended
+///     to the block log, written to the shard's `LsmStore` under the
+///     archival `[mmsi:4][first_t:8]` key, and published to readers.
+///
+/// Window boundaries are fixed by the input stream (`WindowMustClose`), so
+/// every pipeline arrangement cuts byte-identical blocks — the equivalence
+/// proof leans on this.
+///
+/// Index maintenance is incremental at window close: the published snapshot
+/// carries a static STR `RTree` + centered `IntervalIndex` over the first
+/// `indexed` blocks plus a linear tail of newer blocks; when the tail
+/// outgrows `ArchiveOptions::index_rebuild_blocks`, the indexes are rebuilt
+/// to cover everything. Readers therefore always see index + tail = all
+/// blocks, and the write-side cost per window is O(tail) except for the
+/// occasional rebuild.
+///
+/// Read path (any thread): `snapshot()` hands out a shared_ptr to an
+/// immutable `PartitionSnapshot` — epoch-style handoff, so N concurrent
+/// readers never observe a half-built epoch and never hold a lock while
+/// scanning. The handoff itself is a mutex-guarded pointer copy (a refcount
+/// increment; `std::atomic<shared_ptr>` would be lock-free but libstdc++'s
+/// implementation is not TSan-clean), so the only writer/reader contention
+/// is that single copy — readers cannot stall ingest staging, and an epoch
+/// publish waits at most one refcount bump. Block payloads are shared
+/// between consecutive snapshots (shared_ptr), so publishing costs
+/// O(blocks) pointer copies, not a data copy.
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/flat_hash.h"
+#include "common/packed_bits.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/time.h"
+#include "geo/geometry.h"
+#include "storage/interval_index.h"
+#include "storage/lsm_store.h"
+#include "storage/rtree.h"
+#include "storage/trajectory.h"
+
+namespace marlin {
+
+/// \brief Serving-tier configuration, embedded in `PipelineConfig`.
+struct ArchiveOptions {
+  /// Master switch; off keeps the pipelines byte-for-byte on their
+  /// pre-serving-tier behavior (no staging, no snapshots).
+  bool enabled = false;
+  /// Root directory for the per-shard LSM stores (shard i appends
+  /// "/shard_<i>"); empty = volatile in-memory archives.
+  std::string directory;
+  /// Per-shard LSM memtable flush threshold.
+  size_t memtable_bytes_limit = 4 * 1024 * 1024;
+  /// Per-shard LSM run-count compaction trigger.
+  int max_runs = 8;
+  /// Compact on the store's background thread (default) instead of inline
+  /// on the shard worker.
+  bool background_compaction = true;
+  /// Rebuild the static R-tree / interval tree once this many blocks sit in
+  /// the unindexed tail. Smaller = more rebuild work per window; larger =
+  /// more linear tail scanning per query.
+  size_t index_rebuild_blocks = 64;
+};
+
+/// \brief One (vessel, window) column block: metadata plus the packed
+/// payload. Immutable after `CloseEpoch` publishes it.
+struct PositionBlock {
+  uint32_t mmsi = 0;
+  Timestamp t0 = 0;          ///< first point's time
+  Timestamp t1 = 0;          ///< last point's time
+  uint32_t count = 0;
+  BoundingBox bounds;        ///< spatial extent of the block's points
+  PackedBits data;           ///< column-encoded points (see EncodePositionBlock)
+};
+
+/// \brief Column-encodes `points` (ascending time, same vessel) into `out`
+/// (cleared first). Columnar layout — all values of one field, then the
+/// next: delta times from the previous point (40-bit unsigned, first delta
+/// 0 against `points[0].t`), latitudes then longitudes as signed 32-bit
+/// 1e-7-degree fixed point (~1 cm quantum — the equivalence proofs compare
+/// archive to archive, so the quantization is invisible to them), SOG then
+/// COG as raw float bits.
+void EncodePositionBlock(const std::vector<TrajectoryPoint>& points,
+                         PackedBits* out);
+
+/// \brief Decodes `count` points from a block payload, appending to `out`.
+Status DecodePositionBlock(const PackedBits& data, uint32_t count, uint32_t mmsi,
+                           Timestamp t0, std::vector<TrajectoryPoint>* out);
+
+/// \brief LSM value form of a block: [count:4 BE][size_bits:4 BE][words BE].
+std::string SerializeBlockValue(const PositionBlock& block);
+
+/// \brief Parses a serialized block value back into count/data (metadata
+/// t0/mmsi come from the key; t1/bounds are recomputed on decode).
+Status ParseBlockValue(std::string_view value, uint32_t* count,
+                       PackedBits* data);
+
+/// \brief Mergeable serving-tier counters (surfaced in PipelineMetrics).
+struct ArchiveStats {
+  uint64_t points_staged = 0;
+  uint64_t blocks = 0;
+  uint64_t epochs = 0;
+  uint64_t index_rebuilds = 0;
+  uint64_t encoded_bytes = 0;   ///< packed payload bytes across all blocks
+  uint64_t lsm_flushes = 0;
+  uint64_t lsm_compactions = 0;
+  uint64_t prefix_bloom_skipped = 0;  ///< runs skipped on vessel scans
+
+  void Merge(const ArchiveStats& o) {
+    points_staged += o.points_staged;
+    blocks += o.blocks;
+    epochs += o.epochs;
+    index_rebuilds += o.index_rebuilds;
+    encoded_bytes += o.encoded_bytes;
+    lsm_flushes += o.lsm_flushes;
+    lsm_compactions += o.lsm_compactions;
+    prefix_bloom_skipped += o.prefix_bloom_skipped;
+  }
+};
+
+/// \brief One shard partition of the historical archive.
+class ShardArchive {
+ public:
+  /// \brief Immutable read snapshot, published at epoch close.
+  struct PartitionSnapshot {
+    uint64_t epoch = 0;
+    /// All published blocks, epoch order (within an epoch: ascending MMSI).
+    std::vector<std::shared_ptr<const PositionBlock>> blocks;
+    /// Static secondary indexes over blocks[0 .. indexed): entry id = block
+    /// index. Blocks [indexed, size) are the unindexed tail, scanned
+    /// linearly by the query layer against their own metadata.
+    std::shared_ptr<const RTree> rtree;
+    std::shared_ptr<const IntervalIndex> intervals;
+    size_t indexed = 0;
+  };
+
+  /// \brief `directory` is this shard's own LSM directory (already
+  /// suffixed); empty = volatile.
+  ShardArchive(const ArchiveOptions& options, std::string directory);
+
+  ShardArchive(const ShardArchive&) = delete;
+  ShardArchive& operator=(const ShardArchive&) = delete;
+
+  /// \brief Stages one clean point (writer thread). Steady state is
+  /// allocation-free: the per-vessel staging vectors and the vessel slot
+  /// map are pooled across epochs.
+  void Stage(uint32_t mmsi, const TrajectoryPoint& point);
+
+  /// \brief Cuts the staged points into blocks, persists them, maintains
+  /// the indexes, and publishes a new snapshot (writer thread; called at
+  /// pipeline window close). A close with nothing staged publishes nothing
+  /// and costs O(1).
+  Status CloseEpoch();
+
+  /// \brief Current read snapshot (any thread; the critical section is one
+  /// shared_ptr copy). Never null — an empty snapshot precedes the first
+  /// epoch.
+  std::shared_ptr<const PartitionSnapshot> snapshot() const {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    return snapshot_;
+  }
+
+  /// \brief Re-reads one vessel's blocks overlapping [t0, t1] from the LSM
+  /// store (durability path, exercises the prefix Bloom filters). Decoded
+  /// points are appended in ascending time order.
+  Status LoadVesselRange(uint32_t mmsi, Timestamp t0, Timestamp t1,
+                         std::vector<TrajectoryPoint>* out) const;
+
+  /// \brief Serving-tier counters including the LSM store's (writer thread,
+  /// or any thread while the writer is quiescent).
+  ArchiveStats stats() const;
+
+  LsmStore* lsm() { return lsm_.get(); }
+  const std::string& directory() const { return directory_; }
+
+ private:
+  ArchiveOptions options_;
+  std::string directory_;
+  std::unique_ptr<LsmStore> lsm_;  ///< null only if Open failed (volatile fallback)
+
+  // Staging pool (writer thread only). `slots_` maps a vessel to its pool
+  // index for the current epoch; `staged_` lists occupied pool slots in
+  // first-touch order. Clearing keeps every vector's capacity.
+  FlatHashMap<uint32_t, uint32_t> slots_;
+  std::vector<std::vector<TrajectoryPoint>> pool_;
+  std::vector<uint32_t> staged_;
+
+  // Writer-side master copy of the published state.
+  std::vector<std::shared_ptr<const PositionBlock>> blocks_;
+  std::shared_ptr<const RTree> rtree_;
+  std::shared_ptr<const IntervalIndex> intervals_;
+  size_t indexed_ = 0;
+  uint64_t epoch_ = 0;
+  ArchiveStats stats_;
+
+  /// Guards only the published pointer below — never held while scanning
+  /// or while the writer builds an epoch.
+  mutable std::mutex snapshot_mutex_;
+  std::shared_ptr<const PartitionSnapshot> snapshot_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STORAGE_ARCHIVE_H_

@@ -18,7 +18,8 @@ namespace {
 
 constexpr char kTypePut = 0;
 constexpr char kTypeDelete = 1;
-constexpr std::string_view kRunMagic = "MRLNSST1";
+constexpr std::string_view kRunMagic = "MRLNSST2";
+constexpr std::string_view kRunMagicV1 = "MRLNSST1";  // no prefix filter
 
 std::string InternalValue(char type, std::string_view user_value) {
   std::string v;
@@ -36,6 +37,10 @@ std::string_view UserValue(std::string_view internal) {
   return internal.substr(1);
 }
 
+std::string_view KeyPrefix(std::string_view key) {
+  return key.substr(0, std::min(key.size(), SortedRun::kPrefixLen));
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -47,8 +52,16 @@ SortedRun SortedRun::Build(
     int bloom_bits_per_key) {
   SortedRun run;
   run.bloom_ = BloomFilter(entries.size(), bloom_bits_per_key);
+  // Sized for the worst case (every key a distinct prefix); with the
+  // archival schema one vessel contributes many keys, so the filter is
+  // usually far under capacity and its false-positive rate only improves.
+  run.prefix_bloom_ = BloomFilter(entries.size(), bloom_bits_per_key);
+  run.has_prefix_bloom_ = true;
   run.entries_ = std::move(entries);
-  for (const auto& [k, v] : run.entries_) run.bloom_.Add(k);
+  for (const auto& [k, v] : run.entries_) {
+    run.bloom_.Add(k);
+    run.prefix_bloom_.Add(KeyPrefix(k));
+  }
   if (!run.entries_.empty()) {
     run.min_key_ = run.entries_.front().first;
     run.max_key_ = run.entries_.back().first;
@@ -72,6 +85,17 @@ bool SortedRun::MayContain(std::string_view key) const {
   return bloom_.MayContain(key);
 }
 
+bool SortedRun::MayContainPrefix(std::string_view prefix) const {
+  if (entries_.empty()) return false;
+  if (!has_prefix_bloom_ || prefix.size() < kPrefixLen) return true;
+  // Key-range check on the prefix alone: the run's keys are sorted, so a
+  // prefix outside [min_key_ prefix, max_key_ prefix] cannot appear.
+  if (prefix < KeyPrefix(min_key_) || prefix > KeyPrefix(max_key_)) {
+    return false;
+  }
+  return prefix_bloom_.MayContain(prefix);
+}
+
 std::string SortedRun::Serialize() const {
   std::string body;
   body.append(kRunMagic);
@@ -85,6 +109,9 @@ std::string SortedRun::Serialize() const {
   const std::string bloom = bloom_.Serialize();
   PutFixed32BE(&body, static_cast<uint32_t>(bloom.size()));
   body.append(bloom);
+  const std::string prefix_bloom = prefix_bloom_.Serialize();
+  PutFixed32BE(&body, static_cast<uint32_t>(prefix_bloom.size()));
+  body.append(prefix_bloom);
   PutFixed32BE(&body, Crc32c(body.data(), body.size()));
   return body;
 }
@@ -97,7 +124,9 @@ Result<SortedRun> SortedRun::Deserialize(std::string_view data) {
   if (Crc32c(data.data(), data.size() - 4) != stored_crc) {
     return Status::Corruption("run file checksum mismatch");
   }
-  if (data.substr(0, kRunMagic.size()) != kRunMagic) {
+  const std::string_view magic = data.substr(0, kRunMagic.size());
+  const bool v1 = magic == kRunMagicV1;
+  if (!v1 && magic != kRunMagic) {
     return Status::Corruption("bad run file magic");
   }
   size_t pos = kRunMagic.size();
@@ -131,6 +160,19 @@ Result<SortedRun> SortedRun::Deserialize(std::string_view data) {
   }
   SortedRun run;
   run.bloom_ = BloomFilter::Deserialize(data.substr(pos, bloom_len));
+  pos += bloom_len;
+  if (!v1) {
+    if (pos + 8 > data.size()) {
+      return Status::Corruption("prefix bloom header truncated");
+    }
+    const uint32_t prefix_len = GetFixed32BE(data, pos);
+    pos += 4;
+    if (pos + prefix_len + 4 > data.size()) {
+      return Status::Corruption("prefix bloom filter truncated");
+    }
+    run.prefix_bloom_ = BloomFilter::Deserialize(data.substr(pos, prefix_len));
+    run.has_prefix_bloom_ = true;
+  }
   run.entries_ = std::move(entries);
   if (!run.entries_.empty()) {
     run.min_key_ = run.entries_.front().first;
@@ -147,6 +189,14 @@ LsmStore::LsmStore(const Options& options)
     : options_(options), memtable_(std::make_unique<SkipList>()) {}
 
 LsmStore::~LsmStore() {
+  if (compactor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(runs_mutex_);
+      stop_compactor_ = true;
+    }
+    compactor_cv_.notify_all();
+    compactor_.join();
+  }
   if (wal_fd_ >= 0) ::close(wal_fd_);
 }
 
@@ -166,6 +216,9 @@ Result<std::unique_ptr<LsmStore>> LsmStore::Open(const Options& options) {
     if (store->wal_fd_ < 0) {
       return Status::IOError("cannot open WAL for append: " + wal_path);
     }
+  }
+  if (options.background_compaction) {
+    store->compactor_ = std::thread([s = store.get()] { s->CompactorLoop(); });
   }
   return store;
 }
@@ -241,7 +294,8 @@ Status LsmStore::LoadRuns() {
     std::string data((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
     MARLIN_ASSIGN_OR_RETURN(SortedRun run, SortedRun::Deserialize(data));
-    runs_.push_back(std::make_shared<SortedRun>(std::move(run)));
+    runs_.push_back(
+        RunHandle{std::make_shared<SortedRun>(std::move(run)), num});
     next_file_number_ = std::max(next_file_number_, num + 1);
   }
   return Status::OK();
@@ -286,6 +340,24 @@ Status LsmStore::Delete(std::string_view key) {
   return Status::OK();
 }
 
+std::vector<std::shared_ptr<SortedRun>> LsmStore::SnapshotRuns() const {
+  std::lock_guard<std::mutex> lock(runs_mutex_);
+  std::vector<std::shared_ptr<SortedRun>> out;
+  out.reserve(runs_.size());
+  for (const RunHandle& h : runs_) out.push_back(h.run);
+  return out;
+}
+
+size_t LsmStore::NumRuns() const {
+  std::lock_guard<std::mutex> lock(runs_mutex_);
+  return runs_.size();
+}
+
+LsmStore::Stats LsmStore::stats() const {
+  std::lock_guard<std::mutex> lock(runs_mutex_);
+  return stats_;
+}
+
 Result<std::string> LsmStore::Get(std::string_view key) const {
   auto* self = const_cast<LsmStore*>(this);
   ++self->stats_.gets;
@@ -294,7 +366,8 @@ Result<std::string> LsmStore::Get(std::string_view key) const {
     ++self->stats_.gets_found;
     return std::string(UserValue(*v));
   }
-  for (auto it = runs_.rbegin(); it != runs_.rend(); ++it) {  // newest first
+  const auto runs = SnapshotRuns();
+  for (auto it = runs.rbegin(); it != runs.rend(); ++it) {  // newest first
     if (!(*it)->MayContain(key)) {
       ++self->stats_.bloom_negative;
       continue;
@@ -318,11 +391,19 @@ Status LsmStore::WriteMemtableToRun() {
   }
   SortedRun run = SortedRun::Build(std::move(entries),
                                    options_.bloom_bits_per_key);
-  MARLIN_RETURN_NOT_OK(PersistRun(run, next_file_number_));
-  runs_.push_back(std::make_shared<SortedRun>(std::move(run)));
-  ++next_file_number_;
+  uint64_t file_number = 0;
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    file_number = next_file_number_++;
+  }
+  MARLIN_RETURN_NOT_OK(PersistRun(run, file_number));
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    runs_.push_back(RunHandle{std::make_shared<SortedRun>(std::move(run)),
+                              options_.directory.empty() ? 0 : file_number});
+    ++stats_.flushes;
+  }
   memtable_ = std::make_unique<SkipList>();
-  ++stats_.flushes;
   return Status::OK();
 }
 
@@ -335,19 +416,46 @@ Status LsmStore::Flush() {
     wal_fd_ = ::open(wal_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (wal_fd_ < 0) return Status::IOError("cannot truncate WAL");
   }
-  if (static_cast<int>(runs_.size()) > options_.max_runs) {
-    MARLIN_RETURN_NOT_OK(CompactAll());
-  }
-  return Status::OK();
+  return MaybeScheduleCompaction();
 }
 
-Status LsmStore::CompactAll() {
-  MARLIN_RETURN_NOT_OK(WriteMemtableToRun());
-  if (runs_.size() <= 1) return Status::OK();
-  // Newest-wins merge of all runs; drop tombstones (full compaction).
+Status LsmStore::MaybeScheduleCompaction() {
+  bool over_limit = false;
+  Status background_failure = Status::OK();
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    over_limit = static_cast<int>(runs_.size()) > options_.max_runs;
+    if (!compactor_status_.ok()) {
+      background_failure = compactor_status_;
+      compactor_status_ = Status::OK();
+    }
+  }
+  MARLIN_RETURN_NOT_OK(background_failure);
+  if (!over_limit) return Status::OK();
+  if (options_.background_compaction && compactor_.joinable()) {
+    {
+      std::lock_guard<std::mutex> lock(runs_mutex_);
+      compact_requested_ = true;
+    }
+    compactor_cv_.notify_all();
+    return Status::OK();
+  }
+  std::vector<RunHandle> inputs;
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    inputs = runs_;
+  }
+  return CompactRuns(std::move(inputs));
+}
+
+Status LsmStore::CompactRuns(std::vector<RunHandle> inputs) {
+  if (inputs.size() <= 1) return Status::OK();
+  // Newest-wins merge of the input runs; drop tombstones (the inputs are the
+  // oldest prefix of the run list — flushes only ever append newer runs — so
+  // nothing below them can resurrect).
   std::map<std::string, std::string> merged;
-  for (const auto& run : runs_) {  // oldest → newest so later wins
-    for (const auto& [k, v] : run->entries()) merged[k] = v;
+  for (const RunHandle& h : inputs) {  // oldest → newest so later wins
+    for (const auto& [k, v] : h.run->entries()) merged[k] = v;
   }
   std::vector<std::pair<std::string, std::string>> live;
   live.reserve(merged.size());
@@ -356,23 +464,72 @@ Status LsmStore::CompactAll() {
   }
   SortedRun compacted =
       SortedRun::Build(std::move(live), options_.bloom_bits_per_key);
-  // Persist the new run before deleting old files (crash safety: duplicate
-  // data is recoverable, missing data is not).
-  MARLIN_RETURN_NOT_OK(PersistRun(compacted, next_file_number_));
+  uint64_t file_number = 0;
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    file_number = next_file_number_++;
+  }
+  // Persist the new run before dropping the old files (crash safety:
+  // duplicate data is recoverable, missing data is not).
+  MARLIN_RETURN_NOT_OK(PersistRun(compacted, file_number));
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    // The inputs are still the oldest prefix of runs_ (only compaction
+    // removes runs and compactions are serialized); anything beyond them
+    // was flushed while merging and stays, preserving newest-last order.
+    runs_.erase(runs_.begin(), runs_.begin() + inputs.size());
+    runs_.insert(runs_.begin(),
+                 RunHandle{std::make_shared<SortedRun>(std::move(compacted)),
+                           options_.directory.empty() ? 0 : file_number});
+    ++stats_.compactions;
+  }
   if (!options_.directory.empty()) {
-    for (uint64_t n = 1; n < next_file_number_; ++n) {
+    for (const RunHandle& h : inputs) {
+      if (h.file_number == 0) continue;
       char name[32];
       std::snprintf(name, sizeof(name), "run_%08lu.sst",
-                    static_cast<unsigned long>(n));
+                    static_cast<unsigned long>(h.file_number));
       std::error_code ec;
       std::filesystem::remove(options_.directory + "/" + name, ec);
     }
   }
-  ++next_file_number_;
-  runs_.clear();
-  runs_.push_back(std::make_shared<SortedRun>(std::move(compacted)));
-  ++stats_.compactions;
   return Status::OK();
+}
+
+void LsmStore::CompactorLoop() {
+  std::unique_lock<std::mutex> lock(runs_mutex_);
+  while (true) {
+    compactor_cv_.wait(lock,
+                       [this] { return compact_requested_ || stop_compactor_; });
+    if (stop_compactor_ && !compact_requested_) return;
+    compact_requested_ = false;
+    compact_running_ = true;
+    std::vector<RunHandle> inputs = runs_;
+    lock.unlock();
+    Status s = CompactRuns(std::move(inputs));
+    lock.lock();
+    if (!s.ok() && compactor_status_.ok()) compactor_status_ = s;
+    compact_running_ = false;
+    compactor_cv_.notify_all();
+  }
+}
+
+void LsmStore::WaitForCompaction() {
+  if (!compactor_.joinable()) return;
+  std::unique_lock<std::mutex> lock(runs_mutex_);
+  compactor_cv_.wait(
+      lock, [this] { return !compact_requested_ && !compact_running_; });
+}
+
+Status LsmStore::CompactAll() {
+  MARLIN_RETURN_NOT_OK(WriteMemtableToRun());
+  WaitForCompaction();
+  std::vector<RunHandle> inputs;
+  {
+    std::lock_guard<std::mutex> lock(runs_mutex_);
+    inputs = runs_;
+  }
+  return CompactRuns(std::move(inputs));
 }
 
 namespace {
@@ -406,7 +563,7 @@ class SnapshotIterator : public KvIterator {
 
 std::unique_ptr<KvIterator> LsmStore::NewIterator() const {
   std::map<std::string, std::string> merged;
-  for (const auto& run : runs_) {
+  for (const auto& run : SnapshotRuns()) {
     for (const auto& [k, v] : run->entries()) merged[k] = v;
   }
   SkipList::Iterator it(memtable_.get());
@@ -423,9 +580,22 @@ std::unique_ptr<KvIterator> LsmStore::NewIterator() const {
 
 std::vector<std::pair<std::string, std::string>> LsmStore::Scan(
     std::string_view start, std::string_view end, size_t limit) const {
+  auto* self = const_cast<LsmStore*>(this);
+  // A single-vessel scan under the archival key schema: both bounds carry
+  // the same MMSI prefix, so the per-run prefix filter can exclude whole
+  // runs without touching their entries.
+  const bool single_prefix = start.size() >= SortedRun::kPrefixLen &&
+                             end.size() >= SortedRun::kPrefixLen &&
+                             start.substr(0, SortedRun::kPrefixLen) ==
+                                 end.substr(0, SortedRun::kPrefixLen);
+  const std::string_view prefix = start.substr(0, SortedRun::kPrefixLen);
   // Merge only the overlapping key range from each source.
   std::map<std::string, std::string> merged;
-  for (const auto& run : runs_) {
+  for (const auto& run : SnapshotRuns()) {
+    if (single_prefix && !run->MayContainPrefix(prefix)) {
+      ++self->stats_.prefix_bloom_skipped;
+      continue;
+    }
     const auto& entries = run->entries();
     auto it = std::lower_bound(
         entries.begin(), entries.end(), start,

@@ -9,17 +9,27 @@
 /// immutable sorted runs with Bloom filters; reads merge memtable and runs
 /// newest-first; compaction merges runs to bound read amplification.
 ///
-/// The archival key schema for AIS history is `[mmsi:8][timestamp:8]`
+/// The archival key schema for AIS history is `[mmsi:4][timestamp:8]`
 /// big-endian (see trajectory_store.h), so per-vessel time scans are
-/// contiguous range scans.
+/// contiguous range scans. Each run additionally carries a *prefix* Bloom
+/// filter over the leading 4 key bytes (the MMSI), so a vessel-set scan
+/// skips whole runs that cannot contain the vessel — counted in
+/// `Stats::prefix_bloom_skipped`.
 ///
 /// Concurrency: single writer, external synchronization required (the
-/// pipeline owns one writer thread); this matches the paper's single-ingest
-/// architecture and keeps recovery semantics simple.
+/// pipeline owns one writer thread per store — in sharded mode each shard
+/// core owns its own store instance). With
+/// `Options::background_compaction`, compaction runs on an internal worker
+/// thread instead of inline in `Flush`, keeping the ingest hot path free of
+/// O(total-data) merges; the run list is then guarded by a mutex shared
+/// between the writer and the compactor.
 
+#include <condition_variable>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "common/result.h"
@@ -33,6 +43,10 @@ namespace marlin {
 /// \brief An immutable sorted run (in-memory representation of one SST).
 class SortedRun {
  public:
+  /// Length of the key prefix covered by the prefix Bloom filter — the
+  /// 4-byte big-endian MMSI of the archival key schema.
+  static constexpr size_t kPrefixLen = 4;
+
   /// \brief Builds a run from sorted, deduplicated entries.
   /// `entries` must be sorted ascending by key. Each value is the *internal*
   /// encoding (1-byte type tag + user value).
@@ -45,10 +59,19 @@ class SortedRun {
   /// \brief True iff the Bloom filter / key range admits `key`.
   bool MayContain(std::string_view key) const;
 
-  /// \brief Serializes to the MRLNSST1 format (whole-run CRC-32C).
+  /// \brief True iff some key in the run may start with `prefix` (the
+  /// 4-byte MMSI). Keys shorter than `kPrefixLen` make the filter
+  /// conservative (always true), as do runs deserialized from the legacy
+  /// MRLNSST1 format, which predates the prefix filter.
+  bool MayContainPrefix(std::string_view prefix) const;
+
+  /// \brief Serializes to the MRLNSST2 format (whole-run CRC-32C; key and
+  /// key-prefix Bloom filters).
   std::string Serialize() const;
 
-  /// \brief Parses a serialized run, validating magic and checksum.
+  /// \brief Parses a serialized run, validating magic and checksum. Accepts
+  /// both MRLNSST2 and the legacy MRLNSST1 format (no prefix filter:
+  /// `MayContainPrefix` is then always true).
   static Result<SortedRun> Deserialize(std::string_view data);
 
   size_t size() const { return entries_.size(); }
@@ -59,10 +82,12 @@ class SortedRun {
   }
 
  private:
-  SortedRun() : bloom_(1) {}
+  SortedRun() : bloom_(1), prefix_bloom_(1) {}
 
   std::vector<std::pair<std::string, std::string>> entries_;
   BloomFilter bloom_;
+  BloomFilter prefix_bloom_;  ///< over the leading kPrefixLen key bytes
+  bool has_prefix_bloom_ = false;
   std::string min_key_;
   std::string max_key_;
 };
@@ -78,6 +103,13 @@ class LsmStore {
     int bloom_bits_per_key = 10;
     /// Directory for WAL + run files; empty = volatile in-memory store.
     std::string directory;
+    /// Run compaction on a dedicated worker thread instead of inline in
+    /// `Flush`. The flush itself (memtable → run) stays on the writer — it
+    /// is bounded by the memtable limit — but the O(total-data) merge moves
+    /// off the ingest hot path. Reads remain correct during a concurrent
+    /// compaction: the run list is swapped atomically under the list mutex,
+    /// and runs themselves are immutable shared_ptrs.
+    bool background_compaction = false;
   };
 
   struct Stats {
@@ -85,7 +117,10 @@ class LsmStore {
     uint64_t deletes = 0;
     uint64_t gets = 0;
     uint64_t gets_found = 0;
-    uint64_t bloom_negative = 0;  ///< run probes skipped by the filter
+    uint64_t bloom_negative = 0;  ///< run probes skipped by the key filter
+    /// Whole runs skipped by the key-prefix (MMSI) filter during
+    /// single-vessel range scans.
+    uint64_t prefix_bloom_skipped = 0;
     uint64_t flushes = 0;
     uint64_t compactions = 0;
     uint64_t wal_records_replayed = 0;
@@ -107,21 +142,38 @@ class LsmStore {
   std::unique_ptr<KvIterator> NewIterator() const;
 
   /// \brief Collects all live entries in [start, end) — the archival range
-  /// scan used by trajectory retrieval.
+  /// scan used by trajectory retrieval. When start and end share the same
+  /// `SortedRun::kPrefixLen`-byte prefix (a single-vessel scan under the
+  /// archival key schema), runs whose prefix filter excludes that MMSI are
+  /// skipped without a binary search (counted in
+  /// `Stats::prefix_bloom_skipped`).
   std::vector<std::pair<std::string, std::string>> Scan(
       std::string_view start, std::string_view end, size_t limit = SIZE_MAX) const;
 
   /// \brief Forces a memtable flush (also triggered automatically).
   Status Flush();
 
-  /// \brief Merges every run (and the memtable) into a single run.
+  /// \brief Merges every run (and the memtable) into a single run,
+  /// synchronously on the caller. With background compaction enabled this
+  /// waits for any in-flight background merge first.
   Status CompactAll();
 
-  size_t NumRuns() const { return runs_.size(); }
+  /// \brief Blocks until no background compaction is running or queued.
+  void WaitForCompaction();
+
+  size_t NumRuns() const;
   size_t MemtableEntries() const { return memtable_->size(); }
-  const Stats& stats() const { return stats_; }
+  Stats stats() const;
 
  private:
+  /// A run plus the durable file backing it (0 = volatile / none). Needed so
+  /// a background compaction deletes exactly the files it merged, never a
+  /// run flushed while it was working.
+  struct RunHandle {
+    std::shared_ptr<SortedRun> run;
+    uint64_t file_number = 0;
+  };
+
   explicit LsmStore(const Options& options);
 
   Status AppendWal(char type, std::string_view key, std::string_view value);
@@ -129,13 +181,32 @@ class LsmStore {
   Status LoadRuns();
   Status PersistRun(const SortedRun& run, uint64_t file_number);
   Status WriteMemtableToRun();
+  Status MaybeScheduleCompaction();  ///< called by Flush (writer thread)
+  /// Merges `inputs` (the oldest-prefix snapshot) into one run and swaps it
+  /// into the run list. Runs on the writer (inline mode) or the compactor.
+  Status CompactRuns(std::vector<RunHandle> inputs);
+  void CompactorLoop();
+  /// Copies the current run list (shared_ptrs) under the list mutex.
+  std::vector<std::shared_ptr<SortedRun>> SnapshotRuns() const;
 
   Options options_;
   std::unique_ptr<SkipList> memtable_;
-  std::vector<std::shared_ptr<SortedRun>> runs_;  // oldest first
-  Stats stats_;
+  /// Guards runs_, next_file_number_, and the run-related stats counters
+  /// (flushes / compactions) once the compactor thread exists. All other
+  /// state is writer-thread-only.
+  mutable std::mutex runs_mutex_;
+  std::vector<RunHandle> runs_;  // oldest first
+  mutable Stats stats_;
   uint64_t next_file_number_ = 1;
   int wal_fd_ = -1;
+
+  // Background compactor (only started when options_.background_compaction).
+  std::thread compactor_;
+  std::condition_variable compactor_cv_;
+  bool compact_requested_ = false;
+  bool compact_running_ = false;
+  bool stop_compactor_ = false;
+  Status compactor_status_;  ///< first background failure, surfaced on Flush
 };
 
 }  // namespace marlin

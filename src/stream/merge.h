@@ -23,12 +23,18 @@ namespace marlin {
 /// A source is a callable `std::optional<Event<T>>()` returning the next
 /// event or nullopt at end of stream. With the handful of feeds a maritime
 /// system integrates, a linear head scan beats heap bookkeeping.
-template <typename T>
+///
+/// `Less` is a strict weak order over `Event<T>`; the default merges by
+/// (event time, source id). Consumers that need the pipeline's canonical
+/// (event time, MMSI) order — the query fan-out and the merged enriched
+/// stream — supply a comparator that reaches into the payload.
+template <typename T, typename Less = EventTimeLess<T>>
 class StreamMerger {
  public:
   using Source = std::function<std::optional<Event<T>>()>;
 
-  explicit StreamMerger(std::vector<Source> sources) {
+  explicit StreamMerger(std::vector<Source> sources, Less less = Less())
+      : less_(std::move(less)) {
     cursors_.reserve(sources.size());
     for (auto& s : sources) {
       Cursor c;
@@ -44,8 +50,7 @@ class StreamMerger {
     int best = -1;
     for (size_t i = 0; i < cursors_.size(); ++i) {
       if (!cursors_[i].head.has_value()) continue;
-      if (best < 0 ||
-          EventTimeLess<T>()(*cursors_[i].head, *cursors_[best].head)) {
+      if (best < 0 || less_(*cursors_[i].head, *cursors_[best].head)) {
         best = static_cast<int>(i);
       }
     }
@@ -68,6 +73,7 @@ class StreamMerger {
     std::optional<Event<T>> head;
   };
 
+  Less less_;
   std::vector<Cursor> cursors_;
 };
 

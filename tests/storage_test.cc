@@ -396,6 +396,114 @@ TEST(SortedRunTest, CorruptFileRejected) {
   EXPECT_TRUE(SortedRun::Deserialize("short").status().IsCorruption());
 }
 
+TEST(SortedRunTest, PrefixBloomRoundTrip) {
+  // Archival-schema-like keys: 4-byte prefix + suffix.
+  std::vector<std::pair<std::string, std::string>> entries;
+  for (int v = 0; v < 8; ++v) {
+    std::string key(4, static_cast<char>('A' + v));
+    key += "suffix";
+    entries.emplace_back(std::move(key), std::string(1, '\0') + "val");
+  }
+  const SortedRun run = SortedRun::Build(std::move(entries), 10);
+  EXPECT_TRUE(run.MayContainPrefix("AAAA"));
+  EXPECT_TRUE(run.MayContainPrefix("HHHH"));
+  // Outside the [min, max] prefix range: definitively excluded.
+  EXPECT_FALSE(run.MayContainPrefix("ZZZZ"));
+  // Short prefixes are conservatively admitted.
+  EXPECT_TRUE(run.MayContainPrefix("AA"));
+
+  // The filter survives MRLNSST2 serialization.
+  auto restored = SortedRun::Deserialize(run.Serialize());
+  ASSERT_TRUE(restored.ok());
+  EXPECT_TRUE(restored->MayContainPrefix("AAAA"));
+  EXPECT_FALSE(restored->MayContainPrefix("ZZZZ"));
+}
+
+TEST(LsmTest, SingleVesselScanSkipsRunsViaPrefixBloom) {
+  auto store = LsmStore::Open(LsmStore::Options{});
+  LsmStore& db = **store;
+  // One run per 4-byte "MMSI" prefix.
+  for (int v = 0; v < 4; ++v) {
+    const std::string prefix(4, static_cast<char>('a' + v));
+    for (int i = 0; i < 5; ++i) {
+      ASSERT_TRUE(db.Put(prefix + std::to_string(i), "v").ok());
+    }
+    ASSERT_TRUE(db.Flush().ok());
+  }
+  ASSERT_EQ(db.NumRuns(), 4u);
+  // Same-prefix scan touches one run; the other three are skipped by the
+  // prefix filter without a binary search.
+  const auto hits = db.Scan("bbbb0", "bbbb9");
+  EXPECT_EQ(hits.size(), 5u);
+  EXPECT_EQ(db.stats().prefix_bloom_skipped, 3u);
+  // A cross-prefix scan cannot use the filter (no skips added).
+  const uint64_t skipped = db.stats().prefix_bloom_skipped;
+  EXPECT_EQ(db.Scan("aaaa0", "dddd9").size(), 20u);
+  EXPECT_EQ(db.stats().prefix_bloom_skipped, skipped);
+}
+
+TEST(LsmTest, BackgroundCompactionCollapsesRuns) {
+  LsmStore::Options opts;
+  opts.background_compaction = true;
+  opts.max_runs = 2;
+  auto store = LsmStore::Open(opts);
+  LsmStore& db = **store;
+  for (int r = 0; r < 6; ++r) {
+    for (int i = 0; i < 20; ++i) {
+      ASSERT_TRUE(
+          db.Put("r" + std::to_string(r) + "k" + std::to_string(i),
+                 "v" + std::to_string(r))
+              .ok());
+    }
+    ASSERT_TRUE(db.Flush().ok());
+  }
+  db.WaitForCompaction();
+  EXPECT_GT(db.stats().compactions, 0u);
+  EXPECT_LE(db.NumRuns(), static_cast<size_t>(opts.max_runs) + 1);
+  // Newest-wins semantics survive the background merges.
+  for (int r = 0; r < 6; ++r) {
+    for (int i = 0; i < 20; ++i) {
+      auto got = db.Get("r" + std::to_string(r) + "k" + std::to_string(i));
+      ASSERT_TRUE(got.ok());
+      EXPECT_EQ(*got, "v" + std::to_string(r));
+    }
+  }
+}
+
+TEST(LsmPersistenceTest2, BackgroundCompactionDeletesOnlyMergedFiles) {
+  const std::string dir = ::testing::TempDir() + "/marlin_lsm_bg";
+  std::filesystem::remove_all(dir);
+  LsmStore::Options opts;
+  opts.directory = dir;
+  opts.background_compaction = true;
+  opts.max_runs = 2;
+  {
+    auto store = LsmStore::Open(opts);
+    LsmStore& db = **store;
+    for (int r = 0; r < 5; ++r) {
+      for (int i = 0; i < 10; ++i) {
+        ASSERT_TRUE(
+            db.Put("r" + std::to_string(r) + "k" + std::to_string(i), "v").ok());
+      }
+      ASSERT_TRUE(db.Flush().ok());
+    }
+    db.WaitForCompaction();
+  }
+  // Reopen: every key must still be there — a compaction that deleted a
+  // file it did not merge would lose data here.
+  auto reopened = LsmStore::Open(opts);
+  ASSERT_TRUE(reopened.ok());
+  for (int r = 0; r < 5; ++r) {
+    for (int i = 0; i < 10; ++i) {
+      EXPECT_TRUE(
+          (*reopened)->Get("r" + std::to_string(r) + "k" + std::to_string(i))
+              .ok())
+          << "r" << r << "k" << i;
+    }
+  }
+  std::filesystem::remove_all(dir);
+}
+
 // --- RTree ----------------------------------------------------------------
 
 class RTreeQueryTest : public ::testing::TestWithParam<int> {};

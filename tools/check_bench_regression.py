@@ -6,7 +6,7 @@ BENCH_f2_pipeline.json baseline and fails (exit 1) on a >2x regression.
 The 2x margin absorbs host differences between the recording machine and
 CI runners while still catching the failure modes these guard against.
 
-Two gates:
+Three gates:
 
 * BM_DecodeMicro lines_per_s, packed arm (packed:1) — the production
   bit-packed decode path. Canary for per-line allocation, copying, or
@@ -18,6 +18,14 @@ Two gates:
   stage-to-stage hand-off. Canary for a lock, syscall, or unconditional
   wake-up sneaking into the push/pop fast path. Baselines recorded
   before the queue-hop bench existed simply skip this gate with a
+  notice.
+* BM_QueryServing queries_per_s, single-reader finished-archive arm
+  (readers:1/live:0) — the historical serving tier's fan-out/scan/merge
+  path. Canary for index pruning breaking (every query degenerating to
+  a full decode) or a lock sneaking into the snapshot read path. The
+  concurrent/live arms are informational only: their numbers measure
+  scheduler contention on small hosts, not the serving tier. Baselines
+  recorded before the serving tier existed skip this gate with a
   notice.
 
 Usage:
@@ -69,9 +77,27 @@ def queue_hop_items_per_s(benchmarks):
     return fallback
 
 
+def query_serving_queries_per_s(benchmarks):
+    # Gate the uncontended single-reader arm against the finished archive
+    # (the only arm whose number is a property of the serving tier rather
+    # than of host scheduling); fall back to any arm if the axes change.
+    fallback = None
+    for bench in benchmarks:
+        name = bench.get("name", "")
+        if not name.startswith("BM_QueryServing") or \
+                "queries_per_s" not in bench:
+            continue
+        if "readers:1/" in name and "live:0" in name:
+            return float(bench["queries_per_s"])
+        if fallback is None:
+            fallback = float(bench["queries_per_s"])
+    return fallback
+
+
 GATES = [
     ("decode microbench", decode_lines_per_s, "lines/s"),
     ("queue hop (spsc)", queue_hop_items_per_s, "items/s"),
+    ("query serving", query_serving_queries_per_s, "queries/s"),
 ]
 
 
