@@ -301,6 +301,47 @@ BENCHMARK(BM_ShardedArchitecture)
     ->MeasureProcessCPUTime()
     ->UseRealTime();
 
+// The anomaly & integrity stage axis: arg0 = enable_anomaly. The off arm
+// is the pre-stage baseline; the on arm pays the integrity scorer on every
+// raw report plus the behaviour-change detector on every clean point, so
+// the delta is the whole per-line price of the stage. detectors_per_s is
+// the combined detector invocation rate (reports integrity-checked +
+// points ingested by the behaviour detector) — the number CI gates, a
+// canary for an allocation or a quadratic scan sneaking into the per-point
+// path of either detector. Runs the sequential pipeline so the measurement
+// is stage cost, not shard scheduling.
+void BM_AnomalyStage(benchmark::State& state) {
+  const World& world = bench::SharedWorld();
+  const ScenarioOutput& scenario = bench::SharedScenario(F2Config());
+  const bool anomaly = state.range(0) != 0;
+  uint64_t lines = 0;
+  uint64_t detector_calls = 0;
+  AnomalyStageStats stage;
+  for (auto _ : state) {
+    PipelineConfig config;
+    config.enable_anomaly = anomaly;
+    MaritimePipeline pipeline(config, &world.zones(), nullptr, nullptr,
+                              nullptr);
+    const auto events = pipeline.Run(scenario.nmea);
+    lines += scenario.nmea.size();
+    stage = pipeline.metrics().anomaly;
+    detector_calls += stage.integrity.reports_checked + stage.points_in;
+    benchmark::DoNotOptimize(events);
+  }
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(lines), benchmark::Counter::kIsRate);
+  state.counters["detectors_per_s"] = benchmark::Counter(
+      static_cast<double>(detector_calls), benchmark::Counter::kIsRate);
+  state.counters["stage_events"] = static_cast<double>(stage.events_out);
+  state.counters["quarantined"] =
+      static_cast<double>(stage.points_quarantined);
+}
+BENCHMARK(BM_AnomalyStage)
+    ->ArgName("anomaly")
+    ->Arg(1)
+    ->Arg(0)
+    ->Unit(benchmark::kMillisecond);
+
 // Weather source with a deliberate per-lookup stall, modelling a slow
 // *remote* context service (the case §2.2's integration must survive).
 // The stall blocks rather than spins: a slow upstream is I/O latency, not

@@ -71,6 +71,9 @@ struct AisSentinels {
   static constexpr double kLatNotAvailable = 91.0;
   static constexpr int kTimestampNotAvailable = 60;
   static constexpr int kRotNotAvailable = -128;
+  /// ±127: turning faster than 5°/30 s but no turn indicator available —
+  /// the direction is known, the magnitude is not.
+  static constexpr int kRotNoTurnInfo = 127;
 };
 
 /// \brief Common position-report payload (types 1, 2, 3, 18, 19).
@@ -99,6 +102,20 @@ struct PositionReport {
   }
   bool HasCourse() const {
     return cog_deg < AisSentinels::kCourseNotAvailable;
+  }
+  /// ROT_AIS in −126..126 carries a usable turn rate; −128 means "not
+  /// available" and ±127 means "turning >5°/30 s, no turn indicator" —
+  /// direction without magnitude, so both sentinels are excluded.
+  bool HasTurnRate() const {
+    return rate_of_turn > -AisSentinels::kRotNoTurnInfo &&
+           rate_of_turn < AisSentinels::kRotNoTurnInfo;
+  }
+  /// ITU-R M.1371 rate-of-turn decoding: deg/min = sign · (ROT_AIS/4.733)².
+  /// Only meaningful when HasTurnRate().
+  double TurnRateDegPerMin() const {
+    const double scaled = rate_of_turn / 4.733;
+    const double magnitude = scaled * scaled;
+    return rate_of_turn < 0 ? -magnitude : magnitude;
   }
 };
 

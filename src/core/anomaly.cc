@@ -1,0 +1,138 @@
+#include "core/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+void BehaviorChangeDetector::Ingest(const ReconstructedPoint& rp,
+                                    std::vector<DetectedEvent>* out) {
+  ++stats_.points_in;
+  VesselState& vessel = vessels_[rp.mmsi];
+
+  if (vessel.quarantine_remaining > 0) {
+    --vessel.quarantine_remaining;
+    ++stats_.points_quarantined;
+    return;
+  }
+
+  // A gap boundary is a regime boundary by definition: comparing the window
+  // before a dark period against the one after it would flag every
+  // reacquisition. Start fresh instead.
+  if (rp.starts_segment && vessel.window_points > 0) {
+    for (Welford& w : vessel.window) w.Reset();
+    vessel.window_points = 0;
+    vessel.window_start_t = kInvalidTimestamp;
+    vessel.has_prev = false;
+    vessel.last_cog_t = kInvalidTimestamp;
+  }
+
+  const TrajectoryPoint& p = rp.point;
+  if (vessel.window_points == 0) vessel.window_start_t = p.t;
+  ++vessel.window_points;
+
+  // Feature 0: speed over ground — only when the report carried one.
+  if (p.HasSpeed()) vessel.window[0].Add(p.sog_mps);
+
+  // Feature 1: turn rate — the reported ROT when available, else derived
+  // from consecutive course fixes. Both paths skip cleanly when the fields
+  // are sentinels.
+  if (rp.HasTurnRate()) {
+    vessel.window[1].Add(rp.turn_rate_deg_min);
+  } else if (p.HasCourse()) {
+    if (vessel.last_cog_t != kInvalidTimestamp && p.t > vessel.last_cog_t) {
+      const double dt_min = static_cast<double>(p.t - vessel.last_cog_t) /
+                            static_cast<double>(kMillisPerMinute);
+      vessel.window[1].Add(
+          AngleDifference(p.cog_deg, vessel.last_cog_deg) / dt_min);
+    }
+    vessel.last_cog_deg = p.cog_deg;
+    vessel.last_cog_t = p.t;
+  }
+
+  if (vessel.window_points >= options_.window_points) {
+    CloseWindow(rp.mmsi, rp, &vessel, out);
+  }
+}
+
+void BehaviorChangeDetector::CloseWindow(Mmsi mmsi,
+                                         const ReconstructedPoint& rp,
+                                         VesselState* vessel,
+                                         std::vector<DetectedEvent>* out) {
+  ++stats_.windows_closed;
+
+  FeatureSummary current[kFeatures];
+  for (int f = 0; f < kFeatures; ++f) {
+    current[f] = FeatureSummary{vessel->window[f].count,
+                                vessel->window[f].mean,
+                                vessel->window[f].Variance()};
+  }
+
+  if (vessel->has_prev) {
+    // Normalised mean-shift divergence over the features both windows have
+    // evidence for. A feature absent from either window (all-sentinel
+    // stretch) contributes nothing — never a fabricated zero.
+    constexpr double kEps = 1e-3;
+    double divergence = 0.0;
+    int compared = 0;
+    for (int f = 0; f < kFeatures; ++f) {
+      if (current[f].count < 2 || vessel->prev[f].count < 2) continue;
+      const double delta = current[f].mean - vessel->prev[f].mean;
+      divergence +=
+          delta * delta /
+          (current[f].variance + vessel->prev[f].variance + kEps);
+      ++compared;
+    }
+
+    if (compared > 0) {
+      const Welford& history = vessel->score_history;
+      if (static_cast<int>(history.count) >= options_.min_history_windows) {
+        const double threshold =
+            std::max(options_.min_divergence,
+                     history.mean + options_.threshold_z *
+                                        std::sqrt(history.Variance()));
+        if (divergence > threshold &&
+            (vessel->last_alert == kInvalidTimestamp ||
+             rp.point.t - vessel->last_alert >= options_.realert_ms)) {
+          vessel->last_alert = rp.point.t;
+          ++stats_.changes_flagged;
+          DetectedEvent ev;
+          ev.type = EventType::kBehaviorChange;
+          ev.start = vessel->window_start_t;
+          ev.end = rp.point.t;
+          ev.vessel_a = mmsi;
+          ev.where = rp.point.position;
+          ev.severity =
+              std::min(0.95, 0.6 + 0.05 * (divergence / threshold));
+          ev.detected_at = rp.point.t;
+          out->push_back(ev);
+          ++stats_.events_out;
+        }
+      }
+      vessel->score_history.Add(divergence);
+    }
+  }
+
+  for (int f = 0; f < kFeatures; ++f) {
+    vessel->prev[f] = current[f];
+    vessel->window[f].Reset();
+  }
+  vessel->has_prev = true;
+  vessel->window_points = 0;
+  vessel->window_start_t = kInvalidTimestamp;
+}
+
+void BehaviorChangeDetector::Poison(Mmsi mmsi) {
+  VesselState& vessel = vessels_[mmsi];
+  for (Welford& w : vessel.window) w.Reset();
+  vessel.window_points = 0;
+  vessel.window_start_t = kInvalidTimestamp;
+  vessel.has_prev = false;
+  vessel.last_cog_t = kInvalidTimestamp;
+  vessel.quarantine_remaining = options_.quarantine_points;
+}
+
+}  // namespace marlin

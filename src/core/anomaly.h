@@ -1,0 +1,156 @@
+#ifndef MARLIN_CORE_ANOMALY_H_
+#define MARLIN_CORE_ANOMALY_H_
+
+/// \file anomaly.h
+/// \brief Online per-vessel behaviour-change detection over the
+/// reconstruction output — the paper's "outlier recognition … in real-time"
+/// (§3.1) on the *temporal* axis, complementing the spatial
+/// patterns-of-life model (core/patterns.h, which needs an offline training
+/// pass) with a detector that learns each vessel's own kinematic regime as
+/// it streams.
+///
+/// Mechanism: sliding feature windows of speed and turn rate are summarised
+/// by Welford accumulators; when a window closes, its summary is compared
+/// against the previous window's by a normalised mean-shift divergence
+///   d = Σ_f (μ_cur − μ_prev)² / (σ²_cur + σ²_prev + ε),
+/// and d is judged against an *adaptive* threshold — the running mean and
+/// deviation of the vessel's own past divergences (a vessel that manoeuvres
+/// all day raises its own bar; a steady cargo ship keeps a hair trigger).
+///
+/// Sentinel-correct by construction: features are accumulated only from
+/// available fields (missing SOG/COG/ROT contribute nothing, never 0.0),
+/// and the upstream integrity scorer quarantines a vessel's window state
+/// via `Poison` when its reports fail integrity, so spoofed data cannot
+/// train the reference window.
+///
+/// Determinism: state is keyed per MMSI only and points arrive in
+/// event-time order per vessel (reconstruction output), so the emitted
+/// event stream is invariant under MMSI-sharding.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/events.h"
+#include "core/integrity.h"
+#include "core/reconstruction.h"
+
+namespace marlin {
+
+/// \brief Behaviour-change detector thresholds.
+struct AnomalyOptions {
+  /// Points per feature window.
+  int window_points = 16;
+  /// Divergence must exceed (mean + threshold_z · std) of the vessel's own
+  /// past divergence scores.
+  double threshold_z = 3.0;
+  /// Closed windows needed before the adaptive threshold is trusted.
+  int min_history_windows = 4;
+  /// Absolute divergence floor: below this no alert fires regardless of how
+  /// quiet the history is.
+  double min_divergence = 2.0;
+  /// Points discarded after a `Poison` call before accumulation resumes.
+  int quarantine_points = 32;
+  /// Per-vessel rate limit between behaviour-change events.
+  DurationMs realert_ms = 30 * kMillisPerMinute;
+};
+
+/// \brief Mergeable counters for the whole anomaly & integrity stage (the
+/// integrity half rides along so the pipelines merge one struct).
+struct AnomalyStageStats {
+  IntegrityStats integrity;
+  uint64_t points_in = 0;
+  uint64_t points_quarantined = 0;
+  uint64_t windows_closed = 0;
+  uint64_t changes_flagged = 0;
+  uint64_t events_out = 0;
+
+  void Merge(const AnomalyStageStats& other) {
+    integrity.Merge(other.integrity);
+    points_in += other.points_in;
+    points_quarantined += other.points_quarantined;
+    windows_closed += other.windows_closed;
+    changes_flagged += other.changes_flagged;
+    events_out += other.events_out;
+  }
+};
+
+/// \brief Streaming per-vessel behaviour-change detector. (The name
+/// `AnomalyDetector` is taken by the patterns-of-life scorer.)
+class BehaviorChangeDetector {
+ public:
+  using Options = AnomalyOptions;
+
+  BehaviorChangeDetector() : BehaviorChangeDetector(Options()) {}
+  explicit BehaviorChangeDetector(const Options& options)
+      : options_(options) {}
+
+  /// \brief Consumes one reconstructed point (per-vessel event-time order);
+  /// appends behaviour-change events to `out`.
+  void Ingest(const ReconstructedPoint& rp, std::vector<DetectedEvent>* out);
+
+  /// \brief Quarantines a vessel after an upstream integrity failure: the
+  /// open window and derived-feature state are dropped and the next
+  /// `quarantine_points` points are discarded, so poisoned kinematics never
+  /// enter the reference window. The divergence history survives — the
+  /// vessel's learned threshold is not the attacker's to reset.
+  void Poison(Mmsi mmsi);
+
+  /// \brief Detector-side counters (integrity sub-struct untouched; the
+  /// shard core merges the scorer's stats in).
+  const AnomalyStageStats& stats() const { return stats_; }
+
+ private:
+  /// Welford accumulator (numerically stable streaming mean/variance).
+  struct Welford {
+    uint64_t count = 0;
+    double mean = 0.0;
+    double m2 = 0.0;
+
+    void Add(double x) {
+      ++count;
+      const double delta = x - mean;
+      mean += delta / static_cast<double>(count);
+      m2 += delta * (x - mean);
+    }
+    double Variance() const {
+      return count > 1 ? m2 / static_cast<double>(count - 1) : 0.0;
+    }
+    void Reset() { *this = Welford{}; }
+  };
+
+  /// Closed-window summary of one feature.
+  struct FeatureSummary {
+    uint64_t count = 0;
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+
+  static constexpr int kFeatures = 2;  ///< speed, turn rate
+
+  struct VesselState {
+    Welford window[kFeatures];
+    int window_points = 0;             ///< points since the window opened
+    Timestamp window_start_t = kInvalidTimestamp;
+    FeatureSummary prev[kFeatures];
+    bool has_prev = false;
+    Welford score_history;             ///< past divergence scores
+    // Derived turn rate from consecutive course fixes (fallback when the
+    // report carried no ROT).
+    float last_cog_deg = 0.0f;
+    Timestamp last_cog_t = kInvalidTimestamp;
+    int quarantine_remaining = 0;
+    Timestamp last_alert = kInvalidTimestamp;
+  };
+
+  void CloseWindow(Mmsi mmsi, const ReconstructedPoint& rp,
+                   VesselState* vessel, std::vector<DetectedEvent>* out);
+
+  Options options_;
+  std::map<Mmsi, VesselState> vessels_;  ///< deterministic iteration
+  AnomalyStageStats stats_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_ANOMALY_H_

@@ -67,6 +67,12 @@ const char* EventTypeName(EventType t) {
       return "collision-risk";
     case EventType::kIllegalFishing:
       return "illegal-fishing";
+    case EventType::kBehaviorChange:
+      return "behavior-change";
+    case EventType::kKinematicIntegrity:
+      return "kinematic-integrity";
+    case EventType::kMmsiConflict:
+      return "mmsi-conflict";
   }
   return "unknown";
 }
@@ -135,8 +141,9 @@ void VesselEventEngine::CheckZones(const ReconstructedPoint& rp,
     if (z->type == ZoneType::kPort || z->type == ZoneType::kAnchorage) {
       in_port_area = true;
     }
-    // Speed limits: alert once per zone visit.
-    if (z->speed_limit_knots > 0.0 &&
+    // Speed limits: alert once per zone visit. A missing SOG cannot violate
+    // a limit (NaN comparisons are false anyway; the gate documents it).
+    if (z->speed_limit_knots > 0.0 && rp.point.HasSpeed() &&
         rp.point.sog_mps > z->speed_limit_knots * 0.5144 * 1.15 &&
         !SortedContains(vessel->speed_alerted, z->id)) {
       SortedInsert(&vessel->speed_alerted, z->id);
@@ -199,6 +206,9 @@ void VesselEventEngine::CheckZones(const ReconstructedPoint& rp,
 void VesselEventEngine::CheckStopMove(const ReconstructedPoint& rp,
                                       VesselState* vessel,
                                       std::vector<DetectedEvent>* out) {
+  // A point without speed neither confirms nor denies a transition; the
+  // previous state carries over (sentinel SOG used to read as "stopped").
+  if (!rp.point.HasSpeed()) return;
   const bool now_stopped = rp.point.sog_mps < options_.stop_speed_mps;
   if (vessel->has_last && now_stopped != vessel->stopped) {
     DetectedEvent ev;
@@ -236,14 +246,21 @@ void VesselEventEngine::CheckLoitering(const ReconstructedPoint& rp,
   // mean speed must be low.
   BoundingBox box = BoundingBox::Empty();
   double speed_sum = 0.0;
+  size_t speed_count = 0;
   for (size_t i = 0; i < window.size(); ++i) {
     const TrajectoryPoint& p = window[i];
     box.Extend(p.position);
-    speed_sum += p.sog_mps;
+    if (p.HasSpeed()) {
+      speed_sum += p.sog_mps;
+      ++speed_count;
+    }
   }
+  // Mean speed over the *available* samples only — one sentinel SOG used to
+  // poison the whole window with NaN. No speed evidence at all ⇒ no alert.
+  if (speed_count == 0) return;
   const double diag = HaversineDistance(GeoPoint(box.min_lat, box.min_lon),
                                         GeoPoint(box.max_lat, box.max_lon));
-  const double mean_speed = speed_sum / static_cast<double>(window.size());
+  const double mean_speed = speed_sum / static_cast<double>(speed_count);
   if (diag <= 2.0 * options_.loiter_radius_m &&
       mean_speed <= options_.loiter_max_speed_mps) {
     vessel->last_loiter_alert = t;
@@ -264,6 +281,7 @@ void VesselEventEngine::CheckIllegalFishing(const ReconstructedPoint& rp,
                                             VesselState* vessel,
                                             std::vector<DetectedEvent>* out) {
   const bool fishing_speed =
+      rp.point.HasSpeed() &&
       rp.point.sog_mps >= options_.fishing_speed_lo_mps &&
       rp.point.sog_mps <= options_.fishing_speed_hi_mps;
   const bool is_fishing_vessel =
@@ -360,9 +378,11 @@ void PairEventEngine::Ingest(const PairObservation& obs,
 void PairEventEngine::CheckRendezvous(const PairObservation& obs,
                                       std::vector<DetectedEvent>* out) {
   const Timestamp t = obs.point.t;
-  const bool eligible =
-      obs.point.sog_mps <= options_.rendezvous_max_speed_mps &&
-      !obs.in_port_area;
+  // "Slow" needs an actual speed — a vessel hiding its SOG must not be
+  // mistaken for a drifting one.
+  const bool eligible = obs.point.HasSpeed() &&
+                        obs.point.sog_mps <= options_.rendezvous_max_speed_mps &&
+                        !obs.in_port_area;
   if (!eligible) return;
   live_.QueryRadiusInto(obs.point.position, options_.rendezvous_distance_m,
                         &radius_scratch_);
@@ -371,7 +391,10 @@ void PairEventEngine::CheckRendezvous(const PairObservation& obs,
     if (other == obs.mmsi) continue;
     const VesselState* partner = vessels_.Find(other);
     if (partner == nullptr || !partner->has_last) continue;
-    if (partner->last.sog_mps > options_.rendezvous_max_speed_mps) continue;
+    if (!partner->last.HasSpeed() ||
+        partner->last.sog_mps > options_.rendezvous_max_speed_mps) {
+      continue;
+    }
     if (partner->in_port_area) continue;
     // Partner must be current (not a stale last-position).
     if (t - partner->last.t > 5 * kMillisPerMinute) continue;
@@ -406,7 +429,13 @@ void PairEventEngine::CheckRendezvous(const PairObservation& obs,
 
 void PairEventEngine::CheckCollision(const PairObservation& obs,
                                      std::vector<DetectedEvent>* out) {
-  if (obs.point.sog_mps < options_.collision_min_speed_mps) return;
+  // CPA needs a full motion state. The old `sog < min` gate silently
+  // INVERTED for sentinel speeds: NaN compares false, fell through, and
+  // poisoned the CPA solution.
+  if (!obs.point.HasSpeed() || !obs.point.HasCourse() ||
+      obs.point.sog_mps < options_.collision_min_speed_mps) {
+    return;
+  }
   const Timestamp t = obs.point.t;
   MotionState self;
   self.position = obs.point.position;
@@ -421,7 +450,10 @@ void PairEventEngine::CheckCollision(const PairObservation& obs,
     const VesselState* partner = vessels_.Find(other);
     if (partner == nullptr || !partner->has_last) continue;
     if (t - partner->last.t > 3 * kMillisPerMinute) continue;
-    if (partner->last.sog_mps < options_.collision_min_speed_mps) continue;
+    if (!partner->last.HasSpeed() || !partner->last.HasCourse() ||
+        partner->last.sog_mps < options_.collision_min_speed_mps) {
+      continue;
+    }
 
     const uint64_t key = PackPair(obs.mmsi, other);
     const Timestamp* last_alert = collision_alerts_.Find(key);

@@ -54,6 +54,9 @@ enum class EventType : uint8_t {
   kTeleportSpoof,   ///< isolated impossible position jump
   kCollisionRisk,   ///< CPA/TCPA below thresholds
   kIllegalFishing,  ///< fishing-speed pattern inside a prohibited zone
+  kBehaviorChange,  ///< abrupt shift of a vessel's kinematic regime
+  kKinematicIntegrity,  ///< reported kinematics contradict positions
+  kMmsiConflict,    ///< one MMSI reporting from irreconcilable positions
 };
 
 const char* EventTypeName(EventType t);

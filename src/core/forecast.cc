@@ -11,12 +11,15 @@ namespace marlin {
 GeoPoint DeadReckoningForecaster::Predict(
     const std::vector<TrajectoryPoint>& recent, double horizon_s) const {
   const TrajectoryPoint& last = recent.back();
+  // No kinematics ⇒ persistence: the last fix is the best (only) guess.
+  if (!last.HasSpeed() || !last.HasCourse()) return last.position;
   return Destination(last.position, last.cog_deg, last.sog_mps * horizon_s);
 }
 
 GeoPoint ConstantTurnForecaster::Predict(
     const std::vector<TrajectoryPoint>& recent, double horizon_s) const {
   const TrajectoryPoint& last = recent.back();
+  if (!last.HasSpeed() || !last.HasCourse()) return last.position;
   if (recent.size() < 2) {
     return Destination(last.position, last.cog_deg, last.sog_mps * horizon_s);
   }
@@ -26,7 +29,7 @@ GeoPoint ConstantTurnForecaster::Predict(
   const double dt_s =
       static_cast<double>(last.t - first.t) / kMillisPerSecond;
   double turn_rate = 0.0;  // deg/s
-  if (dt_s > 1.0) {
+  if (dt_s > 1.0 && first.HasCourse()) {
     turn_rate = AngleDifference(last.cog_deg, first.cog_deg) / dt_s;
     // Clamp to plausible ship dynamics (±3 deg/s is already violent).
     turn_rate = std::clamp(turn_rate, -3.0, 3.0);
@@ -60,6 +63,9 @@ int FlowFieldForecaster::SectorFor(double cog_deg) {
 
 void FlowFieldForecaster::Train(const Trajectory& trajectory) {
   for (const TrajectoryPoint& p : trajectory.points) {
+    // Unavailable kinematics carry no flow either (NaN would otherwise
+    // slip past the `< 0.5` cut and corrupt the cell sums).
+    if (!p.HasSpeed() || !p.HasCourse()) continue;
     if (p.sog_mps < 0.5) continue;  // stationary samples carry no flow
     FlowSector& sector =
         cells_[KeyFor(p.position)].sectors[SectorFor(p.cog_deg)];
@@ -75,6 +81,7 @@ GeoPoint FlowFieldForecaster::Predict(
     const std::vector<TrajectoryPoint>& recent, double horizon_s) const {
   const TrajectoryPoint& last = recent.back();
   GeoPoint pos = last.position;
+  if (!last.HasSpeed() || !last.HasCourse()) return pos;
   double course = last.cog_deg;
   // The vessel keeps its own speed: the flow field contributes *geometry*
   // (where lanes bend), not kinematics — blending toward the historical

@@ -1,0 +1,126 @@
+#include "core/integrity.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+#include "geo/geodesy.h"
+
+namespace marlin {
+
+void IntegrityScorer::EmitEvent(EventType type, const PositionReport& report,
+                                Timestamp event_time, double severity,
+                                std::vector<DetectedEvent>* out) {
+  if (out == nullptr) return;
+  DetectedEvent ev;
+  ev.type = type;
+  ev.start = ev.end = ev.detected_at = event_time;
+  ev.vessel_a = report.mmsi;
+  ev.where = report.position;
+  ev.severity = severity;
+  out->push_back(ev);
+  ++stats_.events_out;
+}
+
+bool IntegrityScorer::Assess(const PositionReport& report,
+                             std::vector<DetectedEvent>* out) {
+  // Reports without a usable position/time are the reconstruction stage's
+  // problem (it rejects them as invalid); there is nothing to score.
+  if (!report.HasPosition() || report.received_at == kInvalidTimestamp) {
+    return true;
+  }
+  ++stats_.reports_checked;
+  const Timestamp event_time =
+      ResolveEventTime(report.utc_second, report.received_at);
+  VesselState& vessel = vessels_[report.mmsi];
+  bool ok = true;
+
+  // Reported rate of turn beyond ship physics: the field is corrupt or
+  // fabricated regardless of what the positions say.
+  if (report.HasTurnRate() &&
+      std::abs(report.TurnRateDegPerMin()) > options_.max_turn_rate_deg_min) {
+    ++stats_.turn_rate_flags;
+    ok = false;
+    if (vessel.last_kinematic_alert == kInvalidTimestamp ||
+        event_time - vessel.last_kinematic_alert >= options_.realert_ms) {
+      vessel.last_kinematic_alert = event_time;
+      EmitEvent(EventType::kKinematicIntegrity, report, event_time, 0.6, out);
+    }
+  }
+
+  if (vessel.last_t != kInvalidTimestamp) {
+    const DurationMs dt = event_time - vessel.last_t;
+    const double dist = HaversineDistance(vessel.last_pos, report.position);
+    bool conflict = false;
+
+    if (dt >= 0 && dt < options_.min_dt_ms) {
+      // Colocated in time: two fixes this close together cannot be far
+      // apart in space unless two transmitters share the identity.
+      if (dist > options_.colocation_distance_m) {
+        ++stats_.time_flags;
+        conflict = true;
+      }
+    } else if (dt >= options_.min_dt_ms) {
+      const double implied = dist / (static_cast<double>(dt) / 1000.0);
+      if (implied > options_.max_speed_mps) {
+        // Irreconcilable positions under one MMSI.
+        conflict = true;
+      } else if (report.HasSpeed()) {
+        // The movement is physically possible — does the *reported* SOG
+        // agree with it? A transponder replaying a stale track, or feeding
+        // fabricated kinematics, disagrees persistently.
+        const double reported = KnotsToMps(report.sog_knots);
+        const double tolerance =
+            std::max(options_.sog_tolerance_mps,
+                     options_.sog_tolerance_rel * std::max(implied, reported));
+        if (std::abs(implied - reported) > tolerance) {
+          ++vessel.sog_mismatch_streak;
+          if (vessel.sog_mismatch_streak >= options_.sog_mismatch_streak) {
+            ++stats_.kinematic_flags;
+            ok = false;
+            if (vessel.last_kinematic_alert == kInvalidTimestamp ||
+                event_time - vessel.last_kinematic_alert >=
+                    options_.realert_ms) {
+              vessel.last_kinematic_alert = event_time;
+              EmitEvent(EventType::kKinematicIntegrity, report, event_time,
+                        0.65, out);
+            }
+          }
+        } else {
+          vessel.sog_mismatch_streak = 0;
+        }
+      }
+    }
+    // Negative dt (event-time regression after resolution) is the reorder
+    // stage's business, not integrity evidence: satellite deliveries
+    // legitimately regress.
+
+    if (conflict) {
+      ++stats_.spoof_flags;
+      ok = false;
+      auto& window = vessel.conflict_times;
+      window.push_back(event_time);
+      while (!window.empty() &&
+             event_time - window.front() > options_.conflict_window_ms) {
+        window.pop_front();
+      }
+      if (static_cast<int>(window.size()) >= options_.conflict_count &&
+          (vessel.last_conflict_alert == kInvalidTimestamp ||
+           event_time - vessel.last_conflict_alert >= options_.realert_ms)) {
+        vessel.last_conflict_alert = event_time;
+        EmitEvent(EventType::kMmsiConflict, report, event_time, 0.9, out);
+      }
+    }
+  }
+
+  // The frontier advances on every scored report — including flagged ones:
+  // under a spoofing duel each camp conflicts with the other's last fix,
+  // which is exactly the alternating evidence the window accumulates.
+  vessel.last_t = event_time;
+  vessel.last_pos = report.position;
+
+  source_quality_.Record(kSourceName, ok);
+  return ok;
+}
+
+}  // namespace marlin

@@ -1,0 +1,136 @@
+#ifndef MARLIN_CORE_INTEGRITY_H_
+#define MARLIN_CORE_INTEGRITY_H_
+
+/// \file integrity.h
+/// \brief Upstream kinematic-integrity scoring of raw position reports —
+/// the paper's "possibly conflicting vessel positions" (§3.1) and "sources'
+/// quality" (§4) concerns, applied *before* observations reach the
+/// detectors. A report whose reported kinematics contradict its own
+/// position history (implied vs reported SOG, physically impossible
+/// reported turn rates, colocated-in-time but irreconcilable-in-space
+/// fixes) is flagged and quarantined so spoofed or corrupted data cannot
+/// train the downstream behaviour models.
+///
+/// The scorer is keyed per MMSI only and consumes reports in arrival
+/// order, which every pipeline arrangement preserves per vessel (a vessel
+/// lives on exactly one shard) — its event output is therefore invariant
+/// under sharding, the same argument the reconstruction stage makes.
+///
+/// The scorer owns a private `SourceQualityModel` (it must not share the
+/// enrichment engine's instance: that one belongs to the enrichment
+/// side-stage's worker thread, while this scorer runs on the ingest
+/// thread) and records every verdict into it, so integrity outcomes feed
+/// the uncertainty layer's Beta-posterior source reliability.
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "ais/types.h"
+#include "common/ring_buffer.h"
+#include "core/events.h"
+#include "core/reconstruction.h"
+#include "uncertainty/source_quality.h"
+
+namespace marlin {
+
+/// \brief Thresholds for the integrity checks.
+struct IntegrityOptions {
+  /// Physical speed cap for position-to-position implied speed. Kept above
+  /// the reconstruction stage's jump cutoff so the two stages agree on what
+  /// "impossible" means (≈ 117 knots).
+  double max_speed_mps = 60.0;
+  /// Reported rates of turn beyond this are physically implausible for any
+  /// vessel even though the ITU encoding reaches ±708 deg/min.
+  double max_turn_rate_deg_min = 360.0;
+  /// Below this inter-report gap the implied-speed checks are skipped:
+  /// position noise dominates the numerator at tiny baselines.
+  DurationMs min_dt_ms = 2000;
+  /// Two fixes closer than `min_dt_ms` in time but farther apart than this
+  /// are evidence of two transmitters sharing the MMSI.
+  double colocation_distance_m = 500.0;
+  /// Reported-vs-implied SOG mismatch tolerance: absolute floor plus a
+  /// relative share of the larger of the two speeds.
+  double sog_tolerance_mps = 5.0;
+  double sog_tolerance_rel = 0.5;
+  /// Consecutive mismatching reports required before a kinematic-integrity
+  /// event fires (transient GPS noise does not produce streaks).
+  int sog_mismatch_streak = 3;
+  /// Irreconcilable-position conflicts inside the window needed for an
+  /// MMSI-conflict (spoofing) event.
+  int conflict_count = 3;
+  DurationMs conflict_window_ms = 30 * kMillisPerMinute;
+  /// Per-vessel rate limit between integrity events of the same class.
+  DurationMs realert_ms = 10 * kMillisPerMinute;
+};
+
+/// \brief Mergeable integrity-stage counters.
+struct IntegrityStats {
+  uint64_t reports_checked = 0;
+  uint64_t kinematic_flags = 0;  ///< reported SOG contradicts positions
+  uint64_t turn_rate_flags = 0;  ///< reported ROT physically impossible
+  uint64_t time_flags = 0;       ///< colocated in time, irreconcilable in space
+  uint64_t spoof_flags = 0;      ///< conflict evidence (spoofing window hits)
+  uint64_t events_out = 0;
+
+  void Merge(const IntegrityStats& other) {
+    reports_checked += other.reports_checked;
+    kinematic_flags += other.kinematic_flags;
+    turn_rate_flags += other.turn_rate_flags;
+    time_flags += other.time_flags;
+    spoof_flags += other.spoof_flags;
+    events_out += other.events_out;
+  }
+};
+
+/// \brief Pre-reconstruction integrity scorer. Single-threaded; state keyed
+/// per MMSI only.
+class IntegrityScorer {
+ public:
+  using Options = IntegrityOptions;
+  using Stats = IntegrityStats;
+
+  IntegrityScorer() : IntegrityScorer(Options()) {}
+  explicit IntegrityScorer(const Options& options) : options_(options) {}
+
+  /// \brief Assesses one raw report (arrival order). Appends any integrity
+  /// events to `out`; returns false when the report failed a check — the
+  /// caller should quarantine the vessel's downstream detector state.
+  bool Assess(const PositionReport& report, std::vector<DetectedEvent>* out);
+
+  const Stats& stats() const { return stats_; }
+
+  /// \brief Beta-posterior reliability of the AIS feed given the verdicts
+  /// recorded so far (uncertainty/source_quality.h).
+  double SourceReliability() const {
+    return source_quality_.Reliability(kSourceName);
+  }
+  const SourceQualityModel& source_quality() const { return source_quality_; }
+
+ private:
+  static constexpr const char* kSourceName = "ais";
+
+  struct VesselState {
+    Timestamp last_t = kInvalidTimestamp;  ///< resolved event time
+    GeoPoint last_pos;
+    RingBuffer<Timestamp> conflict_times;  ///< sliding spoof-evidence window
+    int sog_mismatch_streak = 0;
+    Timestamp last_kinematic_alert = kInvalidTimestamp;
+    Timestamp last_conflict_alert = kInvalidTimestamp;
+  };
+
+  void EmitEvent(EventType type, const PositionReport& report,
+                 Timestamp event_time, double severity,
+                 std::vector<DetectedEvent>* out);
+
+  Options options_;
+  // std::map: deterministic iteration, matching the reconstruction stage's
+  // choice for per-vessel state.
+  std::map<Mmsi, VesselState> vessels_;
+  SourceQualityModel source_quality_;
+  Stats stats_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_CORE_INTEGRITY_H_

@@ -26,6 +26,9 @@ void PatternsOfLife::Train(const Trajectory& trajectory) {
 }
 
 void PatternsOfLife::TrainPoint(const TrajectoryPoint& point) {
+  // Samples with unavailable kinematics would corrupt the cell model:
+  // HeadingBucket(NaN) is UB (float→int cast) and the speed sums go NaN.
+  if (!point.HasSpeed() || !point.HasCourse()) return;
   CellStats& cell = cells_[KeyFor(point.position)];
   ++cell.count;
   ++cell.heading[HeadingBucket(point.cog_deg)];
@@ -60,19 +63,27 @@ double PatternsOfLife::Score(const TrajectoryPoint& point) const {
       std::log1p(std::max(1.0, max_cell_count_));
   const double spatial_rarity = 1.0 - std::min(1.0, density);
 
-  // Heading rarity within the cell.
-  const int bucket = HeadingBucket(point.cog_deg);
-  const double heading_p =
-      (cell.heading[bucket] + options_.smoothing) /
-      (cell.count + 8.0 * options_.smoothing);
-  const double heading_rarity = 1.0 - std::min(1.0, heading_p * 8.0 / 3.0);
+  // Heading rarity within the cell. An unavailable course contributes no
+  // surprise (and HeadingBucket(NaN) would be UB).
+  double heading_rarity = 0.0;
+  if (point.HasCourse()) {
+    const int bucket = HeadingBucket(point.cog_deg);
+    const double heading_p =
+        (cell.heading[bucket] + options_.smoothing) /
+        (cell.count + 8.0 * options_.smoothing);
+    heading_rarity = 1.0 - std::min(1.0, heading_p * 8.0 / 3.0);
+  }
 
-  // Speed deviation: z-score against cell statistics.
-  const double mean = cell.speed_sum / cell.count;
-  const double var = std::max(
-      0.25, cell.speed_sq_sum / cell.count - mean * mean);
-  const double z = std::abs(point.sog_mps - mean) / std::sqrt(var);
-  const double speed_surprise = std::min(1.0, z / 4.0);
+  // Speed deviation: z-score against cell statistics; neutral when the
+  // sample carries no speed.
+  double speed_surprise = 0.0;
+  if (point.HasSpeed()) {
+    const double mean = cell.speed_sum / cell.count;
+    const double var = std::max(
+        0.25, cell.speed_sq_sum / cell.count - mean * mean);
+    const double z = std::abs(point.sog_mps - mean) / std::sqrt(var);
+    speed_surprise = std::min(1.0, z / 4.0);
+  }
 
   return std::clamp(
       0.45 * spatial_rarity + 0.25 * heading_rarity + 0.30 * speed_surprise,

@@ -63,6 +63,7 @@ void MaritimePipeline::RefreshMetrics() {
   metrics_.synopses = core_.synopses_stats();
   metrics_.events = core_.vessel_event_stats();
   metrics_.events.events_out += pair_events_.stats().events_out;
+  metrics_.anomaly = core_.anomaly_stage_stats();
   metrics_.enrichment = core_.enrichment_stats();
   metrics_.enrichment_stage = core_.enrichment_stage_stats();
   metrics_.quality = quality_.report();

@@ -31,6 +31,8 @@
 
 #include "ais/codec.h"
 #include "ais/validation.h"
+#include "core/anomaly.h"
+#include "core/integrity.h"
 #include "context/registry.h"
 #include "context/weather.h"
 #include "context/zones.h"
@@ -61,6 +63,15 @@ struct PipelineConfig {
   /// epoch snapshots. Disabled by default — enabling it adds one staging
   /// copy per clean point to the ingest path and an epoch close per window.
   ArchiveOptions archive;
+  /// Online anomaly & integrity stage (core/integrity.h, core/anomaly.h):
+  /// raw reports are integrity-scored before reconstruction and the clean
+  /// point stream feeds a per-vessel behaviour-change detector. Off by
+  /// default: enabling it adds events (kKinematicIntegrity, kMmsiConflict,
+  /// kBehaviorChange) to the stream, so pre-stage baselines stay
+  /// byte-identical unless opted in.
+  bool enable_anomaly = false;
+  IntegrityScorer::Options integrity;
+  BehaviorChangeDetector::Options anomaly;
   /// Store full-rate trajectories (true) or synopses only (false) — the
   /// in-situ trade-off of E12.
   bool store_full_rate = true;
@@ -176,6 +187,10 @@ struct PipelineMetrics {
   /// Pair coordinator → cell-worker hop, merged across the per-worker
   /// channels. Zero when the pair stage runs sequentially.
   QueueHopStats pair_hop;
+  /// Anomaly & integrity stage counters (integrity scorer + behaviour-change
+  /// detector), merged across shards. All zero when
+  /// `PipelineConfig::enable_anomaly` is false.
+  AnomalyStageStats anomaly;
   QualityAssessor::Report quality;
   /// Historical serving tier counters (blocks cut, epochs published, LSM
   /// flush/compaction activity), merged across shard archives. All zero when

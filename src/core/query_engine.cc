@@ -19,8 +19,15 @@ bool RowLess(const QueryRow& a, const QueryRow& b) {
   if (a.mmsi != b.mmsi) return a.mmsi < b.mmsi;
   if (a.position.lat != b.position.lat) return a.position.lat < b.position.lat;
   if (a.position.lon != b.position.lon) return a.position.lon < b.position.lon;
-  if (a.sog_mps != b.sog_mps) return a.sog_mps < b.sog_mps;
-  return a.cog_deg < b.cog_deg;
+  // Kinematics tie-break on bit patterns: a numeric `<` over NaN payloads
+  // (unavailable kinematics) violates strict weak ordering and is UB for
+  // std::sort. Both fields are non-negative when available, so bit order
+  // coincides with numeric order there.
+  const auto sog_a = std::bit_cast<uint32_t>(a.sog_mps);
+  const auto sog_b = std::bit_cast<uint32_t>(b.sog_mps);
+  if (sog_a != sog_b) return sog_a < sog_b;
+  return std::bit_cast<uint32_t>(a.cog_deg) <
+         std::bit_cast<uint32_t>(b.cog_deg);
 }
 
 struct MergeLess {

@@ -26,6 +26,8 @@
 /// returns identical bytes in identical order. tests/query_serving_test.cc
 /// holds the proof battery.
 
+#include <bit>
+#include <cstdint>
 #include <latch>
 #include <memory>
 #include <optional>
@@ -66,11 +68,18 @@ struct QueryRow {
   float sog_mps = 0.0f;
   float cog_deg = 0.0f;
 
+  /// Kinematics are compared as bit patterns: the archive stores raw float
+  /// bits, the "not available" state is one canonical quiet NaN, and
+  /// `NaN == NaN` is false numerically — value comparison would make every
+  /// row with unavailable kinematics unequal to itself.
   friend bool operator==(const QueryRow& a, const QueryRow& b) {
     return a.t == b.t && a.mmsi == b.mmsi &&
            a.position.lat == b.position.lat &&
-           a.position.lon == b.position.lon && a.sog_mps == b.sog_mps &&
-           a.cog_deg == b.cog_deg;
+           a.position.lon == b.position.lon &&
+           std::bit_cast<uint32_t>(a.sog_mps) ==
+               std::bit_cast<uint32_t>(b.sog_mps) &&
+           std::bit_cast<uint32_t>(a.cog_deg) ==
+               std::bit_cast<uint32_t>(b.cog_deg);
   }
 };
 

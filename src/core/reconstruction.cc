@@ -114,11 +114,19 @@ void TrajectoryReconstructor::Process(const PositionReport& report,
   rp.mmsi = report.mmsi;
   rp.point.t = event_time;
   rp.point.position = report.position;
+  // ITU "not available" sentinels stay unavailable. Collapsing them to 0.0
+  // would make a vessel with missing kinematics indistinguishable from one
+  // that is stopped and heading due north — every downstream detector would
+  // inherit the lie.
   rp.point.sog_mps = report.HasSpeed()
                          ? static_cast<float>(KnotsToMps(report.sog_knots))
-                         : 0.0f;
-  rp.point.cog_deg =
-      report.HasCourse() ? static_cast<float>(report.cog_deg) : 0.0f;
+                         : TrajectoryPoint::Unavailable();
+  rp.point.cog_deg = report.HasCourse()
+                         ? static_cast<float>(report.cog_deg)
+                         : TrajectoryPoint::Unavailable();
+  rp.turn_rate_deg_min = report.HasTurnRate()
+                             ? static_cast<float>(report.TurnRateDegPerMin())
+                             : TrajectoryPoint::Unavailable();
   if (vessel.last_t == kInvalidTimestamp) {
     rp.starts_segment = true;
     ++stats_.segments_started;

@@ -56,8 +56,14 @@ struct RejectedReport {
 struct ReconstructedPoint {
   Mmsi mmsi = 0;
   TrajectoryPoint point;
+  /// Reported rate of turn in deg/min (ITU ROT_AIS decoding), NaN when the
+  /// report carried a ROT sentinel. Rides alongside the archived point —
+  /// it feeds the anomaly stage's turn-rate feature, not storage.
+  float turn_rate_deg_min = TrajectoryPoint::Unavailable();
   bool starts_segment = false;    ///< first point after a gap (or ever)
   DurationMs gap_before_ms = 0;   ///< length of the preceding gap, if any
+
+  bool HasTurnRate() const { return !std::isnan(turn_rate_deg_min); }
 };
 
 /// \brief Streaming trajectory reconstructor.

@@ -35,6 +35,8 @@ PipelineShardCore::PipelineShardCore(const PipelineConfig& config,
       reconstructor_(config.reconstruction),
       synopses_(config.synopses),
       vessel_events_(zones, config.events),
+      integrity_(config.integrity),
+      anomaly_(config.anomaly),
       enrichment_(zones, weather, registry_a, registry_b, &source_quality_),
       enrichment_stage_(EnrichmentOptions(config, async_enrichment),
                         [this](const ReconstructedPoint& rp) {
@@ -77,6 +79,14 @@ void PipelineShardCore::ProcessPosition(const PositionReport& report,
                                         Timestamp ingest_time,
                                         std::vector<DetectedEvent>* events,
                                         std::vector<PairObservation>* pairs) {
+  // Integrity gate: raw reports are scored *before* reconstruction. A
+  // failed report still flows on (reconstruction's own outlier rejection
+  // decides what survives — the two stages must not disagree about the
+  // clean-point stream), but the vessel's behaviour-change window is
+  // quarantined so flagged kinematics never train the reference model.
+  if (config_.enable_anomaly && !integrity_.Assess(report, events)) {
+    anomaly_.Poison(report.mmsi);
+  }
   points_scratch_.clear();
   rejections_scratch_.clear();
   reconstructor_.Ingest(report, &points_scratch_, &rejections_scratch_);
@@ -119,6 +129,9 @@ void PipelineShardCore::ProcessPoint(const ReconstructedPoint& rp,
   // single-vessel event recognition.
   if (config_.enable_enrichment) enrichment_stage_.Submit(rp);
   pairs->push_back(vessel_events_.Ingest(rp, events));
+
+  // Behaviour-change detection over the clean point stream.
+  if (config_.enable_anomaly) anomaly_.Ingest(rp, events);
 }
 
 void PipelineShardCore::Flush(Timestamp ingest_time,

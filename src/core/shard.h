@@ -31,8 +31,10 @@
 #include "context/registry.h"
 #include "context/weather.h"
 #include "context/zones.h"
+#include "core/anomaly.h"
 #include "core/enrichment.h"
 #include "core/events.h"
+#include "core/integrity.h"
 #include "core/reconstruction.h"
 #include "core/synopses.h"
 #include "storage/archive.h"
@@ -131,6 +133,14 @@ class PipelineShardCore {
   const VesselEventEngine::Stats& vessel_event_stats() const {
     return vessel_events_.stats();
   }
+  /// \brief Combined anomaly & integrity stage counters (zeros when the
+  /// stage is disabled). Mergeable across shards.
+  AnomalyStageStats anomaly_stage_stats() const {
+    AnomalyStageStats stats = anomaly_.stats();
+    stats.integrity = integrity_.stats();
+    stats.events_out += integrity_.stats().events_out;
+    return stats;
+  }
   /// \brief Snapshot of the enrichment join counters. The engine itself is
   /// touched only by the stage transform; the transform publishes a copy of
   /// the counters after each point, so reading here never waits on a slow
@@ -155,6 +165,13 @@ class PipelineShardCore {
   TrajectoryReconstructor reconstructor_;
   SynopsisEngine synopses_;
   VesselEventEngine vessel_events_;
+  /// Anomaly & integrity stage (PipelineConfig::enable_anomaly): the
+  /// integrity scorer sees raw reports before reconstruction; the
+  /// behaviour-change detector consumes reconstruction output downstream
+  /// of the synopsis stage. Both are keyed per MMSI only — the sharding
+  /// invariance argument of every other stage in this core.
+  IntegrityScorer integrity_;
+  BehaviorChangeDetector anomaly_;
   SourceQualityModel source_quality_;
   /// Engine + quality model belong to the stage transform alone (the
   /// worker thread in async mode, the producer thread in sync mode); the

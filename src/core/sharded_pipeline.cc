@@ -231,11 +231,13 @@ void ShardedPipeline::RefreshMetrics() {
   metrics_.events = {};
   metrics_.enrichment = {};
   metrics_.enrichment_stage = {};
+  metrics_.anomaly = {};
   metrics_.end_to_end_latency = LatencyReservoir();
   for (const auto& shard : shards_) {
     metrics_.reconstruction.Merge(shard->core->reconstruction_stats());
     metrics_.synopses.Merge(shard->core->synopses_stats());
     metrics_.events.Merge(shard->core->vessel_event_stats());
+    metrics_.anomaly.Merge(shard->core->anomaly_stage_stats());
     // Engine counters and stage counters are snapshotted under their own
     // locks, so this is safe even while enrichment workers lag behind the
     // merged windows; Finish flushes the stages first, making the final

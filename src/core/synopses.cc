@@ -7,6 +7,28 @@
 
 namespace marlin {
 
+namespace {
+
+/// Dead-reckoning residual of sample `p` against critical point `from`,
+/// degrading gracefully with kinematics availability: full DR needs speed
+/// and course; speed alone still bounds the along-track distance (annulus
+/// test); neither reduces to a stationarity assumption. With both fields
+/// available this is exactly the classic Destination-based prediction, so
+/// fully-populated streams compress identically to before.
+double DeadReckoningError(const TrajectoryPoint& from,
+                          const TrajectoryPoint& p, double dt_s) {
+  if (from.HasSpeed() && from.HasCourse()) {
+    const GeoPoint predicted =
+        Destination(from.position, from.cog_deg, from.sog_mps * dt_s);
+    return HaversineDistance(predicted, p.position);
+  }
+  const double dist = HaversineDistance(from.position, p.position);
+  if (from.HasSpeed()) return std::abs(dist - from.sog_mps * dt_s);
+  return dist;
+}
+
+}  // namespace
+
 const char* CriticalPointTypeName(CriticalPointType t) {
   switch (t) {
     case CriticalPointType::kSegmentStart:
@@ -46,7 +68,7 @@ void SynopsisEngine::Ingest(const ReconstructedPoint& rp,
 
   if (!vessel.has_last_emitted) {
     Emit(rp.mmsi, p, CriticalPointType::kSegmentStart, &vessel, out);
-    vessel.stopped = p.sog_mps < options_.stop_speed_mps;
+    vessel.stopped = p.HasSpeed() && p.sog_mps < options_.stop_speed_mps;
     vessel.prev = p;
     vessel.has_prev = true;
     return;
@@ -59,26 +81,30 @@ void SynopsisEngine::Ingest(const ReconstructedPoint& rp,
       Emit(rp.mmsi, vessel.prev, CriticalPointType::kSegmentEnd, &vessel, out);
     }
     Emit(rp.mmsi, p, CriticalPointType::kSegmentStart, &vessel, out);
-    vessel.stopped = p.sog_mps < options_.stop_speed_mps;
+    vessel.stopped = p.HasSpeed() && p.sog_mps < options_.stop_speed_mps;
     vessel.prev = p;
     return;
   }
 
   const TrajectoryPoint& last = vessel.last_emitted;
 
-  // Stop / restart transitions.
-  const bool now_stopped = p.sog_mps < options_.stop_speed_mps;
-  if (now_stopped != vessel.stopped) {
-    Emit(rp.mmsi, p,
-         now_stopped ? CriticalPointType::kStop : CriticalPointType::kRestart,
-         &vessel, out);
-    vessel.stopped = now_stopped;
-    vessel.prev = p;
-    return;
+  // Stop / restart transitions. A sample without speed can neither confirm
+  // nor deny a transition: the state simply carries over.
+  if (p.HasSpeed()) {
+    const bool now_stopped = p.sog_mps < options_.stop_speed_mps;
+    if (now_stopped != vessel.stopped) {
+      Emit(rp.mmsi, p,
+           now_stopped ? CriticalPointType::kStop
+                       : CriticalPointType::kRestart,
+           &vessel, out);
+      vessel.stopped = now_stopped;
+      vessel.prev = p;
+      return;
+    }
   }
 
-  // Turn.
-  if (!now_stopped &&
+  // Turn — needs a course on both ends of the comparison.
+  if (!vessel.stopped && p.HasCourse() && last.HasCourse() &&
       std::abs(AngleDifference(p.cog_deg, last.cog_deg)) >
           options_.turn_threshold_deg) {
     Emit(rp.mmsi, p, CriticalPointType::kTurn, &vessel, out);
@@ -86,13 +112,15 @@ void SynopsisEngine::Ingest(const ReconstructedPoint& rp,
     return;
   }
 
-  // Speed change (relative to last emitted).
-  const double base_speed = std::max(0.5, static_cast<double>(last.sog_mps));
-  if (std::abs(p.sog_mps - last.sog_mps) / base_speed >
-      options_.speed_change_rel) {
-    Emit(rp.mmsi, p, CriticalPointType::kSpeedChange, &vessel, out);
-    vessel.prev = p;
-    return;
+  // Speed change (relative to last emitted) — needs a speed on both ends.
+  if (p.HasSpeed() && last.HasSpeed()) {
+    const double base_speed = std::max(0.5, static_cast<double>(last.sog_mps));
+    if (std::abs(p.sog_mps - last.sog_mps) / base_speed >
+        options_.speed_change_rel) {
+      Emit(rp.mmsi, p, CriticalPointType::kSpeedChange, &vessel, out);
+      vessel.prev = p;
+      return;
+    }
   }
 
   // Dead-reckoning deviation: where would we place this sample by
@@ -102,19 +130,13 @@ void SynopsisEngine::Ingest(const ReconstructedPoint& rp,
   // the error bound tight without emitting the noisy current point twice).
   const double dt_s =
       static_cast<double>(p.t - last.t) / kMillisPerSecond;
-  const GeoPoint predicted =
-      Destination(last.position, last.cog_deg, last.sog_mps * dt_s);
-  if (HaversineDistance(predicted, p.position) >
-      options_.deviation_threshold_m) {
+  if (DeadReckoningError(last, p, dt_s) > options_.deviation_threshold_m) {
     if (vessel.has_prev && vessel.prev.t > last.t) {
       Emit(rp.mmsi, vessel.prev, CriticalPointType::kDeviation, &vessel, out);
       // Re-check the current point against the newly emitted one.
       const double dt2_s =
           static_cast<double>(p.t - vessel.last_emitted.t) / kMillisPerSecond;
-      const GeoPoint pred2 =
-          Destination(vessel.last_emitted.position, vessel.last_emitted.cog_deg,
-                      vessel.last_emitted.sog_mps * dt2_s);
-      if (HaversineDistance(pred2, p.position) >
+      if (DeadReckoningError(vessel.last_emitted, p, dt2_s) >
           options_.deviation_threshold_m) {
         Emit(rp.mmsi, p, CriticalPointType::kDeviation, &vessel, out);
       }

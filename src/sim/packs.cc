@@ -1,0 +1,54 @@
+#include "sim/packs.h"
+
+namespace marlin {
+namespace {
+
+/// Shared honest-traffic baseline: a small all-transit fleet, perfect
+/// reception, two hours of traffic. Every attack pack is this plus exactly
+/// one attack knob, so detection differences are attributable to the attack.
+ScenarioConfig BasePack(uint64_t seed) {
+  ScenarioConfig config;
+  config.seed = seed;
+  config.duration = 2 * kMillisPerHour;
+  config.transit_vessels = 6;
+  config.fishing_vessels = 0;
+  config.loiter_vessels = 0;
+  config.rendezvous_pairs = 0;
+  config.dark_vessels = 0;
+  config.spoof_identity_vessels = 0;
+  config.spoof_teleport_vessels = 0;
+  config.identity_swap_pairs = 0;
+  config.perfect_reception = true;
+  return config;
+}
+
+}  // namespace
+
+ScenarioConfig MakeCleanPack(uint64_t seed) { return BasePack(seed); }
+
+ScenarioConfig MakeSpoofedMmsiPack(uint64_t seed) {
+  ScenarioConfig config = BasePack(seed);
+  config.spoof_identity_vessels = 2;
+  return config;
+}
+
+ScenarioConfig MakeDarkVoyagePack(uint64_t seed) {
+  ScenarioConfig config = BasePack(seed);
+  config.dark_vessels = 2;
+  return config;
+}
+
+ScenarioConfig MakeIdentitySwapPack(uint64_t seed) {
+  ScenarioConfig config = BasePack(seed);
+  config.identity_swap_pairs = 1;
+  return config;
+}
+
+ScenarioConfig MakeSentinelStormPack(uint64_t seed) {
+  ScenarioConfig config = BasePack(seed);
+  config.missing_speed_rate = 1.0;
+  config.missing_course_rate = 1.0;
+  return config;
+}
+
+}  // namespace marlin

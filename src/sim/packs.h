@@ -1,0 +1,44 @@
+#ifndef MARLIN_SIM_PACKS_H_
+#define MARLIN_SIM_PACKS_H_
+
+/// \file packs.h
+/// \brief Adversarial scenario packs for the anomaly & integrity stage.
+///
+/// Each pack is a small, fast-to-generate fleet with perfect reception (no
+/// coverage-gap noise) and exactly ONE attack class enabled, so a test can
+/// assert that the targeted detector fires on its pack and that the clean
+/// pack produces zero integrity or anomaly flags. All packs share the same
+/// honest-traffic baseline; they differ only in the attack knob.
+
+#include <cstdint>
+
+#include "sim/scenario.h"
+
+namespace marlin {
+
+/// \brief Honest traffic only: transit vessels, no attacks, no sensor
+/// dropouts. The zero-false-positive reference world.
+ScenarioConfig MakeCleanPack(uint64_t seed);
+
+/// \brief Clean pack + vessels transmitting under a stolen MMSI of an
+/// in-fleet transit vessel: two transmitters share one identity, producing
+/// irreconcilable position conflicts (→ kMmsiConflict).
+ScenarioConfig MakeSpoofedMmsiPack(uint64_t seed);
+
+/// \brief Clean pack + vessels with scripted transmitter-off windows of
+/// 20–90 minutes (→ kDarkPeriod from the reporting-gap detector).
+ScenarioConfig MakeDarkVoyagePack(uint64_t seed);
+
+/// \brief Clean pack + a pair of vessels with contrasting speed classes
+/// that exchange MMSIs mid-voyage: each identity's stream jumps hulls
+/// (→ impossible implied speed, conflict evidence, behaviour change).
+ScenarioConfig MakeIdentitySwapPack(uint64_t seed);
+
+/// \brief Clean pack with EVERY report carrying the ITU "not available"
+/// sentinels for SOG and COG: the regression world proving that missing
+/// kinematics produce no speed- or course-derived detections.
+ScenarioConfig MakeSentinelStormPack(uint64_t seed);
+
+}  // namespace marlin
+
+#endif  // MARLIN_SIM_PACKS_H_

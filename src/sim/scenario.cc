@@ -24,6 +24,8 @@ const char* TrueEventTypeName(TrueEventType t) {
       return "loitering";
     case TrueEventType::kProtectedZoneFishing:
       return "protected-zone-fishing";
+    case TrueEventType::kIdentitySwap:
+      return "identity-swap";
   }
   return "unknown";
 }
@@ -266,6 +268,41 @@ std::vector<VesselSpec> BuildFleet(const World& world,
     events->push_back(ev);
   }
 
+  for (int i = 0; i < cfg.identity_swap_pairs; ++i) {
+    // Two honest-looking transit vessels with contrasting speed classes
+    // that exchange MMSIs mid-voyage: each identity's report stream jumps
+    // to the partner's position and its kinematic regime flips.
+    VesselSpec a = base_spec(Behaviour::kTransit);
+    VesselSpec b = base_spec(Behaviour::kTransit);
+    a.ship_type = 70;  // slow cargo hull
+    b.ship_type = 60;  // fast passenger hull
+    a.speed_knots = rng->Uniform(8.0, 10.0);
+    b.speed_knots = rng->Uniform(18.0, 22.0);
+    a.length_m = 180;
+    b.length_m = 90;
+    a.beam_m = 26;
+    b.beam_m = 14;
+    // Both transmit from the start so each identity has a pre-swap
+    // baseline, and swap mid-voyage while both are still under way.
+    a.depart_time = t0;
+    b.depart_time = t0;
+    const Timestamp swap_time =
+        t0 + static_cast<DurationMs>(rng->Uniform(0.4, 0.6) * cfg.duration);
+    a.swap_mmsi = b.mmsi;
+    a.swap_time = swap_time;
+    b.swap_mmsi = a.mmsi;
+    b.swap_time = swap_time;
+    fleet.push_back(a);
+    fleet.push_back(b);
+    TrueEvent ev;
+    ev.type = TrueEventType::kIdentitySwap;
+    ev.vessel_a = a.mmsi;
+    ev.vessel_b = b.mmsi;
+    ev.start = swap_time;
+    ev.end = t1;
+    events->push_back(ev);
+  }
+
   for (int i = 0; i < cfg.spoof_teleport_vessels; ++i) {
     VesselSpec spec = base_spec(Behaviour::kSpoofTeleport);
     spec.ship_type = 80;
@@ -352,10 +389,16 @@ ScenarioOutput GenerateScenario(const World& world,
         SimulateVessel(spec, world, t0, t1, config.tick, &vessel_rng);
     out.truth.emplace(spec.mmsi, TruthToTrajectory(spec.mmsi, states));
 
-    const Mmsi reported_mmsi = spec.behaviour == Behaviour::kSpoofIdentity &&
-                                       spec.spoofed_mmsi != 0
-                                   ? spec.spoofed_mmsi
-                                   : spec.mmsi;
+    const Mmsi base_mmsi = spec.behaviour == Behaviour::kSpoofIdentity &&
+                                   spec.spoofed_mmsi != 0
+                               ? spec.spoofed_mmsi
+                               : spec.mmsi;
+    // Identity swap at sea: from swap_time on, transmit under the partner's
+    // MMSI (the partner's spec carries the mirror-image script).
+    const auto wire_mmsi = [&spec, base_mmsi](Timestamp t) {
+      return spec.swap_mmsi != 0 && t >= spec.swap_time ? spec.swap_mmsi
+                                                        : base_mmsi;
+    };
 
     // --- Position reports at ITU cadence -------------------------------
     Timestamp next_report = spec.depart_time;
@@ -380,7 +423,7 @@ ScenarioOutput GenerateScenario(const World& world,
 
         PositionReport pr;
         pr.message_type = 1;
-        pr.mmsi = reported_mmsi;
+        pr.mmsi = wire_mmsi(state.t);
         pr.nav_status = sog_knots < 0.2 ? NavigationStatus::kAtAnchor
                                         : NavigationStatus::kUnderWayUsingEngine;
         pr.sog_knots = sog_knots;
@@ -400,6 +443,19 @@ ScenarioOutput GenerateScenario(const World& world,
           pr.position = Destination(state.position,
                                     vessel_rng.Uniform(0.0, 360.0),
                                     spec.teleport_offset_m);
+        }
+
+        // Sensor dropouts: the SOG/COG field goes out as the ITU "not
+        // available" sentinel. The `rate > 0` short-circuit keeps the RNG
+        // stream of pre-existing scenario configs byte-identical.
+        if (config.missing_speed_rate > 0.0 &&
+            vessel_rng.Bernoulli(config.missing_speed_rate)) {
+          pr.sog_knots = AisSentinels::kSpeedNotAvailable;
+        }
+        if (config.missing_course_rate > 0.0 &&
+            vessel_rng.Bernoulli(config.missing_course_rate)) {
+          pr.cog_deg = AisSentinels::kCourseNotAvailable;
+          pr.true_heading = AisSentinels::kHeadingNotAvailable;
         }
 
         ++out.transmissions;
@@ -428,7 +484,7 @@ ScenarioOutput GenerateScenario(const World& world,
       if (state.t >= next_static) {
         next_static = state.t + config.static_interval;
         if (!state.transmitting) continue;
-        StaticVoyageData sv = MakeStatic(spec, reported_mmsi);
+        StaticVoyageData sv = MakeStatic(spec, wire_mmsi(state.t));
         if (config.static_error_rate > 0.0 &&
             vessel_rng.Bernoulli(config.static_error_rate)) {
           CorruptStatic(&sv, &vessel_rng);

@@ -30,6 +30,7 @@ enum class TrueEventType : uint8_t {
   kSpoofTeleport,
   kLoitering,
   kProtectedZoneFishing,
+  kIdentitySwap,  ///< two vessels exchange MMSIs mid-voyage
 };
 
 const char* TrueEventTypeName(TrueEventType t);
@@ -58,6 +59,15 @@ struct ScenarioConfig {
   int dark_vessels = 5;
   int spoof_identity_vessels = 2;
   int spoof_teleport_vessels = 2;
+  /// Vessel pairs that exchange MMSIs mid-voyage (identity swap at sea) —
+  /// contrasting speed classes so the swap is kinematically visible.
+  int identity_swap_pairs = 0;
+
+  /// Per-report probability of the SOG/COG field carrying the ITU "not
+  /// available" sentinel (transponder sensor dropouts). 0 keeps the RNG
+  /// stream of pre-existing scenarios untouched.
+  double missing_speed_rate = 0.0;
+  double missing_course_rate = 0.0;
 
   /// Scale factor on ITU reporting rates (1.0 = spec; larger = sparser).
   double report_interval_scale = 1.0;

@@ -64,6 +64,10 @@ struct VesselSpec {
   Mmsi spoofed_mmsi = 0;              ///< identity transmitted when spoofing
   DurationMs teleport_period = 0;     ///< 0 = never
   double teleport_offset_m = 60000.0;
+  // Identity swap at sea: from `swap_time` on, transmit under `swap_mmsi`
+  // (the partner vessel carries the mirror-image script).
+  Mmsi swap_mmsi = 0;                 ///< 0 = never swap
+  Timestamp swap_time = 0;
 };
 
 /// \brief Ground-truth kinematic state at one tick.

@@ -4,6 +4,8 @@
 /// \file trajectory.h
 /// \brief Vessel trajectory representation and key encodings for archival.
 
+#include <bit>
+#include <cmath>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -15,11 +17,28 @@
 namespace marlin {
 
 /// \brief One cleaned trajectory sample.
+///
+/// The kinematics fields carry availability: a report whose SOG/COG arrived
+/// as the ITU "not available" sentinel is stored as `kUnavailable` (one
+/// fixed quiet-NaN bit pattern) rather than being collapsed to 0.0 — a
+/// vessel with missing kinematics is *not* a vessel that is stopped and
+/// heading due north. Consumers test `HasSpeed()`/`HasCourse()` before
+/// using the fields. The single canonical bit pattern is what lets
+/// availability survive the archive's raw-float-bit encodings
+/// byte-identically.
 struct TrajectoryPoint {
+  static constexpr uint32_t kUnavailableBits = 0x7FC00000u;  ///< quiet NaN
+  static constexpr float Unavailable() {
+    return std::bit_cast<float>(kUnavailableBits);
+  }
+
   Timestamp t = kInvalidTimestamp;
   GeoPoint position;
-  float sog_mps = 0.0f;   ///< speed over ground, m/s
-  float cog_deg = 0.0f;   ///< course over ground, degrees true
+  float sog_mps = 0.0f;   ///< speed over ground, m/s; NaN = not available
+  float cog_deg = 0.0f;   ///< course over ground, deg true; NaN = not available
+
+  bool HasSpeed() const { return !std::isnan(sog_mps); }
+  bool HasCourse() const { return !std::isnan(cog_deg); }
 
   bool operator<(const TrajectoryPoint& o) const { return t < o.t; }
 };

@@ -6,7 +6,7 @@ BENCH_f2_pipeline.json baseline and fails (exit 1) on a >2x regression.
 The 2x margin absorbs host differences between the recording machine and
 CI runners while still catching the failure modes these guard against.
 
-Three gates:
+Four gates:
 
 * BM_DecodeMicro lines_per_s, packed arm (packed:1) — the production
   bit-packed decode path. Canary for per-line allocation, copying, or
@@ -27,6 +27,11 @@ Three gates:
   scheduler contention on small hosts, not the serving tier. Baselines
   recorded before the serving tier existed skip this gate with a
   notice.
+* BM_AnomalyStage detectors_per_s, enabled arm (anomaly:1) — the
+  integrity scorer + behaviour-change detector invocation rate. Canary
+  for an allocation or a quadratic scan sneaking into the per-report /
+  per-point path of the anomaly & integrity stage. Baselines recorded
+  before the stage existed skip this gate with a notice.
 
 Usage:
   check_bench_regression.py <baseline.json> <current.json> [min_ratio]
@@ -94,10 +99,25 @@ def query_serving_queries_per_s(benchmarks):
     return fallback
 
 
+def anomaly_stage_detectors_per_s(benchmarks):
+    # Gate the enabled arm (anomaly:1) — the combined integrity-scorer +
+    # behaviour-change-detector invocation rate. The off arm is the
+    # pre-stage baseline and carries no detector work to gate.
+    for bench in benchmarks:
+        name = bench.get("name", "")
+        if not name.startswith("BM_AnomalyStage") or \
+                "detectors_per_s" not in bench:
+            continue
+        if "anomaly:1" in name:
+            return float(bench["detectors_per_s"])
+    return None
+
+
 GATES = [
     ("decode microbench", decode_lines_per_s, "lines/s"),
     ("queue hop (spsc)", queue_hop_items_per_s, "items/s"),
     ("query serving", query_serving_queries_per_s, "queries/s"),
+    ("anomaly stage", anomaly_stage_detectors_per_s, "detections/s"),
 ]
 
 
