@@ -1,0 +1,126 @@
+#include "common/fault.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+namespace marlin {
+
+namespace {
+
+/// Plan + hit counters behind one mutex. A fault site is, by definition, on
+/// a path about to do IO or fail — the lock is irrelevant next to that, and
+/// only ever taken when a plan is armed.
+struct InjectorState {
+  std::mutex mutex;
+  std::vector<FaultRule> rules;
+  std::unordered_map<std::string, uint64_t> hits;
+  uint64_t fired = 0;
+};
+
+InjectorState& State() {
+  static InjectorState* state = new InjectorState();  // leaked: outlives exit
+  return *state;
+}
+
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Counts the hit and returns the action of a rule firing on it, if any.
+std::optional<FaultAction> Fire(std::string_view site, uint32_t* delay_ms) {
+  InjectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto [it, inserted] = state.hits.try_emplace(std::string(site), 0);
+  const uint64_t hit = ++it->second;
+  for (const FaultRule& rule : state.rules) {
+    if (rule.site != site) continue;
+    if (hit == rule.hit || (rule.repeat && hit > rule.hit)) {
+      ++state.fired;
+      *delay_ms = rule.delay_ms;
+      return rule.action;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+void FaultInjector::Arm(FaultPlan plan) {
+  InjectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.rules = plan.rules();
+  state.hits.clear();
+  state.fired = 0;
+  armed_.store(!state.rules.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::Disarm() {
+  InjectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.rules.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+void FaultInjector::Hit(std::string_view site) {
+  uint32_t delay_ms = 0;
+  const std::optional<FaultAction> action = Fire(site, &delay_ms);
+  if (!action.has_value()) return;
+  if (*action == FaultAction::kDelay) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+    return;
+  }
+  // kThrow — and kIoError/kShortWrite at a site with no IO result to fake:
+  // the crash simulation is a throw either way.
+  throw FaultInjectedError(std::string(site));
+}
+
+std::optional<FaultAction> FaultInjector::HitIo(std::string_view site) {
+  uint32_t delay_ms = 0;
+  const std::optional<FaultAction> action = Fire(site, &delay_ms);
+  if (!action.has_value()) return std::nullopt;
+  switch (*action) {
+    case FaultAction::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+      return std::nullopt;
+    case FaultAction::kThrow:
+      throw FaultInjectedError(std::string(site));
+    case FaultAction::kIoError:
+    case FaultAction::kShortWrite:
+      return action;
+  }
+  return std::nullopt;
+}
+
+uint64_t FaultInjector::HitCount(std::string_view site) {
+  InjectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  auto it = state.hits.find(std::string(site));
+  return it == state.hits.end() ? 0 : it->second;
+}
+
+uint64_t FaultInjector::FiredCount() {
+  InjectorState& state = State();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  return state.fired;
+}
+
+FaultPlan FaultPlan::Seeded(uint64_t seed, const std::vector<std::string>& sites,
+                            FaultAction action, uint64_t max_hit) {
+  FaultPlan plan;
+  if (sites.empty()) return plan;
+  uint64_t x = seed;
+  const std::string& site = sites[SplitMix64(x) % sites.size()];
+  const uint64_t hit = max_hit == 0 ? 1 : 1 + SplitMix64(x) % max_hit;
+  plan.Fail(site, hit, action);
+  return plan;
+}
+
+}  // namespace marlin

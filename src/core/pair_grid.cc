@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <latch>
 
+#include "common/fault.h"
 #include "common/flat_hash.h"
 #include "common/units.h"
 
@@ -91,6 +92,10 @@ struct GridPairPartitioner::CellTask {
   std::vector<PairEventEngine::RendezvousSnapshot> rendezvous_scratch;
   std::vector<PairEventEngine::CollisionSnapshot> collisions_scratch;
   std::latch* done = nullptr;
+  /// Set by the runner when the task threw; the coordinator then discards
+  /// the whole window's replica output (the authoritative engine is still
+  /// untouched pre-merge) and re-closes it sequentially.
+  bool failed = false;
 
   void Reset() {
     cell = 0;
@@ -108,6 +113,7 @@ struct GridPairPartitioner::CellTask {
     rendezvous_scratch.clear();
     collisions_scratch.clear();
     done = nullptr;
+    failed = false;
   }
 };
 
@@ -179,48 +185,58 @@ void GridPairPartitioner::ReleaseReplica(
 }
 
 void GridPairPartitioner::RunTask(CellTask* task) {
-  std::unique_ptr<PairEventEngine> replica = AcquireReplica();
-  for (const auto& snapshot : task->vessels) replica->RestoreVessel(snapshot);
-  for (const auto& snapshot : task->rendezvous) {
-    replica->RestoreRendezvous(snapshot);
-  }
-  for (const auto& snapshot : task->collisions) {
-    replica->RestoreCollision(snapshot);
-  }
-  const WindowPlan* plan = task->plan;
-  const int64_t cell = task->cell;
-  replica->SetEmitFilter([plan, cell](Mmsi a, Mmsi b) {
-    return plan->OwnerCell(a, b) == cell;
-  });
-  for (const PairObservation* obs : task->observations) {
-    replica->Ingest(*obs, &task->events);
-  }
-  // Write-back: the final state of this cell's observed vessels and of the
-  // pairs it owns. Non-owner replicas computed identical state for shared
-  // pairs (they replayed the same observation subsequence); one writer is
-  // enough, and pairs touched only between halo vessels are discarded.
-  task->vessels_out.reserve(task->owned_observed.size());
-  for (Mmsi mmsi : task->owned_observed) {
-    PairEventEngine::VesselSnapshot snapshot;
-    if (replica->GetVessel(mmsi, &snapshot)) {
-      task->vessels_out.push_back(snapshot);
+  try {
+    MARLIN_FAULT_POINT("pair.cell_task");
+    std::unique_ptr<PairEventEngine> replica = AcquireReplica();
+    for (const auto& snapshot : task->vessels) {
+      replica->RestoreVessel(snapshot);
     }
-  }
-  task->rendezvous_scratch.clear();
-  replica->ExportRendezvous(&task->rendezvous_scratch);
-  for (const auto& snapshot : task->rendezvous_scratch) {
-    if (plan->OwnerCell(snapshot.a, snapshot.b) == cell) {
-      task->rendezvous_out.push_back(snapshot);
+    for (const auto& snapshot : task->rendezvous) {
+      replica->RestoreRendezvous(snapshot);
     }
-  }
-  task->collisions_scratch.clear();
-  replica->ExportCollisions(&task->collisions_scratch);
-  for (const auto& snapshot : task->collisions_scratch) {
-    if (plan->OwnerCell(snapshot.a, snapshot.b) == cell) {
-      task->collisions_out.push_back(snapshot);
+    for (const auto& snapshot : task->collisions) {
+      replica->RestoreCollision(snapshot);
     }
+    const WindowPlan* plan = task->plan;
+    const int64_t cell = task->cell;
+    replica->SetEmitFilter([plan, cell](Mmsi a, Mmsi b) {
+      return plan->OwnerCell(a, b) == cell;
+    });
+    for (const PairObservation* obs : task->observations) {
+      replica->Ingest(*obs, &task->events);
+    }
+    // Write-back: the final state of this cell's observed vessels and of
+    // the pairs it owns. Non-owner replicas computed identical state for
+    // shared pairs (they replayed the same observation subsequence); one
+    // writer is enough, and pairs touched only between halo vessels are
+    // discarded.
+    task->vessels_out.reserve(task->owned_observed.size());
+    for (Mmsi mmsi : task->owned_observed) {
+      PairEventEngine::VesselSnapshot snapshot;
+      if (replica->GetVessel(mmsi, &snapshot)) {
+        task->vessels_out.push_back(snapshot);
+      }
+    }
+    task->rendezvous_scratch.clear();
+    replica->ExportRendezvous(&task->rendezvous_scratch);
+    for (const auto& snapshot : task->rendezvous_scratch) {
+      if (plan->OwnerCell(snapshot.a, snapshot.b) == cell) {
+        task->rendezvous_out.push_back(snapshot);
+      }
+    }
+    task->collisions_scratch.clear();
+    replica->ExportCollisions(&task->collisions_scratch);
+    for (const auto& snapshot : task->collisions_scratch) {
+      if (plan->OwnerCell(snapshot.a, snapshot.b) == cell) {
+        task->collisions_out.push_back(snapshot);
+      }
+    }
+    ReleaseReplica(std::move(replica));
+  } catch (...) {
+    // A dirty replica dies with the exception rather than re-entering the
+    // pool; the count-down below still runs so the coordinator never hangs.
+    task->failed = true;
   }
-  ReleaseReplica(std::move(replica));
   task->done->count_down();
 }
 
@@ -430,6 +446,18 @@ bool GridPairPartitioner::TryParallelWindow(
     RunTask(scratch.tasks[i]);
   }
   done.wait();
+
+  // Supervision: any failed cell aborts the whole parallel close *before*
+  // the merge touches the authoritative engine. The engine is thus exactly
+  // as it was at window start, and the sequential fallback in CloseWindow
+  // (equivalence-proven against this path) reproduces the fault-free
+  // output byte-for-byte.
+  for (const CellTask* task : scratch.tasks) {
+    if (task->failed) {
+      ++stats_.recovered_windows;
+      return false;
+    }
+  }
 
   // --- Merge: transplant owned state back, concatenate events in cell
   // order (the canonical re-sequence follows in CloseWindow). ---

@@ -76,6 +76,12 @@ struct PairStageStats {
   /// Skew: worst observed share of one window's observations landing in a
   /// single cell (1.0 = everything in one cell, 1/cells = perfectly even).
   double max_cell_share = 0.0;
+  /// Parallel windows in which a cell task failed (threw) and the window
+  /// was recovered by discarding all replica output and re-closing through
+  /// the sequential path — the authoritative engine is only ever mutated in
+  /// the merge phase, so a pre-merge abort leaves it pristine and the
+  /// fallback's output is byte-identical to a fault-free close.
+  uint64_t recovered_windows = 0;
 
   double MeanCellsPerWindow() const {
     return parallel_windows == 0
@@ -97,6 +103,7 @@ struct PairStageStats {
         std::max(max_cell_observations, other.max_cell_observations);
     max_halo_rings = std::max(max_halo_rings, other.max_halo_rings);
     max_cell_share = std::max(max_cell_share, other.max_cell_share);
+    recovered_windows += other.recovered_windows;
   }
 };
 

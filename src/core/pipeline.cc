@@ -12,13 +12,26 @@ MaritimePipeline::MaritimePipeline(const PipelineConfig& config,
     : config_(config),
       core_(config_, /*async_enrichment=*/false, zones, weather, registry_a,
             registry_b),
-      pair_events_(config.events) {}
+      pair_events_(config.events),
+      dead_letters_(config.dead_letter_capacity) {}
 
 std::vector<DetectedEvent> MaritimePipeline::IngestNmea(
     const std::string& line, Timestamp ingest_time) {
   if (window_line_count_ == 0) window_first_ingest_ = ingest_time;
   last_ingest_ = ingest_time;
-  std::optional<AisMessage> msg = decoder_.Decode(line, ingest_time);
+  // Parse + Assemble is Decode split in two (documented equivalent in
+  // ais/codec.h); the split exposes the reject reason so rejected raw lines
+  // can be dead-lettered with the same classification — and therefore the
+  // same payload stream — as the sharded pipeline's parse stage.
+  const ParsedLine parsed = AisDecoder::Parse(line, ingest_time);
+  if (!parsed.ok) {
+    dead_letters_.Push(DeadLetterReason::kBadSentence, line, ingest_time);
+  }
+  const uint64_t bad_payloads_before = decoder_.stats().bad_payloads;
+  std::optional<AisMessage> msg = decoder_.Assemble(parsed);
+  if (parsed.ok && decoder_.stats().bad_payloads > bad_payloads_before) {
+    dead_letters_.Push(DeadLetterReason::kBadPayload, line, ingest_time);
+  }
   if (msg.has_value()) {
     if (config_.enable_quality_assessment) quality_.Observe(*msg);
     ProcessDecoded(*msg, ingest_time);
@@ -69,6 +82,14 @@ void MaritimePipeline::RefreshMetrics() {
   metrics_.quality = quality_.report();
   if (core_.archive() != nullptr) metrics_.archive = core_.archive()->stats();
   metrics_.end_to_end_latency = core_.end_to_end_latency();
+  // Health roll-up. No supervised workers here (single-threaded reference):
+  // the supervisor half stays zero, the data-at-risk half is live.
+  metrics_.health.supervisor = SupervisorStats{};
+  metrics_.health.dead_letter = dead_letters_.stats();
+  metrics_.health.enrichment_transform_failures =
+      metrics_.enrichment_stage.transform_failed;
+  metrics_.health.archive_put_failures = metrics_.archive.put_failures;
+  metrics_.health.archive_points_at_risk = metrics_.archive.points_at_risk;
 }
 
 size_t MaritimePipeline::DrainEnrichedOrdered(std::vector<EnrichedPoint>* out) {

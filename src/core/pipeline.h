@@ -41,8 +41,10 @@
 #include "core/pair_grid.h"
 #include "core/reconstruction.h"
 #include "core/shard.h"
+#include "core/supervisor.h"
 #include "core/synopses.h"
 #include "storage/trajectory_store.h"
+#include "stream/dead_letter.h"
 #include "stream/event.h"
 #include "stream/rate.h"
 #include "stream/spsc_ring.h"
@@ -113,6 +115,14 @@ struct PipelineConfig {
   /// `BoundedQueue` reference arm (stream/channel.h). Output is identical
   /// either way — the fabric only changes hand-off cost.
   bool lock_free_fabric = true;
+  /// Fault tolerance for `ShardedPipeline` workers (core/supervisor.h):
+  /// crash containment, replay-based restart, restart budget, degraded
+  /// counted-drop mode. `MaritimePipeline` is single-threaded and has no
+  /// workers to supervise; it still surfaces the dead-letter and
+  /// data-at-risk half of `PipelineMetrics::health`.
+  SupervisionOptions supervision;
+  /// Retained-payload capacity of the dead-letter quarantine queue.
+  size_t dead_letter_capacity = 1024;
 };
 
 /// \brief Resolves a thread/shard-count knob where 0 means "size to the
@@ -199,6 +209,9 @@ struct PipelineMetrics {
   uint64_t alerts = 0;
   RateMeter ingest_rate;
   LatencyReservoir end_to_end_latency;  ///< event time → processed
+  /// Fault-tolerance roll-up: worker failures/restarts/degradations,
+  /// dead-letter ledger, and data-at-risk counters (core/supervisor.h).
+  PipelineHealth health;
 };
 
 /// \brief The integrated system (single-threaded reference).
@@ -264,6 +277,13 @@ class MaritimePipeline {
   /// the current window.
   std::vector<DetectedEvent> Finish();
 
+  /// \brief Moves the retained dead-letter records (rejected raw lines, in
+  /// rejection order) into `out`; returns how many. Counters survive the
+  /// drain in `metrics().health.dead_letter`.
+  size_t DrainDeadLetters(std::vector<DeadLetter>* out) {
+    return dead_letters_.Drain(out);
+  }
+
   const TrajectoryStore& store() const { return core_.store(); }
   const CoverageModel& coverage() const { return core_.coverage(); }
   /// \brief The historical archive (single partition here); null when
@@ -287,6 +307,7 @@ class MaritimePipeline {
   QualityAssessor quality_;
   PipelineShardCore core_;
   PairEventEngine pair_events_;
+  DeadLetterQueue dead_letters_;
   PipelineMetrics metrics_;
   std::vector<DetectedEvent> window_events_;
   std::vector<PairObservation> window_pairs_;

@@ -3,6 +3,7 @@
 #include <string>
 #include <utility>
 
+#include "common/fault.h"
 #include "core/pipeline.h"
 
 namespace marlin {
@@ -40,6 +41,7 @@ PipelineShardCore::PipelineShardCore(const PipelineConfig& config,
       enrichment_(zones, weather, registry_a, registry_b, &source_quality_),
       enrichment_stage_(EnrichmentOptions(config, async_enrichment),
                         [this](const ReconstructedPoint& rp) {
+                          MARLIN_FAULT_POINT("enrichment.transform");
                           EnrichmentEngine::SourceTimings timings;
                           EnrichedPoint out = enrichment_.Enrich(rp, &timings);
                           // Per-source attribution (PR 2 follow-on): which
@@ -127,7 +129,13 @@ void PipelineShardCore::ProcessPoint(const ReconstructedPoint& rp,
 
   // Enrichment side-stage (never blocks: drop-oldest backpressure) +
   // single-vessel event recognition.
-  if (config_.enable_enrichment) enrichment_stage_.Submit(rp);
+  if (config_.enable_enrichment) {
+    if (enrichment_suppressed_) {
+      ++enrichment_suppressed_count_;
+    } else {
+      enrichment_stage_.Submit(rp);
+    }
+  }
   pairs->push_back(vessel_events_.Ingest(rp, events));
 
   // Behaviour-change detection over the clean point stream.

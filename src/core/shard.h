@@ -107,6 +107,19 @@ class PipelineShardCore {
   /// (delivered to the sink / drain buffer) or counted as dropped.
   void FlushEnrichment() { enrichment_stage_.Flush(); }
 
+  /// \brief While set, clean points skip the enrichment side-stage and are
+  /// counted instead. The supervisor sets this during a restart's history
+  /// replay: re-submitting replayed points would emit duplicate enriched
+  /// output downstream (the original submissions already left the stage),
+  /// so they are suppressed and surface in `PipelineHealth` as data at
+  /// risk. Writer thread only.
+  void SetEnrichmentSuppressed(bool suppressed) {
+    enrichment_suppressed_ = suppressed;
+  }
+  uint64_t enrichment_suppressed_count() const {
+    return enrichment_suppressed_count_;
+  }
+
   /// \brief Closes the historical archive's current epoch: cuts the staged
   /// points into position blocks, persists them, and publishes a new read
   /// snapshot. Called by both pipelines at every window close, so epoch
@@ -188,6 +201,9 @@ class PipelineShardCore {
   std::unique_ptr<ShardArchive> archive_;
   CoverageModel coverage_;
   LatencyReservoir latency_;  ///< event time → processed
+  // Supervisor replay support (see SetEnrichmentSuppressed).
+  bool enrichment_suppressed_ = false;
+  uint64_t enrichment_suppressed_count_ = 0;
   std::vector<CriticalPoint> synopsis_log_;
   // Scratch buffers reused across calls to avoid per-report allocation.
   std::vector<ReconstructedPoint> points_scratch_;

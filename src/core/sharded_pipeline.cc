@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/fault.h"
 #include "stream/merge.h"
 
 namespace marlin {
@@ -28,12 +29,19 @@ ShardedPipeline::ShardedPipeline(const PipelineConfig& config,
     : config_(config),
       options_(options),
       router_(ResolveTopologyCount(options.num_shards)),
+      zones_(zones),
+      weather_(weather),
+      registry_a_(registry_a),
+      registry_b_(registry_b),
       pair_events_(config.events),
-      pair_grid_(config.events, GridPairOptions(config)) {
+      pair_grid_(config.events, GridPairOptions(config)),
+      dead_letters_(config.dead_letter_capacity) {
   // Shards writing the legacy single LSM archive concurrently would race;
   // strip it. The serving tier's per-shard archives (config_.archive) take
   // its place: each shard core owns partition "shard_<i>".
   config_.store.archive = nullptr;
+  rebuild_config_ = config_;
+  rebuild_config_.archive.recover_on_open = false;
   const size_t n = router_.num_shards();
   // Capacity 1 cannot deadlock (workers always drain), it just serialises
   // the coordinator against the slowest shard; honor the caller's choice
@@ -43,7 +51,8 @@ ShardedPipeline::ShardedPipeline(const PipelineConfig& config,
                                                       : QueueFabric::kMutex;
   shards_.reserve(n);
   for (size_t i = 0; i < n; ++i) {
-    auto shard = std::make_unique<Shard>(fabric, capacity);
+    auto shard = std::make_unique<Shard>(
+        i, fabric, capacity, config_.supervision.replay_max_messages);
     shard->core = std::make_unique<PipelineShardCore>(
         config_, /*async_enrichment=*/true, zones, weather, registry_a,
         registry_b, /*shard_index=*/i);
@@ -67,35 +76,193 @@ void ShardedPipeline::WorkerLoop(Shard* shard) {
   while (shard->queue.PopBatch(&batch, 8) > 0) {
     for (Command& cmd : batch) {
       if (auto* parse = std::get_if<ParseTask>(&cmd)) {
-        for (size_t j = 0; j < parse->count; ++j) {
-          parse->out[j] = AisDecoder::Parse(parse->lines[j].payload,
-                                            parse->lines[j].ingest_time);
-        }
-        parse->done->count_down();
+        ExecuteParseTask(shard, parse);
       } else {
-        ShardTask& task = std::get<ShardTask>(cmd);
-        if (task.messages == nullptr) {
-          shard->core->Flush(task.flush_ingest_time, task.events, task.pairs);
-        } else {
-          for (const RoutedMessage& m : *task.messages) {
-            if (const auto* pr = std::get_if<PositionReport>(&m.payload)) {
-              shard->core->ProcessPosition(*pr, m.ingest_time, task.events,
-                                           task.pairs);
-            } else {
-              shard->core->ProcessStatic(
-                  std::get<StaticVoyageData>(m.payload));
-            }
-          }
-        }
-        // Epoch close rides the worker thread (the archive's writer) and
-        // precedes the latch, so once the coordinator observes the window
-        // done, the new snapshot is published — readers joining after a
-        // merged window always see that window's blocks.
-        if (task.close_epoch) (void)shard->core->CloseArchiveEpoch();
-        task.done->count_down();
+        ExecuteShardTask(shard, std::get<ShardTask>(cmd));
       }
     }
     batch.clear();
+  }
+}
+
+void ShardedPipeline::ExecuteParseTask(Shard* shard, ParseTask* parse) {
+  size_t j = 0;
+  try {
+    for (; j < parse->count; ++j) {
+      MARLIN_FAULT_POINT("shard.worker.parse");
+      parse->out[j] = AisDecoder::Parse(parse->lines[j].payload,
+                                        parse->lines[j].ingest_time);
+    }
+  } catch (...) {
+    // Parsing is stateless, so containment is the whole recovery: the
+    // unparsed slots stay rejected (`!ok`) and surface downstream as
+    // counted bad sentences + dead letters — data loss, but attributed.
+    for (; j < parse->count; ++j) parse->out[j] = ParsedLine{};
+    if (config_.supervision.enabled) {
+      ++shard->sup.stats.failures;
+      ++shard->sup.stats.failures_by_site["shard.worker.parse"];
+    }
+  }
+  parse->done->count_down();
+}
+
+void ShardedPipeline::RunShardTask(Shard* shard, const ShardTask& task) {
+  if (task.messages == nullptr) {
+    MARLIN_FAULT_POINT("shard.worker.flush");
+    shard->core->Flush(task.flush_ingest_time, task.events, task.pairs);
+  } else {
+    for (const RoutedMessage& m : *task.messages) {
+      MARLIN_FAULT_POINT("shard.worker.message");
+      if (const auto* pr = std::get_if<PositionReport>(&m.payload)) {
+        shard->core->ProcessPosition(*pr, m.ingest_time, task.events,
+                                     task.pairs);
+      } else {
+        shard->core->ProcessStatic(std::get<StaticVoyageData>(m.payload));
+      }
+    }
+  }
+  // Epoch close rides the worker thread (the archive's writer) and
+  // precedes the latch, so once the coordinator observes the window
+  // done, the new snapshot is published — readers joining after a
+  // merged window always see that window's blocks.
+  if (task.close_epoch) {
+    MARLIN_FAULT_POINT("shard.worker.close_epoch");
+    (void)shard->core->CloseArchiveEpoch();
+  }
+}
+
+void ShardedPipeline::ExecuteShardTask(Shard* shard, ShardTask& task) {
+  if (!config_.supervision.enabled) {
+    // Pre-supervision behavior exactly: no buffering, no containment.
+    RunShardTask(shard, task);
+    task.done->count_down();
+    return;
+  }
+  ShardSupervisor& sup = shard->sup;
+  if (sup.degraded) {
+    const size_t n = task.messages != nullptr ? task.messages->size() : 0;
+    if (n > 0) {
+      sup.stats.degraded_dropped_messages += n;
+      dead_letters_.PushCount(DeadLetterReason::kDegradedDrop, n);
+    }
+    task.events->clear();
+    task.pairs->clear();
+    task.done->count_down();
+    return;
+  }
+  // Buffer the raw input BEFORE executing: a mid-task crash leaves the core
+  // half-advanced, so recovery must rebuild from scratch and replay the
+  // full history *including* this task.
+  sup.replay.Append(WindowRecord{
+      task.window_seq, task.messages == nullptr, task.flush_ingest_time,
+      task.close_epoch,
+      task.messages != nullptr ? *task.messages
+                               : std::vector<RoutedMessage>{}});
+  bool replayed = false;
+  while (true) {
+    std::string failure_site;
+    try {
+      if (!replayed) {
+        RunShardTask(shard, task);
+      } else {
+        ReplayShardHistory(shard, task);
+      }
+      break;
+    } catch (const FaultInjectedError& e) {
+      failure_site = e.site();
+    } catch (const std::exception& e) {
+      failure_site = e.what();
+    } catch (...) {
+      failure_site = "unknown";
+    }
+    ++sup.stats.failures;
+    ++sup.stats.failures_by_site[failure_site];
+    if (sup.stats.restarts >= config_.supervision.restart_budget ||
+        sup.replay.truncated()) {
+      EnterDegradedMode(shard, task);
+      break;
+    }
+    ++sup.stats.restarts;
+    RebuildShardCore(shard);
+    replayed = true;
+  }
+  task.done->count_down();
+}
+
+void ShardedPipeline::RebuildShardCore(Shard* shard) {
+  ShardSupervisor& sup = shard->sup;
+  // Harvest what the dying core can still account for: points whose
+  // enrichment was suppressed by earlier replays, plus enriched output that
+  // was delivered to the drain buffer but never drained by the user (a
+  // registered sink already received everything, so the drain is empty
+  // then). Both are data at risk, not silently lost.
+  sup.stats.enrichment_suppressed += shard->core->enrichment_suppressed_count();
+  shard->core->FlushEnrichment();
+  std::vector<EnrichedPoint> orphaned;
+  shard->core->DrainEnriched(&orphaned);
+  sup.stats.enrichment_suppressed += orphaned.size();
+  // Destroy before constructing: the replacement reopens the same archive
+  // partition, and two live LSM stores on one directory would fight over
+  // the WAL.
+  shard->core.reset();
+  shard->core = std::make_unique<PipelineShardCore>(
+      rebuild_config_, /*async_enrichment=*/true, zones_, weather_,
+      registry_a_, registry_b_, shard->index);
+  if (enriched_sink_) shard->core->SetEnrichedSink(enriched_sink_);
+}
+
+void ShardedPipeline::ReplayShardHistory(Shard* shard, ShardTask& task) {
+  ShardSupervisor& sup = shard->sup;
+  // Replayed points were already submitted to the (previous core's)
+  // enrichment stage once; re-submitting would duplicate downstream
+  // deliveries, so they skip the stage and are counted instead.
+  shard->core->SetEnrichmentSuppressed(true);
+  // The current task's slots may hold output from the failed attempt; its
+  // replayed records regenerate them in full. (Finish's tail + flush tasks
+  // share slots AND a seq, so clearing once here is also correct when the
+  // flush half crashes after the tail half succeeded.)
+  task.events->clear();
+  task.pairs->clear();
+  std::vector<DetectedEvent> stale_events;
+  std::vector<PairObservation> stale_pairs;
+  for (const WindowRecord& record : sup.replay.windows()) {
+    const bool current = record.seq == task.window_seq;
+    std::vector<DetectedEvent>* events =
+        current ? task.events : &stale_events;
+    std::vector<PairObservation>* pairs = current ? task.pairs : &stale_pairs;
+    if (record.is_flush) {
+      shard->core->Flush(record.flush_ingest_time, events, pairs);
+    } else {
+      for (const RoutedMessage& m : record.messages) {
+        if (const auto* pr = std::get_if<PositionReport>(&m.payload)) {
+          shard->core->ProcessPosition(*pr, m.ingest_time, events, pairs);
+        } else {
+          shard->core->ProcessStatic(std::get<StaticVoyageData>(m.payload));
+        }
+      }
+    }
+    if (record.close_epoch) (void)shard->core->CloseArchiveEpoch();
+    ++sup.stats.windows_replayed;
+    sup.stats.messages_replayed += record.messages.size();
+    // Older windows' events/pairs were already merged and emitted once;
+    // the replica output exists only to advance the core's state.
+    stale_events.clear();
+    stale_pairs.clear();
+  }
+  shard->core->SetEnrichmentSuppressed(false);
+}
+
+void ShardedPipeline::EnterDegradedMode(Shard* shard, ShardTask& task) {
+  ShardSupervisor& sup = shard->sup;
+  sup.degraded = true;
+  ++sup.stats.degraded_workers;
+  sup.replay.Clear();
+  task.events->clear();
+  task.pairs->clear();
+  const size_t n = task.messages != nullptr ? task.messages->size() : 0;
+  if (n > 0) {
+    sup.stats.degraded_dropped_messages += n;
+    dead_letters_.PushCount(DeadLetterReason::kDegradedDrop, n);
   }
 }
 
@@ -137,7 +304,8 @@ void ShardedPipeline::ReleaseWindow(std::unique_ptr<Window> window) {
   window_pool_.push_back(std::move(window));
 }
 
-void ShardedPipeline::AssembleAndRoute(Window* window) {
+void ShardedPipeline::AssembleAndRoute(
+    Window* window, std::span<const Event<std::string>> lines) {
   const size_t shard_count = shards_.size();
   // Size the per-shard slots; the inner vectors are empty already — fresh
   // windows start empty and pooled ones were cleared by Window::Reset
@@ -147,12 +315,25 @@ void ShardedPipeline::AssembleAndRoute(Window* window) {
   window->pairs.resize(shard_count);
 
   // Assembly is stateful across the whole stream (fragment groups can span
-  // windows) and therefore runs here, in arrival order.
+  // windows) and therefore runs here, in arrival order. Rejected lines are
+  // dead-lettered from the raw window at the same index, with the same
+  // classification — and therefore the same ledger — as the sequential
+  // pipeline's ingest path.
   for (size_t i = 0; i < window->parsed.size(); ++i) {
-    std::optional<AisMessage> msg = decoder_.Assemble(window->parsed[i]);
+    const ParsedLine& parsed = window->parsed[i];
+    const Timestamp ingest_time = window->ingest_times[i];
+    if (!parsed.ok) {
+      dead_letters_.Push(DeadLetterReason::kBadSentence, lines[i].payload,
+                         ingest_time);
+    }
+    const uint64_t bad_payloads_before = decoder_.stats().bad_payloads;
+    std::optional<AisMessage> msg = decoder_.Assemble(parsed);
+    if (parsed.ok && decoder_.stats().bad_payloads > bad_payloads_before) {
+      dead_letters_.Push(DeadLetterReason::kBadPayload, lines[i].payload,
+                         ingest_time);
+    }
     if (!msg.has_value()) continue;
     if (config_.enable_quality_assessment) quality_.Observe(*msg);
-    const Timestamp ingest_time = window->ingest_times[i];
 
     if (const auto* sv = std::get_if<StaticVoyageData>(&*msg)) {
       window->routed[router_.ShardFor(sv->mmsi)].push_back(
@@ -167,19 +348,22 @@ void ShardedPipeline::AssembleAndRoute(Window* window) {
   }
 }
 
-void ShardedPipeline::DispatchShardTasks(Window* window, bool close_epoch) {
+void ShardedPipeline::DispatchShardTasks(Window* window, uint64_t window_seq,
+                                         bool close_epoch) {
   for (size_t s = 0; s < shards_.size(); ++s) {
     shards_[s]->queue.Push(Command(
         ShardTask{&window->routed[s], &window->events[s], &window->pairs[s],
-                  window->shards_done.get(), kInvalidTimestamp, close_epoch}));
+                  window->shards_done.get(), kInvalidTimestamp, close_epoch,
+                  window_seq}));
   }
 }
 
-void ShardedPipeline::DispatchWindow(Window* window) {
-  AssembleAndRoute(window);
+void ShardedPipeline::DispatchWindow(Window* window,
+                                     std::span<const Event<std::string>> lines) {
+  AssembleAndRoute(window, lines);
   window->shards_done =
       std::make_unique<std::latch>(static_cast<ptrdiff_t>(shards_.size()));
-  DispatchShardTasks(window);
+  DispatchShardTasks(window, ++next_window_seq_);
 }
 
 void ShardedPipeline::MergeWindow(Window* window, bool flush_pairs,
@@ -259,6 +443,21 @@ void ShardedPipeline::RefreshMetrics() {
     metrics_.shard_hop.Merge(shard->queue.stats());
   }
   metrics_.pair_hop = pair_grid_.hop_stats();
+  // Health roll-up. Supervisor stats are worker-owned; this runs at the
+  // same quiescent points as the per-core merges above.
+  metrics_.health = PipelineHealth{};
+  for (const auto& shard : shards_) {
+    metrics_.health.supervisor.Merge(shard->sup.stats);
+    metrics_.health.supervisor.enrichment_suppressed +=
+        shard->core->enrichment_suppressed_count();
+  }
+  metrics_.health.supervisor.pair_windows_recovered =
+      pair_grid_.stats().recovered_windows;
+  metrics_.health.dead_letter = dead_letters_.stats();
+  metrics_.health.enrichment_transform_failures =
+      metrics_.enrichment_stage.transform_failed;
+  metrics_.health.archive_put_failures = metrics_.archive.put_failures;
+  metrics_.health.archive_points_at_risk = metrics_.archive.points_at_risk;
 }
 
 std::vector<DetectedEvent> ShardedPipeline::IngestBatch(
@@ -294,17 +493,19 @@ std::vector<DetectedEvent> ShardedPipeline::IngestBatch(
 
     std::unique_ptr<Window> window = AcquireWindow();
     if (pending_lines_.empty()) {
-      ParseWindow(nmea.subspan(consumed, end - consumed), window.get());
-      DispatchWindow(window.get());
+      const auto window_lines = nmea.subspan(consumed, end - consumed);
+      ParseWindow(window_lines, window.get());
+      DispatchWindow(window.get(), window_lines);
     } else {
       pending_lines_.insert(pending_lines_.end(), nmea.begin() + consumed,
                             nmea.begin() + end);
-      ParseWindow(std::span<const Event<std::string>>(pending_lines_),
-                  window.get());
+      const auto window_lines =
+          std::span<const Event<std::string>>(pending_lines_);
+      ParseWindow(window_lines, window.get());
       // Parsed sentences are zero-copy views into the line buffers, so the
       // pending lines must stay alive until the window is assembled and
       // routed (DispatchWindow) — only then may they be dropped.
-      DispatchWindow(window.get());
+      DispatchWindow(window.get(), window_lines);
       pending_lines_.clear();
     }
     consumed = end;
@@ -341,9 +542,13 @@ std::vector<DetectedEvent> ShardedPipeline::Finish() {
   if (has_lines) {
     ParseWindow(std::span<const Event<std::string>>(pending_lines_), &window);
   }
-  AssembleAndRoute(&window);
+  AssembleAndRoute(&window,
+                   std::span<const Event<std::string>>(pending_lines_));
   // Each shard gets its window task (if any lines remain) plus a flush task,
-  // queued back-to-back so both write the shard's slots in order.
+  // queued back-to-back so both write the shard's slots in order. The two
+  // tasks share one window sequence — they are one window, and a supervised
+  // replay must route both records' output into the shared slots.
+  const uint64_t window_seq = ++next_window_seq_;
   const size_t tasks_per_shard = has_lines ? 2 : 1;
   window.shards_done = std::make_unique<std::latch>(
       static_cast<ptrdiff_t>(shard_count * tasks_per_shard));
@@ -351,14 +556,14 @@ std::vector<DetectedEvent> ShardedPipeline::Finish() {
     // Tail lines + flush are ONE window: the flush task below closes the
     // archive epoch for both, matching the sequential pipeline's single
     // Finish-time window close.
-    DispatchShardTasks(&window, /*close_epoch=*/false);
+    DispatchShardTasks(&window, window_seq, /*close_epoch=*/false);
     pending_lines_.clear();
   }
   for (size_t s = 0; s < shard_count; ++s) {
-    shards_[s]->queue.Push(Command(ShardTask{nullptr, &window.events[s],
-                                             &window.pairs[s],
-                                             window.shards_done.get(),
-                                             last_ingest_}));
+    shards_[s]->queue.Push(Command(
+        ShardTask{nullptr, &window.events[s], &window.pairs[s],
+                  window.shards_done.get(), last_ingest_,
+                  /*close_epoch=*/true, window_seq}));
   }
   std::vector<DetectedEvent> all;
   MergeWindow(&window, /*flush_pairs=*/true, &all);
@@ -371,7 +576,8 @@ std::vector<DetectedEvent> ShardedPipeline::Finish() {
 }
 
 void ShardedPipeline::SetEnrichedSink(EnrichedSink sink) {
-  for (auto& shard : shards_) shard->core->SetEnrichedSink(sink);
+  enriched_sink_ = std::move(sink);  // kept: rebuilt cores re-install it
+  for (auto& shard : shards_) shard->core->SetEnrichedSink(enriched_sink_);
 }
 
 size_t ShardedPipeline::DrainEnriched(std::vector<EnrichedPoint>* out) {

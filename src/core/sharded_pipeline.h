@@ -37,6 +37,18 @@
 /// one shard reproduces `MaritimePipeline`'s event stream *exactly*, and
 /// N shards produce the same events for any N — for every pair-stage
 /// cell-size/thread configuration (core/pair_grid.h).
+///
+/// Fault tolerance (core/supervisor.h): each shard worker runs under a
+/// supervisor. A throwing task is caught and attributed; the shard core is
+/// rebuilt from scratch and the raw routed windows buffered in a bounded
+/// per-shard `ReplayBuffer` are replayed in order, which reproduces the
+/// fault-free event stream exactly (every stage in the core is a
+/// deterministic function of its input batches). A restart budget — or a
+/// truncated replay history — degrades the worker to counted-drop mode
+/// instead of wedging the coordinator. Rejected raw lines (parse/decode)
+/// and degraded drops land in a dead-letter quarantine queue shared with
+/// the sequential pipeline, so the reject ledgers of both pipelines match
+/// line for line.
 
 #include <functional>
 #include <latch>
@@ -50,8 +62,10 @@
 #include "core/pair_grid.h"
 #include "core/pipeline.h"
 #include "core/shard.h"
+#include "core/supervisor.h"
 #include "storage/trajectory_store.h"
 #include "stream/channel.h"
+#include "stream/dead_letter.h"
 #include "stream/shard_router.h"
 
 namespace marlin {
@@ -119,6 +133,14 @@ class ShardedPipeline {
   /// dropped. `Finish` runs it before its final metric refresh, so after
   /// Finish the enriched stream is complete. Call between ingest calls.
   void FlushEnrichment();
+
+  /// \brief Moves the retained dead-letter records (rejected raw lines and
+  /// degraded-drop markers) into `out`; returns how many. Counters survive
+  /// the drain in `metrics().health.dead_letter`. Call between ingest
+  /// calls.
+  size_t DrainDeadLetters(std::vector<DeadLetter>* out) {
+    return dead_letters_.Drain(out);
+  }
 
   /// \brief Batched ingest (arrival order). Returns all events finalized by
   /// the windows this batch completed; partial windows carry over to the
@@ -190,6 +212,31 @@ class ShardedPipeline {
     /// flush form ONE window — exactly one epoch, as in the sequential
     /// pipeline.
     bool close_epoch = true;
+    /// Coordinator-assigned window sequence. `Finish`'s tail + flush tasks
+    /// share one sequence (they are one window); the supervisor routes
+    /// replayed output by it.
+    uint64_t window_seq = 0;
+  };
+
+  /// One ShardTask's raw input, buffered for supervised replay. The
+  /// messages are copied at execution time (the window's slices are
+  /// recycled once merged), everything else mirrors the task.
+  struct WindowRecord {
+    uint64_t seq = 0;
+    bool is_flush = false;
+    Timestamp flush_ingest_time = kInvalidTimestamp;
+    bool close_epoch = true;
+    std::vector<RoutedMessage> messages;
+  };
+
+  /// Per-shard supervision state. Owned by the worker thread; the
+  /// coordinator reads `stats` only at quiescent points (RefreshMetrics
+  /// runs with every dispatched window merged, i.e. after the latch).
+  struct ShardSupervisor {
+    explicit ShardSupervisor(size_t replay_max) : replay(replay_max) {}
+    ReplayBuffer<WindowRecord> replay;
+    SupervisorStats stats;
+    bool degraded = false;
   };
 
   using Command = std::variant<ParseTask, ShardTask>;
@@ -217,28 +264,53 @@ class ShardedPipeline {
   };
 
   struct Shard {
-    Shard(QueueFabric fabric, size_t queue_capacity)
-        : queue(fabric, queue_capacity) {}
+    Shard(size_t shard_index, QueueFabric fabric, size_t queue_capacity,
+          size_t replay_max)
+        : index(shard_index), queue(fabric, queue_capacity), sup(replay_max) {}
+    const size_t index;  ///< names the archive partition on rebuild
     std::unique_ptr<PipelineShardCore> core;
     /// Command hop. The coordinator is the only producer and the shard
     /// worker the only consumer, so the SPSC contract holds.
     StageChannel<Command> queue;
+    ShardSupervisor sup;  ///< worker-thread state (stats read when quiescent)
     std::thread thread;
   };
 
   void WorkerLoop(Shard* shard);
+  /// Parse chunk with crash containment (parsing is stateless: a failure
+  /// leaves the remaining slots rejected-and-counted, no restart needed).
+  void ExecuteParseTask(Shard* shard, ParseTask* parse);
+  /// Supervised ShardTask execution: run, and on failure restart-replay or
+  /// degrade per the supervision options. Always counts the latch down.
+  void ExecuteShardTask(Shard* shard, ShardTask& task);
+  /// The raw (unsupervised) task body — fault-site instrumented.
+  void RunShardTask(Shard* shard, const ShardTask& task);
+  /// Rebuilds the shard's core from scratch (same partition directories;
+  /// the archive reopens without self-recovery — replay republishes it).
+  void RebuildShardCore(Shard* shard);
+  /// Replays the buffered history on a freshly rebuilt core. Records with
+  /// the current task's seq regenerate the task's output slots; older
+  /// windows' outputs were already merged and are discarded.
+  void ReplayShardHistory(Shard* shard, ShardTask& task);
+  /// Flips the worker to counted-drop mode and drops the current task.
+  void EnterDegradedMode(Shard* shard, ShardTask& task);
   /// Window pool (coordinator thread only).
   std::unique_ptr<Window> AcquireWindow();
   void ReleaseWindow(std::unique_ptr<Window> window);
   /// Parses `lines` across the shard workers (blocking) into `window`.
   void ParseWindow(std::span<const Event<std::string>> lines, Window* window);
   /// Assembles parsed lines (stateful, arrival order) and routes the decoded
-  /// messages into the window's per-shard slices.
-  void AssembleAndRoute(Window* window);
+  /// messages into the window's per-shard slices. `lines` is the raw window
+  /// (same span ParseWindow consumed): rejected lines are dead-lettered from
+  /// it with the same classification the sequential pipeline applies.
+  void AssembleAndRoute(Window* window,
+                        std::span<const Event<std::string>> lines);
   /// Enqueues one ShardTask per shard for the window (non-blocking).
-  void DispatchShardTasks(Window* window, bool close_epoch = true);
+  void DispatchShardTasks(Window* window, uint64_t window_seq,
+                          bool close_epoch = true);
   /// AssembleAndRoute + latch setup + DispatchShardTasks.
-  void DispatchWindow(Window* window);
+  void DispatchWindow(Window* window,
+                      std::span<const Event<std::string>> lines);
   /// Waits for the window's shards, runs the pair stage, re-sequences,
   /// fires alerts, appends finalized events to `out`.
   void MergeWindow(Window* window, bool flush_pairs,
@@ -246,8 +318,20 @@ class ShardedPipeline {
   void RefreshMetrics();
 
   PipelineConfig config_;
+  /// Restart configuration: `config_` with archive self-recovery disabled —
+  /// a rebuilt core's archive is republished by the replay itself, block
+  /// for block (its LSM keys are content-addressed, so re-puts are
+  /// idempotent); opening with recovery would double-load the durable
+  /// blocks. Outlives the shard cores that reference it.
+  PipelineConfig rebuild_config_;
   Options options_;
   ShardRouter router_;
+  /// Context sources, retained so a supervised restart can rebuild a core.
+  const ZoneDatabase* zones_ = nullptr;
+  const WeatherProvider* weather_ = nullptr;
+  const VesselRegistry* registry_a_ = nullptr;
+  const VesselRegistry* registry_b_ = nullptr;
+  EnrichedSink enriched_sink_;  ///< re-installed on rebuilt cores
   std::vector<std::unique_ptr<Shard>> shards_;
   AisDecoder decoder_;          ///< assembly half runs on the coordinator
   QualityAssessor quality_;
@@ -255,6 +339,10 @@ class ShardedPipeline {
   /// Closes pair windows on `pair_events_` — grid-cell parallel when
   /// `config.pair_threads` > 1, sequential otherwise; identical output.
   GridPairPartitioner pair_grid_;
+  /// Rejected raw lines + degraded-drop markers. Pushed from the
+  /// coordinator (decode rejects) and the shard workers (degraded drops) —
+  /// the queue is internally locked.
+  DeadLetterQueue dead_letters_;
   PipelineMetrics metrics_;
   std::function<void(const DetectedEvent&)> alert_callback_;
 
@@ -263,6 +351,7 @@ class ShardedPipeline {
   /// Recycled Window objects (at most two are ever in flight).
   std::vector<std::unique_ptr<Window>> window_pool_;
   Timestamp last_ingest_ = kInvalidTimestamp;  ///< newest line's ingest time
+  uint64_t next_window_seq_ = 0;  ///< coordinator-assigned ShardTask seqs
 };
 
 }  // namespace marlin

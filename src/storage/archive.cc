@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "common/fault.h"
 #include "storage/coding.h"
 
 namespace marlin {
@@ -131,6 +132,7 @@ ShardArchive::ShardArchive(const ArchiveOptions& options, std::string directory)
   lsm_options.memtable_bytes_limit = options_.memtable_bytes_limit;
   lsm_options.max_runs = options_.max_runs;
   lsm_options.background_compaction = options_.background_compaction;
+  lsm_options.wal_sync = options_.wal_sync;
   lsm_options.directory = directory_;
   auto opened = LsmStore::Open(lsm_options);
   if (!opened.ok()) {
@@ -141,9 +143,73 @@ ShardArchive::ShardArchive(const ArchiveOptions& options, std::string directory)
   }
   lsm_ = std::move(opened).ValueOrDie();
   snapshot_ = std::make_shared<const PartitionSnapshot>();
+  if (options_.recover_on_open && !directory_.empty()) RecoverFromLsm();
+}
+
+void ShardArchive::RecoverFromLsm() {
+  // The durable prefix lives in the LSM (WAL replay + surviving runs, torn
+  // tails and corrupt runs already cut/quarantined by LsmStore::Open).
+  // Rebuild the served state from it: one PositionBlock per key, in key
+  // order — mmsi-major, time-ascending. That is not the original epoch
+  // order, but the query layer canonically re-sorts rows per partition
+  // (see QueryEngine::ScanPartition), so served results are byte-identical
+  // to an archive that never crashed, for the durable rows.
+  std::unique_ptr<KvIterator> it = lsm_->NewIterator();
+  for (it->SeekToFirst(); it->Valid(); it->Next()) {
+    uint32_t mmsi = 0;
+    Timestamp t0 = 0;
+    uint32_t count = 0;
+    PackedBits data;
+    std::vector<TrajectoryPoint> points;
+    if (!DecodeTrajectoryKey(it->key(), &mmsi, &t0) ||
+        !ParseBlockValue(it->value(), &count, &data).ok() ||
+        !DecodePositionBlock(data, count, mmsi, t0, &points).ok() ||
+        points.empty()) {
+      // Undecodable block value: counted, skipped, never served.
+      ++stats_.blocks_quarantined;
+      continue;
+    }
+    auto block = std::make_shared<PositionBlock>();
+    block->mmsi = mmsi;
+    block->t0 = points.front().t;
+    block->t1 = points.back().t;
+    block->count = count;
+    for (const TrajectoryPoint& p : points) block->bounds.Extend(p.position);
+    block->data = std::move(data);
+    blocks_.push_back(std::move(block));
+    ++stats_.recovered_blocks;
+  }
+  if (blocks_.empty() && stats_.blocks_quarantined == 0) return;
+
+  // Full index rebuild: recovery is rare and O(blocks log blocks) here buys
+  // indexed_ == blocks_.size(), i.e. no linear tail for the query layer.
+  std::vector<RTreeEntry> boxes;
+  std::vector<IntervalEntry> spans;
+  boxes.reserve(blocks_.size());
+  spans.reserve(blocks_.size());
+  for (size_t i = 0; i < blocks_.size(); ++i) {
+    boxes.push_back(RTreeEntry{blocks_[i]->bounds, i});
+    spans.push_back(IntervalEntry{blocks_[i]->t0, blocks_[i]->t1, i});
+  }
+  rtree_ = std::make_shared<const RTree>(std::move(boxes));
+  intervals_ = std::make_shared<const IntervalIndex>(std::move(spans));
+  indexed_ = blocks_.size();
+  ++epoch_;
+
+  auto snapshot = std::make_shared<PartitionSnapshot>();
+  snapshot->epoch = epoch_;
+  snapshot->blocks = blocks_;
+  snapshot->rtree = rtree_;
+  snapshot->intervals = intervals_;
+  snapshot->indexed = indexed_;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = std::move(snapshot);
+  }
 }
 
 void ShardArchive::Stage(uint32_t mmsi, const TrajectoryPoint& point) {
+  MARLIN_FAULT_POINT("archive.stage");
   auto [slot, inserted] = slots_.TryEmplace(mmsi);
   if (inserted) {
     *slot = static_cast<uint32_t>(staged_.size());
@@ -155,6 +221,7 @@ void ShardArchive::Stage(uint32_t mmsi, const TrajectoryPoint& point) {
 }
 
 Status ShardArchive::CloseEpoch() {
+  MARLIN_FAULT_POINT("archive.close_epoch");
   ++epoch_;
   ++stats_.epochs;
   if (staged_.empty()) return Status::OK();
@@ -178,9 +245,23 @@ Status ShardArchive::CloseEpoch() {
     ++stats_.blocks;
     stats_.encoded_bytes += block->data.word_count() * 8;
     if (lsm_ != nullptr) {
-      Status put = lsm_->Put(EncodeTrajectoryKey(mmsi, block->t0),
-                             SerializeBlockValue(*block));
-      if (!put.ok() && status.ok()) status = put;
+      Status put = Status::OK();
+      if (FaultInjector::armed()) {
+        if (FaultInjector::HitIo("archive.close_epoch.write")) {
+          put = Status::IOError("injected fault: archive.close_epoch.write");
+        }
+      }
+      if (put.ok()) {
+        put = lsm_->Put(EncodeTrajectoryKey(mmsi, block->t0),
+                        SerializeBlockValue(*block));
+      }
+      if (!put.ok()) {
+        // The block still serves from memory this run, but its durability
+        // failed: count it (and its points) as data at risk.
+        ++stats_.put_failures;
+        stats_.points_at_risk += block->count;
+        if (status.ok()) status = put;
+      }
     }
     blocks_.push_back(std::move(block));
   }
@@ -204,6 +285,7 @@ Status ShardArchive::CloseEpoch() {
     ++stats_.index_rebuilds;
   }
 
+  MARLIN_FAULT_POINT("archive.snapshot.publish");
   auto snapshot = std::make_shared<PartitionSnapshot>();
   snapshot->epoch = epoch_;
   snapshot->blocks = blocks_;  // shared_ptr copies, payloads shared
@@ -253,6 +335,9 @@ ArchiveStats ShardArchive::stats() const {
     out.lsm_flushes = lsm_stats.flushes;
     out.lsm_compactions = lsm_stats.compactions;
     out.prefix_bloom_skipped = lsm_stats.prefix_bloom_skipped;
+    out.wal_torn_truncated = lsm_stats.wal_torn_truncated;
+    out.runs_quarantined = lsm_stats.runs_quarantined;
+    out.temps_removed = lsm_stats.temps_removed;
   }
   return out;
 }

@@ -83,6 +83,14 @@ struct ArchiveOptions {
   /// the unindexed tail. Smaller = more rebuild work per window; larger =
   /// more linear tail scanning per query.
   size_t index_rebuild_blocks = 64;
+  /// On open, scan the LSM store and rebuild the in-memory block list /
+  /// indexes / snapshot from the durable blocks, so a restarted shard serves
+  /// its persisted history immediately. Off for the supervised-restart
+  /// rebuild path, which replays the raw batches instead (replaying into an
+  /// archive that already re-served its LSM contents would double-publish).
+  bool recover_on_open = true;
+  /// fdatasync the archive WAL on every block append (LsmStore::wal_sync).
+  bool wal_sync = false;
 };
 
 /// \brief One (vessel, window) column block: metadata plus the packed
@@ -128,6 +136,14 @@ struct ArchiveStats {
   uint64_t lsm_flushes = 0;
   uint64_t lsm_compactions = 0;
   uint64_t prefix_bloom_skipped = 0;  ///< runs skipped on vessel scans
+  // Fault-tolerance ledger (counted-not-silent).
+  uint64_t recovered_blocks = 0;     ///< blocks rebuilt from the LSM at open
+  uint64_t blocks_quarantined = 0;   ///< undecodable block values skipped
+  uint64_t put_failures = 0;         ///< blocks whose LSM put failed
+  uint64_t points_at_risk = 0;       ///< points inside failed-put blocks
+  uint64_t wal_torn_truncated = 0;   ///< LSM: torn WAL bytes cut at open
+  uint64_t runs_quarantined = 0;     ///< LSM: corrupt runs quarantined
+  uint64_t temps_removed = 0;        ///< LSM: orphaned temps reaped
 
   void Merge(const ArchiveStats& o) {
     points_staged += o.points_staged;
@@ -138,6 +154,13 @@ struct ArchiveStats {
     lsm_flushes += o.lsm_flushes;
     lsm_compactions += o.lsm_compactions;
     prefix_bloom_skipped += o.prefix_bloom_skipped;
+    recovered_blocks += o.recovered_blocks;
+    blocks_quarantined += o.blocks_quarantined;
+    put_failures += o.put_failures;
+    points_at_risk += o.points_at_risk;
+    wal_torn_truncated += o.wal_torn_truncated;
+    runs_quarantined += o.runs_quarantined;
+    temps_removed += o.temps_removed;
   }
 };
 
@@ -197,6 +220,10 @@ class ShardArchive {
   const std::string& directory() const { return directory_; }
 
  private:
+  /// Rebuilds blocks_/indexes/snapshot from the durable LSM contents
+  /// (crash-consistent recovery; see ArchiveOptions::recover_on_open).
+  void RecoverFromLsm();
+
   ArchiveOptions options_;
   std::string directory_;
   std::unique_ptr<LsmStore> lsm_;  ///< null only if Open failed (volatile fallback)

@@ -1,15 +1,18 @@
 #include "storage/lsm_store.h"
 
+#include <errno.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <map>
 
+#include "common/fault.h"
 #include "storage/coding.h"
 
 namespace marlin {
@@ -39,6 +42,33 @@ std::string_view UserValue(std::string_view internal) {
 
 std::string_view KeyPrefix(std::string_view key) {
   return key.substr(0, std::min(key.size(), SortedRun::kPrefixLen));
+}
+
+/// Writes all of `data` to `fd`, resuming across EINTR / partial writes.
+/// Returns the number of bytes that actually reached the file (== size on
+/// success), so a failed caller knows what to truncate away.
+size_t WriteFully(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (n == 0) break;
+    done += static_cast<size_t>(n);
+  }
+  return done;
+}
+
+/// Fsyncs the directory itself so a just-renamed file's directory entry is
+/// durable (rename alone only orders data, not metadata, on most filesystems).
+void SyncDirectory(const std::string& directory) {
+  const int dfd = ::open(directory.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    ::fsync(dfd);
+    ::close(dfd);
+  }
 }
 
 }  // namespace
@@ -236,9 +266,30 @@ Status LsmStore::AppendWal(char type, std::string_view key,
   PutFixed32BE(&framed, Crc32c(record.data(), record.size()));
   PutFixed32BE(&framed, static_cast<uint32_t>(record.size()));
   framed.append(record);
-  ssize_t written = ::write(wal_fd_, framed.data(), framed.size());
-  if (written != static_cast<ssize_t>(framed.size())) {
+  if (FaultInjector::armed()) {
+    if (auto action = FaultInjector::HitIo("lsm.wal.append")) {
+      if (*action == FaultAction::kShortWrite) {
+        // Simulated power loss mid-append: torn bytes really land on disk.
+        // The caller must treat this as a crash and reopen; recovery then
+        // truncates the tail at the bad CRC frame.
+        WriteFully(wal_fd_, framed.data(), framed.size() / 2 + 1);
+      }
+      return Status::IOError("injected fault: lsm.wal.append");
+    }
+  }
+  const size_t written = WriteFully(wal_fd_, framed.data(), framed.size());
+  if (written != framed.size()) {
+    // All-or-nothing: cut the partial frame back off so the live log (and
+    // any later successful append) never sits behind garbage bytes.
+    (void)::ftruncate(wal_fd_, static_cast<off_t>(wal_size_));
     return Status::IOError("short WAL write");
+  }
+  wal_size_ += framed.size();
+  if (options_.wal_sync) {
+    if (::fdatasync(wal_fd_) != 0) {
+      return Status::IOError("WAL fdatasync failed");
+    }
+    ++stats_.wal_syncs;
   }
   return Status::OK();
 }
@@ -249,6 +300,7 @@ Status LsmStore::ReplayWal() {
   if (!in.good()) return Status::OK();  // no WAL yet
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
+  in.close();
   size_t pos = 0;
   while (pos + 8 <= data.size()) {
     const uint32_t crc = GetFixed32BE(data, pos);
@@ -275,28 +327,76 @@ Status LsmStore::ReplayWal() {
     ++stats_.wal_records_replayed;
     pos += 8 + len;
   }
+  if (pos < data.size()) {
+    // Torn tail (crash mid-append): truncate it away so the reopened log —
+    // which appends from here — never buries new frames behind garbage.
+    std::error_code ec;
+    std::filesystem::resize_file(wal_path, pos, ec);
+    if (ec) {
+      return Status::IOError("cannot truncate torn WAL tail: " + ec.message());
+    }
+    stats_.wal_torn_truncated += data.size() - pos;
+  }
+  wal_size_ = pos;
   return Status::OK();
 }
 
 Status LsmStore::LoadRuns() {
   std::vector<std::pair<uint64_t, std::string>> files;
+  std::vector<std::string> temps;
   for (const auto& entry :
        std::filesystem::directory_iterator(options_.directory)) {
     const std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, ".tmp") == 0) {
+      // Orphaned staging file from a flush/compaction killed before its
+      // rename. Its contents are still covered by the WAL (flush) or by the
+      // input runs it was merging (compaction), so deleting it loses nothing.
+      temps.push_back(entry.path().string());
+      continue;
+    }
     uint64_t num = 0;
-    if (std::sscanf(name.c_str(), "run_%08lu.sst", &num) == 1) {
+    // Exact-shape match: "run_<8 digits>.sst" is 16 chars; sscanf alone also
+    // matches any prefix of a longer name.
+    if (name.size() == 16 &&
+        std::sscanf(name.c_str(), "run_%08lu.sst", &num) == 1) {
       files.emplace_back(num, entry.path().string());
     }
+  }
+  for (const std::string& tmp : temps) {
+    std::error_code ec;
+    std::filesystem::remove(tmp, ec);
+    if (!ec) ++stats_.temps_removed;
   }
   std::sort(files.begin(), files.end());
   for (const auto& [num, path] : files) {
     std::ifstream in(path, std::ios::binary);
     std::string data((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
-    MARLIN_ASSIGN_OR_RETURN(SortedRun run, SortedRun::Deserialize(data));
-    runs_.push_back(
-        RunHandle{std::make_shared<SortedRun>(std::move(run)), num});
+    in.close();
+    Result<SortedRun> run = SortedRun::Deserialize(data);
+    // Every numbered file still counts against the namespace even when
+    // quarantined, so a fresh flush can never reuse (and overwrite) it.
     next_file_number_ = std::max(next_file_number_, num + 1);
+    if (!run.ok()) {
+      // Corrupt run: preserve the bytes under quarantine/ for forensics and
+      // keep the store openable. Counted, never silent.
+      const std::string qdir = options_.directory + "/quarantine";
+      std::error_code ec;
+      std::filesystem::create_directories(qdir, ec);
+      if (!ec) {
+        std::filesystem::rename(
+            path, qdir + "/" + std::filesystem::path(path).filename().string(),
+            ec);
+      }
+      if (ec) {
+        return Status::IOError("cannot quarantine corrupt run " + path + ": " +
+                               ec.message());
+      }
+      ++stats_.runs_quarantined;
+      continue;
+    }
+    runs_.push_back(RunHandle{
+        std::make_shared<SortedRun>(std::move(run).ValueOrDie()), num});
   }
   return Status::OK();
 }
@@ -308,15 +408,48 @@ Status LsmStore::PersistRun(const SortedRun& run, uint64_t file_number) {
                 static_cast<unsigned long>(file_number));
   const std::string path = options_.directory + "/" + name;
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    const std::string data = run.Serialize();
-    out.write(data.data(), static_cast<std::streamsize>(data.size()));
-    if (!out.good()) return Status::IOError("failed writing run file " + tmp);
+  const std::string data = run.Serialize();
+  if (FaultInjector::armed()) {
+    if (auto action = FaultInjector::HitIo("lsm.run.write")) {
+      if (*action == FaultAction::kShortWrite) {
+        // Torn staging file: harmless by construction (LoadRuns deletes
+        // orphaned temps) but must exist for the torture test to prove it.
+        const int tfd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+        if (tfd >= 0) {
+          WriteFully(tfd, data.data(), data.size() / 2 + 1);
+          ::close(tfd);
+        }
+      }
+      return Status::IOError("injected fault: lsm.run.write");
+    }
+  }
+  // Atomic publication: stage under a .tmp name, fsync the bytes, rename
+  // into place, fsync the directory. A crash at any point leaves either no
+  // run (plus maybe a temp that open-time recovery deletes) or the complete
+  // run — never a half-written file under the live name.
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Status::IOError("cannot create run file " + tmp);
+  const size_t written = WriteFully(fd, data.data(), data.size());
+  if (written != data.size()) {
+    ::close(fd);
+    return Status::IOError("failed writing run file " + tmp);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    return Status::IOError("fsync failed for run file " + tmp);
+  }
+  ::close(fd);
+  if (FaultInjector::armed()) {
+    // Crash window between a durable temp and its rename: the torture test
+    // kills here to prove the orphan is reaped and nothing double-counts.
+    if (FaultInjector::HitIo("lsm.run.rename")) {
+      return Status::IOError("injected fault: lsm.run.rename");
+    }
   }
   std::error_code ec;
   std::filesystem::rename(tmp, path, ec);
   if (ec) return Status::IOError("failed renaming run file: " + ec.message());
+  SyncDirectory(options_.directory);
   return Status::OK();
 }
 
@@ -415,6 +548,7 @@ Status LsmStore::Flush() {
     const std::string wal_path = options_.directory + "/wal.log";
     wal_fd_ = ::open(wal_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
     if (wal_fd_ < 0) return Status::IOError("cannot truncate WAL");
+    wal_size_ = 0;
   }
   return MaybeScheduleCompaction();
 }
@@ -450,6 +584,11 @@ Status LsmStore::MaybeScheduleCompaction() {
 
 Status LsmStore::CompactRuns(std::vector<RunHandle> inputs) {
   if (inputs.size() <= 1) return Status::OK();
+  if (FaultInjector::armed()) {
+    if (FaultInjector::HitIo("lsm.compact")) {
+      return Status::IOError("injected fault: lsm.compact");
+    }
+  }
   // Newest-wins merge of the input runs; drop tombstones (the inputs are the
   // oldest prefix of the run list — flushes only ever append newer runs — so
   // nothing below them can resurrect).
@@ -506,7 +645,14 @@ void LsmStore::CompactorLoop() {
     compact_running_ = true;
     std::vector<RunHandle> inputs = runs_;
     lock.unlock();
-    Status s = CompactRuns(std::move(inputs));
+    Status s;
+    try {
+      s = CompactRuns(std::move(inputs));
+    } catch (const std::exception& e) {
+      // An injected kThrow (or any escaping exception) must not take the
+      // process down with the compactor thread; surface it like an IO error.
+      s = Status::Unknown(std::string("compaction crashed: ") + e.what());
+    }
     lock.lock();
     if (!s.ok() && compactor_status_.ok()) compactor_status_ = s;
     compact_running_ = false;

@@ -110,6 +110,11 @@ class LsmStore {
     /// compaction: the run list is swapped atomically under the list mutex,
     /// and runs themselves are immutable shared_ptrs.
     bool background_compaction = false;
+    /// fdatasync the WAL after every append. Off by default: the archive
+    /// tier tolerates losing the tail of the current epoch on power loss
+    /// (recovery truncates at the first torn frame either way), and per-put
+    /// syncs are ruinous for ingest throughput.
+    bool wal_sync = false;
   };
 
   struct Stats {
@@ -124,6 +129,12 @@ class LsmStore {
     uint64_t flushes = 0;
     uint64_t compactions = 0;
     uint64_t wal_records_replayed = 0;
+    uint64_t wal_syncs = 0;
+    // Recovery ledger (counted-not-silent: every byte not recovered is
+    // accounted for here or preserved under quarantine/).
+    uint64_t wal_torn_truncated = 0;  ///< torn tail bytes cut at open
+    uint64_t runs_quarantined = 0;    ///< corrupt runs moved to quarantine/
+    uint64_t temps_removed = 0;       ///< orphaned .tmp files deleted at open
   };
 
   /// \brief Opens (and recovers, if `options.directory` is set) a store.
@@ -199,6 +210,9 @@ class LsmStore {
   mutable Stats stats_;
   uint64_t next_file_number_ = 1;
   int wal_fd_ = -1;
+  /// Bytes of valid (fully appended) WAL content. A failed append truncates
+  /// back to this offset so the log never carries a half frame forward.
+  size_t wal_size_ = 0;
 
   // Background compactor (only started when options_.background_compaction).
   std::thread compactor_;

@@ -24,6 +24,11 @@
 /// runs the transform inline on the producer thread with identical
 /// accounting, giving a deterministic single-threaded reference for the
 /// async stage.
+///
+/// Fault isolation: a transform that throws loses only that item — counted
+/// in `transform_failed`, never tearing down the worker thread — so the
+/// completeness invariant generalises to
+/// `submitted == processed + queue_dropped + transform_failed`.
 
 #include <condition_variable>
 #include <cstdint>
@@ -32,6 +37,7 @@
 #include <functional>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <span>
 #include <string>
 #include <thread>
@@ -70,6 +76,7 @@ struct SideStageStats {
   uint64_t processed = 0;       ///< items transformed and delivered
   uint64_t queue_dropped = 0;   ///< evicted unprocessed (input backpressure)
   uint64_t output_dropped = 0;  ///< delivered but evicted from drain buffer
+  uint64_t transform_failed = 0;  ///< transform threw; item lost, counted
   size_t max_queue_depth = 0;   ///< high-water mark of the input queue
   /// Producer → worker hop counters (waits, batch-size histogram; its
   /// depth high-water equals `max_queue_depth`). Zero in sync mode.
@@ -87,6 +94,7 @@ struct SideStageStats {
     processed += other.processed;
     queue_dropped += other.queue_dropped;
     output_dropped += other.output_dropped;
+    transform_failed += other.transform_failed;
     max_queue_depth = std::max(max_queue_depth, other.max_queue_depth);
     hop.Merge(other.hop);
     latency.Merge(other.latency);
@@ -152,7 +160,16 @@ class AsyncSideStage {
         std::lock_guard<std::mutex> lock(mutex_);
         ++stats_.submitted;
       }
-      Deliver(transform_(item), now);
+      std::optional<Out> out;
+      try {
+        out.emplace(transform_(item));
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++stats_.transform_failed;
+        complete_cv_.notify_all();
+        return;
+      }
+      Deliver(std::move(*out), now);
       return;
     }
     size_t evicted = 0;
@@ -181,7 +198,9 @@ class AsyncSideStage {
   void Flush() {
     std::unique_lock<std::mutex> lock(mutex_);
     complete_cv_.wait(lock, [this] {
-      return stats_.processed + stats_.queue_dropped >= stats_.submitted;
+      return stats_.processed + stats_.queue_dropped +
+                 stats_.transform_failed >=
+             stats_.submitted;
     });
   }
 
@@ -235,11 +254,20 @@ class AsyncSideStage {
            0) {
       // Transform (and sink delivery) run without the stats lock; the
       // bookkeeping for the whole batch is one lock acquisition.
+      uint64_t failed = 0;
       for (Item& item : batch) {
-        Out out = transform_(item.payload);
+        std::optional<Out> out;
+        try {
+          out.emplace(transform_(item.payload));
+        } catch (...) {
+          // Lose only this item; the worker (and the rest of the batch)
+          // carries on.
+          ++failed;
+          continue;
+        }
         const DurationMs latency_ms = MillisSince(item.submitted_at);
-        if (sink_) sink_(out);
-        done.emplace_back(std::move(out), latency_ms);
+        if (sink_) sink_(*out);
+        done.emplace_back(std::move(*out), latency_ms);
       }
       std::lock_guard<std::mutex> lock(mutex_);
       for (auto& [out, latency_ms] : done) {
@@ -247,6 +275,7 @@ class AsyncSideStage {
         stats_.latency.Observe(latency_ms);
         if (!sink_) PushOutput(std::move(out));
       }
+      stats_.transform_failed += failed;
       done.clear();
       batch.clear();
       complete_cv_.notify_all();
