@@ -9,6 +9,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -27,7 +32,9 @@
 #include "core/pipeline.h"
 #include "core/query_engine.h"
 #include "core/sharded_pipeline.h"
+#include "net/tcp_ingest_server.h"
 #include "stream/channel.h"
+#include "stream/frame.h"
 #include "stream/rate.h"
 #include "va/situation.h"
 
@@ -594,6 +601,125 @@ BENCHMARK(BM_QueryServing)
     ->Args({2, 0})
     ->Args({2, 1})
     ->Args({4, 1})
+    ->Unit(benchmark::kMillisecond)
+    ->MeasureProcessCPUTime()
+    ->UseRealTime();
+
+// Network front door: the scenario corpus replayed over loopback TCP
+// through the epoll ingest server into the sequential pipeline. The wire
+// image is pre-encoded outside timing, so the measured loop is transport +
+// reassembly + ingest. The frame axis compares the two wire formats:
+// frame:0 ships re-armored NMEA lines in `kLine` frames (the receiver
+// decodes from scratch); frame:1 ships sender-side de-armored payloads in
+// `kPacked` frames (the receiver skips NMEA parsing and six-bit
+// de-armoring entirely). CI gates frame:0's lines_per_s.
+void BM_NetIngest(benchmark::State& state) {
+  const World& world = bench::SharedWorld();
+  const ScenarioOutput& scenario = bench::SharedScenario(F2Config());
+  const bool packed_wire = state.range(0) != 0;
+
+  std::string wire;
+  size_t records = 0;
+  if (!packed_wire) {
+    for (const Event<std::string>& ev : scenario.nmea) {
+      AppendLineFrame(ev, &wire);
+    }
+    records = scenario.nmea.size();
+  } else {
+    // Sender-side assembly: parse + reassemble + de-armor once, offline.
+    AivdmAssembler assembler;
+    for (const Event<std::string>& ev : scenario.nmea) {
+      const ParsedLine parsed = AisDecoder::Parse(ev.payload, ev.ingest_time);
+      if (!parsed.ok) continue;
+      const auto assembled =
+          assembler.Add(parsed.sentence, parsed.received_at);
+      if (!assembled.ok() || !assembled->has_value()) continue;
+      PackedRecord record;
+      record.received_at = parsed.received_at;
+      if (!UnarmorPayloadInto((*assembled)->payload, (*assembled)->fill_bits,
+                              &record.bits)
+               .ok()) {
+        continue;
+      }
+      const Event<PackedRecord> pe(ev.event_time, ev.ingest_time,
+                                   ev.source_id, std::move(record));
+      AppendPackedFrame(pe, &wire);
+      ++records;
+    }
+  }
+
+  uint64_t lines = 0;
+  uint64_t events = 0;
+  for (auto _ : state) {
+    TcpIngestOptions options;
+    options.mode = WireMode::kFrames;
+    TcpIngestServer server(options);
+    if (!server.Start().ok()) {
+      state.SkipWithError("ingest server failed to start");
+      return;
+    }
+    MaritimePipeline pipeline(PipelineConfig{}, &world.zones(), nullptr,
+                              nullptr, nullptr);
+
+    std::thread sender([&server, &wire] {
+      const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+      if (fd < 0) return;
+      struct sockaddr_in addr{};
+      addr.sin_family = AF_INET;
+      addr.sin_port = htons(server.port());
+      ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+      if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    sizeof(addr)) == 0) {
+        size_t off = 0;
+        while (off < wire.size()) {
+          const ssize_t w = ::send(fd, wire.data() + off,
+                                   std::min<size_t>(64 * 1024,
+                                                    wire.size() - off),
+                                   0);
+          if (w <= 0) break;
+          off += static_cast<size_t>(w);
+        }
+      }
+      ::close(fd);
+    });
+
+    // Drain-while-receiving, like examples/netfeed: feed whatever the
+    // server has buffered so ingest overlaps the network transfer.
+    std::vector<Event<std::string>> line_batch;
+    std::vector<Event<PackedRecord>> packed_batch;
+    size_t delivered = 0;
+    while (delivered < records) {
+      const size_t n = packed_wire ? server.DrainPacked(&packed_batch)
+                                   : server.DrainLines(&line_batch);
+      if (n == 0) {
+        std::this_thread::yield();
+        continue;
+      }
+      delivered += n;
+      if (packed_wire) {
+        events += pipeline.IngestPackedBatch(packed_batch).size();
+        packed_batch.clear();
+      } else {
+        events += pipeline.IngestBatch(line_batch).size();
+        line_batch.clear();
+      }
+    }
+    sender.join();
+    server.Stop();
+    events += pipeline.Finish().size();
+    lines += scenario.nmea.size();
+  }
+  state.counters["lines_per_s"] = benchmark::Counter(
+      static_cast<double>(lines), benchmark::Counter::kIsRate);
+  state.counters["records_per_iter"] = static_cast<double>(records);
+  state.counters["events_per_iter"] =
+      static_cast<double>(events) /
+      static_cast<double>(std::max<int64_t>(state.iterations(), 1));
+}
+BENCHMARK(BM_NetIngest)
+    ->ArgName("frame")
+    ->Arg(0)
+    ->Arg(1)
     ->Unit(benchmark::kMillisecond)
     ->MeasureProcessCPUTime()
     ->UseRealTime();

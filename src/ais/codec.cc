@@ -10,9 +10,11 @@ std::optional<AisMessage> AisDecoder::Decode(std::string_view line,
   return Assemble(Parse(line, received_at));
 }
 
-ParsedLine AisDecoder::Parse(std::string_view line, Timestamp received_at) {
+ParsedLine AisDecoder::Parse(std::string_view line, Timestamp received_at,
+                             uint64_t group_salt) {
   ParsedLine out;
   out.received_at = received_at;
+  out.group_salt = group_salt;
   // Optional NMEA 4.0 TAG block: the remote receiver's timestamp is the
   // authoritative reception time (satellite feeds arrive minutes after the
   // remote receiver heard them).
@@ -37,7 +39,7 @@ std::optional<AisMessage> AisDecoder::Assemble(const ParsedLine& parsed) {
   }
   const Timestamp received_at = parsed.received_at;
   Result<std::optional<AivdmAssembler::CompletePayload>> assembled =
-      assembler_.Add(parsed.sentence, received_at);
+      assembler_.Add(parsed.sentence, received_at, parsed.group_salt);
   if (!assembled.ok()) {
     ++stats_.bad_sentences;
     return std::nullopt;
@@ -53,7 +55,18 @@ std::optional<AisMessage> AisDecoder::Assemble(const ParsedLine& parsed) {
     ++stats_.bad_payloads;
     return std::nullopt;
   }
-  Result<AisMessage> msg = DecodeMessageBits(bits_scratch_);
+  return DecodeBitsAndStamp(bits_scratch_, received_at);
+}
+
+std::optional<AisMessage> AisDecoder::DecodePacked(const PackedBits& bits,
+                                                   Timestamp received_at) {
+  ++stats_.lines_in;
+  return DecodeBitsAndStamp(bits, received_at);
+}
+
+std::optional<AisMessage> AisDecoder::DecodeBitsAndStamp(
+    const PackedBits& bits, Timestamp received_at) {
+  Result<AisMessage> msg = DecodeMessageBits(bits);
   if (!msg.ok()) {
     if (msg.status().IsNotImplemented()) {
       ++stats_.unsupported_types;

@@ -26,6 +26,10 @@ namespace marlin {
 struct ParsedLine {
   /// Receiver timestamp after TAG-block override.
   Timestamp received_at = kInvalidTimestamp;
+  /// Fragment-reassembly namespace (AivdmAssembler group salt): 0 for a
+  /// single merged feed; the network path keys it by connection so two TCP
+  /// feeds cannot cross-contaminate interleaved fragment groups.
+  uint64_t group_salt = 0;
   bool ok = false;  ///< false: checksum / format / TAG-block failure
   NmeaSentenceView sentence;
 };
@@ -76,16 +80,30 @@ class AisDecoder {
   /// \brief Stateless front half: TAG-block strip + sentence parse +
   /// checksum. Thread-safe; does not touch decoder state or stats. The
   /// returned `ParsedLine` aliases `line`'s buffer (see ParsedLine).
-  static ParsedLine Parse(std::string_view line, Timestamp received_at);
+  /// `group_salt` is carried through to reassembly (see ParsedLine).
+  static ParsedLine Parse(std::string_view line, Timestamp received_at,
+                          uint64_t group_salt = 0);
 
   /// \brief Stateful back half: fragment reassembly + bit-level decode +
   /// stats. Must be called in arrival order on one thread, while the
   /// buffer `parsed` aliases is still alive.
   std::optional<AisMessage> Assemble(const ParsedLine& parsed);
 
+  /// \brief Decodes an already de-armored payload (the `kPacked` wire-frame
+  /// path: assembly and six-bit unarmoring happened sender-side, so this is
+  /// pure bit-level decode + stamp). Counts into the same stats as the line
+  /// path: one packed record is one line_in.
+  std::optional<AisMessage> DecodePacked(const PackedBits& bits,
+                                         Timestamp received_at);
+
   const Stats& stats() const { return stats_; }
 
  private:
+  /// Shared back end of `Assemble` and `DecodePacked`: bit-level decode,
+  /// receiver-time stamp, stats.
+  std::optional<AisMessage> DecodeBitsAndStamp(const PackedBits& bits,
+                                               Timestamp received_at);
+
   AivdmAssembler assembler_;
   Stats stats_;
   /// De-armored payload words, reused per line: `UnarmorPayloadInto` refills

@@ -183,7 +183,7 @@ Result<NmeaSentence> ParseSentence(std::string_view line) {
 }
 
 Result<std::optional<AivdmAssembler::CompletePayload>> AivdmAssembler::Add(
-    const NmeaSentenceView& s, Timestamp now) {
+    const NmeaSentenceView& s, Timestamp now, uint64_t group_salt) {
   if (s.fragment_count == 1) {
     return std::optional<CompletePayload>(
         CompletePayload{s.payload, s.fill_bits, s.channel});
@@ -196,7 +196,7 @@ Result<std::optional<AivdmAssembler::CompletePayload>> AivdmAssembler::Add(
   }
 
   EvictExpired(now);
-  const uint64_t key = GroupKeyOf(s);
+  const uint64_t key = GroupKeyOf(s, group_salt);
   Group* group = pending_.Find(key);
   if (group == nullptr) {
     if (pending_.size() >= options_.max_pending_groups) {
@@ -278,7 +278,7 @@ Result<std::optional<AivdmAssembler::CompletePayload>> AivdmAssembler::Add(
 }
 
 Result<std::optional<AivdmAssembler::CompletePayload>> AivdmAssembler::Add(
-    const NmeaSentence& s, Timestamp now) {
+    const NmeaSentence& s, Timestamp now, uint64_t group_salt) {
   NmeaSentenceView view;
   view.talker = s.talker;
   view.fragment_count = s.fragment_count;
@@ -287,7 +287,7 @@ Result<std::optional<AivdmAssembler::CompletePayload>> AivdmAssembler::Add(
   view.channel = s.channel;
   view.payload = s.payload;
   view.fill_bits = s.fill_bits;
-  return Add(view, now);
+  return Add(view, now, group_salt);
 }
 
 size_t AivdmAssembler::EvictExpired(Timestamp now) {

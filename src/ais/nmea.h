@@ -123,13 +123,22 @@ class AivdmAssembler {
   /// message, an empty optional while a group is pending, or an error for
   /// inconsistent fragments. Single-fragment sentences (the steady-state
   /// bulk of an AIS feed) pass through without touching the heap.
+  ///
+  /// `group_salt` isolates reassembly namespaces: fragments only join a
+  /// group when their salts match. The network path salts with the
+  /// connection id so two TCP feeds interleaving fragments with colliding
+  /// (sequential-id, channel, count) keys cannot cross-contaminate; the
+  /// default 0 keeps all callers in one namespace (the historical
+  /// behaviour, and the right one for a single merged feed).
   Result<std::optional<CompletePayload>> Add(const NmeaSentenceView& sentence,
-                                             Timestamp now);
+                                             Timestamp now,
+                                             uint64_t group_salt = 0);
 
   /// \brief Owning-sentence convenience overload (same lifetime contract:
   /// the returned view may alias `sentence.payload`).
   Result<std::optional<CompletePayload>> Add(const NmeaSentence& sentence,
-                                             Timestamp now);
+                                             Timestamp now,
+                                             uint64_t group_salt = 0);
 
   /// \brief Number of partially assembled groups currently buffered.
   size_t pending_groups() const { return pending_.size(); }
@@ -152,10 +161,13 @@ class AivdmAssembler {
     Timestamp first_seen = 0;
   };
 
-  // Key: (sequential_id, channel, fragment_count) — the practical uniqueness
-  // key for interleaved VHF groups — packed into one integer.
-  static uint64_t GroupKeyOf(const NmeaSentenceView& s) {
-    return (static_cast<uint64_t>(static_cast<uint8_t>(s.sequential_id))
+  // Key: (salt, sequential_id, channel, fragment_count) — the practical
+  // uniqueness key for interleaved VHF groups — packed into one integer.
+  // The salt (connection/source namespace) occupies the high bits so a
+  // salt of 0 reproduces the historical un-namespaced key exactly.
+  static uint64_t GroupKeyOf(const NmeaSentenceView& s, uint64_t salt) {
+    return ((salt & ((uint64_t{1} << 40) - 1)) << 24) |
+           (static_cast<uint64_t>(static_cast<uint8_t>(s.sequential_id))
             << 16) |
            (static_cast<uint64_t>(static_cast<uint8_t>(s.channel)) << 8) |
            static_cast<uint64_t>(static_cast<uint8_t>(s.fragment_count));

@@ -16,14 +16,15 @@ MaritimePipeline::MaritimePipeline(const PipelineConfig& config,
       dead_letters_(config.dead_letter_capacity) {}
 
 std::vector<DetectedEvent> MaritimePipeline::IngestNmea(
-    const std::string& line, Timestamp ingest_time) {
+    const std::string& line, Timestamp ingest_time, uint64_t source_id) {
   if (window_line_count_ == 0) window_first_ingest_ = ingest_time;
   last_ingest_ = ingest_time;
   // Parse + Assemble is Decode split in two (documented equivalent in
   // ais/codec.h); the split exposes the reject reason so rejected raw lines
   // can be dead-lettered with the same classification — and therefore the
   // same payload stream — as the sharded pipeline's parse stage.
-  const ParsedLine parsed = AisDecoder::Parse(line, ingest_time);
+  const ParsedLine parsed = AisDecoder::Parse(
+      line, ingest_time, config_.fragment_group_by_source ? source_id : 0);
   if (!parsed.ok) {
     dead_letters_.Push(DeadLetterReason::kBadSentence, line, ingest_time);
   }
@@ -109,8 +110,35 @@ std::vector<DetectedEvent> MaritimePipeline::IngestBatch(
     std::span<const Event<std::string>> nmea) {
   std::vector<DetectedEvent> all;
   for (const auto& ev : nmea) {
-    auto detected = IngestNmea(ev.payload, ev.ingest_time);
+    auto detected = IngestNmea(ev.payload, ev.ingest_time, ev.source_id);
     all.insert(all.end(), detected.begin(), detected.end());
+  }
+  return all;
+}
+
+std::vector<DetectedEvent> MaritimePipeline::IngestPackedBatch(
+    std::span<const Event<PackedRecord>> packed) {
+  std::vector<DetectedEvent> all;
+  for (const auto& ev : packed) {
+    if (window_line_count_ == 0) window_first_ingest_ = ev.ingest_time;
+    last_ingest_ = ev.ingest_time;
+    const uint64_t bad_before = decoder_.stats().bad_payloads;
+    std::optional<AisMessage> msg =
+        decoder_.DecodePacked(ev.payload.bits, ev.payload.received_at);
+    if (decoder_.stats().bad_payloads > bad_before) {
+      // The raw bytes stayed with the sender; count without retention.
+      dead_letters_.PushCount(DeadLetterReason::kBadPayload, 1);
+    }
+    if (msg.has_value()) {
+      if (config_.enable_quality_assessment) quality_.Observe(*msg);
+      ProcessDecoded(*msg, ev.ingest_time);
+    }
+    ++window_line_count_;
+    if (WindowMustClose(config_, window_line_count_, window_first_ingest_,
+                        ev.ingest_time)) {
+      auto detected = CloseWindow(/*flush_pairs=*/false);
+      all.insert(all.end(), detected.begin(), detected.end());
+    }
   }
   return all;
 }

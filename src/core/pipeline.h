@@ -46,6 +46,8 @@
 #include "storage/trajectory_store.h"
 #include "stream/dead_letter.h"
 #include "stream/event.h"
+#include "stream/frame.h"
+#include "stream/net_stats.h"
 #include "stream/rate.h"
 #include "stream/spsc_ring.h"
 #include "uncertainty/openworld.h"
@@ -123,6 +125,15 @@ struct PipelineConfig {
   SupervisionOptions supervision;
   /// Retained-payload capacity of the dead-letter quarantine queue.
   size_t dead_letter_capacity = 1024;
+  /// Key multi-fragment reassembly per source/connection id (the
+  /// `Event::source_id` of each line becomes an `AivdmAssembler` group
+  /// salt). Off by default: a single merged feed — including the scenario
+  /// generator, which delivers the *same* transmission through several
+  /// receivers — must keep one reassembly namespace. The network front
+  /// door turns it on so two TCP connections interleaving fragments with
+  /// colliding (sequential-id, channel, count) keys cannot
+  /// cross-contaminate each other's groups.
+  bool fragment_group_by_source = false;
 };
 
 /// \brief Resolves a thread/shard-count knob where 0 means "size to the
@@ -212,6 +223,10 @@ struct PipelineMetrics {
   /// Fault-tolerance roll-up: worker failures/restarts/degradations,
   /// dead-letter ledger, and data-at-risk counters (core/supervisor.h).
   PipelineHealth health;
+  /// Network front-door roll-up (per-connection ingest counters), recorded
+  /// by the driver via `RecordNetIngest`. All zero when ingest is
+  /// in-process.
+  NetIngestStats net_ingest;
 };
 
 /// \brief The integrated system (single-threaded reference).
@@ -260,14 +275,33 @@ class MaritimePipeline {
   /// events finalized by this line — single-vessel events surface when the
   /// current window closes (every `window_lines` lines or at `Finish`),
   /// together with the window's pair events, re-sequenced canonically.
+  /// `source_id` is the feed/connection id; it becomes the reassembly salt
+  /// when `PipelineConfig::fragment_group_by_source` is on (otherwise it is
+  /// ignored, the historical behaviour).
   std::vector<DetectedEvent> IngestNmea(const std::string& line,
-                                        Timestamp ingest_time);
+                                        Timestamp ingest_time,
+                                        uint64_t source_id = 0);
 
   /// \brief Batched ingest: feeds a span of pre-timestamped lines (arrival
   /// order) and returns all events finalized along the way. Windows carry
   /// over between calls; `Finish` closes the last partial window.
   std::vector<DetectedEvent> IngestBatch(
       std::span<const Event<std::string>> nmea);
+
+  /// \brief Framed-transport ingest: feeds already de-armored AIS payloads
+  /// (the `kPacked` wire-frame kind — assembly and six-bit unarmoring
+  /// happened sender-side). One record advances the window exactly like one
+  /// NMEA line; undecodable payloads are counted into the dead-letter
+  /// ledger (`kBadPayload`, counted-only — the raw bytes stayed with the
+  /// sender). Interleaves freely with `IngestNmea`/`IngestBatch`.
+  std::vector<DetectedEvent> IngestPackedBatch(
+      std::span<const Event<PackedRecord>> packed);
+
+  /// \brief Records a network front-door stats snapshot (replacing the
+  /// previous one) for surfacing through `metrics().net_ingest`.
+  void RecordNetIngest(const NetIngestStats& stats) {
+    metrics_.net_ingest = stats;
+  }
 
   /// \brief Convenience: runs a whole pre-generated stream (arrival order)
   /// and finishes it.

@@ -90,8 +90,9 @@ void ShardedPipeline::ExecuteParseTask(Shard* shard, ParseTask* parse) {
   try {
     for (; j < parse->count; ++j) {
       MARLIN_FAULT_POINT("shard.worker.parse");
-      parse->out[j] = AisDecoder::Parse(parse->lines[j].payload,
-                                        parse->lines[j].ingest_time);
+      parse->out[j] = AisDecoder::Parse(
+          parse->lines[j].payload, parse->lines[j].ingest_time,
+          config_.fragment_group_by_source ? parse->lines[j].source_id : 0);
     }
   } catch (...) {
     // Parsing is stateless, so containment is the whole recovery: the

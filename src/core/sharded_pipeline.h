@@ -151,6 +151,13 @@ class ShardedPipeline {
   /// \brief Convenience: runs a whole stream and finishes it.
   std::vector<DetectedEvent> Run(const std::vector<Event<std::string>>& nmea);
 
+  /// \brief Records a network front-door stats snapshot (replacing the
+  /// previous one) for surfacing through `metrics().net_ingest`. Call
+  /// between ingest calls.
+  void RecordNetIngest(const NetIngestStats& stats) {
+    metrics_.net_ingest = stats;
+  }
+
   /// \brief Flushes shard reorder buffers, closes open pair states and the
   /// current window.
   std::vector<DetectedEvent> Finish();

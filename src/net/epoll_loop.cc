@@ -1,0 +1,93 @@
+#include "net/epoll_loop.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <array>
+
+namespace marlin {
+
+EpollLoop::~EpollLoop() {
+  if (wake_fd_ >= 0) ::close(wake_fd_);
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+}
+
+Status EpollLoop::Init() {
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    return Status::IOError(std::string("epoll_create1: ") + strerror(errno));
+  }
+  wake_fd_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) {
+    return Status::IOError(std::string("eventfd: ") + strerror(errno));
+  }
+  struct epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = wake_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) != 0) {
+    return Status::IOError(std::string("epoll_ctl(wake): ") +
+                           strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status EpollLoop::Add(int fd, uint32_t events, Handler handler) {
+  struct epoll_event ev{};
+  ev.events = events;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+    return Status::IOError(std::string("epoll_ctl(add): ") + strerror(errno));
+  }
+  handlers_[fd] = std::make_shared<Handler>(std::move(handler));
+  return Status::OK();
+}
+
+void EpollLoop::Remove(int fd) {
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  handlers_.erase(fd);
+}
+
+void EpollLoop::Run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (PollOnce(-1) < 0) break;
+  }
+}
+
+int EpollLoop::PollOnce(int timeout_ms) {
+  if (stop_.load(std::memory_order_acquire)) return -1;
+  std::array<struct epoll_event, 64> events;
+  const int n = ::epoll_wait(epoll_fd_, events.data(),
+                             static_cast<int>(events.size()), timeout_ms);
+  if (n < 0) {
+    return errno == EINTR ? 0 : -1;
+  }
+  int dispatched = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == wake_fd_) {
+      uint64_t token = 0;
+      while (::read(wake_fd_, &token, sizeof(token)) > 0) {
+      }
+      continue;
+    }
+    auto it = handlers_.find(fd);
+    if (it == handlers_.end()) continue;  // removed by an earlier handler
+    const std::shared_ptr<Handler> handler = it->second;
+    (*handler)(events[i].events);
+    ++dispatched;
+  }
+  return stop_.load(std::memory_order_acquire) ? -1 : dispatched;
+}
+
+void EpollLoop::Stop() {
+  stop_.store(true, std::memory_order_release);
+  if (wake_fd_ >= 0) {
+    const uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_fd_, &one, sizeof(one));
+  }
+}
+
+}  // namespace marlin

@@ -1,0 +1,72 @@
+#ifndef MARLIN_NET_EPOLL_LOOP_H_
+#define MARLIN_NET_EPOLL_LOOP_H_
+
+/// \file epoll_loop.h
+/// \brief Minimal single-threaded epoll event loop — the reactor under the
+/// ingest servers (live AIS feeds are line-oriented TCP/UDP; paper §1:
+/// heterogeneous live feeds are the system's front door).
+///
+/// One thread owns the loop: handlers are registered before `Run` or from
+/// inside a handler (the accept path registering a new connection), and
+/// they execute on the loop thread. The only cross-thread entry point is
+/// `Stop`, which is async-signal-style safe via an eventfd doorbell —
+/// `Run` returns after the current dispatch round.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace marlin {
+
+/// \brief Level-triggered epoll reactor. Single loop thread; `Stop` may be
+/// called from any thread.
+class EpollLoop {
+ public:
+  /// Invoked on the loop thread with the ready `EPOLL*` event mask.
+  using Handler = std::function<void(uint32_t events)>;
+
+  EpollLoop() = default;
+  ~EpollLoop();
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// \brief Creates the epoll instance and the wake-up eventfd.
+  Status Init();
+
+  bool initialized() const { return epoll_fd_ >= 0; }
+
+  /// \brief Registers `fd` for `events` (level-triggered). The handler is
+  /// retained until `Remove(fd)`.
+  Status Add(int fd, uint32_t events, Handler handler);
+
+  /// \brief Deregisters `fd`. Safe to call from inside its own handler
+  /// (dispatch holds a reference for the duration of the call).
+  void Remove(int fd);
+
+  /// \brief Dispatches ready handlers until `Stop`.
+  void Run();
+
+  /// \brief One epoll_wait + dispatch round. Returns the number of events
+  /// dispatched, 0 on timeout, -1 once stopped.
+  int PollOnce(int timeout_ms);
+
+  /// \brief Requests loop exit (thread-safe, idempotent).
+  void Stop();
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::atomic<bool> stop_{false};
+  /// shared_ptr so a handler can Remove itself mid-dispatch while the
+  /// in-flight call keeps its callable alive.
+  std::unordered_map<int, std::shared_ptr<Handler>> handlers_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_NET_EPOLL_LOOP_H_

@@ -1,0 +1,132 @@
+#ifndef MARLIN_NET_LINE_REASSEMBLER_H_
+#define MARLIN_NET_LINE_REASSEMBLER_H_
+
+/// \file line_reassembler.h
+/// \brief Reassembles newline-delimited NMEA sentences from an arbitrary
+/// TCP chunk stream.
+///
+/// TCP delivers a byte stream, not lines: a sentence may straddle any read
+/// boundary — mid-payload, mid-checksum, even between the `\r` and the
+/// `\n`. This reassembler is boundary-oblivious by construction: it splits
+/// on `\n` only and strips exactly one trailing `\r` afterwards, so every
+/// split pattern of the same bytes yields the same sentence sequence.
+///
+/// Robustness contract (the unbounded-buffering bugfix):
+///  * A line longer than `max_line_bytes` with no terminator is *not*
+///    buffered indefinitely. The held prefix is surfaced once as a bad
+///    line (for the caller to dead-letter as `bad_sentence`) and the rest
+///    of that line is discarded up to its newline.
+///  * Blank lines (keep-alives some feeds emit) are counted and skipped.
+///  * `Finish` (connection EOF) turns a non-empty partial into one bad
+///    line: data arrived that never became a sentence, so it is counted,
+///    never silently dropped.
+///
+/// Single-threaded: one connection owns one reassembler.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace marlin {
+
+class LineReassembler {
+ public:
+  struct Options {
+    /// Longest sentence accepted. An NMEA sentence is ≤ 82 characters; TAG
+    /// blocks add tens more. Anything past this cap is a protocol
+    /// violation, not a longer line.
+    size_t max_line_bytes = 1024;
+  };
+
+  struct Stats {
+    uint64_t bytes_in = 0;
+    uint64_t lines = 0;        ///< complete lines delivered
+    uint64_t blank_lines = 0;  ///< empty lines counted and skipped
+    uint64_t bad_lines = 0;    ///< oversized / EOF-truncated lines
+  };
+
+  LineReassembler() = default;
+  explicit LineReassembler(const Options& options) : options_(options) {}
+
+  /// \brief Feeds one received chunk; complete lines (terminator stripped)
+  /// are appended to `*lines`, oversized/garbage prefixes to `*bad_lines`.
+  /// Returns the number of complete lines appended.
+  size_t Feed(std::string_view chunk, std::vector<std::string>* lines,
+              std::vector<std::string>* bad_lines) {
+    stats_.bytes_in += chunk.size();
+    size_t delivered = 0;
+    size_t start = 0;
+    while (start < chunk.size()) {
+      const size_t nl = chunk.find('\n', start);
+      if (nl == std::string_view::npos) {
+        Absorb(chunk.substr(start), bad_lines);
+        break;
+      }
+      std::string_view rest = chunk.substr(start, nl - start);
+      if (discarding_) {
+        // Tail of a line whose oversized prefix was already surfaced; the
+        // newline ends the discard region.
+        discarding_ = false;
+      } else {
+        partial_.append(rest);
+        if (!partial_.empty() && partial_.back() == '\r') partial_.pop_back();
+        if (partial_.empty()) {
+          ++stats_.blank_lines;
+        } else if (partial_.size() > options_.max_line_bytes) {
+          // Grew past the cap only by the bytes completing it in this
+          // chunk — still one oversized sentence.
+          ++stats_.bad_lines;
+          bad_lines->push_back(std::move(partial_));
+        } else {
+          ++stats_.lines;
+          lines->push_back(std::move(partial_));
+          ++delivered;
+        }
+        partial_.clear();
+      }
+      start = nl + 1;
+    }
+    return delivered;
+  }
+
+  /// \brief End-of-stream: a non-empty partial line becomes one bad line.
+  void Finish(std::vector<std::string>* bad_lines) {
+    if (discarding_) {
+      discarding_ = false;
+    } else if (!partial_.empty()) {
+      ++stats_.bad_lines;
+      bad_lines->push_back(std::move(partial_));
+      partial_.clear();
+    }
+  }
+
+  const Stats& stats() const { return stats_; }
+
+  /// \brief Bytes currently buffered awaiting a terminator.
+  size_t pending_bytes() const { return partial_.size(); }
+
+ private:
+  /// Buffers an unterminated tail, surfacing it as one bad line the moment
+  /// it exceeds the cap (and discarding the rest of that line).
+  void Absorb(std::string_view tail, std::vector<std::string>* bad_lines) {
+    if (discarding_) return;
+    partial_.append(tail);
+    if (partial_.size() > options_.max_line_bytes) {
+      ++stats_.bad_lines;
+      partial_.resize(options_.max_line_bytes);
+      bad_lines->push_back(std::move(partial_));
+      partial_.clear();
+      discarding_ = true;
+    }
+  }
+
+  Options options_;
+  std::string partial_;
+  bool discarding_ = false;
+  Stats stats_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_NET_LINE_REASSEMBLER_H_

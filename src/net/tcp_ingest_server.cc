@@ -1,0 +1,306 @@
+#include "net/tcp_ingest_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+namespace marlin {
+
+namespace {
+
+std::string PeerString(const struct sockaddr_in& addr) {
+  char buf[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+  return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+Timestamp WallClockMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TcpIngestServer::TcpIngestServer(TcpIngestOptions options)
+    : options_(std::move(options)),
+      dead_letters_(options_.dead_letter_capacity) {}
+
+TcpIngestServer::~TcpIngestServer() { Stop(); }
+
+Timestamp TcpIngestServer::NowIngest() const {
+  return options_.clock ? options_.clock() : WallClockMs();
+}
+
+Status TcpIngestServer::Start() {
+  if (started_) return Status::Invalid("server already started");
+  Status st = loop_.Init();
+  if (!st.ok()) return st;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC,
+                        0);
+  if (listen_fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::Invalid("bad bind address: " + options_.bind_address);
+  }
+  if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IOError(std::string("bind: ") + strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::IOError(std::string("listen: ") + strerror(errno));
+  }
+  struct sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return Status::IOError(std::string("getsockname: ") + strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  st = loop_.Add(listen_fd_, EPOLLIN, [this](uint32_t) { OnAccept(); });
+  if (!st.ok()) return st;
+
+  started_ = true;
+  loop_thread_ = std::thread([this] { loop_.Run(); });
+  return Status::OK();
+}
+
+void TcpIngestServer::Stop() {
+  if (!started_) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  started_ = false;
+  loop_.Stop();
+  loop_thread_.join();
+  // Loop thread is gone; run end-of-stream accounting for stragglers so
+  // partially received data is dead-lettered, never silently dropped.
+  std::vector<Connection*> open;
+  open.reserve(connections_.size());
+  for (auto& [fd, conn] : connections_) open.push_back(conn.get());
+  for (Connection* conn : open) {
+    ConsumeBytes(conn, std::string_view(), /*eof=*/true);
+    CloseConnection(conn);
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void TcpIngestServer::OnAccept() {
+  for (;;) {
+    struct sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int fd =
+        ::accept4(listen_fd_, reinterpret_cast<struct sockaddr*>(&peer),
+                  &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      return;  // transient accept failure; the listener stays registered
+    }
+    auto conn = std::make_unique<Connection>(options_);
+    conn->fd = fd;
+    conn->id = next_connection_id_++;
+    conn->peer = PeerString(peer);
+    Connection* raw = conn.get();
+    connections_[fd] = std::move(conn);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++totals_.connections_accepted;
+      ++totals_.connections_open;
+      ConnectionIngestStats cs;
+      cs.connection_id = raw->id;
+      cs.peer = raw->peer;
+      cs.open = true;
+      open_connections_[raw->id] = std::move(cs);
+    }
+    quiesce_cv_.notify_all();
+    loop_.Add(fd, EPOLLIN | EPOLLRDHUP,
+              [this, raw](uint32_t events) { OnConnectionReadable(raw, events); });
+  }
+}
+
+void TcpIngestServer::OnConnectionReadable(Connection* conn, uint32_t events) {
+  char buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(conn->fd, buf, sizeof(buf));
+    if (n > 0) {
+      ConsumeBytes(conn, std::string_view(buf, static_cast<size_t>(n)),
+                   /*eof=*/false);
+      continue;
+    }
+    if (n == 0) {  // orderly shutdown: flush partials into the ledger
+      ConsumeBytes(conn, std::string_view(), /*eof=*/true);
+      CloseConnection(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    ConsumeBytes(conn, std::string_view(), /*eof=*/true);
+    CloseConnection(conn);
+    return;
+  }
+  if (events & (EPOLLHUP | EPOLLERR)) {
+    ConsumeBytes(conn, std::string_view(), /*eof=*/true);
+    CloseConnection(conn);
+  }
+}
+
+void TcpIngestServer::ConsumeBytes(Connection* conn, std::string_view chunk,
+                                   bool eof) {
+  conn->bytes_in += chunk.size();
+  const Timestamp now = NowIngest();
+
+  std::vector<Event<std::string>> lines;
+  std::vector<Event<PackedRecord>> packed;
+  std::vector<std::string> bad_lines;
+  std::vector<FrameDecoder::Fault> faults;
+
+  if (options_.mode == WireMode::kLines) {
+    std::vector<std::string> complete;
+    conn->lines.Feed(chunk, &complete, &bad_lines);
+    if (eof) conn->lines.Finish(&bad_lines);
+    lines.reserve(complete.size());
+    for (std::string& line : complete) {
+      // Raw lines carry no envelope: arrival is both event and ingest time,
+      // and the connection id is the fragment-isolation source.
+      lines.emplace_back(now, now, conn->id, std::move(line));
+    }
+  } else {
+    conn->frames.Feed(chunk);
+    DecodedFrame frame;
+    while (conn->frames.Next(&frame)) {
+      if (frame.kind == FrameKind::kLine) {
+        lines.push_back(std::move(frame.line));
+      } else {
+        packed.push_back(std::move(frame.packed));
+      }
+    }
+    if (eof) conn->frames.Finish();
+    faults = conn->frames.TakeFaults();
+  }
+
+  conn->delivered_lines += lines.size();
+  conn->delivered_frames += packed.size() +
+                            (options_.mode == WireMode::kFrames ? lines.size()
+                                                                : 0);
+  conn->bad_lines += bad_lines.size();
+  conn->bad_frames += faults.size();
+
+  for (const std::string& bad : bad_lines) {
+    dead_letters_.Push(DeadLetterReason::kBadSentence, bad, now);
+  }
+  for (const FrameDecoder::Fault& fault : faults) {
+    dead_letters_.PushCount(fault.reason, 1);
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (Event<std::string>& ev : lines) line_buffer_.push_back(std::move(ev));
+  for (Event<PackedRecord>& ev : packed) {
+    packed_buffer_.push_back(std::move(ev));
+  }
+  // Roll-up byte/line totals are derived from the per-connection counters
+  // in stats(); only the connection lifecycle counters live in totals_.
+  auto it = open_connections_.find(conn->id);
+  if (it != open_connections_.end()) {
+    it->second.bytes_in = conn->bytes_in;
+    it->second.lines = conn->delivered_lines;
+    it->second.frames = conn->delivered_frames;
+    it->second.bad_lines = conn->bad_lines;
+    it->second.bad_frames = conn->bad_frames;
+  }
+}
+
+void TcpIngestServer::CloseConnection(Connection* conn) {
+  const int fd = conn->fd;
+  loop_.Remove(fd);
+  ::close(fd);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = open_connections_.find(conn->id);
+    if (it != open_connections_.end()) {
+      it->second.open = false;
+      closed_connections_.push_back(std::move(it->second));
+      open_connections_.erase(it);
+    }
+    if (totals_.connections_open > 0) --totals_.connections_open;
+  }
+  quiesce_cv_.notify_all();
+  connections_.erase(fd);  // destroys *conn
+}
+
+size_t TcpIngestServer::DrainLines(std::vector<Event<std::string>>* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t n = line_buffer_.size();
+  out->reserve(out->size() + n);
+  for (Event<std::string>& ev : line_buffer_) out->push_back(std::move(ev));
+  line_buffer_.clear();
+  return n;
+}
+
+size_t TcpIngestServer::DrainPacked(std::vector<Event<PackedRecord>>* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t n = packed_buffer_.size();
+  out->reserve(out->size() + n);
+  for (Event<PackedRecord>& ev : packed_buffer_) {
+    out->push_back(std::move(ev));
+  }
+  packed_buffer_.clear();
+  return n;
+}
+
+NetIngestStats TcpIngestServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NetIngestStats out;
+  out.connections_accepted = totals_.connections_accepted;
+  out.connections_open = totals_.connections_open;
+  out.connections.reserve(open_connections_.size() +
+                          closed_connections_.size());
+  for (const auto& [id, cs] : open_connections_) {
+    out.connections.push_back(cs);
+  }
+  for (const ConnectionIngestStats& cs : closed_connections_) {
+    out.connections.push_back(cs);
+  }
+  for (const ConnectionIngestStats& cs : out.connections) {
+    out.bytes_in += cs.bytes_in;
+    out.lines += cs.lines;
+    out.frames += cs.frames;
+    out.bad_lines += cs.bad_lines;
+    out.bad_frames += cs.bad_frames;
+  }
+  return out;
+}
+
+bool TcpIngestServer::WaitForConnectionsClosed(uint64_t min_accepted,
+                                               DurationMs timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return quiesce_cv_.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms), [&] {
+        return totals_.connections_accepted >= min_accepted &&
+               totals_.connections_open == 0;
+      });
+}
+
+}  // namespace marlin

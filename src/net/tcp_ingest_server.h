@@ -1,0 +1,156 @@
+#ifndef MARLIN_NET_TCP_INGEST_SERVER_H_
+#define MARLIN_NET_TCP_INGEST_SERVER_H_
+
+/// \file tcp_ingest_server.h
+/// \brief epoll-based TCP ingest server: the network front door for
+/// line-oriented AIS feeds and for the framed PackedBits transport
+/// (stream/frame.h).
+///
+/// One loop thread accepts connections and reads whatever the kernel has;
+/// per-connection reassembly (LineReassembler in `kLines` mode,
+/// FrameDecoder in `kFrames` mode) turns the arbitrary chunk stream back
+/// into records. Complete records land in internal drain buffers that the
+/// pipeline driver pulls between `IngestBatch` calls — the server never
+/// calls into the pipeline, so ingest cadence (and therefore window
+/// boundaries) stays under the driver's deterministic control.
+///
+/// Malformed input follows the counted-not-silent invariant: oversized or
+/// EOF-truncated lines and corrupt/oversized frames become dead letters
+/// with exact reason codes (`kBadSentence`, `kFrameCorrupt`,
+/// `kFrameOversized`), drainable via `DrainDeadLetters`.
+///
+/// Fragment isolation: every record carries the connection id as its
+/// `Event::source_id` (raw-line mode), so a pipeline running with
+/// `fragment_group_by_source` keys multi-fragment reassembly per
+/// connection — two feeds interleaving fragments with colliding
+/// (sequential-id, channel, count) keys cannot cross-contaminate. Framed
+/// mode ships the sender's envelope verbatim instead.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "net/epoll_loop.h"
+#include "net/line_reassembler.h"
+#include "stream/dead_letter.h"
+#include "stream/event.h"
+#include "stream/frame.h"
+#include "stream/net_stats.h"
+
+namespace marlin {
+
+/// \brief What the bytes on a connection encode.
+enum class WireMode {
+  kLines,   ///< newline-delimited NMEA sentences (standard AIS feed)
+  kFrames,  ///< length-prefixed CRC frames (stream/frame.h)
+};
+
+struct TcpIngestOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read back via `port()`
+  WireMode mode = WireMode::kLines;
+  LineReassembler::Options line;            ///< kLines reassembly knobs
+  size_t max_frame_payload = kMaxFramePayload;  ///< kFrames length cap
+  size_t dead_letter_capacity = 1024;
+  /// Ingest clock for raw-line mode (frames carry their own envelope).
+  /// Defaults to wall-clock milliseconds; tests inject a deterministic one.
+  std::function<Timestamp()> clock;
+};
+
+/// \brief Loopback-capable TCP line/frame server on its own epoll thread.
+class TcpIngestServer {
+ public:
+  explicit TcpIngestServer(TcpIngestOptions options);
+  ~TcpIngestServer();
+
+  TcpIngestServer(const TcpIngestServer&) = delete;
+  TcpIngestServer& operator=(const TcpIngestServer&) = delete;
+
+  /// \brief Binds, listens, and spawns the loop thread.
+  Status Start();
+
+  /// \brief Stops the loop, closes every connection (running their
+  /// end-of-stream accounting), joins the thread. Idempotent.
+  void Stop();
+
+  /// \brief The bound port (after `Start`), for ephemeral-port tests.
+  uint16_t port() const { return port_; }
+
+  /// \brief Moves buffered line events (arrival order) into `out`; returns
+  /// how many. Raw-line mode stamps `event_time = ingest_time = clock()`
+  /// and `source_id = connection id`; framed `kLine` records carry the
+  /// sender's envelope verbatim.
+  size_t DrainLines(std::vector<Event<std::string>>* out);
+
+  /// \brief Moves buffered `kPacked` frame records into `out`.
+  size_t DrainPacked(std::vector<Event<PackedRecord>>* out);
+
+  /// \brief Moves retained dead letters (transport faults) into `out`.
+  size_t DrainDeadLetters(std::vector<DeadLetter>* out) {
+    return dead_letters_.Drain(out);
+  }
+
+  const DeadLetterQueue& dead_letters() const { return dead_letters_; }
+
+  /// \brief Roll-up + per-connection counters (open and closed).
+  NetIngestStats stats() const;
+
+  /// \brief Blocks until at least `min_accepted` connections have been
+  /// accepted and none remain open (every byte read and accounted), or the
+  /// timeout expires. The replay drivers' quiescence barrier.
+  bool WaitForConnectionsClosed(uint64_t min_accepted, DurationMs timeout_ms);
+
+ private:
+  struct Connection {
+    int fd = -1;
+    uint64_t id = 0;
+    std::string peer;
+    LineReassembler lines;
+    FrameDecoder frames;
+    uint64_t delivered_lines = 0;
+    uint64_t delivered_frames = 0;
+    uint64_t bad_lines = 0;
+    uint64_t bad_frames = 0;
+    uint64_t bytes_in = 0;
+
+    explicit Connection(const TcpIngestOptions& options)
+        : lines(options.line), frames(options.max_frame_payload) {}
+  };
+
+  void OnAccept();
+  void OnConnectionReadable(Connection* conn, uint32_t events);
+  /// Runs reassembly over one read chunk (or end-of-stream when `eof`).
+  void ConsumeBytes(Connection* conn, std::string_view chunk, bool eof);
+  void CloseConnection(Connection* conn);
+  Timestamp NowIngest() const;
+
+  const TcpIngestOptions options_;
+  EpollLoop loop_;
+  std::thread loop_thread_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  uint64_t next_connection_id_ = 1;
+  std::unordered_map<int, std::unique_ptr<Connection>> connections_;
+  DeadLetterQueue dead_letters_;
+
+  mutable std::mutex mutex_;  ///< guards buffers + stats below
+  std::condition_variable quiesce_cv_;
+  std::vector<Event<std::string>> line_buffer_;
+  std::vector<Event<PackedRecord>> packed_buffer_;
+  NetIngestStats totals_;  ///< roll-up counters (connections vector unused)
+  std::vector<ConnectionIngestStats> closed_connections_;
+  std::unordered_map<uint64_t, ConnectionIngestStats> open_connections_;
+  bool started_ = false;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_NET_TCP_INGEST_SERVER_H_

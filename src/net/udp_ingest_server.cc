@@ -1,0 +1,178 @@
+#include "net/udp_ingest_server.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+namespace marlin {
+
+namespace {
+
+std::string PeerString(const struct sockaddr_in& addr) {
+  char buf[INET_ADDRSTRLEN] = {};
+  ::inet_ntop(AF_INET, &addr.sin_addr, buf, sizeof(buf));
+  return std::string(buf) + ":" + std::to_string(ntohs(addr.sin_port));
+}
+
+Timestamp WallClockMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+UdpIngestServer::UdpIngestServer(UdpIngestOptions options)
+    : options_(std::move(options)),
+      dead_letters_(options_.dead_letter_capacity) {}
+
+UdpIngestServer::~UdpIngestServer() { Stop(); }
+
+Timestamp UdpIngestServer::NowIngest() const {
+  return options_.clock ? options_.clock() : WallClockMs();
+}
+
+Status UdpIngestServer::Start() {
+  if (started_) return Status::Invalid("server already started");
+  Status st = loop_.Init();
+  if (!st.ok()) return st;
+
+  fd_ = ::socket(AF_INET, SOCK_DGRAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) {
+    return Status::IOError(std::string("socket: ") + strerror(errno));
+  }
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (::inet_pton(AF_INET, options_.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    return Status::Invalid("bad bind address: " + options_.bind_address);
+  }
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return Status::IOError(std::string("bind: ") + strerror(errno));
+  }
+  struct sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                    &bound_len) != 0) {
+    return Status::IOError(std::string("getsockname: ") + strerror(errno));
+  }
+  port_ = ntohs(bound.sin_port);
+
+  st = loop_.Add(fd_, EPOLLIN, [this](uint32_t) { OnReadable(); });
+  if (!st.ok()) return st;
+
+  started_ = true;
+  loop_thread_ = std::thread([this] { loop_.Run(); });
+  return Status::OK();
+}
+
+void UdpIngestServer::Stop() {
+  if (!started_) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    return;
+  }
+  started_ = false;
+  loop_.Stop();
+  loop_thread_.join();
+  ::close(fd_);
+  fd_ = -1;
+}
+
+void UdpIngestServer::OnReadable() {
+  char buf[64 * 1024];
+  for (;;) {
+    struct sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const ssize_t n =
+        ::recvfrom(fd_, buf, sizeof(buf), 0,
+                   reinterpret_cast<struct sockaddr*>(&peer), &peer_len);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EAGAIN: drained
+    }
+    const std::string peer_key = PeerString(peer);
+    uint64_t peer_id;
+    auto id_it = peer_ids_.find(peer_key);
+    if (id_it != peer_ids_.end()) {
+      peer_id = id_it->second;
+    } else {
+      peer_id = next_peer_id_++;
+      peer_ids_[peer_key] = peer_id;
+    }
+
+    // Each datagram is self-contained: fresh reassembler pass, and any
+    // unterminated tail is the sender's bug, dead-lettered right here.
+    LineReassembler reassembler(options_.line);
+    std::vector<std::string> complete;
+    std::vector<std::string> bad;
+    reassembler.Feed(std::string_view(buf, static_cast<size_t>(n)),
+                     &complete, &bad);
+    reassembler.Finish(&bad);
+
+    const Timestamp now = NowIngest();
+    for (const std::string& b : bad) {
+      dead_letters_.Push(DeadLetterReason::kBadSentence, b, now);
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++datagrams_;
+    for (std::string& line : complete) {
+      line_buffer_.emplace_back(now, now, peer_id, std::move(line));
+    }
+    ConnectionIngestStats& cs = peers_[peer_id];
+    if (cs.connection_id == 0) {
+      cs.connection_id = peer_id;
+      cs.peer = peer_key;
+      cs.open = true;
+    }
+    cs.bytes_in += static_cast<uint64_t>(n);
+    cs.lines += reassembler.stats().lines;
+    cs.bad_lines += reassembler.stats().bad_lines;
+    datagram_cv_.notify_all();
+  }
+}
+
+size_t UdpIngestServer::DrainLines(std::vector<Event<std::string>>* out) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t n = line_buffer_.size();
+  out->reserve(out->size() + n);
+  for (Event<std::string>& ev : line_buffer_) out->push_back(std::move(ev));
+  line_buffer_.clear();
+  return n;
+}
+
+NetIngestStats UdpIngestServer::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  NetIngestStats out;
+  out.datagrams = datagrams_;
+  out.connections.reserve(peers_.size());
+  for (const auto& [id, cs] : peers_) {
+    out.connections.push_back(cs);
+    out.bytes_in += cs.bytes_in;
+    out.lines += cs.lines;
+    out.bad_lines += cs.bad_lines;
+  }
+  out.connections_accepted = peers_.size();
+  return out;
+}
+
+bool UdpIngestServer::WaitForDatagrams(uint64_t min_datagrams,
+                                       DurationMs timeout_ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  return datagram_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                               [&] { return datagrams_ >= min_datagrams; });
+}
+
+}  // namespace marlin

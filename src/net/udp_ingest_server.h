@@ -1,0 +1,96 @@
+#ifndef MARLIN_NET_UDP_INGEST_SERVER_H_
+#define MARLIN_NET_UDP_INGEST_SERVER_H_
+
+/// \file udp_ingest_server.h
+/// \brief UDP datagram ingest: the push-feed flavour many AIS aggregators
+/// use (each datagram carries one or a few complete NMEA sentences).
+///
+/// Unlike TCP there is no byte stream to reassemble across reads — a
+/// datagram is a self-contained unit, so each one runs through a fresh
+/// `LineReassembler` pass (`Feed` + `Finish`): a sentence split across two
+/// datagrams is a sender bug and the trailing fragment is dead-lettered as
+/// `bad_sentence`, not stitched to the next datagram.
+///
+/// Each distinct peer address is a logical connection: it gets a stable
+/// source id so `fragment_group_by_source` isolates multi-fragment
+/// reassembly per sender, exactly as TCP connections do.
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "common/time.h"
+#include "net/epoll_loop.h"
+#include "net/line_reassembler.h"
+#include "stream/dead_letter.h"
+#include "stream/event.h"
+#include "stream/net_stats.h"
+
+namespace marlin {
+
+struct UdpIngestOptions {
+  std::string bind_address = "127.0.0.1";
+  uint16_t port = 0;  ///< 0 = ephemeral; read back via `port()`
+  LineReassembler::Options line;
+  size_t dead_letter_capacity = 1024;
+  std::function<Timestamp()> clock;  ///< defaults to wall-clock ms
+};
+
+/// \brief Datagram line server on its own epoll thread.
+class UdpIngestServer {
+ public:
+  explicit UdpIngestServer(UdpIngestOptions options);
+  ~UdpIngestServer();
+
+  UdpIngestServer(const UdpIngestServer&) = delete;
+  UdpIngestServer& operator=(const UdpIngestServer&) = delete;
+
+  Status Start();
+  void Stop();  ///< idempotent
+
+  uint16_t port() const { return port_; }
+
+  /// \brief Moves buffered line events into `out`; `source_id` is the
+  /// per-peer logical connection id.
+  size_t DrainLines(std::vector<Event<std::string>>* out);
+
+  size_t DrainDeadLetters(std::vector<DeadLetter>* out) {
+    return dead_letters_.Drain(out);
+  }
+
+  NetIngestStats stats() const;
+
+  /// \brief Blocks until at least `min_datagrams` datagrams have been
+  /// received, or the timeout expires.
+  bool WaitForDatagrams(uint64_t min_datagrams, DurationMs timeout_ms);
+
+ private:
+  void OnReadable();
+  Timestamp NowIngest() const;
+
+  const UdpIngestOptions options_;
+  EpollLoop loop_;
+  std::thread loop_thread_;
+  int fd_ = -1;
+  uint16_t port_ = 0;
+  uint64_t next_peer_id_ = 1;
+  std::unordered_map<std::string, uint64_t> peer_ids_;  ///< "addr:port" → id
+  DeadLetterQueue dead_letters_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable datagram_cv_;
+  std::vector<Event<std::string>> line_buffer_;
+  uint64_t datagrams_ = 0;
+  std::unordered_map<uint64_t, ConnectionIngestStats> peers_;
+  bool started_ = false;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_NET_UDP_INGEST_SERVER_H_

@@ -24,6 +24,7 @@
 #include <optional>
 #include <vector>
 
+#include "stream/lossy_ring.h"
 #include "stream/queue.h"
 #include "stream/spsc_ring.h"
 
@@ -40,30 +41,54 @@ enum class QueueFabric {
 ///
 /// The SPSC contract (one pushing thread, one popping thread at a time)
 /// must hold when constructed with `kSpscRing`; `kMutex` lifts it.
+///
+/// A channel constructed with `lossy = true` is an overload-shedding hop:
+/// its producer is expected to call `PushLossy`, and on the ring fabric the
+/// backend is `SpscLossyRing` so both arms evict the *oldest* queued item
+/// under overload (the mutex arm always did via `PushEvictOldest`). On a
+/// lossy channel `Push` never blocks either — it is `PushLossy` with the
+/// eviction count folded into the hop stats.
 template <typename T>
 class StageChannel {
  public:
-  StageChannel(QueueFabric fabric, size_t capacity) {
+  StageChannel(QueueFabric fabric, size_t capacity, bool lossy = false) {
     if (fabric == QueueFabric::kSpscRing) {
-      ring_ = std::make_unique<SpscRing<T>>(capacity);
+      if (lossy) {
+        lossy_ring_ = std::make_unique<SpscLossyRing<T>>(capacity);
+      } else {
+        ring_ = std::make_unique<SpscRing<T>>(capacity);
+      }
     } else {
       queue_ = std::make_unique<BoundedQueue<T>>(std::max<size_t>(1, capacity));
     }
   }
 
   QueueFabric fabric() const {
-    return ring_ ? QueueFabric::kSpscRing : QueueFabric::kMutex;
+    return queue_ ? QueueFabric::kMutex : QueueFabric::kSpscRing;
   }
 
   size_t capacity() const {
-    return ring_ ? ring_->capacity() : queue_->capacity();
+    if (ring_) return ring_->capacity();
+    if (lossy_ring_) return lossy_ring_->capacity();
+    return queue_->capacity();
   }
 
-  size_t size() const { return ring_ ? ring_->size() : queue_->size(); }
+  size_t size() const {
+    if (ring_) return ring_->size();
+    if (lossy_ring_) return lossy_ring_->size();
+    return queue_->size();
+  }
 
-  /// \brief Blocks until space is available; returns false if closed.
+  /// \brief Blocks until space is available; returns false if closed. On a
+  /// lossy ring channel this never blocks — it evicts the oldest instead
+  /// (the eviction is visible in the hop stats, not to the caller; use
+  /// `PushLossy` when the caller accounts for drops).
   bool Push(T item) {
     if (ring_) return ring_->Push(std::move(item));
+    if (lossy_ring_) {
+      size_t evicted = 0;
+      return lossy_ring_->PushEvictOldest(std::move(item), &evicted);
+    }
     size_t depth = 0;
     bool blocked = false;
     if (!queue_->Push(std::move(item), &depth, &blocked)) return false;
@@ -75,17 +100,20 @@ class StageChannel {
 
   /// \brief Lossy push for latency-critical producers: never blocks.
   /// Returns false only when the channel is closed (the item is rejected
-  /// and `*dropped` is 0). `*dropped` counts items lost making room:
-  ///  * mutex fabric — drop-oldest: the new item always enters; evicted
-  ///    older items are counted (BoundedQueue::PushEvictOldest).
-  ///  * ring fabric — drop-newest: the far end of a lock-free ring belongs
-  ///    to the consumer, so a full ring drops the incoming item instead
-  ///    (counted, return true). Either policy preserves FIFO order of the
-  ///    surviving items and the `accepted == delivered + dropped`
-  ///    completeness invariant; they differ only in *which* items a
-  ///    saturated consumer loses.
+  /// and `*dropped` is 0). `*dropped` counts items lost making room.
+  ///
+  /// Overload semantics are *evict-oldest on every fabric*: the new item
+  /// always enters and the oldest queued items are evicted and counted
+  /// (mutex arm — `BoundedQueue::PushEvictOldest`; lossy ring arm —
+  /// `SpscLossyRing::PushEvictOldest`). Both arms therefore shed the exact
+  /// same item set under the same load, preserving FIFO order of the
+  /// survivors and the `accepted == delivered + dropped` completeness
+  /// invariant. A channel constructed without `lossy` on the ring fabric
+  /// has no evicting backend and falls back to drop-newest (`TryPush` +
+  /// count) — construct lossy channels with `lossy = true`.
   bool PushLossy(T item, size_t* dropped) {
     *dropped = 0;
+    if (lossy_ring_) return lossy_ring_->PushEvictOldest(std::move(item), dropped);
     if (ring_) {
       if (ring_->TryPush(item)) return true;
       if (ring_->closed()) return false;
@@ -104,6 +132,7 @@ class StageChannel {
   /// \brief Blocks until an item arrives; std::nullopt once closed+drained.
   std::optional<T> Pop() {
     if (ring_) return ring_->Pop();
+    if (lossy_ring_) return lossy_ring_->Pop();
     std::optional<T> item = queue_->Pop();
     if (item.has_value()) {
       mutex_stats_.popped.fetch_add(1, std::memory_order_relaxed);
@@ -115,6 +144,7 @@ class StageChannel {
   /// \brief Blocking batch pop; 0 means closed-and-drained.
   size_t PopBatch(std::vector<T>* out, size_t max_items) {
     if (ring_) return ring_->PopBatch(out, max_items);
+    if (lossy_ring_) return lossy_ring_->PopBatch(out, max_items);
     const size_t n = queue_->PopBatch(out, max_items);
     if (n > 0) {
       mutex_stats_.popped.fetch_add(n, std::memory_order_relaxed);
@@ -128,16 +158,23 @@ class StageChannel {
   void Close() {
     if (ring_) {
       ring_->Close();
+    } else if (lossy_ring_) {
+      lossy_ring_->Close();
     } else {
       queue_->Close();
     }
   }
 
-  bool closed() const { return ring_ ? ring_->closed() : queue_->closed(); }
+  bool closed() const {
+    if (ring_) return ring_->closed();
+    if (lossy_ring_) return lossy_ring_->closed();
+    return queue_->closed();
+  }
 
   /// \brief Snapshot of the hop counters (safe while both sides run).
   QueueHopStats stats() const {
     if (ring_) return ring_->stats();
+    if (lossy_ring_) return lossy_ring_->stats();
     QueueHopStats s;
     s.pushed = mutex_stats_.pushed.load(std::memory_order_relaxed);
     s.popped = mutex_stats_.popped.load(std::memory_order_relaxed);
@@ -169,6 +206,7 @@ class StageChannel {
   };
 
   std::unique_ptr<SpscRing<T>> ring_;
+  std::unique_ptr<SpscLossyRing<T>> lossy_ring_;
   std::unique_ptr<BoundedQueue<T>> queue_;
   MutexStats mutex_stats_;
 };

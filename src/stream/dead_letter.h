@@ -38,8 +38,10 @@ enum class DeadLetterReason : uint8_t {
   kBadPayload = 1,    ///< sentence parsed but the AIS payload was undecodable
   kDegradedDrop = 2,  ///< dropped by a shard in counted-drop (degraded) mode
   kWorkerFailure = 3, ///< lost to a worker failure past the restart budget
+  kFrameCorrupt = 4,  ///< wire frame failed magic/CRC/structure checks
+  kFrameOversized = 5,  ///< wire frame declared a payload beyond the cap
 };
-inline constexpr size_t kDeadLetterReasonCount = 4;
+inline constexpr size_t kDeadLetterReasonCount = 6;
 
 inline const char* DeadLetterReasonName(DeadLetterReason reason) {
   switch (reason) {
@@ -47,6 +49,8 @@ inline const char* DeadLetterReasonName(DeadLetterReason reason) {
     case DeadLetterReason::kBadPayload: return "bad_payload";
     case DeadLetterReason::kDegradedDrop: return "degraded_drop";
     case DeadLetterReason::kWorkerFailure: return "worker_failure";
+    case DeadLetterReason::kFrameCorrupt: return "frame_corrupt";
+    case DeadLetterReason::kFrameOversized: return "frame_oversized";
   }
   return "unknown";
 }

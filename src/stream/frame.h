@@ -1,0 +1,395 @@
+#ifndef MARLIN_STREAM_FRAME_H_
+#define MARLIN_STREAM_FRAME_H_
+
+/// \file frame.h
+/// \brief Length-prefixed, CRC-framed wire format for shipping stream
+/// records between processes — the frame format the PackedBits refactor
+/// was explicitly designed to leave behind: de-armored 64-bit payload
+/// words travel once per hop instead of being re-armored into six-bit
+/// ASCII at every boundary.
+///
+/// Wire layout (all multi-byte fields little-endian):
+///
+///   offset 0  magic      0x4D 0xA7          (2 bytes)
+///   offset 2  version    0x01               (1 byte)
+///   offset 3  kind       FrameKind          (1 byte)
+///   offset 4  length     u32 payload bytes  (4 bytes)
+///   offset 8  payload    `length` bytes
+///   offset 8+length  crc32c u32 over bytes [2, 8+length)
+///
+/// Two frame kinds:
+///  * `kLine` — a full `Event<std::string>` (event/ingest timestamps,
+///    source id, raw NMEA line). Carrying the event envelope — not just the
+///    line — is what makes loopback replay byte-identical to in-process
+///    `IngestBatch`: the receiver re-ingests with the original timestamps.
+///  * `kPacked` — a de-armored AIS payload as `PackedBits` words plus its
+///    receive timestamp: the post-assembly, pre-decode representation, so
+///    a hop never pays six-bit re-armoring or NMEA re-parse.
+///
+/// `FrameDecoder` is an incremental, resynchronising parser with the
+/// *untouched-or-complete* property: a frame is surfaced only when every
+/// byte of it has arrived and its CRC verifies; a truncated tail stays
+/// buffered (or becomes exactly one dead-letter fault at end-of-stream),
+/// and corrupt bytes are skipped to the next magic with exactly one
+/// counted fault per corrupt region — mirroring the counted-not-silent
+/// invariant of the dead-letter layer.
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/packed_bits.h"
+#include "common/time.h"
+#include "storage/coding.h"
+#include "stream/dead_letter.h"
+#include "stream/event.h"
+
+namespace marlin {
+
+/// \brief What a frame's payload encodes.
+enum class FrameKind : uint8_t {
+  kLine = 1,    ///< Event<std::string>: raw NMEA line + event envelope
+  kPacked = 2,  ///< de-armored PackedBits AIS payload + event envelope
+};
+
+inline constexpr uint8_t kFrameMagic0 = 0x4D;  // 'M'
+inline constexpr uint8_t kFrameMagic1 = 0xA7;
+inline constexpr uint8_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderBytes = 8;
+inline constexpr size_t kFrameTrailerBytes = 4;
+inline constexpr size_t kFrameOverheadBytes =
+    kFrameHeaderBytes + kFrameTrailerBytes;
+/// Payload cap: an AIS sentence is ≤ 82 chars and a 5-fragment payload
+/// de-armors to < 1 KiB, so 64 KiB leaves generous headroom while bounding
+/// what a hostile length field can make the decoder buffer.
+inline constexpr size_t kMaxFramePayload = 64 * 1024;
+
+/// \brief A de-armored AIS payload with its receive timestamp — the unit a
+/// `kPacked` frame ships (post-assembly, pre-decode).
+struct PackedRecord {
+  Timestamp received_at = kInvalidTimestamp;
+  PackedBits bits;
+
+  friend bool operator==(const PackedRecord& a, const PackedRecord& b) {
+    return a.received_at == b.received_at && a.bits == b.bits;
+  }
+};
+
+/// \brief One successfully decoded frame; `kind` selects the active member.
+struct DecodedFrame {
+  FrameKind kind = FrameKind::kLine;
+  Event<std::string> line;     ///< valid when kind == kLine
+  Event<PackedRecord> packed;  ///< valid when kind == kPacked
+};
+
+namespace frame_internal {
+
+inline void AppendU32LE(std::string* out, uint32_t v) {
+  char b[4];
+  std::memcpy(b, &v, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  std::swap(b[0], b[3]);
+  std::swap(b[1], b[2]);
+#endif
+  out->append(b, 4);
+}
+
+inline void AppendU64LE(std::string* out, uint64_t v) { PutFixed64LE(out, v); }
+
+inline uint32_t ReadU32LE(std::string_view src, size_t offset) {
+  uint32_t v = 0;
+  std::memcpy(&v, src.data() + offset, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  v = __builtin_bswap32(v);
+#endif
+  return v;
+}
+
+inline uint64_t ReadU64LE(std::string_view src, size_t offset) {
+  return GetFixed64LE(src, offset);
+}
+
+/// Envelope prefix shared by both payload kinds.
+inline void AppendEnvelope(std::string* out, Timestamp event_time,
+                           Timestamp ingest_time, uint64_t source_id) {
+  AppendU64LE(out, static_cast<uint64_t>(event_time));
+  AppendU64LE(out, static_cast<uint64_t>(ingest_time));
+  AppendU64LE(out, source_id);
+}
+
+inline constexpr size_t kEnvelopeBytes = 24;
+
+/// Seals `out` as a frame: the payload was appended after a placeholder
+/// header starting at `frame_start`; patch the length and append the CRC.
+inline void SealFrame(std::string* out, size_t frame_start) {
+  const size_t payload_len = out->size() - frame_start - kFrameHeaderBytes;
+  uint32_t len32 = static_cast<uint32_t>(payload_len);
+  char lenb[4];
+  std::memcpy(lenb, &len32, 4);
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_BIG_ENDIAN__
+  std::swap(lenb[0], lenb[3]);
+  std::swap(lenb[1], lenb[2]);
+#endif
+  out->replace(frame_start + 4, 4, lenb, 4);
+  const uint32_t crc = Crc32c(out->data() + frame_start + 2,
+                              out->size() - frame_start - 2);
+  AppendU32LE(out, crc);
+}
+
+inline void BeginFrame(std::string* out, FrameKind kind) {
+  out->push_back(static_cast<char>(kFrameMagic0));
+  out->push_back(static_cast<char>(kFrameMagic1));
+  out->push_back(static_cast<char>(kFrameVersion));
+  out->push_back(static_cast<char>(kind));
+  out->append(4, '\0');  // length placeholder, patched by SealFrame
+}
+
+}  // namespace frame_internal
+
+/// \brief Appends one `kLine` frame carrying the full event envelope.
+inline void AppendLineFrame(const Event<std::string>& ev, std::string* out) {
+  const size_t start = out->size();
+  frame_internal::BeginFrame(out, FrameKind::kLine);
+  frame_internal::AppendEnvelope(out, ev.event_time, ev.ingest_time,
+                                 ev.source_id);
+  out->append(ev.payload);
+  frame_internal::SealFrame(out, start);
+}
+
+/// \brief Appends one `kPacked` frame: envelope, receive timestamp, bit
+/// count, then the de-armored words verbatim.
+inline void AppendPackedFrame(const Event<PackedRecord>& ev,
+                              std::string* out) {
+  const size_t start = out->size();
+  frame_internal::BeginFrame(out, FrameKind::kPacked);
+  frame_internal::AppendEnvelope(out, ev.event_time, ev.ingest_time,
+                                 ev.source_id);
+  frame_internal::AppendU64LE(
+      out, static_cast<uint64_t>(ev.payload.received_at));
+  frame_internal::AppendU32LE(
+      out, static_cast<uint32_t>(ev.payload.bits.size_bits()));
+  for (size_t i = 0; i < ev.payload.bits.word_count(); ++i) {
+    frame_internal::AppendU64LE(out, ev.payload.bits.word(i));
+  }
+  frame_internal::SealFrame(out, start);
+}
+
+/// \brief Decoder-side counters (per connection; mergeable by addition).
+struct FrameDecoderStats {
+  uint64_t bytes_in = 0;        ///< bytes fed
+  uint64_t frames = 0;          ///< complete, CRC-clean frames surfaced
+  uint64_t corrupt = 0;         ///< kFrameCorrupt faults emitted
+  uint64_t oversized = 0;       ///< kFrameOversized faults emitted
+  uint64_t bytes_skipped = 0;   ///< bytes discarded while resynchronising
+};
+
+/// \brief Incremental frame parser over an arbitrary byte-chunk stream.
+///
+/// Feed bytes as they arrive (any split, including mid-header and
+/// mid-CRC); pull complete frames with `Next`. Faults (one per corrupt
+/// region / oversized frame / truncated tail) accumulate with exact
+/// dead-letter reason codes for the caller to forward into a
+/// `DeadLetterQueue`. Single-threaded: one connection owns one decoder.
+class FrameDecoder {
+ public:
+  struct Fault {
+    DeadLetterReason reason = DeadLetterReason::kFrameCorrupt;
+    uint64_t bytes = 0;  ///< corrupt bytes this fault accounts for
+  };
+
+  explicit FrameDecoder(size_t max_payload = kMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// \brief Buffers one received chunk.
+  void Feed(std::string_view bytes) {
+    stats_.bytes_in += bytes.size();
+    buf_.append(bytes);
+    Compact();
+  }
+
+  /// \brief Surfaces the next complete frame, if one is fully buffered.
+  /// Returns false when more bytes are needed (buffered prefix untouched).
+  bool Next(DecodedFrame* out) {
+    while (true) {
+      SkipToMagic();
+      if (buf_.size() - pos_ < kFrameHeaderBytes) return false;
+      const std::string_view view(buf_);
+      if (static_cast<uint8_t>(view[pos_ + 2]) != kFrameVersion) {
+        SkipBytes(2);  // past the magic; rescan
+        continue;
+      }
+      const uint32_t len = frame_internal::ReadU32LE(view, pos_ + 4);
+      if (len > max_payload_) {
+        // The length field is untrustworthy, so resync by scanning rather
+        // than seeking `len` bytes ahead on its say-so. The whole region up
+        // to the next valid frame becomes one kFrameOversized fault.
+        open_reason_ = DeadLetterReason::kFrameOversized;
+        SkipBytes(kFrameHeaderBytes);
+        continue;
+      }
+      const size_t total = kFrameOverheadBytes + len;
+      if (buf_.size() - pos_ < total) return false;
+      const uint32_t want = frame_internal::ReadU32LE(
+          view, pos_ + kFrameHeaderBytes + len);
+      const uint32_t got =
+          Crc32c(buf_.data() + pos_ + 2, kFrameHeaderBytes - 2 + len);
+      if (want != got) {
+        // A complete frame with a bad CRC: consume it whole (the length
+        // field participated in the CRC of a plausible frame) and close
+        // the region as one fault.
+        SkipBytes(total);
+        FlushSkipRegion();
+        continue;
+      }
+      // CRC-clean: any garbage skipped getting here is one closed region.
+      FlushSkipRegion();
+      const std::string_view payload = view.substr(pos_ + kFrameHeaderBytes,
+                                                   len);
+      const auto kind = static_cast<FrameKind>(view[pos_ + 3]);
+      if (ParsePayload(kind, payload, out)) {
+        pos_ += total;
+        ++stats_.frames;
+        return true;
+      }
+      // Structurally invalid payload inside a CRC-clean frame (unknown
+      // kind, short envelope, word-count mismatch): one fault, consume it.
+      ++stats_.corrupt;
+      faults_.push_back(Fault{DeadLetterReason::kFrameCorrupt, total});
+      pos_ += total;
+    }
+  }
+
+  /// \brief End-of-stream: any buffered partial frame or open skip region
+  /// becomes exactly one kFrameCorrupt fault.
+  void Finish() {
+    skipped_ += buf_.size() - pos_;
+    stats_.bytes_skipped += buf_.size() - pos_;
+    pos_ = buf_.size();
+    FlushSkipRegion();
+    Compact();
+  }
+
+  /// \brief Moves out the accumulated faults (oldest first).
+  std::vector<Fault> TakeFaults() {
+    std::vector<Fault> out;
+    out.swap(faults_);
+    return out;
+  }
+
+  const FrameDecoderStats& stats() const { return stats_; }
+
+  /// \brief Bytes currently buffered awaiting completion.
+  size_t pending_bytes() const { return buf_.size() - pos_; }
+
+ private:
+  /// Advances pos_ to the next magic (or to where a partial magic could
+  /// begin at the buffer tail), accounting skipped bytes to the open region.
+  void SkipToMagic() {
+    const size_t n = buf_.size();
+    while (pos_ < n) {
+      if (static_cast<uint8_t>(buf_[pos_]) == kFrameMagic0) {
+        if (pos_ + 1 >= n) return;  // maybe a split magic; wait for more
+        if (static_cast<uint8_t>(buf_[pos_ + 1]) == kFrameMagic1) return;
+      }
+      SkipBytes(1);
+    }
+  }
+
+  void SkipBytes(size_t n) {
+    n = std::min(n, buf_.size() - pos_);
+    pos_ += n;
+    skipped_ += n;
+    stats_.bytes_skipped += n;
+  }
+
+  /// Emits the pending skipped-byte region (if any) as exactly one fault,
+  /// with the region's reason (oversized when an over-cap length field
+  /// started it, corrupt otherwise).
+  void FlushSkipRegion() {
+    if (skipped_ == 0) return;
+    if (open_reason_ == DeadLetterReason::kFrameOversized) {
+      ++stats_.oversized;
+    } else {
+      ++stats_.corrupt;
+    }
+    faults_.push_back(Fault{open_reason_, skipped_});
+    skipped_ = 0;
+    open_reason_ = DeadLetterReason::kFrameCorrupt;
+  }
+
+  bool ParsePayload(FrameKind kind, std::string_view payload,
+                    DecodedFrame* out) {
+    using frame_internal::ReadU32LE;
+    using frame_internal::ReadU64LE;
+    if (payload.size() < frame_internal::kEnvelopeBytes) return false;
+    const auto event_time = static_cast<Timestamp>(ReadU64LE(payload, 0));
+    const auto ingest_time = static_cast<Timestamp>(ReadU64LE(payload, 8));
+    const uint64_t source_id = ReadU64LE(payload, 16);
+    if (kind == FrameKind::kLine) {
+      out->kind = FrameKind::kLine;
+      out->line = Event<std::string>(
+          event_time, ingest_time, source_id,
+          std::string(payload.substr(frame_internal::kEnvelopeBytes)));
+      return true;
+    }
+    if (kind != FrameKind::kPacked) return false;
+    if (payload.size() < frame_internal::kEnvelopeBytes + 12) return false;
+    const auto received_at = static_cast<Timestamp>(
+        ReadU64LE(payload, frame_internal::kEnvelopeBytes));
+    const uint32_t bit_count =
+        ReadU32LE(payload, frame_internal::kEnvelopeBytes + 8);
+    const size_t words = (static_cast<size_t>(bit_count) + 63) / 64;
+    if (payload.size() !=
+        frame_internal::kEnvelopeBytes + 12 + 8 * words) {
+      return false;
+    }
+    PackedRecord record;
+    record.received_at = received_at;
+    record.bits.ReserveBits(bit_count);
+    size_t off = frame_internal::kEnvelopeBytes + 12;
+    uint32_t remaining = bit_count;
+    for (size_t i = 0; i < words; ++i, off += 8) {
+      const uint64_t w = ReadU64LE(payload, off);
+      const int width = remaining >= 64 ? 64 : static_cast<int>(remaining);
+      // Words store bits MSB-first; a partial tail word keeps them in the
+      // high bits. Reject set bits below the tail (the tail-zero invariant
+      // PackedBits maintains) so decode is bijective with encode.
+      if (width < 64) {
+        if (width == 0) return false;
+        if ((w & ((uint64_t{1} << (64 - width)) - 1)) != 0) return false;
+        record.bits.AppendBits(w >> (64 - width), width);
+      } else {
+        record.bits.AppendBits(w, 64);
+      }
+      remaining -= static_cast<uint32_t>(width);
+    }
+    out->kind = FrameKind::kPacked;
+    out->packed = Event<PackedRecord>(event_time, ingest_time, source_id,
+                                      std::move(record));
+    return true;
+  }
+
+  /// Reclaims consumed prefix bytes once they dominate the buffer.
+  void Compact() {
+    if (pos_ > 4096 && pos_ * 2 >= buf_.size()) {
+      buf_.erase(0, pos_);
+      pos_ = 0;
+    }
+  }
+
+  const size_t max_payload_;
+  std::string buf_;
+  size_t pos_ = 0;        ///< parse cursor into buf_
+  uint64_t skipped_ = 0;  ///< bytes in the currently open skip region
+  DeadLetterReason open_reason_ = DeadLetterReason::kFrameCorrupt;
+  std::vector<Fault> faults_;
+  FrameDecoderStats stats_;
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STREAM_FRAME_H_

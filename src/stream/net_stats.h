@@ -1,0 +1,64 @@
+#ifndef MARLIN_STREAM_NET_STATS_H_
+#define MARLIN_STREAM_NET_STATS_H_
+
+/// \file net_stats.h
+/// \brief Network front-door instrumentation: per-connection and roll-up
+/// counters for the ingest servers (src/net/), surfaced through
+/// `PipelineMetrics::net_ingest` so feed health sits next to the per-stage
+/// pipeline metrics it feeds.
+///
+/// Lives in stream/ (not net/) so the core pipeline can carry the stats
+/// type without linking the socket layer.
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+
+namespace marlin {
+
+/// \brief One ingest connection's counters (a TCP connection, or one UDP
+/// peer address treated as a logical connection).
+struct ConnectionIngestStats {
+  uint64_t connection_id = 0;  ///< the fragment-isolation / source-id salt
+  std::string peer;            ///< "addr:port" of the remote end
+  bool open = false;
+  uint64_t bytes_in = 0;
+  uint64_t lines = 0;        ///< complete lines delivered (raw-line mode)
+  uint64_t frames = 0;       ///< complete CRC-clean frames delivered
+  uint64_t bad_lines = 0;    ///< oversized/unterminated lines dead-lettered
+  uint64_t bad_frames = 0;   ///< corrupt/oversized frame faults
+};
+
+/// \brief Mergeable roll-up across servers (TCP + UDP) and connections.
+struct NetIngestStats {
+  uint64_t connections_accepted = 0;
+  uint64_t connections_open = 0;
+  uint64_t bytes_in = 0;
+  uint64_t lines = 0;
+  uint64_t frames = 0;
+  uint64_t datagrams = 0;
+  uint64_t bad_lines = 0;
+  uint64_t bad_frames = 0;
+  /// Per-connection breakdown (bounded by the server's connection cap).
+  std::vector<ConnectionIngestStats> connections;
+
+  void Merge(const NetIngestStats& o) {
+    connections_accepted += o.connections_accepted;
+    connections_open += o.connections_open;
+    bytes_in += o.bytes_in;
+    lines += o.lines;
+    frames += o.frames;
+    datagrams += o.datagrams;
+    bad_lines += o.bad_lines;
+    bad_frames += o.bad_frames;
+    connections.insert(connections.end(), o.connections.begin(),
+                       o.connections.end());
+  }
+};
+
+}  // namespace marlin
+
+#endif  // MARLIN_STREAM_NET_STATS_H_

@@ -9,14 +9,14 @@
 /// A side-stage receives items from exactly one producer (`Submit`), applies
 /// a transform on its own thread, and delivers the results either to a
 /// registered sink or to a bounded drain buffer. Backpressure is *lossy by
-/// design*: when the transform cannot keep up an item is evicted and
-/// counted — the producer never blocks. Which item is lost depends on the
-/// channel fabric (stream/channel.h): the mutex arm evicts the oldest
-/// queued item, the lock-free ring drops the incoming one. `Flush` is the
+/// design*: when the transform cannot keep up the *oldest* queued item is
+/// evicted and counted — the producer never blocks and the stage keeps the
+/// freshest data. Both channel fabrics (stream/channel.h, constructed with
+/// `lossy = true`) implement the same evict-oldest policy, so the two arms
+/// shed identical item sets under identical load. `Flush` is the
 /// end-of-stream barrier: after it returns, every submitted item has been
 /// either delivered or counted as dropped, so
-/// `submitted == processed + queue_dropped` is the completeness invariant
-/// under either policy.
+/// `submitted == processed + queue_dropped` is the completeness invariant.
 ///
 /// Ordering: the channel is FIFO and the worker is single, so delivery
 /// order is submission order (minus evicted items — drops thin the stream
@@ -112,8 +112,8 @@ class AsyncSideStage {
     /// Run the transform on a dedicated worker (true) or inline on the
     /// producer thread (false — the sequential reference mode).
     bool async = true;
-    /// Input channel depth; overflow evicts an item (which one depends on
-    /// the fabric — see the file comment).
+    /// Input channel depth; overflow evicts the oldest queued item on
+    /// either fabric (see the file comment).
     size_t queue_depth = 1024;
     /// Drain-buffer capacity when no sink is registered; overflow evicts
     /// the oldest buffered output.
@@ -131,7 +131,8 @@ class AsyncSideStage {
   AsyncSideStage(const Options& options, Transform transform)
       : options_(options),
         transform_(std::move(transform)),
-        channel_(options.fabric, std::max<size_t>(1, options.queue_depth)) {
+        channel_(options.fabric, std::max<size_t>(1, options.queue_depth),
+                 /*lossy=*/true) {
     if (options_.async) worker_ = std::thread([this] { WorkerLoop(); });
   }
 

@@ -1,0 +1,387 @@
+// Wire-frame codec battery: round-trip properties plus a torture sweep
+// (truncation at every byte offset, corruption at every byte offset, zero
+// length, max size, oversized length field) asserting the decoder's
+// untouched-or-complete contract and exact dead-letter reason codes.
+
+#include "stream/frame.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/packed_bits.h"
+#include "stream/dead_letter.h"
+#include "stream/event.h"
+
+namespace marlin {
+namespace {
+
+// Deterministic xorshift so every failure reproduces from the seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 1) {}
+  uint64_t Next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_;
+  }
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+Event<std::string> MakeLineEvent(uint64_t i) {
+  return Event<std::string>(
+      static_cast<Timestamp>(1700000000000 + i * 7),
+      static_cast<Timestamp>(1700000000100 + i * 7), i % 5,
+      "!AIVDM,1,1,,A,13HOI:0P0000VOHLCnHQKwvL05Ip,0*23");
+}
+
+Event<PackedRecord> MakePackedEvent(Rng* rng, uint64_t i) {
+  PackedRecord record;
+  record.received_at = static_cast<Timestamp>(1700000000000 + i);
+  const int bits = 1 + static_cast<int>(rng->NextBounded(300));
+  for (int remaining = bits; remaining > 0;) {
+    const int width = remaining >= 64 ? 64 : remaining;
+    uint64_t value = rng->Next();
+    if (width < 64) value &= (uint64_t{1} << width) - 1;
+    record.bits.AppendBits(value, width);
+    remaining -= width;
+  }
+  return Event<PackedRecord>(static_cast<Timestamp>(1700000001000 + i),
+                             static_cast<Timestamp>(1700000001200 + i),
+                             i % 3, std::move(record));
+}
+
+uint64_t TotalFaultBytes(const std::vector<FrameDecoder::Fault>& faults) {
+  uint64_t total = 0;
+  for (const auto& fault : faults) total += fault.bytes;
+  return total;
+}
+
+TEST(FrameTest, LineFrameRoundTrip) {
+  const Event<std::string> ev = MakeLineEvent(3);
+  std::string wire;
+  AppendLineFrame(ev, &wire);
+  EXPECT_EQ(wire.size(), kFrameOverheadBytes + 24 + ev.payload.size());
+
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  DecodedFrame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame.kind, FrameKind::kLine);
+  EXPECT_EQ(frame.line.event_time, ev.event_time);
+  EXPECT_EQ(frame.line.ingest_time, ev.ingest_time);
+  EXPECT_EQ(frame.line.source_id, ev.source_id);
+  EXPECT_EQ(frame.line.payload, ev.payload);
+  EXPECT_FALSE(decoder.Next(&frame));
+  decoder.Finish();
+  EXPECT_TRUE(decoder.TakeFaults().empty());
+  EXPECT_EQ(decoder.stats().frames, 1u);
+}
+
+TEST(FrameTest, PackedFrameRoundTripPreservesEveryBit) {
+  Rng rng(42);
+  for (uint64_t i = 0; i < 200; ++i) {
+    const Event<PackedRecord> ev = MakePackedEvent(&rng, i);
+    std::string wire;
+    AppendPackedFrame(ev, &wire);
+    FrameDecoder decoder;
+    decoder.Feed(wire);
+    DecodedFrame frame;
+    ASSERT_TRUE(decoder.Next(&frame)) << "record " << i;
+    EXPECT_EQ(frame.kind, FrameKind::kPacked);
+    EXPECT_EQ(frame.packed.event_time, ev.event_time);
+    EXPECT_EQ(frame.packed.ingest_time, ev.ingest_time);
+    EXPECT_EQ(frame.packed.source_id, ev.source_id);
+    EXPECT_TRUE(frame.packed.payload == ev.payload) << "record " << i;
+    decoder.Finish();
+    EXPECT_TRUE(decoder.TakeFaults().empty());
+  }
+}
+
+TEST(FrameTest, EmptyLinePayloadRoundTrips) {
+  Event<std::string> ev(5, 6, 7, "");
+  std::string wire;
+  AppendLineFrame(ev, &wire);
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  DecodedFrame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame.line.payload, "");
+}
+
+TEST(FrameTest, EmptyPackedBitsRoundTrips) {
+  Event<PackedRecord> ev;
+  ev.event_time = 1;
+  ev.ingest_time = 2;
+  ev.source_id = 3;
+  ev.payload.received_at = 4;
+  std::string wire;
+  AppendPackedFrame(ev, &wire);
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  DecodedFrame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame.packed.payload.bits.size_bits(), 0u);
+  EXPECT_EQ(frame.packed.payload.received_at, 4);
+}
+
+TEST(FrameTest, MaxSizeFrameRoundTrips) {
+  Event<std::string> ev(11, 12, 13,
+                        std::string(kMaxFramePayload - 24, 'x'));
+  std::string wire;
+  AppendLineFrame(ev, &wire);
+  EXPECT_EQ(wire.size(), kFrameOverheadBytes + kMaxFramePayload);
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  DecodedFrame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame.line.payload.size(), kMaxFramePayload - 24);
+  decoder.Finish();
+  EXPECT_TRUE(decoder.TakeFaults().empty());
+}
+
+// The round-trip property under arbitrary transport chunking: a stream of
+// mixed frames split at random byte boundaries decodes to the identical
+// record sequence regardless of the split pattern.
+TEST(FrameTest, ChunkedDeliveryIsSplitOblivious) {
+  Rng rng(1234);
+  std::vector<Event<std::string>> lines;
+  std::vector<Event<PackedRecord>> packed;
+  std::string wire;
+  std::vector<FrameKind> order;
+  for (uint64_t i = 0; i < 60; ++i) {
+    if (rng.NextBounded(2) == 0) {
+      lines.push_back(MakeLineEvent(i));
+      AppendLineFrame(lines.back(), &wire);
+      order.push_back(FrameKind::kLine);
+    } else {
+      packed.push_back(MakePackedEvent(&rng, i));
+      AppendPackedFrame(packed.back(), &wire);
+      order.push_back(FrameKind::kPacked);
+    }
+  }
+
+  for (int trial = 0; trial < 20; ++trial) {
+    FrameDecoder decoder;
+    size_t line_i = 0, packed_i = 0, order_i = 0;
+    size_t offset = 0;
+    DecodedFrame frame;
+    auto drain = [&] {
+      while (decoder.Next(&frame)) {
+        ASSERT_LT(order_i, order.size());
+        ASSERT_EQ(frame.kind, order[order_i++]);
+        if (frame.kind == FrameKind::kLine) {
+          EXPECT_EQ(frame.line.payload, lines[line_i].payload);
+          EXPECT_EQ(frame.line.event_time, lines[line_i].event_time);
+          ++line_i;
+        } else {
+          EXPECT_TRUE(frame.packed.payload == packed[packed_i].payload);
+          ++packed_i;
+        }
+      }
+    };
+    while (offset < wire.size()) {
+      // Chunk sizes biased tiny so every header/CRC straddle happens.
+      const size_t n =
+          std::min<size_t>(1 + rng.NextBounded(13), wire.size() - offset);
+      decoder.Feed(std::string_view(wire).substr(offset, n));
+      offset += n;
+      drain();
+    }
+    decoder.Finish();
+    EXPECT_EQ(line_i, lines.size()) << "trial " << trial;
+    EXPECT_EQ(packed_i, packed.size()) << "trial " << trial;
+    EXPECT_TRUE(decoder.TakeFaults().empty()) << "trial " << trial;
+  }
+}
+
+// Torture: truncate the wire at EVERY byte offset. The decoder must
+// surface nothing (untouched-or-complete) and, at end-of-stream, account
+// the partial bytes as exactly one kFrameCorrupt fault.
+TEST(FrameTest, TruncationAtEveryOffsetYieldsOneCorruptFault) {
+  const Event<std::string> ev = MakeLineEvent(9);
+  std::string wire;
+  AppendLineFrame(ev, &wire);
+  for (size_t cut = 0; cut < wire.size(); ++cut) {
+    FrameDecoder decoder;
+    decoder.Feed(std::string_view(wire).substr(0, cut));
+    DecodedFrame frame;
+    EXPECT_FALSE(decoder.Next(&frame)) << "cut " << cut;
+    decoder.Finish();
+    const auto faults = decoder.TakeFaults();
+    if (cut == 0) {
+      EXPECT_TRUE(faults.empty());
+    } else {
+      ASSERT_EQ(faults.size(), 1u) << "cut " << cut;
+      EXPECT_EQ(faults[0].reason, DeadLetterReason::kFrameCorrupt);
+      EXPECT_EQ(faults[0].bytes, cut);
+    }
+    EXPECT_EQ(decoder.stats().frames, 0u);
+  }
+}
+
+// Torture: corrupt EVERY byte offset in turn, with a pristine frame
+// appended after the damaged one. The decoder must never surface a
+// damaged frame; whether the trailing frame survives depends on where the
+// damage landed (a corrupted *length field* can swallow the next frame
+// while resynchronising — inherent to length-prefixed framing), but every
+// byte must be accounted either to a surfaced frame or to a fault.
+TEST(FrameTest, CorruptionAtEveryOffsetNeverSurfacesDamage) {
+  const Event<std::string> ev = MakeLineEvent(21);
+  std::string wire;
+  AppendLineFrame(ev, &wire);
+  std::string clean;
+  AppendLineFrame(MakeLineEvent(22), &clean);
+
+  for (size_t at = 0; at < wire.size(); ++at) {
+    std::string damaged = wire;
+    damaged[at] = static_cast<char>(damaged[at] ^ 0x5A);
+    FrameDecoder decoder;
+    decoder.Feed(damaged);
+    decoder.Feed(clean);
+    DecodedFrame frame;
+    size_t surfaced = 0;
+    while (decoder.Next(&frame)) {
+      ++surfaced;
+      // Only the pristine trailing frame may ever come out.
+      EXPECT_EQ(frame.line.payload, MakeLineEvent(22).payload)
+          << "offset " << at;
+      EXPECT_EQ(frame.line.event_time, MakeLineEvent(22).event_time)
+          << "offset " << at;
+    }
+    EXPECT_LE(surfaced, 1u) << "offset " << at;
+    decoder.Finish();
+    const auto faults = decoder.TakeFaults();
+    EXPECT_GE(faults.size(), 1u) << "offset " << at;
+    // Conservation: every fed byte is either consumed by the surfaced
+    // clean frame or skipped into a fault — nothing vanishes silently.
+    EXPECT_EQ(TotalFaultBytes(faults) + surfaced * clean.size(),
+              wire.size() + clean.size())
+        << "offset " << at;
+    EXPECT_EQ(decoder.stats().frames, surfaced) << "offset " << at;
+    // Damage anywhere outside the length field keeps the stream in sync.
+    if (at < 4 || at >= 8) {
+      EXPECT_EQ(surfaced, 1u) << "offset " << at;
+    }
+  }
+}
+
+TEST(FrameTest, CorruptedCrcIsOneCorruptFault) {
+  const Event<std::string> ev = MakeLineEvent(33);
+  std::string wire;
+  AppendLineFrame(ev, &wire);
+  wire.back() = static_cast<char>(wire.back() ^ 0xFF);
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  DecodedFrame frame;
+  EXPECT_FALSE(decoder.Next(&frame));
+  const auto faults = decoder.TakeFaults();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].reason, DeadLetterReason::kFrameCorrupt);
+  EXPECT_EQ(faults[0].bytes, wire.size());
+  EXPECT_EQ(decoder.stats().corrupt, 1u);
+}
+
+// A structurally hostile length field (beyond the cap) must not make the
+// decoder buffer or seek on its say-so: the region becomes exactly one
+// kFrameOversized fault and a following frame still decodes.
+TEST(FrameTest, OversizedLengthFieldIsOneOversizedFault) {
+  std::string wire;
+  wire.push_back(static_cast<char>(kFrameMagic0));
+  wire.push_back(static_cast<char>(kFrameMagic1));
+  wire.push_back(static_cast<char>(kFrameVersion));
+  wire.push_back(static_cast<char>(FrameKind::kLine));
+  frame_internal::AppendU32LE(&wire,
+                              static_cast<uint32_t>(kMaxFramePayload + 1));
+  wire.append("garbage-after-hostile-header");
+  const size_t hostile_bytes = wire.size();
+  std::string clean;
+  AppendLineFrame(MakeLineEvent(44), &clean);
+  wire += clean;
+
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  DecodedFrame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame.line.payload, MakeLineEvent(44).payload);
+  EXPECT_FALSE(decoder.Next(&frame));
+  const auto faults = decoder.TakeFaults();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].reason, DeadLetterReason::kFrameOversized);
+  EXPECT_EQ(faults[0].bytes, hostile_bytes);
+  EXPECT_EQ(decoder.stats().oversized, 1u);
+  EXPECT_EQ(decoder.stats().corrupt, 0u);
+}
+
+// A zero-length payload cannot hold the 24-byte envelope: CRC-clean but
+// structurally invalid, consumed whole as one corrupt fault.
+TEST(FrameTest, ZeroLengthPayloadFrameIsOneCorruptFault) {
+  std::string wire;
+  const size_t start = wire.size();
+  frame_internal::BeginFrame(&wire, FrameKind::kLine);
+  frame_internal::SealFrame(&wire, start);
+  ASSERT_EQ(wire.size(), kFrameOverheadBytes);
+
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  DecodedFrame frame;
+  EXPECT_FALSE(decoder.Next(&frame));
+  const auto faults = decoder.TakeFaults();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].reason, DeadLetterReason::kFrameCorrupt);
+  EXPECT_EQ(faults[0].bytes, kFrameOverheadBytes);
+}
+
+// Leading garbage before a valid frame: skipped to the magic as one
+// corrupt region, then the frame decodes normally.
+TEST(FrameTest, LeadingGarbageIsOneRegionThenFrameDecodes) {
+  std::string wire = "some unframed noise\r\n";
+  const size_t noise = wire.size();
+  AppendLineFrame(MakeLineEvent(55), &wire);
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  DecodedFrame frame;
+  ASSERT_TRUE(decoder.Next(&frame));
+  EXPECT_EQ(frame.line.payload, MakeLineEvent(55).payload);
+  const auto faults = decoder.TakeFaults();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].reason, DeadLetterReason::kFrameCorrupt);
+  EXPECT_EQ(faults[0].bytes, noise);
+}
+
+// A packed frame whose tail word has set bits below the declared bit count
+// violates the tail-zero invariant and must be rejected (CRC-clean but
+// structurally invalid), keeping decode bijective with encode.
+TEST(FrameTest, PackedTailBitsBelowCountAreRejected) {
+  Rng rng(7);
+  Event<PackedRecord> ev = MakePackedEvent(&rng, 0);
+  // Force a partial tail word.
+  ev.payload.bits = PackedBits();
+  ev.payload.bits.AppendBits(0x2F, 6);
+  std::string wire;
+  AppendPackedFrame(ev, &wire);
+  // Set a bit below the 6 declared bits (inside the tail word's low bits),
+  // then re-seal the CRC so only the structural check can catch it.
+  const size_t word_off = kFrameHeaderBytes + 24 + 12;
+  wire[word_off] = static_cast<char>(wire[word_off] | 0x01);
+  const uint32_t crc = Crc32c(wire.data() + 2, wire.size() - 2 - 4);
+  wire.resize(wire.size() - 4);
+  frame_internal::AppendU32LE(&wire, crc);
+
+  FrameDecoder decoder;
+  decoder.Feed(wire);
+  DecodedFrame frame;
+  EXPECT_FALSE(decoder.Next(&frame));
+  const auto faults = decoder.TakeFaults();
+  ASSERT_EQ(faults.size(), 1u);
+  EXPECT_EQ(faults[0].reason, DeadLetterReason::kFrameCorrupt);
+}
+
+}  // namespace
+}  // namespace marlin

@@ -1,0 +1,524 @@
+// Network front-door battery: LineReassembler boundary obliviousness,
+// EpollLoop basics, TCP ingest in both wire modes, the two-connection
+// interleaved-fragment isolation regression, and UDP datagram ingest.
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ais/codec.h"
+#include "ais/types.h"
+#include "core/pipeline.h"
+#include "net/epoll_loop.h"
+#include "net/line_reassembler.h"
+#include "net/tcp_ingest_server.h"
+#include "net/udp_ingest_server.h"
+#include "stream/frame.h"
+
+namespace marlin {
+namespace {
+
+// --- LineReassembler --------------------------------------------------------
+
+const char* kCorpusLines[] = {
+    "!AIVDM,1,1,,A,13HOI:0P0000VOHLCnHQKwvL05Ip,0*23",
+    "!AIVDM,2,1,3,B,55P5TL01VIaAL@7WKO@mBplU@<PDhh000000001S;AJ::4A80?4i@E53,0*3E",
+    "!AIVDM,2,2,3,B,1@0000000000000,2*55",
+    "!AIVDM,1,1,,B,14eG;o@034o8sd<L9i:a;WF>062D,0*7D",
+};
+
+std::string JoinCorpus(const char* terminator) {
+  std::string bytes;
+  for (const char* line : kCorpusLines) {
+    bytes += line;
+    bytes += terminator;
+  }
+  return bytes;
+}
+
+// The straddle bugfix: EVERY single split point of the byte stream —
+// including mid-checksum and between '\r' and '\n' — must reassemble the
+// identical line sequence.
+TEST(LineReassemblerTest, EverySplitPointYieldsSameLines) {
+  for (const char* term : {"\r\n", "\n"}) {
+    const std::string bytes = JoinCorpus(term);
+    for (size_t cut = 0; cut <= bytes.size(); ++cut) {
+      LineReassembler reassembler;
+      std::vector<std::string> lines, bad;
+      reassembler.Feed(std::string_view(bytes).substr(0, cut), &lines, &bad);
+      reassembler.Feed(std::string_view(bytes).substr(cut), &lines, &bad);
+      reassembler.Finish(&bad);
+      ASSERT_EQ(lines.size(), 4u) << "terminator len " << strlen(term)
+                                  << " cut " << cut;
+      for (size_t i = 0; i < lines.size(); ++i) {
+        EXPECT_EQ(lines[i], kCorpusLines[i]) << "cut " << cut;
+      }
+      EXPECT_TRUE(bad.empty()) << "cut " << cut;
+      EXPECT_EQ(reassembler.stats().lines, 4u);
+    }
+  }
+}
+
+TEST(LineReassemblerTest, ByteAtATimeDelivery) {
+  const std::string bytes = JoinCorpus("\r\n");
+  LineReassembler reassembler;
+  std::vector<std::string> lines, bad;
+  for (char c : bytes) {
+    reassembler.Feed(std::string_view(&c, 1), &lines, &bad);
+  }
+  reassembler.Finish(&bad);
+  ASSERT_EQ(lines.size(), 4u);
+  EXPECT_EQ(lines[2], kCorpusLines[2]);
+  EXPECT_TRUE(bad.empty());
+}
+
+TEST(LineReassemblerTest, BlankKeepAliveLinesAreCountedAndSkipped) {
+  LineReassembler reassembler;
+  std::vector<std::string> lines, bad;
+  reassembler.Feed("\r\n\n!AIVDM,1,1,,A,x,0*00\r\n\r\n", &lines, &bad);
+  reassembler.Finish(&bad);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(reassembler.stats().blank_lines, 3u);
+  EXPECT_TRUE(bad.empty());
+}
+
+// The unbounded-buffering bugfix: an unterminated oversized line surfaces
+// as ONE bad line (bounded to the cap), the rest of it is discarded, and
+// the stream recovers at the next newline.
+TEST(LineReassemblerTest, OversizedUnterminatedLineIsBoundedAndSurfaced) {
+  LineReassembler::Options options;
+  options.max_line_bytes = 16;
+  LineReassembler reassembler(options);
+  std::vector<std::string> lines, bad;
+  // 100 bytes of runaway garbage, drip-fed, never a newline.
+  for (int i = 0; i < 10; ++i) {
+    reassembler.Feed("aaaaaaaaaa", &lines, &bad);
+  }
+  EXPECT_TRUE(lines.empty());
+  ASSERT_EQ(bad.size(), 1u);  // exactly one fault for the whole runaway line
+  EXPECT_EQ(bad[0].size(), 16u);
+  EXPECT_LE(reassembler.pending_bytes(), options.max_line_bytes);
+  // The newline ends the discard region; the next line is clean.
+  reassembler.Feed("zzz\r\nGOOD\r\n", &lines, &bad);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "GOOD");
+  EXPECT_EQ(bad.size(), 1u);
+  EXPECT_EQ(reassembler.stats().bad_lines, 1u);
+}
+
+TEST(LineReassemblerTest, OversizedTerminatedLineIsOneBadLine) {
+  LineReassembler::Options options;
+  options.max_line_bytes = 8;
+  LineReassembler reassembler(options);
+  std::vector<std::string> lines, bad;
+  reassembler.Feed("0123456789AB\r\nok\r\n", &lines, &bad);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "0123456789AB");
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0], "ok");
+}
+
+TEST(LineReassemblerTest, EofPartialBecomesOneBadLine) {
+  LineReassembler reassembler;
+  std::vector<std::string> lines, bad;
+  reassembler.Feed("!AIVDM,1,1,,A,x,0*00\r\ntrailing-torso", &lines, &bad);
+  reassembler.Finish(&bad);
+  ASSERT_EQ(lines.size(), 1u);
+  ASSERT_EQ(bad.size(), 1u);
+  EXPECT_EQ(bad[0], "trailing-torso");
+  // Finish is idempotent: no double-fault.
+  reassembler.Finish(&bad);
+  EXPECT_EQ(bad.size(), 1u);
+}
+
+// --- EpollLoop --------------------------------------------------------------
+
+TEST(EpollLoopTest, DispatchesReadableFdAndStops) {
+  EpollLoop loop;
+  ASSERT_TRUE(loop.Init().ok());
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  std::atomic<int> hits{0};
+  ASSERT_TRUE(loop.Add(fds[0],
+                       EPOLLIN,
+                       [&](uint32_t events) {
+                         EXPECT_TRUE(events & EPOLLIN);
+                         char buf[8];
+                         EXPECT_EQ(::read(fds[0], buf, sizeof(buf)), 1);
+                         ++hits;
+                       })
+                  .ok());
+  EXPECT_EQ(loop.PollOnce(0), 0);  // nothing ready yet
+  ASSERT_EQ(::write(fds[1], "x", 1), 1);
+  EXPECT_EQ(loop.PollOnce(1000), 1);
+  EXPECT_EQ(hits.load(), 1);
+
+  std::thread runner([&] { loop.Run(); });
+  loop.Stop();
+  runner.join();  // Stop's eventfd doorbell must unblock Run
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+// --- TCP ingest -------------------------------------------------------------
+
+int ConnectLoopback(uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                      sizeof(addr)),
+            0);
+  return fd;
+}
+
+void SendAll(int fd, std::string_view bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off, 0);
+    ASSERT_GT(n, 0);
+    off += static_cast<size_t>(n);
+  }
+}
+
+// Polls a drain until `want` records arrived (the server thread races the
+// test thread; records may trickle in across epoll rounds).
+template <typename DrainFn>
+void DrainUntil(DrainFn drain, size_t want, const char* what) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (drain() < want) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "timed out waiting for " << want << " " << what;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(TcpIngestServerTest, RawLinesAcrossAdversarialChunks) {
+  TcpIngestOptions options;
+  options.mode = WireMode::kLines;
+  options.clock = [] { return Timestamp{777}; };
+  TcpIngestServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  const std::string bytes = JoinCorpus("\r\n");
+  const int fd = ConnectLoopback(server.port());
+  // Adversarial pacing: one byte at a time with the socket flushed, so the
+  // server sees worst-case read boundaries.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    SendAll(fd, std::string_view(bytes).substr(i, 1));
+  }
+  ::close(fd);
+  ASSERT_TRUE(server.WaitForConnectionsClosed(1, 10000));
+
+  std::vector<Event<std::string>> events;
+  server.DrainLines(&events);
+  ASSERT_EQ(events.size(), 4u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].payload, kCorpusLines[i]);
+    EXPECT_EQ(events[i].event_time, 777);
+    EXPECT_EQ(events[i].ingest_time, 777);
+    EXPECT_EQ(events[i].source_id, 1u);  // first connection
+  }
+  const NetIngestStats stats = server.stats();
+  EXPECT_EQ(stats.connections_accepted, 1u);
+  EXPECT_EQ(stats.connections_open, 0u);
+  EXPECT_EQ(stats.lines, 4u);
+  EXPECT_EQ(stats.bytes_in, bytes.size());
+  ASSERT_EQ(stats.connections.size(), 1u);
+  EXPECT_FALSE(stats.connections[0].open);
+  EXPECT_EQ(stats.connections[0].lines, 4u);
+  server.Stop();
+}
+
+TEST(TcpIngestServerTest, OversizedLineIsDeadLetteredNotBuffered) {
+  TcpIngestOptions options;
+  options.mode = WireMode::kLines;
+  options.line.max_line_bytes = 32;
+  options.clock = [] { return Timestamp{5}; };
+  TcpIngestServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd, std::string(500, 'x'));  // runaway, no terminator
+  // Wait until the server has consumed the whole flood before sending the
+  // terminator — otherwise TCP coalescing could deliver flood+newline as
+  // one terminated (if oversized) line and skip the runaway path.
+  {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    while (true) {
+      const NetIngestStats s = server.stats();
+      if (!s.connections.empty() && s.connections[0].bytes_in >= 500) break;
+      ASSERT_LT(std::chrono::steady_clock::now(), deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  SendAll(fd, "\nGOOD\n");
+  ::close(fd);
+  ASSERT_TRUE(server.WaitForConnectionsClosed(1, 10000));
+
+  std::vector<Event<std::string>> events;
+  server.DrainLines(&events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].payload, "GOOD");
+  std::vector<DeadLetter> dead;
+  server.DrainDeadLetters(&dead);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].reason, DeadLetterReason::kBadSentence);
+  EXPECT_EQ(dead[0].payload.size(), 32u);  // bounded, not the whole flood
+  server.Stop();
+}
+
+TEST(TcpIngestServerTest, EofTruncatedLineIsDeadLettered) {
+  TcpIngestOptions options;
+  options.clock = [] { return Timestamp{5}; };
+  TcpIngestServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd, "COMPLETE\r\nTORSO-WITHOUT-NEWLINE");
+  ::close(fd);
+  ASSERT_TRUE(server.WaitForConnectionsClosed(1, 10000));
+  std::vector<Event<std::string>> events;
+  server.DrainLines(&events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].payload, "COMPLETE");
+  std::vector<DeadLetter> dead;
+  server.DrainDeadLetters(&dead);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].payload, "TORSO-WITHOUT-NEWLINE");
+  server.Stop();
+}
+
+TEST(TcpIngestServerTest, FramedModeCarriesEnvelopesVerbatim) {
+  TcpIngestOptions options;
+  options.mode = WireMode::kFrames;
+  TcpIngestServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // One kLine and one kPacked frame with distinctive envelopes.
+  Event<std::string> line_ev(1111, 2222, 42,
+                             "!AIVDM,1,1,,A,13HOI:0P0000VOHLCnHQKwvL05Ip,0*23");
+  Event<PackedRecord> packed_ev;
+  packed_ev.event_time = 3333;
+  packed_ev.ingest_time = 4444;
+  packed_ev.source_id = 43;
+  packed_ev.payload.received_at = 3300;
+  packed_ev.payload.bits.AppendBits(0xDEADBEEF, 32);
+  packed_ev.payload.bits.AppendBits(0x5, 3);
+
+  std::string wire;
+  AppendLineFrame(line_ev, &wire);
+  AppendPackedFrame(packed_ev, &wire);
+
+  const int fd = ConnectLoopback(server.port());
+  // Split mid-header / mid-CRC: 7-byte chunks hit every straddle.
+  for (size_t off = 0; off < wire.size(); off += 7) {
+    SendAll(fd, std::string_view(wire).substr(off, 7));
+  }
+  ::close(fd);
+  ASSERT_TRUE(server.WaitForConnectionsClosed(1, 10000));
+
+  std::vector<Event<std::string>> lines;
+  std::vector<Event<PackedRecord>> packed;
+  server.DrainLines(&lines);
+  server.DrainPacked(&packed);
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_EQ(lines[0].event_time, 1111);
+  EXPECT_EQ(lines[0].ingest_time, 2222);
+  EXPECT_EQ(lines[0].source_id, 42u);
+  EXPECT_EQ(lines[0].payload, line_ev.payload);
+  ASSERT_EQ(packed.size(), 1u);
+  EXPECT_EQ(packed[0].event_time, 3333);
+  EXPECT_EQ(packed[0].source_id, 43u);
+  EXPECT_TRUE(packed[0].payload == packed_ev.payload);
+  EXPECT_EQ(server.stats().frames, 2u);
+  server.Stop();
+}
+
+TEST(TcpIngestServerTest, CorruptFrameBecomesReasonCodedDeadLetter) {
+  TcpIngestOptions options;
+  options.mode = WireMode::kFrames;
+  TcpIngestServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  Event<std::string> ev(1, 2, 3, "!AIVDM,1,1,,A,x,0*00");
+  std::string good;
+  AppendLineFrame(ev, &good);
+  std::string corrupt = good;
+  corrupt[corrupt.size() - 2] ^= 0x40;  // break the CRC
+
+  const int fd = ConnectLoopback(server.port());
+  SendAll(fd, corrupt + good);
+  ::close(fd);
+  ASSERT_TRUE(server.WaitForConnectionsClosed(1, 10000));
+
+  std::vector<Event<std::string>> lines;
+  server.DrainLines(&lines);
+  ASSERT_EQ(lines.size(), 1u);  // the clean copy resynchronised
+  const DeadLetterStats dl = server.dead_letters().stats();
+  EXPECT_EQ(dl.by_reason[static_cast<size_t>(DeadLetterReason::kFrameCorrupt)],
+            1u);
+  EXPECT_EQ(server.stats().bad_frames, 1u);
+  server.Stop();
+}
+
+// The fragment-isolation regression. Two senders each transmit a two-
+// fragment type-5 message; both fresh encoders pick sequential id 0 on
+// channel A, so the (seq, channel, count) group keys collide. Interleaved
+// on ONE merged feed the groups cross-contaminate; keyed per connection
+// (`fragment_group_by_source`) both messages decode intact.
+TEST(TcpIngestServerTest, InterleavedFragmentsFromTwoConnectionsStayIsolated) {
+  StaticVoyageData sv_a;
+  sv_a.mmsi = 111111111;
+  sv_a.name = "ALPHA";
+  sv_a.call_sign = "AAAA";
+  sv_a.destination = "ROTTERDAM";
+  sv_a.ship_type = 70;
+  sv_a.dim_to_bow_m = 100;
+  sv_a.dim_to_stern_m = 20;
+  StaticVoyageData sv_b = sv_a;
+  sv_b.mmsi = 222222222;
+  sv_b.name = "BRAVO";
+  sv_b.destination = "HAMBURG";
+
+  AisEncoder encoder_a, encoder_b;  // both start at sequential id 0
+  auto lines_a = encoder_a.Encode(AisMessage(sv_a));
+  auto lines_b = encoder_b.Encode(AisMessage(sv_b));
+  ASSERT_TRUE(lines_a.ok());
+  ASSERT_TRUE(lines_b.ok());
+  ASSERT_EQ(lines_a->size(), 2u) << "type 5 must fragment";
+  ASSERT_EQ(lines_b->size(), 2u);
+
+  TcpIngestOptions options;
+  options.clock = [] { return Timestamp{100}; };
+  TcpIngestServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+
+  const int fd_a = ConnectLoopback(server.port());
+  const int fd_b = ConnectLoopback(server.port());
+  std::vector<Event<std::string>> events;
+  // Force the adversarial arrival order A1 B1 A2 B2 by draining between
+  // sends — each fragment is observed before the next is transmitted.
+  auto send_and_collect = [&](int fd, const std::string& line) {
+    SendAll(fd, line + "\r\n");
+    DrainUntil(
+        [&] {
+          server.DrainLines(&events);
+          return events.size();
+        },
+        events.size() + 1, "fragment");
+  };
+  send_and_collect(fd_a, (*lines_a)[0]);
+  send_and_collect(fd_b, (*lines_b)[0]);
+  send_and_collect(fd_a, (*lines_a)[1]);
+  send_and_collect(fd_b, (*lines_b)[1]);
+  ::close(fd_a);
+  ::close(fd_b);
+  ASSERT_TRUE(server.WaitForConnectionsClosed(2, 10000));
+  server.Stop();
+
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_NE(events[0].source_id, events[1].source_id)
+      << "fragments must carry per-connection source ids";
+
+  // Per-connection keying: both messages assemble and decode cleanly.
+  {
+    PipelineConfig config;
+    config.fragment_group_by_source = true;
+    MaritimePipeline pipeline(config, nullptr, nullptr, nullptr, nullptr);
+    pipeline.IngestBatch(events);
+    pipeline.Finish();
+    EXPECT_EQ(pipeline.metrics().decoder.messages_out, 2u);
+    EXPECT_EQ(pipeline.metrics().decoder.bad_payloads, 0u);
+    EXPECT_EQ(pipeline.metrics().decoder.bad_sentences, 0u);
+  }
+  // Control arm — the pre-fix behaviour: one merged reassembly namespace,
+  // colliding groups cross-contaminate, at least one message is lost.
+  {
+    PipelineConfig config;
+    MaritimePipeline pipeline(config, nullptr, nullptr, nullptr, nullptr);
+    pipeline.IngestBatch(events);
+    pipeline.Finish();
+    const auto& d = pipeline.metrics().decoder;
+    EXPECT_FALSE(d.messages_out == 2 && d.bad_payloads == 0)
+        << "merged-namespace arm unexpectedly decoded both messages — the "
+           "regression test lost its teeth";
+  }
+}
+
+// --- UDP ingest -------------------------------------------------------------
+
+TEST(UdpIngestServerTest, DatagramsArePerPeerAndSelfContained) {
+  UdpIngestOptions options;
+  options.clock = [] { return Timestamp{9}; };
+  UdpIngestServer server(options);
+  ASSERT_TRUE(server.Start().ok());
+  ASSERT_GT(server.port(), 0);
+
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+
+  const int fd1 = ::socket(AF_INET, SOCK_DGRAM, 0);
+  const int fd2 = ::socket(AF_INET, SOCK_DGRAM, 0);
+  ASSERT_GE(fd1, 0);
+  ASSERT_GE(fd2, 0);
+  const std::string gram1 = std::string(kCorpusLines[0]) + "\r\n" +
+                            kCorpusLines[3] + "\r\n";
+  // Second datagram ends with an unterminated torso: a sender bug — the
+  // torso must NOT be stitched to the next datagram.
+  const std::string gram2 = std::string(kCorpusLines[0]) + "\r\ntorso";
+  const std::string gram3 = "-continued\r\n";
+  ASSERT_EQ(::sendto(fd1, gram1.data(), gram1.size(), 0,
+                     reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+            static_cast<ssize_t>(gram1.size()));
+  ASSERT_EQ(::sendto(fd2, gram2.data(), gram2.size(), 0,
+                     reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+            static_cast<ssize_t>(gram2.size()));
+  ASSERT_EQ(::sendto(fd2, gram3.data(), gram3.size(), 0,
+                     reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+            static_cast<ssize_t>(gram3.size()));
+  ASSERT_TRUE(server.WaitForDatagrams(3, 10000));
+  server.Stop();
+
+  std::vector<Event<std::string>> events;
+  server.DrainLines(&events);
+  ASSERT_EQ(events.size(), 4u);  // 2 + 1 + 1 complete lines
+  EXPECT_EQ(events[0].source_id, events[1].source_id);
+  EXPECT_NE(events[0].source_id, events[2].source_id);
+  EXPECT_EQ(events[3].payload, "-continued");  // NOT "torso-continued"
+
+  std::vector<DeadLetter> dead;
+  server.DrainDeadLetters(&dead);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0].reason, DeadLetterReason::kBadSentence);
+  EXPECT_EQ(dead[0].payload, "torso");
+
+  const NetIngestStats stats = server.stats();
+  EXPECT_EQ(stats.datagrams, 3u);
+  EXPECT_EQ(stats.connections_accepted, 2u);  // two logical peers
+  EXPECT_EQ(stats.lines, 4u);
+  EXPECT_EQ(stats.bad_lines, 1u);
+  ::close(fd1);
+  ::close(fd2);
+}
+
+}  // namespace
+}  // namespace marlin

@@ -293,29 +293,71 @@ TEST_P(StageChannelTest, StressAndStatsInvariants) {
 }
 
 TEST_P(StageChannelTest, PushLossyNeverBlocksAndAccountsDrops) {
-  StageChannel<int> channel(GetParam(), 4);
+  StageChannel<int> channel(GetParam(), 4, /*lossy=*/true);
   size_t total_dropped = 0;
   for (int i = 0; i < 100; ++i) {
     size_t dropped = 0;
     EXPECT_TRUE(channel.PushLossy(i, &dropped));
     total_dropped += dropped;
   }
-  // No consumer ran: exactly capacity items survive, the rest were dropped
-  // (oldest-first on the mutex arm, newest-first on the ring arm — the
-  // count is identical either way).
+  // No consumer ran: exactly capacity items survive, the rest were evicted.
   EXPECT_EQ(channel.size(), channel.capacity());
   EXPECT_EQ(total_dropped, 100 - channel.capacity());
   channel.Close();
   size_t dropped = 0;
   EXPECT_FALSE(channel.PushLossy(101, &dropped));  // closed: rejected
   EXPECT_EQ(dropped, 0u);
-  // Drain: survivors are a contiguous FIFO run (prefix for the ring's
-  // drop-newest, suffix for the queue's drop-oldest).
+  // Overload semantics are evict-oldest on BOTH fabrics: the survivors are
+  // exactly the newest `capacity` items, in FIFO order. (Before the
+  // unification the ring arm dropped the newest and kept a stale prefix.)
   std::vector<int> survivors;
   while (auto item = channel.Pop()) survivors.push_back(*item);
   ASSERT_EQ(survivors.size(), channel.capacity());
-  for (size_t i = 1; i < survivors.size(); ++i) {
-    EXPECT_EQ(survivors[i], survivors[i - 1] + 1);
+  for (size_t i = 0; i < survivors.size(); ++i) {
+    EXPECT_EQ(survivors[i], static_cast<int>(100 - channel.capacity() + i));
+  }
+}
+
+// The cross-arm unification regression: run the exact same interleaved
+// lossy-push / pop script against both fabrics and require that they shed
+// the *identical* item set — not just the same count. This is what makes
+// `lock_free_fabric` a pure performance switch even for shedding hops.
+TEST(StageChannelTest, LossyArmsShedIdenticalItemSets) {
+  Rng rng(17);
+  for (int round = 0; round < 50; ++round) {
+    StageChannel<int> ring(QueueFabric::kSpscRing, 8, /*lossy=*/true);
+    StageChannel<int> mutex_arm(QueueFabric::kMutex, 8, /*lossy=*/true);
+    std::vector<int> ring_out, mutex_out;
+    size_t ring_dropped = 0, mutex_dropped = 0;
+    int next = 0;
+    for (int step = 0; step < 300; ++step) {
+      if (rng.NextBounded(3) != 0) {  // push-heavy: force overload
+        size_t d = 0;
+        ASSERT_TRUE(ring.PushLossy(next, &d));
+        ring_dropped += d;
+        d = 0;
+        ASSERT_TRUE(mutex_arm.PushLossy(next, &d));
+        mutex_dropped += d;
+        ++next;
+      } else {
+        std::vector<int> r, m;
+        const size_t want = 1 + rng.NextBounded(3);
+        if (ring.size() > 0) ring.PopBatch(&r, want);
+        if (mutex_arm.size() > 0) mutex_arm.PopBatch(&m, want);
+        EXPECT_EQ(r, m) << "round " << round << " step " << step;
+        ring_out.insert(ring_out.end(), r.begin(), r.end());
+        mutex_out.insert(mutex_out.end(), m.begin(), m.end());
+      }
+    }
+    ring.Close();
+    mutex_arm.Close();
+    while (auto item = ring.Pop()) ring_out.push_back(*item);
+    while (auto item = mutex_arm.Pop()) mutex_out.push_back(*item);
+    // Identical survivors (and therefore identical shed sets), and both
+    // arms uphold accepted == delivered + dropped.
+    EXPECT_EQ(ring_out, mutex_out) << "round " << round;
+    EXPECT_EQ(ring_dropped, mutex_dropped);
+    EXPECT_EQ(ring_out.size() + ring_dropped, static_cast<size_t>(next));
   }
 }
 

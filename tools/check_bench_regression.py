@@ -32,6 +32,12 @@ Four gates:
   for an allocation or a quadratic scan sneaking into the per-report /
   per-point path of the anomaly & integrity stage. Baselines recorded
   before the stage existed skip this gate with a notice.
+* BM_NetIngest lines_per_s, NMEA-line arm (frame:0) — loopback TCP
+  replay through the epoll ingest server into the pipeline. Canary for
+  a per-byte copy, per-frame allocation, or busy-spin sneaking into
+  the read-loop / frame-decode / drain hand-off path. Baselines
+  recorded before the network front door existed skip this gate with
+  a notice.
 
 Usage:
   check_bench_regression.py <baseline.json> <current.json> [min_ratio]
@@ -113,11 +119,30 @@ def anomaly_stage_detectors_per_s(benchmarks):
     return None
 
 
+def net_ingest_lines_per_s(benchmarks):
+    # Gate the frame:0 (re-armored NMEA line) arm — the production wire
+    # shape; the packed arm is informational (it measures the sender-side
+    # de-armoring saving, not the server). Fall back to any arm if the
+    # frame axis changes.
+    fallback = None
+    for bench in benchmarks:
+        name = bench.get("name", "")
+        if not name.startswith("BM_NetIngest") or \
+                "lines_per_s" not in bench:
+            continue
+        if "frame:0" in name:
+            return float(bench["lines_per_s"])
+        if fallback is None:
+            fallback = float(bench["lines_per_s"])
+    return fallback
+
+
 GATES = [
     ("decode microbench", decode_lines_per_s, "lines/s"),
     ("queue hop (spsc)", queue_hop_items_per_s, "items/s"),
     ("query serving", query_serving_queries_per_s, "queries/s"),
     ("anomaly stage", anomaly_stage_detectors_per_s, "detections/s"),
+    ("net ingest", net_ingest_lines_per_s, "lines/s"),
 ]
 
 
